@@ -1,0 +1,89 @@
+//! Breadth-first search over the dynamic graph — a representative
+//! read-only analytic exercising the adjacency iterator, included to show
+//! the structure slots into a Gunrock-style frontier workflow.
+
+use slabgraph::DynGraph;
+
+/// Level (hop distance) of every vertex from `src`; `u32::MAX` for
+/// unreachable vertices. Frontier-at-a-time traversal, one adjacency
+/// iteration per frontier vertex per level.
+pub fn bfs_levels(g: &DynGraph, src: u32) -> Vec<u32> {
+    let n = g.vertex_capacity();
+    let mut levels = vec![u32::MAX; n as usize];
+    if src >= n {
+        return levels;
+    }
+    levels[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in g.neighbor_ids(u) {
+                let slot = &mut levels[v as usize];
+                if *slot == u32::MAX {
+                    *slot = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slabgraph::{Edge, GraphConfig};
+
+    fn path_graph(n: u32) -> DynGraph {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+        let edges: Vec<Edge> = (0..n - 1).map(|u| Edge::new(u, u + 1)).collect();
+        g.insert_edges(&edges);
+        g
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(6);
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_from_middle() {
+        let g = path_graph(5);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_max() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(6), 6, 1);
+        g.insert_edges(&[Edge::new(0, 1), Edge::new(3, 4)]);
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels[1], 1);
+        assert_eq!(levels[3], u32::MAX);
+        assert_eq!(levels[5], u32::MAX);
+    }
+
+    #[test]
+    fn bfs_tracks_dynamic_updates() {
+        let g = path_graph(5);
+        assert_eq!(bfs_levels(&g, 0)[4], 4);
+        // Shortcut edge halves the distance.
+        g.insert_edges(&[Edge::new(0, 4)]);
+        assert_eq!(bfs_levels(&g, 0)[4], 1);
+        // Cutting the path after the shortcut keeps 4 reachable via it.
+        g.delete_edges(&[Edge::new(2, 3)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[3], 2, "3 now reached via 4");
+    }
+
+    #[test]
+    fn bfs_out_of_range_source() {
+        let g = path_graph(3);
+        assert!(bfs_levels(&g, 99).iter().all(|&l| l == u32::MAX));
+    }
+}

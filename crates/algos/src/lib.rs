@@ -1,0 +1,16 @@
+//! # algos — graph algorithms over the dynamic structures
+//!
+//! The paper's application study (§VI-C) is triangle counting, chosen to
+//! exercise the data structures' *query* operation (`intersect`): sorted
+//! list-based structures intersect two adjacency lists with a serial merge
+//! walk; the hash-based structure probes one table per candidate edge
+//! (`edgeExist`). This crate implements both forms over every structure,
+//! plus a host-side reference counter for validation and a BFS utility.
+
+pub mod bfs;
+pub mod triangle;
+
+pub use bfs::bfs_levels;
+pub use triangle::{
+    tc_csr, tc_faimgraph, tc_hornet, tc_reference, tc_slabgraph, DynamicTcRound,
+};

@@ -1,0 +1,283 @@
+//! Triangle counting, static and dynamic (paper §VI-C).
+//!
+//! All counters assume an **undirected** graph stored with both edge
+//! directions and count each triangle exactly once (smallest-vertex
+//! convention: a triangle a<b<c is counted at `a` via the pair (b, c)).
+//!
+//! - [`tc_slabgraph`] — the paper's hash approach: "we perform an
+//!   `edgeExist` query for all edges". For every vertex `u` and neighbour
+//!   pair v<w (both > u), probe w in A_v. O(1) per probe, no sorting
+//!   needed.
+//! - [`tc_hornet`] / [`tc_faimgraph`] / [`tc_csr`] — the list approach:
+//!   intersect two *sorted* adjacency lists with a serial merge walk
+//!   ("little parallelism, but cheaper and faster than a hash-table-based
+//!   solution" — the paper's own Table VII finding). The required sorting
+//!   is charged separately (Table VIII).
+
+use baselines::{Csr, FaimGraph, Hornet};
+use slabgraph::DynGraph;
+
+/// Host-side reference triangle count from a raw undirected edge list
+/// (used by tests to validate every implementation).
+pub fn tc_reference(n_vertices: u32, edges: &[(u32, u32)]) -> u64 {
+    let mut adj: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n_vertices as usize];
+    for &(u, v) in edges {
+        if u != v && u < n_vertices && v < n_vertices {
+            adj[u as usize].insert(v);
+            adj[v as usize].insert(u);
+        }
+    }
+    let mut count = 0u64;
+    for u in 0..n_vertices {
+        let nu: Vec<u32> = adj[u as usize].iter().copied().filter(|&v| v > u).collect();
+        for (i, &v) in nu.iter().enumerate() {
+            for &w in &nu[i + 1..] {
+                if adj[v as usize].contains(&w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Triangle counting over the hash-based dynamic graph via batched
+/// `edgeExist` probes. Uses the set/map variant's query path; candidate
+/// pairs are emitted per vertex and probed in large batches through the
+/// WCWS query kernel.
+pub fn tc_slabgraph(g: &DynGraph) -> u64 {
+    // One logical TC kernel: suppress per-helper launch charges.
+    g.device().counters().add_launches(1);
+    let was = g.device().set_fused(true);
+    let mut count = 0u64;
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    const FLUSH: usize = 1 << 16;
+    let flush = |pairs: &mut Vec<(u32, u32)>| -> u64 {
+        if pairs.is_empty() {
+            return 0;
+        }
+        let hits = g
+            .edges_exist(pairs)
+            .into_iter()
+            .filter(|&b| b)
+            .count() as u64;
+        pairs.clear();
+        hits
+    };
+    for u in 0..g.vertex_capacity() {
+        let mut nu: Vec<u32> = g.neighbor_ids(u).into_iter().filter(|&v| v > u).collect();
+        nu.sort_unstable();
+        for (i, &v) in nu.iter().enumerate() {
+            for &w in &nu[i + 1..] {
+                pending.push((v, w));
+                if pending.len() >= FLUSH {
+                    count += flush(&mut pending);
+                }
+            }
+        }
+    }
+    count += flush(&mut pending);
+    g.device().set_fused(was);
+    count
+}
+
+/// Serial sorted-merge intersection size over elements `> floor`.
+fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i] > floor {
+                    n += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Triangle counting over Hornet with sorted-list intersections.
+///
+/// # Panics
+/// Panics if the adjacency lists are not sorted — call
+/// [`Hornet::sort_adjacencies`] first (its cost is Table VIII's subject).
+pub fn tc_hornet(g: &Hornet) -> u64 {
+    assert!(g.is_sorted(), "Hornet TC requires sorted adjacency lists");
+    g.device().counters().add_launches(1);
+    let was = g.device().set_fused(true);
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        let adj_u = g.read_adjacency(u);
+        for &v in adj_u.iter().filter(|&&v| v > u) {
+            let adj_v = g.read_adjacency(v);
+            count += intersect_above(&adj_u, &adj_v, v);
+        }
+    }
+    g.device().set_fused(was);
+    count
+}
+
+/// Triangle counting over faimGraph with sorted-list intersections
+/// (call [`FaimGraph::sort_adjacencies`] first).
+pub fn tc_faimgraph(g: &FaimGraph) -> u64 {
+    g.device().counters().add_launches(1);
+    let was = g.device().set_fused(true);
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        let adj_u = g.read_adjacency(u);
+        debug_assert!(adj_u.windows(2).all(|w| w[0] <= w[1]), "unsorted list");
+        for &v in adj_u.iter().filter(|&&v| v > u) {
+            let adj_v = g.read_adjacency(v);
+            count += intersect_above(&adj_u, &adj_v, v);
+        }
+    }
+    g.device().set_fused(was);
+    count
+}
+
+/// Triangle counting over static CSR (always sorted).
+pub fn tc_csr(g: &Csr) -> u64 {
+    g.device().counters().add_launches(1);
+    let was = g.device().set_fused(true);
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        let adj_u = g.read_adjacency(u);
+        for &v in adj_u.iter().filter(|&&v| v > u) {
+            let adj_v = g.read_adjacency(v);
+            count += intersect_above(&adj_u, &adj_v, v);
+        }
+    }
+    g.device().set_fused(was);
+    count
+}
+
+/// One round of the dynamic triangle-counting scenario (Table IX):
+/// timings for "insert a batch, then recount triangles".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicTcRound {
+    pub insert_seconds: f64,
+    pub tc_seconds: f64,
+    pub triangles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slabgraph::{Edge, GraphConfig};
+
+    /// A graph with a known triangle structure: K5 ∪ a 4-cycle.
+    fn fixture_edges() -> (u32, Vec<(u32, u32)>) {
+        let mut e = vec![];
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                e.push((u, v));
+            }
+        }
+        // 4-cycle on 10..13: zero triangles.
+        e.extend_from_slice(&[(10, 11), (11, 12), (12, 13), (13, 10)]);
+        (16, e)
+    }
+
+    fn both_directions(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        edges
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect()
+    }
+
+    #[test]
+    fn reference_counts_k5() {
+        let (n, e) = fixture_edges();
+        // K5 has C(5,3) = 10 triangles; the 4-cycle has none.
+        assert_eq!(tc_reference(n, &e), 10);
+    }
+
+    #[test]
+    fn slabgraph_matches_reference() {
+        let (n, e) = fixture_edges();
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+        g.insert_edges(&e.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        assert_eq!(tc_slabgraph(&g), 10);
+    }
+
+    #[test]
+    fn hornet_matches_reference() {
+        let (n, e) = fixture_edges();
+        let mut g = Hornet::bulk_build(n, &both_directions(&e), 1 << 18);
+        g.sort_adjacencies();
+        assert_eq!(tc_hornet(&g), 10);
+    }
+
+    #[test]
+    fn faimgraph_matches_reference() {
+        let (n, e) = fixture_edges();
+        let g = FaimGraph::build(n, &both_directions(&e), 1 << 18);
+        g.sort_adjacencies();
+        assert_eq!(tc_faimgraph(&g), 10);
+    }
+
+    #[test]
+    fn csr_matches_reference() {
+        let (n, e) = fixture_edges();
+        let g = Csr::build(n, &both_directions(&e), 1 << 18);
+        assert_eq!(tc_csr(&g), 10);
+    }
+
+    #[test]
+    fn all_structures_agree_on_random_graph() {
+        let edges = graph_gen::uniform_random(64, 600, 42);
+        let n = 64u32;
+        let expect = tc_reference(n, &edges);
+        assert!(expect > 0, "fixture should contain triangles");
+
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+        g.insert_edges(&edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        assert_eq!(tc_slabgraph(&g), expect, "slabgraph");
+
+        let dir = both_directions(&edges);
+        let mut h = Hornet::bulk_build(n, &dir, 1 << 20);
+        h.sort_adjacencies();
+        assert_eq!(tc_hornet(&h), expect, "hornet");
+
+        let f = FaimGraph::build(n, &dir, 1 << 20);
+        f.sort_adjacencies();
+        assert_eq!(tc_faimgraph(&f), expect, "faimgraph");
+
+        let c = Csr::build(n, &dir, 1 << 20);
+        assert_eq!(tc_csr(&c), expect, "csr");
+    }
+
+    #[test]
+    fn tc_after_incremental_updates() {
+        // Dynamic scenario: counts must track edge insertions/deletions.
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(8), 8, 1);
+        g.insert_edges(&[Edge::new(0, 1), Edge::new(1, 2)]);
+        assert_eq!(tc_slabgraph(&g), 0);
+        g.insert_edges(&[Edge::new(0, 2)]);
+        assert_eq!(tc_slabgraph(&g), 1, "closing the wedge makes a triangle");
+        g.insert_edges(&[Edge::new(0, 3), Edge::new(1, 3)]);
+        assert_eq!(tc_slabgraph(&g), 2);
+        g.delete_edges(&[Edge::new(0, 1)]);
+        assert_eq!(tc_slabgraph(&g), 0, "shared edge removal kills both");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn hornet_tc_requires_sort() {
+        let mut g = Hornet::bulk_build(8, &[(0, 1), (1, 0)], 1 << 16);
+        g.insert_batch(&[(0, 2)]); // unsorts
+        tc_hornet(&g);
+    }
+
+    #[test]
+    fn intersect_above_basics() {
+        assert_eq!(intersect_above(&[1, 3, 5, 7], &[3, 5, 9], 0), 2);
+        assert_eq!(intersect_above(&[1, 3, 5, 7], &[3, 5, 9], 3), 1);
+        assert_eq!(intersect_above(&[], &[1], 0), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # baselines — workalikes of the structures the paper compares against
+//!
+//! The paper evaluates its hash-table graph against **Hornet** (Busato et
+//! al., HPEC 2018), **faimGraph** (Winter et al., SC 2018), static **CSR**,
+//! and **CUB segmented sort**. None of these have Rust implementations, so
+//! this crate provides workalikes exhibiting the same *memory behaviour*,
+//! running over the same simulated device arena and charging the same
+//! transaction counters as `slabgraph` — making every comparison in the
+//! benchmark harness apples-to-apples:
+//!
+//! - [`hornet::Hornet`] — per-vertex power-of-two blocks, host-side block
+//!   manager with free lists, **sort-based deduplication** on insertion
+//!   (the cost the paper's §VI-B1 attributes 45% of Hornet's build time to)
+//!   and block doubling + copy on overflow (the incremental-build cost of
+//!   §VI-B2).
+//! - [`faimgraph::FaimGraph`] — 128-byte page lists per vertex, device-side
+//!   page queue for reuse, traversal-based duplicate checking, vertex-id
+//!   recycling queue.
+//! - [`csr::Csr`] — the static packed structure (build = sort + dedup +
+//!   prefix sum; no updates without a rebuild).
+//! - [`sort`] — transaction-charged radix/segmented sorts standing in for
+//!   CUB, plus faimGraph's per-adjacency sort (Table VIII).
+
+pub mod csr;
+pub mod faimgraph;
+pub mod hornet;
+pub mod sort;
+
+pub use csr::Csr;
+pub use faimgraph::FaimGraph;
+pub use hornet::Hornet;

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the substrate primitives: slab-hash
+//! operations, the slab allocator, and the warp intrinsics themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Device, Lanes};
+use slab_alloc::SlabAllocator;
+use slab_hash::{buckets_for, TableDesc, TableKind};
+
+fn bench_slab_hash_ops(c: &mut Criterion) {
+    let dev = Device::new(1 << 20);
+    let alloc = SlabAllocator::new(&dev, 4096);
+    let n = 4096u32;
+    let table = TableDesc::create(&dev, TableKind::Map, buckets_for(n as usize, 0.7, TableKind::Map));
+    dev.launch_warps(1, |warp| {
+        for k in 0..n {
+            table.replace(warp, &alloc, k, k);
+        }
+    });
+
+    let mut g = c.benchmark_group("slab_hash");
+    g.bench_function("search_hit", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            let out = std::sync::atomic::AtomicU32::new(0);
+            dev.launch_warps(1, |warp| {
+                out.store(table.search(warp, k % n).unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+            });
+            k = k.wrapping_add(1);
+            out.into_inner()
+        })
+    });
+    g.bench_function("search_miss", |b| {
+        b.iter(|| {
+            let out = std::sync::atomic::AtomicU32::new(0);
+            dev.launch_warps(1, |warp| {
+                out.store(table.search(warp, n + 17).is_some() as u32, std::sync::atomic::Ordering::Relaxed);
+            });
+            out.into_inner()
+        })
+    });
+    g.bench_function("replace_existing", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            dev.launch_warps(1, |warp| {
+                table.replace(warp, &alloc, k % n, 9);
+            });
+            k = k.wrapping_add(1);
+        })
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let dev = Device::new(1 << 22);
+    let alloc = SlabAllocator::new(&dev, 1 << 14);
+    c.bench_function("slab_alloc/allocate_free", |b| {
+        b.iter(|| {
+            dev.launch_warps(1, |warp| {
+                let a = alloc.allocate(warp);
+                alloc.free(warp, a);
+            });
+        })
+    });
+}
+
+fn bench_warp_primitives(c: &mut Criterion) {
+    let dev = Device::new(1 << 12);
+    let slab = dev.alloc_words(32, 32);
+    c.bench_function("warp/read_slab_ballot", |b| {
+        b.iter(|| {
+            let out = std::sync::atomic::AtomicU32::new(0);
+            dev.launch_warps(1, |warp| {
+                let words = warp.read_slab(slab);
+                let preds = Lanes::from_fn(|i| words.get(i) == 0);
+                out.store(warp.ballot(&preds), std::sync::atomic::Ordering::Relaxed);
+            });
+            out.into_inner()
+        })
+    });
+}
+
+criterion_group!(benches, bench_slab_hash_ops, bench_allocator, bench_warp_primitives);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper experiment; see DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    bench::experiments::fig2_load_factor().emit();
+}

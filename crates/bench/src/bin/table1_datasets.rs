@@ -1,0 +1,4 @@
+//! Regenerates the paper experiment; see DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    bench::experiments::table1().emit();
+}

@@ -1,0 +1,210 @@
+//! Shared measurement and reporting utilities.
+
+use gpu_sim::{CostModel, CounterSnapshot, Device};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured phase: host wall-clock plus modeled GPU time derived from
+/// the counter delta.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Measurement {
+    pub wall_s: f64,
+    pub modeled_s: f64,
+    #[serde(skip)]
+    pub counters: CounterSnapshot,
+}
+
+impl Measurement {
+    /// Throughput in millions of items per *modeled* second — the unit of
+    /// the paper's rate tables (MEdges/s, MVertex/s).
+    pub fn mrate(&self, items: u64) -> f64 {
+        if self.modeled_s <= 0.0 {
+            return 0.0;
+        }
+        items as f64 / self.modeled_s / 1e6
+    }
+
+    /// Modeled milliseconds (the unit of the paper's time tables).
+    pub fn modeled_ms(&self) -> f64 {
+        self.modeled_s * 1e3
+    }
+}
+
+impl Measurement {
+    /// Manual measurement for operations that need `&mut` access to the
+    /// structure owning the device: snapshot counters and clock first,
+    /// run the operation, then call this with the same device.
+    pub fn complete(dev: &Device, before: CounterSnapshot, t0: Instant) -> Measurement {
+        let delta = dev.counters().snapshot().delta(&before);
+        Measurement {
+            wall_s: t0.elapsed().as_secs_f64(),
+            modeled_s: CostModel::titan_v().seconds(&delta),
+            counters: delta,
+        }
+    }
+}
+
+/// Run `f` against `dev`, returning wall + modeled time for exactly the
+/// counters `f` charged.
+pub fn measure(dev: &Device, f: impl FnOnce()) -> Measurement {
+    let model = CostModel::titan_v();
+    let before = dev.counters().snapshot();
+    let t0 = Instant::now();
+    f();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let delta = dev.counters().snapshot().delta(&before);
+    Measurement {
+        wall_s,
+        modeled_s: model.seconds(&delta),
+        counters: delta,
+    }
+}
+
+/// Global scale shift from `BENCH_SCALE_SHIFT` (each step doubles sizes).
+pub fn scale_shift() -> u32 {
+    std::env::var("BENCH_SCALE_SHIFT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A printable experiment table that also serialises to JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling, substitutions) recorded with the data.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+            notes: vec![],
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout and persist JSON under `target/experiments/`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = std::path::Path::new("target/experiments");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.id));
+            if let Ok(json) = serde_json::to_string_pretty(self) {
+                let _ = std::fs::write(path, json);
+            }
+        }
+    }
+}
+
+/// Format a float with sensible precision for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_captures_counters() {
+        let dev = Device::new(1 << 12);
+        let p = dev.alloc_words(32, 32);
+        let m = measure(&dev, || {
+            dev.memset(p, 32, 1);
+        });
+        assert_eq!(m.counters.transactions, 1);
+        assert!(m.modeled_s > 0.0);
+        assert!(m.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn mrate_inverts_modeled_time() {
+        let m = Measurement {
+            wall_s: 0.0,
+            modeled_s: 0.5,
+            counters: CounterSnapshot::default(),
+        };
+        assert_eq!(m.mrate(1_000_000), 2.0);
+        assert_eq!(m.modeled_ms(), 500.0);
+    }
+
+    #[test]
+    fn table_renders_and_guards_arity() {
+        let mut t = Table::new("t0", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("scaled");
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("note: scaled"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t0", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(1.23456), "1.235");
+    }
+}

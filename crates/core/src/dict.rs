@@ -1,0 +1,278 @@
+//! The vertex dictionary (paper §III, §IV-A1).
+//!
+//! A device-resident array indexed by vertex id. Each entry is three words:
+//!
+//! ```text
+//! word 0: base address of the vertex's hash-table base slabs (NULL_ADDR if
+//!         the vertex's table has not been constructed yet)
+//! word 1: number of buckets
+//! word 2: exact live-edge count
+//! ```
+//!
+//! Growing past capacity performs the paper's *shallow copy*: only these
+//! three words per vertex move; the hash tables themselves stay put.
+
+use gpu_sim::{Addr, Device, Lanes, Warp, NULL_ADDR, SLAB_WORDS};
+use slab_hash::{TableDesc, TableKind};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Words per dictionary entry.
+pub const ENTRY_WORDS: u32 = 3;
+
+/// Device-resident vertex dictionary.
+pub struct VertexDict {
+    base: AtomicU32,
+    capacity: AtomicU32,
+    kind: TableKind,
+}
+
+impl VertexDict {
+    /// Allocate a dictionary for `capacity` vertices, all entries
+    /// uninitialised (`NULL_ADDR` table pointer).
+    pub fn new(dev: &Device, kind: TableKind, capacity: u32) -> Self {
+        let capacity = capacity.max(1);
+        let base = Self::alloc_entries(dev, capacity);
+        VertexDict {
+            base: AtomicU32::new(base),
+            capacity: AtomicU32::new(capacity),
+            kind,
+        }
+    }
+
+    fn alloc_entries(dev: &Device, capacity: u32) -> Addr {
+        let words = (capacity * ENTRY_WORDS) as usize;
+        let base = dev.alloc_words(words, SLAB_WORDS);
+        // Initialise every table pointer to NULL and counts to zero.
+        // (Charged as a device memset — part of construction cost.)
+        dev.memset(base, words, 0);
+        for v in 0..capacity {
+            dev.arena().store(base + v * ENTRY_WORDS, NULL_ADDR);
+        }
+        base
+    }
+
+    /// Current vertex capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    /// The table kind stored in every entry.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Device address of vertex `v`'s entry.
+    #[inline]
+    pub fn entry_addr(&self, v: u32) -> Addr {
+        debug_assert!(v < self.capacity(), "vertex {v} out of capacity");
+        self.base.load(Ordering::Acquire) + v * ENTRY_WORDS
+    }
+
+    /// Device address of vertex `v`'s edge-count word.
+    #[inline]
+    pub fn count_addr(&self, v: u32) -> Addr {
+        self.entry_addr(v) + 2
+    }
+
+    /// Grow capacity to at least `needed`, shallow-copying entries
+    /// (paper §IV-A1: "only requires shallow copying of the pointers").
+    /// Charged as a coalesced device-to-device copy.
+    pub fn grow(&self, dev: &Device, needed: u32) {
+        let old_cap = self.capacity();
+        if needed <= old_cap {
+            return;
+        }
+        let new_cap = needed.max(old_cap * 2);
+        let new_base = Self::alloc_entries(dev, new_cap);
+        let old_base = self.base.load(Ordering::Acquire);
+        let words = (old_cap * ENTRY_WORDS) as usize;
+        // Copy kernel: read + write, coalesced.
+        dev.counters().add_launches(1);
+        dev.counters()
+            .add_transactions(2 * (words as u64).div_ceil(SLAB_WORDS as u64));
+        for i in 0..words as u32 {
+            let w = dev.arena().load(old_base + i);
+            dev.arena().store(new_base + i, w);
+        }
+        self.base.store(new_base, Ordering::Release);
+        self.capacity.store(new_cap, Ordering::Release);
+    }
+
+    /// Host-side (uncharged) read of vertex `v`'s table descriptor, or
+    /// `None` if the vertex has no constructed table yet.
+    pub fn desc_host(&self, dev: &Device, v: u32) -> Option<TableDesc> {
+        if v >= self.capacity() {
+            return None;
+        }
+        let e = self.entry_addr(v);
+        let base = dev.arena().load(e);
+        if base == NULL_ADDR {
+            return None;
+        }
+        Some(TableDesc {
+            kind: self.kind,
+            base,
+            num_buckets: dev.arena().load(e + 1),
+        })
+    }
+
+    /// Host-side (uncharged) read of vertex `v`'s live-edge count.
+    pub fn count_host(&self, dev: &Device, v: u32) -> u32 {
+        if v >= self.capacity() {
+            return 0;
+        }
+        dev.arena().load(self.count_addr(v))
+    }
+
+    /// Warp-side (charged) read of vertex `v`'s descriptor. One scattered
+    /// read covering the entry's three words.
+    pub fn desc(&self, warp: &Warp, v: u32) -> Option<TableDesc> {
+        let e = self.entry_addr(v);
+        let addrs = Lanes::from_fn(|i| e + (i as u32).min(ENTRY_WORDS - 1));
+        let words = warp.read_lanes(&addrs, 0b11);
+        let base = words.get(0);
+        if base == NULL_ADDR {
+            return None;
+        }
+        Some(TableDesc {
+            kind: self.kind,
+            base,
+            num_buckets: words.get(1),
+        })
+    }
+
+    /// Install a table for vertex `v` (bulk/incremental build, vertex
+    /// insertion). Host-side store; the allocation itself is charged by
+    /// the caller.
+    pub fn install_host(&self, dev: &Device, v: u32, base: Addr, num_buckets: u32) {
+        let e = self.entry_addr(v);
+        dev.arena().store(e, base);
+        dev.arena().store(e + 1, num_buckets);
+        dev.arena().store(e + 2, 0);
+    }
+
+    /// Warp-side lazy table install: CAS the base pointer from NULL. If the
+    /// CAS is lost, the winner's descriptor is returned and `fresh_base`
+    /// should be released by the caller.
+    pub fn try_install(
+        &self,
+        warp: &Warp,
+        v: u32,
+        fresh_base: Addr,
+        num_buckets: u32,
+    ) -> Result<TableDesc, TableDesc> {
+        let e = self.entry_addr(v);
+        match warp.atomic_cas(e, NULL_ADDR, fresh_base) {
+            Ok(_) => {
+                warp.write_word(e + 1, num_buckets);
+                Ok(TableDesc {
+                    kind: self.kind,
+                    base: fresh_base,
+                    num_buckets,
+                })
+            }
+            Err(winner_base) => {
+                // Winner may not have published bucket count yet; for the
+                // lazy path the count is always 1 (unknown degree ⇒ one
+                // bucket, paper §III-b).
+                Err(TableDesc {
+                    kind: self.kind,
+                    base: winner_base,
+                    num_buckets: 1,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(1 << 18)
+    }
+
+    #[test]
+    fn fresh_dict_has_null_entries() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 16);
+        for v in 0..16 {
+            assert!(dict.desc_host(&d, v).is_none());
+            assert_eq!(dict.count_host(&d, v), 0);
+        }
+    }
+
+    #[test]
+    fn install_and_read_back() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 4);
+        dict.install_host(&d, 2, 0x1000, 7);
+        let t = dict.desc_host(&d, 2).unwrap();
+        assert_eq!(t.base, 0x1000);
+        assert_eq!(t.num_buckets, 7);
+        assert_eq!(t.kind, TableKind::Map);
+        assert!(dict.desc_host(&d, 1).is_none());
+    }
+
+    #[test]
+    fn grow_preserves_entries() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Set, 2);
+        dict.install_host(&d, 0, 0x40, 3);
+        dict.install_host(&d, 1, 0x80, 5);
+        d.arena().store(dict.count_addr(1), 99);
+        dict.grow(&d, 100);
+        assert!(dict.capacity() >= 100);
+        assert_eq!(dict.desc_host(&d, 0).unwrap().base, 0x40);
+        assert_eq!(dict.desc_host(&d, 1).unwrap().num_buckets, 5);
+        assert_eq!(dict.count_host(&d, 1), 99);
+        assert!(dict.desc_host(&d, 50).is_none(), "new entries start null");
+    }
+
+    #[test]
+    fn grow_is_noop_within_capacity() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 8);
+        let before = dict.capacity();
+        dict.grow(&d, 4);
+        assert_eq!(dict.capacity(), before);
+    }
+
+    #[test]
+    fn warp_desc_reads_installed_entry() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 4);
+        dict.install_host(&d, 3, 0x2000, 9);
+        let got = parking_lot::Mutex::new(None);
+        d.launch_warps(1, |warp| {
+            *got.lock() = dict.desc(warp, 3);
+        });
+        let t = got.into_inner().unwrap();
+        assert_eq!(t.base, 0x2000);
+        assert_eq!(t.num_buckets, 9);
+    }
+
+    #[test]
+    fn try_install_races_resolve_to_one_winner() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 4);
+        let results = parking_lot::Mutex::new(vec![]);
+        d.launch_warps(8, |warp| {
+            let fresh = 0x100 + warp.warp_id() * 0x20;
+            let r = dict.try_install(warp, 1, fresh, 1);
+            results.lock().push(r.is_ok());
+        });
+        let results = results.into_inner();
+        assert_eq!(results.iter().filter(|r| **r).count(), 1, "one winner");
+        assert!(dict.desc_host(&d, 1).is_some());
+    }
+
+    #[test]
+    fn count_addr_is_third_word() {
+        let d = dev();
+        let dict = VertexDict::new(&d, TableKind::Map, 4);
+        assert_eq!(dict.count_addr(0), dict.entry_addr(0) + 2);
+        assert_eq!(dict.entry_addr(1) - dict.entry_addr(0), ENTRY_WORDS);
+    }
+}

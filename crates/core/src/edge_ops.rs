@@ -1,0 +1,342 @@
+//! Batched edge insertion and deletion — the paper's Algorithm 1.
+//!
+//! Each thread (lane) owns one edge. A warp-level work queue built from a
+//! `ballot` repeatedly elects the first unfinished lane, broadcasts its
+//! source vertex with a `shuffle`, and groups every lane holding the same
+//! source so their updates hit the same hash table in coalesced fashion.
+//! The slab-hash `replace` / `delete` return booleans; a `popc` over their
+//! ballot maintains exact per-vertex edge counts (Algorithm 1, line 10).
+
+use crate::graph::{iter_bits, DynGraph, Edge};
+use gpu_sim::{Lanes, Warp, WARP_SIZE};
+use slab_hash::TableKind;
+
+/// What a batch kernel should do with each edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeOp {
+    Insert,
+    Delete,
+}
+
+impl DynGraph {
+    /// Batched edge insertion (§IV-C1, Algorithm 1).
+    ///
+    /// Duplicates are permitted both within the batch and against the graph;
+    /// the structure keeps unique destinations per vertex, retaining the most
+    /// recent weight (`replace` semantics). Self-loops are skipped. For
+    /// undirected graphs the reverse edges are inserted in the same batch.
+    ///
+    /// Returns the number of edges that were *new* (not replacements),
+    /// summed over direction-mirrored copies.
+    pub fn insert_edges(&self, edges: &[Edge]) -> u64 {
+        let work = self.apply_direction(edges);
+        self.run_edge_kernel(&work, EdgeOp::Insert)
+    }
+
+    /// Batched edge deletion (§IV-C2).
+    ///
+    /// Deletion tombstones the destination key in the source's table; the
+    /// returned boolean per edge decrements the exact edge count. Returns
+    /// the number of edges actually deleted.
+    pub fn delete_edges(&self, edges: &[Edge]) -> u64 {
+        let work = self.apply_direction(edges);
+        self.run_edge_kernel(&work, EdgeOp::Delete)
+    }
+
+    /// Shared WCWS kernel for insert/delete.
+    fn run_edge_kernel(&self, edges: &[Edge], op: EdgeOp) -> u64 {
+        if edges.is_empty() {
+            return 0;
+        }
+        for e in edges {
+            self.check_vertex(e.src);
+            self.check_vertex(e.dst);
+        }
+        let n = edges.len();
+        let srcs: Vec<u32> = edges.iter().map(|e| e.src).collect();
+        let dsts: Vec<u32> = edges.iter().map(|e| e.dst).collect();
+        let src_buf = self.upload(&srcs, u32::MAX);
+        let dst_buf = self.upload(&dsts, u32::MAX);
+        let weight_buf = if self.config.kind == TableKind::Map {
+            let ws: Vec<u32> = edges.iter().map(|e| e.weight).collect();
+            Some(self.upload(&ws, 0))
+        } else {
+            None
+        };
+        let changed_total = self.dev.alloc_words(1, 1);
+        self.dev.arena().store(changed_total, 0);
+
+        self.dev.launch_tasks(n, |warp| {
+            let base = warp.warp_id() * WARP_SIZE as u32;
+            // Coalesced loads of this warp's 32 edges.
+            let srcs = warp.read_slab(src_buf + base);
+            let dsts = warp.read_slab(dst_buf + base);
+            let weights = weight_buf
+                .map(|wb| warp.read_slab(wb + base))
+                .unwrap_or_default();
+
+            // Line 3: no self-edges.
+            let mut pending = Lanes::from_fn(|i| {
+                warp.is_active(i) && srcs.get(i) != dsts.get(i)
+            });
+
+            // Lines 4–14: warp work queue.
+            loop {
+                let work_queue = warp.ballot(&pending);
+                let Some(current_lane) = gpu_sim::ffs(work_queue) else {
+                    break;
+                };
+                let current_src = warp.shuffle(&srcs, current_lane);
+                let same_src =
+                    pending.zip_with(&srcs, |p, s| p && s == current_src);
+                let group = warp.ballot(&same_src);
+
+                let desc = match op {
+                    EdgeOp::Insert => self.desc_or_create(warp, current_src),
+                    EdgeOp::Delete => match self.dict.desc(warp, current_src) {
+                        Some(d) => d,
+                        None => {
+                            // Nothing to delete from an untouched vertex.
+                            pending = pending.zip_with(&same_src, |p, s| p && !s);
+                            continue;
+                        }
+                    },
+                };
+
+                // Lines 8–9: coalesced group operation + success ballot.
+                let mut success = Lanes::splat(false);
+                for lane in iter_bits(group) {
+                    let li = lane as usize;
+                    let ok = match op {
+                        EdgeOp::Insert if self.config.recycle_tombstones => desc
+                            .insert_recycling(
+                                warp,
+                                &self.alloc,
+                                dsts.get(li),
+                                weights.get(li),
+                            ),
+                        EdgeOp::Insert => match self.config.kind {
+                            TableKind::Map => self.alloc_replace(
+                                warp,
+                                &desc,
+                                dsts.get(li),
+                                weights.get(li),
+                            ),
+                            TableKind::Set => {
+                                desc.insert_unique(warp, &self.alloc, dsts.get(li))
+                            }
+                        },
+                        EdgeOp::Delete => desc.delete(warp, dsts.get(li)),
+                    };
+                    success.set(li, ok);
+                }
+
+                // Line 10: exact count via popc(ballot(success)).
+                let added_count = gpu_sim::popc(warp.ballot(&success));
+                if added_count > 0 {
+                    let count_addr = self.dict.count_addr(current_src);
+                    match op {
+                        EdgeOp::Insert => {
+                            warp.atomic_add(count_addr, added_count);
+                        }
+                        EdgeOp::Delete => {
+                            warp.atomic_sub(count_addr, added_count);
+                        }
+                    }
+                    warp.atomic_add(changed_total, added_count);
+                }
+
+                // Lines 11–13: retire the completed group.
+                pending = pending.zip_with(&same_src, |p, s| p && !s);
+            }
+        });
+
+        self.dev.arena().load(changed_total) as u64
+    }
+
+    fn alloc_replace(
+        &self,
+        warp: &Warp,
+        desc: &slab_hash::TableDesc,
+        dst: u32,
+        weight: u32,
+    ) -> bool {
+        desc.replace(warp, &self.alloc, dst, weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphConfig;
+
+    fn graph(cap: u32) -> DynGraph {
+        DynGraph::with_uniform_buckets(GraphConfig::directed_map(cap), cap, 1)
+    }
+
+    #[test]
+    fn insert_single_edge() {
+        let g = graph(4);
+        assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 5)]), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+    }
+
+    #[test]
+    fn self_loops_are_skipped() {
+        let g = graph(4);
+        assert_eq!(g.insert_edges(&[Edge::new(2, 2)]), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_in_batch_stored_once() {
+        let g = graph(4);
+        let batch = vec![
+            Edge::weighted(0, 1, 1),
+            Edge::weighted(0, 1, 2),
+            Edge::weighted(0, 1, 3),
+        ];
+        let added = g.insert_edges(&batch);
+        assert_eq!(added, 1, "one unique edge");
+        assert_eq!(g.degree(0), 1, "exact count maintained");
+        // The surviving weight is one of the batch's weights (the batch is
+        // unordered on a GPU; with the sequential executor it is the last
+        // group member processed).
+        let w = g.edge_weight(0, 1).unwrap();
+        assert!((1..=3).contains(&w));
+    }
+
+    #[test]
+    fn duplicates_against_graph_replace_weight() {
+        let g = graph(4);
+        g.insert_edges(&[Edge::weighted(1, 2, 10)]);
+        let added = g.insert_edges(&[Edge::weighted(1, 2, 99)]);
+        assert_eq!(added, 0, "replacement is not a new edge");
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.edge_weight(1, 2), Some(99), "most recent weight kept");
+    }
+
+    #[test]
+    fn batch_larger_than_one_warp() {
+        let cap = 100u32;
+        let g = graph(cap);
+        let batch: Vec<Edge> = (0..cap)
+            .flat_map(|u| (0..cap).filter(move |&v| v != u).map(move |v| Edge::new(u, v)))
+            .collect();
+        let added = g.insert_edges(&batch);
+        assert_eq!(added, (cap as u64) * (cap as u64 - 1));
+        for v in 0..cap {
+            assert_eq!(g.degree(v), cap - 1, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn mixed_sources_within_one_warp_group_correctly() {
+        let g = graph(8);
+        // 32 edges alternating between 4 sources → the work-queue loop must
+        // group each source's lanes together.
+        let batch: Vec<Edge> = (0..32u32)
+            .map(|i| Edge::weighted(i % 4, 4 + (i / 4) % 4, i))
+            .collect();
+        g.insert_edges(&batch);
+        for src in 0..4 {
+            assert_eq!(g.degree(src), 4, "source {src} has 4 unique dsts");
+        }
+    }
+
+    #[test]
+    fn delete_removes_and_counts() {
+        let g = graph(4);
+        g.insert_edges(&[Edge::new(0, 1), Edge::new(0, 2), Edge::new(0, 3)]);
+        let removed = g.delete_edges(&[Edge::new(0, 2)]);
+        assert_eq!(removed, 1);
+        assert_eq!(g.degree(0), 2);
+        assert!(!g.edge_exists(0, 2));
+        assert!(g.edge_exists(0, 1));
+    }
+
+    #[test]
+    fn deleting_absent_edge_is_noop() {
+        let g = graph(4);
+        g.insert_edges(&[Edge::new(0, 1)]);
+        assert_eq!(g.delete_edges(&[Edge::new(0, 3)]), 0);
+        assert_eq!(g.delete_edges(&[Edge::new(2, 1)]), 0, "untouched source");
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn duplicate_deletes_in_batch_count_once() {
+        let g = graph(4);
+        g.insert_edges(&[Edge::new(0, 1)]);
+        let removed = g.delete_edges(&[Edge::new(0, 1), Edge::new(0, 1)]);
+        assert_eq!(removed, 1);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn undirected_inserts_both_directions() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_map(4), 4, 1);
+        let added = g.insert_edges(&[Edge::weighted(0, 1, 7)]);
+        assert_eq!(added, 2, "both half-edges new");
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.edge_exists(0, 1));
+        assert!(g.edge_exists(1, 0));
+        let removed = g.delete_edges(&[Edge::new(1, 0)]);
+        assert_eq!(removed, 2, "undirected delete removes both half-edges");
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn set_variant_ignores_weights() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_set(4), 4, 1);
+        assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 42)]), 1);
+        assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 43)]), 0);
+        assert!(g.edge_exists(0, 1));
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn insert_after_delete_reinserts() {
+        let g = graph(4);
+        g.insert_edges(&[Edge::weighted(0, 1, 1)]);
+        g.delete_edges(&[Edge::new(0, 1)]);
+        let added = g.insert_edges(&[Edge::weighted(0, 1, 2)]);
+        assert_eq!(added, 1, "tombstoned key reinserted as new");
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+    }
+
+    #[test]
+    fn lazy_vertex_table_creation_on_insert() {
+        // A graph built with NO pre-installed tables: first insert must
+        // construct a single-bucket table from the dynamic pool.
+        let g = DynGraph::new(GraphConfig::directed_map(4));
+        assert!(g.dict().desc_host(g.device(), 0).is_none());
+        g.insert_edges(&[Edge::new(0, 1)]);
+        let t = g.dict().desc_host(g.device(), 0).unwrap();
+        assert_eq!(t.num_buckets, 1);
+        assert!(g.edge_exists(0, 1));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let g = graph(4);
+        assert_eq!(g.insert_edges(&[]), 0);
+        assert_eq!(g.delete_edges(&[]), 0);
+    }
+
+    #[test]
+    fn high_degree_vertex_chains_slabs() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(2000), 2000, 1);
+        let batch: Vec<Edge> = (1..1000).map(|v| Edge::weighted(0, v, v)).collect();
+        g.insert_edges(&batch);
+        assert_eq!(g.degree(0), 999);
+        for v in (1..1000).step_by(97) {
+            assert_eq!(g.edge_weight(0, v), Some(v), "dst {v}");
+        }
+        assert!(g.allocator().live_slabs() >= 60, "chained many slabs");
+    }
+}

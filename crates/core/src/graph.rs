@@ -1,0 +1,362 @@
+//! The dynamic graph structure itself (paper §III–IV).
+
+use crate::config::{Direction, GraphConfig};
+use crate::dict::VertexDict;
+use gpu_sim::{Addr, Device, Warp, SLAB_WORDS};
+use slab_alloc::SlabAllocator;
+use slab_hash::{buckets_for, TableDesc, EMPTY_KEY, MAX_KEY};
+
+/// A weighted directed edge ⟨src, dst, weight⟩. For set-kind graphs the
+/// weight is ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub src: u32,
+    pub dst: u32,
+    pub weight: u32,
+}
+
+impl Edge {
+    /// Unweighted edge (weight 0).
+    pub fn new(src: u32, dst: u32) -> Self {
+        Edge {
+            src,
+            dst,
+            weight: 0,
+        }
+    }
+
+    /// Weighted edge.
+    pub fn weighted(src: u32, dst: u32, weight: u32) -> Self {
+        Edge { src, dst, weight }
+    }
+
+    /// The same edge in the opposite direction (same weight).
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((src, dst): (u32, u32)) -> Self {
+        Edge::new(src, dst)
+    }
+}
+
+impl From<(u32, u32, u32)> for Edge {
+    fn from((src, dst, weight): (u32, u32, u32)) -> Self {
+        Edge::weighted(src, dst, weight)
+    }
+}
+
+/// The paper's dynamic graph: a vertex dictionary plus one slab hash table
+/// per vertex adjacency list, over a simulated GPU.
+///
+/// All batched operations (edge/vertex insertion and deletion, queries) are
+/// phase-concurrent kernels following the Warp Cooperative Work Sharing
+/// strategy. See [`crate`] docs for an overview and the `edge_ops` /
+/// `vertex_ops` / `query` modules for the algorithms.
+pub struct DynGraph {
+    pub(crate) dev: Device,
+    pub(crate) alloc: SlabAllocator,
+    pub(crate) dict: VertexDict,
+    pub(crate) config: GraphConfig,
+    /// Ids of deleted vertices available for reuse — the faimGraph
+    /// feature the paper calls "straightforward to implement" (§VI-A3).
+    pub(crate) free_ids: parking_lot::Mutex<Vec<u32>>,
+}
+
+impl DynGraph {
+    /// Create an empty graph. Per-vertex hash tables are constructed
+    /// lazily with a single bucket on first touch (paper §III-b: "if the
+    /// connectivity information for a vertex is not available, we construct
+    /// a hash table with a single bucket").
+    pub fn new(config: GraphConfig) -> Self {
+        let dev = Device::new(config.device_words);
+        let alloc = SlabAllocator::new(&dev, config.pool_slabs);
+        let dict = VertexDict::new(&dev, config.kind, config.vertex_capacity);
+        DynGraph {
+            dev,
+            alloc,
+            dict,
+            config,
+            free_ids: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Create a graph whose first `degrees.len()` vertices get hash tables
+    /// sized from the given expected degrees (paper §III-b: connectivity
+    /// information + load factor determine bucket counts; base slabs for
+    /// *all* vertices are allocated in one bulk region, §IV-A2).
+    pub fn with_degree_hints(config: GraphConfig, degrees: &[u32]) -> Self {
+        let g = Self::new(config);
+        g.install_tables(degrees);
+        g
+    }
+
+    /// Create a graph where the first `n_vertices` vertices each get
+    /// exactly `buckets` buckets — the incremental-build configuration
+    /// (§V-B2: vertex bound known, edges unknown ⇒ one bucket each).
+    pub fn with_uniform_buckets(config: GraphConfig, n_vertices: u32, buckets: u32) -> Self {
+        let g = Self::new(config);
+        g.install_uniform(n_vertices, buckets);
+        g
+    }
+
+    /// Bulk-build from a COO edge list (§V-B1): degrees are counted on the
+    /// host, base slabs are bulk-allocated, and all edges are inserted in
+    /// one batch through the edge-insertion kernel.
+    pub fn bulk_build(config: GraphConfig, edges: &[Edge]) -> Self {
+        let mut degrees = vec![0u32; config.vertex_capacity as usize];
+        for e in edges {
+            if e.src != e.dst {
+                if let Some(d) = degrees.get_mut(e.src as usize) {
+                    *d += 1;
+                }
+                if config.direction == Direction::Undirected {
+                    if let Some(d) = degrees.get_mut(e.dst as usize) {
+                        *d += 1;
+                    }
+                }
+            }
+        }
+        let g = Self::with_degree_hints(config, &degrees);
+        g.insert_edges(edges);
+        g
+    }
+
+    /// Install tables for vertices `0..degrees.len()` sized by expected
+    /// degree, bulk-allocating every base slab in one contiguous region.
+    pub fn install_tables(&self, degrees: &[u32]) {
+        assert!(
+            degrees.len() as u64 <= self.dict.capacity() as u64,
+            "degree hints exceed vertex capacity"
+        );
+        let buckets: Vec<u32> = degrees
+            .iter()
+            .map(|&d| buckets_for(d as usize, self.config.load_factor, self.config.kind))
+            .collect();
+        self.install_with_buckets(&buckets);
+    }
+
+    fn install_uniform(&self, n_vertices: u32, buckets: u32) {
+        assert!(buckets >= 1);
+        assert!(n_vertices <= self.dict.capacity());
+        self.install_with_buckets(&vec![buckets; n_vertices as usize]);
+    }
+
+    fn install_with_buckets(&self, buckets: &[u32]) {
+        let total: u64 = buckets.iter().map(|&b| b as u64).sum();
+        let region = self
+            .dev
+            .alloc_words(total as usize * SLAB_WORDS, SLAB_WORDS);
+        self.dev
+            .memset(region, total as usize * SLAB_WORDS, EMPTY_KEY);
+        let mut cursor = region;
+        for (v, &b) in buckets.iter().enumerate() {
+            self.dict.install_host(&self.dev, v as u32, cursor, b);
+            cursor += b * SLAB_WORDS as u32;
+        }
+    }
+
+    /// The graph's configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// The simulated device (for counters, cost models, and policy).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Mutable device access (to switch execution policy between phases).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+
+    /// The dynamic slab allocator backing collision slabs.
+    pub fn allocator(&self) -> &SlabAllocator {
+        &self.alloc
+    }
+
+    /// The vertex dictionary.
+    pub fn dict(&self) -> &VertexDict {
+        &self.dict
+    }
+
+    /// Current vertex capacity.
+    pub fn vertex_capacity(&self) -> u32 {
+        self.dict.capacity()
+    }
+
+    /// Ids of deleted vertices available for reuse by
+    /// [`Self::take_reusable_id`] (paper §VI-A3: faimGraph's id-recycling
+    /// strategy, implemented here as the paper suggests).
+    pub fn reusable_ids(&self) -> Vec<u32> {
+        self.free_ids.lock().clone()
+    }
+
+    /// Pop a reusable vertex id (its table is empty and ready), if any.
+    pub fn take_reusable_id(&self) -> Option<u32> {
+        self.free_ids.lock().pop()
+    }
+
+    /// Exact number of live edges (sum of per-vertex counts; for
+    /// undirected graphs each edge is counted once per endpoint).
+    pub fn num_edges(&self) -> u64 {
+        (0..self.dict.capacity())
+            .map(|v| self.dict.count_host(&self.dev, v) as u64)
+            .sum()
+    }
+
+    /// Exact live-edge count of one vertex.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.dict.count_host(&self.dev, v)
+    }
+
+    /// Host-side validation that a vertex id is storable.
+    pub(crate) fn check_vertex(&self, v: u32) {
+        assert!(
+            v <= MAX_KEY,
+            "vertex id {v:#x} collides with slab-hash sentinels"
+        );
+    }
+
+    /// Upload a `u32` buffer to device memory (slab-aligned, padded with
+    /// `pad` to a multiple of 32). Host→device transfer is *not* charged,
+    /// matching the paper's measurement methodology ("do not include the
+    /// time required to transfer memory between CPU and GPU").
+    pub(crate) fn upload(&self, data: &[u32], pad: u32) -> Addr {
+        let padded = data.len().div_ceil(SLAB_WORDS) * SLAB_WORDS;
+        let buf = self.dev.alloc_words(padded.max(SLAB_WORDS), SLAB_WORDS);
+        for (i, &w) in data.iter().enumerate() {
+            self.dev.arena().store(buf + i as u32, w);
+        }
+        for i in data.len()..padded {
+            self.dev.arena().store(buf + i as u32, pad);
+        }
+        buf
+    }
+
+    /// Warp-side descriptor lookup that lazily constructs a single-bucket
+    /// table for an untouched vertex (slab from the dynamic pool).
+    pub(crate) fn desc_or_create(&self, warp: &Warp, v: u32) -> TableDesc {
+        if let Some(t) = self.dict.desc(warp, v) {
+            return t;
+        }
+        let fresh = self.alloc.allocate(warp);
+        match self.dict.try_install(warp, v, fresh, 1) {
+            Ok(t) => t,
+            Err(winner) => {
+                self.alloc.free(warp, fresh);
+                winner
+            }
+        }
+    }
+
+    /// Mirror a batch for undirected semantics: every ⟨u,v⟩ gains ⟨v,u⟩.
+    pub(crate) fn apply_direction(&self, edges: &[Edge]) -> Vec<Edge> {
+        match self.config.direction {
+            Direction::Directed => edges.to_vec(),
+            Direction::Undirected => {
+                let mut out = Vec::with_capacity(edges.len() * 2);
+                for &e in edges {
+                    out.push(e);
+                    out.push(e.reversed());
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Iterate the set bits of a warp mask in ascending lane order.
+#[inline]
+pub(crate) fn iter_bits(mask: u32) -> impl Iterator<Item = u32> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            Some(b)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphConfig;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::weighted(1, 2, 9);
+        assert_eq!(e.reversed(), Edge::weighted(2, 1, 9));
+        assert_eq!(Edge::from((3u32, 4u32)), Edge::new(3, 4));
+        assert_eq!(Edge::from((3u32, 4u32, 5u32)), Edge::weighted(3, 4, 5));
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = DynGraph::new(GraphConfig::directed_map(10));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.vertex_capacity(), 10);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn degree_hints_create_sized_tables() {
+        let g = DynGraph::with_degree_hints(GraphConfig::directed_map(4), &[100, 0, 10, 1]);
+        // lf=0.7, Bc=15 → 100 keys need ⌈100/10.5⌉=10 buckets.
+        assert_eq!(g.dict().desc_host(g.device(), 0).unwrap().num_buckets, 10);
+        assert_eq!(g.dict().desc_host(g.device(), 1).unwrap().num_buckets, 1);
+        assert_eq!(g.dict().desc_host(g.device(), 2).unwrap().num_buckets, 1);
+    }
+
+    #[test]
+    fn base_slabs_are_contiguous() {
+        // §IV-A2: base slabs statically allocated in consecutive memory.
+        let g = DynGraph::with_degree_hints(GraphConfig::directed_map(3), &[20, 20, 20]);
+        let t0 = g.dict().desc_host(g.device(), 0).unwrap();
+        let t1 = g.dict().desc_host(g.device(), 1).unwrap();
+        let t2 = g.dict().desc_host(g.device(), 2).unwrap();
+        assert_eq!(
+            t1.base,
+            t0.base + t0.num_buckets * SLAB_WORDS as u32,
+            "vertex 1 base follows vertex 0"
+        );
+        assert_eq!(t2.base, t1.base + t1.num_buckets * SLAB_WORDS as u32);
+    }
+
+    #[test]
+    fn uniform_buckets_builds_single_bucket_tables() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(8), 8, 1);
+        for v in 0..8 {
+            assert_eq!(g.dict().desc_host(g.device(), v).unwrap().num_buckets, 1);
+        }
+    }
+
+    #[test]
+    fn iter_bits_ascending() {
+        let bits: Vec<u32> = iter_bits(0b1010_0110).collect();
+        assert_eq!(bits, vec![1, 2, 5, 7]);
+        assert_eq!(iter_bits(0).count(), 0);
+        assert_eq!(iter_bits(u32::MAX).count(), 32);
+    }
+
+    #[test]
+    fn apply_direction_mirrors_for_undirected() {
+        let g = DynGraph::new(GraphConfig::undirected_map(4));
+        let out = g.apply_direction(&[Edge::weighted(0, 1, 7)]);
+        assert_eq!(out, vec![Edge::weighted(0, 1, 7), Edge::weighted(1, 0, 7)]);
+        let g = DynGraph::new(GraphConfig::directed_map(4));
+        assert_eq!(g.apply_direction(&[Edge::new(0, 1)]).len(), 1);
+    }
+}

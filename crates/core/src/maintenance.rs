@@ -1,0 +1,237 @@
+//! Structure maintenance: tombstone flushing and rehashing.
+//!
+//! The paper points at both operations without implementing them in the
+//! measured path: "Tombstones can later be completely flushed out of the
+//! data structure, if required" (§IV-C2) and "in practice we can maintain
+//! low-cost metrics per vertex to determine the chain-length and
+//! periodically perform rehashing if it exceeds a given threshold" (§III).
+//! This module provides both.
+
+use crate::graph::DynGraph;
+use gpu_sim::SLAB_WORDS;
+use slab_hash::{buckets_for, TableDesc, TableKind, EMPTY_KEY};
+
+impl DynGraph {
+    /// Flush tombstones from every vertex's hash table: each table's live
+    /// entries are collected, its chains are reset to the base slabs
+    /// (collision slabs return to the pool), and the entries reinserted
+    /// densely. Counts are unchanged; queries see the same graph with
+    /// shorter chains and zero tombstones.
+    ///
+    /// Returns the number of tombstones removed.
+    pub fn flush_tombstones(&self) -> u64 {
+        let cap = self.dict.capacity();
+        let removed = std::sync::atomic::AtomicU64::new(0);
+        self.dev.launch_warps(1, |warp| {
+            for v in 0..cap {
+                let Some(desc) = self.dict.desc_host(&self.dev, v) else {
+                    continue;
+                };
+                let stats = desc.stats(warp);
+                if stats.tombstones == 0 {
+                    continue;
+                }
+                removed.fetch_add(stats.tombstones, std::sync::atomic::Ordering::Relaxed);
+                let entries = self.collect_entries(warp, &desc);
+                desc.free_dynamic_slabs(warp, &self.alloc);
+                self.reinsert(warp, &desc, &entries);
+            }
+        });
+        removed.into_inner()
+    }
+
+    /// Rehash every vertex whose average chain length exceeds
+    /// `max_chain` slabs into a table sized for its *current* degree at
+    /// the configured load factor. New base slabs are bulk-allocated; the
+    /// old base slabs are abandoned (static memory is never reclaimed,
+    /// matching §IV-D2), and old collision slabs return to the pool.
+    ///
+    /// Returns the number of vertices rehashed.
+    pub fn rehash_overloaded(&self, max_chain: f64) -> u64 {
+        assert!(max_chain >= 1.0, "chains cannot be shorter than one slab");
+        let cap = self.dict.capacity();
+        let rehashed = std::sync::atomic::AtomicU64::new(0);
+        self.dev.launch_warps(1, |warp| {
+            for v in 0..cap {
+                let Some(desc) = self.dict.desc_host(&self.dev, v) else {
+                    continue;
+                };
+                let stats = desc.stats(warp);
+                if stats.avg_chain() <= max_chain {
+                    continue;
+                }
+                rehashed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let entries = self.collect_entries(warp, &desc);
+                let buckets = buckets_for(
+                    entries.len(),
+                    self.config.load_factor,
+                    self.config.kind,
+                );
+                let base = self
+                    .dev
+                    .alloc_words(TableDesc::base_words(buckets), SLAB_WORDS);
+                self.dev
+                    .memset(base, TableDesc::base_words(buckets), EMPTY_KEY);
+                // Free the old chains before republishing the pointer.
+                desc.free_dynamic_slabs(warp, &self.alloc);
+                let new_desc = TableDesc {
+                    kind: self.config.kind,
+                    base,
+                    num_buckets: buckets,
+                };
+                self.reinsert(warp, &new_desc, &entries);
+                self.dict.install_host(&self.dev, v, base, buckets);
+                // install_host zeroes the count; restore the exact value.
+                self.dev
+                    .arena()
+                    .store(self.dict.count_addr(v), entries.len() as u32);
+            }
+        });
+        rehashed.into_inner()
+    }
+
+    fn collect_entries(&self, warp: &gpu_sim::Warp, desc: &TableDesc) -> Vec<(u32, u32)> {
+        let mut entries = Vec::new();
+        match desc.kind {
+            TableKind::Map => desc.for_each_pair(warp, |k, v| entries.push((k, v))),
+            TableKind::Set => desc.for_each_key(warp, |k| entries.push((k, 0))),
+        }
+        entries
+    }
+
+    fn reinsert(&self, warp: &gpu_sim::Warp, desc: &TableDesc, entries: &[(u32, u32)]) {
+        for &(k, v) in entries {
+            match desc.kind {
+                TableKind::Map => {
+                    desc.replace(warp, &self.alloc, k, v);
+                }
+                TableKind::Set => {
+                    desc.insert_unique(warp, &self.alloc, k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GraphConfig;
+    use crate::graph::{DynGraph, Edge};
+
+    fn churned_graph() -> DynGraph {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(64), 64, 1);
+        let ins: Vec<Edge> = (0..8u32)
+            .flat_map(|u| (0..50u32).map(move |i| Edge::weighted(u, 8 + (u + i) % 56, i)))
+            .collect();
+        g.insert_edges(&ins);
+        let del: Vec<Edge> = (0..8u32)
+            .flat_map(|u| (0..25u32).map(move |i| Edge::new(u, 8 + (u + i * 2) % 56)))
+            .collect();
+        g.delete_edges(&del);
+        g
+    }
+
+    #[test]
+    fn flush_removes_all_tombstones_and_preserves_graph() {
+        let g = churned_graph();
+        let before_stats = g.stats();
+        assert!(before_stats.tables.tombstones > 0, "fixture has tombstones");
+        let snapshot: Vec<Vec<(u32, u32)>> = (0..64)
+            .map(|v| {
+                let mut n = g.neighbors(v);
+                n.sort_unstable();
+                n
+            })
+            .collect();
+
+        let removed = g.flush_tombstones();
+        assert_eq!(removed, before_stats.tables.tombstones);
+        let after = g.stats();
+        assert_eq!(after.tables.tombstones, 0);
+        assert_eq!(after.tables.live_keys, before_stats.tables.live_keys);
+        assert!(after.tables.slabs <= before_stats.tables.slabs, "chains shrank");
+
+        for v in 0..64 {
+            let mut n = g.neighbors(v);
+            n.sort_unstable();
+            assert_eq!(n, snapshot[v as usize], "vertex {v} changed");
+        }
+        g.check_invariants();
+        assert_eq!(g.flush_tombstones(), 0, "idempotent");
+    }
+
+    #[test]
+    fn rehash_shortens_chains_and_preserves_graph() {
+        // Single-bucket tables with high degree → long chains.
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(16), 16, 1);
+        let ins: Vec<Edge> = (0..200u32).map(|i| Edge::weighted(0, 1 + i % 15, i)).collect();
+        g.insert_edges(&ins);
+        let before = g.stats();
+        let chain_before = before.tables.max_chain;
+        assert!(chain_before >= 1);
+        let snapshot = {
+            let mut n = g.neighbors(0);
+            n.sort_unstable();
+            n
+        };
+
+        // Vertex 0 has 15 unique dsts in 1 bucket (1 slab chain of 1): add
+        // enough churn to force multi-slab chains first.
+        let more: Vec<Edge> = (0..300u32).map(|i| Edge::weighted(0, 100 + i % 200, i)).collect();
+        g.insert_edges(&more);
+        let loaded = g.stats();
+        assert!(loaded.tables.max_chain > 2, "chain built up");
+
+        let rehashed = g.rehash_overloaded(2.0);
+        assert!(rehashed >= 1, "vertex 0 rehashed");
+        let after = g.stats();
+        assert!(after.tables.max_chain <= loaded.tables.max_chain);
+        assert!(after.avg_chain() < loaded.avg_chain());
+
+        let mut n0 = g.neighbors(0);
+        n0.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = snapshot;
+        for e in &more {
+            let w = more.iter().rfind(|m| m.dst == e.dst).unwrap().weight;
+            if !expect.iter().any(|&(d, _)| d == e.dst) {
+                expect.push((e.dst, w));
+            }
+        }
+        expect.sort_unstable();
+        // Weights of churned duplicates: compare destination sets instead.
+        let dsts: Vec<u32> = n0.iter().map(|&(d, _)| d).collect();
+        let expect_dsts: Vec<u32> = expect.iter().map(|&(d, _)| d).collect();
+        assert_eq!(dsts, expect_dsts);
+        assert_eq!(g.degree(0), dsts.len() as u32, "exact count preserved");
+        g.check_invariants();
+    }
+
+    #[test]
+    fn recycling_config_reuses_memory() {
+        // Ablation (paper §IV-C2): with recycling on, reinserting after
+        // deletion allocates no new slabs; with it off, chains grow.
+        let run = |recycle: bool| {
+            let mut cfg = GraphConfig::directed_map(8);
+            if recycle {
+                cfg = cfg.with_tombstone_recycling();
+            }
+            let g = DynGraph::with_uniform_buckets(cfg, 8, 1);
+            for round in 0..6u32 {
+                let ins: Vec<Edge> = (0..60u32)
+                    .map(|i| Edge::weighted(0, 1 + ((round * 60 + i) % 200), i))
+                    .collect();
+                g.insert_edges(&ins);
+                let del: Vec<Edge> = ins.iter().map(|e| Edge::new(e.src, e.dst)).collect();
+                g.delete_edges(&del);
+            }
+            g.check_invariants();
+            g.stats().tables.slabs
+        };
+        let standard = run(false);
+        let recycling = run(true);
+        assert!(
+            recycling < standard,
+            "recycling ({recycling} slabs) must use fewer slabs than standard ({standard})"
+        );
+    }
+}

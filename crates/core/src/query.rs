@@ -1,0 +1,175 @@
+//! Query operations (paper §IV-B): `edgeExist`, weight lookup, and the
+//! adjacency-list iterator.
+//!
+//! Queries are phase-concurrent with respect to updates: they run in their
+//! own kernels. Batched queries use the same WCWS grouping as Algorithm 1
+//! so that lookups hitting the same source vertex are coalesced.
+
+use crate::graph::{iter_bits, DynGraph};
+use gpu_sim::{Lanes, WARP_SIZE};
+use slab_hash::TableKind;
+
+impl DynGraph {
+    /// Single edge-existence query (`edgeExist`, §IV-B). Runs a one-warp
+    /// kernel; prefer [`Self::edges_exist`] for batches.
+    pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
+        self.edges_exist(&[(src, dst)])[0]
+    }
+
+    /// Single edge-weight lookup (map graphs).
+    pub fn edge_weight(&self, src: u32, dst: u32) -> Option<u32> {
+        assert_eq!(
+            self.config.kind,
+            TableKind::Map,
+            "edge weights require the map variant"
+        );
+        let desc = self.dict.desc_host(&self.dev, src)?;
+        let out = parking_lot::Mutex::new(None);
+        self.dev.launch_warps(1, |warp| {
+            *out.lock() = desc.search(warp, dst);
+        });
+        out.into_inner()
+    }
+
+    /// Batched edge-existence queries: one lane per ⟨src,dst⟩ pair, grouped
+    /// by source exactly like Algorithm 1's insertion work queue.
+    pub fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        if pairs.is_empty() {
+            return vec![];
+        }
+        let srcs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let dsts: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let src_buf = self.upload(&srcs, u32::MAX);
+        let dst_buf = self.upload(&dsts, u32::MAX);
+        let out_buf = self.upload(&vec![0u32; pairs.len()], 0);
+
+        self.dev.launch_tasks(pairs.len(), |warp| {
+            let base = warp.warp_id() * WARP_SIZE as u32;
+            let srcs = warp.read_slab(src_buf + base);
+            let dsts = warp.read_slab(dst_buf + base);
+            let mut pending = Lanes::from_fn(|i| warp.is_active(i));
+            loop {
+                let queue = warp.ballot(&pending);
+                let Some(current_lane) = gpu_sim::ffs(queue) else {
+                    break;
+                };
+                let current_src = warp.shuffle(&srcs, current_lane);
+                let same_src = pending.zip_with(&srcs, |p, s| p && s == current_src);
+                let group = warp.ballot(&same_src);
+                let desc = self.dict.desc(warp, current_src);
+                let mut results = Lanes::splat(false);
+                if let Some(desc) = desc {
+                    for lane in iter_bits(group) {
+                        results.set(lane as usize, desc.contains(warp, dsts.get(lane as usize)));
+                    }
+                }
+                let found = warp.ballot(&results);
+                // Coalesced result write-back for the group.
+                let addrs = Lanes::from_fn(|i| out_buf + base + i as u32);
+                let vals = Lanes::from_fn(|i| (found >> i) & 1);
+                warp.write_lanes(&addrs, &vals, group);
+                pending = pending.zip_with(&same_src, |p, s| p && !s);
+            }
+        });
+
+        (0..pairs.len())
+            .map(|i| self.dev.arena().load(out_buf + i as u32) != 0)
+            .collect()
+    }
+
+    /// Retrieve vertex `u`'s adjacency list as ⟨dst, weight⟩ pairs (weight
+    /// is 0 for set graphs). Uses the slab iterator (§IV-B); order is the
+    /// table's internal order, not sorted.
+    pub fn neighbors(&self, u: u32) -> Vec<(u32, u32)> {
+        let Some(desc) = self.dict.desc_host(&self.dev, u) else {
+            return vec![];
+        };
+        let out = parking_lot::Mutex::new(Vec::new());
+        self.dev.launch_warps(1, |warp| {
+            let mut local = Vec::new();
+            match self.config.kind {
+                TableKind::Map => desc.for_each_pair(warp, |k, v| local.push((k, v))),
+                TableKind::Set => desc.for_each_key(warp, |k| local.push((k, 0))),
+            }
+            *out.lock() = local;
+        });
+        out.into_inner()
+    }
+
+    /// Destination-only adjacency list.
+    pub fn neighbor_ids(&self, u: u32) -> Vec<u32> {
+        self.neighbors(u).into_iter().map(|(d, _)| d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GraphConfig;
+    use crate::graph::{DynGraph, Edge};
+
+    fn graph_with_star() -> DynGraph {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(64), 64, 1);
+        let batch: Vec<Edge> = (1..40).map(|v| Edge::weighted(0, v, 100 + v)).collect();
+        g.insert_edges(&batch);
+        g
+    }
+
+    #[test]
+    fn edges_exist_batch_mixed() {
+        let g = graph_with_star();
+        g.insert_edges(&[Edge::new(5, 6)]);
+        let res = g.edges_exist(&[(0, 1), (0, 39), (0, 40), (5, 6), (6, 5), (63, 0)]);
+        assert_eq!(res, vec![true, true, false, true, false, false]);
+    }
+
+    #[test]
+    fn edges_exist_large_batch() {
+        let g = graph_with_star();
+        let pairs: Vec<(u32, u32)> = (0..200).map(|i| (0, i % 64)).collect();
+        let res = g.edges_exist(&pairs);
+        for (i, &(_, d)) in pairs.iter().enumerate() {
+            assert_eq!(res[i], (1..40).contains(&d), "pair {i} dst {d}");
+        }
+    }
+
+    #[test]
+    fn neighbors_returns_all_pairs() {
+        let g = graph_with_star();
+        let mut n = g.neighbors(0);
+        n.sort_unstable();
+        let expect: Vec<(u32, u32)> = (1..40).map(|v| (v, 100 + v)).collect();
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn neighbors_of_untouched_vertex_is_empty() {
+        let g = graph_with_star();
+        assert!(g.neighbors(63).is_empty());
+        assert!(g.neighbor_ids(62).is_empty());
+    }
+
+    #[test]
+    fn neighbors_reflect_deletions() {
+        let g = graph_with_star();
+        g.delete_edges(&[Edge::new(0, 1), Edge::new(0, 2)]);
+        let ids = g.neighbor_ids(0);
+        assert!(!ids.contains(&1));
+        assert!(!ids.contains(&2));
+        assert_eq!(ids.len(), 37);
+    }
+
+    #[test]
+    fn empty_query_batch() {
+        let g = graph_with_star();
+        assert!(g.edges_exist(&[]).is_empty());
+    }
+
+    #[test]
+    fn set_graph_neighbors_have_zero_weights() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_set(8), 8, 1);
+        g.insert_edges(&[Edge::new(1, 2), Edge::new(1, 3)]);
+        let mut n = g.neighbors(1);
+        n.sort_unstable();
+        assert_eq!(n, vec![(2, 0), (3, 0)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Graph-wide statistics: the measurements behind Fig. 2 (insertion rate /
+//! memory utilization / memory usage vs. average chain length) and general
+//! invariant checking in tests.
+
+use crate::graph::DynGraph;
+use gpu_sim::SLAB_WORDS;
+use slab_hash::TableStats;
+
+/// Aggregated statistics over every vertex's hash table plus the memory
+/// footprint of the whole structure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GraphStats {
+    /// Merged per-table chain statistics.
+    pub tables: TableStats,
+    /// Words in statically allocated base slabs.
+    pub base_slab_words: u64,
+    /// Words in live dynamically allocated collision slabs.
+    pub dynamic_slab_words: u64,
+    /// Words in the vertex dictionary.
+    pub dict_words: u64,
+    /// Vertices with a constructed table.
+    pub touched_vertices: u64,
+}
+
+impl GraphStats {
+    /// Total device memory attributable to the graph, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.base_slab_words + self.dynamic_slab_words + self.dict_words) * 4
+    }
+
+    /// Fraction of key slots holding live keys (Fig. 2b).
+    pub fn utilization(&self) -> f64 {
+        self.tables.utilization()
+    }
+
+    /// Average bucket chain length in slabs (Fig. 2/3 x-axis).
+    pub fn avg_chain(&self) -> f64 {
+        self.tables.avg_chain()
+    }
+}
+
+impl DynGraph {
+    /// Collect [`GraphStats`] by walking every constructed table.
+    ///
+    /// Host-side instrumentation: runs as a kernel (so slab walks are
+    /// charged) but is intended for use *between* measured phases.
+    pub fn stats(&self) -> GraphStats {
+        let cap = self.dict.capacity();
+        let out = parking_lot::Mutex::new(GraphStats::default());
+        self.dev.launch_warps(1, |warp| {
+            let mut agg = GraphStats::default();
+            for v in 0..cap {
+                if let Some(desc) = self.dict.desc_host(&self.dev, v) {
+                    let s = desc.stats(warp);
+                    agg.tables.merge(&s);
+                    agg.touched_vertices += 1;
+                    agg.base_slab_words += desc.num_buckets as u64 * SLAB_WORDS as u64;
+                }
+            }
+            *out.lock() = agg;
+        });
+        let mut stats = out.into_inner();
+        stats.dynamic_slab_words = self.alloc.live_slabs() * SLAB_WORDS as u64;
+        stats.dict_words = self.dict.capacity() as u64 * crate::dict::ENTRY_WORDS as u64;
+        stats
+    }
+
+    /// Debug-check the structure's core invariants; panics on violation.
+    ///
+    /// - the per-vertex edge count equals the number of live keys,
+    /// - no table stores duplicate destinations,
+    /// - no self-loops are stored.
+    pub fn check_invariants(&self) {
+        let cap = self.dict.capacity();
+        self.dev.launch_warps(1, |warp| {
+            for v in 0..cap {
+                let Some(desc) = self.dict.desc_host(&self.dev, v) else {
+                    continue;
+                };
+                let mut seen = std::collections::HashSet::new();
+                desc.for_each_key(warp, |k| {
+                    assert!(seen.insert(k), "vertex {v}: duplicate destination {k}");
+                    assert_ne!(k, v, "vertex {v}: stored self-loop");
+                });
+                let count = self.dict.count_host(&self.dev, v);
+                assert_eq!(
+                    count as usize,
+                    seen.len(),
+                    "vertex {v}: edge count {count} != live keys {}",
+                    seen.len()
+                );
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GraphConfig;
+    use crate::graph::{DynGraph, Edge};
+
+    fn populated() -> DynGraph {
+        let g = DynGraph::with_degree_hints(
+            GraphConfig::directed_map(32),
+            &vec![10u32; 32],
+        );
+        let batch: Vec<Edge> = (0..32u32)
+            .flat_map(|u| (0..10u32).map(move |i| Edge::new(u, (u + i + 1) % 32)))
+            .collect();
+        g.insert_edges(&batch);
+        g
+    }
+
+    #[test]
+    fn stats_count_live_keys() {
+        let g = populated();
+        let s = g.stats();
+        assert_eq!(s.tables.live_keys, g.num_edges());
+        assert_eq!(s.touched_vertices, 32);
+        assert!(s.memory_bytes() > 0);
+        assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_workload() {
+        let g = populated();
+        g.delete_edges(&[Edge::new(0, 1), Edge::new(5, 6)]);
+        g.insert_edges(&[Edge::new(0, 20), Edge::new(0, 20)]);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn higher_load_factor_uses_less_memory() {
+        // Fig. 2c: memory usage decreases as chain length (load factor)
+        // increases, because fewer buckets are allocated.
+        let degrees = vec![50u32; 64];
+        let build = |lf: f64| {
+            let g = DynGraph::with_degree_hints(
+                GraphConfig::directed_map(64).with_load_factor(lf),
+                &degrees,
+            );
+            let batch: Vec<Edge> = (0..64u32)
+                .flat_map(|u| (0..50u32).map(move |i| Edge::new(u, (u + i + 1) % 64)))
+                .collect();
+            g.insert_edges(&batch);
+            g.stats()
+        };
+        let low = build(0.3);
+        let high = build(2.0);
+        assert!(
+            high.memory_bytes() < low.memory_bytes(),
+            "lf=2.0 ({} B) should use less memory than lf=0.3 ({} B)",
+            high.memory_bytes(),
+            low.memory_bytes()
+        );
+        assert!(
+            high.utilization() > low.utilization(),
+            "higher load factor packs slots more tightly"
+        );
+        assert!(high.avg_chain() > low.avg_chain());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count")]
+    fn invariant_check_detects_corruption() {
+        let g = populated();
+        // Corrupt an edge count behind the structure's back.
+        g.device().arena().store(g.dict().count_addr(3), 999);
+        g.check_invariants();
+    }
+}

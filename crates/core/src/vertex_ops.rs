@@ -1,0 +1,341 @@
+//! Vertex insertion and deletion (paper §IV-D, Algorithm 2).
+//!
+//! Vertex insertion (§IV-D1) is "the operation of inserting edges connected
+//! to a vertex that has an empty adjacency list": grow the dictionary if
+//! needed, install sized tables, then run Algorithm 1 on the attached edges.
+//!
+//! Vertex deletion (§IV-D2, Algorithm 2) assigns one *warp* per vertex via
+//! a device-memory atomic work queue to fight load imbalance: a lane-0
+//! `atomicAdd` claims the next vertex, a shuffle broadcasts it, and the
+//! warp iterates the victim's slabs deleting it from every neighbour's
+//! table before freeing the victim's collision slabs and zeroing its count.
+
+use crate::config::Direction;
+use crate::graph::{iter_bits, DynGraph, Edge};
+use slab_hash::{TableDesc, TableKind};
+
+impl DynGraph {
+    /// Insert new vertices with their attached edges (§IV-D1).
+    ///
+    /// `ids` are the new vertex ids (tables are installed sized to the
+    /// number of attached edges in `edges` whose source is the id); the
+    /// dictionary grows (shallow pointer copy) if an id exceeds capacity.
+    /// Returns the number of new edges added.
+    pub fn insert_vertices(&self, ids: &[u32], edges: &[Edge]) -> u64 {
+        if ids.is_empty() {
+            return self.insert_edges(edges);
+        }
+        let max_id = ids.iter().copied().max().unwrap();
+        self.dict.grow(&self.dev, max_id + 1);
+
+        // Size each new vertex's table from the batch's degree information
+        // (§III-b: use connectivity information when available).
+        let mirrored = self.apply_direction(edges);
+        let mut deg: std::collections::HashMap<u32, u32> = ids.iter().map(|&v| (v, 0)).collect();
+        for e in &mirrored {
+            if e.src != e.dst {
+                if let Some(d) = deg.get_mut(&e.src) {
+                    *d += 1;
+                }
+            }
+        }
+        for &v in ids {
+            let recycled = {
+                let mut free = self.free_ids.lock();
+                if let Some(pos) = free.iter().position(|&f| f == v) {
+                    free.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            };
+            if recycled {
+                // The recycled slot keeps its (reset) table; just insert.
+                continue;
+            }
+            assert!(
+                self.dict.desc_host(&self.dev, v).is_none(),
+                "vertex {v} already exists"
+            );
+            let buckets = slab_hash::buckets_for(
+                deg[&v] as usize,
+                self.config.load_factor,
+                self.config.kind,
+            );
+            let base = self
+                .dev
+                .alloc_words(TableDesc::base_words(buckets), gpu_sim::SLAB_WORDS);
+            self.dev
+                .memset(base, TableDesc::base_words(buckets), slab_hash::EMPTY_KEY);
+            self.dict.install_host(&self.dev, v, base, buckets);
+        }
+        self.insert_edges(edges)
+    }
+
+    /// Batched vertex deletion (§IV-D2, Algorithm 2).
+    ///
+    /// For undirected graphs, each deleted vertex is removed from all of
+    /// its neighbours' adjacency lists (found via the slab iterator), its
+    /// dynamically allocated collision slabs are freed, its base slabs are
+    /// reset, and its edge count is zeroed. Vertex ids are *not* reused
+    /// (the paper notes faimGraph recycles ids; ours does not).
+    ///
+    /// For directed graphs only the vertex's own memory is freed; incoming
+    /// edges from arbitrary vertices are cleaned either lazily on query or
+    /// eagerly via [`Self::purge_deleted`] (the paper's "follow-up lookup
+    /// and delete ... in all of the hash tables").
+    pub fn delete_vertices(&self, vertices: &[u32]) {
+        if vertices.is_empty() {
+            return;
+        }
+        for &v in vertices {
+            self.check_vertex(v);
+        }
+        let count = vertices.len() as u32;
+        let verts_buf = self.upload(vertices, u32::MAX);
+        // Line 1: the shared work-queue counter lives in device memory.
+        let queue = self.dev.alloc_words(1, 1);
+        self.dev.arena().store(queue, 0);
+
+        let undirected = self.config.direction == Direction::Undirected;
+        let n_warps = (count as usize).min(128);
+        self.dev.launch_warps(n_warps, |warp| {
+            loop {
+                // Lines 3–6: lane 0 claims a queue slot, broadcast to warp.
+                let queue_id = warp.atomic_add(queue, 1);
+                let _ = warp.shuffle(&gpu_sim::Lanes::splat(queue_id), 0);
+                // Lines 7–9: all work claimed → warp exits.
+                if queue_id >= count {
+                    return;
+                }
+                // Line 10: fetch the vertex id.
+                let victim = warp.read_word(verts_buf + queue_id);
+                let Some(desc) = self.dict.desc(warp, victim) else {
+                    continue;
+                };
+                // Lines 11–21: iterate the victim's slabs.
+                if undirected {
+                    desc.for_each_slab(warp, |view| {
+                        // Lines 13–17: lanes hold destinations; loop over
+                        // the valid lanes, broadcasting each destination.
+                        let valid = view.valid_mask();
+                        for lane in iter_bits(valid) {
+                            let dst = view.words.get(lane as usize);
+                            if dst == victim {
+                                continue;
+                            }
+                            // Line 16: delete victim from dst's table.
+                            if let Some(dst_desc) = self.dict.desc(warp, dst) {
+                                if dst_desc.delete(warp, victim) {
+                                    warp.atomic_sub(self.dict.count_addr(dst), 1);
+                                }
+                            }
+                        }
+                    });
+                }
+                // Lines 18–20: free dynamically allocated slabs (base
+                // slabs are statically allocated and not reclaimed).
+                desc.free_dynamic_slabs(warp, &self.alloc);
+                // Line 22: zero the victim's edge count.
+                warp.write_word(self.dict.count_addr(victim), 0);
+                // Recycle the id (faimGraph's strategy, §VI-A3).
+                self.free_ids.lock().push(victim);
+            }
+        });
+    }
+
+    /// Eager cleanup after *directed* vertex deletion: scan every vertex's
+    /// table and delete any destination in `deleted` (the paper's
+    /// "follow-up lookup and delete all of the deleted vertices in all of
+    /// the hash tables"). The deleted set itself is stored in a device-side
+    /// slab-hash set so each membership test is an O(1) probe.
+    pub fn purge_deleted(&self, deleted: &[u32]) {
+        if deleted.is_empty() {
+            return;
+        }
+        let dead_set = TableDesc::create(
+            &self.dev,
+            TableKind::Set,
+            slab_hash::buckets_for(deleted.len(), self.config.load_factor, TableKind::Set),
+        );
+        self.dev.launch_warps(1, |warp| {
+            for &v in deleted {
+                dead_set.insert_unique(warp, &self.alloc, v);
+            }
+        });
+
+        let cap = self.dict.capacity();
+        let n_warps = (cap as usize).min(128);
+        let queue = self.dev.alloc_words(1, 1);
+        self.dev.arena().store(queue, 0);
+        self.dev.launch_warps(n_warps, |warp| loop {
+            let u = warp.atomic_add(queue, 1);
+            if u >= cap {
+                return;
+            }
+            let Some(desc) = self.dict.desc(warp, u) else {
+                continue;
+            };
+            // Collect victims first (iterators must not observe their own
+            // tombstoning mid-walk), then delete.
+            let mut victims = Vec::new();
+            desc.for_each_slab(warp, |view| {
+                for dst in view.keys() {
+                    if dead_set.contains(warp, dst) {
+                        victims.push(dst);
+                    }
+                }
+            });
+            let mut removed = 0u32;
+            for dst in victims {
+                if desc.delete(warp, dst) {
+                    removed += 1;
+                }
+            }
+            if removed > 0 {
+                warp.atomic_sub(self.dict.count_addr(u), removed);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GraphConfig;
+    use crate::graph::{DynGraph, Edge};
+
+    /// Small undirected clique graph for deletion tests.
+    fn clique(n: u32) -> DynGraph {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_map(n * 2), n * 2, 1);
+        let mut batch = vec![];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                batch.push(Edge::weighted(u, v, u * 100 + v));
+            }
+        }
+        g.insert_edges(&batch);
+        g
+    }
+
+    #[test]
+    fn delete_vertex_removes_from_neighbors() {
+        let g = clique(6);
+        assert_eq!(g.degree(0), 5);
+        g.delete_vertices(&[3]);
+        assert_eq!(g.degree(3), 0, "victim emptied");
+        for v in [0u32, 1, 2, 4, 5] {
+            assert_eq!(g.degree(v), 4, "neighbor {v} lost one edge");
+            assert!(!g.edge_exists(v, 3), "edge {v}→3 gone");
+            assert!(!g.edge_exists(3, v), "edge 3→{v} gone");
+        }
+    }
+
+    #[test]
+    fn delete_multiple_vertices() {
+        let g = clique(8);
+        g.delete_vertices(&[1, 2, 5]);
+        for v in [1u32, 2, 5] {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+        for v in [0u32, 3, 4, 6, 7] {
+            assert_eq!(g.degree(v), 4, "survivor {v} keeps edges to survivors");
+        }
+        // Total: 5 survivors × 4 = 20 half-edges.
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn delete_vertex_frees_collision_slabs() {
+        let n = 200u32;
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_map(n + 1), n + 1, 1);
+        let batch: Vec<Edge> = (1..=n).map(|v| Edge::new(0, v)).collect();
+        g.insert_edges(&batch);
+        let live_before = g.allocator().live_slabs();
+        assert!(live_before > 10, "hub vertex chained many slabs");
+        g.delete_vertices(&[0]);
+        assert!(
+            g.allocator().live_slabs() < live_before,
+            "collision slabs reclaimed"
+        );
+        assert_eq!(g.degree(0), 0);
+        for v in 1..=n {
+            assert_eq!(g.degree(v), 0, "spoke {v} lost its only edge");
+        }
+    }
+
+    #[test]
+    fn deleted_vertex_queries_return_nothing() {
+        let g = clique(5);
+        g.delete_vertices(&[2]);
+        assert!(g.neighbors(2).is_empty());
+        let pairs: Vec<(u32, u32)> = (0..5).map(|v| (2, v)).collect();
+        assert!(g.edges_exist(&pairs).iter().all(|&b| !b), "no false positives");
+    }
+
+    #[test]
+    fn deleting_nonexistent_vertex_is_noop() {
+        let g = clique(4);
+        let edges_before = g.num_edges();
+        g.delete_vertices(&[7]); // in capacity, never touched
+        assert_eq!(g.num_edges(), edges_before);
+        g.delete_vertices(&[]);
+        assert_eq!(g.num_edges(), edges_before);
+    }
+
+    #[test]
+    fn insert_vertices_installs_sized_tables_and_edges() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(4), 4, 1);
+        g.insert_edges(&[Edge::new(0, 1)]);
+        let edges: Vec<Edge> = (0..50).map(|i| Edge::weighted(10, i % 8, i)).collect();
+        let added = g.insert_vertices(&[10], &edges);
+        assert_eq!(added, 8, "50 edges to 8 unique destinations");
+        assert_eq!(g.degree(10), 8);
+        assert!(g.vertex_capacity() >= 11, "dictionary grew");
+        // Sized table: 8 unique dsts but hinted with 50 ⇒ ≥ 1 buckets.
+        assert!(g.dict().desc_host(g.device(), 10).unwrap().num_buckets >= 4);
+        // Old entries survived the shallow copy.
+        assert!(g.edge_exists(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn insert_existing_vertex_panics() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(4), 4, 1);
+        g.insert_vertices(&[2], &[]);
+        g.insert_vertices(&[2], &[]);
+    }
+
+    #[test]
+    fn directed_delete_frees_memory_and_purge_cleans_incoming() {
+        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(8), 8, 1);
+        g.insert_edges(&[
+            Edge::new(0, 3),
+            Edge::new(1, 3),
+            Edge::new(3, 0),
+            Edge::new(2, 1),
+        ]);
+        g.delete_vertices(&[3]);
+        assert_eq!(g.degree(3), 0, "outgoing edges freed");
+        // Incoming edges still physically present until purge...
+        assert!(g.edge_exists(0, 3));
+        g.purge_deleted(&[3]);
+        assert!(!g.edge_exists(0, 3), "purge removed incoming edge");
+        assert!(!g.edge_exists(1, 3));
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.edge_exists(2, 1), "unrelated edge survives purge");
+    }
+
+    #[test]
+    fn reinserting_edges_to_deleted_vertex_id_works() {
+        // Ids are not recycled, but the slot remains usable: the paper's
+        // structure keeps the (reset) base slabs.
+        let g = clique(4);
+        g.delete_vertices(&[1]);
+        g.insert_edges(&[Edge::weighted(1, 0, 5)]);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.edge_exists(1, 0));
+        assert!(g.edge_exists(0, 1), "undirected mirror restored");
+    }
+}

@@ -1,0 +1,209 @@
+//! Performance counters: the observable cost of simulated kernels.
+//!
+//! Real GPU dynamic-graph performance is dominated by global-memory traffic.
+//! Every warp-level memory operation in the simulator charges these counters;
+//! [`crate::CostModel`] converts a [`CounterSnapshot`] into modeled time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe tally of simulated hardware events.
+///
+/// One instance lives in each [`crate::Device`]; all warps (and all executor
+/// threads) charge into it with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct PerfCounters {
+    /// 128-byte global-memory transactions (coalesced slab reads/writes,
+    /// plus one per distinct 128 B segment for scattered lane accesses).
+    pub transactions: AtomicU64,
+    /// Word-level atomic operations (CAS, exchange, fetch-add).
+    pub atomics: AtomicU64,
+    /// Warp ballot instructions executed.
+    pub ballots: AtomicU64,
+    /// Warp shuffle instructions executed.
+    pub shuffles: AtomicU64,
+    /// Kernel launches.
+    pub launches: AtomicU64,
+    /// Warps executed across all launches.
+    pub warps: AtomicU64,
+    /// Words allocated from the device arena (bump + slab allocator).
+    pub words_allocated: AtomicU64,
+}
+
+impl PerfCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_transactions(&self, n: u64) {
+        self.transactions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_atomics(&self, n: u64) {
+        self.atomics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_ballots(&self, n: u64) {
+        self.ballots.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_shuffles(&self, n: u64) {
+        self.shuffles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_launches(&self, n: u64) {
+        self.launches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_warps(&self, n: u64) {
+        self.warps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_words_allocated(&self, n: u64) {
+        self.words_allocated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current totals.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            transactions: self.transactions.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            ballots: self.ballots.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            warps: self.warps.load(Ordering::Relaxed),
+            words_allocated: self.words_allocated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.transactions.store(0, Ordering::Relaxed);
+        self.atomics.store(0, Ordering::Relaxed);
+        self.ballots.store(0, Ordering::Relaxed);
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.launches.store(0, Ordering::Relaxed);
+        self.warps.store(0, Ordering::Relaxed);
+        self.words_allocated.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable point-in-time copy of [`PerfCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub transactions: u64,
+    pub atomics: u64,
+    pub ballots: u64,
+    pub shuffles: u64,
+    pub launches: u64,
+    pub warps: u64,
+    pub words_allocated: u64,
+}
+
+impl CounterSnapshot {
+    /// Event-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// The usual pattern is `let before = dev.counters().snapshot(); …;
+    /// let cost = dev.counters().snapshot().delta(&before)`.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            transactions: self.transactions.saturating_sub(earlier.transactions),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            ballots: self.ballots.saturating_sub(earlier.ballots),
+            shuffles: self.shuffles.saturating_sub(earlier.shuffles),
+            launches: self.launches.saturating_sub(earlier.launches),
+            warps: self.warps.saturating_sub(earlier.warps),
+            words_allocated: self.words_allocated.saturating_sub(earlier.words_allocated),
+        }
+    }
+
+    /// Total bytes moved through simulated global memory.
+    pub fn bytes_moved(&self) -> u64 {
+        self.transactions * crate::cost::TRANSACTION_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = PerfCounters::new();
+        c.add_transactions(3);
+        c.add_transactions(4);
+        c.add_atomics(2);
+        c.add_ballots(1);
+        let s = c.snapshot();
+        assert_eq!(s.transactions, 7);
+        assert_eq!(s.atomics, 2);
+        assert_eq!(s.ballots, 1);
+        assert_eq!(s.shuffles, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = PerfCounters::new();
+        c.add_transactions(10);
+        c.add_launches(2);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let c = PerfCounters::new();
+        c.add_transactions(5);
+        let before = c.snapshot();
+        c.add_transactions(7);
+        c.add_atomics(1);
+        let d = c.snapshot().delta(&before);
+        assert_eq!(d.transactions, 7);
+        assert_eq!(d.atomics, 1);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = CounterSnapshot {
+            transactions: 1,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            transactions: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.delta(&b).transactions, 0);
+    }
+
+    #[test]
+    fn bytes_moved_uses_transaction_size() {
+        let s = CounterSnapshot {
+            transactions: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.bytes_moved(), 4 * 128);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = std::sync::Arc::new(PerfCounters::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_transactions(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().transactions, 4000);
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulated device: memory + counters + kernel launch.
+//!
+//! Kernels are *warp-centric closures*: the executor hands each [`Warp`] a
+//! context exposing warp intrinsics and memory operations, all of which
+//! charge [`PerfCounters`]. Both a deterministic sequential executor and a
+//! multi-threaded executor (crossbeam scoped threads) are provided; the
+//! paper's operations are phase-concurrent, so either executor must produce
+//! the same final data-structure state — property tests in the graph crates
+//! assert exactly that.
+
+use crate::counters::PerfCounters;
+use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
+use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
+
+/// How kernels are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Run warps one at a time in warp-id order. Deterministic; the default.
+    Sequential,
+    /// Run warps on `n` host threads. Non-deterministic interleaving;
+    /// used to validate phase-concurrency.
+    Threaded(usize),
+}
+
+/// A simulated GPU: global-memory arena, performance counters, and an
+/// execution policy for launched kernels.
+pub struct Device {
+    arena: DeviceArena,
+    counters: PerfCounters,
+    policy: ExecPolicy,
+    /// When set, launches are not charged to the counters: host-side
+    /// helpers that are conceptually *one* fused kernel (e.g. a triangle-
+    /// counting pass built from many small launches) wrap themselves in a
+    /// fused section and charge a single launch manually.
+    fused: std::sync::atomic::AtomicBool,
+}
+
+impl Device {
+    /// Create a device with `initial_words` of committed global memory and
+    /// the sequential execution policy.
+    pub fn new(initial_words: usize) -> Self {
+        Device {
+            arena: DeviceArena::new(initial_words),
+            counters: PerfCounters::new(),
+            policy: ExecPolicy::Sequential,
+            fused: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Create a device with an explicit execution policy.
+    pub fn with_policy(initial_words: usize, policy: ExecPolicy) -> Self {
+        Device {
+            arena: DeviceArena::new(initial_words),
+            counters: PerfCounters::new(),
+            policy,
+            fused: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Change the execution policy (between phases).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The global-memory arena (host-side, uncharged access — use for
+    /// setup/teardown and verification, not inside measured phases).
+    pub fn arena(&self) -> &DeviceArena {
+        &self.arena
+    }
+
+    /// The device performance counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Launch a kernel with one *thread* (lane) per task, grouped into
+    /// warps of 32 — the Warp Cooperative Work Sharing launch shape.
+    ///
+    /// The closure runs once per warp; `warp.global_ids()` gives the 32
+    /// task ids and `warp.active_mask()` has a bit per in-range task.
+    pub fn launch_tasks<F>(&self, n_tasks: usize, kernel: F)
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        let n_warps = n_tasks.div_ceil(WARP_SIZE);
+        self.launch_warps_inner(n_warps, n_tasks as u64, &kernel);
+    }
+
+    /// Launch a kernel with exactly `n_warps` warps, all 32 lanes active
+    /// (warp-per-work-item kernels that pull work from a device queue,
+    /// e.g. the paper's vertex-deletion Algorithm 2).
+    pub fn launch_warps<F>(&self, n_warps: usize, kernel: F)
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        self.launch_warps_inner(n_warps, u64::MAX, &kernel);
+    }
+
+    /// Enter/leave a *fused section*: while set, launches are not charged
+    /// (one logical kernel built from many helper launches). The caller
+    /// charges one launch itself. Returns the previous state for nesting.
+    pub fn set_fused(&self, fused: bool) -> bool {
+        self.fused
+            .swap(fused, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn launch_warps_inner<F>(&self, n_warps: usize, n_tasks: u64, kernel: &F)
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        if !self.fused.load(std::sync::atomic::Ordering::Relaxed) {
+            self.counters.add_launches(1);
+        }
+        self.counters.add_warps(n_warps as u64);
+        if n_warps == 0 {
+            return;
+        }
+        let run_warp = |warp_id: usize| {
+            let base = (warp_id * WARP_SIZE) as u64;
+            let active_mask = if n_tasks == u64::MAX {
+                FULL_MASK
+            } else {
+                let remaining = n_tasks.saturating_sub(base).min(WARP_SIZE as u64) as u32;
+                if remaining == 0 {
+                    0
+                } else if remaining == 32 {
+                    FULL_MASK
+                } else {
+                    (1u32 << remaining) - 1
+                }
+            };
+            let mut warp = Warp {
+                device: self,
+                warp_id: warp_id as u32,
+                active_mask,
+            };
+            kernel(&mut warp);
+        };
+        match self.policy {
+            ExecPolicy::Sequential => {
+                for w in 0..n_warps {
+                    run_warp(w);
+                }
+            }
+            ExecPolicy::Threaded(threads) => {
+                let threads = threads.max(1);
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                crossbeam::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|_| loop {
+                            let w = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if w >= n_warps {
+                                break;
+                            }
+                            run_warp(w);
+                        });
+                    }
+                })
+                .expect("kernel worker panicked");
+            }
+        }
+    }
+
+    /// Device-side memset: fills `n` words with `v`, charged as a
+    /// coalesced kernel (`⌈n/32⌉` transactions + 1 launch). Used to
+    /// initialise slab regions to the EMPTY sentinel inside measured
+    /// build phases.
+    pub fn memset(&self, base: Addr, n: usize, v: u32) {
+        if !self.fused.load(std::sync::atomic::Ordering::Relaxed) {
+            self.counters.add_launches(1);
+        }
+        self.counters
+            .add_transactions((n as u64).div_ceil(SLAB_WORDS as u64));
+        self.arena.fill(base, n, v);
+    }
+
+    /// Allocate `n` words (aligned to `align`) from the arena, charging
+    /// the allocation counter.
+    pub fn alloc_words(&self, n: usize, align: usize) -> Addr {
+        self.counters.add_words_allocated(n as u64);
+        self.arena.alloc_words(n, align)
+    }
+}
+
+/// Per-warp execution context handed to kernels.
+///
+/// All memory operations and intrinsics on this type charge the device's
+/// [`PerfCounters`]; pure helpers live in [`crate::lanes`].
+pub struct Warp<'d> {
+    device: &'d Device,
+    warp_id: u32,
+    active_mask: u32,
+}
+
+impl<'d> Warp<'d> {
+    /// This warp's id within the launch.
+    #[inline]
+    pub fn warp_id(&self) -> u32 {
+        self.warp_id
+    }
+
+    /// Bit *i* set iff lane *i* has an in-range task.
+    #[inline]
+    pub fn active_mask(&self) -> u32 {
+        self.active_mask
+    }
+
+    /// Whether `lane` is active in this launch.
+    #[inline]
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.active_mask & (1 << lane) != 0
+    }
+
+    /// Global thread (task) ids for each lane.
+    #[inline]
+    pub fn global_ids(&self) -> Lanes<u32> {
+        let base = self.warp_id * WARP_SIZE as u32;
+        Lanes::from_fn(|i| base + i as u32)
+    }
+
+    /// The owning device (for nested structures needing raw access).
+    #[inline]
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    // ---- warp intrinsics (charged) ----
+
+    /// `__ballot_sync(FULL_MASK, …)`: all 32 lanes participate.
+    ///
+    /// Warp-cooperative data-structure code requires the *whole* warp to
+    /// execute the ballot even when fewer than 32 tasks are in range (the
+    /// paper's WCWS strategy: "it requires all threads within a warp to be
+    /// active"). Task validity must therefore be folded into the predicate
+    /// itself (e.g. via [`Self::is_active`]), not into the ballot mask.
+    #[inline]
+    pub fn ballot(&self, preds: &Lanes<bool>) -> u32 {
+        self.device.counters.add_ballots(1);
+        lanes::ballot(FULL_MASK, preds)
+    }
+
+    /// `__ballot_sync` with an explicit mask (for sub-warp groups).
+    #[inline]
+    pub fn ballot_masked(&self, mask: u32, preds: &Lanes<bool>) -> u32 {
+        self.device.counters.add_ballots(1);
+        lanes::ballot(mask, preds)
+    }
+
+    /// `__shfl_sync` broadcast: every lane reads `src_lane`'s value.
+    #[inline]
+    pub fn shuffle<T: Copy>(&self, vals: &Lanes<T>, src_lane: u32) -> T {
+        self.device.counters.add_shuffles(1);
+        lanes::shuffle(vals, src_lane)
+    }
+
+    /// `__shfl_sync` indexed form.
+    #[inline]
+    pub fn shuffle_idx<T: Copy>(&self, vals: &Lanes<T>, idx: &Lanes<u32>) -> Lanes<T> {
+        self.device.counters.add_shuffles(1);
+        lanes::shuffle_idx(vals, idx)
+    }
+
+    // ---- memory operations (charged) ----
+
+    /// Coalesced read of one 128 B slab: lane *i* receives word `base+i`.
+    /// One transaction.
+    #[inline]
+    pub fn read_slab(&self, base: Addr) -> Lanes<u32> {
+        self.device.counters.add_transactions(1);
+        Lanes(self.device.arena.load_slab(base))
+    }
+
+    /// Coalesced write of one 128 B slab. One transaction.
+    #[inline]
+    pub fn write_slab(&self, base: Addr, words: &Lanes<u32>) {
+        self.device.counters.add_transactions(1);
+        self.device.arena.store_slab(base, &words.0);
+    }
+
+    /// Scattered per-lane reads: lane *i* (if set in `mask`) loads
+    /// `addrs[i]`. Charged one transaction per distinct 128 B segment
+    /// touched, exactly like hardware coalescing.
+    pub fn read_lanes(&self, addrs: &Lanes<Addr>, mask: u32) -> Lanes<u32> {
+        self.charge_scattered(addrs, mask);
+        Lanes::from_fn(|i| {
+            if mask & (1 << i) != 0 {
+                self.device.arena.load(addrs.0[i])
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Scattered per-lane writes with coalescing-aware charging.
+    pub fn write_lanes(&self, addrs: &Lanes<Addr>, vals: &Lanes<u32>, mask: u32) {
+        self.charge_scattered(addrs, mask);
+        for i in 0..WARP_SIZE {
+            if mask & (1 << i) != 0 {
+                self.device.arena.store(addrs.0[i], vals.0[i]);
+            }
+        }
+    }
+
+    fn charge_scattered(&self, addrs: &Lanes<Addr>, mask: u32) {
+        let mut segs: [u32; WARP_SIZE] = [u32::MAX; WARP_SIZE];
+        let mut n = 0usize;
+        for i in 0..WARP_SIZE {
+            if mask & (1 << i) != 0 {
+                let seg = addrs.0[i] / SLAB_WORDS as u32;
+                if !segs[..n].contains(&seg) {
+                    segs[n] = seg;
+                    n += 1;
+                }
+            }
+        }
+        self.device.counters.add_transactions(n as u64);
+    }
+
+    /// Single-word read issued by one lane (uniform warp read). One
+    /// transaction.
+    #[inline]
+    pub fn read_word(&self, addr: Addr) -> u32 {
+        self.device.counters.add_transactions(1);
+        self.device.arena.load(addr)
+    }
+
+    /// Single-word write issued by one lane. One transaction.
+    #[inline]
+    pub fn write_word(&self, addr: Addr, v: u32) {
+        self.device.counters.add_transactions(1);
+        self.device.arena.store(addr, v);
+    }
+
+    /// `atomicCAS` issued by one lane.
+    #[inline]
+    pub fn atomic_cas(&self, addr: Addr, expected: u32, new: u32) -> Result<u32, u32> {
+        self.device.counters.add_atomics(1);
+        self.device.arena.cas(addr, expected, new)
+    }
+
+    /// `atomicExch` issued by one lane.
+    #[inline]
+    pub fn atomic_exchange(&self, addr: Addr, v: u32) -> u32 {
+        self.device.counters.add_atomics(1);
+        self.device.arena.exchange(addr, v)
+    }
+
+    /// `atomicAdd` issued by one lane.
+    #[inline]
+    pub fn atomic_add(&self, addr: Addr, v: u32) -> u32 {
+        self.device.counters.add_atomics(1);
+        self.device.arena.fetch_add(addr, v)
+    }
+
+    /// `atomicSub` issued by one lane.
+    #[inline]
+    pub fn atomic_sub(&self, addr: Addr, v: u32) -> u32 {
+        self.device.counters.add_atomics(1);
+        self.device.arena.fetch_sub(addr, v)
+    }
+
+    /// `atomicOr` issued by one lane.
+    #[inline]
+    pub fn atomic_or(&self, addr: Addr, v: u32) -> u32 {
+        self.device.counters.add_atomics(1);
+        self.device.arena.fetch_or(addr, v)
+    }
+
+    /// `atomicAnd` issued by one lane.
+    #[inline]
+    pub fn atomic_and(&self, addr: Addr, v: u32) -> u32 {
+        self.device.counters.add_atomics(1);
+        self.device.arena.fetch_and(addr, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_tasks_covers_all_tasks_once() {
+        let dev = Device::new(1024);
+        let out = dev.alloc_words(100, 1);
+        dev.launch_tasks(100, |warp| {
+            let ids = warp.global_ids();
+            for (lane, id) in ids.iter() {
+                if warp.is_active(lane) {
+                    warp.atomic_add(out + id, 1);
+                }
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(dev.arena().load(out + i), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn partial_warp_active_mask() {
+        let dev = Device::new(64);
+        let seen = std::sync::Mutex::new(vec![]);
+        dev.launch_tasks(40, |warp| {
+            seen.lock().unwrap().push((warp.warp_id(), warp.active_mask()));
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, FULL_MASK));
+        assert_eq!(seen[1], (1, (1 << 8) - 1));
+    }
+
+    #[test]
+    fn zero_tasks_launches_zero_warps() {
+        let dev = Device::new(64);
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        dev.launch_tasks(0, |_| {
+            ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(dev.counters().snapshot().launches, 1);
+    }
+
+    #[test]
+    fn slab_read_costs_one_transaction() {
+        let dev = Device::new(1024);
+        let slab = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
+        let before = dev.counters().snapshot();
+        dev.launch_tasks(32, |warp| {
+            let _ = warp.read_slab(slab);
+        });
+        let d = dev.counters().snapshot().delta(&before);
+        assert_eq!(d.transactions, 1);
+        assert_eq!(d.launches, 1);
+        assert_eq!(d.warps, 1);
+    }
+
+    #[test]
+    fn scattered_access_charges_by_segment() {
+        let dev = Device::new(4096);
+        let base = dev.alloc_words(32 * SLAB_WORDS, SLAB_WORDS);
+        let before = dev.counters().snapshot();
+        dev.launch_tasks(32, |warp| {
+            // All 32 lanes touch 32 different slabs: 32 transactions.
+            let addrs = Lanes::from_fn(|i| base + (i * SLAB_WORDS) as u32);
+            let _ = warp.read_lanes(&addrs, FULL_MASK);
+            // All 32 lanes touch the same slab: 1 transaction.
+            let same = Lanes::from_fn(|i| base + i as u32);
+            let _ = warp.read_lanes(&same, FULL_MASK);
+        });
+        let d = dev.counters().snapshot().delta(&before);
+        assert_eq!(d.transactions, 33);
+    }
+
+    #[test]
+    fn ballots_and_shuffles_are_charged() {
+        let dev = Device::new(64);
+        let before = dev.counters().snapshot();
+        dev.launch_tasks(32, |warp| {
+            let preds = Lanes::splat(true);
+            let b = warp.ballot(&preds);
+            assert_eq!(b, FULL_MASK);
+            let vals = Lanes::from_fn(|i| i as u32);
+            let v = warp.shuffle(&vals, 3);
+            assert_eq!(v, 3);
+        });
+        let d = dev.counters().snapshot().delta(&before);
+        assert_eq!(d.ballots, 1);
+        assert_eq!(d.shuffles, 1);
+    }
+
+    #[test]
+    fn threaded_and_sequential_agree_on_commutative_kernel() {
+        let run = |policy| {
+            let dev = Device::with_policy(4096, policy);
+            let out = dev.alloc_words(1, 1);
+            dev.launch_tasks(10_000, |warp| {
+                let mask = warp.active_mask();
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        warp.atomic_add(out, 1);
+                    }
+                }
+            });
+            dev.arena().load(out)
+        };
+        assert_eq!(run(ExecPolicy::Sequential), 10_000);
+        assert_eq!(run(ExecPolicy::Threaded(4)), 10_000);
+    }
+
+    #[test]
+    fn memset_charges_coalesced_transactions() {
+        let dev = Device::new(4096);
+        let p = dev.alloc_words(320, 32);
+        let before = dev.counters().snapshot();
+        dev.memset(p, 320, u32::MAX);
+        let d = dev.counters().snapshot().delta(&before);
+        assert_eq!(d.transactions, 10);
+        assert_eq!(dev.arena().load(p + 319), u32::MAX);
+    }
+
+    #[test]
+    fn launch_warps_runs_exact_warp_count() {
+        let dev = Device::new(64);
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        dev.launch_warps(7, |warp| {
+            assert_eq!(warp.active_mask(), FULL_MASK);
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 7);
+    }
+}

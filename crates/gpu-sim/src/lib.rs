@@ -1,0 +1,46 @@
+//! # gpu-sim — deterministic SIMT execution substrate
+//!
+//! This crate stands in for CUDA in the reproduction of *Dynamic Graphs on
+//! the GPU* (Awad et al., 2020). The paper's data structures are
+//! warp-synchronous: their correctness and performance follow from 32-lane
+//! lockstep execution, warp ballots/shuffles, word-level atomics in global
+//! memory, and coalesced 128-byte memory transactions. All four are modelled
+//! here:
+//!
+//! - [`Lanes`] / [`lanes`] — 32-wide lane vectors and pure warp intrinsics
+//!   (`ballot`, `shuffle`, `popc`, `ffs`).
+//! - [`DeviceArena`] — global memory as a growable arena of atomic `u32`
+//!   words addressed by plain `u32` device pointers.
+//! - [`Device`] / [`Warp`] — kernel launch (sequential deterministic or
+//!   multi-threaded) and the charged warp-level memory/intrinsic API.
+//! - [`PerfCounters`] / [`CostModel`] — transaction-level accounting and a
+//!   TITAN V-like analytic timing model used by the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::{Device, Lanes};
+//!
+//! let dev = Device::new(1 << 10);
+//! let out = dev.alloc_words(1, 1);
+//! // 1000 tasks, one per lane, warp-cooperatively summed.
+//! dev.launch_tasks(1000, |warp| {
+//!     let preds = Lanes::from_fn(|lane| warp.is_active(lane));
+//!     let active = warp.ballot(&preds);
+//!     // Lane 0 adds the warp's active-task count in one atomic.
+//!     warp.atomic_add(out, active.count_ones());
+//! });
+//! assert_eq!(dev.arena().load(out), 1000);
+//! ```
+
+pub mod counters;
+pub mod cost;
+pub mod device;
+pub mod lanes;
+pub mod memory;
+
+pub use counters::{CounterSnapshot, PerfCounters};
+pub use cost::{CostModel, TRANSACTION_BYTES};
+pub use device::{Device, ExecPolicy, Warp};
+pub use lanes::{ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE};
+pub use memory::{Addr, DeviceArena, NULL_ADDR, SLAB_WORDS};

@@ -1,0 +1,344 @@
+//! Simulated device global memory.
+//!
+//! A [`DeviceArena`] is a flat, growable address space of `u32` words with
+//! word-level atomics — the model of GPU global memory the slab structures
+//! run on. Addresses are plain `u32` word indices, so a "device pointer"
+//! fits in one lane register exactly as in the paper's CUDA implementation.
+//!
+//! Growth is lock-free for readers: the arena is a table of lazily
+//! allocated fixed-size segments; allocation bumps a cursor and publishes
+//! new segments with a CAS. Because slabs are 32-word aligned and segments
+//! are a multiple of 32 words, a slab never straddles two segments.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// log2 of the segment size in words (2^20 words = 4 MiB per segment).
+const SEGMENT_SHIFT: u32 = 20;
+/// Words per segment.
+pub const SEGMENT_WORDS: usize = 1 << SEGMENT_SHIFT;
+/// Maximum number of segments (=> 16 GiB address space, ample for benches).
+const MAX_SEGMENTS: usize = 4096;
+
+/// Words per 128-byte slab / cache line.
+pub const SLAB_WORDS: usize = 32;
+
+/// A device-memory address: an index into the arena's word space.
+pub type Addr = u32;
+
+/// Sentinel for "null device pointer".
+pub const NULL_ADDR: Addr = u32::MAX;
+
+/// Growable atomic word arena modelling GPU global memory.
+pub struct DeviceArena {
+    segments: Box<[AtomicPtr<AtomicU32>]>,
+    /// Bump cursor: next free word index.
+    cursor: AtomicU64,
+    /// Number of words for which segments have been published.
+    committed_words: AtomicU64,
+    /// Lock serialising segment publication (growth only, never reads).
+    grow_lock: parking_lot::Mutex<()>,
+}
+
+impl DeviceArena {
+    /// Create an arena and pre-commit `initial_words` of backing store.
+    pub fn new(initial_words: usize) -> Self {
+        let arena = DeviceArena {
+            segments: (0..MAX_SEGMENTS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+            committed_words: AtomicU64::new(0),
+            grow_lock: parking_lot::Mutex::new(()),
+        };
+        arena.ensure_committed(initial_words as u64);
+        arena
+    }
+
+    /// Words handed out so far by [`Self::alloc_words`].
+    pub fn allocated_words(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Words of backing store committed (segments published).
+    pub fn committed_words(&self) -> u64 {
+        self.committed_words.load(Ordering::Acquire)
+    }
+
+    /// Commit segments so that word indices `< words` are addressable.
+    fn ensure_committed(&self, words: u64) {
+        if self.committed_words.load(Ordering::Acquire) >= words {
+            return;
+        }
+        let _g = self.grow_lock.lock();
+        let mut committed = self.committed_words.load(Ordering::Acquire);
+        while committed < words {
+            let seg_idx = (committed >> SEGMENT_SHIFT) as usize;
+            assert!(
+                seg_idx < MAX_SEGMENTS,
+                "DeviceArena exhausted: requested {words} words, max {}",
+                MAX_SEGMENTS * SEGMENT_WORDS
+            );
+            if self.segments[seg_idx].load(Ordering::Acquire).is_null() {
+                let mut seg: Vec<AtomicU32> =
+                    (0..SEGMENT_WORDS).map(|_| AtomicU32::new(0)).collect();
+                let ptr = seg.as_mut_ptr();
+                std::mem::forget(seg);
+                self.segments[seg_idx].store(ptr, Ordering::Release);
+            }
+            committed += SEGMENT_WORDS as u64;
+        }
+        self.committed_words.store(committed, Ordering::Release);
+    }
+
+    /// Bump-allocate `n` words aligned to `align` words; returns the base
+    /// address. Used for bulk base-slab regions and fixed tables; the slab
+    /// allocator builds its pools on top of this.
+    pub fn alloc_words(&self, n: usize, align: usize) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align as u64;
+        let n = n as u64;
+        loop {
+            let cur = self.cursor.load(Ordering::Relaxed);
+            let base = (cur + align - 1) & !(align - 1);
+            let end = base + n;
+            assert!(
+                end <= (MAX_SEGMENTS * SEGMENT_WORDS) as u64,
+                "DeviceArena address space exhausted"
+            );
+            if self
+                .cursor
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.ensure_committed(end);
+                return base as Addr;
+            }
+        }
+    }
+
+    /// Borrow the atomic word at `addr`.
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU32 {
+        let seg_idx = (addr >> SEGMENT_SHIFT) as usize;
+        let off = (addr as usize) & (SEGMENT_WORDS - 1);
+        let ptr = self.segments[seg_idx].load(Ordering::Acquire);
+        assert!(
+            !ptr.is_null(),
+            "access to uncommitted device address {addr:#x}"
+        );
+        // SAFETY: segments are SEGMENT_WORDS long, published once with
+        // Release, never freed before the arena drops, and `off` is in
+        // bounds by construction.
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Relaxed load of one word.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u32 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Store one word.
+    #[inline]
+    pub fn store(&self, addr: Addr, v: u32) {
+        self.word(addr).store(v, Ordering::Release);
+    }
+
+    /// Compare-and-swap one word; returns `Ok(expected)` on success or
+    /// `Err(actual)` on failure, like hardware `atomicCAS`.
+    #[inline]
+    pub fn cas(&self, addr: Addr, expected: u32, new: u32) -> Result<u32, u32> {
+        self.word(addr)
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomic exchange.
+    #[inline]
+    pub fn exchange(&self, addr: Addr, v: u32) -> u32 {
+        self.word(addr).swap(v, Ordering::AcqRel)
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, addr: Addr, v: u32) -> u32 {
+        self.word(addr).fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Atomic sub; returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, addr: Addr, v: u32) -> u32 {
+        self.word(addr).fetch_sub(v, Ordering::AcqRel)
+    }
+
+    /// Atomic bitwise OR; returns the previous value.
+    #[inline]
+    pub fn fetch_or(&self, addr: Addr, v: u32) -> u32 {
+        self.word(addr).fetch_or(v, Ordering::AcqRel)
+    }
+
+    /// Atomic bitwise AND; returns the previous value.
+    #[inline]
+    pub fn fetch_and(&self, addr: Addr, v: u32) -> u32 {
+        self.word(addr).fetch_and(v, Ordering::AcqRel)
+    }
+
+    /// Read `SLAB_WORDS` consecutive words starting at the slab-aligned
+    /// `base` into an array (one coalesced 128 B read).
+    #[inline]
+    pub fn load_slab(&self, base: Addr) -> [u32; SLAB_WORDS] {
+        debug_assert_eq!(base as usize % SLAB_WORDS, 0, "slab base misaligned");
+        std::array::from_fn(|i| self.load(base + i as u32))
+    }
+
+    /// Write `SLAB_WORDS` consecutive words (one coalesced 128 B write).
+    #[inline]
+    pub fn store_slab(&self, base: Addr, words: &[u32; SLAB_WORDS]) {
+        debug_assert_eq!(base as usize % SLAB_WORDS, 0, "slab base misaligned");
+        for (i, w) in words.iter().enumerate() {
+            self.store(base + i as u32, *w);
+        }
+    }
+
+    /// Zero-fill `n` words from `base` (host-side helper for initialising
+    /// freshly allocated regions with a sentinel pattern).
+    pub fn fill(&self, base: Addr, n: usize, v: u32) {
+        for i in 0..n {
+            self.store(base + i as u32, v);
+        }
+    }
+}
+
+impl Drop for DeviceArena {
+    fn drop(&mut self) {
+        for seg in self.segments.iter() {
+            let ptr = seg.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                // SAFETY: pointer came from a forgotten Vec<AtomicU32> of
+                // SEGMENT_WORDS elements; reconstitute and drop it.
+                unsafe {
+                    drop(Vec::from_raw_parts(ptr, SEGMENT_WORDS, SEGMENT_WORDS));
+                }
+            }
+        }
+    }
+}
+
+// SAFETY: all interior state is atomic or lock-protected.
+unsafe impl Send for DeviceArena {}
+unsafe impl Sync for DeviceArena {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let a = DeviceArena::new(1024);
+        let p1 = a.alloc_words(100, 32);
+        let p2 = a.alloc_words(100, 32);
+        assert_eq!(p1 % 32, 0);
+        assert_eq!(p2 % 32, 0);
+        assert!(p2 >= p1 + 100);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let a = DeviceArena::new(1024);
+        let p = a.alloc_words(4, 1);
+        a.store(p, 0xDEAD_BEEF);
+        assert_eq!(a.load(p), 0xDEAD_BEEF);
+        assert_eq!(a.load(p + 1), 0);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let a = DeviceArena::new(64);
+        let p = a.alloc_words(1, 1);
+        assert_eq!(a.cas(p, 0, 5), Ok(0));
+        assert_eq!(a.cas(p, 0, 9), Err(5));
+        assert_eq!(a.load(p), 5);
+    }
+
+    #[test]
+    fn fetch_ops() {
+        let a = DeviceArena::new(64);
+        let p = a.alloc_words(1, 1);
+        assert_eq!(a.fetch_add(p, 3), 0);
+        assert_eq!(a.fetch_add(p, 4), 3);
+        assert_eq!(a.fetch_sub(p, 2), 7);
+        assert_eq!(a.load(p), 5);
+        a.store(p, 0b0011);
+        assert_eq!(a.fetch_or(p, 0b0100), 0b0011);
+        assert_eq!(a.fetch_and(p, 0b0110), 0b0111);
+        assert_eq!(a.load(p), 0b0110);
+    }
+
+    #[test]
+    fn slab_roundtrip() {
+        let a = DeviceArena::new(1024);
+        let p = a.alloc_words(SLAB_WORDS, SLAB_WORDS);
+        let words: [u32; SLAB_WORDS] = std::array::from_fn(|i| i as u32 * 7);
+        a.store_slab(p, &words);
+        assert_eq!(a.load_slab(p), words);
+    }
+
+    #[test]
+    fn grows_past_one_segment() {
+        let a = DeviceArena::new(64);
+        // Allocate more than one 1M-word segment.
+        let p = a.alloc_words(SEGMENT_WORDS + 128, 32);
+        let last = p + SEGMENT_WORDS as u32 + 100;
+        a.store(last, 42);
+        assert_eq!(a.load(last), 42);
+    }
+
+    #[test]
+    fn fill_sets_range() {
+        let a = DeviceArena::new(256);
+        let p = a.alloc_words(64, 32);
+        a.fill(p, 64, u32::MAX);
+        for i in 0..64 {
+            assert_eq!(a.load(p + i), u32::MAX);
+        }
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let a = std::sync::Arc::new(DeviceArena::new(64));
+        let p = a.alloc_words(1, 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = a.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(p, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(p), 40_000);
+    }
+
+    #[test]
+    fn concurrent_alloc_never_overlaps() {
+        let a = std::sync::Arc::new(DeviceArena::new(64));
+        let mut all: Vec<u32> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let a = a.clone();
+                    s.spawn(move || {
+                        (0..1000).map(|_| a.alloc_words(32, 32)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000);
+    }
+}

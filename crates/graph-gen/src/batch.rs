@@ -1,0 +1,127 @@
+//! Update-batch generators for the paper's evaluation strategy (§V-A).
+//!
+//! "Edges are inserted or deleted between existing vertices in the graph.
+//! Duplicate edges are allowed within a batch and across the batch and the
+//! graph" — so insertion batches sample uniformly over the vertex set, and
+//! deletion batches mix random pairs (mostly misses on sparse graphs) as
+//! the paper's deletion benchmark does.
+
+use crate::RawEdge;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A batch of `size` random edges between existing vertices; duplicates
+/// within the batch and against the graph are allowed (§V-A1).
+pub fn insert_batch(n_vertices: u32, size: usize, seed: u64) -> Vec<RawEdge> {
+    assert!(n_vertices > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..size)
+        .map(|_| {
+            (
+                rng.random_range(0..n_vertices),
+                rng.random_range(0..n_vertices),
+            )
+        })
+        .collect()
+}
+
+/// A deletion batch: a mix of edges sampled from the graph (hits) and
+/// random pairs (misses). `hit_fraction` controls the ratio; the paper's
+/// random batches over sparse graphs are mostly misses, so Table III notes
+/// "the true number of deleted edges ... is much lower than the number of
+/// randomly generated edges".
+pub fn delete_batch(
+    n_vertices: u32,
+    existing: &[RawEdge],
+    size: usize,
+    hit_fraction: f64,
+    seed: u64,
+) -> Vec<RawEdge> {
+    assert!((0.0..=1.0).contains(&hit_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(size);
+    for _ in 0..size {
+        if !existing.is_empty() && rng.random::<f64>() < hit_fraction {
+            batch.push(existing[rng.random_range(0..existing.len())]);
+        } else {
+            batch.push((
+                rng.random_range(0..n_vertices),
+                rng.random_range(0..n_vertices),
+            ));
+        }
+    }
+    batch
+}
+
+/// A batch of distinct vertex ids to delete, sampled without replacement
+/// (§V-A2). Panics if `size > n_vertices`.
+pub fn vertex_batch(n_vertices: u32, size: usize, seed: u64) -> Vec<u32> {
+    assert!(size <= n_vertices as usize, "batch exceeds vertex count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n_vertices).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(size);
+    ids
+}
+
+/// Attach deterministic pseudo-random weights to raw edges.
+pub fn weighted(edges: &[RawEdge], seed: u64) -> Vec<(u32, u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges
+        .iter()
+        .map(|&(u, v)| (u, v, rng.random_range(1..1_000_000)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_batch_in_range_and_deterministic() {
+        let a = insert_batch(50, 500, 1);
+        assert_eq!(a, insert_batch(50, 500, 1));
+        assert!(a.iter().all(|&(u, v)| u < 50 && v < 50));
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn insert_batch_contains_duplicates_at_scale() {
+        // Birthday bound: 500 draws over 10×10 pairs must collide.
+        let a = insert_batch(10, 500, 2);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert!(set.len() < a.len(), "expected duplicate edges in batch");
+    }
+
+    #[test]
+    fn delete_batch_hits_existing_edges() {
+        let existing = vec![(1u32, 2u32), (3, 4), (5, 6)];
+        let b = delete_batch(100, &existing, 200, 1.0, 3);
+        assert!(b.iter().all(|e| existing.contains(e)), "all hits");
+        let misses = delete_batch(100, &existing, 200, 0.0, 3);
+        assert_eq!(misses.len(), 200);
+    }
+
+    #[test]
+    fn vertex_batch_is_distinct() {
+        let b = vertex_batch(100, 60, 4);
+        let set: std::collections::HashSet<_> = b.iter().collect();
+        assert_eq!(set.len(), 60, "no repeated vertex ids");
+        assert!(b.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_vertex_batch_panics() {
+        vertex_batch(10, 11, 0);
+    }
+
+    #[test]
+    fn weighted_attaches_nonzero_weights() {
+        let w = weighted(&[(0, 1), (2, 3)], 7);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|&(_, _, wt)| wt >= 1));
+        assert_eq!(w, weighted(&[(0, 1), (2, 3)], 7));
+    }
+}

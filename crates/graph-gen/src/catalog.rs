@@ -1,0 +1,218 @@
+//! The Table I dataset catalog, reproduced as scaled synthetic graphs.
+//!
+//! Each entry records the paper's published statistics (vertices, edges,
+//! degree min/max/avg/σ) and knows how to generate a *scaled* synthetic
+//! stand-in whose degree distribution matches the original's family:
+//! road networks, meshes, geometric graphs, or scale-free social graphs.
+//! See DESIGN.md §2 for why degree-matched synthetics preserve the
+//! measured behaviour.
+
+use crate::rmat::{rmat_edges, RmatParams};
+use crate::synthetic::{delaunay_like, grid_road, random_geometric};
+use crate::RawEdge;
+use serde::Serialize;
+
+/// Structural family driving the generator choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Family {
+    /// Degree ≈ 2, σ < 1 (osm road networks, road_usa).
+    Road,
+    /// Degree ≈ 6, σ ≈ 1.3 (delaunay_n20/n23).
+    Delaunay,
+    /// Degree 13–16, σ ≈ 4 (rgg_n_2_*).
+    Geometric,
+    /// Degree ≈ 48, σ ≈ 12 (ldoor FEM mesh).
+    Mesh,
+    /// Heavy-tailed (coAuthorsDBLP, soc-*, hollywood-2009).
+    ScaleFree,
+}
+
+/// One Table I row: the paper's numbers plus generation parameters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DatasetSpec {
+    pub name: &'static str,
+    pub family: Family,
+    pub paper_vertices: u64,
+    pub paper_edges: u64,
+    pub paper_avg_degree: f64,
+    pub paper_degree_sigma: f64,
+}
+
+/// A generated, scaled instance of a catalog dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub spec: DatasetSpec,
+    pub n_vertices: u32,
+    pub edges: Vec<RawEdge>,
+}
+
+/// All twelve Table I rows, in the paper's order.
+pub fn datasets() -> Vec<DatasetSpec> {
+    use Family::*;
+    vec![
+        spec("luxembourg_osm", Road, 114_000, 239_000, 2.1, 0.41),
+        spec("germany_osm", Road, 11_500_000, 24_700_000, 2.1, 0.51),
+        spec("road_usa", Road, 23_900_000, 57_710_000, 2.4, 0.85),
+        spec("delaunay_n23", Delaunay, 8_400_000, 50_300_000, 6.0, 1.33),
+        spec("delaunay_n20", Delaunay, 1_000_000, 6_300_000, 6.0, 1.33),
+        spec("rgg_n_2_20_s0", Geometric, 1_000_000, 13_800_000, 13.1, 3.62),
+        spec("rgg_n_2_24_s0", Geometric, 16_800_000, 265_100_000, 16.0, 3.99),
+        spec("coAuthorsDBLP", ScaleFree, 299_000, 1_900_000, 6.4, 9.80),
+        spec("ldoor", Mesh, 952_000, 45_500_000, 47.7, 11.97),
+        spec("soc-LiveJournal1", ScaleFree, 4_800_000, 85_700_000, 17.2, 50.65),
+        spec("soc-orkut", ScaleFree, 3_000_000, 212_700_000, 70.9, 139.72),
+        spec("hollywood-2009", ScaleFree, 1_100_000, 112_800_000, 98.9, 271.70),
+    ]
+}
+
+fn spec(
+    name: &'static str,
+    family: Family,
+    v: u64,
+    e: u64,
+    avg: f64,
+    sigma: f64,
+) -> DatasetSpec {
+    DatasetSpec {
+        name,
+        family,
+        paper_vertices: v,
+        paper_edges: e,
+        paper_avg_degree: avg,
+        paper_degree_sigma: sigma,
+    }
+}
+
+/// Look up a catalog row by name.
+pub fn dataset(name: &str) -> Option<DatasetSpec> {
+    datasets().into_iter().find(|d| d.name == name)
+}
+
+impl DatasetSpec {
+    /// Default benchmark scale: vertex count capped so the edge count stays
+    /// around a few hundred thousand — sized for a single-core host running
+    /// the simulator (see DESIGN.md §8).
+    pub fn default_scale(&self) -> u32 {
+        let cap_by_edges = (400_000.0 / self.paper_avg_degree.max(1.0)) as u64;
+        self.paper_vertices.min(cap_by_edges).max(4096) as u32
+    }
+
+    /// Generate a scaled instance with ~`n_vertices` vertices, preserving
+    /// the family's degree profile. Deterministic in `seed`.
+    pub fn generate(&self, n_vertices: u32, seed: u64) -> Dataset {
+        let edges = match self.family {
+            Family::Road => {
+                let side = (n_vertices as f64).sqrt().ceil() as u32;
+                // 4-connected grid: interior out-degree 4(1-p); solve for
+                // the paper's average.
+                let drop = (1.0 - self.paper_avg_degree / 4.0).clamp(0.05, 0.9);
+                grid_road(side, n_vertices.div_ceil(side), drop, seed)
+            }
+            Family::Delaunay => delaunay_like(n_vertices, seed),
+            Family::Geometric | Family::Mesh => {
+                random_geometric(n_vertices, self.paper_avg_degree, seed)
+            }
+            Family::ScaleFree => {
+                let scale = 32 - n_vertices.next_power_of_two().leading_zeros() - 1;
+                let num_edges = (n_vertices as f64 * self.paper_avg_degree) as usize;
+                rmat_edges(scale.max(4), num_edges, RmatParams::graph500(), seed)
+            }
+        };
+        let n_vertices = match self.family {
+            // Grid generators may round the vertex count up to a full grid.
+            Family::Road => {
+                let side = (n_vertices as f64).sqrt().ceil() as u32;
+                side * n_vertices.div_ceil(side)
+            }
+            // R-MAT draws ids over the full 2^scale id space.
+            Family::ScaleFree => n_vertices.next_power_of_two(),
+            _ => n_vertices,
+        };
+        Dataset {
+            spec: *self,
+            n_vertices,
+            edges,
+        }
+    }
+
+    /// Generate at the default benchmark scale.
+    pub fn generate_default(&self, seed: u64) -> Dataset {
+        self.generate(self.default_scale(), seed)
+    }
+}
+
+impl Dataset {
+    /// Observed degree statistics of the generated instance.
+    pub fn stats(&self) -> crate::stats::DegreeStats {
+        crate::stats::degree_stats(self.n_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_twelve_rows_matching_table1() {
+        let all = datasets();
+        assert_eq!(all.len(), 12);
+        let road = dataset("road_usa").unwrap();
+        assert_eq!(road.paper_vertices, 23_900_000);
+        assert_eq!(road.paper_avg_degree, 2.4);
+        assert!(dataset("no_such_graph").is_none());
+    }
+
+    #[test]
+    fn default_scales_are_tractable() {
+        for d in datasets() {
+            let v = d.default_scale();
+            assert!(v >= 4096, "{}: {v}", d.name);
+            let approx_edges = v as f64 * d.paper_avg_degree;
+            assert!(
+                approx_edges < 600_000.0,
+                "{}: ~{approx_edges} edges too many",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_families_match_degree_profiles() {
+        for name in ["luxembourg_osm", "delaunay_n20", "rgg_n_2_20_s0"] {
+            let spec = dataset(name).unwrap();
+            let ds = spec.generate(10_000, 42);
+            let s = ds.stats();
+            let rel = (s.avg - spec.paper_avg_degree).abs() / spec.paper_avg_degree;
+            assert!(
+                rel < 0.35,
+                "{name}: generated avg {} vs paper {}",
+                s.avg,
+                spec.paper_avg_degree
+            );
+        }
+    }
+
+    #[test]
+    fn scale_free_instances_are_heavy_tailed() {
+        let spec = dataset("hollywood-2009").unwrap();
+        let ds = spec.generate(8192, 1);
+        let s = ds.stats();
+        assert!(s.max as f64 > 5.0 * s.avg, "max {} avg {}", s.max, s.avg);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = dataset("coAuthorsDBLP").unwrap();
+        assert_eq!(spec.generate(5000, 9).edges, spec.generate(5000, 9).edges);
+    }
+
+    #[test]
+    fn edges_stay_in_vertex_range() {
+        for d in datasets() {
+            let ds = d.generate(5000, 3);
+            for &(u, v) in ds.edges.iter().take(5000) {
+                assert!(u < ds.n_vertices && v < ds.n_vertices, "{}", d.name);
+            }
+        }
+    }
+}

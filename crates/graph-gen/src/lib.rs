@@ -1,0 +1,28 @@
+//! # graph-gen — deterministic workload generators for the evaluation
+//!
+//! The paper benchmarks on twelve public datasets (Table I) spanning three
+//! families — road networks (degree ≈ 2, tiny variance), meshes/geometric
+//! graphs (degree 6–16, small variance), and scale-free social/web graphs
+//! (heavy-tailed, max degree in the tens of thousands). The datasets
+//! themselves are not load-bearing; their *degree distributions* are, since
+//! they determine adjacency-list sizes and hence data-structure behaviour.
+//!
+//! This crate provides seeded, dependency-light generators for each family
+//! plus a [`catalog`] mirroring Table I at configurable scale, and the
+//! update-batch generators defined by the paper's evaluation strategy
+//! (§V-A: random edges between existing vertices, duplicates allowed).
+
+pub mod batch;
+pub mod catalog;
+pub mod rmat;
+pub mod stats;
+pub mod synthetic;
+
+pub use batch::{delete_batch, insert_batch, vertex_batch, weighted};
+pub use catalog::{dataset, datasets, Dataset, DatasetSpec};
+pub use rmat::{rmat_edges, RmatParams};
+pub use stats::{degree_stats, DegreeStats};
+pub use synthetic::{delaunay_like, grid_road, random_geometric, uniform_random};
+
+/// An unweighted directed edge as produced by every generator.
+pub type RawEdge = (u32, u32);

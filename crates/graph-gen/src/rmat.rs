@@ -1,0 +1,163 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti et al., 2004).
+//!
+//! The paper's Fig. 2 and Fig. 3 sweeps use "directed RMAT graphs with 2^20
+//! vertices but different average degree". R-MAT recursively descends a
+//! 2×2 partition of the adjacency matrix with probabilities (a, b, c, d),
+//! producing the heavy-tailed degree distributions of scale-free graphs.
+
+use crate::RawEdge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    /// Per-level noise added to fight the "staircase" artifact.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The canonical Graph500-style parameters (0.57, 0.19, 0.19, 0.05).
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: 0.1,
+        }
+    }
+
+    /// A flatter distribution (closer to Erdős–Rényi).
+    pub fn flat() -> Self {
+        RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            noise: 0.0,
+        }
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::graph500()
+    }
+}
+
+/// Generate `num_edges` directed R-MAT edges over `2^scale` vertices.
+///
+/// Duplicate edges and self-loops may appear, exactly as in the raw
+/// generator — the paper's structures are responsible for deduplication.
+pub fn rmat_edges(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> Vec<RawEdge> {
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    let total = params.a + params.b + params.c + params.d;
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "RMAT probabilities must sum to 1, got {total}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        edges.push(one_edge(scale, &params, &mut rng));
+    }
+    edges
+}
+
+fn one_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> RawEdge {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for level in 0..scale {
+        // Jitter the quadrant probabilities per level.
+        let mut jitter = |v: f64| {
+            if p.noise > 0.0 {
+                (v * (1.0 - p.noise + 2.0 * p.noise * rng.random::<f64>())).max(1e-6)
+            } else {
+                v
+            }
+        };
+        let (a, b, c, d) = (jitter(p.a), jitter(p.b), jitter(p.c), jitter(p.d));
+        let sum = a + b + c + d;
+        let r = rng.random::<f64>() * sum;
+        let bit = 1u32 << (scale - 1 - level);
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            dst |= bit;
+        } else if r < a + b + c {
+            src |= bit;
+        } else {
+            src |= bit;
+            dst |= bit;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn generates_requested_count_in_range() {
+        let edges = rmat_edges(10, 5000, RmatParams::graph500(), 1);
+        assert_eq!(edges.len(), 5000);
+        for &(u, v) in &edges {
+            assert!(u < 1024 && v < 1024);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = rmat_edges(12, 1000, RmatParams::graph500(), 7);
+        let b = rmat_edges(12, 1000, RmatParams::graph500(), 7);
+        assert_eq!(a, b);
+        let c = rmat_edges(12, 1000, RmatParams::graph500(), 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn graph500_is_heavy_tailed() {
+        let edges = rmat_edges(12, 40_000, RmatParams::graph500(), 3);
+        let s = degree_stats(4096, &edges);
+        // Scale-free: max degree far above the mean, high σ.
+        assert!(
+            s.max as f64 > 10.0 * s.avg,
+            "max {} should dwarf avg {}",
+            s.max,
+            s.avg
+        );
+        assert!(s.stddev > s.avg, "σ {} should exceed avg {}", s.stddev, s.avg);
+    }
+
+    #[test]
+    fn flat_params_are_not_heavy_tailed() {
+        let edges = rmat_edges(12, 40_000, RmatParams::flat(), 3);
+        let s = degree_stats(4096, &edges);
+        assert!(
+            (s.max as f64) < 5.0 * s.avg,
+            "flat RMAT max {} close to avg {}",
+            s.max,
+            s.avg
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let p = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+            noise: 0.0,
+        };
+        rmat_edges(4, 10, p, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Degree statistics in the exact shape of the paper's Table I
+//! (min / max / average / σ of out-degree).
+
+use crate::RawEdge;
+use serde::Serialize;
+
+/// Out-degree statistics of an edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DegreeStats {
+    pub vertices: u32,
+    pub edges: u64,
+    pub min: u32,
+    pub max: u32,
+    pub avg: f64,
+    pub stddev: f64,
+}
+
+/// Compute [`DegreeStats`] for `edges` over `n_vertices` vertices
+/// (self-loops and duplicates count toward degree, as in raw COO data).
+pub fn degree_stats(n_vertices: u32, edges: &[RawEdge]) -> DegreeStats {
+    let mut deg = vec![0u32; n_vertices as usize];
+    for &(u, _) in edges {
+        deg[u as usize] += 1;
+    }
+    let n = n_vertices as f64;
+    let sum: u64 = deg.iter().map(|&d| d as u64).sum();
+    let avg = sum as f64 / n;
+    let var = deg
+        .iter()
+        .map(|&d| {
+            let x = d as f64 - avg;
+            x * x
+        })
+        .sum::<f64>()
+        / n;
+    DegreeStats {
+        vertices: n_vertices,
+        edges: edges.len() as u64,
+        min: deg.iter().copied().min().unwrap_or(0),
+        max: deg.iter().copied().max().unwrap_or(0),
+        avg,
+        stddev: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_stats() {
+        // Vertex 0 has out-degree 3, vertex 1 has 1, vertex 2 has 0.
+        let edges = vec![(0, 1), (0, 2), (0, 1), (1, 0)];
+        let s = degree_stats(3, &edges);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert!((s.avg - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_stddev() {
+        let edges: Vec<_> = (0..10u32).map(|u| (u, (u + 1) % 10)).collect();
+        let s = degree_stats(10, &edges);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let s = degree_stats(5, &[]);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.avg, 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! # slab-alloc — warp-cooperative slab allocator (SlabAlloc workalike)
+//!
+//! The paper's hash tables resolve collisions by chaining 128-byte *slabs*,
+//! allocated on demand by SlabAlloc (Ashkiani et al., IPDPS 2018). This
+//! crate reproduces that allocator on the simulated device:
+//!
+//! - The pool grows in **super-blocks** of 32 **memory blocks**; each memory
+//!   block holds 32 slabs tracked by one 32-bit occupancy bitmap word that
+//!   lives in device memory.
+//! - **Allocation** is warp-cooperative: a warp hashes to a memory block,
+//!   reads its bitmap, picks a free bit, and claims it with `atomicOr`;
+//!   on conflict or a full block it rehashes to another block.
+//! - **Freeing** clears the bit with `atomicAnd`. The paper frees collision
+//!   slabs only during vertex deletion.
+//!
+//! Returned handles are raw device word addresses ([`gpu_sim::Addr`]), so a
+//! slab pointer fits in a single `u32` lane register exactly as in CUDA.
+//! Fresh slabs are initialised to the `EMPTY` sentinel pattern expected by
+//! the slab hash.
+
+use gpu_sim::{Addr, Device, Warp, SLAB_WORDS};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel filled into newly allocated slabs (matches slab-hash `EMPTY`).
+pub const SLAB_INIT_WORD: u32 = u32::MAX;
+
+/// Memory blocks per super-block.
+const BLOCKS_PER_SUPER: usize = 32;
+/// Slabs per memory block (one bit each in the block's bitmap word).
+const SLABS_PER_BLOCK: usize = 32;
+/// Slabs per super-block.
+const SLABS_PER_SUPER: usize = BLOCKS_PER_SUPER * SLABS_PER_BLOCK;
+
+/// Host-side record of one device-resident super-block.
+#[derive(Debug, Clone, Copy)]
+struct SuperBlock {
+    /// Address of the 32 bitmap words (one per memory block).
+    bitmaps: Addr,
+    /// Address of the first slab's first word.
+    slabs: Addr,
+}
+
+/// Warp-cooperative slab allocator over a [`Device`] arena.
+///
+/// Thread-safe: kernels running on the threaded executor may allocate and
+/// free concurrently. Growth (adding super-blocks) takes a host-side write
+/// lock; the hot path takes a read lock only.
+pub struct SlabAllocator {
+    supers: RwLock<Vec<SuperBlock>>,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl SlabAllocator {
+    /// Create an allocator with capacity for `initial_slabs` (rounded up to
+    /// whole super-blocks, minimum one).
+    pub fn new(dev: &Device, initial_slabs: usize) -> Self {
+        let alloc = SlabAllocator {
+            supers: RwLock::new(Vec::new()),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        };
+        let supers_needed = initial_slabs.div_ceil(SLABS_PER_SUPER).max(1);
+        for _ in 0..supers_needed {
+            alloc.grow(dev);
+        }
+        alloc
+    }
+
+    /// Add one super-block to the pool.
+    fn grow(&self, dev: &Device) {
+        let mut supers = self.supers.write();
+        let bitmaps = dev.alloc_words(BLOCKS_PER_SUPER, SLAB_WORDS);
+        let slabs = dev.alloc_words(SLABS_PER_SUPER * SLAB_WORDS, SLAB_WORDS);
+        // Bitmaps start all-free (zero); arena memory is zero-initialised.
+        supers.push(SuperBlock { bitmaps, slabs });
+    }
+
+    /// Number of slabs currently live (allocated − freed).
+    pub fn live_slabs(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed) - self.freed.load(Ordering::Relaxed)
+    }
+
+    /// Total slabs ever allocated.
+    pub fn total_allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total pool capacity in slabs.
+    pub fn capacity_slabs(&self) -> usize {
+        self.supers.read().len() * SLABS_PER_SUPER
+    }
+
+    /// Device words consumed by the pool (slabs + bitmaps).
+    pub fn pool_words(&self) -> u64 {
+        (self.supers.read().len() * (SLABS_PER_SUPER * SLAB_WORDS + BLOCKS_PER_SUPER)) as u64
+    }
+
+    /// Warp-cooperative allocation of one slab.
+    ///
+    /// The returned address is slab-aligned and its 32 words are initialised
+    /// to [`SLAB_INIT_WORD`]. Charges: one transaction per bitmap probe, one
+    /// atomic per claim attempt, one transaction for the init write.
+    pub fn allocate(&self, warp: &Warp) -> Addr {
+        loop {
+            let n_supers = self.supers.read().len();
+            // Probe sequence seeded by warp id and a per-call nonce derived
+            // from the allocation counter, mimicking SlabAlloc's hashed
+            // resident-block strategy.
+            let nonce = self.allocated.load(Ordering::Relaxed) as u32;
+            let total_blocks = n_supers * BLOCKS_PER_SUPER;
+            for attempt in 0..total_blocks.max(1) {
+                let h = hash_block(warp.warp_id(), nonce, attempt as u32);
+                let block_idx = (h as usize) % total_blocks;
+                let (sb, block_in_super) = {
+                    let supers = self.supers.read();
+                    (
+                        supers[block_idx / BLOCKS_PER_SUPER],
+                        block_idx % BLOCKS_PER_SUPER,
+                    )
+                };
+                let bitmap_addr = sb.bitmaps + block_in_super as u32;
+                let mut bitmap = warp.read_word(bitmap_addr);
+                while bitmap != u32::MAX {
+                    let slot = (!bitmap).trailing_zeros();
+                    let prev = warp.atomic_or(bitmap_addr, 1 << slot);
+                    if prev & (1 << slot) == 0 {
+                        // Claimed. Initialise the slab to the EMPTY pattern.
+                        self.allocated.fetch_add(1, Ordering::Relaxed);
+                        let slab_idx = block_in_super * SLABS_PER_BLOCK + slot as usize;
+                        let addr = sb.slabs + (slab_idx * SLAB_WORDS) as u32;
+                        let init = gpu_sim::Lanes::splat(SLAB_INIT_WORD);
+                        warp.write_slab(addr, &init);
+                        return addr;
+                    }
+                    // Raced: another warp took the bit; retry on updated map.
+                    bitmap = prev | (1 << slot);
+                }
+            }
+            // Every probed block was full: grow the pool and retry.
+            self.grow(warp.device());
+        }
+    }
+
+    /// Warp-cooperative free of a slab previously returned by
+    /// [`Self::allocate`]. Clears the occupancy bit (one atomic).
+    ///
+    /// # Panics
+    /// Panics if `addr` does not belong to the pool (e.g. a statically
+    /// allocated base slab) or is not currently allocated — both indicate
+    /// data-structure corruption, matching a debug assertion in SlabAlloc.
+    pub fn free(&self, warp: &Warp, addr: Addr) {
+        let (bitmap_addr, slot) = self
+            .locate(addr)
+            .unwrap_or_else(|| panic!("free of non-pool slab address {addr:#x}"));
+        let prev = warp.atomic_and(bitmap_addr, !(1 << slot));
+        assert!(
+            prev & (1 << slot) != 0,
+            "double free of slab address {addr:#x}"
+        );
+        self.freed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether `addr` lies inside the dynamic pool (vs. a static base slab).
+    pub fn owns(&self, addr: Addr) -> bool {
+        self.locate(addr).is_some()
+    }
+
+    /// Map a slab address to its (bitmap word address, bit index).
+    fn locate(&self, addr: Addr) -> Option<(Addr, u32)> {
+        let supers = self.supers.read();
+        for sb in supers.iter() {
+            let start = sb.slabs;
+            let end = start + (SLABS_PER_SUPER * SLAB_WORDS) as u32;
+            if addr >= start && addr < end {
+                let slab_idx = ((addr - start) as usize) / SLAB_WORDS;
+                debug_assert_eq!((addr - start) as usize % SLAB_WORDS, 0);
+                let block = slab_idx / SLABS_PER_BLOCK;
+                let slot = (slab_idx % SLABS_PER_BLOCK) as u32;
+                return Some((sb.bitmaps + block as u32, slot));
+            }
+        }
+        None
+    }
+}
+
+/// Mixing hash for the probe sequence (xorshift-multiply).
+#[inline]
+fn hash_block(warp_id: u32, nonce: u32, attempt: u32) -> u32 {
+    let mut x = warp_id
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(nonce.wrapping_mul(0x85EB_CA6B))
+        .wrapping_add(attempt.wrapping_mul(0xC2B2_AE35));
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x7FEB_352D);
+    x ^= x >> 15;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, ExecPolicy};
+
+    fn with_warp(dev: &Device, f: impl Fn(&Warp) + Sync) {
+        dev.launch_warps(1, |warp| f(warp));
+    }
+
+    #[test]
+    fn allocate_returns_aligned_initialised_slab() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 64);
+        with_warp(&dev, |warp| {
+            let a = alloc.allocate(warp);
+            assert_eq!(a as usize % SLAB_WORDS, 0);
+            for i in 0..SLAB_WORDS as u32 {
+                assert_eq!(dev.arena().load(a + i), SLAB_INIT_WORD);
+            }
+        });
+        assert_eq!(alloc.live_slabs(), 1);
+    }
+
+    #[test]
+    fn allocations_are_distinct() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 1024);
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        with_warp(&dev, |warp| {
+            for _ in 0..500 {
+                let a = alloc.allocate(warp);
+                assert!(seen.lock().unwrap().insert(a), "duplicate slab {a:#x}");
+            }
+        });
+        assert_eq!(alloc.live_slabs(), 500);
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 32);
+        with_warp(&dev, |warp| {
+            let first: Vec<Addr> = (0..100).map(|_| alloc.allocate(warp)).collect();
+            for &a in &first {
+                // Dirty the slab, then free it.
+                dev.arena().store(a, 123);
+                alloc.free(warp, a);
+            }
+            assert_eq!(alloc.live_slabs(), 0);
+            // Reallocated slabs must be re-initialised.
+            for _ in 0..100 {
+                let a = alloc.allocate(warp);
+                assert_eq!(dev.arena().load(a), SLAB_INIT_WORD);
+            }
+        });
+    }
+
+    #[test]
+    fn pool_grows_when_exhausted() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 1); // one super-block = 1024 slabs
+        let initial_capacity = alloc.capacity_slabs();
+        with_warp(&dev, |warp| {
+            for _ in 0..initial_capacity + 10 {
+                alloc.allocate(warp);
+            }
+        });
+        assert!(alloc.capacity_slabs() > initial_capacity);
+        assert_eq!(alloc.live_slabs() as usize, initial_capacity + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 32);
+        dev.launch_warps(1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a);
+            alloc.free(warp, a);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-pool slab")]
+    fn freeing_foreign_address_panics() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 32);
+        let foreign = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
+        dev.launch_warps(1, |warp| {
+            alloc.free(warp, foreign);
+        });
+    }
+
+    #[test]
+    fn owns_distinguishes_pool_from_static() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 32);
+        let foreign = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
+        with_warp(&dev, |warp| {
+            let a = alloc.allocate(warp);
+            assert!(alloc.owns(a));
+            assert!(!alloc.owns(foreign));
+        });
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
+        let alloc = SlabAllocator::new(&dev, 4096);
+        let seen = parking_lot::Mutex::new(std::collections::HashSet::new());
+        dev.launch_warps(64, |warp| {
+            for _ in 0..16 {
+                let a = alloc.allocate(warp);
+                assert!(seen.lock().insert(a), "duplicate slab under threads");
+            }
+        });
+        assert_eq!(alloc.live_slabs(), 64 * 16);
+    }
+
+    #[test]
+    fn allocation_charges_counters() {
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 64);
+        let before = dev.counters().snapshot();
+        with_warp(&dev, |warp| {
+            alloc.allocate(warp);
+        });
+        let d = dev.counters().snapshot().delta(&before);
+        assert!(d.transactions >= 2, "bitmap probe + slab init");
+        assert!(d.atomics >= 1, "bitmap claim");
+    }
+}

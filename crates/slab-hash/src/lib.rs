@@ -1,0 +1,1004 @@
+//! # slab-hash — warp-cooperative hash tables (SlabHash workalike)
+//!
+//! The paper stores each vertex's adjacency list in a *slab hash* (Ashkiani
+//! et al., "A dynamic hash table for the GPU", IPDPS 2018), extended with
+//! key-uniqueness (`replace`), iterators, and a new **concurrent set**
+//! variant. This crate reproduces those tables over the simulated device.
+//!
+//! A table is `num_buckets` bucket chains. Each chain is a singly linked
+//! list of 128-byte slabs (32 `u32` words):
+//!
+//! ```text
+//! map slab:  lanes 0..30 hold 15 ⟨key,value⟩ pairs (key on even lane),
+//!            lane 30 reserved, lane 31 = next-slab pointer
+//! set slab:  lanes 0..30 hold 30 keys, lane 30 reserved, lane 31 = next
+//! ```
+//!
+//! so the **bucket capacity per slab** `Bc` is 15 (map) or 30 (set),
+//! matching §IV-A2 of the paper. The *base slabs* (one per bucket) are
+//! allocated in bulk, contiguously; collision slabs come from the
+//! [`slab_alloc::SlabAllocator`].
+//!
+//! All operations are warp-cooperative: the whole warp reads one slab in a
+//! single coalesced transaction, ballots over its lanes, and elects lanes to
+//! perform atomics. Uniqueness under concurrent same-key insertion holds
+//! because claims always CAS the *first* empty slot of the chain and retry
+//! on failure: the loser re-reads the slab and finds the winner's key.
+//!
+//! Sentinels: [`EMPTY_KEY`] marks a never-used slot, [`TOMBSTONE_KEY`] a
+//! deleted one. Deleted slots are *not* reused by later insertions (paper
+//! §IV-C2): empties therefore only exist at the tail of a chain, which is
+//! what makes search early-exit and uniqueness sound.
+
+use gpu_sim::{Addr, Device, Lanes, Warp, NULL_ADDR, SLAB_WORDS, WARP_SIZE};
+use slab_alloc::SlabAllocator;
+
+/// Slot never written. Keys must be `< TOMBSTONE_KEY`.
+pub const EMPTY_KEY: u32 = u32::MAX;
+/// Slot whose key was deleted. Ignored by queries, skipped by inserts.
+pub const TOMBSTONE_KEY: u32 = u32::MAX - 1;
+/// Largest storable key.
+pub const MAX_KEY: u32 = u32::MAX - 2;
+
+/// Lane index holding the next-slab pointer.
+pub const NEXT_LANE: usize = 31;
+/// Lane reserved for future metadata (kept to match the paper's layout).
+pub const RESERVED_LANE: usize = 30;
+
+/// Keys per slab for the map variant (pairs on lanes 0..30).
+pub const MAP_SLAB_KEYS: usize = 15;
+/// Keys per slab for the set variant (lanes 0..30).
+pub const SET_SLAB_KEYS: usize = 30;
+
+/// Bit set for every even lane `< 30`: the key lanes of a map slab.
+const MAP_KEY_LANES: u32 = 0x1555_5555;
+/// Bit set for every lane `< 30`: the key lanes of a set slab.
+const SET_KEY_LANES: u32 = 0x3FFF_FFFF;
+
+/// Which slab-hash variant a table is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// ⟨key, value⟩ pairs — used when edges carry weights/meta-data.
+    Map,
+    /// Keys only — used when only destinations matter (e.g. triangle
+    /// counting), doubling per-slab capacity.
+    Set,
+}
+
+impl TableKind {
+    /// Bucket capacity per slab (`Bc` in the paper): 15 for map, 30 for set.
+    #[inline]
+    pub fn slab_capacity(self) -> usize {
+        match self {
+            TableKind::Map => MAP_SLAB_KEYS,
+            TableKind::Set => SET_SLAB_KEYS,
+        }
+    }
+
+    #[inline]
+    fn key_lanes(self) -> u32 {
+        match self {
+            TableKind::Map => MAP_KEY_LANES,
+            TableKind::Set => SET_KEY_LANES,
+        }
+    }
+}
+
+/// Number of buckets for an expected key count at a given load factor:
+/// `⌈n / (lf × Bc)⌉`, minimum 1 (paper §IV-A2).
+pub fn buckets_for(expected_keys: usize, load_factor: f64, kind: TableKind) -> u32 {
+    assert!(load_factor > 0.0, "load factor must be positive");
+    let per_bucket = load_factor * kind.slab_capacity() as f64;
+    ((expected_keys as f64 / per_bucket).ceil() as u32).max(1)
+}
+
+/// A slab hash table descriptor: where the base slabs live and how many
+/// buckets there are. Pure value type — all table state is in device
+/// memory, so descriptors can be rebuilt inside kernels from words stored
+/// in a vertex dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableDesc {
+    pub kind: TableKind,
+    /// Address of bucket 0's base slab; bucket *i* is at `base + 32·i`.
+    pub base: Addr,
+    pub num_buckets: u32,
+}
+
+/// One slab's worth of data plus its address, yielded by iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabView {
+    pub addr: Addr,
+    pub words: Lanes<u32>,
+    pub kind: TableKind,
+}
+
+impl SlabView {
+    /// The next-slab pointer ([`NULL_ADDR`] at end of chain).
+    #[inline]
+    pub fn next(&self) -> Addr {
+        self.words.get(NEXT_LANE)
+    }
+
+    /// Live keys stored in this slab (skipping empties and tombstones).
+    pub fn keys(&self) -> impl Iterator<Item = u32> + '_ {
+        let lanes = self.kind.key_lanes();
+        (0..WARP_SIZE).filter_map(move |i| {
+            if lanes & (1 << i) != 0 {
+                let k = self.words.get(i);
+                (k < TOMBSTONE_KEY).then_some(k)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Live ⟨key, value⟩ pairs (map slabs only; values are the odd lanes).
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        assert_eq!(self.kind, TableKind::Map, "pairs() requires a map slab");
+        (0..MAP_SLAB_KEYS).filter_map(move |p| {
+            let k = self.words.get(2 * p);
+            (k < TOMBSTONE_KEY).then(|| (k, self.words.get(2 * p + 1)))
+        })
+    }
+
+    /// Per-lane key validity mask (bit *i* set iff lane *i* holds a live
+    /// key) — the form Algorithm 2's warp loop consumes.
+    pub fn valid_mask(&self) -> u32 {
+        let mut m = 0u32;
+        let lanes = self.kind.key_lanes();
+        for i in 0..WARP_SIZE {
+            if lanes & (1 << i) != 0 && self.words.get(i) < TOMBSTONE_KEY {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+}
+
+/// Hash a key to a bucket. SlabHash uses universal hashing
+/// `((a·k + b) mod p) mod B`; we fix one well-mixed (a, b) pair for
+/// determinism across runs (a per-table pair changes nothing measured here).
+#[inline]
+pub fn bucket_of(key: u32, num_buckets: u32) -> u32 {
+    // 32-bit finaliser (murmur3-style) — full avalanche, then reduce.
+    let mut h = key;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h % num_buckets
+}
+
+impl TableDesc {
+    /// Device words required for the base slabs of `num_buckets` buckets.
+    pub fn base_words(num_buckets: u32) -> usize {
+        num_buckets as usize * SLAB_WORDS
+    }
+
+    /// Allocate and initialise a standalone table (host-side helper used
+    /// by unit tests and examples; the graph bulk-allocates base slabs for
+    /// all vertices at once instead — see `slabgraph`).
+    pub fn create(dev: &Device, kind: TableKind, num_buckets: u32) -> TableDesc {
+        assert!(num_buckets >= 1);
+        let base = dev.alloc_words(Self::base_words(num_buckets), SLAB_WORDS);
+        dev.memset(base, Self::base_words(num_buckets), EMPTY_KEY);
+        TableDesc {
+            kind,
+            base,
+            num_buckets,
+        }
+    }
+
+    /// Base-slab address of `bucket`.
+    #[inline]
+    pub fn bucket_addr(&self, bucket: u32) -> Addr {
+        debug_assert!(bucket < self.num_buckets);
+        self.base + bucket * SLAB_WORDS as u32
+    }
+
+    // ---------------------------------------------------------------
+    // Map operations
+    // ---------------------------------------------------------------
+
+    /// Insert-or-replace (the paper's new `replace` operation, §IV-C1).
+    ///
+    /// If `key` exists its value is overwritten and `false` is returned;
+    /// otherwise the pair is written into the first empty slot (allocating
+    /// a chained slab if needed) and `true` is returned. The boolean drives
+    /// the caller's exact edge counting.
+    pub fn replace(&self, warp: &Warp, alloc: &SlabAllocator, key: u32, value: u32) -> bool {
+        assert_eq!(self.kind, TableKind::Map);
+        debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
+        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        loop {
+            let words = warp.read_slab(slab_addr);
+            // Lane-parallel key compare + ballot.
+            let found = warp.ballot(&Lanes::from_fn(|i| {
+                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == key
+            }));
+            if let Some(lane) = gpu_sim::ffs(found) {
+                // Key exists: replace the value (lane+1 is the value word).
+                warp.atomic_exchange(slab_addr + lane + 1, value);
+                return false;
+            }
+            let empties = warp.ballot(&Lanes::from_fn(|i| {
+                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+            }));
+            if let Some(lane) = gpu_sim::ffs(empties) {
+                // Claim the first empty slot; on a lost race re-read the
+                // slab (the winner may have inserted this very key).
+                if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
+                    warp.write_word(slab_addr + lane + 1, value);
+                    return true;
+                }
+                continue;
+            }
+            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words);
+        }
+    }
+
+    /// Look up `key`, returning its value if present.
+    pub fn search(&self, warp: &Warp, key: u32) -> Option<u32> {
+        assert_eq!(self.kind, TableKind::Map);
+        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        loop {
+            let words = warp.read_slab(slab_addr);
+            let found = warp.ballot(&Lanes::from_fn(|i| {
+                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == key
+            }));
+            if let Some(lane) = gpu_sim::ffs(found) {
+                return Some(words.get(lane as usize + 1));
+            }
+            let empties = warp.ballot(&Lanes::from_fn(|i| {
+                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+            }));
+            if empties != 0 {
+                // Empties only exist at the tail ⇒ key is absent.
+                return None;
+            }
+            let next = words.get(NEXT_LANE);
+            if next == NULL_ADDR {
+                return None;
+            }
+            slab_addr = next;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Set operations
+    // ---------------------------------------------------------------
+
+    /// Insert `key` if absent (concurrent-set variant). Returns `true` if
+    /// the key was added, `false` if it already existed.
+    pub fn insert_unique(&self, warp: &Warp, alloc: &SlabAllocator, key: u32) -> bool {
+        assert_eq!(self.kind, TableKind::Set);
+        debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
+        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        loop {
+            let words = warp.read_slab(slab_addr);
+            let found = warp.ballot(&Lanes::from_fn(|i| {
+                SET_KEY_LANES & (1 << i) != 0 && words.get(i) == key
+            }));
+            if found != 0 {
+                return false;
+            }
+            let empties = warp.ballot(&Lanes::from_fn(|i| {
+                SET_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+            }));
+            if let Some(lane) = gpu_sim::ffs(empties) {
+                if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
+                    return true;
+                }
+                continue;
+            }
+            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words);
+        }
+    }
+
+    /// Membership query (`edgeExist`'s primitive).
+    pub fn contains(&self, warp: &Warp, key: u32) -> bool {
+        let key_lanes = self.kind.key_lanes();
+        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        loop {
+            let words = warp.read_slab(slab_addr);
+            let found = warp.ballot(&Lanes::from_fn(|i| {
+                key_lanes & (1 << i) != 0 && words.get(i) == key
+            }));
+            if found != 0 {
+                return true;
+            }
+            let empties = warp.ballot(&Lanes::from_fn(|i| {
+                key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+            }));
+            if empties != 0 {
+                return false;
+            }
+            let next = words.get(NEXT_LANE);
+            if next == NULL_ADDR {
+                return false;
+            }
+            slab_addr = next;
+        }
+    }
+
+    /// The paper's *alternative* insertion strategy (§IV-C2): a two-stage
+    /// insert that first traverses the whole chain to ensure uniqueness,
+    /// then **overwrites the first tombstone** if one exists (falling back
+    /// to the first empty slot otherwise). Trades insertion throughput
+    /// (no early exit; the full chain is always read) for memory reuse.
+    /// Works for both variants; `value` is ignored for sets.
+    ///
+    /// Returns `true` iff the key was newly added.
+    pub fn insert_recycling(
+        &self,
+        warp: &Warp,
+        alloc: &SlabAllocator,
+        key: u32,
+        value: u32,
+    ) -> bool {
+        debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
+        let key_lanes = self.kind.key_lanes();
+        let is_map = self.kind == TableKind::Map;
+        'retry: loop {
+            // Stage 1: full-chain scan for the key, remembering the first
+            // tombstone and the first empty slot.
+            let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+            let mut first_tombstone: Option<Addr> = None;
+            let mut first_empty: Option<Addr> = None;
+            let mut tail_addr = slab_addr;
+            loop {
+                let words = warp.read_slab(slab_addr);
+                let found = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == key
+                }));
+                if let Some(lane) = gpu_sim::ffs(found) {
+                    if is_map {
+                        warp.atomic_exchange(slab_addr + lane + 1, value);
+                    }
+                    return false;
+                }
+                let tombs = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == TOMBSTONE_KEY
+                }));
+                if first_tombstone.is_none() {
+                    if let Some(lane) = gpu_sim::ffs(tombs) {
+                        first_tombstone = Some(slab_addr + lane);
+                    }
+                }
+                let empties = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+                }));
+                if first_empty.is_none() {
+                    if let Some(lane) = gpu_sim::ffs(empties) {
+                        first_empty = Some(slab_addr + lane);
+                    }
+                }
+                let next = words.get(NEXT_LANE);
+                tail_addr = slab_addr;
+                if empties != 0 || next == NULL_ADDR {
+                    // Empties only exist at the tail: the scan is complete.
+                    break;
+                }
+                slab_addr = next;
+            }
+            // Stage 2: claim the first tombstone, else the first empty,
+            // else grow the chain. Retry the whole operation on any lost
+            // race (the winner may have inserted this very key).
+            let target = first_tombstone.or(first_empty);
+            if let Some(addr) = target {
+                let expected = if first_tombstone.is_some() {
+                    TOMBSTONE_KEY
+                } else {
+                    EMPTY_KEY
+                };
+                if warp.atomic_cas(addr, expected, key).is_ok() {
+                    if is_map {
+                        warp.write_word(addr + 1, value);
+                    }
+                    return true;
+                }
+                continue 'retry;
+            }
+            // Chain full with no tombstones: link a fresh slab.
+            let words = warp.read_slab(tail_addr);
+            self.advance_or_grow(warp, alloc, tail_addr, &words);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Shared operations
+    // ---------------------------------------------------------------
+
+    /// Delete `key` by tombstoning it (§IV-C2). Returns `true` iff this
+    /// call deleted it (drives exact edge-count decrements). Tombstones
+    /// are not removed and not overwritten by later insertions.
+    pub fn delete(&self, warp: &Warp, key: u32) -> bool {
+        let key_lanes = self.kind.key_lanes();
+        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        loop {
+            let words = warp.read_slab(slab_addr);
+            let found = warp.ballot(&Lanes::from_fn(|i| {
+                key_lanes & (1 << i) != 0 && words.get(i) == key
+            }));
+            if let Some(lane) = gpu_sim::ffs(found) {
+                // CAS so concurrent deletes of the same key count once.
+                return warp.atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY).is_ok();
+            }
+            let empties = warp.ballot(&Lanes::from_fn(|i| {
+                key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+            }));
+            if empties != 0 {
+                return false;
+            }
+            let next = words.get(NEXT_LANE);
+            if next == NULL_ADDR {
+                return false;
+            }
+            slab_addr = next;
+        }
+    }
+
+    /// Walk every slab of every bucket chain, calling `f` per slab — the
+    /// paper's adjacency-list iterator (§IV-B). Each step is one coalesced
+    /// slab read.
+    pub fn for_each_slab(&self, warp: &Warp, mut f: impl FnMut(SlabView)) {
+        for b in 0..self.num_buckets {
+            let mut addr = self.bucket_addr(b);
+            loop {
+                let words = warp.read_slab(addr);
+                let view = SlabView {
+                    addr,
+                    words,
+                    kind: self.kind,
+                };
+                let next = view.next();
+                f(view);
+                if next == NULL_ADDR {
+                    break;
+                }
+                addr = next;
+            }
+        }
+    }
+
+    /// Iterate every live key (both variants).
+    pub fn for_each_key(&self, warp: &Warp, mut f: impl FnMut(u32)) {
+        self.for_each_slab(warp, |view| {
+            for k in view.keys() {
+                f(k);
+            }
+        });
+    }
+
+    /// Iterate every live ⟨key, value⟩ pair (map variant).
+    pub fn for_each_pair(&self, warp: &Warp, mut f: impl FnMut(u32, u32)) {
+        assert_eq!(self.kind, TableKind::Map);
+        self.for_each_slab(warp, |view| {
+            for (k, v) in view.pairs() {
+                f(k, v);
+            }
+        });
+    }
+
+    /// Free every dynamically allocated (collision) slab back to `alloc`
+    /// and cut the chains back to their base slabs. Base slabs are reset to
+    /// EMPTY. Used by vertex deletion (Algorithm 2 lines 18–20).
+    pub fn free_dynamic_slabs(&self, warp: &Warp, alloc: &SlabAllocator) {
+        for b in 0..self.num_buckets {
+            let base = self.bucket_addr(b);
+            let mut addr = warp.read_slab(base).get(NEXT_LANE);
+            while addr != NULL_ADDR {
+                let next = warp.read_slab(addr).get(NEXT_LANE);
+                alloc.free(warp, addr);
+                addr = next;
+            }
+            // Reset the base slab to pristine EMPTY (including next ptr).
+            warp.write_slab(base, &Lanes::splat(EMPTY_KEY));
+        }
+    }
+
+    /// Statistics over the chains (used by the Fig. 2 experiments).
+    pub fn stats(&self, warp: &Warp) -> TableStats {
+        let mut s = TableStats {
+            buckets: self.num_buckets as u64,
+            ..TableStats::default()
+        };
+        for b in 0..self.num_buckets {
+            let mut addr = self.bucket_addr(b);
+            let mut chain = 0u64;
+            loop {
+                let words = warp.read_slab(addr);
+                chain += 1;
+                s.slabs += 1;
+                let view = SlabView {
+                    addr,
+                    words,
+                    kind: self.kind,
+                };
+                s.live_keys += view.keys().count() as u64;
+                for i in 0..WARP_SIZE {
+                    if self.kind.key_lanes() & (1 << i) != 0 {
+                        match words.get(i) {
+                            EMPTY_KEY => s.empty_slots += 1,
+                            TOMBSTONE_KEY => s.tombstones += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                let next = words.get(NEXT_LANE);
+                if next == NULL_ADDR {
+                    break;
+                }
+                addr = next;
+            }
+            s.max_chain = s.max_chain.max(chain);
+        }
+        s
+    }
+
+    /// Advance past a full slab: follow `next`, or allocate and link a new
+    /// slab if at the tail. On a lost link CAS the competing slab is freed
+    /// and the winner's is followed, as in SlabHash.
+    fn advance_or_grow(
+        &self,
+        warp: &Warp,
+        alloc: &SlabAllocator,
+        slab_addr: Addr,
+        words: &Lanes<u32>,
+    ) -> Addr {
+        let next = words.get(NEXT_LANE);
+        if next != NULL_ADDR {
+            return next;
+        }
+        let fresh = alloc.allocate(warp);
+        match warp.atomic_cas(slab_addr + NEXT_LANE as u32, NULL_ADDR, fresh) {
+            Ok(_) => fresh,
+            Err(winner) => {
+                alloc.free(warp, fresh);
+                winner
+            }
+        }
+    }
+}
+
+/// Aggregate table statistics (Fig. 2's memory metrics are derived from
+/// these across all vertices).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    pub buckets: u64,
+    pub slabs: u64,
+    pub live_keys: u64,
+    pub tombstones: u64,
+    pub empty_slots: u64,
+    pub max_chain: u64,
+}
+
+impl TableStats {
+    /// Merge per-table stats into a running total.
+    pub fn merge(&mut self, o: &TableStats) {
+        self.buckets += o.buckets;
+        self.slabs += o.slabs;
+        self.live_keys += o.live_keys;
+        self.tombstones += o.tombstones;
+        self.empty_slots += o.empty_slots;
+        self.max_chain = self.max_chain.max(o.max_chain);
+    }
+
+    /// Fraction of key slots holding live keys (Fig. 2b's utilization).
+    pub fn utilization(&self) -> f64 {
+        let total = self.live_keys + self.tombstones + self.empty_slots;
+        if total == 0 {
+            0.0
+        } else {
+            self.live_keys as f64 / total as f64
+        }
+    }
+
+    /// Average chain length in slabs per bucket (Fig. 2/3's x-axis).
+    pub fn avg_chain(&self) -> f64 {
+        if self.buckets == 0 {
+            0.0
+        } else {
+            self.slabs as f64 / self.buckets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    fn setup(kind: TableKind, buckets: u32) -> (Device, SlabAllocator, TableDesc) {
+        let dev = Device::new(1 << 18);
+        let alloc = SlabAllocator::new(&dev, 1024);
+        let t = TableDesc::create(&dev, kind, buckets);
+        (dev, alloc, t)
+    }
+
+    fn on_warp<R: Send>(dev: &Device, f: impl Fn(&Warp) -> R + Sync) -> R {
+        let out = parking_lot::Mutex::new(None);
+        dev.launch_warps(1, |warp| {
+            *out.lock() = Some(f(warp));
+        });
+        out.into_inner().unwrap()
+    }
+
+    #[test]
+    fn buckets_for_matches_paper_formula() {
+        // ⌈|Au| / (lf × Bc)⌉ with Bc = 15 (map) / 30 (set).
+        assert_eq!(buckets_for(100, 0.7, TableKind::Map), 10);
+        assert_eq!(buckets_for(100, 0.7, TableKind::Set), 5);
+        assert_eq!(buckets_for(0, 0.7, TableKind::Map), 1);
+        assert_eq!(buckets_for(1, 0.7, TableKind::Set), 1);
+    }
+
+    #[test]
+    fn map_replace_and_search() {
+        let (dev, alloc, t) = setup(TableKind::Map, 2);
+        on_warp(&dev, |warp| {
+            assert!(t.replace(warp, &alloc, 7, 70));
+            assert!(t.replace(warp, &alloc, 8, 80));
+            assert_eq!(t.search(warp, 7), Some(70));
+            assert_eq!(t.search(warp, 8), Some(80));
+            assert_eq!(t.search(warp, 9), None);
+        });
+    }
+
+    #[test]
+    fn replace_overwrites_and_reports_existing() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            assert!(t.replace(warp, &alloc, 42, 1));
+            assert!(!t.replace(warp, &alloc, 42, 2), "second insert replaces");
+            assert_eq!(t.search(warp, 42), Some(2));
+            let stats = t.stats(warp);
+            assert_eq!(stats.live_keys, 1, "no duplicate keys stored");
+        });
+    }
+
+    #[test]
+    fn map_chains_past_one_slab() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            // 100 keys in a single bucket => ⌈100/15⌉ = 7 slabs.
+            for k in 0..100 {
+                assert!(t.replace(warp, &alloc, k, k * 2));
+            }
+            for k in 0..100 {
+                assert_eq!(t.search(warp, k), Some(k * 2), "key {k}");
+            }
+            let stats = t.stats(warp);
+            assert_eq!(stats.live_keys, 100);
+            assert_eq!(stats.slabs, 7);
+            assert_eq!(stats.max_chain, 7);
+        });
+        assert_eq!(alloc.live_slabs(), 6, "6 collision slabs chained");
+    }
+
+    #[test]
+    fn set_insert_unique_and_contains() {
+        let (dev, alloc, t) = setup(TableKind::Set, 2);
+        on_warp(&dev, |warp| {
+            assert!(t.insert_unique(warp, &alloc, 5));
+            assert!(!t.insert_unique(warp, &alloc, 5));
+            assert!(t.contains(warp, 5));
+            assert!(!t.contains(warp, 6));
+        });
+    }
+
+    #[test]
+    fn set_packs_30_keys_per_slab() {
+        let (dev, alloc, t) = setup(TableKind::Set, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..30 {
+                assert!(t.insert_unique(warp, &alloc, k));
+            }
+            assert_eq!(t.stats(warp).slabs, 1, "30 keys fit one set slab");
+            assert!(t.insert_unique(warp, &alloc, 30));
+            assert_eq!(t.stats(warp).slabs, 2, "31st key chains a slab");
+        });
+    }
+
+    #[test]
+    fn delete_tombstones_and_reports() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            t.replace(warp, &alloc, 1, 10);
+            t.replace(warp, &alloc, 2, 20);
+            assert!(t.delete(warp, 1));
+            assert!(!t.delete(warp, 1), "second delete is a no-op");
+            assert!(!t.delete(warp, 99), "absent key");
+            assert_eq!(t.search(warp, 1), None);
+            assert_eq!(t.search(warp, 2), Some(20));
+            let stats = t.stats(warp);
+            assert_eq!(stats.tombstones, 1);
+            assert_eq!(stats.live_keys, 1);
+        });
+    }
+
+    #[test]
+    fn tombstones_are_not_overwritten_by_insert() {
+        // Paper §IV-C2: inserts append at the chain tail; tombstoned slots
+        // stay dead, so empties only exist at the tail.
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..10 {
+                t.replace(warp, &alloc, k, k);
+            }
+            for k in 0..5 {
+                t.delete(warp, k);
+            }
+            t.replace(warp, &alloc, 100, 100);
+            let stats = t.stats(warp);
+            assert_eq!(stats.tombstones, 5, "tombstones preserved");
+            assert_eq!(stats.live_keys, 6);
+            assert_eq!(t.search(warp, 100), Some(100));
+        });
+    }
+
+    #[test]
+    fn reinserting_deleted_key_appends_fresh_copy() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            t.replace(warp, &alloc, 3, 30);
+            t.delete(warp, 3);
+            assert!(t.replace(warp, &alloc, 3, 31), "reinsert counts as new");
+            assert_eq!(t.search(warp, 3), Some(31));
+            let stats = t.stats(warp);
+            assert_eq!(stats.live_keys, 1);
+            assert_eq!(stats.tombstones, 1);
+        });
+    }
+
+    #[test]
+    fn iteration_yields_all_pairs() {
+        let (dev, alloc, t) = setup(TableKind::Map, 4);
+        on_warp(&dev, |warp| {
+            let mut expect = std::collections::BTreeMap::new();
+            for k in 0..200 {
+                t.replace(warp, &alloc, k, 1000 + k);
+                expect.insert(k, 1000 + k);
+            }
+            for k in (0..200).step_by(3) {
+                t.delete(warp, k);
+                expect.remove(&k);
+            }
+            let mut got = std::collections::BTreeMap::new();
+            t.for_each_pair(warp, |k, v| {
+                assert!(got.insert(k, v).is_none(), "duplicate key {k}");
+            });
+            assert_eq!(got, expect);
+        });
+    }
+
+    #[test]
+    fn set_iteration_yields_all_keys() {
+        let (dev, alloc, t) = setup(TableKind::Set, 3);
+        on_warp(&dev, |warp| {
+            for k in (0..500).step_by(2) {
+                t.insert_unique(warp, &alloc, k);
+            }
+            let mut got: Vec<u32> = vec![];
+            t.for_each_key(warp, |k| got.push(k));
+            got.sort_unstable();
+            let expect: Vec<u32> = (0..500).step_by(2).collect();
+            assert_eq!(got, expect);
+        });
+    }
+
+    #[test]
+    fn free_dynamic_slabs_releases_collision_slabs_only() {
+        let (dev, alloc, t) = setup(TableKind::Map, 2);
+        on_warp(&dev, |warp| {
+            for k in 0..200 {
+                t.replace(warp, &alloc, k, k);
+            }
+            assert!(alloc.live_slabs() > 0);
+            t.free_dynamic_slabs(warp, &alloc);
+            assert_eq!(alloc.live_slabs(), 0, "all collision slabs freed");
+            // Base slabs are reset: table reads as empty.
+            assert_eq!(t.stats(warp).live_keys, 0);
+            assert_eq!(t.stats(warp).slabs, 2, "base slabs remain");
+        });
+    }
+
+    #[test]
+    fn search_cost_is_constant_in_table_size() {
+        // The headline property: queries are O(1) slab reads at a sane
+        // load factor, regardless of how many keys the table holds.
+        let dev = Device::new(1 << 20);
+        let alloc = SlabAllocator::new(&dev, 4096);
+        let n = 3000u32;
+        let buckets = buckets_for(n as usize, 0.7, TableKind::Map);
+        let t = TableDesc::create(&dev, TableKind::Map, buckets);
+        on_warp(&dev, |warp| {
+            for k in 0..n {
+                t.replace(warp, &alloc, k, k);
+            }
+        });
+        let before = dev.counters().snapshot();
+        on_warp(&dev, |warp| {
+            for k in 0..100u32 {
+                t.search(warp, k * 17 % n);
+            }
+        });
+        let d = dev.counters().snapshot().delta(&before);
+        assert!(
+            d.transactions <= 300,
+            "100 searches should read ≤3 slabs each, got {} transactions",
+            d.transactions
+        );
+    }
+
+    #[test]
+    fn stats_utilization_tracks_load() {
+        let (dev, alloc, t) = setup(TableKind::Set, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..15 {
+                t.insert_unique(warp, &alloc, k);
+            }
+            let s = t.stats(warp);
+            assert_eq!(s.live_keys, 15);
+            assert!((s.utilization() - 0.5).abs() < 1e-9, "15/30 slots used");
+            assert_eq!(s.avg_chain(), 1.0);
+        });
+    }
+
+    #[test]
+    fn insert_recycling_reuses_tombstones() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..10 {
+                t.replace(warp, &alloc, k, k);
+            }
+            for k in 0..5 {
+                t.delete(warp, k);
+            }
+            // Recycling insert lands in the first tombstone: no growth.
+            let slabs_before = t.stats(warp).slabs;
+            assert!(t.insert_recycling(warp, &alloc, 100, 1));
+            assert!(t.insert_recycling(warp, &alloc, 101, 2));
+            let s = t.stats(warp);
+            assert_eq!(s.slabs, slabs_before, "no new slabs needed");
+            assert_eq!(s.tombstones, 3, "two tombstones consumed");
+            assert_eq!(t.search(warp, 100), Some(1));
+            assert_eq!(t.search(warp, 101), Some(2));
+        });
+    }
+
+    #[test]
+    fn insert_recycling_keeps_uniqueness_and_replace_semantics() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            assert!(t.insert_recycling(warp, &alloc, 7, 1));
+            assert!(!t.insert_recycling(warp, &alloc, 7, 2), "replaces");
+            assert_eq!(t.search(warp, 7), Some(2));
+            assert_eq!(t.stats(warp).live_keys, 1);
+            // Interleaves correctly with the standard path.
+            t.delete(warp, 7);
+            assert!(t.replace(warp, &alloc, 7, 3));
+            assert_eq!(t.stats(warp).live_keys, 1);
+        });
+    }
+
+    #[test]
+    fn insert_recycling_set_variant() {
+        let (dev, alloc, t) = setup(TableKind::Set, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..40 {
+                t.insert_unique(warp, &alloc, k);
+            }
+            for k in 0..20 {
+                t.delete(warp, k);
+            }
+            let slabs_before = t.stats(warp).slabs;
+            for k in 100..115 {
+                assert!(t.insert_recycling(warp, &alloc, k, 0));
+            }
+            assert_eq!(t.stats(warp).slabs, slabs_before);
+            for k in 100..115 {
+                assert!(t.contains(warp, k));
+            }
+        });
+    }
+
+    #[test]
+    fn insert_recycling_grows_when_no_tombstones() {
+        let (dev, alloc, t) = setup(TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            for k in 0..40 {
+                assert!(t.insert_recycling(warp, &alloc, k, k), "key {k}");
+            }
+            let s = t.stats(warp);
+            assert_eq!(s.live_keys, 40);
+            assert_eq!(s.slabs, 3, "⌈40/15⌉ slabs chained");
+            for k in 0..40 {
+                assert_eq!(t.search(warp, k), Some(k));
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_recycling_inserts_stay_unique() {
+        use gpu_sim::ExecPolicy;
+        let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
+        let alloc = SlabAllocator::new(&dev, 1024);
+        let t = TableDesc::create(&dev, TableKind::Map, 1);
+        dev.launch_warps(1, |warp| {
+            for k in 0..12 {
+                t.replace(warp, &alloc, k, 0);
+            }
+            for k in 0..12 {
+                t.delete(warp, k);
+            }
+        });
+        dev.launch_warps(16, |warp| {
+            for k in 100..108 {
+                t.insert_recycling(warp, &alloc, k, warp.warp_id());
+            }
+        });
+        let count = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_warps(1, |warp| {
+            let mut seen = std::collections::HashSet::new();
+            t.for_each_key(warp, |k| {
+                assert!(seen.insert(k), "duplicate {k}");
+            });
+            count.store(seen.len() as u32, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 8);
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_keep_uniqueness() {
+        use gpu_sim::ExecPolicy;
+        // Many warps all replace the same small key set concurrently; the
+        // first-empty-CAS-retry protocol must never produce duplicates.
+        let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
+        let alloc = SlabAllocator::new(&dev, 4096);
+        let t = TableDesc::create(&dev, TableKind::Map, 2);
+        dev.launch_warps(32, |warp| {
+            for k in 0..20 {
+                t.replace(warp, &alloc, k, warp.warp_id());
+            }
+        });
+        let counts = parking_lot::Mutex::new(std::collections::HashMap::new());
+        dev.launch_warps(1, |warp| {
+            t.for_each_pair(warp, |k, _| {
+                *counts.lock().entry(k).or_insert(0u32) += 1;
+            });
+        });
+        let counts = counts.into_inner();
+        assert_eq!(counts.len(), 20);
+        for (k, c) in counts {
+            assert_eq!(c, 1, "key {k} stored {c} times");
+        }
+    }
+
+    #[test]
+    fn concurrent_deletes_count_once() {
+        use gpu_sim::ExecPolicy;
+        let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
+        let alloc = SlabAllocator::new(&dev, 1024);
+        let t = TableDesc::create(&dev, TableKind::Set, 4);
+        dev.launch_warps(1, |warp| {
+            for k in 0..64 {
+                t.insert_unique(warp, &alloc, k);
+            }
+        });
+        let deleted = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_warps(16, |warp| {
+            for k in 0..64 {
+                if t.delete(warp, k) {
+                    deleted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(
+            deleted.load(std::sync::atomic::Ordering::Relaxed),
+            64,
+            "each key deleted exactly once across 16 racing warps"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a weighted dynamic graph, update it, query it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dynamic_graphs_gpu::prelude::*;
+
+fn main() {
+    // A directed, weighted graph with room for 1024 vertices. Per-vertex
+    // hash tables are created lazily (one bucket) on first touch.
+    let g = DynGraph::new(GraphConfig::directed_map(1024));
+
+    // Batched edge insertion (Algorithm 1): duplicates within the batch
+    // and against the graph are allowed; the structure keeps unique
+    // destinations with replace-on-duplicate semantics.
+    let added = g.insert_edges(&[
+        Edge::weighted(0, 1, 10),
+        Edge::weighted(0, 2, 20),
+        Edge::weighted(0, 2, 25), // duplicate: replaces the weight
+        Edge::weighted(1, 2, 30),
+        Edge::weighted(2, 0, 40),
+    ]);
+    println!("inserted {added} unique edges (one was a replacement)");
+    assert_eq!(added, 4);
+
+    // O(1) queries into the per-vertex hash tables.
+    println!("edge 0->2 exists: {}", g.edge_exists(0, 2));
+    println!("weight of 0->2:   {:?}", g.edge_weight(0, 2));
+    assert_eq!(g.edge_weight(0, 2), Some(25));
+
+    // Adjacency iteration.
+    let mut n = g.neighbors(0);
+    n.sort_unstable();
+    println!("neighbors of 0:   {n:?}");
+
+    // Batched deletion (tombstones; exact counts maintained).
+    g.delete_edges(&[Edge::new(0, 1)]);
+    assert!(!g.edge_exists(0, 1));
+    println!("after delete, degree(0) = {}", g.degree(0));
+
+    // Vertex insertion: new vertex 100 arrives with its edges.
+    g.insert_vertices(&[100], &[Edge::weighted(100, 0, 1), Edge::weighted(100, 2, 2)]);
+    println!("degree(100) = {}", g.degree(100));
+
+    // Vertex deletion (Algorithm 2).
+    g.delete_vertices(&[100]);
+    assert_eq!(g.degree(100), 0);
+    println!("vertex 100 deleted; total edges = {}", g.num_edges());
+
+    // The simulated-GPU bill for everything above.
+    let c = g.device().counters().snapshot();
+    println!(
+        "device counters: {} transactions, {} atomics, {} kernel launches",
+        c.transactions, c.atomics, c.launches
+    );
+}

@@ -1,0 +1,85 @@
+//! Head-to-head: hash-per-vertex vs Hornet-style blocks vs faimGraph-style
+//! pages, on the same workload with the same transaction accounting — a
+//! miniature of the paper's Tables II/III.
+//!
+//! Run with: `cargo run --release --example structure_shootout`
+
+use dynamic_graphs_gpu::baselines::{FaimGraph, Hornet};
+use dynamic_graphs_gpu::gpu_sim::CostModel;
+use dynamic_graphs_gpu::prelude::*;
+
+fn main() {
+    let spec = catalog::dataset("soc-LiveJournal1").unwrap();
+    let ds = spec.generate(16_384, 3);
+    let batch = insert_batch(ds.n_vertices, 1 << 14, 99);
+    let model = CostModel::titan_v();
+    println!(
+        "dataset: {} (scaled: {} vertices, {} edges); batch: {} random edges\n",
+        spec.name,
+        ds.n_vertices,
+        ds.edges.len(),
+        batch.len()
+    );
+    println!("{:<22} {:>14} {:>14} {:>12}", "structure", "insert MEdge/s", "delete MEdge/s", "tx/edge");
+
+    // Ours.
+    {
+        let mut cfg = GraphConfig::directed_map(ds.n_vertices);
+        cfg.device_words = ds.edges.len() * 12;
+        let edges: Vec<Edge> = ds.edges.iter().map(|&p| Edge::from(p)).collect();
+        let g = DynGraph::bulk_build(cfg, &edges);
+        let batch_edges: Vec<Edge> = batch.iter().map(|&p| Edge::from(p)).collect();
+
+        let before = g.device().counters().snapshot();
+        g.insert_edges(&batch_edges);
+        let ins = g.device().counters().snapshot().delta(&before);
+        let before = g.device().counters().snapshot();
+        g.delete_edges(&batch_edges);
+        let del = g.device().counters().snapshot().delta(&before);
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>12.1}",
+            "slab-hash (ours)",
+            batch.len() as f64 / model.seconds(&ins) / 1e6,
+            batch.len() as f64 / model.seconds(&del) / 1e6,
+            ins.transactions as f64 / batch.len() as f64
+        );
+    }
+
+    // Hornet workalike.
+    {
+        let mut h = Hornet::bulk_build(ds.n_vertices, &ds.edges, ds.edges.len() * 8);
+        let before = h.device().counters().snapshot();
+        h.insert_batch(&batch);
+        let ins = h.device().counters().snapshot().delta(&before);
+        let before = h.device().counters().snapshot();
+        h.delete_batch(&batch);
+        let del = h.device().counters().snapshot().delta(&before);
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>12.1}",
+            "hornet (blocks)",
+            batch.len() as f64 / model.seconds(&ins) / 1e6,
+            batch.len() as f64 / model.seconds(&del) / 1e6,
+            ins.transactions as f64 / batch.len() as f64
+        );
+    }
+
+    // faimGraph workalike.
+    {
+        let f = FaimGraph::build(ds.n_vertices, &ds.edges, ds.edges.len() * 8);
+        let before = f.device().counters().snapshot();
+        f.insert_batch(&batch);
+        let ins = f.device().counters().snapshot().delta(&before);
+        let before = f.device().counters().snapshot();
+        f.delete_batch(&batch);
+        let del = f.device().counters().snapshot().delta(&before);
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>12.1}",
+            "faimgraph (pages)",
+            batch.len() as f64 / model.seconds(&ins) / 1e6,
+            batch.len() as f64 / model.seconds(&del) / 1e6,
+            ins.transactions as f64 / batch.len() as f64
+        );
+    }
+
+    println!("\n(modeled TITAN V throughput from transaction counters; see DESIGN.md §2)");
+}

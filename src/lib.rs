@@ -1,0 +1,55 @@
+//! # dynamic-graphs-gpu
+//!
+//! Umbrella crate for the reproduction of **"Dynamic Graphs on the GPU"**
+//! (Awad, Ashkiani, Porumbescu, Owens; 2020). It re-exports the workspace
+//! crates so examples and downstream users need a single dependency:
+//!
+//! - [`slabgraph`] — the paper's contribution: a dynamic graph with one
+//!   slab hash table per vertex adjacency list.
+//! - [`gpu_sim`] — the simulated SIMT substrate (warps, device memory,
+//!   transaction counters, TITAN V cost model).
+//! - [`slab_alloc`] / [`slab_hash`] — the allocator and hash tables.
+//! - [`baselines`] — Hornet / faimGraph / CSR / sort workalikes.
+//! - [`graph_gen`] — Table I dataset catalog and workload generators.
+//! - [`algos`] — triangle counting (static + dynamic) and BFS.
+//!
+//! See README.md for a tour, DESIGN.md for the system inventory, and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```
+//! use dynamic_graphs_gpu::prelude::*;
+//!
+//! let g = DynGraph::new(GraphConfig::undirected_map(128));
+//! g.insert_edges(&[Edge::weighted(0, 1, 7), Edge::weighted(1, 2, 9)]);
+//! assert_eq!(g.num_edges(), 4); // undirected: both half-edges counted
+//! assert!(g.edge_exists(2, 1));
+//! ```
+
+pub use algos;
+pub use baselines;
+pub use gpu_sim;
+pub use graph_gen;
+pub use slab_alloc;
+pub use slab_hash;
+pub use slabgraph;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use algos::{bfs_levels, tc_slabgraph};
+    pub use graph_gen::{catalog, insert_batch, vertex_batch};
+    pub use slabgraph::{
+        Direction, DynGraph, Edge, GraphConfig, GraphStats, TableKind, DEFAULT_LOAD_FACTOR,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_roundtrip() {
+        let g = DynGraph::new(GraphConfig::directed_map(8));
+        g.insert_edges(&[Edge::weighted(1, 2, 3)]);
+        assert_eq!(g.edge_weight(1, 2), Some(3));
+    }
+}

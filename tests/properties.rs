@@ -1,0 +1,157 @@
+//! Property-based tests: the dynamic graph against a host reference model
+//! under arbitrary operation sequences, and slab-hash semantics under
+//! arbitrary key streams.
+
+use dynamic_graphs_gpu::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: u32 = 24;
+
+/// An abstract operation on a small graph.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertEdges(Vec<(u32, u32, u32)>),
+    DeleteEdges(Vec<(u32, u32)>),
+    DeleteVertex(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(((0..N), (0..N), (1..100u32)), 1..20)
+            .prop_map(Op::InsertEdges),
+        proptest::collection::vec(((0..N), (0..N)), 1..10).prop_map(Op::DeleteEdges),
+        (0..N).prop_map(Op::DeleteVertex),
+    ]
+}
+
+/// Host reference: directed weighted adjacency with replace semantics.
+#[derive(Default)]
+struct Reference {
+    adj: HashMap<u32, HashMap<u32, u32>>,
+}
+
+impl Reference {
+    fn insert(&mut self, u: u32, v: u32, w: u32) {
+        if u != v {
+            self.adj.entry(u).or_default().insert(v, w);
+        }
+    }
+    fn delete(&mut self, u: u32, v: u32) {
+        if let Some(m) = self.adj.get_mut(&u) {
+            m.remove(&v);
+        }
+    }
+    fn delete_vertex_undirected(&mut self, v: u32) {
+        self.adj.remove(&v);
+        for m in self.adj.values_mut() {
+            m.remove(&v);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn directed_graph_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        let mut cfg = GraphConfig::directed_map(N);
+        cfg.device_words = 1 << 18;
+        let g = DynGraph::with_uniform_buckets(cfg, N, 1);
+        let mut reference = Reference::default();
+
+        for op in &ops {
+            match op {
+                Op::InsertEdges(es) => {
+                    g.insert_edges(&es.iter().map(|&t| Edge::from(t)).collect::<Vec<_>>());
+                    for &(u, v, w) in es {
+                        reference.insert(u, v, w);
+                    }
+                }
+                Op::DeleteEdges(es) => {
+                    g.delete_edges(&es.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+                    for &(u, v) in es {
+                        reference.delete(u, v);
+                    }
+                }
+                // Directed vertex deletion frees the vertex's own list
+                // only; incoming edges are purged explicitly.
+                Op::DeleteVertex(v) => {
+                    g.delete_vertices(&[*v]);
+                    g.purge_deleted(&[*v]);
+                    reference.adj.remove(v);
+                    for m in reference.adj.values_mut() {
+                        m.remove(v);
+                    }
+                }
+            }
+        }
+
+        // Full-state comparison.
+        for u in 0..N {
+            let mut ours = g.neighbors(u);
+            ours.sort_unstable();
+            let mut want: Vec<(u32, u32)> = reference
+                .adj
+                .get(&u)
+                .map(|m| m.iter().map(|(&d, &w)| (d, w)).collect())
+                .unwrap_or_default();
+            want.sort_unstable();
+            prop_assert_eq!(&ours, &want, "vertex {} adjacency", u);
+            prop_assert_eq!(g.degree(u) as usize, want.len(), "vertex {} count", u);
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn undirected_graph_stays_symmetric(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(((0..N), (0..N), (1..50u32)), 1..15), 1..6),
+        victims in proptest::collection::vec(0..N, 0..3),
+    ) {
+        let mut cfg = GraphConfig::undirected_map(N);
+        cfg.device_words = 1 << 18;
+        let g = DynGraph::with_uniform_buckets(cfg, N, 1);
+        for b in &batches {
+            g.insert_edges(&b.iter().map(|&t| Edge::from(t)).collect::<Vec<_>>());
+        }
+        let mut dedup: Vec<u32> = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        g.delete_vertices(&dedup);
+
+        // Symmetry: u lists v  <=>  v lists u (with equal weight).
+        for u in 0..N {
+            for (v, w) in g.neighbors(u) {
+                prop_assert_eq!(
+                    g.edge_weight(v, u), Some(w),
+                    "asymmetry at ({}, {})", u, v
+                );
+            }
+        }
+        // Deleted vertices are fully detached.
+        for &v in &dedup {
+            prop_assert_eq!(g.degree(v), 0);
+            for u in 0..N {
+                prop_assert!(!g.edge_exists(u, v));
+            }
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn edge_counts_are_exact_under_duplicates(
+        raw in proptest::collection::vec(((0..8u32), (0..8u32)), 1..100)
+    ) {
+        // Heavy duplication within one batch: exact counting must match
+        // the number of *unique* non-self-loop edges.
+        let mut cfg = GraphConfig::directed_set(8);
+        cfg.device_words = 1 << 16;
+        let g = DynGraph::with_uniform_buckets(cfg, 8, 1);
+        let added = g.insert_edges(&raw.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        let unique: std::collections::HashSet<(u32, u32)> =
+            raw.iter().copied().filter(|&(u, v)| u != v).collect();
+        prop_assert_eq!(added, unique.len() as u64);
+        prop_assert_eq!(g.num_edges(), unique.len() as u64);
+    }
+}
