@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: the exact checks the GitHub workflow runs.
+#   ./ci.sh          # fmt + clippy + build + test
+#   ./ci.sh quick    # skip the release build, test in debug only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mode="${1:-full}"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$mode" = "quick" ]; then
+    echo "== cargo test (debug) =="
+    cargo test --workspace -q
+else
+    echo "== cargo build --release =="
+    cargo build --workspace --release
+    echo "== cargo test (release) =="
+    cargo test --workspace --release -q
+fi
+
+echo "CI OK"

@@ -11,6 +11,4 @@ pub mod bfs;
 pub mod triangle;
 
 pub use bfs::bfs_levels;
-pub use triangle::{
-    tc_csr, tc_faimgraph, tc_hornet, tc_reference, tc_slabgraph, DynamicTcRound,
-};
+pub use triangle::{tc_csr, tc_faimgraph, tc_hornet, tc_reference, tc_slabgraph, DynamicTcRound};

@@ -47,39 +47,34 @@ pub fn tc_reference(n_vertices: u32, edges: &[(u32, u32)]) -> u64 {
 /// pairs are emitted per vertex and probed in large batches through the
 /// WCWS query kernel.
 pub fn tc_slabgraph(g: &DynGraph) -> u64 {
-    // One logical TC kernel: suppress per-helper launch charges.
-    g.device().counters().add_launches(1);
-    let was = g.device().set_fused(true);
-    let mut count = 0u64;
-    let mut pending: Vec<(u32, u32)> = Vec::new();
-    const FLUSH: usize = 1 << 16;
-    let flush = |pairs: &mut Vec<(u32, u32)>| -> u64 {
-        if pairs.is_empty() {
-            return 0;
-        }
-        let hits = g
-            .edges_exist(pairs)
-            .into_iter()
-            .filter(|&b| b)
-            .count() as u64;
-        pairs.clear();
-        hits
-    };
-    for u in 0..g.vertex_capacity() {
-        let mut nu: Vec<u32> = g.neighbor_ids(u).into_iter().filter(|&v| v > u).collect();
-        nu.sort_unstable();
-        for (i, &v) in nu.iter().enumerate() {
-            for &w in &nu[i + 1..] {
-                pending.push((v, w));
-                if pending.len() >= FLUSH {
-                    count += flush(&mut pending);
+    // One logical TC kernel: helper launches fuse under one named scope.
+    g.device().fused_scope("triangle_count", || {
+        let mut count = 0u64;
+        let mut pending: Vec<(u32, u32)> = Vec::new();
+        const FLUSH: usize = 1 << 16;
+        let flush = |pairs: &mut Vec<(u32, u32)>| -> u64 {
+            if pairs.is_empty() {
+                return 0;
+            }
+            let hits = g.edges_exist(pairs).into_iter().filter(|&b| b).count() as u64;
+            pairs.clear();
+            hits
+        };
+        for u in 0..g.vertex_capacity() {
+            let mut nu: Vec<u32> = g.neighbor_ids(u).into_iter().filter(|&v| v > u).collect();
+            nu.sort_unstable();
+            for (i, &v) in nu.iter().enumerate() {
+                for &w in &nu[i + 1..] {
+                    pending.push((v, w));
+                    if pending.len() >= FLUSH {
+                        count += flush(&mut pending);
+                    }
                 }
             }
         }
-    }
-    count += flush(&mut pending);
-    g.device().set_fused(was);
-    count
+        count += flush(&mut pending);
+        count
+    })
 }
 
 /// Serial sorted-merge intersection size over elements `> floor`.
@@ -108,52 +103,49 @@ fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
 /// [`Hornet::sort_adjacencies`] first (its cost is Table VIII's subject).
 pub fn tc_hornet(g: &Hornet) -> u64 {
     assert!(g.is_sorted(), "Hornet TC requires sorted adjacency lists");
-    g.device().counters().add_launches(1);
-    let was = g.device().set_fused(true);
-    let mut count = 0u64;
-    for u in 0..g.num_vertices() {
-        let adj_u = g.read_adjacency(u);
-        for &v in adj_u.iter().filter(|&&v| v > u) {
-            let adj_v = g.read_adjacency(v);
-            count += intersect_above(&adj_u, &adj_v, v);
+    g.device().fused_scope("triangle_count", || {
+        let mut count = 0u64;
+        for u in 0..g.num_vertices() {
+            let adj_u = g.read_adjacency(u);
+            for &v in adj_u.iter().filter(|&&v| v > u) {
+                let adj_v = g.read_adjacency(v);
+                count += intersect_above(&adj_u, &adj_v, v);
+            }
         }
-    }
-    g.device().set_fused(was);
-    count
+        count
+    })
 }
 
 /// Triangle counting over faimGraph with sorted-list intersections
 /// (call [`FaimGraph::sort_adjacencies`] first).
 pub fn tc_faimgraph(g: &FaimGraph) -> u64 {
-    g.device().counters().add_launches(1);
-    let was = g.device().set_fused(true);
-    let mut count = 0u64;
-    for u in 0..g.num_vertices() {
-        let adj_u = g.read_adjacency(u);
-        debug_assert!(adj_u.windows(2).all(|w| w[0] <= w[1]), "unsorted list");
-        for &v in adj_u.iter().filter(|&&v| v > u) {
-            let adj_v = g.read_adjacency(v);
-            count += intersect_above(&adj_u, &adj_v, v);
+    g.device().fused_scope("triangle_count", || {
+        let mut count = 0u64;
+        for u in 0..g.num_vertices() {
+            let adj_u = g.read_adjacency(u);
+            debug_assert!(adj_u.windows(2).all(|w| w[0] <= w[1]), "unsorted list");
+            for &v in adj_u.iter().filter(|&&v| v > u) {
+                let adj_v = g.read_adjacency(v);
+                count += intersect_above(&adj_u, &adj_v, v);
+            }
         }
-    }
-    g.device().set_fused(was);
-    count
+        count
+    })
 }
 
 /// Triangle counting over static CSR (always sorted).
 pub fn tc_csr(g: &Csr) -> u64 {
-    g.device().counters().add_launches(1);
-    let was = g.device().set_fused(true);
-    let mut count = 0u64;
-    for u in 0..g.num_vertices() {
-        let adj_u = g.read_adjacency(u);
-        for &v in adj_u.iter().filter(|&&v| v > u) {
-            let adj_v = g.read_adjacency(v);
-            count += intersect_above(&adj_u, &adj_v, v);
+    g.device().fused_scope("triangle_count", || {
+        let mut count = 0u64;
+        for u in 0..g.num_vertices() {
+            let adj_u = g.read_adjacency(u);
+            for &v in adj_u.iter().filter(|&&v| v > u) {
+                let adj_v = g.read_adjacency(v);
+                count += intersect_above(&adj_u, &adj_v, v);
+            }
         }
-    }
-    g.device().set_fused(was);
-    count
+        count
+    })
 }
 
 /// One round of the dynamic triangle-counting scenario (Table IX):
@@ -184,10 +176,7 @@ mod tests {
     }
 
     fn both_directions(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-        edges
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect()
+        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
     }
 
     #[test]

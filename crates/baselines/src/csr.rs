@@ -35,10 +35,10 @@ impl Csr {
         let row_offsets = dev.alloc_words(n_vertices as usize + 1, SLAB_WORDS);
         let col_indices = dev.alloc_words((n_edges as usize).max(1), SLAB_WORDS);
         // Prefix-sum + scatter, charged as coalesced sweeps.
-        dev.counters().add_launches(2);
-        dev.counters().add_transactions(
-            (n_vertices as u64 + 1).div_ceil(32) + (n_edges as u64).div_ceil(32),
-        );
+        let charge = dev.charge("csr_build");
+        charge.add_launches(2);
+        charge
+            .add_transactions((n_vertices as u64 + 1).div_ceil(32) + (n_edges as u64).div_ceil(32));
         let mut offsets = vec![0u32; n_vertices as usize + 1];
         for &(u, _) in &batch {
             offsets[u as usize + 1] += 1;
@@ -75,7 +75,7 @@ impl Csr {
 
     /// Degree of `u` (two row-pointer reads, charged).
     pub fn degree(&self, u: u32) -> u32 {
-        self.dev.counters().add_transactions(1);
+        self.dev.charge("csr_read").add_transactions(1);
         let s = self.dev.arena().load(self.row_offsets + u);
         let e = self.dev.arena().load(self.row_offsets + u + 1);
         e - s
@@ -86,7 +86,7 @@ impl Csr {
         let s = self.dev.arena().load(self.row_offsets + u);
         let e = self.dev.arena().load(self.row_offsets + u + 1);
         self.dev
-            .counters()
+            .charge("csr_read")
             .add_transactions(1 + ((e - s) as u64).div_ceil(32));
         (s..e)
             .map(|i| self.dev.arena().load(self.col_indices + i))

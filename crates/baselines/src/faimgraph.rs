@@ -81,7 +81,7 @@ impl FaimGraph {
     /// Pop a page from the free queue or carve a new one (1 atomic, like
     /// the device queue's ticket counter).
     fn alloc_page(&self, warp: &Warp) -> Addr {
-        self.dev.counters().add_atomics(1);
+        self.dev.charge("faim_page").add_atomics(1);
         if let Some(p) = self.page_queue.lock().pop() {
             // Re-initialise the recycled page (charged write).
             warp.write_slab(p, &{
@@ -92,12 +92,12 @@ impl FaimGraph {
             return p;
         }
         let p = self.fresh_page_host();
-        self.dev.counters().add_transactions(1); // init write
+        self.dev.charge("faim_page").add_transactions(1); // init write
         p
     }
 
     fn free_page(&self, page: Addr) {
-        self.dev.counters().add_atomics(1);
+        self.dev.charge("faim_page").add_atomics(1);
         self.page_queue.lock().push(page);
     }
 
@@ -116,7 +116,7 @@ impl FaimGraph {
             .arena()
             .store(self.meta + u * META_WORDS + 1, dsts.len() as u32);
         self.dev
-            .counters()
+            .charge("faim_build")
             .add_transactions((dsts.len() as u64).div_ceil(PAGE_SLOTS as u64).max(1));
     }
 
@@ -140,25 +140,25 @@ impl FaimGraph {
     /// Read `u`'s adjacency (charged page-chain walk). Part of whatever
     /// kernel the caller is running — no launch is charged here.
     pub fn read_adjacency(&self, u: u32) -> Vec<u32> {
-        let was = self.dev.set_fused(true);
-        let out = Mutex::new(Vec::new());
-        self.dev.launch_warps(1, |warp| {
-            let mut local = Vec::new();
-            let deg = warp.read_word(self.meta + u * META_WORDS + 1);
-            let mut page = warp.read_word(self.meta + u * META_WORDS);
-            let mut remaining = deg;
-            while page != NULL_ADDR && remaining > 0 {
-                let words = warp.read_slab(page);
-                for i in 0..PAGE_SLOTS.min(remaining) {
-                    local.push(words.get(i as usize));
+        self.dev.unlaunched_scope("faim_read_adj", || {
+            let out = Mutex::new(Vec::new());
+            self.dev.launch_warps("faim_read_adj", 1, |warp| {
+                let mut local = Vec::new();
+                let deg = warp.read_word(self.meta + u * META_WORDS + 1);
+                let mut page = warp.read_word(self.meta + u * META_WORDS);
+                let mut remaining = deg;
+                while page != NULL_ADDR && remaining > 0 {
+                    let words = warp.read_slab(page);
+                    for i in 0..PAGE_SLOTS.min(remaining) {
+                        local.push(words.get(i as usize));
+                    }
+                    remaining = remaining.saturating_sub(PAGE_SLOTS);
+                    page = words.get(NEXT_WORD as usize);
                 }
-                remaining = remaining.saturating_sub(PAGE_SLOTS);
-                page = words.get(NEXT_WORD as usize);
-            }
-            *out.lock() = local;
-        });
-        self.dev.set_fused(was);
-        out.into_inner()
+                *out.lock() = local;
+            });
+            out.into_inner()
+        })
     }
 
     /// Batched edge insertion. Each edge's duplicate check traverses the
@@ -176,19 +176,20 @@ impl FaimGraph {
         let dsts: Vec<u32> = work.iter().map(|e| e.1).collect();
         let src_buf = self.upload(&srcs);
         let dst_buf = self.upload(&dsts);
-        self.dev.launch_tasks(work.len(), |warp| {
-            let base = warp.warp_id() * 32;
-            let s = warp.read_slab(src_buf + base);
-            let d = warp.read_slab(dst_buf + base);
-            for lane in 0..32usize {
-                if !warp.is_active(lane) {
-                    continue;
+        self.dev
+            .launch_tasks("faim_edge_insert", work.len(), |warp| {
+                let base = warp.warp_id() * 32;
+                let s = warp.read_slab(src_buf + base);
+                let d = warp.read_slab(dst_buf + base);
+                for lane in 0..32usize {
+                    if !warp.is_active(lane) {
+                        continue;
+                    }
+                    if self.insert_one(warp, s.get(lane), d.get(lane)) {
+                        added.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                 }
-                if self.insert_one(warp, s.get(lane), d.get(lane)) {
-                    added.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-            }
-        });
+            });
         added.into_inner()
     }
 
@@ -198,7 +199,7 @@ impl FaimGraph {
     /// 4-byte loads each occupy a transaction slot), plus the per-update
     /// lock acquire/release atomics.
     fn insert_one(&self, warp: &Warp, u: u32, v: u32) -> bool {
-        self.dev.counters().add_atomics(2); // vertex lock + unlock
+        self.dev.charge("faim_edge_insert").add_atomics(2); // vertex lock + unlock
         let deg = warp.read_word(self.meta + u * META_WORDS + 1);
         let head = warp.read_word(self.meta + u * META_WORDS);
         // Duplicate check: full chain traversal.
@@ -212,7 +213,7 @@ impl FaimGraph {
             // each element is an uncoalesced load (2 words per element,
             // beyond the page fetch itself).
             self.dev
-                .counters()
+                .charge("faim_edge_insert")
                 .add_transactions(2 * count.max(1) as u64 - 1);
             for i in 0..count {
                 if words.get(i as usize) == v {
@@ -222,7 +223,7 @@ impl FaimGraph {
             remaining -= count;
             tail = page;
             page = words.get(NEXT_WORD as usize);
-            if page == NULL_ADDR || remaining == 0 && deg % PAGE_SLOTS != 0 {
+            if page == NULL_ADDR || remaining == 0 && !deg.is_multiple_of(PAGE_SLOTS) {
                 break;
             }
         }
@@ -235,7 +236,7 @@ impl FaimGraph {
         }
         warp.write_word(tail + slot, v);
         // AoS edge data: the weight word is written alongside the dst.
-        self.dev.counters().add_transactions(1);
+        self.dev.charge("faim_edge_insert").add_transactions(1);
         warp.write_word(self.meta + u * META_WORDS + 1, deg + 1);
         true
     }
@@ -249,23 +250,24 @@ impl FaimGraph {
             .copied()
             .filter(|&(u, _)| u < self.n_vertices)
             .collect();
-        self.dev.launch_tasks(work.len(), |warp| {
-            let base = (warp.warp_id() * 32) as usize;
-            for lane in 0..32usize {
-                if !warp.is_active(lane) {
-                    continue;
+        self.dev
+            .launch_tasks("faim_edge_delete", work.len(), |warp| {
+                let base = (warp.warp_id() * 32) as usize;
+                for lane in 0..32usize {
+                    if !warp.is_active(lane) {
+                        continue;
+                    }
+                    let (u, v) = work[base + lane];
+                    if self.delete_one(warp, u, v) {
+                        removed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                 }
-                let (u, v) = work[base + lane];
-                if self.delete_one(warp, u, v) {
-                    removed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-            }
-        });
+            });
         removed.into_inner()
     }
 
     fn delete_one(&self, warp: &Warp, u: u32, v: u32) -> bool {
-        self.dev.counters().add_atomics(2); // vertex lock + unlock
+        self.dev.charge("faim_edge_delete").add_atomics(2); // vertex lock + unlock
         let deg = warp.read_word(self.meta + u * META_WORDS + 1);
         if deg == 0 {
             return false;
@@ -279,7 +281,9 @@ impl FaimGraph {
         while page != NULL_ADDR && idx < deg {
             let words = warp.read_slab(page);
             let count = PAGE_SLOTS.min(deg - idx);
-            self.dev.counters().add_transactions(count.max(1) as u64 - 1);
+            self.dev
+                .charge("faim_edge_delete")
+                .add_transactions(count.max(1) as u64 - 1);
             for i in 0..count {
                 if words.get(i as usize) == v && found.is_none() {
                     found = Some(page + i);
@@ -323,52 +327,51 @@ impl FaimGraph {
     /// list (O(degree) traversal per neighbour — the cost Table IV
     /// measures), free its pages to the queue, and recycle its id.
     pub fn delete_vertices(&self, vertices: &[u32]) {
-        self.dev.launch_warps(vertices.len().min(128), |warp| {
-            // Work queue like Algorithm 2 (shared across warps via the
-            // host-side iteration order under the sequential executor).
-            for (i, &victim) in vertices.iter().enumerate() {
-                if i % 128 != warp.warp_id() as usize % 128
-                    && vertices.len().min(128) > 1
-                {
-                    continue;
-                }
-                let neighbors = {
-                    let deg = warp.read_word(self.meta + victim * META_WORDS + 1);
-                    let mut page = warp.read_word(self.meta + victim * META_WORDS);
-                    let mut out = Vec::new();
-                    let mut remaining = deg;
-                    while page != NULL_ADDR && remaining > 0 {
-                        let words = warp.read_slab(page);
-                        for k in 0..PAGE_SLOTS.min(remaining) {
-                            out.push(words.get(k as usize));
+        self.dev
+            .launch_warps("faim_vertex_delete", vertices.len().min(128), |warp| {
+                // Work queue like Algorithm 2 (shared across warps via the
+                // host-side iteration order under the sequential executor).
+                for (i, &victim) in vertices.iter().enumerate() {
+                    if i % 128 != warp.warp_id() as usize % 128 && vertices.len().min(128) > 1 {
+                        continue;
+                    }
+                    let neighbors = {
+                        let deg = warp.read_word(self.meta + victim * META_WORDS + 1);
+                        let mut page = warp.read_word(self.meta + victim * META_WORDS);
+                        let mut out = Vec::new();
+                        let mut remaining = deg;
+                        while page != NULL_ADDR && remaining > 0 {
+                            let words = warp.read_slab(page);
+                            for k in 0..PAGE_SLOTS.min(remaining) {
+                                out.push(words.get(k as usize));
+                            }
+                            remaining = remaining.saturating_sub(PAGE_SLOTS);
+                            page = words.get(NEXT_WORD as usize);
                         }
-                        remaining = remaining.saturating_sub(PAGE_SLOTS);
-                        page = words.get(NEXT_WORD as usize);
+                        out
+                    };
+                    for n in neighbors {
+                        if n != victim && n < self.n_vertices {
+                            self.delete_one(warp, n, victim);
+                        }
                     }
-                    out
-                };
-                for n in neighbors {
-                    if n != victim && n < self.n_vertices {
-                        self.delete_one(warp, n, victim);
+                    // Free all pages except the head (which stays, emptied).
+                    let head = warp.read_word(self.meta + victim * META_WORDS);
+                    let mut page = warp.read_slab(head).get(NEXT_WORD as usize);
+                    while page != NULL_ADDR {
+                        let next = warp.read_slab(page).get(NEXT_WORD as usize);
+                        self.free_page(page);
+                        page = next;
                     }
+                    warp.write_slab(head, &{
+                        let mut init = Lanes::splat(EMPTY);
+                        init.set(NEXT_WORD as usize, NULL_ADDR);
+                        init
+                    });
+                    warp.write_word(self.meta + victim * META_WORDS + 1, 0);
+                    self.free_ids.lock().push(victim);
                 }
-                // Free all pages except the head (which stays, emptied).
-                let head = warp.read_word(self.meta + victim * META_WORDS);
-                let mut page = warp.read_slab(head).get(NEXT_WORD as usize);
-                while page != NULL_ADDR {
-                    let next = warp.read_slab(page).get(NEXT_WORD as usize);
-                    self.free_page(page);
-                    page = next;
-                }
-                warp.write_slab(head, &{
-                    let mut init = Lanes::splat(EMPTY);
-                    init.set(NEXT_WORD as usize, NULL_ADDR);
-                    init
-                });
-                warp.write_word(self.meta + victim * META_WORDS + 1, 0);
-                self.free_ids.lock().push(victim);
-            }
-        });
+            });
     }
 
     /// Ids available for reuse after vertex deletion (the memory-
@@ -380,16 +383,15 @@ impl FaimGraph {
     /// Sort every adjacency list with faimGraph's own per-list sort
     /// (Table VIII's right column; Σ deg² cost).
     pub fn sort_adjacencies(&self) {
-        self.dev.counters().add_launches(1);
-        let was = self.dev.set_fused(true);
-        let mut lists: Vec<Vec<u32>> = (0..self.n_vertices)
-            .map(|u| self.read_adjacency(u))
-            .collect();
-        crate::sort::faimgraph_adjacency_sort(&self.dev, &mut lists);
-        for (u, list) in lists.iter().enumerate() {
-            self.write_list_host(u as u32, list);
-        }
-        self.dev.set_fused(was);
+        self.dev.fused_scope("faim_sort", || {
+            let mut lists: Vec<Vec<u32>> = (0..self.n_vertices)
+                .map(|u| self.read_adjacency(u))
+                .collect();
+            crate::sort::faimgraph_adjacency_sort(&self.dev, &mut lists);
+            for (u, list) in lists.iter().enumerate() {
+                self.write_list_host(u as u32, list);
+            }
+        });
     }
 
     fn upload(&self, data: &[u32]) -> Addr {
@@ -447,7 +449,10 @@ mod tests {
         let del: Vec<(u32, u32)> = (32..=62).map(|v| (0, v)).collect();
         g.delete_batch(&del);
         assert_eq!(g.degree(0), 31);
-        assert!(!g.page_queue.lock().is_empty(), "tail page returned to queue");
+        assert!(
+            !g.page_queue.lock().is_empty(),
+            "tail page returned to queue"
+        );
     }
 
     #[test]

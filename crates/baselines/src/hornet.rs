@@ -120,7 +120,9 @@ impl Hornet {
     const BLOCK_MGMT_TX: u64 = 150;
 
     fn alloc_block(&mut self, capacity: u32) -> Addr {
-        self.dev.counters().add_transactions(Self::BLOCK_MGMT_TX);
+        self.dev
+            .charge("hornet_block_mgmt")
+            .add_transactions(Self::BLOCK_MGMT_TX);
         if let Some(list) = self.free_blocks.get_mut(&capacity) {
             if let Some(a) = list.pop() {
                 return a;
@@ -141,7 +143,7 @@ impl Hornet {
         let capacity = (dsts.len() as u32).next_power_of_two().max(1);
         let block = self.alloc_block(capacity);
         self.dev
-            .counters()
+            .charge("hornet_write_list")
             .add_transactions((dsts.len() as u64).div_ceil(32).max(1));
         for (i, &d) in dsts.iter().enumerate() {
             self.dev.arena().store(block + i as u32, d);
@@ -159,7 +161,7 @@ impl Hornet {
     pub fn read_adjacency(&self, u: u32) -> Vec<u32> {
         let v = self.vertices[u as usize];
         self.dev
-            .counters()
+            .charge("hornet_read")
             .add_transactions((v.used as u64).div_ceil(32).max(1));
         (0..v.used)
             .map(|i| self.dev.arena().load(v.block + i))
@@ -209,7 +211,7 @@ impl Hornet {
                 if info.used + fresh.len() as u32 <= info.capacity {
                     // Append in place; the compaction pass rewrites the
                     // deduplicated list (charged as a full-list write).
-                    self.dev.counters().add_transactions(
+                    self.dev.charge("hornet_edge_insert").add_transactions(
                         ((info.used as u64 + fresh.len() as u64).div_ceil(32)).max(1),
                     );
                     for (k, &d) in fresh.iter().enumerate() {
@@ -266,7 +268,7 @@ impl Hornet {
                 // Compacted write-back into the same block (charged).
                 let info = self.vertices[u as usize];
                 self.dev
-                    .counters()
+                    .charge("hornet_edge_delete")
                     .add_transactions((kept.len() as u64).div_ceil(32).max(1));
                 for (k, &d) in kept.iter().enumerate() {
                     self.dev.arena().store(info.block + k as u32, d);
@@ -297,7 +299,7 @@ impl Hornet {
             lists[u].copy_from_slice(&flat[seg.0..seg.1]);
             let info = self.vertices[u];
             self.dev
-                .counters()
+                .charge("hornet_sort")
                 .add_transactions((info.used as u64).div_ceil(32).max(1));
             for (k, &d) in lists[u].iter().enumerate() {
                 self.dev.arena().store(info.block + k as u32, d);
@@ -319,7 +321,7 @@ impl Hornet {
             let mut list = self.read_adjacency(u);
             charge_sort_traffic(&self.dev, list.len().min(64));
             self.dev
-                .counters()
+                .charge("hornet_sort")
                 .add_transactions(2 * (list.len() as u64).div_ceil(32).max(1));
             list.sort_unstable();
             let info = self.vertices[u as usize];
@@ -384,9 +386,9 @@ mod tests {
         let mut g = Hornet::new(16, 1 << 18);
         g.insert_batch(&[(0, 1), (0, 2), (0, 3)]); // capacity 4 block
         g.insert_batch(&[(0, 4), (0, 5)]); // grows to 8, frees the 4-block
-        assert!(!g.free_blocks.get(&4).map_or(true, |l| l.is_empty()));
+        assert!(!g.free_blocks.get(&4).is_none_or(|l| l.is_empty()));
         g.insert_batch(&[(1, 2), (1, 3), (1, 4)]); // reuses the 4-block
-        assert!(g.free_blocks.get(&4).map_or(true, |l| l.is_empty()));
+        assert!(g.free_blocks.get(&4).is_none_or(|l| l.is_empty()));
     }
 
     #[test]

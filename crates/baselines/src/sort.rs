@@ -22,9 +22,9 @@ pub const RADIX_PASSES: u64 = 4;
 /// keys (histogram + scatter per pass, each a coalesced sweep).
 pub fn charge_radix_sort(dev: &Device, n: usize) {
     let sweeps = RADIX_PASSES * 2; // read + scattered write per pass
-    dev.counters()
-        .add_transactions(sweeps * (n as u64).div_ceil(32));
-    dev.counters().add_launches(RADIX_PASSES);
+    let charge = dev.charge("radix_sort");
+    charge.add_transactions(sweeps * (n as u64).div_ceil(32));
+    charge.add_launches(RADIX_PASSES);
 }
 
 /// Charge only the *data movement* of sorting `n` keys, without per-call
@@ -32,7 +32,7 @@ pub fn charge_radix_sort(dev: &Device, n: usize) {
 /// kernel (e.g. Hornet's per-vertex duplicate checking, which one batch
 /// kernel performs for all touched vertices at once).
 pub fn charge_sort_traffic(dev: &Device, n: usize) {
-    dev.counters()
+    dev.charge("sort_traffic")
         .add_transactions(RADIX_PASSES * 2 * (n as u64).div_ceil(32).max(1));
 }
 
@@ -60,7 +60,7 @@ pub fn segmented_sort(dev: &Device, segments: &[(usize, usize)], values: &mut [u
     // block per segment with a fixed startup cost (~0.5 µs), which is why
     // Table VIII shows CUB losing badly on road networks (millions of
     // 2-element segments). 0.5 µs ≈ 2500 transactions of HBM2 time.
-    dev.counters()
+    dev.charge("segmented_sort")
         .add_transactions(segments.len() as u64 * 2500);
     for &(s, e) in segments {
         values[s..e].sort_unstable();
@@ -85,8 +85,9 @@ pub fn faimgraph_adjacency_sort(dev: &Device, lists: &mut [Vec<u32>]) {
         transactions += deg * deg + pages;
         list.sort_unstable();
     }
-    dev.counters().add_transactions(transactions);
-    dev.counters().add_launches(1);
+    let charge = dev.charge("faim_sort");
+    charge.add_transactions(transactions);
+    charge.add_launches(1);
 }
 
 #[cfg(test)]

@@ -1,12 +1,33 @@
-//! Criterion benches for the figure experiments: the load-factor sweeps of
+//! Wall-clock benches for the figure experiments: the load-factor sweeps of
 //! Fig. 2 (insertion) and Fig. 3 (triangle-counting queries).
+//!
+//! Run with `cargo bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_gen::{rmat_edges, RmatParams};
 use slabgraph::{DynGraph, Edge, GraphConfig};
+use std::time::Instant;
+
+const ITERS: usize = 10;
+
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{group}/{name}: min {:.3} ms  mean {:.3} ms",
+        min * 1e3,
+        mean * 1e3
+    );
+}
 
 /// Fig. 2a: insertion throughput as the load factor (≈ chain length) grows.
-fn bench_fig2_insertion_vs_load_factor(c: &mut Criterion) {
+fn bench_fig2_insertion_vs_load_factor() {
     let v_exp = 10;
     let n = 1u32 << v_exp;
     let raw = rmat_edges(v_exp, n as usize * 16, RmatParams::flat(), 3);
@@ -17,25 +38,20 @@ fn bench_fig2_insertion_vs_load_factor(c: &mut Criterion) {
             degrees[e.src as usize] += 1;
         }
     }
-    let mut g = c.benchmark_group("fig2_insert_rate");
-    g.sample_size(10);
     for lf in [0.35, 0.7, 1.5, 3.0] {
-        g.bench_with_input(BenchmarkId::from_parameter(lf), &lf, |b, &lf| {
-            b.iter(|| {
-                let cfg = GraphConfig::directed_map(n)
-                    .with_load_factor(lf)
-                    .with_device_words(edges.len() * 12);
-                let gr = DynGraph::with_degree_hints(cfg, &degrees);
-                gr.insert_edges(&edges)
-            })
+        bench("fig2_insert_rate", &format!("lf={lf}"), || {
+            let cfg = GraphConfig::directed_map(n)
+                .with_load_factor(lf)
+                .with_device_words(edges.len() * 12);
+            let gr = DynGraph::with_degree_hints(cfg, &degrees);
+            gr.insert_edges(&edges);
         });
     }
-    g.finish();
 }
 
 /// Fig. 3: query (TC) cost as the load factor grows — the optimum near
 /// 0.7 shows as minimal time per probe.
-fn bench_fig3_tc_vs_load_factor(c: &mut Criterion) {
+fn bench_fig3_tc_vs_load_factor() {
     let v_exp = 9;
     let n = 1u32 << v_exp;
     let raw = rmat_edges(v_exp, n as usize * 8, RmatParams::flat(), 5);
@@ -47,20 +63,19 @@ fn bench_fig3_tc_vs_load_factor(c: &mut Criterion) {
             degrees[e.dst as usize] += 1;
         }
     }
-    let mut g = c.benchmark_group("fig3_tc_time");
-    g.sample_size(10);
     for lf in [0.35, 0.7, 2.0] {
         let cfg = GraphConfig::undirected_set(n)
             .with_load_factor(lf)
             .with_device_words(edges.len() * 16);
         let gr = DynGraph::with_degree_hints(cfg, &degrees);
         gr.insert_edges(&edges);
-        g.bench_with_input(BenchmarkId::from_parameter(lf), &gr, |b, gr| {
-            b.iter(|| algos::tc_slabgraph(gr))
+        bench("fig3_tc_time", &format!("lf={lf}"), || {
+            algos::tc_slabgraph(&gr);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fig2_insertion_vs_load_factor, bench_fig3_tc_vs_load_factor);
-criterion_main!(benches);
+fn main() {
+    bench_fig2_insertion_vs_load_factor();
+    bench_fig3_tc_vs_load_factor();
+}

@@ -1,83 +1,98 @@
-//! Criterion micro-benchmarks of the substrate primitives: slab-hash
+//! Wall-clock micro-benchmarks of the substrate primitives: slab-hash
 //! operations, the slab allocator, and the warp intrinsics themselves.
+//!
+//! Run with `cargo bench --bench structures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::{Device, Lanes};
 use slab_alloc::SlabAllocator;
 use slab_hash::{buckets_for, TableDesc, TableKind};
+use std::time::Instant;
 
-fn bench_slab_hash_ops(c: &mut Criterion) {
+const ITERS: usize = 1000;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name}: min {:.3} µs  mean {:.3} µs", min * 1e6, mean * 1e6);
+}
+
+fn bench_slab_hash_ops() {
     let dev = Device::new(1 << 20);
     let alloc = SlabAllocator::new(&dev, 4096);
     let n = 4096u32;
-    let table = TableDesc::create(&dev, TableKind::Map, buckets_for(n as usize, 0.7, TableKind::Map));
-    dev.launch_warps(1, |warp| {
+    let table = TableDesc::create(
+        &dev,
+        TableKind::Map,
+        buckets_for(n as usize, 0.7, TableKind::Map),
+    );
+    dev.launch_warps("bench_setup", 1, |warp| {
         for k in 0..n {
             table.replace(warp, &alloc, k, k);
         }
     });
 
-    let mut g = c.benchmark_group("slab_hash");
-    g.bench_function("search_hit", |b| {
-        let mut k = 0u32;
-        b.iter(|| {
-            let out = std::sync::atomic::AtomicU32::new(0);
-            dev.launch_warps(1, |warp| {
-                out.store(table.search(warp, k % n).unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
-            });
-            k = k.wrapping_add(1);
-            out.into_inner()
-        })
+    let mut k = 0u32;
+    bench("slab_hash/search_hit", || {
+        let out = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_warps("bench_search", 1, |warp| {
+            out.store(
+                table.search(warp, k % n).unwrap_or(0),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        });
+        k = k.wrapping_add(1);
     });
-    g.bench_function("search_miss", |b| {
-        b.iter(|| {
-            let out = std::sync::atomic::AtomicU32::new(0);
-            dev.launch_warps(1, |warp| {
-                out.store(table.search(warp, n + 17).is_some() as u32, std::sync::atomic::Ordering::Relaxed);
-            });
-            out.into_inner()
-        })
+    bench("slab_hash/search_miss", || {
+        let out = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_warps("bench_search", 1, |warp| {
+            out.store(
+                table.search(warp, n + 17).is_some() as u32,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        });
     });
-    g.bench_function("replace_existing", |b| {
-        let mut k = 0u32;
-        b.iter(|| {
-            dev.launch_warps(1, |warp| {
-                table.replace(warp, &alloc, k % n, 9);
-            });
-            k = k.wrapping_add(1);
-        })
+    let mut k2 = 0u32;
+    bench("slab_hash/replace_existing", || {
+        dev.launch_warps("bench_replace", 1, |warp| {
+            table.replace(warp, &alloc, k2 % n, 9);
+        });
+        k2 = k2.wrapping_add(1);
     });
-    g.finish();
 }
 
-fn bench_allocator(c: &mut Criterion) {
+fn bench_allocator() {
     let dev = Device::new(1 << 22);
     let alloc = SlabAllocator::new(&dev, 1 << 14);
-    c.bench_function("slab_alloc/allocate_free", |b| {
-        b.iter(|| {
-            dev.launch_warps(1, |warp| {
-                let a = alloc.allocate(warp);
-                alloc.free(warp, a);
-            });
-        })
+    bench("slab_alloc/allocate_free", || {
+        dev.launch_warps("bench_alloc", 1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a);
+        });
     });
 }
 
-fn bench_warp_primitives(c: &mut Criterion) {
+fn bench_warp_primitives() {
     let dev = Device::new(1 << 12);
     let slab = dev.alloc_words(32, 32);
-    c.bench_function("warp/read_slab_ballot", |b| {
-        b.iter(|| {
-            let out = std::sync::atomic::AtomicU32::new(0);
-            dev.launch_warps(1, |warp| {
-                let words = warp.read_slab(slab);
-                let preds = Lanes::from_fn(|i| words.get(i) == 0);
-                out.store(warp.ballot(&preds), std::sync::atomic::Ordering::Relaxed);
-            });
-            out.into_inner()
-        })
+    bench("warp/read_slab_ballot", || {
+        let out = std::sync::atomic::AtomicU32::new(0);
+        dev.launch_warps("bench_ballot", 1, |warp| {
+            let words = warp.read_slab(slab);
+            let preds = Lanes::from_fn(|i| words.get(i) == 0);
+            out.store(warp.ballot(&preds), std::sync::atomic::Ordering::Relaxed);
+        });
     });
 }
 
-criterion_group!(benches, bench_slab_hash_ops, bench_allocator, bench_warp_primitives);
-criterion_main!(benches);
+fn main() {
+    bench_slab_hash_ops();
+    bench_allocator();
+    bench_warp_primitives();
+}

@@ -1,12 +1,35 @@
-//! Criterion regression benches mirroring the paper's tables at reduced
+//! Wall-clock regression benches mirroring the paper's tables at reduced
 //! scale — one group per table. These track *host* wall-clock of the
 //! simulator (useful for regressions); the paper-shaped modeled numbers
 //! come from the `table*` binaries.
+//!
+//! Run with `cargo bench --bench tables`. Each case reports min/mean over
+//! a fixed number of iterations; no external bench framework is used.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use baselines::{FaimGraph, Hornet};
 use graph_gen::{catalog, insert_batch, vertex_batch};
 use slabgraph::{Direction, DynGraph, Edge, GraphConfig, TableKind};
+use std::time::Instant;
+
+const ITERS: usize = 10;
+
+/// Time `f` over [`ITERS`] iterations (plus one warmup) and print a line.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{group}/{name}: min {:.3} ms  mean {:.3} ms",
+        min * 1e3,
+        mean * 1e3
+    );
+}
 
 fn ds() -> graph_gen::Dataset {
     catalog::dataset("coAuthorsDBLP").unwrap().generate(4096, 7)
@@ -17,115 +40,76 @@ fn build_ours(d: &graph_gen::Dataset, kind: TableKind, dir: Direction) -> DynGra
     cfg.kind = kind;
     cfg.direction = dir;
     cfg.device_words = (d.edges.len() * 12).max(1 << 20);
-    DynGraph::bulk_build(cfg, &d.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>())
+    DynGraph::bulk_build(
+        cfg,
+        &d.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>(),
+    )
 }
 
 /// Table II/III: batched edge insertion and deletion per structure.
-fn bench_edge_updates(c: &mut Criterion) {
+fn bench_edge_updates() {
     let d = ds();
     let batch = insert_batch(d.n_vertices, 1 << 12, 5);
     let edges: Vec<Edge> = batch.iter().map(|&p| Edge::from(p)).collect();
 
-    let mut g = c.benchmark_group("table2_insert");
-    g.sample_size(10);
-    g.bench_function("ours", |b| {
-        b.iter_batched(
-            || build_ours(&d, TableKind::Map, Direction::Directed),
-            |gr| gr.insert_edges(&edges),
-            BatchSize::LargeInput,
-        )
+    bench("table2_insert", "ours", || {
+        let gr = build_ours(&d, TableKind::Map, Direction::Directed);
+        gr.insert_edges(&edges);
     });
-    g.bench_function("hornet", |b| {
-        b.iter_batched(
-            || Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22),
-            |mut h| h.insert_batch(&batch),
-            BatchSize::LargeInput,
-        )
+    bench("table2_insert", "hornet", || {
+        let mut h = Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22);
+        h.insert_batch(&batch);
     });
-    g.bench_function("faimgraph", |b| {
-        b.iter_batched(
-            || FaimGraph::build(d.n_vertices, &d.edges, 1 << 22),
-            |f| f.insert_batch(&batch),
-            BatchSize::LargeInput,
-        )
+    bench("table2_insert", "faimgraph", || {
+        let f = FaimGraph::build(d.n_vertices, &d.edges, 1 << 22);
+        f.insert_batch(&batch);
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("table3_delete");
-    g.sample_size(10);
-    g.bench_function("ours", |b| {
-        b.iter_batched(
-            || {
-                let gr = build_ours(&d, TableKind::Map, Direction::Directed);
-                gr.insert_edges(&edges);
-                gr
-            },
-            |gr| gr.delete_edges(&edges),
-            BatchSize::LargeInput,
-        )
+    bench("table3_delete", "ours", || {
+        let gr = build_ours(&d, TableKind::Map, Direction::Directed);
+        gr.insert_edges(&edges);
+        gr.delete_edges(&edges);
     });
-    g.bench_function("hornet", |b| {
-        b.iter_batched(
-            || {
-                let mut h = Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22);
-                h.insert_batch(&batch);
-                h
-            },
-            |mut h| h.delete_batch(&batch),
-            BatchSize::LargeInput,
-        )
+    bench("table3_delete", "hornet", || {
+        let mut h = Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22);
+        h.insert_batch(&batch);
+        h.delete_batch(&batch);
     });
-    g.finish();
 }
 
 /// Table IV: vertex deletion.
-fn bench_vertex_deletion(c: &mut Criterion) {
+fn bench_vertex_deletion() {
     let d = catalog::dataset("delaunay_n20").unwrap().generate(2048, 7);
     let victims = vertex_batch(d.n_vertices, 128, 3);
-    let mut g = c.benchmark_group("table4_vertex_delete");
-    g.sample_size(10);
-    g.bench_function("ours", |b| {
-        b.iter_batched(
-            || build_ours(&d, TableKind::Map, Direction::Undirected),
-            |gr| gr.delete_vertices(&victims),
-            BatchSize::LargeInput,
-        )
+    bench("table4_vertex_delete", "ours", || {
+        let gr = build_ours(&d, TableKind::Map, Direction::Undirected);
+        gr.delete_vertices(&victims);
     });
-    g.finish();
 }
 
 /// Table V/VI: bulk and incremental build.
-fn bench_builds(c: &mut Criterion) {
+fn bench_builds() {
     let d = ds();
     let edges: Vec<Edge> = d.edges.iter().map(|&p| Edge::from(p)).collect();
-    let mut g = c.benchmark_group("table5_bulk_build");
-    g.sample_size(10);
-    g.bench_function("ours", |b| {
-        b.iter(|| build_ours(&d, TableKind::Map, Direction::Directed))
+    bench("table5_bulk_build", "ours", || {
+        build_ours(&d, TableKind::Map, Direction::Directed);
     });
-    g.bench_function("hornet", |b| {
-        b.iter(|| Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22))
+    bench("table5_bulk_build", "hornet", || {
+        Hornet::bulk_build(d.n_vertices, &d.edges, 1 << 22);
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("table6_incremental");
-    g.sample_size(10);
-    g.bench_function("ours_1bucket", |b| {
-        b.iter(|| {
-            let mut cfg = GraphConfig::directed_map(d.n_vertices);
-            cfg.device_words = (d.edges.len() * 12).max(1 << 20);
-            let gr = DynGraph::with_uniform_buckets(cfg, d.n_vertices, 1);
-            for chunk in edges.chunks(1 << 12) {
-                gr.insert_edges(chunk);
-            }
-            gr
-        })
+    bench("table6_incremental", "ours_1bucket", || {
+        let mut cfg = GraphConfig::directed_map(d.n_vertices);
+        cfg.device_words = (d.edges.len() * 12).max(1 << 20);
+        let gr = DynGraph::with_uniform_buckets(cfg, d.n_vertices, 1);
+        for chunk in edges.chunks(1 << 12) {
+            gr.insert_edges(chunk);
+        }
     });
-    g.finish();
 }
 
 /// Table VII: static triangle counting.
-fn bench_triangle_counting(c: &mut Criterion) {
+fn bench_triangle_counting() {
     let d = catalog::dataset("coAuthorsDBLP").unwrap().generate(1024, 7);
     let gr = {
         let mut cfg = GraphConfig::undirected_set(d.n_vertices);
@@ -134,22 +118,25 @@ fn bench_triangle_counting(c: &mut Criterion) {
         gr.insert_edges(&d.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
         gr
     };
-    let sym: Vec<(u32, u32)> = d.edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
+    let sym: Vec<(u32, u32)> = d
+        .edges
+        .iter()
+        .flat_map(|&(u, v)| [(u, v), (v, u)])
+        .collect();
     let mut h = Hornet::bulk_build(d.n_vertices, &sym, 1 << 22);
     h.sort_adjacencies();
 
-    let mut g = c.benchmark_group("table7_static_tc");
-    g.sample_size(10);
-    g.bench_function("ours_hash_probes", |b| b.iter(|| algos::tc_slabgraph(&gr)));
-    g.bench_function("hornet_sorted_intersect", |b| b.iter(|| algos::tc_hornet(&h)));
-    g.finish();
+    bench("table7_static_tc", "ours_hash_probes", || {
+        algos::tc_slabgraph(&gr);
+    });
+    bench("table7_static_tc", "hornet_sorted_intersect", || {
+        algos::tc_hornet(&h);
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_edge_updates,
-    bench_vertex_deletion,
-    bench_builds,
-    bench_triangle_counting
-);
-criterion_main!(benches);
+fn main() {
+    bench_edge_updates();
+    bench_vertex_deletion();
+    bench_builds();
+    bench_triangle_counting();
+}

@@ -14,7 +14,11 @@ fn main() {
         "ablation_tombstones",
         "Tombstone handling: skip (paper default) vs recycle vs flush",
         &[
-            "strategy", "reinsert MEdge/s", "slabs", "tombstones", "memory MB",
+            "strategy",
+            "reinsert MEdge/s",
+            "slabs",
+            "tombstones",
+            "memory MB",
         ],
     );
     let n = 512u32;

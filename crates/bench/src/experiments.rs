@@ -4,7 +4,7 @@
 //! Throughputs/times are from modeled GPU time (DESIGN.md §2); the raw
 //! wall-clock of the simulation is recorded in the JSON notes where useful.
 
-use crate::harness::{fnum, measure, scale_shift, Table};
+use crate::harness::{fnum, measure, measure_traced, scale_shift, Table};
 use algos::{tc_faimgraph, tc_hornet, tc_slabgraph};
 use baselines::{sort, Csr, FaimGraph, Hornet};
 use graph_gen::{catalog, insert_batch, rmat_edges, vertex_batch, weighted, RmatParams};
@@ -34,10 +34,7 @@ fn mirror(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
 }
 
 fn to_edges(raw: &[(u32, u32)]) -> Vec<Edge> {
-    weighted(raw, 99)
-        .into_iter()
-        .map(Edge::from)
-        .collect()
+    weighted(raw, 99).into_iter().map(Edge::from).collect()
 }
 
 fn graph_config(ds: &graph_gen::Dataset, kind: TableKind, direction: Direction) -> GraphConfig {
@@ -63,8 +60,16 @@ pub fn table1() -> Table {
         "table1",
         "Datasets (paper scale vs. generated scale)",
         &[
-            "dataset", "paper |V|", "paper |E|", "paper avg", "paper σ", "gen |V|", "gen |E|",
-            "gen avg", "gen σ", "gen max",
+            "dataset",
+            "paper |V|",
+            "paper |E|",
+            "paper avg",
+            "paper σ",
+            "gen |V|",
+            "gen |E|",
+            "gen avg",
+            "gen σ",
+            "gen max",
         ],
     );
     for spec in catalog::datasets() {
@@ -125,22 +130,28 @@ fn update_rate_table(deletion: bool) -> Table {
     for (bi, &be) in batch_exps.iter().enumerate() {
         let bsz = 1usize << be;
         let (mut hr, mut fr, mut or) = (vec![], vec![], vec![]);
-        for ds in &datasets {
+        for (di, ds) in datasets.iter().enumerate() {
             let batch = insert_batch(ds.n_vertices, bsz, 1000 + bi as u64);
 
-            // Ours: build static graph, then measured batch op.
+            // Ours: build static graph, then measured batch op with a
+            // per-kernel trace.
             let g = build_ours(ds, TableKind::Map, Direction::Directed);
-            let m = if deletion {
-                let edges = to_edges(&batch);
-                measure(g.device(), || {
+            let edges = to_edges(&batch);
+            let (m, report) = measure_traced(g.device(), || {
+                if deletion {
                     g.delete_edges(&edges);
-                })
-            } else {
-                let edges = to_edges(&batch);
-                measure(g.device(), || {
+                } else {
                     g.insert_edges(&edges);
-                })
-            };
+                }
+            });
+            assert_eq!(
+                report.kernel_sum(),
+                m.counters,
+                "per-kernel counters must sum to the phase's global delta"
+            );
+            if bi == batch_exps.len() - 1 && di == 0 {
+                t.breakdown(format!("ours, {} batch 2^{be}", specs[di].name), report);
+            }
             or.push(m.mrate(bsz as u64));
 
             // Hornet.
@@ -206,7 +217,11 @@ pub fn table4_vertex_deletion() -> Table {
         let bsz = 1usize << be;
         let (mut fr, mut or) = (vec![], vec![]);
         for ds in &datasets {
-            let victims = vertex_batch(ds.n_vertices, bsz.min(ds.n_vertices as usize / 2), 77 + bi as u64);
+            let victims = vertex_batch(
+                ds.n_vertices,
+                bsz.min(ds.n_vertices as usize / 2),
+                77 + bi as u64,
+            );
 
             let g = build_ours(ds, TableKind::Map, Direction::Undirected);
             let m = measure(g.device(), || {
@@ -301,7 +316,9 @@ pub fn table6_incremental_build() -> Table {
         }
         t.row(vec![format!("2^{be}"), fnum(mean(&hr)), fnum(mean(&or))]);
     }
-    t.note(format!("mean over {names:?}; ours starts with 1 bucket/vertex"));
+    t.note(format!(
+        "mean over {names:?}; ours starts with 1 bucket/vertex"
+    ));
     t
 }
 
@@ -406,8 +423,15 @@ pub fn table9_dynamic_tc() -> Table {
         "table9",
         "Dynamic TC cumulative time (modeled ms): insert batch then count",
         &[
-            "dataset", "iter", "ours insert", "ours TC", "ours total", "hornet insert",
-            "hornet TC(+sort)", "hornet total", "speedup",
+            "dataset",
+            "iter",
+            "ours insert",
+            "ours TC",
+            "ours total",
+            "hornet insert",
+            "hornet TC(+sort)",
+            "hornet total",
+            "speedup",
         ],
     );
     let shift = scale_shift();
@@ -478,7 +502,12 @@ pub fn fig2_load_factor() -> Table {
         "fig2",
         "Load-factor sweep (RMAT): rate / utilization / memory vs chain length",
         &[
-            "avg degree", "load factor", "avg chain", "MEdge/s", "utilization", "memory MB",
+            "avg degree",
+            "load factor",
+            "avg chain",
+            "MEdge/s",
+            "utilization",
+            "memory MB",
         ],
     );
     let shift = scale_shift();
@@ -523,13 +552,24 @@ pub fn fig3_tc_load_factor() -> Table {
     let mut t = Table::new(
         "fig3",
         "Static TC time vs chain length (load-factor sweep, RMAT)",
-        &["avg degree", "load factor", "avg chain", "TC modeled ms", "triangles"],
+        &[
+            "avg degree",
+            "load factor",
+            "avg chain",
+            "TC modeled ms",
+            "triangles",
+        ],
     );
     let shift = scale_shift();
     let v_exp = 10 + shift;
     let n_vertices = 1u32 << v_exp;
     for avg_deg in [32usize, 64] {
-        let raw = rmat_edges(v_exp, n_vertices as usize * avg_deg / 2, RmatParams::flat(), 59);
+        let raw = rmat_edges(
+            v_exp,
+            n_vertices as usize * avg_deg / 2,
+            RmatParams::flat(),
+            59,
+        );
         let edges: Vec<Edge> = raw.iter().map(|&p| Edge::from(p)).collect();
         let mut degrees = vec![0u32; n_vertices as usize];
         for e in &edges {

@@ -1,16 +1,14 @@
 //! Shared measurement and reporting utilities.
 
-use gpu_sim::{CostModel, CounterSnapshot, Device};
-use serde::Serialize;
+use gpu_sim::{CostModel, CounterSnapshot, Device, Json, TraceReport};
 use std::time::Instant;
 
 /// One measured phase: host wall-clock plus modeled GPU time derived from
 /// the counter delta.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     pub wall_s: f64,
     pub modeled_s: f64,
-    #[serde(skip)]
     pub counters: CounterSnapshot,
 }
 
@@ -60,6 +58,26 @@ pub fn measure(dev: &Device, f: impl FnOnce()) -> Measurement {
     }
 }
 
+/// Like [`measure`], but also captures a per-kernel [`TraceReport`] for
+/// the phase: which named kernels ran and what each one cost.
+pub fn measure_traced(dev: &Device, f: impl FnOnce()) -> (Measurement, TraceReport) {
+    let model = CostModel::titan_v();
+    let before = dev.trace();
+    let t0 = Instant::now();
+    f();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let delta = dev.trace().delta(&before);
+    let report = TraceReport::new(&delta, &model);
+    (
+        Measurement {
+            wall_s,
+            modeled_s: model.seconds(&delta.global),
+            counters: delta.global,
+        },
+        report,
+    )
+}
+
 /// Global scale shift from `BENCH_SCALE_SHIFT` (each step doubles sizes).
 pub fn scale_shift() -> u32 {
     std::env::var("BENCH_SCALE_SHIFT")
@@ -69,7 +87,7 @@ pub fn scale_shift() -> u32 {
 }
 
 /// A printable experiment table that also serialises to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub id: String,
     pub title: String,
@@ -77,6 +95,9 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (scaling, substitutions) recorded with the data.
     pub notes: Vec<String>,
+    /// Per-kernel breakdowns attached to named phases of the experiment,
+    /// rendered after the table and embedded in the emitted JSON.
+    pub breakdowns: Vec<(String, TraceReport)>,
 }
 
 impl Table {
@@ -87,6 +108,7 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: vec![],
             notes: vec![],
+            breakdowns: vec![],
         }
     }
 
@@ -97,6 +119,12 @@ impl Table {
 
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Attach a per-kernel breakdown for one phase (e.g. the largest batch
+    /// of one dataset).
+    pub fn breakdown(&mut self, label: impl Into<String>, report: TraceReport) {
+        self.breakdowns.push((label.into(), report));
     }
 
     /// Render as an aligned text table.
@@ -127,7 +155,43 @@ impl Table {
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
         }
+        for (label, report) in &self.breakdowns {
+            out.push_str(&format!("\n-- per-kernel breakdown: {label} --\n"));
+            out.push_str(&report.render());
+        }
         out
+    }
+
+    fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("title".into(), Json::str(&self.title)),
+            ("headers".into(), strs(&self.headers)),
+            (
+                "rows".into(),
+                Json::Arr(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+            ("notes".into(), strs(&self.notes)),
+            (
+                "breakdowns".into(),
+                Json::Arr(
+                    self.breakdowns
+                        .iter()
+                        .map(|(label, report)| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::str(label)),
+                                (
+                                    "trace".into(),
+                                    Json::parse(&report.to_json())
+                                        .expect("TraceReport::to_json is valid JSON"),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     /// Print to stdout and persist JSON under `target/experiments/`.
@@ -136,9 +200,7 @@ impl Table {
         let dir = std::path::Path::new("target/experiments");
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
-            if let Ok(json) = serde_json::to_string_pretty(self) {
-                let _ = std::fs::write(path, json);
-            }
+            let _ = std::fs::write(path, self.to_json().render_pretty());
         }
     }
 }
@@ -165,11 +227,28 @@ mod tests {
         let dev = Device::new(1 << 12);
         let p = dev.alloc_words(32, 32);
         let m = measure(&dev, || {
-            dev.memset(p, 32, 1);
+            dev.memset("bench_fill", p, 32, 1);
         });
         assert_eq!(m.counters.transactions, 1);
         assert!(m.modeled_s > 0.0);
         assert!(m.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn measure_traced_breakdown_sums_to_global() {
+        let dev = Device::new(1 << 12);
+        let p = dev.alloc_words(64, 32);
+        let (m, report) = measure_traced(&dev, || {
+            dev.memset("phase_a", p, 64, 1);
+            dev.launch_tasks("phase_b", 64, |warp| {
+                let _ = warp.read_word(p);
+            });
+        });
+        assert_eq!(report.kernel_sum(), m.counters);
+        assert_eq!(report.total.counters, m.counters);
+        assert_eq!(report.rows.len(), 2);
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl VertexDict {
         let base = dev.alloc_words(words, SLAB_WORDS);
         // Initialise every table pointer to NULL and counts to zero.
         // (Charged as a device memset — part of construction cost.)
-        dev.memset(base, words, 0);
+        dev.memset("dict_init", base, words, 0);
         for v in 0..capacity {
             dev.arena().store(base + v * ENTRY_WORDS, NULL_ADDR);
         }
@@ -87,9 +87,9 @@ impl VertexDict {
         let old_base = self.base.load(Ordering::Acquire);
         let words = (old_cap * ENTRY_WORDS) as usize;
         // Copy kernel: read + write, coalesced.
-        dev.counters().add_launches(1);
-        dev.counters()
-            .add_transactions(2 * (words as u64).div_ceil(SLAB_WORDS as u64));
+        let charge = dev.charge("dict_grow");
+        charge.add_launches(1);
+        charge.add_transactions(2 * (words as u64).div_ceil(SLAB_WORDS as u64));
         for i in 0..words as u32 {
             let w = dev.arena().load(old_base + i);
             dev.arena().store(new_base + i, w);
@@ -245,7 +245,7 @@ mod tests {
         let dict = VertexDict::new(&d, TableKind::Map, 4);
         dict.install_host(&d, 3, 0x2000, 9);
         let got = parking_lot::Mutex::new(None);
-        d.launch_warps(1, |warp| {
+        d.launch_warps("dict_test", 1, |warp| {
             *got.lock() = dict.desc(warp, 3);
         });
         let t = got.into_inner().unwrap();
@@ -258,7 +258,7 @@ mod tests {
         let d = dev();
         let dict = VertexDict::new(&d, TableKind::Map, 4);
         let results = parking_lot::Mutex::new(vec![]);
-        d.launch_warps(8, |warp| {
+        d.launch_warps("dict_test", 8, |warp| {
             let fresh = 0x100 + warp.warp_id() * 0x20;
             let r = dict.try_install(warp, 1, fresh, 1);
             results.lock().push(r.is_ok());

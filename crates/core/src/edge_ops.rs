@@ -66,7 +66,11 @@ impl DynGraph {
         let changed_total = self.dev.alloc_words(1, 1);
         self.dev.arena().store(changed_total, 0);
 
-        self.dev.launch_tasks(n, |warp| {
+        let kernel_name = match op {
+            EdgeOp::Insert => "edge_insert",
+            EdgeOp::Delete => "edge_delete",
+        };
+        self.dev.launch_tasks(kernel_name, n, |warp| {
             let base = warp.warp_id() * WARP_SIZE as u32;
             // Coalesced loads of this warp's 32 edges.
             let srcs = warp.read_slab(src_buf + base);
@@ -76,9 +80,7 @@ impl DynGraph {
                 .unwrap_or_default();
 
             // Line 3: no self-edges.
-            let mut pending = Lanes::from_fn(|i| {
-                warp.is_active(i) && srcs.get(i) != dsts.get(i)
-            });
+            let mut pending = Lanes::from_fn(|i| warp.is_active(i) && srcs.get(i) != dsts.get(i));
 
             // Lines 4–14: warp work queue.
             loop {
@@ -87,8 +89,7 @@ impl DynGraph {
                     break;
                 };
                 let current_src = warp.shuffle(&srcs, current_lane);
-                let same_src =
-                    pending.zip_with(&srcs, |p, s| p && s == current_src);
+                let same_src = pending.zip_with(&srcs, |p, s| p && s == current_src);
                 let group = warp.ballot(&same_src);
 
                 let desc = match op {
@@ -108,23 +109,14 @@ impl DynGraph {
                 for lane in iter_bits(group) {
                     let li = lane as usize;
                     let ok = match op {
-                        EdgeOp::Insert if self.config.recycle_tombstones => desc
-                            .insert_recycling(
-                                warp,
-                                &self.alloc,
-                                dsts.get(li),
-                                weights.get(li),
-                            ),
+                        EdgeOp::Insert if self.config.recycle_tombstones => {
+                            desc.insert_recycling(warp, &self.alloc, dsts.get(li), weights.get(li))
+                        }
                         EdgeOp::Insert => match self.config.kind {
-                            TableKind::Map => self.alloc_replace(
-                                warp,
-                                &desc,
-                                dsts.get(li),
-                                weights.get(li),
-                            ),
-                            TableKind::Set => {
-                                desc.insert_unique(warp, &self.alloc, dsts.get(li))
+                            TableKind::Map => {
+                                self.alloc_replace(warp, &desc, dsts.get(li), weights.get(li))
                             }
+                            TableKind::Set => desc.insert_unique(warp, &self.alloc, dsts.get(li)),
                         },
                         EdgeOp::Delete => desc.delete(warp, dsts.get(li)),
                     };
@@ -223,7 +215,11 @@ mod tests {
         let cap = 100u32;
         let g = graph(cap);
         let batch: Vec<Edge> = (0..cap)
-            .flat_map(|u| (0..cap).filter(move |&v| v != u).map(move |v| Edge::new(u, v)))
+            .flat_map(|u| {
+                (0..cap)
+                    .filter(move |&v| v != u)
+                    .map(move |v| Edge::new(u, v))
+            })
             .collect();
         let added = g.insert_edges(&batch);
         assert_eq!(added, (cap as u64) * (cap as u64 - 1));

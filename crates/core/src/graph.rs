@@ -154,7 +154,7 @@ impl DynGraph {
             .dev
             .alloc_words(total as usize * SLAB_WORDS, SLAB_WORDS);
         self.dev
-            .memset(region, total as usize * SLAB_WORDS, EMPTY_KEY);
+            .memset("graph_init", region, total as usize * SLAB_WORDS, EMPTY_KEY);
         let mut cursor = region;
         for (v, &b) in buckets.iter().enumerate() {
             self.dict.install_host(&self.dev, v as u32, cursor, b);

@@ -22,7 +22,7 @@ impl DynGraph {
     pub fn flush_tombstones(&self) -> u64 {
         let cap = self.dict.capacity();
         let removed = std::sync::atomic::AtomicU64::new(0);
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("flush_tombstones", 1, |warp| {
             for v in 0..cap {
                 let Some(desc) = self.dict.desc_host(&self.dev, v) else {
                     continue;
@@ -51,7 +51,7 @@ impl DynGraph {
         assert!(max_chain >= 1.0, "chains cannot be shorter than one slab");
         let cap = self.dict.capacity();
         let rehashed = std::sync::atomic::AtomicU64::new(0);
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("rehash", 1, |warp| {
             for v in 0..cap {
                 let Some(desc) = self.dict.desc_host(&self.dev, v) else {
                     continue;
@@ -62,16 +62,12 @@ impl DynGraph {
                 }
                 rehashed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let entries = self.collect_entries(warp, &desc);
-                let buckets = buckets_for(
-                    entries.len(),
-                    self.config.load_factor,
-                    self.config.kind,
-                );
+                let buckets = buckets_for(entries.len(), self.config.load_factor, self.config.kind);
                 let base = self
                     .dev
                     .alloc_words(TableDesc::base_words(buckets), SLAB_WORDS);
                 self.dev
-                    .memset(base, TableDesc::base_words(buckets), EMPTY_KEY);
+                    .memset("rehash", base, TableDesc::base_words(buckets), EMPTY_KEY);
                 // Free the old chains before republishing the pointer.
                 desc.free_dynamic_slabs(warp, &self.alloc);
                 let new_desc = TableDesc {
@@ -149,7 +145,10 @@ mod tests {
         let after = g.stats();
         assert_eq!(after.tables.tombstones, 0);
         assert_eq!(after.tables.live_keys, before_stats.tables.live_keys);
-        assert!(after.tables.slabs <= before_stats.tables.slabs, "chains shrank");
+        assert!(
+            after.tables.slabs <= before_stats.tables.slabs,
+            "chains shrank"
+        );
 
         for v in 0..64 {
             let mut n = g.neighbors(v);
@@ -164,7 +163,9 @@ mod tests {
     fn rehash_shortens_chains_and_preserves_graph() {
         // Single-bucket tables with high degree → long chains.
         let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(16), 16, 1);
-        let ins: Vec<Edge> = (0..200u32).map(|i| Edge::weighted(0, 1 + i % 15, i)).collect();
+        let ins: Vec<Edge> = (0..200u32)
+            .map(|i| Edge::weighted(0, 1 + i % 15, i))
+            .collect();
         g.insert_edges(&ins);
         let before = g.stats();
         let chain_before = before.tables.max_chain;
@@ -177,7 +178,9 @@ mod tests {
 
         // Vertex 0 has 15 unique dsts in 1 bucket (1 slab chain of 1): add
         // enough churn to force multi-slab chains first.
-        let more: Vec<Edge> = (0..300u32).map(|i| Edge::weighted(0, 100 + i % 200, i)).collect();
+        let more: Vec<Edge> = (0..300u32)
+            .map(|i| Edge::weighted(0, 100 + i % 200, i))
+            .collect();
         g.insert_edges(&more);
         let loaded = g.stats();
         assert!(loaded.tables.max_chain > 2, "chain built up");

@@ -25,7 +25,7 @@ impl DynGraph {
         );
         let desc = self.dict.desc_host(&self.dev, src)?;
         let out = parking_lot::Mutex::new(None);
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("edge_weight", 1, |warp| {
             *out.lock() = desc.search(warp, dst);
         });
         out.into_inner()
@@ -43,7 +43,7 @@ impl DynGraph {
         let dst_buf = self.upload(&dsts, u32::MAX);
         let out_buf = self.upload(&vec![0u32; pairs.len()], 0);
 
-        self.dev.launch_tasks(pairs.len(), |warp| {
+        self.dev.launch_tasks("edge_exist", pairs.len(), |warp| {
             let base = warp.warp_id() * WARP_SIZE as u32;
             let srcs = warp.read_slab(src_buf + base);
             let dsts = warp.read_slab(dst_buf + base);
@@ -85,7 +85,7 @@ impl DynGraph {
             return vec![];
         };
         let out = parking_lot::Mutex::new(Vec::new());
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("neighbors", 1, |warp| {
             let mut local = Vec::new();
             match self.config.kind {
                 TableKind::Map => desc.for_each_pair(warp, |k, v| local.push((k, v))),

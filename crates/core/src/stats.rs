@@ -47,7 +47,7 @@ impl DynGraph {
     pub fn stats(&self) -> GraphStats {
         let cap = self.dict.capacity();
         let out = parking_lot::Mutex::new(GraphStats::default());
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("graph_stats", 1, |warp| {
             let mut agg = GraphStats::default();
             for v in 0..cap {
                 if let Some(desc) = self.dict.desc_host(&self.dev, v) {
@@ -72,7 +72,7 @@ impl DynGraph {
     /// - no self-loops are stored.
     pub fn check_invariants(&self) {
         let cap = self.dict.capacity();
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("check_invariants", 1, |warp| {
             for v in 0..cap {
                 let Some(desc) = self.dict.desc_host(&self.dev, v) else {
                     continue;
@@ -100,10 +100,7 @@ mod tests {
     use crate::graph::{DynGraph, Edge};
 
     fn populated() -> DynGraph {
-        let g = DynGraph::with_degree_hints(
-            GraphConfig::directed_map(32),
-            &vec![10u32; 32],
-        );
+        let g = DynGraph::with_degree_hints(GraphConfig::directed_map(32), &[10u32; 32]);
         let batch: Vec<Edge> = (0..32u32)
             .flat_map(|u| (0..10u32).map(move |i| Edge::new(u, (u + i + 1) % 32)))
             .collect();

@@ -57,16 +57,17 @@ impl DynGraph {
                 self.dict.desc_host(&self.dev, v).is_none(),
                 "vertex {v} already exists"
             );
-            let buckets = slab_hash::buckets_for(
-                deg[&v] as usize,
-                self.config.load_factor,
-                self.config.kind,
-            );
+            let buckets =
+                slab_hash::buckets_for(deg[&v] as usize, self.config.load_factor, self.config.kind);
             let base = self
                 .dev
                 .alloc_words(TableDesc::base_words(buckets), gpu_sim::SLAB_WORDS);
-            self.dev
-                .memset(base, TableDesc::base_words(buckets), slab_hash::EMPTY_KEY);
+            self.dev.memset(
+                "vertex_insert",
+                base,
+                TableDesc::base_words(buckets),
+                slab_hash::EMPTY_KEY,
+            );
             self.dict.install_host(&self.dev, v, base, buckets);
         }
         self.insert_edges(edges)
@@ -99,7 +100,7 @@ impl DynGraph {
 
         let undirected = self.config.direction == Direction::Undirected;
         let n_warps = (count as usize).min(128);
-        self.dev.launch_warps(n_warps, |warp| {
+        self.dev.launch_warps("vertex_delete", n_warps, |warp| {
             loop {
                 // Lines 3–6: lane 0 claims a queue slot, broadcast to warp.
                 let queue_id = warp.atomic_add(queue, 1);
@@ -158,7 +159,7 @@ impl DynGraph {
             TableKind::Set,
             slab_hash::buckets_for(deleted.len(), self.config.load_factor, TableKind::Set),
         );
-        self.dev.launch_warps(1, |warp| {
+        self.dev.launch_warps("purge_deleted", 1, |warp| {
             for &v in deleted {
                 dead_set.insert_unique(warp, &self.alloc, v);
             }
@@ -168,34 +169,35 @@ impl DynGraph {
         let n_warps = (cap as usize).min(128);
         let queue = self.dev.alloc_words(1, 1);
         self.dev.arena().store(queue, 0);
-        self.dev.launch_warps(n_warps, |warp| loop {
-            let u = warp.atomic_add(queue, 1);
-            if u >= cap {
-                return;
-            }
-            let Some(desc) = self.dict.desc(warp, u) else {
-                continue;
-            };
-            // Collect victims first (iterators must not observe their own
-            // tombstoning mid-walk), then delete.
-            let mut victims = Vec::new();
-            desc.for_each_slab(warp, |view| {
-                for dst in view.keys() {
-                    if dead_set.contains(warp, dst) {
-                        victims.push(dst);
+        self.dev
+            .launch_warps("purge_deleted", n_warps, |warp| loop {
+                let u = warp.atomic_add(queue, 1);
+                if u >= cap {
+                    return;
+                }
+                let Some(desc) = self.dict.desc(warp, u) else {
+                    continue;
+                };
+                // Collect victims first (iterators must not observe their own
+                // tombstoning mid-walk), then delete.
+                let mut victims = Vec::new();
+                desc.for_each_slab(warp, |view| {
+                    for dst in view.keys() {
+                        if dead_set.contains(warp, dst) {
+                            victims.push(dst);
+                        }
+                    }
+                });
+                let mut removed = 0u32;
+                for dst in victims {
+                    if desc.delete(warp, dst) {
+                        removed += 1;
                     }
                 }
-            });
-            let mut removed = 0u32;
-            for dst in victims {
-                if desc.delete(warp, dst) {
-                    removed += 1;
+                if removed > 0 {
+                    warp.atomic_sub(self.dict.count_addr(u), removed);
                 }
-            }
-            if removed > 0 {
-                warp.atomic_sub(self.dict.count_addr(u), removed);
-            }
-        });
+            });
     }
 }
 
@@ -270,7 +272,10 @@ mod tests {
         g.delete_vertices(&[2]);
         assert!(g.neighbors(2).is_empty());
         let pairs: Vec<(u32, u32)> = (0..5).map(|v| (2, v)).collect();
-        assert!(g.edges_exist(&pairs).iter().all(|&b| !b), "no false positives");
+        assert!(
+            g.edges_exist(&pairs).iter().all(|&b| !b),
+            "no false positives"
+        );
     }
 
     #[test]

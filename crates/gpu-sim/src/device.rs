@@ -1,16 +1,23 @@
-//! The simulated device: memory + counters + kernel launch.
+//! The simulated device: memory + counters + named kernel launch.
 //!
 //! Kernels are *warp-centric closures*: the executor hands each [`Warp`] a
 //! context exposing warp intrinsics and memory operations, all of which
 //! charge [`PerfCounters`]. Both a deterministic sequential executor and a
-//! multi-threaded executor (crossbeam scoped threads) are provided; the
-//! paper's operations are phase-concurrent, so either executor must produce
-//! the same final data-structure state — property tests in the graph crates
+//! multi-threaded executor (std scoped threads) are provided; the paper's
+//! operations are phase-concurrent, so either executor must produce the
+//! same final data-structure state — property tests in the graph crates
 //! assert exactly that.
+//!
+//! Every launch carries a [`KernelSpec`] naming the kernel, and every
+//! charged event is tallied twice: into the device-wide counters and into
+//! the named kernel's entry in the device's [`KernelRegistry`]. See
+//! [`crate::trace`] for the attribution model and reporting.
 
 use crate::counters::PerfCounters;
 use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
 use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
+use crate::trace::{Charge, KernelRegistry, KernelSpec, LaunchShape, TraceSnapshot, HOST_KERNEL};
+use std::sync::Arc;
 
 /// How kernels are executed on the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,29 +29,28 @@ pub enum ExecPolicy {
     Threaded(usize),
 }
 
-/// A simulated GPU: global-memory arena, performance counters, and an
-/// execution policy for launched kernels.
+/// A simulated GPU: global-memory arena, performance counters (global and
+/// per-kernel), and an execution policy for launched kernels.
 pub struct Device {
     arena: DeviceArena,
     counters: PerfCounters,
     policy: ExecPolicy,
-    /// When set, launches are not charged to the counters: host-side
-    /// helpers that are conceptually *one* fused kernel (e.g. a triangle-
-    /// counting pass built from many small launches) wrap themselves in a
-    /// fused section and charge a single launch manually.
-    fused: std::sync::atomic::AtomicBool,
+    registry: KernelRegistry,
+    /// Stack of active kernel/scope names. The *outermost* name owns all
+    /// charges issued while the stack is non-empty, and only the outermost
+    /// entry charges a launch: host-side helpers that are conceptually one
+    /// fused kernel (e.g. a triangle-counting pass built from many small
+    /// launches) wrap themselves in [`Device::fused_scope`]. Pushes and
+    /// pops happen only on the host thread (launches are serial); worker
+    /// threads never mutate it.
+    scope: parking_lot::Mutex<Vec<&'static str>>,
 }
 
 impl Device {
     /// Create a device with `initial_words` of committed global memory and
     /// the sequential execution policy.
     pub fn new(initial_words: usize) -> Self {
-        Device {
-            arena: DeviceArena::new(initial_words),
-            counters: PerfCounters::new(),
-            policy: ExecPolicy::Sequential,
-            fused: std::sync::atomic::AtomicBool::new(false),
-        }
+        Self::with_policy(initial_words, ExecPolicy::Sequential)
     }
 
     /// Create a device with an explicit execution policy.
@@ -53,7 +59,8 @@ impl Device {
             arena: DeviceArena::new(initial_words),
             counters: PerfCounters::new(),
             policy,
-            fused: std::sync::atomic::AtomicBool::new(false),
+            registry: KernelRegistry::new(),
+            scope: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
@@ -68,53 +75,74 @@ impl Device {
         &self.arena
     }
 
-    /// The device performance counters.
+    /// The device-wide performance counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
     }
 
-    /// Launch a kernel with one *thread* (lane) per task, grouped into
-    /// warps of 32 — the Warp Cooperative Work Sharing launch shape.
+    /// Snapshot the global tally plus every kernel's tally. Delta two of
+    /// these around a phase and feed the result to
+    /// [`crate::trace::TraceReport`] for a per-kernel breakdown.
+    pub fn trace(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            global: self.counters.snapshot(),
+            kernels: self.registry.snapshot(),
+        }
+    }
+
+    /// Resolve the attribution target for a charge issued under `fallback`:
+    /// the outermost active scope name if any, else `fallback`. The bool is
+    /// `true` when no scope is active (i.e. this charge is top-level and
+    /// launch-like events should be counted).
+    fn resolve(&self, fallback: &'static str) -> (&'static str, bool) {
+        match self.scope.lock().first() {
+            Some(outer) => (outer, false),
+            None => (fallback, true),
+        }
+    }
+
+    /// A dual-charging handle for manual charge sites (baseline cost
+    /// models, resize bookkeeping): every `add_*` call lands in both the
+    /// global tally and the named kernel's tally. If a fused scope is
+    /// active its name wins over `name`.
+    pub fn charge(&self, name: &'static str) -> Charge<'_> {
+        let (name, _) = self.resolve(name);
+        Charge {
+            global: &self.counters,
+            kernel: self.registry.counters(name),
+        }
+    }
+
+    /// Launch a named kernel.
     ///
     /// The closure runs once per warp; `warp.global_ids()` gives the 32
     /// task ids and `warp.active_mask()` has a bit per in-range task.
-    pub fn launch_tasks<F>(&self, n_tasks: usize, kernel: F)
+    /// Charges one launch (unless inside a [`Device::fused_scope`], whose
+    /// name then also owns the charges) plus one warp per warp, and makes
+    /// the kernel's name the attribution target for everything charged
+    /// during the launch — including host-side `memset`/`alloc_words`
+    /// issued from inside the kernel closure.
+    pub fn launch<F>(&self, spec: KernelSpec, kernel: F)
     where
         F: Fn(&mut Warp) + Sync,
     {
-        let n_warps = n_tasks.div_ceil(WARP_SIZE);
-        self.launch_warps_inner(n_warps, n_tasks as u64, &kernel);
-    }
-
-    /// Launch a kernel with exactly `n_warps` warps, all 32 lanes active
-    /// (warp-per-work-item kernels that pull work from a device queue,
-    /// e.g. the paper's vertex-deletion Algorithm 2).
-    pub fn launch_warps<F>(&self, n_warps: usize, kernel: F)
-    where
-        F: Fn(&mut Warp) + Sync,
-    {
-        self.launch_warps_inner(n_warps, u64::MAX, &kernel);
-    }
-
-    /// Enter/leave a *fused section*: while set, launches are not charged
-    /// (one logical kernel built from many helper launches). The caller
-    /// charges one launch itself. Returns the previous state for nesting.
-    pub fn set_fused(&self, fused: bool) -> bool {
-        self.fused
-            .swap(fused, std::sync::atomic::Ordering::Relaxed)
-    }
-
-    fn launch_warps_inner<F>(&self, n_warps: usize, n_tasks: u64, kernel: &F)
-    where
-        F: Fn(&mut Warp) + Sync,
-    {
-        if !self.fused.load(std::sync::atomic::Ordering::Relaxed) {
+        let (n_warps, n_tasks) = match spec.shape {
+            LaunchShape::Tasks(n) => (n.div_ceil(WARP_SIZE), n as u64),
+            LaunchShape::Warps(n) => (n, u64::MAX),
+        };
+        let (name, top_level) = self.resolve(spec.name);
+        let kcounters = self.registry.counters(name);
+        if top_level {
             self.counters.add_launches(1);
+            kcounters.add_launches(1);
         }
         self.counters.add_warps(n_warps as u64);
+        kcounters.add_warps(n_warps as u64);
         if n_warps == 0 {
             return;
         }
+        self.scope.lock().push(spec.name);
+        let _scope = ScopeGuard { scope: &self.scope };
         let run_warp = |warp_id: usize| {
             let base = (warp_id * WARP_SIZE) as u64;
             let active_mask = if n_tasks == u64::MAX {
@@ -133,6 +161,7 @@ impl Device {
                 device: self,
                 warp_id: warp_id as u32,
                 active_mask,
+                kernel: kcounters.clone(),
             };
             kernel(&mut warp);
         };
@@ -145,9 +174,9 @@ impl Device {
             ExecPolicy::Threaded(threads) => {
                 let threads = threads.max(1);
                 let next = std::sync::atomic::AtomicUsize::new(0);
-                crossbeam::scope(|s| {
+                std::thread::scope(|s| {
                     for _ in 0..threads {
-                        s.spawn(|_| loop {
+                        s.spawn(|| loop {
                             let w = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if w >= n_warps {
                                 break;
@@ -155,41 +184,110 @@ impl Device {
                             run_warp(w);
                         });
                     }
-                })
-                .expect("kernel worker panicked");
+                });
             }
         }
     }
 
-    /// Device-side memset: fills `n` words with `v`, charged as a
-    /// coalesced kernel (`⌈n/32⌉` transactions + 1 launch). Used to
-    /// initialise slab regions to the EMPTY sentinel inside measured
-    /// build phases.
-    pub fn memset(&self, base: Addr, n: usize, v: u32) {
-        if !self.fused.load(std::sync::atomic::Ordering::Relaxed) {
+    /// Launch a named kernel with one *thread* (lane) per task, grouped
+    /// into warps of 32 — the Warp Cooperative Work Sharing launch shape.
+    pub fn launch_tasks<F>(&self, name: &'static str, n_tasks: usize, kernel: F)
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        self.launch(KernelSpec::tasks(name, n_tasks), kernel);
+    }
+
+    /// Launch a named kernel with exactly `n_warps` warps, all 32 lanes
+    /// active (warp-per-work-item kernels that pull work from a device
+    /// queue, e.g. the paper's vertex-deletion Algorithm 2).
+    pub fn launch_warps<F>(&self, name: &'static str, n_warps: usize, kernel: F)
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        self.launch(KernelSpec::warps(name, n_warps), kernel);
+    }
+
+    /// Run `body` as a *fused section*: one logical kernel built from many
+    /// helper launches. Charges a single launch under `name` (unless nested
+    /// inside another scope, whose name then wins) and attributes every
+    /// charge issued inside `body` — helper launches, memsets, allocations
+    /// — to the outermost scope's name. Inner launches charge warps but no
+    /// launches of their own.
+    pub fn fused_scope<R>(&self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        let (eff, top_level) = self.resolve(name);
+        if top_level {
+            let kcounters = self.registry.counters(eff);
             self.counters.add_launches(1);
+            kcounters.add_launches(1);
         }
-        self.counters
-            .add_transactions((n as u64).div_ceil(SLAB_WORDS as u64));
+        self.scope.lock().push(name);
+        let _scope = ScopeGuard { scope: &self.scope };
+        body()
+    }
+
+    /// Like [`Self::fused_scope`] but charges **no** launch of its own:
+    /// for charged helper walks that are logically part of whatever kernel
+    /// or measurement the caller is running. Attribution still goes to
+    /// `name` (or the enclosing scope's name, if any).
+    pub fn unlaunched_scope<R>(&self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        self.scope.lock().push(name);
+        let _scope = ScopeGuard { scope: &self.scope };
+        body()
+    }
+
+    /// Device-side memset: fills `n` words with `v`, charged as a
+    /// coalesced kernel (`⌈n/32⌉` transactions + 1 launch) under `name`
+    /// (or the active scope/launch name, if any). Used to initialise slab
+    /// regions to the EMPTY sentinel inside measured build phases.
+    pub fn memset(&self, name: &'static str, base: Addr, n: usize, v: u32) {
+        let (name, top_level) = self.resolve(name);
+        let kcounters = self.registry.counters(name);
+        if top_level {
+            self.counters.add_launches(1);
+            kcounters.add_launches(1);
+        }
+        let tx = (n as u64).div_ceil(SLAB_WORDS as u64);
+        self.counters.add_transactions(tx);
+        kcounters.add_transactions(tx);
         self.arena.fill(base, n, v);
     }
 
     /// Allocate `n` words (aligned to `align`) from the arena, charging
-    /// the allocation counter.
+    /// the allocation counter — to the active scope/launch if any, else to
+    /// the reserved [`HOST_KERNEL`] bucket.
     pub fn alloc_words(&self, n: usize, align: usize) -> Addr {
+        let (name, _) = self.resolve(HOST_KERNEL);
         self.counters.add_words_allocated(n as u64);
+        self.registry.counters(name).add_words_allocated(n as u64);
         self.arena.alloc_words(n, align)
+    }
+}
+
+/// Pops the scope stack on exit, including panic unwinds (kernels panic in
+/// invariant-violation tests; the stack must stay balanced).
+struct ScopeGuard<'a> {
+    scope: &'a parking_lot::Mutex<Vec<&'static str>>,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.scope.lock().pop();
     }
 }
 
 /// Per-warp execution context handed to kernels.
 ///
 /// All memory operations and intrinsics on this type charge the device's
-/// [`PerfCounters`]; pure helpers live in [`crate::lanes`].
+/// [`PerfCounters`] and the owning kernel's per-name counters; pure helpers
+/// live in [`crate::lanes`].
 pub struct Warp<'d> {
     device: &'d Device,
     warp_id: u32,
     active_mask: u32,
+    /// The counters of the kernel this warp belongs to (resolved at
+    /// launch, so charging from worker threads never touches the registry).
+    kernel: Arc<PerfCounters>,
 }
 
 impl<'d> Warp<'d> {
@@ -224,6 +322,18 @@ impl<'d> Warp<'d> {
         self.device
     }
 
+    #[inline]
+    fn charge_transactions(&self, n: u64) {
+        self.device.counters.add_transactions(n);
+        self.kernel.add_transactions(n);
+    }
+
+    #[inline]
+    fn charge_atomics(&self, n: u64) {
+        self.device.counters.add_atomics(n);
+        self.kernel.add_atomics(n);
+    }
+
     // ---- warp intrinsics (charged) ----
 
     /// `__ballot_sync(FULL_MASK, …)`: all 32 lanes participate.
@@ -236,6 +346,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn ballot(&self, preds: &Lanes<bool>) -> u32 {
         self.device.counters.add_ballots(1);
+        self.kernel.add_ballots(1);
         lanes::ballot(FULL_MASK, preds)
     }
 
@@ -243,6 +354,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn ballot_masked(&self, mask: u32, preds: &Lanes<bool>) -> u32 {
         self.device.counters.add_ballots(1);
+        self.kernel.add_ballots(1);
         lanes::ballot(mask, preds)
     }
 
@@ -250,6 +362,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn shuffle<T: Copy>(&self, vals: &Lanes<T>, src_lane: u32) -> T {
         self.device.counters.add_shuffles(1);
+        self.kernel.add_shuffles(1);
         lanes::shuffle(vals, src_lane)
     }
 
@@ -257,6 +370,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn shuffle_idx<T: Copy>(&self, vals: &Lanes<T>, idx: &Lanes<u32>) -> Lanes<T> {
         self.device.counters.add_shuffles(1);
+        self.kernel.add_shuffles(1);
         lanes::shuffle_idx(vals, idx)
     }
 
@@ -266,14 +380,14 @@ impl<'d> Warp<'d> {
     /// One transaction.
     #[inline]
     pub fn read_slab(&self, base: Addr) -> Lanes<u32> {
-        self.device.counters.add_transactions(1);
+        self.charge_transactions(1);
         Lanes(self.device.arena.load_slab(base))
     }
 
     /// Coalesced write of one 128 B slab. One transaction.
     #[inline]
     pub fn write_slab(&self, base: Addr, words: &Lanes<u32>) {
-        self.device.counters.add_transactions(1);
+        self.charge_transactions(1);
         self.device.arena.store_slab(base, &words.0);
     }
 
@@ -313,63 +427,63 @@ impl<'d> Warp<'d> {
                 }
             }
         }
-        self.device.counters.add_transactions(n as u64);
+        self.charge_transactions(n as u64);
     }
 
     /// Single-word read issued by one lane (uniform warp read). One
     /// transaction.
     #[inline]
     pub fn read_word(&self, addr: Addr) -> u32 {
-        self.device.counters.add_transactions(1);
+        self.charge_transactions(1);
         self.device.arena.load(addr)
     }
 
     /// Single-word write issued by one lane. One transaction.
     #[inline]
     pub fn write_word(&self, addr: Addr, v: u32) {
-        self.device.counters.add_transactions(1);
+        self.charge_transactions(1);
         self.device.arena.store(addr, v);
     }
 
     /// `atomicCAS` issued by one lane.
     #[inline]
     pub fn atomic_cas(&self, addr: Addr, expected: u32, new: u32) -> Result<u32, u32> {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.cas(addr, expected, new)
     }
 
     /// `atomicExch` issued by one lane.
     #[inline]
     pub fn atomic_exchange(&self, addr: Addr, v: u32) -> u32 {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.exchange(addr, v)
     }
 
     /// `atomicAdd` issued by one lane.
     #[inline]
     pub fn atomic_add(&self, addr: Addr, v: u32) -> u32 {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.fetch_add(addr, v)
     }
 
     /// `atomicSub` issued by one lane.
     #[inline]
     pub fn atomic_sub(&self, addr: Addr, v: u32) -> u32 {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.fetch_sub(addr, v)
     }
 
     /// `atomicOr` issued by one lane.
     #[inline]
     pub fn atomic_or(&self, addr: Addr, v: u32) -> u32 {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.fetch_or(addr, v)
     }
 
     /// `atomicAnd` issued by one lane.
     #[inline]
     pub fn atomic_and(&self, addr: Addr, v: u32) -> u32 {
-        self.device.counters.add_atomics(1);
+        self.charge_atomics(1);
         self.device.arena.fetch_and(addr, v)
     }
 }
@@ -382,7 +496,7 @@ mod tests {
     fn launch_tasks_covers_all_tasks_once() {
         let dev = Device::new(1024);
         let out = dev.alloc_words(100, 1);
-        dev.launch_tasks(100, |warp| {
+        dev.launch_tasks("count", 100, |warp| {
             let ids = warp.global_ids();
             for (lane, id) in ids.iter() {
                 if warp.is_active(lane) {
@@ -399,8 +513,10 @@ mod tests {
     fn partial_warp_active_mask() {
         let dev = Device::new(64);
         let seen = std::sync::Mutex::new(vec![]);
-        dev.launch_tasks(40, |warp| {
-            seen.lock().unwrap().push((warp.warp_id(), warp.active_mask()));
+        dev.launch_tasks("masks", 40, |warp| {
+            seen.lock()
+                .unwrap()
+                .push((warp.warp_id(), warp.active_mask()));
         });
         let seen = seen.into_inner().unwrap();
         assert_eq!(seen.len(), 2);
@@ -412,7 +528,7 @@ mod tests {
     fn zero_tasks_launches_zero_warps() {
         let dev = Device::new(64);
         let ran = std::sync::atomic::AtomicUsize::new(0);
-        dev.launch_tasks(0, |_| {
+        dev.launch_tasks("empty", 0, |_| {
             ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 0);
@@ -424,7 +540,7 @@ mod tests {
         let dev = Device::new(1024);
         let slab = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
         let before = dev.counters().snapshot();
-        dev.launch_tasks(32, |warp| {
+        dev.launch_tasks("slab_read", 32, |warp| {
             let _ = warp.read_slab(slab);
         });
         let d = dev.counters().snapshot().delta(&before);
@@ -438,7 +554,7 @@ mod tests {
         let dev = Device::new(4096);
         let base = dev.alloc_words(32 * SLAB_WORDS, SLAB_WORDS);
         let before = dev.counters().snapshot();
-        dev.launch_tasks(32, |warp| {
+        dev.launch_tasks("scatter", 32, |warp| {
             // All 32 lanes touch 32 different slabs: 32 transactions.
             let addrs = Lanes::from_fn(|i| base + (i * SLAB_WORDS) as u32);
             let _ = warp.read_lanes(&addrs, FULL_MASK);
@@ -454,7 +570,7 @@ mod tests {
     fn ballots_and_shuffles_are_charged() {
         let dev = Device::new(64);
         let before = dev.counters().snapshot();
-        dev.launch_tasks(32, |warp| {
+        dev.launch_tasks("intrinsics", 32, |warp| {
             let preds = Lanes::splat(true);
             let b = warp.ballot(&preds);
             assert_eq!(b, FULL_MASK);
@@ -472,7 +588,7 @@ mod tests {
         let run = |policy| {
             let dev = Device::with_policy(4096, policy);
             let out = dev.alloc_words(1, 1);
-            dev.launch_tasks(10_000, |warp| {
+            dev.launch_tasks("sum", 10_000, |warp| {
                 let mask = warp.active_mask();
                 for lane in 0..WARP_SIZE {
                     if mask & (1 << lane) != 0 {
@@ -491,7 +607,7 @@ mod tests {
         let dev = Device::new(4096);
         let p = dev.alloc_words(320, 32);
         let before = dev.counters().snapshot();
-        dev.memset(p, 320, u32::MAX);
+        dev.memset("fill", p, 320, u32::MAX);
         let d = dev.counters().snapshot().delta(&before);
         assert_eq!(d.transactions, 10);
         assert_eq!(dev.arena().load(p + 319), u32::MAX);
@@ -501,10 +617,119 @@ mod tests {
     fn launch_warps_runs_exact_warp_count() {
         let dev = Device::new(64);
         let count = std::sync::atomic::AtomicUsize::new(0);
-        dev.launch_warps(7, |warp| {
+        dev.launch_warps("exact", 7, |warp| {
             assert_eq!(warp.active_mask(), FULL_MASK);
             count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 7);
+    }
+
+    // ---- attribution ----
+
+    fn kernel_counters(dev: &Device, name: &str) -> crate::counters::CounterSnapshot {
+        dev.trace()
+            .kernels
+            .into_iter()
+            .find(|k| k.name == name)
+            .map(|k| k.counters)
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn launches_attribute_to_their_kernel_name() {
+        let dev = Device::new(1024);
+        let out = dev.alloc_words(1, 1);
+        dev.launch_tasks("alpha", 64, |warp| {
+            warp.atomic_add(out, 1);
+        });
+        dev.launch_tasks("beta", 32, |warp| {
+            let _ = warp.read_word(out);
+        });
+        let alpha = kernel_counters(&dev, "alpha");
+        assert_eq!(alpha.launches, 1);
+        assert_eq!(alpha.warps, 2);
+        assert_eq!(alpha.atomics, 2);
+        assert_eq!(alpha.transactions, 0);
+        let beta = kernel_counters(&dev, "beta");
+        assert_eq!(beta.launches, 1);
+        assert_eq!(beta.warps, 1);
+        assert_eq!(beta.transactions, 1);
+        // Host-side alloc before any launch lands in the reserved bucket.
+        assert_eq!(kernel_counters(&dev, HOST_KERNEL).words_allocated, 1);
+    }
+
+    #[test]
+    fn per_kernel_counters_sum_to_global() {
+        let dev = Device::new(4096);
+        let p = dev.alloc_words(64, 32);
+        dev.memset("init", p, 64, 0);
+        dev.launch_tasks("work", 100, |warp| {
+            let preds = Lanes::splat(true);
+            let _ = warp.ballot(&preds);
+            warp.atomic_add(p, 1);
+        });
+        dev.fused_scope("fused", || {
+            dev.launch_warps("helper", 2, |warp| {
+                let _ = warp.read_word(p);
+            });
+        });
+        let trace = dev.trace();
+        assert_eq!(trace.kernel_sum(), trace.global);
+    }
+
+    #[test]
+    fn fused_scope_owns_inner_launches() {
+        let dev = Device::new(1024);
+        let p = dev.alloc_words(32, 32);
+        let before = dev.trace();
+        dev.fused_scope("outer", || {
+            dev.launch_warps("inner_a", 1, |warp| {
+                let _ = warp.read_word(p);
+            });
+            dev.memset("inner_b", p, 32, 0);
+        });
+        let d = dev.trace().delta(&before);
+        // One launch total, everything under the scope's name.
+        assert_eq!(d.global.launches, 1);
+        assert_eq!(d.kernels.len(), 1);
+        assert_eq!(d.kernels[0].name, "outer");
+        assert_eq!(d.kernels[0].counters.launches, 1);
+        assert_eq!(d.kernels[0].counters.warps, 1);
+        assert_eq!(d.kernels[0].counters.transactions, 2);
+        assert_eq!(d.kernel_sum(), d.global);
+    }
+
+    #[test]
+    fn memset_inside_kernel_attributes_to_launch() {
+        let dev = Device::new(4096);
+        let p = dev.alloc_words(64, 32);
+        let before = dev.trace();
+        dev.launch_warps("rehash_like", 1, |warp| {
+            warp.device().memset("unused_name", p, 64, 0);
+        });
+        let d = dev.trace().delta(&before);
+        assert_eq!(d.global.launches, 1, "inner memset is fused");
+        assert_eq!(d.kernels.len(), 1);
+        assert_eq!(d.kernels[0].name, "rehash_like");
+        assert_eq!(d.kernels[0].counters.transactions, 2);
+        assert_eq!(d.kernel_sum(), d.global);
+    }
+
+    #[test]
+    fn charge_handle_dual_charges() {
+        let dev = Device::new(64);
+        let before = dev.trace();
+        let c = dev.charge("manual");
+        c.add_launches(1);
+        c.add_transactions(5);
+        c.add_atomics(2);
+        drop(c);
+        let d = dev.trace().delta(&before);
+        assert_eq!(d.global.launches, 1);
+        assert_eq!(d.global.transactions, 5);
+        assert_eq!(d.kernels.len(), 1);
+        assert_eq!(d.kernels[0].name, "manual");
+        assert_eq!(d.kernels[0].counters.atomics, 2);
+        assert_eq!(d.kernel_sum(), d.global);
     }
 }

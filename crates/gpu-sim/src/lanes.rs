@@ -29,8 +29,8 @@ impl<T: Copy> Lanes<T> {
 
     /// Build a lane vector from a function of the lane index.
     #[inline]
-    pub fn from_fn(mut f: impl FnMut(usize) -> T) -> Self {
-        Lanes(std::array::from_fn(|i| f(i)))
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Lanes(std::array::from_fn(f))
     }
 
     /// Value held by `lane`.

@@ -15,6 +15,9 @@
 //!   multi-threaded) and the charged warp-level memory/intrinsic API.
 //! - [`PerfCounters`] / [`CostModel`] — transaction-level accounting and a
 //!   TITAN V-like analytic timing model used by the benchmark harness.
+//! - [`KernelSpec`] / [`TraceReport`] — named kernel launches with
+//!   per-kernel counter attribution and renderable/serializable breakdown
+//!   reports (see [`trace`]).
 //!
 //! ## Example
 //!
@@ -24,7 +27,7 @@
 //! let dev = Device::new(1 << 10);
 //! let out = dev.alloc_words(1, 1);
 //! // 1000 tasks, one per lane, warp-cooperatively summed.
-//! dev.launch_tasks(1000, |warp| {
+//! dev.launch_tasks("warp_sum", 1000, |warp| {
 //!     let preds = Lanes::from_fn(|lane| warp.is_active(lane));
 //!     let active = warp.ballot(&preds);
 //!     // Lane 0 adds the warp's active-task count in one atomic.
@@ -33,14 +36,22 @@
 //! assert_eq!(dev.arena().load(out), 1000);
 //! ```
 
-pub mod counters;
 pub mod cost;
+pub mod counters;
 pub mod device;
+pub mod json;
 pub mod lanes;
 pub mod memory;
+pub mod trace;
 
-pub use counters::{CounterSnapshot, PerfCounters};
 pub use cost::{CostModel, TRANSACTION_BYTES};
+pub use counters::{CounterSnapshot, PerfCounters};
 pub use device::{Device, ExecPolicy, Warp};
-pub use lanes::{ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE};
+pub use json::Json;
+pub use lanes::{
+    ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE,
+};
 pub use memory::{Addr, DeviceArena, NULL_ADDR, SLAB_WORDS};
+pub use trace::{
+    Charge, KernelSpec, KernelStats, LaunchShape, TraceReport, TraceRow, TraceSnapshot, HOST_KERNEL,
+};

@@ -80,10 +80,8 @@ impl DeviceArena {
                 MAX_SEGMENTS * SEGMENT_WORDS
             );
             if self.segments[seg_idx].load(Ordering::Acquire).is_null() {
-                let mut seg: Vec<AtomicU32> =
-                    (0..SEGMENT_WORDS).map(|_| AtomicU32::new(0)).collect();
-                let ptr = seg.as_mut_ptr();
-                std::mem::forget(seg);
+                let seg: Box<[AtomicU32]> = (0..SEGMENT_WORDS).map(|_| AtomicU32::new(0)).collect();
+                let ptr = Box::into_raw(seg).cast::<AtomicU32>();
                 self.segments[seg_idx].store(ptr, Ordering::Release);
             }
             committed += SEGMENT_WORDS as u64;
@@ -214,10 +212,16 @@ impl Drop for DeviceArena {
         for seg in self.segments.iter() {
             let ptr = seg.load(Ordering::Acquire);
             if !ptr.is_null() {
-                // SAFETY: pointer came from a forgotten Vec<AtomicU32> of
-                // SEGMENT_WORDS elements; reconstitute and drop it.
+                // SAFETY: pointer came from Box::into_raw of a
+                // Box<[AtomicU32; SEGMENT_WORDS]>-shaped slice in
+                // ensure_committed; reconstitute and drop it. (A boxed
+                // slice, unlike a forgotten Vec, carries no capacity
+                // assumption to get wrong.)
                 unsafe {
-                    drop(Vec::from_raw_parts(ptr, SEGMENT_WORDS, SEGMENT_WORDS));
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        SEGMENT_WORDS,
+                    )));
                 }
             }
         }
@@ -327,9 +331,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let a = a.clone();
-                    s.spawn(move || {
-                        (0..1000).map(|_| a.alloc_words(32, 32)).collect::<Vec<_>>()
-                    })
+                    s.spawn(move || (0..1000).map(|_| a.alloc_words(32, 32)).collect::<Vec<_>>())
                 })
                 .collect();
             handles

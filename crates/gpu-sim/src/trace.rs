@@ -1,0 +1,492 @@
+//! Named kernels and per-kernel performance attribution.
+//!
+//! Every launch on a [`crate::Device`] names the kernel it runs
+//! ([`KernelSpec`]); every charged event — transactions, atomics, ballots,
+//! shuffles, launches, warps, allocations — is tallied twice: once into the
+//! device-wide [`crate::PerfCounters`] and once into the named kernel's
+//! counters in a [`KernelRegistry`]. The two views are kept exactly
+//! consistent (per-kernel counters sum to the global tally), so a
+//! [`TraceReport`] can break any measured phase down by kernel without
+//! perturbing the global numbers existing tests and benches assert on.
+//!
+//! Host-side work that is conceptually one kernel but implemented as many
+//! helper launches runs under [`crate::Device::fused_scope`]: the scope's
+//! name wins over inner launch names, and only the outermost scope charges
+//! a launch. Host-side charges outside any kernel or scope (e.g. arena
+//! allocation bookkeeping) fall into the reserved [`HOST_KERNEL`] bucket.
+
+use crate::cost::CostModel;
+use crate::counters::{CounterSnapshot, PerfCounters};
+use crate::json::Json;
+use std::sync::Arc;
+
+/// Reserved kernel name for host-side charges issued outside any named
+/// launch or fused scope (keeps per-kernel sums equal to the global tally).
+pub const HOST_KERNEL: &str = "(host)";
+
+/// The launch shape of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchShape {
+    /// One *thread* (lane) per task, grouped into warps of 32 — the Warp
+    /// Cooperative Work Sharing launch shape.
+    Tasks(usize),
+    /// Exactly `n` warps, all 32 lanes active (warp-per-work-item kernels
+    /// that pull work from a device queue).
+    Warps(usize),
+}
+
+/// A named kernel launch: what to call it and how to shape it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Static kernel name — the attribution key. Use stable, short,
+    /// snake_case names (`"edge_insert"`, `"vertex_delete"`).
+    pub name: &'static str,
+    pub shape: LaunchShape,
+}
+
+impl KernelSpec {
+    /// One lane per task (`⌈n/32⌉` warps, partial last warp masked).
+    pub fn tasks(name: &'static str, n_tasks: usize) -> Self {
+        KernelSpec {
+            name,
+            shape: LaunchShape::Tasks(n_tasks),
+        }
+    }
+
+    /// Exactly `n_warps` warps with all 32 lanes active.
+    pub fn warps(name: &'static str, n_warps: usize) -> Self {
+        KernelSpec {
+            name,
+            shape: LaunchShape::Warps(n_warps),
+        }
+    }
+}
+
+/// Registry of per-kernel counters, keyed by static name, in first-launch
+/// order.
+#[derive(Debug, Default)]
+pub struct KernelRegistry {
+    entries: parking_lot::Mutex<Vec<(&'static str, Arc<PerfCounters>)>>,
+}
+
+impl KernelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find or insert the counters for `name`.
+    pub fn counters(&self, name: &'static str) -> Arc<PerfCounters> {
+        let mut entries = self.entries.lock();
+        if let Some((_, c)) = entries.iter().find(|(n, _)| *n == name) {
+            return c.clone();
+        }
+        let c = Arc::new(PerfCounters::new());
+        entries.push((name, c.clone()));
+        c
+    }
+
+    /// Snapshot every kernel's counters, in first-launch order.
+    pub fn snapshot(&self) -> Vec<KernelStats> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(name, c)| KernelStats {
+                name,
+                counters: c.snapshot(),
+            })
+            .collect()
+    }
+}
+
+/// A dual-charging handle returned by [`crate::Device::charge`]: every
+/// `add_*` call lands in both the device-wide tally and the named kernel's
+/// tally, preserving the attribution invariant at manual charge sites.
+pub struct Charge<'d> {
+    pub(crate) global: &'d PerfCounters,
+    pub(crate) kernel: Arc<PerfCounters>,
+}
+
+macro_rules! charge_methods {
+    ($($(#[$doc:meta])* $method:ident),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $method(&self, n: u64) {
+            self.global.$method(n);
+            self.kernel.$method(n);
+        }
+    )*};
+}
+
+impl Charge<'_> {
+    charge_methods!(
+        add_transactions,
+        add_atomics,
+        add_ballots,
+        add_shuffles,
+        add_launches,
+        add_warps,
+        add_words_allocated,
+    );
+}
+
+/// One kernel's counter totals at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    pub name: &'static str,
+    pub counters: CounterSnapshot,
+}
+
+/// A point-in-time capture of the global tally plus every kernel's tally.
+///
+/// The usual pattern mirrors [`CounterSnapshot`]: take one before a phase,
+/// one after, and [`TraceSnapshot::delta`] them.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    pub global: CounterSnapshot,
+    pub kernels: Vec<KernelStats>,
+}
+
+impl TraceSnapshot {
+    /// Per-kernel and global difference `self - earlier`. Kernels whose
+    /// delta is all-zero are dropped; kernels absent from `earlier` keep
+    /// their full counts (the registry only grows).
+    pub fn delta(&self, earlier: &TraceSnapshot) -> TraceSnapshot {
+        let zero = CounterSnapshot::default();
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let before = earlier
+                    .kernels
+                    .iter()
+                    .find(|e| e.name == k.name)
+                    .map(|e| e.counters)
+                    .unwrap_or_default();
+                KernelStats {
+                    name: k.name,
+                    counters: k.counters.delta(&before),
+                }
+            })
+            .filter(|k| k.counters != zero)
+            .collect();
+        TraceSnapshot {
+            global: self.global.delta(&earlier.global),
+            kernels,
+        }
+    }
+
+    /// Event-wise sum of every kernel's counters. Equals [`Self::global`]
+    /// by construction — the attribution invariant tests assert it.
+    pub fn kernel_sum(&self) -> CounterSnapshot {
+        let mut sum = CounterSnapshot::default();
+        for k in &self.kernels {
+            sum.transactions += k.counters.transactions;
+            sum.atomics += k.counters.atomics;
+            sum.ballots += k.counters.ballots;
+            sum.shuffles += k.counters.shuffles;
+            sum.launches += k.counters.launches;
+            sum.warps += k.counters.warps;
+            sum.words_allocated += k.counters.words_allocated;
+        }
+        sum
+    }
+}
+
+/// One row of a [`TraceReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    pub name: String,
+    pub counters: CounterSnapshot,
+    /// Modeled GPU seconds for this kernel's counters.
+    pub modeled_s: f64,
+}
+
+/// A renderable, serializable per-kernel breakdown of a measured phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-kernel rows, heaviest (by modeled time) first.
+    pub rows: Vec<TraceRow>,
+    /// The phase's global totals.
+    pub total: TraceRow,
+}
+
+impl TraceReport {
+    /// Build a report from a (usually delta'd) snapshot under `model`.
+    pub fn new(trace: &TraceSnapshot, model: &CostModel) -> Self {
+        let mut rows: Vec<TraceRow> = trace
+            .kernels
+            .iter()
+            .map(|k| TraceRow {
+                name: k.name.to_string(),
+                counters: k.counters,
+                modeled_s: model.seconds(&k.counters),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.modeled_s.total_cmp(&a.modeled_s));
+        TraceReport {
+            rows,
+            total: TraceRow {
+                name: "total".to_string(),
+                counters: trace.global,
+                modeled_s: model.seconds(&trace.global),
+            },
+        }
+    }
+
+    /// Event-wise sum over the per-kernel rows (excluding the total row).
+    pub fn kernel_sum(&self) -> CounterSnapshot {
+        let mut sum = CounterSnapshot::default();
+        for r in &self.rows {
+            sum.transactions += r.counters.transactions;
+            sum.atomics += r.counters.atomics;
+            sum.ballots += r.counters.ballots;
+            sum.shuffles += r.counters.shuffles;
+            sum.launches += r.counters.launches;
+            sum.warps += r.counters.warps;
+            sum.words_allocated += r.counters.words_allocated;
+        }
+        sum
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        const HEADERS: [&str; 9] = [
+            "kernel",
+            "launches",
+            "warps",
+            "transactions",
+            "atomics",
+            "ballots",
+            "shuffles",
+            "alloc words",
+            "modeled ms",
+        ];
+        let row_cells = |r: &TraceRow| -> [String; 9] {
+            [
+                r.name.clone(),
+                r.counters.launches.to_string(),
+                r.counters.warps.to_string(),
+                r.counters.transactions.to_string(),
+                r.counters.atomics.to_string(),
+                r.counters.ballots.to_string(),
+                r.counters.shuffles.to_string(),
+                r.counters.words_allocated.to_string(),
+                format!("{:.4}", r.modeled_s * 1e3),
+            ]
+        };
+        let mut body: Vec<[String; 9]> = self.rows.iter().map(row_cells).collect();
+        body.push(row_cells(&self.total));
+        let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.len()).collect();
+        for row in &body {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        let header: Vec<String> = HEADERS.iter().map(|h| h.to_string()).collect();
+        let rule = widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>();
+        let mut out = fmt_row(&header);
+        out.push_str(&fmt_row(&rule));
+        for row in &body[..body.len() - 1] {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&fmt_row(&rule));
+        out.push_str(&fmt_row(&body[body.len() - 1]));
+        out
+    }
+
+    /// Serialize to JSON. Round-trips exactly through [`Self::from_json`].
+    pub fn to_json(&self) -> String {
+        let row_json = |r: &TraceRow| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(&r.name)),
+                ("transactions".into(), Json::u64(r.counters.transactions)),
+                ("atomics".into(), Json::u64(r.counters.atomics)),
+                ("ballots".into(), Json::u64(r.counters.ballots)),
+                ("shuffles".into(), Json::u64(r.counters.shuffles)),
+                ("launches".into(), Json::u64(r.counters.launches)),
+                ("warps".into(), Json::u64(r.counters.warps)),
+                (
+                    "words_allocated".into(),
+                    Json::u64(r.counters.words_allocated),
+                ),
+                ("modeled_s".into(), Json::f64(r.modeled_s)),
+            ])
+        };
+        Json::Obj(vec![
+            (
+                "kernels".into(),
+                Json::Arr(self.rows.iter().map(row_json).collect()),
+            ),
+            ("total".into(), row_json(&self.total)),
+        ])
+        .render_pretty()
+    }
+
+    /// Parse a report serialized by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<TraceReport, String> {
+        let v = Json::parse(text)?;
+        let parse_row = |j: &Json| -> Result<TraceRow, String> {
+            let field = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing counter '{key}'"))
+            };
+            Ok(TraceRow {
+                name: j
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'name'")?
+                    .to_string(),
+                counters: CounterSnapshot {
+                    transactions: field("transactions")?,
+                    atomics: field("atomics")?,
+                    ballots: field("ballots")?,
+                    shuffles: field("shuffles")?,
+                    launches: field("launches")?,
+                    warps: field("warps")?,
+                    words_allocated: field("words_allocated")?,
+                },
+                modeled_s: j
+                    .get("modeled_s")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing 'modeled_s'")?,
+            })
+        };
+        let rows = v
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'kernels' array")?
+            .iter()
+            .map(parse_row)
+            .collect::<Result<Vec<_>, _>>()?;
+        let total = parse_row(v.get("total").ok_or("missing 'total'")?)?;
+        Ok(TraceReport { rows, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(transactions: u64, launches: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            transactions,
+            launches,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn registry_keeps_first_launch_order() {
+        let r = KernelRegistry::new();
+        r.counters("b").add_transactions(1);
+        r.counters("a").add_transactions(2);
+        r.counters("b").add_transactions(3);
+        let s = r.snapshot();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "b");
+        assert_eq!(s[0].counters.transactions, 4);
+        assert_eq!(s[1].name, "a");
+    }
+
+    #[test]
+    fn snapshot_delta_drops_idle_kernels() {
+        let before = TraceSnapshot {
+            global: snap(10, 1),
+            kernels: vec![KernelStats {
+                name: "x",
+                counters: snap(10, 1),
+            }],
+        };
+        let after = TraceSnapshot {
+            global: snap(25, 2),
+            kernels: vec![
+                KernelStats {
+                    name: "x",
+                    counters: snap(10, 1),
+                },
+                KernelStats {
+                    name: "y",
+                    counters: snap(15, 1),
+                },
+            ],
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.global, snap(15, 1));
+        assert_eq!(d.kernels.len(), 1, "idle kernel 'x' dropped");
+        assert_eq!(d.kernels[0].name, "y");
+        assert_eq!(d.kernel_sum(), d.global);
+    }
+
+    #[test]
+    fn report_sorts_rows_by_modeled_time() {
+        let trace = TraceSnapshot {
+            global: snap(1100, 2),
+            kernels: vec![
+                KernelStats {
+                    name: "cheap",
+                    counters: snap(100, 1),
+                },
+                KernelStats {
+                    name: "hot",
+                    counters: snap(1000, 1),
+                },
+            ],
+        };
+        let report = TraceReport::new(&trace, &CostModel::titan_v());
+        assert_eq!(report.rows[0].name, "hot");
+        assert_eq!(report.kernel_sum(), trace.global);
+        let rendered = report.render();
+        assert!(rendered.contains("hot"));
+        assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let trace = TraceSnapshot {
+            global: CounterSnapshot {
+                transactions: 12345,
+                atomics: 67,
+                ballots: 89,
+                shuffles: 10,
+                launches: 3,
+                warps: 40,
+                words_allocated: u64::MAX,
+            },
+            kernels: vec![
+                KernelStats {
+                    name: "edge_insert",
+                    counters: snap(12000, 2),
+                },
+                KernelStats {
+                    name: "(host)",
+                    counters: snap(345, 1),
+                },
+            ],
+        };
+        let report = TraceReport::new(&trace, &CostModel::titan_v());
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(TraceReport::from_json("{}").is_err());
+        assert!(TraceReport::from_json("[1, 2]").is_err());
+        assert!(TraceReport::from_json(r#"{"kernels": [{"name": "x"}]}"#).is_err());
+    }
+}

@@ -10,10 +10,9 @@
 use crate::rmat::{rmat_edges, RmatParams};
 use crate::synthetic::{delaunay_like, grid_road, random_geometric};
 use crate::RawEdge;
-use serde::Serialize;
 
 /// Structural family driving the generator choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Degree ≈ 2, σ < 1 (osm road networks, road_usa).
     Road,
@@ -28,7 +27,7 @@ pub enum Family {
 }
 
 /// One Table I row: the paper's numbers plus generation parameters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DatasetSpec {
     pub name: &'static str,
     pub family: Family,
@@ -55,24 +54,45 @@ pub fn datasets() -> Vec<DatasetSpec> {
         spec("road_usa", Road, 23_900_000, 57_710_000, 2.4, 0.85),
         spec("delaunay_n23", Delaunay, 8_400_000, 50_300_000, 6.0, 1.33),
         spec("delaunay_n20", Delaunay, 1_000_000, 6_300_000, 6.0, 1.33),
-        spec("rgg_n_2_20_s0", Geometric, 1_000_000, 13_800_000, 13.1, 3.62),
-        spec("rgg_n_2_24_s0", Geometric, 16_800_000, 265_100_000, 16.0, 3.99),
+        spec(
+            "rgg_n_2_20_s0",
+            Geometric,
+            1_000_000,
+            13_800_000,
+            13.1,
+            3.62,
+        ),
+        spec(
+            "rgg_n_2_24_s0",
+            Geometric,
+            16_800_000,
+            265_100_000,
+            16.0,
+            3.99,
+        ),
         spec("coAuthorsDBLP", ScaleFree, 299_000, 1_900_000, 6.4, 9.80),
         spec("ldoor", Mesh, 952_000, 45_500_000, 47.7, 11.97),
-        spec("soc-LiveJournal1", ScaleFree, 4_800_000, 85_700_000, 17.2, 50.65),
+        spec(
+            "soc-LiveJournal1",
+            ScaleFree,
+            4_800_000,
+            85_700_000,
+            17.2,
+            50.65,
+        ),
         spec("soc-orkut", ScaleFree, 3_000_000, 212_700_000, 70.9, 139.72),
-        spec("hollywood-2009", ScaleFree, 1_100_000, 112_800_000, 98.9, 271.70),
+        spec(
+            "hollywood-2009",
+            ScaleFree,
+            1_100_000,
+            112_800_000,
+            98.9,
+            271.70,
+        ),
     ]
 }
 
-fn spec(
-    name: &'static str,
-    family: Family,
-    v: u64,
-    e: u64,
-    avg: f64,
-    sigma: f64,
-) -> DatasetSpec {
+fn spec(name: &'static str, family: Family, v: u64, e: u64, avg: f64, sigma: f64) -> DatasetSpec {
     DatasetSpec {
         name,
         family,

@@ -133,7 +133,12 @@ mod tests {
             s.max,
             s.avg
         );
-        assert!(s.stddev > s.avg, "σ {} should exceed avg {}", s.stddev, s.avg);
+        assert!(
+            s.stddev > s.avg,
+            "σ {} should exceed avg {}",
+            s.stddev,
+            s.avg
+        );
     }
 
     #[test]

@@ -2,10 +2,9 @@
 //! (min / max / average / σ of out-degree).
 
 use crate::RawEdge;
-use serde::Serialize;
 
 /// Out-degree statistics of an edge list.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
     pub vertices: u32,
     pub edges: u64,

@@ -142,7 +142,11 @@ mod tests {
         let e = random_geometric(10_000, 14.0, 3);
         let s = degree_stats(10_000, &e);
         assert!((11.0..17.0).contains(&s.avg), "rgg avg {} ≈ 14", s.avg);
-        assert!((2.0..8.0).contains(&s.stddev), "rgg σ {} moderate", s.stddev);
+        assert!(
+            (2.0..8.0).contains(&s.stddev),
+            "rgg σ {} moderate",
+            s.stddev
+        );
     }
 
     #[test]

@@ -204,7 +204,7 @@ mod tests {
     use gpu_sim::{Device, ExecPolicy};
 
     fn with_warp(dev: &Device, f: impl Fn(&Warp) + Sync) {
-        dev.launch_warps(1, |warp| f(warp));
+        dev.launch_warps("alloc_test", 1, |warp| f(warp));
     }
 
     #[test]
@@ -274,7 +274,7 @@ mod tests {
     fn double_free_panics() {
         let dev = Device::new(1 << 16);
         let alloc = SlabAllocator::new(&dev, 32);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("alloc_test", 1, |warp| {
             let a = alloc.allocate(warp);
             alloc.free(warp, a);
             alloc.free(warp, a);
@@ -287,7 +287,7 @@ mod tests {
         let dev = Device::new(1 << 16);
         let alloc = SlabAllocator::new(&dev, 32);
         let foreign = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("alloc_test", 1, |warp| {
             alloc.free(warp, foreign);
         });
     }
@@ -309,7 +309,7 @@ mod tests {
         let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
         let alloc = SlabAllocator::new(&dev, 4096);
         let seen = parking_lot::Mutex::new(std::collections::HashSet::new());
-        dev.launch_warps(64, |warp| {
+        dev.launch_warps("alloc_test", 64, |warp| {
             for _ in 0..16 {
                 let a = alloc.allocate(warp);
                 assert!(seen.lock().insert(a), "duplicate slab under threads");

@@ -182,7 +182,7 @@ impl TableDesc {
     pub fn create(dev: &Device, kind: TableKind, num_buckets: u32) -> TableDesc {
         assert!(num_buckets >= 1);
         let base = dev.alloc_words(Self::base_words(num_buckets), SLAB_WORDS);
-        dev.memset(base, Self::base_words(num_buckets), EMPTY_KEY);
+        dev.memset("table_init", base, Self::base_words(num_buckets), EMPTY_KEY);
         TableDesc {
             kind,
             base,
@@ -346,7 +346,7 @@ impl TableDesc {
             let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
             let mut first_tombstone: Option<Addr> = None;
             let mut first_empty: Option<Addr> = None;
-            let mut tail_addr = slab_addr;
+            let tail_addr;
             loop {
                 let words = warp.read_slab(slab_addr);
                 let found = warp.ballot(&Lanes::from_fn(|i| {
@@ -375,9 +375,9 @@ impl TableDesc {
                     }
                 }
                 let next = words.get(NEXT_LANE);
-                tail_addr = slab_addr;
                 if empties != 0 || next == NULL_ADDR {
                     // Empties only exist at the tail: the scan is complete.
+                    tail_addr = slab_addr;
                     break;
                 }
                 slab_addr = next;
@@ -423,7 +423,9 @@ impl TableDesc {
             }));
             if let Some(lane) = gpu_sim::ffs(found) {
                 // CAS so concurrent deletes of the same key count once.
-                return warp.atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY).is_ok();
+                return warp
+                    .atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY)
+                    .is_ok();
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
                 key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
@@ -619,7 +621,7 @@ mod tests {
 
     fn on_warp<R: Send>(dev: &Device, f: impl Fn(&Warp) -> R + Sync) -> R {
         let out = parking_lot::Mutex::new(None);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("hash_test", 1, |warp| {
             *out.lock() = Some(f(warp));
         });
         out.into_inner().unwrap()
@@ -926,7 +928,7 @@ mod tests {
         let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
         let alloc = SlabAllocator::new(&dev, 1024);
         let t = TableDesc::create(&dev, TableKind::Map, 1);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("hash_test", 1, |warp| {
             for k in 0..12 {
                 t.replace(warp, &alloc, k, 0);
             }
@@ -934,13 +936,13 @@ mod tests {
                 t.delete(warp, k);
             }
         });
-        dev.launch_warps(16, |warp| {
+        dev.launch_warps("hash_test", 16, |warp| {
             for k in 100..108 {
                 t.insert_recycling(warp, &alloc, k, warp.warp_id());
             }
         });
         let count = std::sync::atomic::AtomicU32::new(0);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("hash_test", 1, |warp| {
             let mut seen = std::collections::HashSet::new();
             t.for_each_key(warp, |k| {
                 assert!(seen.insert(k), "duplicate {k}");
@@ -958,13 +960,13 @@ mod tests {
         let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
         let alloc = SlabAllocator::new(&dev, 4096);
         let t = TableDesc::create(&dev, TableKind::Map, 2);
-        dev.launch_warps(32, |warp| {
+        dev.launch_warps("hash_test", 32, |warp| {
             for k in 0..20 {
                 t.replace(warp, &alloc, k, warp.warp_id());
             }
         });
         let counts = parking_lot::Mutex::new(std::collections::HashMap::new());
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("hash_test", 1, |warp| {
             t.for_each_pair(warp, |k, _| {
                 *counts.lock().entry(k).or_insert(0u32) += 1;
             });
@@ -982,13 +984,13 @@ mod tests {
         let dev = Device::with_policy(1 << 20, ExecPolicy::Threaded(4));
         let alloc = SlabAllocator::new(&dev, 1024);
         let t = TableDesc::create(&dev, TableKind::Set, 4);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("hash_test", 1, |warp| {
             for k in 0..64 {
                 t.insert_unique(warp, &alloc, k);
             }
         });
         let deleted = std::sync::atomic::AtomicU32::new(0);
-        dev.launch_warps(16, |warp| {
+        dev.launch_warps("hash_test", 16, |warp| {
             for k in 0..64 {
                 if t.delete(warp, k) {
                     deleted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

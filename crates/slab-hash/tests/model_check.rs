@@ -1,11 +1,15 @@
-//! Property-based model checking of the slab hash against `BTreeMap` /
-//! `BTreeSet` references under arbitrary operation streams.
+//! Randomized model checking of the slab hash against `BTreeMap` /
+//! `BTreeSet` references under arbitrary operation streams. Each test runs
+//! many independently seeded cases; seeds are fixed so failures reproduce.
 
 use gpu_sim::Device;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use slab_alloc::SlabAllocator;
 use slab_hash::{buckets_for, TableDesc, TableKind};
 use std::collections::{BTreeMap, BTreeSet};
+
+const CASES: u64 = 32;
 
 #[derive(Debug, Clone)]
 enum MapOp {
@@ -13,111 +17,136 @@ enum MapOp {
     Delete(u32),
 }
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        3 => ((0..200u32), (0..1000u32)).prop_map(|(k, v)| MapOp::Replace(k, v)),
-        1 => (0..200u32).prop_map(MapOp::Delete),
-    ]
+fn map_ops(rng: &mut StdRng) -> Vec<MapOp> {
+    let n = rng.random_range(1..120usize);
+    (0..n)
+        .map(|_| {
+            // 3:1 replace:delete, matching the original generator weights.
+            if rng.random_range(0..4u32) < 3 {
+                MapOp::Replace(rng.random_range(0..200u32), rng.random_range(0..1000u32))
+            } else {
+                MapOp::Delete(rng.random_range(0..200u32))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn map_matches_btreemap(ops in proptest::collection::vec(map_op(), 1..120),
-                            buckets in 1..6u32) {
+#[test]
+fn map_matches_btreemap() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA110 + seed);
+        let ops = map_ops(&mut rng);
+        let buckets = rng.random_range(1..6u32);
         let dev = Device::new(1 << 18);
         let alloc = SlabAllocator::new(&dev, 1024);
         let table = TableDesc::create(&dev, TableKind::Map, buckets);
         let reference = parking_lot::Mutex::new(BTreeMap::<u32, u32>::new());
 
-        let result = parking_lot::Mutex::new(Ok(()));
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("model_check", 1, |warp| {
             let mut reference = reference.lock();
-            let mut check = || -> Result<(), TestCaseError> {
-                for op in &ops {
-                    match *op {
-                        MapOp::Replace(k, v) => {
-                            let added = table.replace(warp, &alloc, k, v);
-                            let was_new = reference.insert(k, v).is_none();
-                            prop_assert_eq!(added, was_new, "replace({}, {})", k, v);
-                        }
-                        MapOp::Delete(k) => {
-                            let removed = table.delete(warp, k);
-                            prop_assert_eq!(removed, reference.remove(&k).is_some(),
-                                            "delete({})", k);
-                        }
+            for op in &ops {
+                match *op {
+                    MapOp::Replace(k, v) => {
+                        let added = table.replace(warp, &alloc, k, v);
+                        let was_new = reference.insert(k, v).is_none();
+                        assert_eq!(added, was_new, "seed {seed}: replace({k}, {v})");
+                    }
+                    MapOp::Delete(k) => {
+                        let removed = table.delete(warp, k);
+                        assert_eq!(
+                            removed,
+                            reference.remove(&k).is_some(),
+                            "seed {seed}: delete({k})"
+                        );
                     }
                 }
-                // Final state equality via search and iteration.
-                for k in 0..200u32 {
-                    prop_assert_eq!(table.search(warp, k), reference.get(&k).copied());
-                }
-                let mut iterated = BTreeMap::new();
-                table.for_each_pair(warp, |k, v| {
-                    iterated.insert(k, v);
-                });
-                prop_assert_eq!(&iterated, &*reference);
-                Ok(())
-            };
-            *result.lock() = check();
+            }
+            // Final state equality via search and iteration.
+            for k in 0..200u32 {
+                assert_eq!(
+                    table.search(warp, k),
+                    reference.get(&k).copied(),
+                    "seed {seed}: search({k})"
+                );
+            }
+            let mut iterated = BTreeMap::new();
+            table.for_each_pair(warp, |k, v| {
+                iterated.insert(k, v);
+            });
+            assert_eq!(&iterated, &*reference, "seed {seed}: iteration");
         });
-        result.into_inner()?;
     }
+}
 
-    #[test]
-    fn set_matches_btreeset(keys in proptest::collection::vec(0..100u32, 1..150),
-                            deletions in proptest::collection::vec(0..100u32, 0..40)) {
+#[test]
+fn set_matches_btreeset() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E7 + seed);
+        let n_keys = rng.random_range(1..150usize);
+        let keys: Vec<u32> = (0..n_keys).map(|_| rng.random_range(0..100u32)).collect();
+        let n_del = rng.random_range(0..40usize);
+        let deletions: Vec<u32> = (0..n_del).map(|_| rng.random_range(0..100u32)).collect();
+
         let dev = Device::new(1 << 18);
         let alloc = SlabAllocator::new(&dev, 1024);
         let buckets = buckets_for(keys.len(), 0.7, TableKind::Set);
         let table = TableDesc::create(&dev, TableKind::Set, buckets);
         let reference = parking_lot::Mutex::new(BTreeSet::<u32>::new());
 
-        let result = parking_lot::Mutex::new(Ok(()));
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("model_check", 1, |warp| {
             let mut reference = reference.lock();
-            let mut check = || -> Result<(), TestCaseError> {
-                for &k in &keys {
-                    prop_assert_eq!(table.insert_unique(warp, &alloc, k),
-                                    reference.insert(k));
-                }
-                for &k in &deletions {
-                    prop_assert_eq!(table.delete(warp, k), reference.remove(&k));
-                }
-                for k in 0..100u32 {
-                    prop_assert_eq!(table.contains(warp, k), reference.contains(&k),
-                                    "contains({})", k);
-                }
-                let mut iterated = BTreeSet::new();
-                table.for_each_key(warp, |k| {
-                    iterated.insert(k);
-                });
-                prop_assert_eq!(&iterated, &*reference);
-                Ok(())
-            };
-            *result.lock() = check();
+            for &k in &keys {
+                assert_eq!(
+                    table.insert_unique(warp, &alloc, k),
+                    reference.insert(k),
+                    "seed {seed}: insert_unique({k})"
+                );
+            }
+            for &k in &deletions {
+                assert_eq!(
+                    table.delete(warp, k),
+                    reference.remove(&k),
+                    "seed {seed}: delete({k})"
+                );
+            }
+            for k in 0..100u32 {
+                assert_eq!(
+                    table.contains(warp, k),
+                    reference.contains(&k),
+                    "seed {seed}: contains({k})"
+                );
+            }
+            let mut iterated = BTreeSet::new();
+            table.for_each_key(warp, |k| {
+                iterated.insert(k);
+            });
+            assert_eq!(&iterated, &*reference, "seed {seed}: iteration");
         });
-        result.into_inner()?;
     }
+}
 
-    #[test]
-    fn stats_live_keys_always_match(keys in proptest::collection::vec(0..500u32, 1..200)) {
+#[test]
+fn stats_live_keys_always_match() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57A7 + seed);
+        let n_keys = rng.random_range(1..200usize);
+        let keys: Vec<u32> = (0..n_keys).map(|_| rng.random_range(0..500u32)).collect();
+        let unique: BTreeSet<u32> = keys.iter().copied().collect();
+
         let dev = Device::new(1 << 18);
         let alloc = SlabAllocator::new(&dev, 1024);
         let table = TableDesc::create(&dev, TableKind::Map, 3);
-        let unique: BTreeSet<u32> = keys.iter().copied().collect();
 
         let stats = parking_lot::Mutex::new(None);
-        dev.launch_warps(1, |warp| {
+        dev.launch_warps("model_check", 1, |warp| {
             for &k in &keys {
                 table.replace(warp, &alloc, k, k);
             }
             *stats.lock() = Some(table.stats(warp));
         });
         let stats = stats.into_inner().unwrap();
-        prop_assert_eq!(stats.live_keys, unique.len() as u64);
-        prop_assert_eq!(stats.tombstones, 0);
-        prop_assert!(stats.utilization() <= 1.0);
+        assert_eq!(stats.live_keys, unique.len() as u64, "seed {seed}");
+        assert_eq!(stats.tombstones, 0, "seed {seed}");
+        assert!(stats.utilization() <= 1.0, "seed {seed}");
     }
 }

@@ -30,7 +30,10 @@ fn main() {
     g.insert_edges(&seed_edges);
     let mut next_id = 256u32;
 
-    println!("{:>4} {:>7} {:>8} {:>9} {:>10}", "tick", "nodes", "edges", "reached", "max hops");
+    println!(
+        "{:>4} {:>7} {:>8} {:>9} {:>10}",
+        "tick", "nodes", "edges", "reached", "max hops"
+    );
     for tick in 1..=8 {
         // 1. A wave of new nodes joins, each with contacts to live nodes.
         let joiners: Vec<u32> = (0..32).map(|i| next_id + i).collect();

@@ -38,7 +38,10 @@ fn main() {
     println!("after delete, degree(0) = {}", g.degree(0));
 
     // Vertex insertion: new vertex 100 arrives with its edges.
-    g.insert_vertices(&[100], &[Edge::weighted(100, 0, 1), Edge::weighted(100, 2, 2)]);
+    g.insert_vertices(
+        &[100],
+        &[Edge::weighted(100, 0, 1), Edge::weighted(100, 2, 2)],
+    );
     println!("degree(100) = {}", g.degree(100));
 
     // Vertex deletion (Algorithm 2).

@@ -7,8 +7,8 @@
 //!
 //! `cargo run --release --example streaming_triangles`
 
-use dynamic_graphs_gpu::prelude::*;
 use dynamic_graphs_gpu::gpu_sim::CostModel;
+use dynamic_graphs_gpu::prelude::*;
 
 fn main() {
     let n_vertices = 1u32 << 12;
@@ -17,15 +17,14 @@ fn main() {
 
     // Set variant: triangle counting needs destinations only, doubling
     // per-slab capacity (30 keys vs 15 key-value pairs).
-    let g = DynGraph::with_uniform_buckets(
-        GraphConfig::undirected_set(n_vertices),
-        n_vertices,
-        1,
-    );
+    let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n_vertices), n_vertices, 1);
     let model = CostModel::titan_v();
 
     println!("streaming {rounds} batches of {batch_size} edges into a {n_vertices}-vertex graph\n");
-    println!("{:>5} {:>10} {:>12} {:>14} {:>12}", "round", "edges", "triangles", "insert (ms)", "tc (ms)");
+    println!(
+        "{:>5} {:>10} {:>12} {:>14} {:>12}",
+        "round", "edges", "triangles", "insert (ms)", "tc (ms)"
+    );
 
     for round in 1..=rounds {
         // Scale-free-ish batch: a social stream is hub-heavy.

@@ -20,7 +20,10 @@ fn main() {
         ds.edges.len(),
         batch.len()
     );
-    println!("{:<22} {:>14} {:>14} {:>12}", "structure", "insert MEdge/s", "delete MEdge/s", "tx/edge");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "structure", "insert MEdge/s", "delete MEdge/s", "tx/edge"
+    );
 
     // Ours.
     {

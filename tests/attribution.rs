@@ -1,0 +1,104 @@
+//! Attribution invariants for the named-kernel trace registry: per-kernel
+//! counters must always partition the global counters exactly, and the
+//! per-kernel profile of a batched workload must not depend on the
+//! executor (sequential vs. racing host threads).
+
+use dynamic_graphs_gpu::gpu_sim::{CostModel, ExecPolicy, KernelStats, TraceReport};
+use dynamic_graphs_gpu::prelude::*;
+
+fn workload(policy: ExecPolicy) -> Vec<KernelStats> {
+    let n = 128u32;
+    let mut cfg = GraphConfig::directed_map(n);
+    cfg.device_words = 1 << 20;
+    let mut g = DynGraph::with_uniform_buckets(cfg, n, 1);
+    g.device_mut().set_policy(policy);
+
+    for round in 0..3u64 {
+        let ins: Vec<Edge> = insert_batch(n, 800, round)
+            .into_iter()
+            .map(|(u, v)| Edge::weighted(u, v, u ^ v))
+            .collect();
+        g.insert_edges(&ins);
+        let del: Vec<Edge> = insert_batch(n, 300, 90 + round)
+            .into_iter()
+            .map(|(u, v)| Edge::new(u, v))
+            .collect();
+        g.delete_edges(&del);
+    }
+    g.delete_vertices(&[1, 5, 9]);
+    let _ = g.neighbors(3);
+    let _ = g.edge_exists(2, 7);
+    g.device().trace().kernels
+}
+
+#[test]
+fn kernel_counters_partition_the_global_counters() {
+    let n = 64u32;
+    let mut cfg = GraphConfig::undirected_map(n);
+    cfg.device_words = 1 << 20;
+    let g = DynGraph::with_uniform_buckets(cfg, n, 1);
+    let edges: Vec<Edge> = insert_batch(n, 500, 7)
+        .into_iter()
+        .map(|(u, v)| Edge::weighted(u, v, 1))
+        .collect();
+    g.insert_edges(&edges);
+    g.delete_edges(&edges[..100]);
+    g.delete_vertices(&[2, 4]);
+    g.check_invariants();
+
+    let trace = g.device().trace();
+    assert_eq!(
+        trace.kernel_sum(),
+        trace.global,
+        "per-kernel counters must sum to the global counters"
+    );
+
+    // And the derived report preserves the partition through rendering,
+    // JSON, and back.
+    let report = TraceReport::new(&trace, &CostModel::titan_v());
+    assert_eq!(report.kernel_sum(), trace.global);
+    let round = TraceReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(round, report);
+    assert!(report.render().contains("edge_insert"));
+}
+
+#[test]
+fn per_kernel_profile_is_executor_independent() {
+    let seq = workload(ExecPolicy::Sequential);
+    for threads in [2, 4] {
+        let thr = workload(ExecPolicy::Threaded(threads));
+        assert_eq!(
+            seq.len(),
+            thr.len(),
+            "threaded({threads}) registered a different kernel set"
+        );
+        for (s, t) in seq.iter().zip(&thr) {
+            assert_eq!(s.name, t.name, "kernel registration order diverged");
+            assert_eq!(
+                s.counters, t.counters,
+                "threaded({threads}) kernel {:?} counters diverged",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_launch_is_attributed_to_a_named_kernel() {
+    // After a full workload, no counters may remain unattributed: the sum
+    // of named-kernel launches equals the global launch count, and host
+    // allocations are attributed to the designated host pseudo-kernel.
+    let kernels = workload(ExecPolicy::Sequential);
+    let names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
+    for expected in ["graph_init", "edge_insert", "edge_delete", "vertex_delete"] {
+        assert!(
+            names.contains(&expected),
+            "expected kernel {expected:?} in {names:?}"
+        );
+    }
+    assert!(
+        names.contains(&dynamic_graphs_gpu::gpu_sim::HOST_KERNEL),
+        "host-side allocations must be attributed to {:?}",
+        dynamic_graphs_gpu::gpu_sim::HOST_KERNEL
+    );
+}

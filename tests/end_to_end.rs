@@ -1,9 +1,9 @@
 //! Integration tests spanning the whole workspace: generators → dynamic
 //! graph → baselines → algorithms, checking that every structure agrees.
 
+use dynamic_graphs_gpu::algos;
 use dynamic_graphs_gpu::baselines::{Csr, FaimGraph, Hornet};
 use dynamic_graphs_gpu::prelude::*;
-use dynamic_graphs_gpu::algos;
 
 fn mirror(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
     edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
@@ -58,8 +58,16 @@ fn mixed_update_stream_keeps_all_structures_in_sync() {
         h.delete_batch(&del);
         f.delete_batch(&del);
 
-        assert_eq!(g.num_edges(), h.num_edges(), "round {round}: ours vs hornet");
-        assert_eq!(g.num_edges(), f.num_edges(), "round {round}: ours vs faimgraph");
+        assert_eq!(
+            g.num_edges(),
+            h.num_edges(),
+            "round {round}: ours vs hornet"
+        );
+        assert_eq!(
+            g.num_edges(),
+            f.num_edges(),
+            "round {round}: ours vs faimgraph"
+        );
     }
     // Full adjacency parity at the end.
     for u in 0..n {
@@ -114,7 +122,10 @@ fn vertex_deletion_end_to_end() {
     let n = ds.n_vertices;
     let mut cfg = GraphConfig::undirected_map(n);
     cfg.device_words = (ds.edges.len() * 16).max(1 << 20);
-    let g = DynGraph::bulk_build(cfg, &ds.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+    let g = DynGraph::bulk_build(
+        cfg,
+        &ds.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>(),
+    );
     g.check_invariants();
 
     let victims = vertex_batch(n, 200, 3);
@@ -128,7 +139,10 @@ fn vertex_deletion_end_to_end() {
     let victim_set: std::collections::HashSet<u32> = victims.iter().copied().collect();
     for u in 0..n {
         for d in g.neighbor_ids(u) {
-            assert!(!victim_set.contains(&d), "vertex {u} still points at deleted {d}");
+            assert!(
+                !victim_set.contains(&d),
+                "vertex {u} still points at deleted {d}"
+            );
         }
     }
     g.check_invariants();

@@ -3,8 +3,8 @@
 //! slot placement) whether kernels run on the deterministic sequential
 //! executor or on racing host threads.
 
-use dynamic_graphs_gpu::prelude::*;
 use dynamic_graphs_gpu::gpu_sim::ExecPolicy;
+use dynamic_graphs_gpu::prelude::*;
 
 fn canonical_state(g: &DynGraph) -> Vec<(u32, Vec<(u32, u32)>)> {
     (0..g.vertex_capacity())

@@ -1,12 +1,15 @@
-//! Property-based tests: the dynamic graph against a host reference model
-//! under arbitrary operation sequences, and slab-hash semantics under
-//! arbitrary key streams.
+//! Property-style tests: the dynamic graph against a host reference model
+//! under randomized operation sequences, and exact counting semantics under
+//! duplicate-heavy batches. Each test runs many independently seeded cases;
+//! seeds are fixed so failures reproduce.
 
 use dynamic_graphs_gpu::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 const N: u32 = 24;
+const CASES: u64 = 24;
 
 /// An abstract operation on a small graph.
 #[derive(Debug, Clone)]
@@ -16,13 +19,32 @@ enum Op {
     DeleteVertex(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        proptest::collection::vec(((0..N), (0..N), (1..100u32)), 1..20)
-            .prop_map(Op::InsertEdges),
-        proptest::collection::vec(((0..N), (0..N)), 1..10).prop_map(Op::DeleteEdges),
-        (0..N).prop_map(Op::DeleteVertex),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..3u32) {
+        0 => {
+            let n = rng.random_range(1..20usize);
+            Op::InsertEdges(
+                (0..n)
+                    .map(|_| {
+                        (
+                            rng.random_range(0..N),
+                            rng.random_range(0..N),
+                            rng.random_range(1..100u32),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        1 => {
+            let n = rng.random_range(1..10usize);
+            Op::DeleteEdges(
+                (0..n)
+                    .map(|_| (rng.random_range(0..N), rng.random_range(0..N)))
+                    .collect(),
+            )
+        }
+        _ => Op::DeleteVertex(rng.random_range(0..N)),
+    }
 }
 
 /// Host reference: directed weighted adjacency with replace semantics.
@@ -42,19 +64,15 @@ impl Reference {
             m.remove(&v);
         }
     }
-    fn delete_vertex_undirected(&mut self, v: u32) {
-        self.adj.remove(&v);
-        for m in self.adj.values_mut() {
-            m.remove(&v);
-        }
-    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn directed_graph_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1A + seed);
+        let n_ops = rng.random_range(1..12usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn directed_graph_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..12)) {
         let mut cfg = GraphConfig::directed_map(N);
         cfg.device_words = 1 << 18;
         let g = DynGraph::with_uniform_buckets(cfg, N, 1);
@@ -97,18 +115,39 @@ proptest! {
                 .map(|m| m.iter().map(|(&d, &w)| (d, w)).collect())
                 .unwrap_or_default();
             want.sort_unstable();
-            prop_assert_eq!(&ours, &want, "vertex {} adjacency", u);
-            prop_assert_eq!(g.degree(u) as usize, want.len(), "vertex {} count", u);
+            assert_eq!(&ours, &want, "seed {seed}: vertex {u} adjacency");
+            assert_eq!(
+                g.degree(u) as usize,
+                want.len(),
+                "seed {seed}: vertex {u} count"
+            );
         }
         g.check_invariants();
     }
+}
 
-    #[test]
-    fn undirected_graph_stays_symmetric(
-        batches in proptest::collection::vec(
-            proptest::collection::vec(((0..N), (0..N), (1..50u32)), 1..15), 1..6),
-        victims in proptest::collection::vec(0..N, 0..3),
-    ) {
+#[test]
+fn undirected_graph_stays_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E3D + seed);
+        let n_batches = rng.random_range(1..6usize);
+        let batches: Vec<Vec<(u32, u32, u32)>> = (0..n_batches)
+            .map(|_| {
+                let n = rng.random_range(1..15usize);
+                (0..n)
+                    .map(|_| {
+                        (
+                            rng.random_range(0..N),
+                            rng.random_range(0..N),
+                            rng.random_range(1..50u32),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_victims = rng.random_range(0..3usize);
+        let victims: Vec<u32> = (0..n_victims).map(|_| rng.random_range(0..N)).collect();
+
         let mut cfg = GraphConfig::undirected_map(N);
         cfg.device_words = 1 << 18;
         let g = DynGraph::with_uniform_buckets(cfg, N, 1);
@@ -123,26 +162,33 @@ proptest! {
         // Symmetry: u lists v  <=>  v lists u (with equal weight).
         for u in 0..N {
             for (v, w) in g.neighbors(u) {
-                prop_assert_eq!(
-                    g.edge_weight(v, u), Some(w),
-                    "asymmetry at ({}, {})", u, v
+                assert_eq!(
+                    g.edge_weight(v, u),
+                    Some(w),
+                    "seed {seed}: asymmetry at ({u}, {v})"
                 );
             }
         }
         // Deleted vertices are fully detached.
         for &v in &dedup {
-            prop_assert_eq!(g.degree(v), 0);
+            assert_eq!(g.degree(v), 0, "seed {seed}");
             for u in 0..N {
-                prop_assert!(!g.edge_exists(u, v));
+                assert!(!g.edge_exists(u, v), "seed {seed}: edge ({u}, {v})");
             }
         }
         g.check_invariants();
     }
+}
 
-    #[test]
-    fn edge_counts_are_exact_under_duplicates(
-        raw in proptest::collection::vec(((0..8u32), (0..8u32)), 1..100)
-    ) {
+#[test]
+fn edge_counts_are_exact_under_duplicates() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD0B + seed);
+        let n = rng.random_range(1..100usize);
+        let raw: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.random_range(0..8u32), rng.random_range(0..8u32)))
+            .collect();
+
         // Heavy duplication within one batch: exact counting must match
         // the number of *unique* non-self-loop edges.
         let mut cfg = GraphConfig::directed_set(8);
@@ -151,7 +197,7 @@ proptest! {
         let added = g.insert_edges(&raw.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
         let unique: std::collections::HashSet<(u32, u32)> =
             raw.iter().copied().filter(|&(u, v)| u != v).collect();
-        prop_assert_eq!(added, unique.len() as u64);
-        prop_assert_eq!(g.num_edges(), unique.len() as u64);
+        assert_eq!(added, unique.len() as u64, "seed {seed}");
+        assert_eq!(g.num_edges(), unique.len() as u64, "seed {seed}");
     }
 }
