@@ -16,11 +16,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$mode" = "quick" ]; then
     echo "== cargo test (debug) =="
     cargo test --workspace -q
+    echo "== fault-injection suite (debug) =="
+    cargo test -q --test fault_injection
 else
     echo "== cargo build --release =="
     cargo build --workspace --release
     echo "== cargo test (release) =="
     cargo test --workspace --release -q
+    echo "== fault-injection suite (release) =="
+    cargo test --release -q --test fault_injection
+    echo "== bounded-memory quickstart smoke run =="
+    cargo run --release -q --example quickstart
 fi
 
 echo "CI OK"

@@ -34,7 +34,7 @@ fn bench_slab_hash_ops() {
     );
     dev.launch_warps("bench_setup", 1, |warp| {
         for k in 0..n {
-            table.replace(warp, &alloc, k, k);
+            table.replace(warp, &alloc, k, k).unwrap();
         }
     });
 
@@ -61,7 +61,7 @@ fn bench_slab_hash_ops() {
     let mut k2 = 0u32;
     bench("slab_hash/replace_existing", || {
         dev.launch_warps("bench_replace", 1, |warp| {
-            table.replace(warp, &alloc, k2 % n, 9);
+            table.replace(warp, &alloc, k2 % n, 9).unwrap();
         });
         k2 = k2.wrapping_add(1);
     });
@@ -73,7 +73,7 @@ fn bench_allocator() {
     bench("slab_alloc/allocate_free", || {
         dev.launch_warps("bench_alloc", 1, |warp| {
             let a = alloc.allocate(warp);
-            alloc.free(warp, a);
+            alloc.free(warp, a).unwrap();
         });
     });
 }

@@ -23,5 +23,5 @@ fn main() {
         eprintln!("[{name}] finished in {:.1}s\n", t.elapsed().as_secs_f64());
     }
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
-    eprintln!("(the tombstone-handling ablation is separate: cargo run -p bench --release --bin ablation_tombstones)");
+    eprintln!("(standalone harnesses: cargo run -p bench --release --bin ablation_tombstones | fault_recovery)");
 }

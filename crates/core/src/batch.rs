@@ -1,0 +1,151 @@
+//! Batch outcomes and typed errors for recoverable operations.
+//!
+//! Every batched mutation has a fallible `try_*` form that reports, instead
+//! of panicking, how far it got when the device runs out of memory (a
+//! bounded [`gpu_sim::DeviceConfig`] budget, an exhausted slab pool, or an
+//! injected [`gpu_sim::FaultPlan`] fault). A failed batch applies a
+//! *prefix* of its work and returns the unapplied suffix in a
+//! [`BatchOutcome`]; after raising the budget (or clearing the fault plan)
+//! the caller resumes with [`DynGraph::retry_suffix`]. Because edge
+//! insertion is idempotent (`replace` semantics) and allocation always
+//! precedes table mutation, retrying a suffix — even one whose edges were
+//! half-applied in an undirected batch — converges to exactly the state an
+//! unconstrained run would have produced.
+
+use crate::graph::{DynGraph, Edge};
+use slab_alloc::AllocError;
+
+/// Which batched operation produced a [`BatchOutcome`] — and therefore
+/// which `try_*` operation [`DynGraph::retry_suffix`] will resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// [`DynGraph::try_insert_edges`].
+    InsertEdges,
+    /// [`DynGraph::try_delete_edges`].
+    DeleteEdges,
+    /// [`DynGraph::try_insert_vertices`].
+    InsertVertices,
+    /// [`DynGraph::try_delete_vertices`].
+    DeleteVertices,
+}
+
+/// Typed error for graph operations.
+///
+/// Validation errors (`DuplicateVertex`, `InvalidVertexId`) are detected
+/// *before* any mutation, so the graph is untouched when they are
+/// returned. Allocation failures inside a running batch are not errors at
+/// this level — they surface as a partial [`BatchOutcome`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id in an insertion batch already has a table (and is not
+    /// awaiting recycling).
+    DuplicateVertex { id: u32 },
+    /// A vertex id collides with the slab-hash sentinel keys. When the id
+    /// was referenced by an edge, `edge` identifies the offender.
+    InvalidVertexId { id: u32, edge: Option<Edge> },
+    /// An allocation failure outside the recoverable batch path (e.g.
+    /// while building scratch structures for [`DynGraph::purge_deleted`]).
+    Alloc(AllocError),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::DuplicateVertex { id } => write!(f, "vertex {id} already exists"),
+            GraphError::InvalidVertexId { id, edge: Some(e) } => write!(
+                f,
+                "vertex id {id:#x} collides with slab-hash sentinels (referenced by edge {}\u{2192}{})",
+                e.src, e.dst
+            ),
+            GraphError::InvalidVertexId { id, edge: None } => {
+                write!(f, "vertex id {id:#x} collides with slab-hash sentinels")
+            }
+            GraphError::Alloc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for GraphError {
+    fn from(e: AllocError) -> Self {
+        GraphError::Alloc(e)
+    }
+}
+
+/// Per-batch completion report.
+///
+/// `attempted` counts the caller's items (original edges before undirected
+/// mirroring, plus vertex ids for vertex batches); `completed` counts the
+/// items fully applied. The invariant
+/// `completed + pending.len() + pending_vertices.len() == attempted`
+/// always holds, and order within `pending` / `pending_vertices` matches
+/// the original batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The operation that produced this outcome.
+    pub op: BatchOp,
+    /// Items in the batch as submitted.
+    pub attempted: usize,
+    /// Items fully applied (for undirected edges: both half-edges).
+    pub completed: usize,
+    /// Structural changes made (new edges inserted / edges deleted),
+    /// summed over direction-mirrored copies — the value the infallible
+    /// wrappers return.
+    pub changed: u64,
+    /// Edges not (fully) applied, in batch order. Feed back through
+    /// [`DynGraph::retry_suffix`].
+    pub pending: Vec<Edge>,
+    /// Vertex ids not yet installed (vertex batches only).
+    pub pending_vertices: Vec<u32>,
+    /// The first allocation failure observed, if any.
+    pub error: Option<AllocError>,
+}
+
+impl BatchOutcome {
+    pub(crate) fn complete(op: BatchOp, attempted: usize, changed: u64) -> Self {
+        BatchOutcome {
+            op,
+            attempted,
+            completed: attempted,
+            changed,
+            pending: Vec::new(),
+            pending_vertices: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Whether every item in the batch was applied.
+    pub fn is_complete(&self) -> bool {
+        self.pending.is_empty() && self.pending_vertices.is_empty()
+    }
+}
+
+impl DynGraph {
+    /// Resume a partially applied batch: re-run the unapplied suffix
+    /// reported in `outcome`. Call after growing the device budget
+    /// ([`gpu_sim::Device::set_capacity_words`]) or clearing the fault
+    /// plan; returns the next outcome, which may itself be partial.
+    ///
+    /// Re-running an edge that was half-applied (one direction of an
+    /// undirected pair) is safe: insertion has replace semantics and
+    /// deletion of an absent key is a no-op, and neither is counted in
+    /// `changed` again.
+    pub fn retry_suffix(&self, outcome: &BatchOutcome) -> Result<BatchOutcome, GraphError> {
+        match outcome.op {
+            BatchOp::InsertEdges => self.try_insert_edges(&outcome.pending),
+            BatchOp::DeleteEdges => self.try_delete_edges(&outcome.pending),
+            BatchOp::InsertVertices => {
+                self.try_insert_vertices(&outcome.pending_vertices, &outcome.pending)
+            }
+            BatchOp::DeleteVertices => self.try_delete_vertices(&outcome.pending_vertices),
+        }
+    }
+}

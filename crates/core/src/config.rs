@@ -30,6 +30,12 @@ pub struct GraphConfig {
     pub load_factor: f64,
     /// Initial words of simulated device memory to commit.
     pub device_words: usize,
+    /// Optional hard budget on total device words. `None` (the default)
+    /// means unbounded; with a budget set, allocations past it fail and
+    /// batched operations return partial [`crate::BatchOutcome`]s instead
+    /// of panicking. Can be raised later via
+    /// [`gpu_sim::Device::set_capacity_words`].
+    pub device_capacity_words: Option<u64>,
     /// Initial dynamic-pool capacity in slabs.
     pub pool_slabs: usize,
     /// Use the paper's alternative two-stage insertion that overwrites
@@ -49,6 +55,7 @@ impl GraphConfig {
             vertex_capacity,
             load_factor: DEFAULT_LOAD_FACTOR,
             device_words: 1 << 22,
+            device_capacity_words: None,
             pool_slabs: 1 << 12,
             recycle_tombstones: false,
         }
@@ -90,6 +97,13 @@ impl GraphConfig {
     /// Override the initial device memory commitment.
     pub fn with_device_words(mut self, words: usize) -> Self {
         self.device_words = words;
+        self
+    }
+
+    /// Bound total device memory to `words` (see
+    /// [`Self::device_capacity_words`]).
+    pub fn with_device_capacity(mut self, words: u64) -> Self {
+        self.device_capacity_words = Some(words);
         self
     }
 

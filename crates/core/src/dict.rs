@@ -12,7 +12,7 @@
 //! Growing past capacity performs the paper's *shallow copy*: only these
 //! three words per vertex move; the hash tables themselves stay put.
 
-use gpu_sim::{Addr, Device, Lanes, Warp, NULL_ADDR, SLAB_WORDS};
+use gpu_sim::{Addr, Device, Lanes, OomError, Warp, NULL_ADDR, SLAB_WORDS};
 use slab_hash::{TableDesc, TableKind};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -40,15 +40,20 @@ impl VertexDict {
     }
 
     fn alloc_entries(dev: &Device, capacity: u32) -> Addr {
+        Self::try_alloc_entries(dev, capacity)
+            .unwrap_or_else(|e| panic!("vertex dictionary allocation failed: {e}"))
+    }
+
+    fn try_alloc_entries(dev: &Device, capacity: u32) -> Result<Addr, OomError> {
         let words = (capacity * ENTRY_WORDS) as usize;
-        let base = dev.alloc_words(words, SLAB_WORDS);
+        let base = dev.try_alloc_words(words, SLAB_WORDS)?;
         // Initialise every table pointer to NULL and counts to zero.
         // (Charged as a device memset — part of construction cost.)
         dev.memset("dict_init", base, words, 0);
         for v in 0..capacity {
             dev.arena().store(base + v * ENTRY_WORDS, NULL_ADDR);
         }
-        base
+        Ok(base)
     }
 
     /// Current vertex capacity.
@@ -78,12 +83,19 @@ impl VertexDict {
     /// (paper §IV-A1: "only requires shallow copying of the pointers").
     /// Charged as a coalesced device-to-device copy.
     pub fn grow(&self, dev: &Device, needed: u32) {
+        self.try_grow(dev, needed)
+            .unwrap_or_else(|e| panic!("vertex dictionary growth failed: {e}"))
+    }
+
+    /// Fallible [`Self::grow`]: on a budget-exhausted device the old
+    /// dictionary is left fully intact and the growth can be retried.
+    pub fn try_grow(&self, dev: &Device, needed: u32) -> Result<(), OomError> {
         let old_cap = self.capacity();
         if needed <= old_cap {
-            return;
+            return Ok(());
         }
         let new_cap = needed.max(old_cap * 2);
-        let new_base = Self::alloc_entries(dev, new_cap);
+        let new_base = Self::try_alloc_entries(dev, new_cap)?;
         let old_base = self.base.load(Ordering::Acquire);
         let words = (old_cap * ENTRY_WORDS) as usize;
         // Copy kernel: read + write, coalesced.
@@ -96,6 +108,7 @@ impl VertexDict {
         }
         self.base.store(new_base, Ordering::Release);
         self.capacity.store(new_cap, Ordering::Release);
+        Ok(())
     }
 
     /// Host-side (uncharged) read of vertex `v`'s table descriptor, or

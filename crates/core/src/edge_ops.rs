@@ -7,8 +7,10 @@
 //! The slab-hash `replace` / `delete` return booleans; a `popc` over their
 //! ballot maintains exact per-vertex edge counts (Algorithm 1, line 10).
 
+use crate::batch::{BatchOp, BatchOutcome, GraphError};
 use crate::graph::{iter_bits, DynGraph, Edge};
-use gpu_sim::{Lanes, Warp, WARP_SIZE};
+use gpu_sim::{Lanes, OomError, WARP_SIZE};
+use slab_alloc::AllocError;
 use slab_hash::TableKind;
 
 /// What a batch kernel should do with each edge.
@@ -27,48 +29,119 @@ impl DynGraph {
     /// undirected graphs the reverse edges are inserted in the same batch.
     ///
     /// Returns the number of edges that were *new* (not replacements),
-    /// summed over direction-mirrored copies.
+    /// summed over direction-mirrored copies. Panics if device memory runs
+    /// out; use [`Self::try_insert_edges`] to recover instead.
     pub fn insert_edges(&self, edges: &[Edge]) -> u64 {
-        let work = self.apply_direction(edges);
-        self.run_edge_kernel(&work, EdgeOp::Insert)
+        let outcome = self
+            .try_insert_edges(edges)
+            .unwrap_or_else(|e| panic!("insert_edges: {e}"));
+        Self::expect_complete("insert_edges", outcome)
     }
 
     /// Batched edge deletion (§IV-C2).
     ///
     /// Deletion tombstones the destination key in the source's table; the
     /// returned boolean per edge decrements the exact edge count. Returns
-    /// the number of edges actually deleted.
+    /// the number of edges actually deleted. Panics if device memory runs
+    /// out; use [`Self::try_delete_edges`] to recover instead.
     pub fn delete_edges(&self, edges: &[Edge]) -> u64 {
-        let work = self.apply_direction(edges);
-        self.run_edge_kernel(&work, EdgeOp::Delete)
+        let outcome = self
+            .try_delete_edges(edges)
+            .unwrap_or_else(|e| panic!("delete_edges: {e}"));
+        Self::expect_complete("delete_edges", outcome)
+    }
+
+    /// Fallible [`Self::insert_edges`]: on device-memory exhaustion (a
+    /// bounded budget or an injected fault) a *prefix* of the batch is
+    /// applied and the unapplied suffix is reported in the returned
+    /// [`BatchOutcome`] for [`Self::retry_suffix`].
+    pub fn try_insert_edges(&self, edges: &[Edge]) -> Result<BatchOutcome, GraphError> {
+        self.run_edge_kernel(edges, EdgeOp::Insert)
+    }
+
+    /// Fallible [`Self::delete_edges`]. Deletion itself never allocates,
+    /// but staging the batch on the device can exhaust a bounded budget.
+    pub fn try_delete_edges(&self, edges: &[Edge]) -> Result<BatchOutcome, GraphError> {
+        self.run_edge_kernel(edges, EdgeOp::Delete)
+    }
+
+    fn expect_complete(what: &str, outcome: BatchOutcome) -> u64 {
+        if let Some(e) = outcome.error {
+            panic!(
+                "{what}: device memory exhausted after {} of {} edges: {e}",
+                outcome.completed, outcome.attempted
+            );
+        }
+        outcome.changed
     }
 
     /// Shared WCWS kernel for insert/delete.
-    fn run_edge_kernel(&self, edges: &[Edge], op: EdgeOp) -> u64 {
-        if edges.is_empty() {
-            return 0;
-        }
-        for e in edges {
-            self.check_vertex(e.src);
-            self.check_vertex(e.dst);
-        }
-        let n = edges.len();
-        let srcs: Vec<u32> = edges.iter().map(|e| e.src).collect();
-        let dsts: Vec<u32> = edges.iter().map(|e| e.dst).collect();
-        let src_buf = self.upload(&srcs, u32::MAX);
-        let dst_buf = self.upload(&dsts, u32::MAX);
-        let weight_buf = if self.config.kind == TableKind::Map {
-            let ws: Vec<u32> = edges.iter().map(|e| e.weight).collect();
-            Some(self.upload(&ws, 0))
-        } else {
-            None
+    ///
+    /// Takes the batch as the caller submitted it (before undirected
+    /// mirroring) so partial outcomes report the caller's own edges.
+    fn run_edge_kernel(&self, original: &[Edge], op: EdgeOp) -> Result<BatchOutcome, GraphError> {
+        let batch_op = match op {
+            EdgeOp::Insert => BatchOp::InsertEdges,
+            EdgeOp::Delete => BatchOp::DeleteEdges,
         };
-        let changed_total = self.dev.alloc_words(1, 1);
-        self.dev.arena().store(changed_total, 0);
+        if original.is_empty() {
+            return Ok(BatchOutcome::complete(batch_op, 0, 0));
+        }
+        for e in original {
+            self.check_edge(e)?;
+        }
+        let work = self.apply_direction(original);
+        let per_edge = work.len() / original.len();
+        let n = work.len();
+
+        // Stage the batch on the device. A failure here applies nothing:
+        // the whole batch is the pending suffix.
+        let staged = (|| -> Result<_, OomError> {
+            let srcs: Vec<u32> = work.iter().map(|e| e.src).collect();
+            let dsts: Vec<u32> = work.iter().map(|e| e.dst).collect();
+            let src_buf = self.try_upload(&srcs, u32::MAX)?;
+            let dst_buf = self.try_upload(&dsts, u32::MAX)?;
+            let weight_buf = if self.config.kind == TableKind::Map {
+                let ws: Vec<u32> = work.iter().map(|e| e.weight).collect();
+                Some(self.try_upload(&ws, 0)?)
+            } else {
+                None
+            };
+            let changed_total = self.dev.try_alloc_words(1, 1)?;
+            self.dev.arena().store(changed_total, 0);
+            // One status word per work item: 0 = unapplied, 1 = applied.
+            let status_buf = self.dev.try_alloc_words(n, 1)?;
+            for i in 0..n as u32 {
+                self.dev.arena().store(status_buf + i, 0);
+            }
+            Ok((src_buf, dst_buf, weight_buf, changed_total, status_buf))
+        })();
+        let (src_buf, dst_buf, weight_buf, changed_total, status_buf) = match staged {
+            Ok(bufs) => bufs,
+            Err(e) => {
+                return Ok(BatchOutcome {
+                    op: batch_op,
+                    attempted: original.len(),
+                    completed: 0,
+                    changed: 0,
+                    pending: original.to_vec(),
+                    pending_vertices: Vec::new(),
+                    error: Some(AllocError::Oom(e)),
+                })
+            }
+        };
 
         let kernel_name = match op {
             EdgeOp::Insert => "edge_insert",
             EdgeOp::Delete => "edge_delete",
+        };
+        // First allocation failure observed inside the kernel, if any.
+        let first_err: parking_lot::Mutex<Option<AllocError>> = parking_lot::Mutex::new(None);
+        let record = |e: AllocError| {
+            let mut slot = first_err.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
         };
         self.dev.launch_tasks(kernel_name, n, |warp| {
             let base = warp.warp_id() * WARP_SIZE as u32;
@@ -78,9 +151,18 @@ impl DynGraph {
             let weights = weight_buf
                 .map(|wb| warp.read_slab(wb + base))
                 .unwrap_or_default();
+            // Status writes are bookkeeping for the host-side outcome, not
+            // part of the modelled kernel: uncharged so per-kernel
+            // attribution is unchanged by the recovery machinery.
+            let mark = |i: usize| self.dev.arena().store(status_buf + base + i as u32, 1);
 
-            // Line 3: no self-edges.
+            // Line 3: no self-edges (skipping one counts as applying it).
             let mut pending = Lanes::from_fn(|i| warp.is_active(i) && srcs.get(i) != dsts.get(i));
+            for i in 0..WARP_SIZE {
+                if warp.is_active(i) && srcs.get(i) == dsts.get(i) {
+                    mark(i);
+                }
+            }
 
             // Lines 4–14: warp work queue.
             loop {
@@ -93,11 +175,23 @@ impl DynGraph {
                 let group = warp.ballot(&same_src);
 
                 let desc = match op {
-                    EdgeOp::Insert => self.desc_or_create(warp, current_src),
+                    EdgeOp::Insert => match self.desc_or_create(warp, current_src) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            // Lazy table construction failed: the whole
+                            // group stays unapplied (statuses remain 0).
+                            record(e);
+                            pending = pending.zip_with(&same_src, |p, s| p && !s);
+                            continue;
+                        }
+                    },
                     EdgeOp::Delete => match self.dict.desc(warp, current_src) {
                         Some(d) => d,
                         None => {
                             // Nothing to delete from an untouched vertex.
+                            for lane in iter_bits(group) {
+                                mark(lane as usize);
+                            }
                             pending = pending.zip_with(&same_src, |p, s| p && !s);
                             continue;
                         }
@@ -105,22 +199,31 @@ impl DynGraph {
                 };
 
                 // Lines 8–9: coalesced group operation + success ballot.
+                // A lane whose insert fails on allocation leaves its status
+                // at 0; later lanes still run (under e.g. an every-Nth
+                // fault plan some of them succeed, guaranteeing progress).
                 let mut success = Lanes::splat(false);
                 for lane in iter_bits(group) {
                     let li = lane as usize;
-                    let ok = match op {
+                    let applied = match op {
                         EdgeOp::Insert if self.config.recycle_tombstones => {
                             desc.insert_recycling(warp, &self.alloc, dsts.get(li), weights.get(li))
                         }
                         EdgeOp::Insert => match self.config.kind {
                             TableKind::Map => {
-                                self.alloc_replace(warp, &desc, dsts.get(li), weights.get(li))
+                                desc.replace(warp, &self.alloc, dsts.get(li), weights.get(li))
                             }
                             TableKind::Set => desc.insert_unique(warp, &self.alloc, dsts.get(li)),
                         },
-                        EdgeOp::Delete => desc.delete(warp, dsts.get(li)),
+                        EdgeOp::Delete => Ok(desc.delete(warp, dsts.get(li))),
                     };
-                    success.set(li, ok);
+                    match applied {
+                        Ok(changed) => {
+                            success.set(li, changed);
+                            mark(li);
+                        }
+                        Err(e) => record(e),
+                    }
                 }
 
                 // Line 10: exact count via popc(ballot(success)).
@@ -143,17 +246,31 @@ impl DynGraph {
             }
         });
 
-        self.dev.arena().load(changed_total) as u64
-    }
-
-    fn alloc_replace(
-        &self,
-        warp: &Warp,
-        desc: &slab_hash::TableDesc,
-        dst: u32,
-        weight: u32,
-    ) -> bool {
-        desc.replace(warp, &self.alloc, dst, weight)
+        // An edge is complete only when every direction-mirrored copy was
+        // applied; half-applied undirected edges go back in the suffix
+        // (re-inserting the applied half is an uncounted replace/no-op).
+        let changed = self.dev.arena().load(changed_total) as u64;
+        let mut pending_edges = Vec::new();
+        for (j, &e) in original.iter().enumerate() {
+            let applied = (0..per_edge).all(|k| {
+                self.dev
+                    .arena()
+                    .load(status_buf + (j * per_edge + k) as u32)
+                    != 0
+            });
+            if !applied {
+                pending_edges.push(e);
+            }
+        }
+        Ok(BatchOutcome {
+            op: batch_op,
+            attempted: original.len(),
+            completed: original.len() - pending_edges.len(),
+            changed,
+            pending: pending_edges,
+            pending_vertices: Vec::new(),
+            error: first_err.into_inner(),
+        })
     }
 }
 

@@ -1,9 +1,10 @@
 //! The dynamic graph structure itself (paper §III–IV).
 
+use crate::batch::GraphError;
 use crate::config::{Direction, GraphConfig};
 use crate::dict::VertexDict;
-use gpu_sim::{Addr, Device, Warp, SLAB_WORDS};
-use slab_alloc::SlabAllocator;
+use gpu_sim::{Addr, Device, DeviceConfig, ExecPolicy, OomError, Warp, SLAB_WORDS};
+use slab_alloc::{AllocError, SlabAllocator};
 use slab_hash::{buckets_for, TableDesc, EMPTY_KEY, MAX_KEY};
 
 /// A weighted directed edge ⟨src, dst, weight⟩. For set-kind graphs the
@@ -75,7 +76,11 @@ impl DynGraph {
     /// connectivity information for a vertex is not available, we construct
     /// a hash table with a single bucket").
     pub fn new(config: GraphConfig) -> Self {
-        let dev = Device::new(config.device_words);
+        let dev = Device::with_config(DeviceConfig {
+            initial_words: config.device_words,
+            capacity_words: config.device_capacity_words,
+            policy: ExecPolicy::Sequential,
+        });
         let alloc = SlabAllocator::new(&dev, config.pool_slabs);
         let dict = VertexDict::new(&dev, config.kind, config.vertex_capacity);
         DynGraph {
@@ -218,11 +223,22 @@ impl DynGraph {
     }
 
     /// Host-side validation that a vertex id is storable.
-    pub(crate) fn check_vertex(&self, v: u32) {
-        assert!(
-            v <= MAX_KEY,
-            "vertex id {v:#x} collides with slab-hash sentinels"
-        );
+    pub(crate) fn check_id(&self, v: u32) -> Result<(), GraphError> {
+        if v > MAX_KEY {
+            return Err(GraphError::InvalidVertexId { id: v, edge: None });
+        }
+        Ok(())
+    }
+
+    /// Validate both endpoints of an edge, reporting *which* edge
+    /// referenced an unstorable vertex id.
+    pub(crate) fn check_edge(&self, e: &Edge) -> Result<(), GraphError> {
+        for id in [e.src, e.dst] {
+            if id > MAX_KEY {
+                return Err(GraphError::InvalidVertexId { id, edge: Some(*e) });
+            }
+        }
+        Ok(())
     }
 
     /// Upload a `u32` buffer to device memory (slab-aligned, padded with
@@ -230,29 +246,44 @@ impl DynGraph {
     /// matching the paper's measurement methodology ("do not include the
     /// time required to transfer memory between CPU and GPU").
     pub(crate) fn upload(&self, data: &[u32], pad: u32) -> Addr {
+        self.try_upload(data, pad)
+            .unwrap_or_else(|e| panic!("host upload failed: {e}"))
+    }
+
+    /// Fallible [`Self::upload`]: reports device-budget exhaustion instead
+    /// of panicking so batch staging can fail cleanly before any mutation.
+    pub(crate) fn try_upload(&self, data: &[u32], pad: u32) -> Result<Addr, OomError> {
         let padded = data.len().div_ceil(SLAB_WORDS) * SLAB_WORDS;
-        let buf = self.dev.alloc_words(padded.max(SLAB_WORDS), SLAB_WORDS);
+        let buf = self
+            .dev
+            .try_alloc_words(padded.max(SLAB_WORDS), SLAB_WORDS)?;
         for (i, &w) in data.iter().enumerate() {
             self.dev.arena().store(buf + i as u32, w);
         }
         for i in data.len()..padded {
             self.dev.arena().store(buf + i as u32, pad);
         }
-        buf
+        Ok(buf)
     }
 
     /// Warp-side descriptor lookup that lazily constructs a single-bucket
     /// table for an untouched vertex (slab from the dynamic pool).
-    pub(crate) fn desc_or_create(&self, warp: &Warp, v: u32) -> TableDesc {
+    ///
+    /// Fails only if the pool cannot acquire the fresh slab; the failure
+    /// precedes any dictionary mutation, so the vertex stays untouched and
+    /// the operation can be retried.
+    pub(crate) fn desc_or_create(&self, warp: &Warp, v: u32) -> Result<TableDesc, AllocError> {
         if let Some(t) = self.dict.desc(warp, v) {
-            return t;
+            return Ok(t);
         }
-        let fresh = self.alloc.allocate(warp);
+        let fresh = self.alloc.try_allocate(warp)?;
         match self.dict.try_install(warp, v, fresh, 1) {
-            Ok(t) => t,
+            Ok(t) => Ok(t),
             Err(winner) => {
-                self.alloc.free(warp, fresh);
-                winner
+                self.alloc
+                    .free(warp, fresh)
+                    .expect("freshly allocated slab must be freeable");
+                Ok(winner)
             }
         }
     }

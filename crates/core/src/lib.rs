@@ -53,6 +53,7 @@
 //! assert!(!g.edge_exists(0, 1));
 //! ```
 
+mod batch;
 mod config;
 mod dict;
 mod edge_ops;
@@ -62,11 +63,16 @@ mod query;
 mod stats;
 mod vertex_ops;
 
+pub use batch::{BatchOp, BatchOutcome, GraphError};
 pub use config::{Direction, GraphConfig, DEFAULT_LOAD_FACTOR};
 pub use dict::{VertexDict, ENTRY_WORDS};
 pub use graph::{DynGraph, Edge};
-pub use stats::GraphStats;
+pub use stats::{GraphStats, ValidationError};
 
-// Re-export the substrate types callers need for instrumentation.
-pub use gpu_sim::{CostModel, CounterSnapshot, Device, ExecPolicy};
+// Re-export the substrate types callers need for instrumentation and
+// failure-model configuration.
+pub use gpu_sim::{
+    CostModel, CounterSnapshot, Device, DeviceConfig, ExecPolicy, FaultPlan, OomError,
+};
+pub use slab_alloc::AllocError;
 pub use slab_hash::{TableKind, TableStats};

@@ -33,7 +33,8 @@ impl DynGraph {
                 }
                 removed.fetch_add(stats.tombstones, std::sync::atomic::Ordering::Relaxed);
                 let entries = self.collect_entries(warp, &desc);
-                desc.free_dynamic_slabs(warp, &self.alloc);
+                desc.free_dynamic_slabs(warp, &self.alloc)
+                    .expect("flushed chains must be freeable");
                 self.reinsert(warp, &desc, &entries);
             }
         });
@@ -69,7 +70,8 @@ impl DynGraph {
                 self.dev
                     .memset("rehash", base, TableDesc::base_words(buckets), EMPTY_KEY);
                 // Free the old chains before republishing the pointer.
-                desc.free_dynamic_slabs(warp, &self.alloc);
+                desc.free_dynamic_slabs(warp, &self.alloc)
+                    .expect("rehashed chains must be freeable");
                 let new_desc = TableDesc {
                     kind: self.config.kind,
                     base,
@@ -95,14 +97,20 @@ impl DynGraph {
         entries
     }
 
+    // Maintenance is not a recoverable batch: reinsertion happens into
+    // freshly compacted tables after their old chains returned to the
+    // pool, so it can only fail under a fault plan or a budget tighter
+    // than the structure it is compacting — treated as fatal.
     fn reinsert(&self, warp: &gpu_sim::Warp, desc: &TableDesc, entries: &[(u32, u32)]) {
         for &(k, v) in entries {
             match desc.kind {
                 TableKind::Map => {
-                    desc.replace(warp, &self.alloc, k, v);
+                    desc.replace(warp, &self.alloc, k, v)
+                        .expect("maintenance reinsert must not exhaust the pool");
                 }
                 TableKind::Set => {
-                    desc.insert_unique(warp, &self.alloc, k);
+                    desc.insert_unique(warp, &self.alloc, k)
+                        .expect("maintenance reinsert must not exhaust the pool");
                 }
             }
         }

@@ -3,8 +3,8 @@
 //! invariant checking in tests.
 
 use crate::graph::DynGraph;
-use gpu_sim::SLAB_WORDS;
-use slab_hash::TableStats;
+use gpu_sim::{Addr, NULL_ADDR, SLAB_WORDS, WARP_SIZE};
+use slab_hash::{TableStats, EMPTY_KEY};
 
 /// Aggregated statistics over every vertex's hash table plus the memory
 /// footprint of the whole structure.
@@ -66,33 +66,149 @@ impl DynGraph {
     }
 
     /// Debug-check the structure's core invariants; panics on violation.
-    ///
-    /// - the per-vertex edge count equals the number of live keys,
-    /// - no table stores duplicate destinations,
-    /// - no self-loops are stored.
+    /// Delegates to [`Self::validate`] — use that directly for a typed,
+    /// non-panicking report.
     pub fn check_invariants(&self) {
+        if let Err(e) = self.validate() {
+            panic!("graph invariant violated: {e}");
+        }
+    }
+
+    /// Full consistency audit of the structure. Intended to be cheap
+    /// enough to run after every recovered batch: a partial
+    /// [`crate::BatchOutcome`] guarantees the graph still passes.
+    ///
+    /// Checks, in order of detection:
+    /// - slot accounting: every key slot classifies as exactly one of
+    ///   live / tombstone / empty, and empty slots only appear in a
+    ///   chain's tail slab (deletion writes tombstones, never empties);
+    /// - no slab is linked into more than one chain position;
+    /// - no table stores duplicate destinations or self-loops;
+    /// - the per-vertex exact edge count equals the live (non-tombstoned)
+    ///   keys actually stored;
+    /// - every live pool slab is reachable from some table chain (no
+    ///   leaks, including after failed or retried batches).
+    pub fn validate(&self) -> Result<(), ValidationError> {
         let cap = self.dict.capacity();
-        self.dev.launch_warps("check_invariants", 1, |warp| {
+        let first: parking_lot::Mutex<Option<ValidationError>> = parking_lot::Mutex::new(None);
+        let reachable = parking_lot::Mutex::new(std::collections::HashSet::new());
+        self.dev.launch_warps("validate", 1, |warp| {
             for v in 0..cap {
                 let Some(desc) = self.dict.desc_host(&self.dev, v) else {
                     continue;
                 };
+                let key_lanes = desc.kind.key_lanes();
                 let mut seen = std::collections::HashSet::new();
-                desc.for_each_key(warp, |k| {
-                    assert!(seen.insert(k), "vertex {v}: duplicate destination {k}");
-                    assert_ne!(k, v, "vertex {v}: stored self-loop");
+                let mut live = 0u32;
+                let mut err = None;
+                desc.for_each_slab(warp, |view| {
+                    if err.is_some() {
+                        return;
+                    }
+                    if self.alloc.owns(view.addr) && !reachable.lock().insert(view.addr) {
+                        err = Some(ValidationError::SlabReuse { addr: view.addr });
+                        return;
+                    }
+                    let has_empty = (0..WARP_SIZE)
+                        .any(|i| key_lanes & (1 << i) != 0 && view.words.get(i) == EMPTY_KEY);
+                    if has_empty && view.next() != NULL_ADDR {
+                        err = Some(ValidationError::EmptyBeforeTail {
+                            vertex: v,
+                            slab: view.addr,
+                        });
+                        return;
+                    }
+                    for k in view.keys() {
+                        live += 1;
+                        if k == v {
+                            err = Some(ValidationError::SelfLoop { vertex: v });
+                            return;
+                        }
+                        if !seen.insert(k) {
+                            err = Some(ValidationError::DuplicateDestination { vertex: v, dst: k });
+                            return;
+                        }
+                    }
                 });
-                let count = self.dict.count_host(&self.dev, v);
-                assert_eq!(
-                    count as usize,
-                    seen.len(),
-                    "vertex {v}: edge count {count} != live keys {}",
-                    seen.len()
-                );
+                if err.is_none() {
+                    let count = self.dict.count_host(&self.dev, v);
+                    if count != live {
+                        err = Some(ValidationError::CountMismatch {
+                            vertex: v,
+                            count,
+                            live,
+                        });
+                    }
+                }
+                if let Some(e) = err {
+                    let mut slot = first.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    return;
+                }
             }
         });
+        if let Some(e) = first.into_inner() {
+            return Err(e);
+        }
+        let reachable = reachable.into_inner().len() as u64;
+        let live = self.alloc.live_slabs();
+        if reachable != live {
+            return Err(ValidationError::SlabLeak { reachable, live });
+        }
+        Ok(())
     }
 }
+
+/// A violated structural invariant reported by [`DynGraph::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A vertex's exact edge count disagrees with its table's live keys.
+    CountMismatch { vertex: u32, count: u32, live: u32 },
+    /// A table stores the same destination twice.
+    DuplicateDestination { vertex: u32, dst: u32 },
+    /// A table stores its own vertex id.
+    SelfLoop { vertex: u32 },
+    /// A non-tail slab has empty key slots — deletion must tombstone.
+    EmptyBeforeTail { vertex: u32, slab: Addr },
+    /// The same pool slab is linked into more than one chain position.
+    SlabReuse { addr: Addr },
+    /// Live pool slabs and table-reachable pool slabs disagree (a slab
+    /// leaked, or a freed slab is still linked).
+    SlabLeak { reachable: u64, live: u64 },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ValidationError::CountMismatch {
+                vertex,
+                count,
+                live,
+            } => write!(f, "vertex {vertex}: edge count {count} != live keys {live}"),
+            ValidationError::DuplicateDestination { vertex, dst } => {
+                write!(f, "vertex {vertex}: duplicate destination {dst}")
+            }
+            ValidationError::SelfLoop { vertex } => {
+                write!(f, "vertex {vertex}: stored self-loop")
+            }
+            ValidationError::EmptyBeforeTail { vertex, slab } => write!(
+                f,
+                "vertex {vertex}: slab {slab:#x} has empty slots before the chain tail"
+            ),
+            ValidationError::SlabReuse { addr } => {
+                write!(f, "slab {addr:#x} linked into more than one chain")
+            }
+            ValidationError::SlabLeak { reachable, live } => write!(
+                f,
+                "{live} live pool slabs but {reachable} reachable from tables"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
 
 #[cfg(test)]
 mod tests {

@@ -10,8 +10,10 @@
 //! warp iterates the victim's slabs deleting it from every neighbour's
 //! table before freeing the victim's collision slabs and zeroing its count.
 
+use crate::batch::{BatchOp, BatchOutcome, GraphError};
 use crate::config::Direction;
 use crate::graph::{iter_bits, DynGraph, Edge};
+use slab_alloc::AllocError;
 use slab_hash::{TableDesc, TableKind};
 
 impl DynGraph {
@@ -20,13 +22,68 @@ impl DynGraph {
     /// `ids` are the new vertex ids (tables are installed sized to the
     /// number of attached edges in `edges` whose source is the id); the
     /// dictionary grows (shallow pointer copy) if an id exceeds capacity.
-    /// Returns the number of new edges added.
-    pub fn insert_vertices(&self, ids: &[u32], edges: &[Edge]) -> u64 {
-        if ids.is_empty() {
-            return self.insert_edges(edges);
+    /// Returns the number of new edges added, or
+    /// [`GraphError::DuplicateVertex`] / [`GraphError::InvalidVertexId`]
+    /// (checked before any mutation). Panics if device memory runs out;
+    /// use [`Self::try_insert_vertices`] to recover instead.
+    pub fn insert_vertices(&self, ids: &[u32], edges: &[Edge]) -> Result<u64, GraphError> {
+        let outcome = self.try_insert_vertices(ids, edges)?;
+        if let Some(e) = outcome.error {
+            panic!(
+                "insert_vertices: device memory exhausted after {} of {} items: {e}",
+                outcome.completed, outcome.attempted
+            );
         }
+        Ok(outcome.changed)
+    }
+
+    /// Fallible [`Self::insert_vertices`]: installs a prefix of the new
+    /// vertices (and then a prefix of the edges) when device memory runs
+    /// out, reporting the unapplied suffix for [`Self::retry_suffix`].
+    ///
+    /// Validation errors are still returned as `Err` — they are detected
+    /// before anything is mutated.
+    pub fn try_insert_vertices(
+        &self,
+        ids: &[u32],
+        edges: &[Edge],
+    ) -> Result<BatchOutcome, GraphError> {
+        if ids.is_empty() {
+            return self.try_insert_edges(edges);
+        }
+        // Validate everything up front so errors never leave a half-done
+        // batch behind.
+        for e in edges {
+            self.check_edge(e)?;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &v in ids {
+            self.check_id(v)?;
+            if !seen.insert(v) {
+                return Err(GraphError::DuplicateVertex { id: v });
+            }
+            let recycled = self.free_ids.lock().contains(&v);
+            if !recycled && self.dict.desc_host(&self.dev, v).is_some() {
+                return Err(GraphError::DuplicateVertex { id: v });
+            }
+        }
+
+        // A failure at vertex i leaves ids[..i] installed and usable;
+        // the suffix (and all edges) is reported for retry.
+        let partial = |installed: usize, e: AllocError| BatchOutcome {
+            op: BatchOp::InsertVertices,
+            attempted: ids.len() + edges.len(),
+            completed: installed,
+            changed: 0,
+            pending: edges.to_vec(),
+            pending_vertices: ids[installed..].to_vec(),
+            error: Some(e),
+        };
+
         let max_id = ids.iter().copied().max().unwrap();
-        self.dict.grow(&self.dev, max_id + 1);
+        if let Err(e) = self.dict.try_grow(&self.dev, max_id + 1) {
+            return Ok(partial(0, AllocError::Oom(e)));
+        }
 
         // Size each new vertex's table from the batch's degree information
         // (§III-b: use connectivity information when available).
@@ -39,7 +96,7 @@ impl DynGraph {
                 }
             }
         }
-        for &v in ids {
+        for (i, &v) in ids.iter().enumerate() {
             let recycled = {
                 let mut free = self.free_ids.lock();
                 if let Some(pos) = free.iter().position(|&f| f == v) {
@@ -53,15 +110,15 @@ impl DynGraph {
                 // The recycled slot keeps its (reset) table; just insert.
                 continue;
             }
-            assert!(
-                self.dict.desc_host(&self.dev, v).is_none(),
-                "vertex {v} already exists"
-            );
             let buckets =
                 slab_hash::buckets_for(deg[&v] as usize, self.config.load_factor, self.config.kind);
-            let base = self
+            let base = match self
                 .dev
-                .alloc_words(TableDesc::base_words(buckets), gpu_sim::SLAB_WORDS);
+                .try_alloc_words(TableDesc::base_words(buckets), gpu_sim::SLAB_WORDS)
+            {
+                Ok(b) => b,
+                Err(e) => return Ok(partial(i, AllocError::Oom(e))),
+            };
             self.dev.memset(
                 "vertex_insert",
                 base,
@@ -70,7 +127,11 @@ impl DynGraph {
             );
             self.dict.install_host(&self.dev, v, base, buckets);
         }
-        self.insert_edges(edges)
+        let mut outcome = self.try_insert_edges(edges)?;
+        outcome.op = BatchOp::InsertVertices;
+        outcome.attempted += ids.len();
+        outcome.completed += ids.len();
+        Ok(outcome)
     }
 
     /// Batched vertex deletion (§IV-D2, Algorithm 2).
@@ -86,16 +147,46 @@ impl DynGraph {
     /// eagerly via [`Self::purge_deleted`] (the paper's "follow-up lookup
     /// and delete ... in all of the hash tables").
     pub fn delete_vertices(&self, vertices: &[u32]) {
+        let outcome = self
+            .try_delete_vertices(vertices)
+            .unwrap_or_else(|e| panic!("delete_vertices: {e}"));
+        if let Some(e) = outcome.error {
+            panic!("delete_vertices: device memory exhausted staging the batch: {e}");
+        }
+    }
+
+    /// Fallible [`Self::delete_vertices`]. Deletion frees memory rather
+    /// than allocating it, so the only recoverable failure is staging the
+    /// victim list on a budget-exhausted device — in which case nothing is
+    /// applied and every vertex is reported pending.
+    pub fn try_delete_vertices(&self, vertices: &[u32]) -> Result<BatchOutcome, GraphError> {
         if vertices.is_empty() {
-            return;
+            return Ok(BatchOutcome::complete(BatchOp::DeleteVertices, 0, 0));
         }
         for &v in vertices {
-            self.check_vertex(v);
+            self.check_id(v)?;
         }
         let count = vertices.len() as u32;
-        let verts_buf = self.upload(vertices, u32::MAX);
-        // Line 1: the shared work-queue counter lives in device memory.
-        let queue = self.dev.alloc_words(1, 1);
+        let staged = (|| -> Result<_, gpu_sim::OomError> {
+            let verts_buf = self.try_upload(vertices, u32::MAX)?;
+            // Line 1: the shared work-queue counter lives in device memory.
+            let queue = self.dev.try_alloc_words(1, 1)?;
+            Ok((verts_buf, queue))
+        })();
+        let (verts_buf, queue) = match staged {
+            Ok(bufs) => bufs,
+            Err(e) => {
+                return Ok(BatchOutcome {
+                    op: BatchOp::DeleteVertices,
+                    attempted: vertices.len(),
+                    completed: 0,
+                    changed: 0,
+                    pending: Vec::new(),
+                    pending_vertices: vertices.to_vec(),
+                    error: Some(AllocError::Oom(e)),
+                })
+            }
+        };
         self.dev.arena().store(queue, 0);
 
         let undirected = self.config.direction == Direction::Undirected;
@@ -136,13 +227,19 @@ impl DynGraph {
                 }
                 // Lines 18–20: free dynamically allocated slabs (base
                 // slabs are statically allocated and not reclaimed).
-                desc.free_dynamic_slabs(warp, &self.alloc);
+                desc.free_dynamic_slabs(warp, &self.alloc)
+                    .expect("victim's collision slabs must be freeable");
                 // Line 22: zero the victim's edge count.
                 warp.write_word(self.dict.count_addr(victim), 0);
                 // Recycle the id (faimGraph's strategy, §VI-A3).
                 self.free_ids.lock().push(victim);
             }
         });
+        Ok(BatchOutcome::complete(
+            BatchOp::DeleteVertices,
+            vertices.len(),
+            0,
+        ))
     }
 
     /// Eager cleanup after *directed* vertex deletion: scan every vertex's
@@ -151,19 +248,46 @@ impl DynGraph {
     /// the hash tables"). The deleted set itself is stored in a device-side
     /// slab-hash set so each membership test is an O(1) probe.
     pub fn purge_deleted(&self, deleted: &[u32]) {
+        self.try_purge_deleted(deleted)
+            .unwrap_or_else(|e| panic!("purge_deleted: {e}"));
+    }
+
+    /// Fallible [`Self::purge_deleted`]. Building the device-side scratch
+    /// set of deleted ids can exhaust the slab pool; in that case the
+    /// scratch slabs are released, nothing is purged, and the whole call
+    /// can simply be repeated (purging is idempotent).
+    pub fn try_purge_deleted(&self, deleted: &[u32]) -> Result<(), GraphError> {
         if deleted.is_empty() {
-            return;
+            return Ok(());
         }
         let dead_set = TableDesc::create(
             &self.dev,
             TableKind::Set,
             slab_hash::buckets_for(deleted.len(), self.config.load_factor, TableKind::Set),
         );
+        let release_dead_set = || {
+            self.dev.launch_warps("purge_deleted", 1, |warp| {
+                dead_set
+                    .free_dynamic_slabs(warp, &self.alloc)
+                    .expect("scratch-set slabs must be freeable");
+            });
+        };
+        let first_err = parking_lot::Mutex::new(None);
         self.dev.launch_warps("purge_deleted", 1, |warp| {
             for &v in deleted {
-                dead_set.insert_unique(warp, &self.alloc, v);
+                if let Err(e) = dead_set.insert_unique(warp, &self.alloc, v) {
+                    let mut slot = first_err.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
             }
         });
+        if let Some(e) = first_err.into_inner() {
+            release_dead_set();
+            return Err(GraphError::Alloc(e));
+        }
 
         let cap = self.dict.capacity();
         let n_warps = (cap as usize).min(128);
@@ -198,6 +322,10 @@ impl DynGraph {
                     warp.atomic_sub(self.dict.count_addr(u), removed);
                 }
             });
+        // The scratch set's dynamic slabs go back to the pool so the
+        // validate() slab audit never mistakes them for a leak.
+        release_dead_set();
+        Ok(())
     }
 }
 
@@ -293,7 +421,7 @@ mod tests {
         let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(4), 4, 1);
         g.insert_edges(&[Edge::new(0, 1)]);
         let edges: Vec<Edge> = (0..50).map(|i| Edge::weighted(10, i % 8, i)).collect();
-        let added = g.insert_vertices(&[10], &edges);
+        let added = g.insert_vertices(&[10], &edges).unwrap();
         assert_eq!(added, 8, "50 edges to 8 unique destinations");
         assert_eq!(g.degree(10), 8);
         assert!(g.vertex_capacity() >= 11, "dictionary grew");
@@ -304,11 +432,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already exists")]
-    fn insert_existing_vertex_panics() {
-        let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(4), 4, 1);
-        g.insert_vertices(&[2], &[]);
-        g.insert_vertices(&[2], &[]);
+    fn insert_existing_vertex_returns_typed_error() {
+        use crate::batch::GraphError;
+        let g = DynGraph::new(GraphConfig::directed_map(4));
+        g.insert_vertices(&[2], &[]).unwrap();
+        assert_eq!(
+            g.insert_vertices(&[2], &[]),
+            Err(GraphError::DuplicateVertex { id: 2 })
+        );
+        // Duplicates within one batch are rejected before any mutation.
+        assert_eq!(
+            g.insert_vertices(&[5, 5], &[]),
+            Err(GraphError::DuplicateVertex { id: 5 })
+        );
+        assert!(g.dict().desc_host(g.device(), 5).is_none(), "untouched");
+    }
+
+    #[test]
+    fn invalid_edge_endpoint_reports_the_edge() {
+        use crate::batch::GraphError;
+        let g = DynGraph::new(GraphConfig::directed_map(4));
+        let bad = Edge::new(0, u32::MAX - 1);
+        assert_eq!(
+            g.try_insert_edges(&[Edge::new(0, 1), bad]),
+            Err(GraphError::InvalidVertexId {
+                id: u32::MAX - 1,
+                edge: Some(bad),
+            })
+        );
+        assert_eq!(g.num_edges(), 0, "validation precedes mutation");
     }
 
     #[test]

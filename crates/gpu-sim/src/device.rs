@@ -14,6 +14,7 @@
 //! [`crate::trace`] for the attribution model and reporting.
 
 use crate::counters::PerfCounters;
+use crate::fault::{FaultInjector, FaultPlan, OomError};
 use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
 use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
 use crate::trace::{Charge, KernelRegistry, KernelSpec, LaunchShape, TraceSnapshot, HOST_KERNEL};
@@ -27,6 +28,52 @@ pub enum ExecPolicy {
     /// Run warps on `n` host threads. Non-deterministic interleaving;
     /// used to validate phase-concurrency.
     Threaded(usize),
+}
+
+/// Construction-time device parameters: committed memory, an optional
+/// allocation budget, and the execution policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Words of global memory to pre-commit.
+    pub initial_words: usize,
+    /// Total allocation budget in words; `None` means unbounded (the
+    /// pre-existing behaviour). Models a card's fixed memory: allocations
+    /// past the budget fail with [`OomError::Capacity`].
+    pub capacity_words: Option<u64>,
+    /// How launched kernels are executed.
+    pub policy: ExecPolicy,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            initial_words: 1 << 20,
+            capacity_words: None,
+            policy: ExecPolicy::Sequential,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Config with `initial_words` committed, unbounded, sequential.
+    pub fn new(initial_words: usize) -> Self {
+        DeviceConfig {
+            initial_words,
+            ..Default::default()
+        }
+    }
+
+    /// Set the allocation budget in words.
+    pub fn with_capacity_words(mut self, capacity_words: u64) -> Self {
+        self.capacity_words = Some(capacity_words);
+        self
+    }
+
+    /// Set the execution policy.
+    pub fn with_exec_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 /// A simulated GPU: global-memory arena, performance counters (global and
@@ -44,6 +91,9 @@ pub struct Device {
     /// pops happen only on the host thread (launches are serial); worker
     /// threads never mutate it.
     scope: parking_lot::Mutex<Vec<&'static str>>,
+    /// Deterministic fault-injection state, consulted by fallible
+    /// allocation paths via [`Device::fault_check`].
+    faults: FaultInjector,
 }
 
 impl Device {
@@ -55,12 +105,21 @@ impl Device {
 
     /// Create a device with an explicit execution policy.
     pub fn with_policy(initial_words: usize, policy: ExecPolicy) -> Self {
+        Self::with_config(DeviceConfig::new(initial_words).with_exec_policy(policy))
+    }
+
+    /// Create a device from a full [`DeviceConfig`].
+    pub fn with_config(config: DeviceConfig) -> Self {
         Device {
-            arena: DeviceArena::new(initial_words),
+            arena: DeviceArena::with_capacity(
+                config.initial_words,
+                config.capacity_words.unwrap_or(u64::MAX),
+            ),
             counters: PerfCounters::new(),
-            policy,
+            policy: config.policy,
             registry: KernelRegistry::new(),
             scope: parking_lot::Mutex::new(Vec::new()),
+            faults: FaultInjector::default(),
         }
     }
 
@@ -256,11 +315,70 @@ impl Device {
     /// Allocate `n` words (aligned to `align`) from the arena, charging
     /// the allocation counter — to the active scope/launch if any, else to
     /// the reserved [`HOST_KERNEL`] bucket.
+    ///
+    /// Infallible: panics if the capacity budget or address space is
+    /// exhausted. Host-side setup uses this; recoverable paths use
+    /// [`Self::try_alloc_words`]. Never consults the fault plan.
     pub fn alloc_words(&self, n: usize, align: usize) -> Addr {
+        self.try_alloc_words(n, align)
+            .unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+    }
+
+    /// Fallible arena allocation: returns a typed [`OomError`] when the
+    /// capacity budget (or address space) is exhausted. Charges the
+    /// allocation counter only on success; does *not* consult the fault
+    /// plan (injection targets slab acquisition — see
+    /// [`Self::fault_check`]).
+    pub fn try_alloc_words(&self, n: usize, align: usize) -> Result<Addr, OomError> {
+        let addr = self.arena.try_alloc_words(n, align)?;
         let (name, _) = self.resolve(HOST_KERNEL);
         self.counters.add_words_allocated(n as u64);
         self.registry.counters(name).add_words_allocated(n as u64);
-        self.arena.alloc_words(n, align)
+        Ok(addr)
+    }
+
+    /// The allocation budget in words (`u64::MAX` when unbounded).
+    pub fn capacity_words(&self) -> u64 {
+        self.arena.capacity_words()
+    }
+
+    /// Change the allocation budget at runtime (e.g. to model growing the
+    /// pool after a recoverable OOM).
+    pub fn set_capacity_words(&self, capacity_words: u64) {
+        self.arena.set_capacity_words(capacity_words);
+    }
+
+    /// Install a deterministic [`FaultPlan`]; resets the plan's allocation
+    /// index so schedules are reproducible from this point.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        self.faults.clear_plan();
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.plan()
+    }
+
+    /// Total allocation failures injected by fault plans on this device.
+    pub fn injected_faults(&self) -> u64 {
+        self.faults.injected()
+    }
+
+    /// Consult the installed fault plan at a fallible allocation site:
+    /// consumes one allocation index and returns the injected failure if
+    /// the plan schedules one. Uncharged (bookkeeping, not simulated
+    /// work), so counter attribution is identical with and without a plan.
+    pub fn fault_check(&self) -> Result<(), OomError> {
+        if self.faults.plan().is_none() {
+            return Ok(());
+        }
+        let kernel = self.scope.lock().first().copied();
+        self.faults.check(kernel)
     }
 }
 
@@ -713,6 +831,53 @@ mod tests {
         assert_eq!(d.kernels[0].name, "rehash_like");
         assert_eq!(d.kernels[0].counters.transactions, 2);
         assert_eq!(d.kernel_sum(), d.global);
+    }
+
+    #[test]
+    fn config_capacity_makes_device_alloc_fallible() {
+        let dev = Device::with_config(DeviceConfig::new(64).with_capacity_words(100));
+        assert_eq!(dev.capacity_words(), 100);
+        assert!(dev.try_alloc_words(64, 1).is_ok());
+        let before = dev.counters().snapshot().words_allocated;
+        let err = dev.try_alloc_words(64, 1).unwrap_err();
+        assert!(matches!(err, OomError::Capacity { .. }));
+        // Failed allocations charge nothing.
+        assert_eq!(dev.counters().snapshot().words_allocated, before);
+        dev.set_capacity_words(u64::MAX);
+        assert!(dev.try_alloc_words(64, 1).is_ok());
+    }
+
+    #[test]
+    fn fault_check_reports_enclosing_kernel() {
+        let dev = Device::new(64);
+        dev.set_fault_plan(FaultPlan::fail_in_kernel("victim"));
+        assert!(dev.fault_check().is_ok(), "outside any kernel");
+        let seen = parking_lot::Mutex::new(None);
+        dev.launch_warps("victim", 1, |_warp| {
+            *seen.lock() = Some(dev.fault_check());
+        });
+        assert_eq!(
+            seen.into_inner(),
+            Some(Err(OomError::Injected {
+                alloc_index: 2,
+                kernel: Some("victim")
+            }))
+        );
+        dev.launch_warps("bystander", 1, |_warp| {
+            assert!(dev.fault_check().is_ok());
+        });
+        dev.clear_fault_plan();
+        assert_eq!(dev.injected_faults(), 1);
+        assert!(dev.fault_plan().is_none());
+    }
+
+    #[test]
+    fn fault_plan_fails_nth_fallible_allocation() {
+        let dev = Device::new(1024);
+        dev.set_fault_plan(FaultPlan::fail_nth(2));
+        assert!(dev.fault_check().is_ok());
+        assert!(dev.fault_check().is_err());
+        assert!(dev.fault_check().is_ok());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Allocation failure: typed out-of-memory errors and deterministic
+//! fault injection.
+//!
+//! Real deployments of the paper's system run against a *fixed* device
+//! memory budget — SlabAlloc carves collision slabs out of a statically
+//! sized super-block pool — so allocation failure is a normal, recoverable
+//! event, not an abort. [`OomError`] is the typed form of that event, and
+//! [`FaultPlan`] lets tests inject it at exact, reproducible points: the
+//! Nth allocation, a seeded coin flip per allocation, or every allocation
+//! inside a named kernel.
+//!
+//! The plan is consulted by *fallible* allocation sites only (the slab
+//! pool's acquisition path); infallible host-setup allocations never
+//! consume a fault index, so a plan's schedule is stable regardless of how
+//! much staging bookkeeping surrounds the structure under test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A device allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OomError {
+    /// The configured capacity budget would be exceeded.
+    Capacity {
+        /// Words requested by the failing allocation.
+        requested: u64,
+        /// The budget in effect, in words.
+        capacity: u64,
+        /// Words already allocated when the request was made.
+        allocated: u64,
+    },
+    /// The arena's fixed address space (not the budget) is exhausted.
+    AddressSpace {
+        /// Words requested by the failing allocation.
+        requested: u64,
+    },
+    /// A [`FaultPlan`] injected this failure.
+    Injected {
+        /// 1-based index of the fallible allocation that was failed.
+        alloc_index: u64,
+        /// The kernel the allocation was issued under, if any.
+        kernel: Option<&'static str>,
+    },
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            OomError::Capacity {
+                requested,
+                capacity,
+                allocated,
+            } => write!(
+                f,
+                "device memory budget exhausted: requested {requested} words \
+                 with {allocated}/{capacity} already allocated"
+            ),
+            OomError::AddressSpace { requested } => write!(
+                f,
+                "device address space exhausted: requested {requested} words"
+            ),
+            OomError::Injected {
+                alloc_index,
+                kernel,
+            } => match kernel {
+                Some(k) => write!(
+                    f,
+                    "injected OOM at allocation #{alloc_index} in kernel `{k}`"
+                ),
+                None => write!(f, "injected OOM at allocation #{alloc_index}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// A deterministic schedule of injected allocation failures.
+///
+/// Installed on a device with `Device::set_fault_plan`; every fallible
+/// allocation consumes one 1-based index and fails iff the plan says so.
+/// Installing a plan resets the index, so schedules are reproducible
+/// relative to the moment of installation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlan {
+    /// Fail exactly the `n`th fallible allocation (1-based).
+    Nth(u64),
+    /// Fail every `n`th fallible allocation (the `n`th, `2n`th, …).
+    EveryNth(u64),
+    /// Fail each fallible allocation independently with probability `p`,
+    /// derived deterministically from `seed` and the allocation index.
+    Probability { p: f64, seed: u64 },
+    /// Fail every fallible allocation issued while the named kernel is the
+    /// outermost active scope.
+    InKernel(&'static str),
+}
+
+impl FaultPlan {
+    /// Fail exactly the `n`th fallible allocation (1-based).
+    pub fn fail_nth(n: u64) -> Self {
+        FaultPlan::Nth(n)
+    }
+
+    /// Fail every `n`th fallible allocation.
+    pub fn fail_every_nth(n: u64) -> Self {
+        assert!(n > 0, "fault period must be positive");
+        FaultPlan::EveryNth(n)
+    }
+
+    /// Fail each fallible allocation with probability `p` under `seed`.
+    pub fn fail_with_probability(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        FaultPlan::Probability { p, seed }
+    }
+
+    /// Fail every fallible allocation inside the named kernel.
+    pub fn fail_in_kernel(name: &'static str) -> Self {
+        FaultPlan::InKernel(name)
+    }
+
+    /// Whether the allocation with 1-based `index` under `kernel` fails.
+    pub fn should_fail(&self, index: u64, kernel: Option<&'static str>) -> bool {
+        match *self {
+            FaultPlan::Nth(n) => index == n,
+            FaultPlan::EveryNth(n) => n > 0 && index.is_multiple_of(n),
+            FaultPlan::Probability { p, seed } => {
+                // splitmix64 over (seed, index): one well-mixed u64 per
+                // allocation, mapped to [0, 1).
+                let x = splitmix64(seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+            }
+            FaultPlan::InKernel(name) => kernel == Some(name),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-device fault-injection state: the installed plan plus the fallible
+/// allocation counter it is evaluated against.
+#[derive(Default)]
+pub(crate) struct FaultInjector {
+    plan: parking_lot::Mutex<Option<FaultPlan>>,
+    next_index: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Install `plan` and reset the allocation index.
+    pub(crate) fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = Some(plan);
+        self.next_index.store(0, Ordering::Relaxed);
+    }
+
+    /// Remove any installed plan (the index is left untouched).
+    pub(crate) fn clear_plan(&self) {
+        *self.plan.lock() = None;
+    }
+
+    /// The currently installed plan, if any.
+    pub(crate) fn plan(&self) -> Option<FaultPlan> {
+        *self.plan.lock()
+    }
+
+    /// Total failures injected since construction.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consume one fallible-allocation index and report whether the plan
+    /// fails it. No-op (and no index consumed) when no plan is installed.
+    pub(crate) fn check(&self, kernel: Option<&'static str>) -> Result<(), OomError> {
+        let Some(plan) = self.plan() else {
+            return Ok(());
+        };
+        let index = self.next_index.fetch_add(1, Ordering::Relaxed) + 1;
+        if plan.should_fail(index, kernel) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            Err(OomError::Injected {
+                alloc_index: index,
+                kernel,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_fails_exactly_once() {
+        let plan = FaultPlan::fail_nth(3);
+        let fails: Vec<u64> = (1..=10).filter(|&i| plan.should_fail(i, None)).collect();
+        assert_eq!(fails, vec![3]);
+    }
+
+    #[test]
+    fn every_nth_fails_periodically() {
+        let plan = FaultPlan::fail_every_nth(4);
+        let fails: Vec<u64> = (1..=12).filter(|&i| plan.should_fail(i, None)).collect();
+        assert_eq!(fails, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::fail_with_probability(0.25, 42);
+        let a: Vec<bool> = (1..=1000).map(|i| plan.should_fail(i, None)).collect();
+        let b: Vec<bool> = (1..=1000).map(|i| plan.should_fail(i, None)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((150..350).contains(&hits), "p=0.25 hit {hits}/1000 times");
+        let other = FaultPlan::fail_with_probability(0.25, 43);
+        let c: Vec<bool> = (1..=1000).map(|i| other.should_fail(i, None)).collect();
+        assert_ne!(a, c, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn in_kernel_matches_scope_name_only() {
+        let plan = FaultPlan::fail_in_kernel("edge_insert");
+        assert!(plan.should_fail(1, Some("edge_insert")));
+        assert!(!plan.should_fail(1, Some("edge_delete")));
+        assert!(!plan.should_fail(1, None));
+    }
+
+    #[test]
+    fn injector_counts_and_resets_on_install() {
+        let inj = FaultInjector::default();
+        assert!(inj.check(None).is_ok(), "no plan, no faults");
+        inj.set_plan(FaultPlan::fail_nth(2));
+        assert!(inj.check(None).is_ok());
+        assert_eq!(
+            inj.check(None),
+            Err(OomError::Injected {
+                alloc_index: 2,
+                kernel: None
+            })
+        );
+        assert!(inj.check(None).is_ok());
+        assert_eq!(inj.injected(), 1);
+        // Re-installing resets the index: the 2nd allocation fails again.
+        inj.set_plan(FaultPlan::fail_nth(2));
+        assert!(inj.check(None).is_ok());
+        assert!(inj.check(None).is_err());
+        inj.clear_plan();
+        assert!(inj.check(None).is_ok());
+    }
+}

@@ -39,6 +39,7 @@
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod json;
 pub mod lanes;
 pub mod memory;
@@ -46,7 +47,8 @@ pub mod trace;
 
 pub use cost::{CostModel, TRANSACTION_BYTES};
 pub use counters::{CounterSnapshot, PerfCounters};
-pub use device::{Device, ExecPolicy, Warp};
+pub use device::{Device, DeviceConfig, ExecPolicy, Warp};
+pub use fault::{FaultPlan, OomError};
 pub use json::Json;
 pub use lanes::{
     ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE,

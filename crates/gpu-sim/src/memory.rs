@@ -10,6 +10,7 @@
 //! new segments with a CAS. Because slabs are 32-word aligned and segments
 //! are a multiple of 32 words, a slab never straddles two segments.
 
+use crate::fault::OomError;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 /// log2 of the segment size in words (2^20 words = 4 MiB per segment).
@@ -35,13 +36,25 @@ pub struct DeviceArena {
     cursor: AtomicU64,
     /// Number of words for which segments have been published.
     committed_words: AtomicU64,
+    /// Allocation budget in words; `u64::MAX` means unbounded. The budget
+    /// models the fixed memory of a physical card: it caps the *cursor*,
+    /// not segment commitment, and can be raised at runtime to model a
+    /// re-provisioned pool.
+    capacity_words: AtomicU64,
     /// Lock serialising segment publication (growth only, never reads).
     grow_lock: parking_lot::Mutex<()>,
 }
 
 impl DeviceArena {
-    /// Create an arena and pre-commit `initial_words` of backing store.
+    /// Create an unbounded arena and pre-commit `initial_words` of backing
+    /// store.
     pub fn new(initial_words: usize) -> Self {
+        Self::with_capacity(initial_words, u64::MAX)
+    }
+
+    /// Create an arena whose allocations may not exceed `capacity_words`
+    /// in total (`u64::MAX` for unbounded).
+    pub fn with_capacity(initial_words: usize, capacity_words: u64) -> Self {
         let arena = DeviceArena {
             segments: (0..MAX_SEGMENTS)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
@@ -49,10 +62,23 @@ impl DeviceArena {
                 .into_boxed_slice(),
             cursor: AtomicU64::new(0),
             committed_words: AtomicU64::new(0),
+            capacity_words: AtomicU64::new(capacity_words),
             grow_lock: parking_lot::Mutex::new(()),
         };
         arena.ensure_committed(initial_words as u64);
         arena
+    }
+
+    /// The allocation budget in words (`u64::MAX` when unbounded).
+    pub fn capacity_words(&self) -> u64 {
+        self.capacity_words.load(Ordering::Relaxed)
+    }
+
+    /// Change the allocation budget. Raising it un-blocks future
+    /// allocations; lowering it below the current cursor only affects
+    /// future allocations (already-handed-out words stay valid).
+    pub fn set_capacity_words(&self, capacity_words: u64) {
+        self.capacity_words.store(capacity_words, Ordering::Relaxed);
     }
 
     /// Words handed out so far by [`Self::alloc_words`].
@@ -92,7 +118,18 @@ impl DeviceArena {
     /// Bump-allocate `n` words aligned to `align` words; returns the base
     /// address. Used for bulk base-slab regions and fixed tables; the slab
     /// allocator builds its pools on top of this.
+    ///
+    /// Panics if the budget or address space is exhausted; recoverable
+    /// paths use [`Self::try_alloc_words`].
     pub fn alloc_words(&self, n: usize, align: usize) -> Addr {
+        self.try_alloc_words(n, align)
+            .unwrap_or_else(|e| panic!("DeviceArena allocation failed: {e}"))
+    }
+
+    /// Fallible bump allocation: returns a typed [`OomError`] when the
+    /// request would exceed the capacity budget or the address space,
+    /// leaving the cursor untouched.
+    pub fn try_alloc_words(&self, n: usize, align: usize) -> Result<Addr, OomError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let align = align as u64;
         let n = n as u64;
@@ -100,17 +137,24 @@ impl DeviceArena {
             let cur = self.cursor.load(Ordering::Relaxed);
             let base = (cur + align - 1) & !(align - 1);
             let end = base + n;
-            assert!(
-                end <= (MAX_SEGMENTS * SEGMENT_WORDS) as u64,
-                "DeviceArena address space exhausted"
-            );
+            if end > (MAX_SEGMENTS * SEGMENT_WORDS) as u64 {
+                return Err(OomError::AddressSpace { requested: n });
+            }
+            let capacity = self.capacity_words.load(Ordering::Relaxed);
+            if end > capacity {
+                return Err(OomError::Capacity {
+                    requested: n,
+                    capacity,
+                    allocated: cur,
+                });
+            }
             if self
                 .cursor
                 .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
                 self.ensure_committed(end);
-                return base as Addr;
+                return Ok(base as Addr);
             }
         }
     }
@@ -322,6 +366,43 @@ mod tests {
             }
         });
         assert_eq!(a.load(p), 40_000);
+    }
+
+    #[test]
+    fn capacity_bounds_allocation_and_can_be_raised() {
+        let a = DeviceArena::with_capacity(64, 100);
+        let p = a.try_alloc_words(64, 32).unwrap();
+        assert_eq!(p % 32, 0);
+        let err = a.try_alloc_words(64, 32).unwrap_err();
+        assert_eq!(
+            err,
+            OomError::Capacity {
+                requested: 64,
+                capacity: 100,
+                allocated: 64
+            }
+        );
+        // A smaller request that fits still succeeds...
+        assert!(a.try_alloc_words(30, 1).is_ok());
+        // ...and raising the budget unblocks the big one.
+        a.set_capacity_words(200);
+        assert!(a.try_alloc_words(64, 32).is_ok());
+        assert!(a.allocated_words() <= 200);
+    }
+
+    #[test]
+    fn failed_alloc_leaves_cursor_untouched() {
+        let a = DeviceArena::with_capacity(64, 50);
+        let before = a.allocated_words();
+        assert!(a.try_alloc_words(64, 1).is_err());
+        assert_eq!(a.allocated_words(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "device memory budget exhausted")]
+    fn infallible_alloc_panics_on_budget() {
+        let a = DeviceArena::with_capacity(64, 16);
+        a.alloc_words(64, 1);
     }
 
     #[test]

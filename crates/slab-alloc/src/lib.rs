@@ -18,12 +18,65 @@
 //! Fresh slabs are initialised to the `EMPTY` sentinel pattern expected by
 //! the slab hash.
 
-use gpu_sim::{Addr, Device, Warp, SLAB_WORDS};
+use gpu_sim::{Addr, Device, OomError, Warp, SLAB_WORDS};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel filled into newly allocated slabs (matches slab-hash `EMPTY`).
 pub const SLAB_INIT_WORD: u32 = u32::MAX;
+
+/// A typed slab-allocator failure.
+///
+/// Out-of-memory is recoverable (free slabs or raise the device budget and
+/// retry); the misuse variants report what the old code paths panicked on,
+/// so callers tearing down shared structures can surface corruption as an
+/// error instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The device could not provide backing memory for pool growth, or a
+    /// fault plan injected a failure.
+    Oom(OomError),
+    /// The freed address does not belong to the pool (e.g. a statically
+    /// allocated base slab).
+    NotPoolAddress {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// The freed slab was not currently allocated.
+    DoubleFree {
+        /// The offending address.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AllocError::Oom(e) => write!(f, "slab pool out of memory: {e}"),
+            AllocError::NotPoolAddress { addr } => {
+                write!(f, "free of non-pool slab address {addr:#x}")
+            }
+            AllocError::DoubleFree { addr } => {
+                write!(f, "double free of slab address {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Oom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OomError> for AllocError {
+    fn from(e: OomError) -> Self {
+        AllocError::Oom(e)
+    }
+}
 
 /// Memory blocks per super-block.
 const BLOCKS_PER_SUPER: usize = 32;
@@ -63,18 +116,27 @@ impl SlabAllocator {
         };
         let supers_needed = initial_slabs.div_ceil(SLABS_PER_SUPER).max(1);
         for _ in 0..supers_needed {
-            alloc.grow(dev);
+            alloc
+                .try_grow(dev)
+                .unwrap_or_else(|e| panic!("initial slab pool allocation failed: {e}"));
         }
         alloc
     }
 
-    /// Add one super-block to the pool.
-    fn grow(&self, dev: &Device) {
+    /// Add one super-block to the pool. The bitmaps and slab storage come
+    /// from a *single* arena allocation so a capacity failure can never
+    /// strand a half-built super-block (the bump arena cannot free).
+    fn try_grow(&self, dev: &Device) -> Result<(), OomError> {
         let mut supers = self.supers.write();
-        let bitmaps = dev.alloc_words(BLOCKS_PER_SUPER, SLAB_WORDS);
-        let slabs = dev.alloc_words(SLABS_PER_SUPER * SLAB_WORDS, SLAB_WORDS);
+        // Layout: 32 bitmap words, then the 1024 slabs. BLOCKS_PER_SUPER is
+        // a multiple of SLAB_WORDS' alignment, so both regions stay
+        // slab-aligned.
+        let bitmaps =
+            dev.try_alloc_words(BLOCKS_PER_SUPER + SLABS_PER_SUPER * SLAB_WORDS, SLAB_WORDS)?;
+        let slabs = bitmaps + BLOCKS_PER_SUPER as u32;
         // Bitmaps start all-free (zero); arena memory is zero-initialised.
         supers.push(SuperBlock { bitmaps, slabs });
+        Ok(())
     }
 
     /// Number of slabs currently live (allocated − freed).
@@ -97,12 +159,27 @@ impl SlabAllocator {
         (self.supers.read().len() * (SLABS_PER_SUPER * SLAB_WORDS + BLOCKS_PER_SUPER)) as u64
     }
 
+    /// Warp-cooperative allocation of one slab; panics on out-of-memory.
+    ///
+    /// Thin wrapper over [`Self::try_allocate`] for paths where exhaustion
+    /// is a programming error (tests, setup).
+    pub fn allocate(&self, warp: &Warp) -> Addr {
+        self.try_allocate(warp)
+            .unwrap_or_else(|e| panic!("slab allocation failed: {e}"))
+    }
+
     /// Warp-cooperative allocation of one slab.
     ///
     /// The returned address is slab-aligned and its 32 words are initialised
     /// to [`SLAB_INIT_WORD`]. Charges: one transaction per bitmap probe, one
     /// atomic per claim attempt, one transaction for the init write.
-    pub fn allocate(&self, warp: &Warp) -> Addr {
+    ///
+    /// This is the fallible allocation site of the whole stack: it consults
+    /// the device's fault plan (once per call) and propagates capacity
+    /// failures from pool growth. On `Err` nothing was claimed — the pool
+    /// and every table built on it are untouched.
+    pub fn try_allocate(&self, warp: &Warp) -> Result<Addr, AllocError> {
+        warp.device().fault_check()?;
         loop {
             let n_supers = self.supers.read().len();
             // Probe sequence seeded by warp id and a per-call nonce derived
@@ -132,34 +209,35 @@ impl SlabAllocator {
                         let addr = sb.slabs + (slab_idx * SLAB_WORDS) as u32;
                         let init = gpu_sim::Lanes::splat(SLAB_INIT_WORD);
                         warp.write_slab(addr, &init);
-                        return addr;
+                        return Ok(addr);
                     }
                     // Raced: another warp took the bit; retry on updated map.
                     bitmap = prev | (1 << slot);
                 }
             }
             // Every probed block was full: grow the pool and retry.
-            self.grow(warp.device());
+            self.try_grow(warp.device())?;
         }
     }
 
     /// Warp-cooperative free of a slab previously returned by
     /// [`Self::allocate`]. Clears the occupancy bit (one atomic).
     ///
-    /// # Panics
-    /// Panics if `addr` does not belong to the pool (e.g. a statically
-    /// allocated base slab) or is not currently allocated — both indicate
-    /// data-structure corruption, matching a debug assertion in SlabAlloc.
-    pub fn free(&self, warp: &Warp, addr: Addr) {
-        let (bitmap_addr, slot) = self
-            .locate(addr)
-            .unwrap_or_else(|| panic!("free of non-pool slab address {addr:#x}"));
+    /// Returns [`AllocError::NotPoolAddress`] if `addr` does not belong to
+    /// the pool (e.g. a statically allocated base slab) and
+    /// [`AllocError::DoubleFree`] if the slab is not currently allocated —
+    /// both indicate data-structure corruption, matching a debug assertion
+    /// in SlabAlloc. Neither touches the free counter.
+    pub fn free(&self, warp: &Warp, addr: Addr) -> Result<(), AllocError> {
+        let Some((bitmap_addr, slot)) = self.locate(addr) else {
+            return Err(AllocError::NotPoolAddress { addr });
+        };
         let prev = warp.atomic_and(bitmap_addr, !(1 << slot));
-        assert!(
-            prev & (1 << slot) != 0,
-            "double free of slab address {addr:#x}"
-        );
+        if prev & (1 << slot) == 0 {
+            return Err(AllocError::DoubleFree { addr });
+        }
         self.freed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Whether `addr` lies inside the dynamic pool (vs. a static base slab).
@@ -244,7 +322,7 @@ mod tests {
             for &a in &first {
                 // Dirty the slab, then free it.
                 dev.arena().store(a, 123);
-                alloc.free(warp, a);
+                alloc.free(warp, a).unwrap();
             }
             assert_eq!(alloc.live_slabs(), 0);
             // Reallocated slabs must be re-initialised.
@@ -270,26 +348,81 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_returns_error() {
         let dev = Device::new(1 << 16);
         let alloc = SlabAllocator::new(&dev, 32);
         dev.launch_warps("alloc_test", 1, |warp| {
             let a = alloc.allocate(warp);
-            alloc.free(warp, a);
-            alloc.free(warp, a);
+            alloc.free(warp, a).unwrap();
+            assert_eq!(alloc.free(warp, a), Err(AllocError::DoubleFree { addr: a }));
         });
+        // The failed free did not disturb the live-slab accounting.
+        assert_eq!(alloc.live_slabs(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "non-pool slab")]
-    fn freeing_foreign_address_panics() {
+    fn freeing_foreign_address_returns_error() {
         let dev = Device::new(1 << 16);
         let alloc = SlabAllocator::new(&dev, 32);
         let foreign = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
         dev.launch_warps("alloc_test", 1, |warp| {
-            alloc.free(warp, foreign);
+            assert_eq!(
+                alloc.free(warp, foreign),
+                Err(AllocError::NotPoolAddress { addr: foreign })
+            );
         });
+        // The pool is still usable after the misuse report.
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a).unwrap();
+        });
+    }
+
+    #[test]
+    fn bounded_device_fails_growth_with_typed_error() {
+        use gpu_sim::DeviceConfig;
+        // Budget fits the initial super-block (32 + 1024*32 = 32800 words)
+        // plus a little, but not a second one.
+        let dev = Device::with_config(DeviceConfig::new(1 << 16).with_capacity_words(40_000));
+        let alloc = SlabAllocator::new(&dev, 1);
+        let capacity = alloc.capacity_slabs();
+        let failed = parking_lot::Mutex::new(None);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            for _ in 0..capacity {
+                alloc.allocate(warp);
+            }
+            *failed.lock() = Some(alloc.try_allocate(warp));
+        });
+        let failed = failed.into_inner().unwrap();
+        assert!(
+            matches!(failed, Err(AllocError::Oom(OomError::Capacity { .. }))),
+            "expected capacity OOM, got {failed:?}"
+        );
+        assert_eq!(alloc.live_slabs() as usize, capacity, "no slab leaked");
+        // Raising the budget makes the same allocation succeed.
+        dev.set_capacity_words(80_000);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            alloc.try_allocate(warp).unwrap();
+        });
+    }
+
+    #[test]
+    fn fault_plan_injects_failure_without_corrupting_pool() {
+        use gpu_sim::FaultPlan;
+        let dev = Device::new(1 << 16);
+        let alloc = SlabAllocator::new(&dev, 32);
+        dev.set_fault_plan(FaultPlan::fail_nth(2));
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let a = alloc.try_allocate(warp).unwrap();
+            let err = alloc.try_allocate(warp).unwrap_err();
+            assert!(matches!(err, AllocError::Oom(OomError::Injected { .. })));
+            // The pool still works after the injected failure.
+            let b = alloc.try_allocate(warp).unwrap();
+            assert_ne!(a, b);
+        });
+        dev.clear_fault_plan();
+        assert_eq!(alloc.live_slabs(), 2);
+        assert_eq!(dev.injected_faults(), 1);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 use gpu_sim::{Addr, Device, Lanes, Warp, NULL_ADDR, SLAB_WORDS, WARP_SIZE};
 use slab_alloc::SlabAllocator;
 
+pub use slab_alloc::AllocError;
+
 /// Slot never written. Keys must be `< TOMBSTONE_KEY`.
 pub const EMPTY_KEY: u32 = u32::MAX;
 /// Slot whose key was deleted. Ignored by queries, skipped by inserts.
@@ -75,8 +77,11 @@ impl TableKind {
         }
     }
 
+    /// Bitmask of the lanes that hold keys in a slab of this kind (the
+    /// complement holds values / the next pointer). Public so auditors can
+    /// classify every slot as live, tombstone, or empty.
     #[inline]
-    fn key_lanes(self) -> u32 {
+    pub fn key_lanes(self) -> u32 {
         match self {
             TableKind::Map => MAP_KEY_LANES,
             TableKind::Set => SET_KEY_LANES,
@@ -203,11 +208,21 @@ impl TableDesc {
 
     /// Insert-or-replace (the paper's new `replace` operation, §IV-C1).
     ///
-    /// If `key` exists its value is overwritten and `false` is returned;
-    /// otherwise the pair is written into the first empty slot (allocating
-    /// a chained slab if needed) and `true` is returned. The boolean drives
-    /// the caller's exact edge counting.
-    pub fn replace(&self, warp: &Warp, alloc: &SlabAllocator, key: u32, value: u32) -> bool {
+    /// If `key` exists its value is overwritten and `Ok(false)` is
+    /// returned; otherwise the pair is written into the first empty slot
+    /// (allocating a chained slab if needed) and `Ok(true)` is returned.
+    /// The boolean drives the caller's exact edge counting.
+    ///
+    /// Fails only when chain growth cannot acquire a slab. Allocation
+    /// happens strictly *before* any table mutation, so on `Err` the table
+    /// is untouched: still fully queryable, deletable, and retryable.
+    pub fn replace(
+        &self,
+        warp: &Warp,
+        alloc: &SlabAllocator,
+        key: u32,
+        value: u32,
+    ) -> Result<bool, AllocError> {
         assert_eq!(self.kind, TableKind::Map);
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
@@ -220,7 +235,7 @@ impl TableDesc {
             if let Some(lane) = gpu_sim::ffs(found) {
                 // Key exists: replace the value (lane+1 is the value word).
                 warp.atomic_exchange(slab_addr + lane + 1, value);
-                return false;
+                return Ok(false);
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
                 MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
@@ -230,11 +245,11 @@ impl TableDesc {
                 // slab (the winner may have inserted this very key).
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
                     warp.write_word(slab_addr + lane + 1, value);
-                    return true;
+                    return Ok(true);
                 }
                 continue;
             }
-            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words);
+            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words)?;
         }
     }
 
@@ -269,9 +284,17 @@ impl TableDesc {
     // Set operations
     // ---------------------------------------------------------------
 
-    /// Insert `key` if absent (concurrent-set variant). Returns `true` if
-    /// the key was added, `false` if it already existed.
-    pub fn insert_unique(&self, warp: &Warp, alloc: &SlabAllocator, key: u32) -> bool {
+    /// Insert `key` if absent (concurrent-set variant). Returns `Ok(true)`
+    /// if the key was added, `Ok(false)` if it already existed.
+    ///
+    /// Same failure contract as [`Self::replace`]: on `Err` the table is
+    /// untouched.
+    pub fn insert_unique(
+        &self,
+        warp: &Warp,
+        alloc: &SlabAllocator,
+        key: u32,
+    ) -> Result<bool, AllocError> {
         assert_eq!(self.kind, TableKind::Set);
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
@@ -281,18 +304,18 @@ impl TableDesc {
                 SET_KEY_LANES & (1 << i) != 0 && words.get(i) == key
             }));
             if found != 0 {
-                return false;
+                return Ok(false);
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
                 SET_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
             }));
             if let Some(lane) = gpu_sim::ffs(empties) {
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
-                    return true;
+                    return Ok(true);
                 }
                 continue;
             }
-            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words);
+            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words)?;
         }
     }
 
@@ -329,14 +352,15 @@ impl TableDesc {
     /// (no early exit; the full chain is always read) for memory reuse.
     /// Works for both variants; `value` is ignored for sets.
     ///
-    /// Returns `true` iff the key was newly added.
+    /// Returns `Ok(true)` iff the key was newly added. Same failure
+    /// contract as [`Self::replace`]: on `Err` the table is untouched.
     pub fn insert_recycling(
         &self,
         warp: &Warp,
         alloc: &SlabAllocator,
         key: u32,
         value: u32,
-    ) -> bool {
+    ) -> Result<bool, AllocError> {
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let key_lanes = self.kind.key_lanes();
         let is_map = self.kind == TableKind::Map;
@@ -356,7 +380,7 @@ impl TableDesc {
                     if is_map {
                         warp.atomic_exchange(slab_addr + lane + 1, value);
                     }
-                    return false;
+                    return Ok(false);
                 }
                 let tombs = warp.ballot(&Lanes::from_fn(|i| {
                     key_lanes & (1 << i) != 0 && words.get(i) == TOMBSTONE_KEY
@@ -396,13 +420,13 @@ impl TableDesc {
                     if is_map {
                         warp.write_word(addr + 1, value);
                     }
-                    return true;
+                    return Ok(true);
                 }
                 continue 'retry;
             }
             // Chain full with no tombstones: link a fresh slab.
             let words = warp.read_slab(tail_addr);
-            self.advance_or_grow(warp, alloc, tail_addr, &words);
+            self.advance_or_grow(warp, alloc, tail_addr, &words)?;
         }
     }
 
@@ -486,18 +510,23 @@ impl TableDesc {
     /// Free every dynamically allocated (collision) slab back to `alloc`
     /// and cut the chains back to their base slabs. Base slabs are reset to
     /// EMPTY. Used by vertex deletion (Algorithm 2 lines 18–20).
-    pub fn free_dynamic_slabs(&self, warp: &Warp, alloc: &SlabAllocator) {
+    ///
+    /// Fails with the allocator's misuse errors if a chain links a slab
+    /// the pool does not own (corruption); the chains freed before the
+    /// faulty one stay freed.
+    pub fn free_dynamic_slabs(&self, warp: &Warp, alloc: &SlabAllocator) -> Result<(), AllocError> {
         for b in 0..self.num_buckets {
             let base = self.bucket_addr(b);
             let mut addr = warp.read_slab(base).get(NEXT_LANE);
             while addr != NULL_ADDR {
                 let next = warp.read_slab(addr).get(NEXT_LANE);
-                alloc.free(warp, addr);
+                alloc.free(warp, addr)?;
                 addr = next;
             }
             // Reset the base slab to pristine EMPTY (including next ptr).
             warp.write_slab(base, &Lanes::splat(EMPTY_KEY));
         }
+        Ok(())
     }
 
     /// Statistics over the chains (used by the Fig. 2 experiments).
@@ -542,23 +571,29 @@ impl TableDesc {
     /// Advance past a full slab: follow `next`, or allocate and link a new
     /// slab if at the tail. On a lost link CAS the competing slab is freed
     /// and the winner's is followed, as in SlabHash.
+    ///
+    /// This is the *only* allocation point of the insert paths: a failure
+    /// here surfaces before any slot is claimed, which is what keeps a
+    /// table consistent when an insert fails mid-chain.
     fn advance_or_grow(
         &self,
         warp: &Warp,
         alloc: &SlabAllocator,
         slab_addr: Addr,
         words: &Lanes<u32>,
-    ) -> Addr {
+    ) -> Result<Addr, AllocError> {
         let next = words.get(NEXT_LANE);
         if next != NULL_ADDR {
-            return next;
+            return Ok(next);
         }
-        let fresh = alloc.allocate(warp);
+        let fresh = alloc.try_allocate(warp)?;
         match warp.atomic_cas(slab_addr + NEXT_LANE as u32, NULL_ADDR, fresh) {
-            Ok(_) => fresh,
+            Ok(_) => Ok(fresh),
             Err(winner) => {
-                alloc.free(warp, fresh);
-                winner
+                alloc
+                    .free(warp, fresh)
+                    .expect("freshly allocated slab must be freeable");
+                Ok(winner)
             }
         }
     }
@@ -640,8 +675,8 @@ mod tests {
     fn map_replace_and_search() {
         let (dev, alloc, t) = setup(TableKind::Map, 2);
         on_warp(&dev, |warp| {
-            assert!(t.replace(warp, &alloc, 7, 70));
-            assert!(t.replace(warp, &alloc, 8, 80));
+            assert!(t.replace(warp, &alloc, 7, 70).unwrap());
+            assert!(t.replace(warp, &alloc, 8, 80).unwrap());
             assert_eq!(t.search(warp, 7), Some(70));
             assert_eq!(t.search(warp, 8), Some(80));
             assert_eq!(t.search(warp, 9), None);
@@ -652,8 +687,11 @@ mod tests {
     fn replace_overwrites_and_reports_existing() {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
-            assert!(t.replace(warp, &alloc, 42, 1));
-            assert!(!t.replace(warp, &alloc, 42, 2), "second insert replaces");
+            assert!(t.replace(warp, &alloc, 42, 1).unwrap());
+            assert!(
+                !t.replace(warp, &alloc, 42, 2).unwrap(),
+                "second insert replaces"
+            );
             assert_eq!(t.search(warp, 42), Some(2));
             let stats = t.stats(warp);
             assert_eq!(stats.live_keys, 1, "no duplicate keys stored");
@@ -666,7 +704,7 @@ mod tests {
         on_warp(&dev, |warp| {
             // 100 keys in a single bucket => ⌈100/15⌉ = 7 slabs.
             for k in 0..100 {
-                assert!(t.replace(warp, &alloc, k, k * 2));
+                assert!(t.replace(warp, &alloc, k, k * 2).unwrap());
             }
             for k in 0..100 {
                 assert_eq!(t.search(warp, k), Some(k * 2), "key {k}");
@@ -683,8 +721,8 @@ mod tests {
     fn set_insert_unique_and_contains() {
         let (dev, alloc, t) = setup(TableKind::Set, 2);
         on_warp(&dev, |warp| {
-            assert!(t.insert_unique(warp, &alloc, 5));
-            assert!(!t.insert_unique(warp, &alloc, 5));
+            assert!(t.insert_unique(warp, &alloc, 5).unwrap());
+            assert!(!t.insert_unique(warp, &alloc, 5).unwrap());
             assert!(t.contains(warp, 5));
             assert!(!t.contains(warp, 6));
         });
@@ -695,10 +733,10 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Set, 1);
         on_warp(&dev, |warp| {
             for k in 0..30 {
-                assert!(t.insert_unique(warp, &alloc, k));
+                assert!(t.insert_unique(warp, &alloc, k).unwrap());
             }
             assert_eq!(t.stats(warp).slabs, 1, "30 keys fit one set slab");
-            assert!(t.insert_unique(warp, &alloc, 30));
+            assert!(t.insert_unique(warp, &alloc, 30).unwrap());
             assert_eq!(t.stats(warp).slabs, 2, "31st key chains a slab");
         });
     }
@@ -707,8 +745,8 @@ mod tests {
     fn delete_tombstones_and_reports() {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
-            t.replace(warp, &alloc, 1, 10);
-            t.replace(warp, &alloc, 2, 20);
+            t.replace(warp, &alloc, 1, 10).unwrap();
+            t.replace(warp, &alloc, 2, 20).unwrap();
             assert!(t.delete(warp, 1));
             assert!(!t.delete(warp, 1), "second delete is a no-op");
             assert!(!t.delete(warp, 99), "absent key");
@@ -727,12 +765,12 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
             for k in 0..10 {
-                t.replace(warp, &alloc, k, k);
+                t.replace(warp, &alloc, k, k).unwrap();
             }
             for k in 0..5 {
                 t.delete(warp, k);
             }
-            t.replace(warp, &alloc, 100, 100);
+            t.replace(warp, &alloc, 100, 100).unwrap();
             let stats = t.stats(warp);
             assert_eq!(stats.tombstones, 5, "tombstones preserved");
             assert_eq!(stats.live_keys, 6);
@@ -744,9 +782,12 @@ mod tests {
     fn reinserting_deleted_key_appends_fresh_copy() {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
-            t.replace(warp, &alloc, 3, 30);
+            t.replace(warp, &alloc, 3, 30).unwrap();
             t.delete(warp, 3);
-            assert!(t.replace(warp, &alloc, 3, 31), "reinsert counts as new");
+            assert!(
+                t.replace(warp, &alloc, 3, 31).unwrap(),
+                "reinsert counts as new"
+            );
             assert_eq!(t.search(warp, 3), Some(31));
             let stats = t.stats(warp);
             assert_eq!(stats.live_keys, 1);
@@ -760,7 +801,7 @@ mod tests {
         on_warp(&dev, |warp| {
             let mut expect = std::collections::BTreeMap::new();
             for k in 0..200 {
-                t.replace(warp, &alloc, k, 1000 + k);
+                t.replace(warp, &alloc, k, 1000 + k).unwrap();
                 expect.insert(k, 1000 + k);
             }
             for k in (0..200).step_by(3) {
@@ -780,7 +821,7 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Set, 3);
         on_warp(&dev, |warp| {
             for k in (0..500).step_by(2) {
-                t.insert_unique(warp, &alloc, k);
+                t.insert_unique(warp, &alloc, k).unwrap();
             }
             let mut got: Vec<u32> = vec![];
             t.for_each_key(warp, |k| got.push(k));
@@ -795,10 +836,10 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Map, 2);
         on_warp(&dev, |warp| {
             for k in 0..200 {
-                t.replace(warp, &alloc, k, k);
+                t.replace(warp, &alloc, k, k).unwrap();
             }
             assert!(alloc.live_slabs() > 0);
-            t.free_dynamic_slabs(warp, &alloc);
+            t.free_dynamic_slabs(warp, &alloc).unwrap();
             assert_eq!(alloc.live_slabs(), 0, "all collision slabs freed");
             // Base slabs are reset: table reads as empty.
             assert_eq!(t.stats(warp).live_keys, 0);
@@ -817,7 +858,7 @@ mod tests {
         let t = TableDesc::create(&dev, TableKind::Map, buckets);
         on_warp(&dev, |warp| {
             for k in 0..n {
-                t.replace(warp, &alloc, k, k);
+                t.replace(warp, &alloc, k, k).unwrap();
             }
         });
         let before = dev.counters().snapshot();
@@ -839,7 +880,7 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Set, 1);
         on_warp(&dev, |warp| {
             for k in 0..15 {
-                t.insert_unique(warp, &alloc, k);
+                t.insert_unique(warp, &alloc, k).unwrap();
             }
             let s = t.stats(warp);
             assert_eq!(s.live_keys, 15);
@@ -853,15 +894,15 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
             for k in 0..10 {
-                t.replace(warp, &alloc, k, k);
+                t.replace(warp, &alloc, k, k).unwrap();
             }
             for k in 0..5 {
                 t.delete(warp, k);
             }
             // Recycling insert lands in the first tombstone: no growth.
             let slabs_before = t.stats(warp).slabs;
-            assert!(t.insert_recycling(warp, &alloc, 100, 1));
-            assert!(t.insert_recycling(warp, &alloc, 101, 2));
+            assert!(t.insert_recycling(warp, &alloc, 100, 1).unwrap());
+            assert!(t.insert_recycling(warp, &alloc, 101, 2).unwrap());
             let s = t.stats(warp);
             assert_eq!(s.slabs, slabs_before, "no new slabs needed");
             assert_eq!(s.tombstones, 3, "two tombstones consumed");
@@ -874,13 +915,13 @@ mod tests {
     fn insert_recycling_keeps_uniqueness_and_replace_semantics() {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
-            assert!(t.insert_recycling(warp, &alloc, 7, 1));
-            assert!(!t.insert_recycling(warp, &alloc, 7, 2), "replaces");
+            assert!(t.insert_recycling(warp, &alloc, 7, 1).unwrap());
+            assert!(!t.insert_recycling(warp, &alloc, 7, 2).unwrap(), "replaces");
             assert_eq!(t.search(warp, 7), Some(2));
             assert_eq!(t.stats(warp).live_keys, 1);
             // Interleaves correctly with the standard path.
             t.delete(warp, 7);
-            assert!(t.replace(warp, &alloc, 7, 3));
+            assert!(t.replace(warp, &alloc, 7, 3).unwrap());
             assert_eq!(t.stats(warp).live_keys, 1);
         });
     }
@@ -890,14 +931,14 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Set, 1);
         on_warp(&dev, |warp| {
             for k in 0..40 {
-                t.insert_unique(warp, &alloc, k);
+                t.insert_unique(warp, &alloc, k).unwrap();
             }
             for k in 0..20 {
                 t.delete(warp, k);
             }
             let slabs_before = t.stats(warp).slabs;
             for k in 100..115 {
-                assert!(t.insert_recycling(warp, &alloc, k, 0));
+                assert!(t.insert_recycling(warp, &alloc, k, 0).unwrap());
             }
             assert_eq!(t.stats(warp).slabs, slabs_before);
             for k in 100..115 {
@@ -911,7 +952,7 @@ mod tests {
         let (dev, alloc, t) = setup(TableKind::Map, 1);
         on_warp(&dev, |warp| {
             for k in 0..40 {
-                assert!(t.insert_recycling(warp, &alloc, k, k), "key {k}");
+                assert!(t.insert_recycling(warp, &alloc, k, k).unwrap(), "key {k}");
             }
             let s = t.stats(warp);
             assert_eq!(s.live_keys, 40);
@@ -930,7 +971,7 @@ mod tests {
         let t = TableDesc::create(&dev, TableKind::Map, 1);
         dev.launch_warps("hash_test", 1, |warp| {
             for k in 0..12 {
-                t.replace(warp, &alloc, k, 0);
+                t.replace(warp, &alloc, k, 0).unwrap();
             }
             for k in 0..12 {
                 t.delete(warp, k);
@@ -938,7 +979,7 @@ mod tests {
         });
         dev.launch_warps("hash_test", 16, |warp| {
             for k in 100..108 {
-                t.insert_recycling(warp, &alloc, k, warp.warp_id());
+                t.insert_recycling(warp, &alloc, k, warp.warp_id()).unwrap();
             }
         });
         let count = std::sync::atomic::AtomicU32::new(0);
@@ -962,7 +1003,7 @@ mod tests {
         let t = TableDesc::create(&dev, TableKind::Map, 2);
         dev.launch_warps("hash_test", 32, |warp| {
             for k in 0..20 {
-                t.replace(warp, &alloc, k, warp.warp_id());
+                t.replace(warp, &alloc, k, warp.warp_id()).unwrap();
             }
         });
         let counts = parking_lot::Mutex::new(std::collections::HashMap::new());
@@ -986,7 +1027,7 @@ mod tests {
         let t = TableDesc::create(&dev, TableKind::Set, 4);
         dev.launch_warps("hash_test", 1, |warp| {
             for k in 0..64 {
-                t.insert_unique(warp, &alloc, k);
+                t.insert_unique(warp, &alloc, k).unwrap();
             }
         });
         let deleted = std::sync::atomic::AtomicU32::new(0);

@@ -47,7 +47,7 @@ fn map_matches_btreemap() {
             for op in &ops {
                 match *op {
                     MapOp::Replace(k, v) => {
-                        let added = table.replace(warp, &alloc, k, v);
+                        let added = table.replace(warp, &alloc, k, v).unwrap();
                         let was_new = reference.insert(k, v).is_none();
                         assert_eq!(added, was_new, "seed {seed}: replace({k}, {v})");
                     }
@@ -97,7 +97,7 @@ fn set_matches_btreeset() {
             let mut reference = reference.lock();
             for &k in &keys {
                 assert_eq!(
-                    table.insert_unique(warp, &alloc, k),
+                    table.insert_unique(warp, &alloc, k).unwrap(),
                     reference.insert(k),
                     "seed {seed}: insert_unique({k})"
                 );
@@ -140,7 +140,7 @@ fn stats_live_keys_always_match() {
         let stats = parking_lot::Mutex::new(None);
         dev.launch_warps("model_check", 1, |warp| {
             for &k in &keys {
-                table.replace(warp, &alloc, k, k);
+                table.replace(warp, &alloc, k, k).unwrap();
             }
             *stats.lock() = Some(table.stats(warp));
         });

@@ -45,7 +45,8 @@ fn main() {
                 join_edges.push(Edge::weighted(j, peer, tick));
             }
         }
-        g.insert_vertices(&joiners, &join_edges);
+        g.insert_vertices(&joiners, &join_edges)
+            .expect("joiner ids are fresh");
         alive.extend_from_slice(&joiners);
 
         // 2. Some nodes leave: Algorithm 2 removes them from every

@@ -37,11 +37,13 @@ fn main() {
     assert!(!g.edge_exists(0, 1));
     println!("after delete, degree(0) = {}", g.degree(0));
 
-    // Vertex insertion: new vertex 100 arrives with its edges.
+    // Vertex insertion: new vertex 100 arrives with its edges. Duplicate
+    // ids or sentinel-colliding ids come back as a typed error.
     g.insert_vertices(
         &[100],
         &[Edge::weighted(100, 0, 1), Edge::weighted(100, 2, 2)],
-    );
+    )
+    .expect("vertex 100 is new");
     println!("degree(100) = {}", g.degree(100));
 
     // Vertex deletion (Algorithm 2).
@@ -55,4 +57,51 @@ fn main() {
         "device counters: {} transactions, {} atomics, {} kernel launches",
         c.transactions, c.atomics, c.launches
     );
+
+    bounded_memory_demo();
+}
+
+/// Failure model & recovery: run a batch against a deliberately tight
+/// device-memory budget, watch it apply a prefix instead of panicking,
+/// audit the structure, raise the budget, and finish the suffix.
+fn bounded_memory_demo() {
+    println!("\n-- bounded device memory & recovery --");
+    // One super-block of slabs (the batch will need more) and a budget
+    // that admits construction and staging but not the pool's growth.
+    let g = DynGraph::new(
+        GraphConfig::directed_map(4096)
+            .with_device_words(1 << 16)
+            .with_pool_slabs(1024)
+            .with_device_capacity(120_000),
+    );
+    let batch: Vec<Edge> = (0..16u32)
+        .flat_map(|u| (0..1000u32).map(move |i| Edge::weighted(u, 16 + (u * 1000 + i), i)))
+        .collect();
+
+    let mut outcome = g.try_insert_edges(&batch).expect("batch is valid");
+    let mut rounds = 1;
+    while !outcome.is_complete() {
+        println!(
+            "  round {rounds}: applied {}/{} edges, suffix of {} pending ({})",
+            outcome.completed,
+            outcome.attempted,
+            outcome.pending.len(),
+            outcome.error.expect("partial outcomes carry the cause"),
+        );
+        // The structure is still consistent mid-recovery...
+        g.validate()
+            .expect("graph stays consistent after a failed batch");
+        // ...so grow the budget and resume exactly where the batch stopped.
+        let budget = g.device().capacity_words();
+        g.device().set_capacity_words(budget + (1 << 20));
+        outcome = g.retry_suffix(&outcome).expect("suffix is valid");
+        rounds += 1;
+    }
+    g.validate().expect("final graph is consistent");
+    println!(
+        "  complete after {rounds} round(s): {} edges, {} live slabs",
+        g.num_edges(),
+        g.allocator().live_slabs()
+    );
+    assert_eq!(g.num_edges(), 16_000);
 }

@@ -38,7 +38,8 @@ pub mod prelude {
     pub use algos::{bfs_levels, tc_slabgraph};
     pub use graph_gen::{catalog, insert_batch, vertex_batch};
     pub use slabgraph::{
-        Direction, DynGraph, Edge, GraphConfig, GraphStats, TableKind, DEFAULT_LOAD_FACTOR,
+        AllocError, BatchOp, BatchOutcome, Direction, DynGraph, Edge, FaultPlan, GraphConfig,
+        GraphError, GraphStats, OomError, TableKind, ValidationError, DEFAULT_LOAD_FACTOR,
     };
 }
 
