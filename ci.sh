@@ -13,11 +13,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 if [ "$mode" = "quick" ]; then
     echo "== cargo test (debug) =="
     cargo test --workspace -q
     echo "== fault-injection suite (debug) =="
     cargo test -q --test fault_injection
+    echo "== churn workload smoke run (debug) =="
+    cargo run -q -p bench --bin churn -- --rounds 2 --ops 512
 else
     echo "== cargo build --release =="
     cargo build --workspace --release
@@ -27,6 +32,8 @@ else
     cargo test --release -q --test fault_injection
     echo "== bounded-memory quickstart smoke run =="
     cargo run --release -q --example quickstart
+    echo "== churn workload smoke run =="
+    cargo run --release -q -p bench --bin churn -- --rounds 2 --ops 512
 fi
 
 echo "CI OK"

@@ -1,14 +1,15 @@
-//! Breadth-first search over the dynamic graph — a representative
+//! Breadth-first search over any graph backend — a representative
 //! read-only analytic exercising the adjacency iterator, included to show
-//! the structure slots into a Gunrock-style frontier workflow.
+//! the structures slot into a Gunrock-style frontier workflow.
 
-use slabgraph::DynGraph;
+use backend::GraphBackend;
 
 /// Level (hop distance) of every vertex from `src`; `u32::MAX` for
 /// unreachable vertices. Frontier-at-a-time traversal, one adjacency
-/// iteration per frontier vertex per level.
-pub fn bfs_levels(g: &DynGraph, src: u32) -> Vec<u32> {
-    let n = g.vertex_capacity();
+/// iteration per frontier vertex per level, via the backend's
+/// allocation-free [`GraphBackend::for_each_neighbor`] hot path.
+pub fn bfs_levels<B: GraphBackend + ?Sized>(g: &B, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
     let mut levels = vec![u32::MAX; n as usize];
     if src >= n {
         return levels;
@@ -20,13 +21,13 @@ pub fn bfs_levels(g: &DynGraph, src: u32) -> Vec<u32> {
         depth += 1;
         let mut next = Vec::new();
         for &u in &frontier {
-            for v in g.neighbor_ids(u) {
+            g.for_each_neighbor(u, &mut |v| {
                 let slot = &mut levels[v as usize];
                 if *slot == u32::MAX {
                     *slot = depth;
                     next.push(v);
                 }
-            }
+            });
         }
         frontier = next;
     }
@@ -36,7 +37,9 @@ pub fn bfs_levels(g: &DynGraph, src: u32) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slabgraph::{Edge, GraphConfig};
+    use baselines::{Csr, Hornet};
+    use graph_gen::fixtures::mirror;
+    use slabgraph::{DynGraph, Edge, GraphConfig};
 
     fn path_graph(n: u32) -> DynGraph {
         let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
@@ -85,5 +88,18 @@ mod tests {
     fn bfs_out_of_range_source() {
         let g = path_graph(3);
         assert!(bfs_levels(&g, 99).iter().all(|&l| l == u32::MAX));
+    }
+
+    #[test]
+    fn bfs_agrees_across_backends() {
+        let path: Vec<(u32, u32)> = (0..5u32).map(|u| (u, u + 1)).collect();
+        let dir = mirror(&path);
+        let slab = path_graph(6);
+        let hornet = Hornet::bulk_build(6, &dir, 1 << 16);
+        let csr = Csr::build(6, &dir, 1 << 16);
+        let expect = vec![0, 1, 2, 3, 4, 5];
+        assert_eq!(bfs_levels(&slab, 0), expect, "slabgraph");
+        assert_eq!(bfs_levels(&hornet, 0), expect, "hornet");
+        assert_eq!(bfs_levels(&csr, 0), expect, "csr");
     }
 }

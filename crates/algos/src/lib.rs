@@ -1,14 +1,17 @@
-//! # algos — graph algorithms over the dynamic structures
+//! # algos — generic graph algorithms over the [`backend`] trait layer
 //!
 //! The paper's application study (§VI-C) is triangle counting, chosen to
 //! exercise the data structures' *query* operation (`intersect`): sorted
 //! list-based structures intersect two adjacency lists with a serial merge
 //! walk; the hash-based structure probes one table per candidate edge
-//! (`edgeExist`). This crate implements both forms over every structure,
-//! plus a host-side reference counter for validation and a BFS utility.
+//! (`edgeExist`). Both strategies live behind **one** generic [`tc`],
+//! dispatched by each backend's declared
+//! [`backend::IntersectionKind`] — there is exactly one triangle-counting
+//! and one BFS implementation for all four structures, plus a host-side
+//! reference counter for validation.
 
 pub mod bfs;
 pub mod triangle;
 
 pub use bfs::bfs_levels;
-pub use triangle::{tc_csr, tc_faimgraph, tc_hornet, tc_reference, tc_slabgraph, DynamicTcRound};
+pub use triangle::{tc, tc_reference, DynamicTcRound};

@@ -4,18 +4,22 @@
 //! directions and count each triangle exactly once (smallest-vertex
 //! convention: a triangle a<b<c is counted at `a` via the pair (b, c)).
 //!
-//! - [`tc_slabgraph`] — the paper's hash approach: "we perform an
-//!   `edgeExist` query for all edges". For every vertex `u` and neighbour
-//!   pair v<w (both > u), probe w in A_v. O(1) per probe, no sorting
-//!   needed.
-//! - [`tc_hornet`] / [`tc_faimgraph`] / [`tc_csr`] — the list approach:
+//! A single generic [`tc`] serves every structure through the
+//! [`GraphBackend`] trait, dispatching on the backend's declared
+//! [`IntersectionKind`]:
+//!
+//! - **Hash probe** (SlabGraph) — the paper's hash approach: "we perform
+//!   an `edgeExist` query for all edges". For every vertex `u` and
+//!   neighbour pair v<w (both > u), probe w in A_v. O(1) per probe, no
+//!   sorting needed.
+//! - **Sorted merge** (Hornet, faimGraph, CSR) — the list approach:
 //!   intersect two *sorted* adjacency lists with a serial merge walk
-//!   ("little parallelism, but cheaper and faster than a hash-table-based
-//!   solution" — the paper's own Table VII finding). The required sorting
-//!   is charged separately (Table VIII).
+//!   ("little parallelism, but cheaper and faster than a
+//!   hash-table-based solution" — the paper's own Table VII finding).
+//!   The required sorting is charged separately (Table VIII): call
+//!   [`GraphBackend::ensure_sorted`] before counting.
 
-use baselines::{Csr, FaimGraph, Hornet};
-use slabgraph::DynGraph;
+use backend::{GraphBackend, IntersectionKind};
 
 /// Host-side reference triangle count from a raw undirected edge list
 /// (used by tests to validate every implementation).
@@ -42,11 +46,24 @@ pub fn tc_reference(n_vertices: u32, edges: &[(u32, u32)]) -> u64 {
     count
 }
 
-/// Triangle counting over the hash-based dynamic graph via batched
-/// `edgeExist` probes. Uses the set/map variant's query path; candidate
-/// pairs are emitted per vertex and probed in large batches through the
-/// WCWS query kernel.
-pub fn tc_slabgraph(g: &DynGraph) -> u64 {
+/// Triangle count over any [`GraphBackend`], using the intersection
+/// strategy the backend declares in its capabilities. All device work is
+/// fused under one `triangle_count` kernel scope for attribution.
+///
+/// # Panics
+/// Sorted-merge backends must have sorted adjacency lists — call
+/// [`GraphBackend::ensure_sorted`] first (its cost is Table VIII's
+/// subject).
+pub fn tc<B: GraphBackend + ?Sized>(g: &B) -> u64 {
+    match g.caps().intersection {
+        IntersectionKind::HashProbe => tc_hash_probe(g),
+        IntersectionKind::SortedMerge => tc_sorted_merge(g),
+    }
+}
+
+/// The hash approach: batched `edgeExist` probes for every candidate
+/// closing edge, flushed through the backend's batched query kernel.
+fn tc_hash_probe<B: GraphBackend + ?Sized>(g: &B) -> u64 {
     // One logical TC kernel: helper launches fuse under one named scope.
     g.device().fused_scope("triangle_count", || {
         let mut count = 0u64;
@@ -60,8 +77,8 @@ pub fn tc_slabgraph(g: &DynGraph) -> u64 {
             pairs.clear();
             hits
         };
-        for u in 0..g.vertex_capacity() {
-            let mut nu: Vec<u32> = g.neighbor_ids(u).into_iter().filter(|&v| v > u).collect();
+        for u in 0..g.num_vertices() {
+            let mut nu: Vec<u32> = g.read_neighbors(u).into_iter().filter(|&v| v > u).collect();
             nu.sort_unstable();
             for (i, &v) in nu.iter().enumerate() {
                 for &w in &nu[i + 1..] {
@@ -73,6 +90,28 @@ pub fn tc_slabgraph(g: &DynGraph) -> u64 {
             }
         }
         count += flush(&mut pending);
+        count
+    })
+}
+
+/// The list approach: serial sorted-merge intersection of adjacency
+/// lists.
+fn tc_sorted_merge<B: GraphBackend + ?Sized>(g: &B) -> u64 {
+    assert!(
+        g.is_sorted(),
+        "{} TC requires sorted adjacency lists",
+        g.name()
+    );
+    g.device().fused_scope("triangle_count", || {
+        let mut count = 0u64;
+        for u in 0..g.num_vertices() {
+            let adj_u = g.read_neighbors(u);
+            debug_assert!(adj_u.windows(2).all(|w| w[0] <= w[1]), "unsorted list");
+            for &v in adj_u.iter().filter(|&&v| v > u) {
+                let adj_v = g.read_neighbors(v);
+                count += intersect_above(&adj_u, &adj_v, v);
+            }
+        }
         count
     })
 }
@@ -96,58 +135,6 @@ fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
     n
 }
 
-/// Triangle counting over Hornet with sorted-list intersections.
-///
-/// # Panics
-/// Panics if the adjacency lists are not sorted — call
-/// [`Hornet::sort_adjacencies`] first (its cost is Table VIII's subject).
-pub fn tc_hornet(g: &Hornet) -> u64 {
-    assert!(g.is_sorted(), "Hornet TC requires sorted adjacency lists");
-    g.device().fused_scope("triangle_count", || {
-        let mut count = 0u64;
-        for u in 0..g.num_vertices() {
-            let adj_u = g.read_adjacency(u);
-            for &v in adj_u.iter().filter(|&&v| v > u) {
-                let adj_v = g.read_adjacency(v);
-                count += intersect_above(&adj_u, &adj_v, v);
-            }
-        }
-        count
-    })
-}
-
-/// Triangle counting over faimGraph with sorted-list intersections
-/// (call [`FaimGraph::sort_adjacencies`] first).
-pub fn tc_faimgraph(g: &FaimGraph) -> u64 {
-    g.device().fused_scope("triangle_count", || {
-        let mut count = 0u64;
-        for u in 0..g.num_vertices() {
-            let adj_u = g.read_adjacency(u);
-            debug_assert!(adj_u.windows(2).all(|w| w[0] <= w[1]), "unsorted list");
-            for &v in adj_u.iter().filter(|&&v| v > u) {
-                let adj_v = g.read_adjacency(v);
-                count += intersect_above(&adj_u, &adj_v, v);
-            }
-        }
-        count
-    })
-}
-
-/// Triangle counting over static CSR (always sorted).
-pub fn tc_csr(g: &Csr) -> u64 {
-    g.device().fused_scope("triangle_count", || {
-        let mut count = 0u64;
-        for u in 0..g.num_vertices() {
-            let adj_u = g.read_adjacency(u);
-            for &v in adj_u.iter().filter(|&&v| v > u) {
-                let adj_v = g.read_adjacency(v);
-                count += intersect_above(&adj_u, &adj_v, v);
-            }
-        }
-        count
-    })
-}
-
 /// One round of the dynamic triangle-counting scenario (Table IX):
 /// timings for "insert a batch, then recount triangles".
 #[derive(Debug, Clone, Copy, Default)]
@@ -160,30 +147,15 @@ pub struct DynamicTcRound {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slabgraph::{Edge, GraphConfig};
-
-    /// A graph with a known triangle structure: K5 ∪ a 4-cycle.
-    fn fixture_edges() -> (u32, Vec<(u32, u32)>) {
-        let mut e = vec![];
-        for u in 0..5u32 {
-            for v in (u + 1)..5 {
-                e.push((u, v));
-            }
-        }
-        // 4-cycle on 10..13: zero triangles.
-        e.extend_from_slice(&[(10, 11), (11, 12), (12, 13), (13, 10)]);
-        (16, e)
-    }
-
-    fn both_directions(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-        edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
-    }
+    use baselines::{Csr, FaimGraph, Hornet};
+    use graph_gen::fixtures::{both_directions, fixture_edges, FIXTURE_TRIANGLES};
+    use slabgraph::{DynGraph, Edge, GraphConfig};
 
     #[test]
     fn reference_counts_k5() {
         let (n, e) = fixture_edges();
         // K5 has C(5,3) = 10 triangles; the 4-cycle has none.
-        assert_eq!(tc_reference(n, &e), 10);
+        assert_eq!(tc_reference(n, &e), FIXTURE_TRIANGLES);
     }
 
     #[test]
@@ -191,7 +163,7 @@ mod tests {
         let (n, e) = fixture_edges();
         let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
         g.insert_edges(&e.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
-        assert_eq!(tc_slabgraph(&g), 10);
+        assert_eq!(tc(&g), FIXTURE_TRIANGLES);
     }
 
     #[test]
@@ -199,7 +171,7 @@ mod tests {
         let (n, e) = fixture_edges();
         let mut g = Hornet::bulk_build(n, &both_directions(&e), 1 << 18);
         g.sort_adjacencies();
-        assert_eq!(tc_hornet(&g), 10);
+        assert_eq!(tc(&g), FIXTURE_TRIANGLES);
     }
 
     #[test]
@@ -207,14 +179,14 @@ mod tests {
         let (n, e) = fixture_edges();
         let g = FaimGraph::build(n, &both_directions(&e), 1 << 18);
         g.sort_adjacencies();
-        assert_eq!(tc_faimgraph(&g), 10);
+        assert_eq!(tc(&g), FIXTURE_TRIANGLES);
     }
 
     #[test]
     fn csr_matches_reference() {
         let (n, e) = fixture_edges();
         let g = Csr::build(n, &both_directions(&e), 1 << 18);
-        assert_eq!(tc_csr(&g), 10);
+        assert_eq!(tc(&g), FIXTURE_TRIANGLES);
     }
 
     #[test]
@@ -226,19 +198,19 @@ mod tests {
 
         let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
         g.insert_edges(&edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
-        assert_eq!(tc_slabgraph(&g), expect, "slabgraph");
+        assert_eq!(tc(&g), expect, "slabgraph");
 
         let dir = both_directions(&edges);
         let mut h = Hornet::bulk_build(n, &dir, 1 << 20);
         h.sort_adjacencies();
-        assert_eq!(tc_hornet(&h), expect, "hornet");
+        assert_eq!(tc(&h), expect, "hornet");
 
         let f = FaimGraph::build(n, &dir, 1 << 20);
         f.sort_adjacencies();
-        assert_eq!(tc_faimgraph(&f), expect, "faimgraph");
+        assert_eq!(tc(&f), expect, "faimgraph");
 
         let c = Csr::build(n, &dir, 1 << 20);
-        assert_eq!(tc_csr(&c), expect, "csr");
+        assert_eq!(tc(&c), expect, "csr");
     }
 
     #[test]
@@ -246,13 +218,32 @@ mod tests {
         // Dynamic scenario: counts must track edge insertions/deletions.
         let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(8), 8, 1);
         g.insert_edges(&[Edge::new(0, 1), Edge::new(1, 2)]);
-        assert_eq!(tc_slabgraph(&g), 0);
+        assert_eq!(tc(&g), 0);
         g.insert_edges(&[Edge::new(0, 2)]);
-        assert_eq!(tc_slabgraph(&g), 1, "closing the wedge makes a triangle");
+        assert_eq!(tc(&g), 1, "closing the wedge makes a triangle");
         g.insert_edges(&[Edge::new(0, 3), Edge::new(1, 3)]);
-        assert_eq!(tc_slabgraph(&g), 2);
+        assert_eq!(tc(&g), 2);
         g.delete_edges(&[Edge::new(0, 1)]);
-        assert_eq!(tc_slabgraph(&g), 0, "shared edge removal kills both");
+        assert_eq!(tc(&g), 0, "shared edge removal kills both");
+    }
+
+    #[test]
+    fn tc_through_trait_objects() {
+        // The whole point of the trait layer: one loop, four structures.
+        let (n, e) = fixture_edges();
+        let dir = both_directions(&e);
+        let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+        g.insert_edges(&e.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        let backends: Vec<Box<dyn GraphBackend>> = vec![
+            Box::new(g),
+            Box::new(Hornet::bulk_build(n, &dir, 1 << 18)),
+            Box::new(FaimGraph::build(n, &dir, 1 << 18)),
+            Box::new(Csr::build(n, &dir, 1 << 18)),
+        ];
+        for mut b in backends {
+            b.ensure_sorted();
+            assert_eq!(tc(b.as_ref()), FIXTURE_TRIANGLES, "{}", b.name());
+        }
     }
 
     #[test]
@@ -260,7 +251,7 @@ mod tests {
     fn hornet_tc_requires_sort() {
         let mut g = Hornet::bulk_build(8, &[(0, 1), (1, 0)], 1 << 16);
         g.insert_batch(&[(0, 2)]); // unsorts
-        tc_hornet(&g);
+        tc(&g);
     }
 
     #[test]

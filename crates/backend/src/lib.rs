@@ -1,0 +1,500 @@
+//! # backend — one trait over every dynamic-graph structure
+//!
+//! The paper compares four structures (SlabGraph §IV, Hornet, faimGraph,
+//! and static CSR) on the same workloads. This crate captures the shared
+//! surface as the object-safe [`GraphBackend`] trait so that algorithms
+//! (`algos`) and benchmark drivers (`bench`) are written **once** and run
+//! against any structure.
+//!
+//! Design notes:
+//!
+//! - The trait is object-safe: benchmark drivers hold
+//!   `Box<dyn GraphBackend>` contenders and loop over them.
+//! - [`GraphBackend::for_each_neighbor`] is the hot-path adjacency
+//!   iterator. SlabGraph implements it allocation-free over the slab
+//!   lists; the array-based baselines fall back to their coalesced
+//!   adjacency read (the charged device work is identical either way —
+//!   only host-side allocation differs).
+//! - Not every structure supports every operation (CSR is static; Hornet
+//!   has no vertex deletion). [`Capabilities`] advertises what a backend
+//!   can do so generic drivers can skip unsupported contenders instead of
+//!   panicking.
+//! - Edges at the trait level are unweighted `(u32, u32)` pairs: none of
+//!   the paper's cross-structure workloads exercise weights, and the
+//!   SlabGraph map variant charges identically for any weight value.
+//! - [`GraphBackend::device`] exposes the simulated [`Device`] so callers
+//!   can snapshot counters and pull per-kernel attribution around any
+//!   trait call.
+
+use baselines::{Csr, FaimGraph, Hornet};
+use gpu_sim::Device;
+use slabgraph::{DynGraph, Edge};
+
+/// Which adjacency-intersection strategy suits this backend's layout
+/// (paper §VI-C): hash tables probe (`edgeExist`), sorted arrays merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectionKind {
+    /// O(1) membership probes against a hash table; no sorting required.
+    HashProbe,
+    /// Serial merge-walk over two sorted adjacency arrays; requires
+    /// [`GraphBackend::ensure_sorted`] first.
+    SortedMerge,
+}
+
+/// What a backend supports. Generic drivers consult this to skip
+/// contenders rather than panic on unsupported operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Batched edge insertion after construction.
+    pub insert_edges: bool,
+    /// Batched edge deletion.
+    pub delete_edges: bool,
+    /// Batched vertex deletion (with incident edges).
+    pub delete_vertices: bool,
+    /// Preferred triangle-counting intersection strategy.
+    pub intersection: IntersectionKind,
+}
+
+/// The shared surface of every graph structure in the study.
+///
+/// Mutating operations take `&mut self` at the trait level even where a
+/// concrete structure offers interior mutability (`DynGraph`,
+/// `FaimGraph`): the trait models the logical host-side protocol, in
+/// which updates are phase-exclusive.
+///
+/// # Panics
+/// Calling a mutating operation whose [`Capabilities`] flag is `false`
+/// panics. Check `caps()` first when driving heterogeneous backends.
+pub trait GraphBackend {
+    /// Short structure name for reports ("SlabGraph", "Hornet", ...).
+    fn name(&self) -> &'static str;
+
+    /// What this backend supports.
+    fn caps(&self) -> Capabilities;
+
+    /// The simulated device, for counter snapshots and per-kernel
+    /// attribution around any trait call.
+    fn device(&self) -> &Device;
+
+    /// Number of vertex slots (IDs are `0..num_vertices()`).
+    fn num_vertices(&self) -> u32;
+
+    /// Current number of directed edges stored.
+    fn num_edges(&self) -> u64;
+
+    /// Out-degree of `u`.
+    fn degree(&self, u: u32) -> u32;
+
+    /// Single `edgeExist` membership query.
+    fn contains_edge(&self, u: u32, v: u32) -> bool;
+
+    /// Batched membership queries. Backends with a batched query kernel
+    /// (SlabGraph's WCWS `edge_exist`) override this; the default loops
+    /// [`Self::contains_edge`].
+    fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(u, v)| self.contains_edge(u, v))
+            .collect()
+    }
+
+    /// Read `u`'s adjacency list into a fresh `Vec` (order is the
+    /// structure's internal order; sorted only if [`Self::is_sorted`]).
+    fn read_neighbors(&self, u: u32) -> Vec<u32>;
+
+    /// Hot-path adjacency iteration: call `f` with every neighbour of
+    /// `u`. SlabGraph walks its slab lists without allocating; the
+    /// default falls back to [`Self::read_neighbors`].
+    fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        for v in self.read_neighbors(u) {
+            f(v);
+        }
+    }
+
+    /// Insert a batch of directed edges; returns how many were new.
+    fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64;
+
+    /// Delete a batch of directed edges; returns how many were present.
+    fn delete_edges(&mut self, edges: &[(u32, u32)]) -> u64;
+
+    /// Delete vertices and their incident edges.
+    fn delete_vertices(&mut self, vertices: &[u32]);
+
+    /// Whether every adjacency list is currently sorted.
+    fn is_sorted(&self) -> bool {
+        true
+    }
+
+    /// Make every adjacency list sorted (no-op for hash-based and
+    /// always-sorted backends). Charged separately from queries, as in
+    /// the paper's Table VIII.
+    fn ensure_sorted(&mut self) {}
+
+    /// Restore sortedness after updates known to touch only `touched`
+    /// vertices. Backends without incremental re-sort fall back to the
+    /// full [`Self::ensure_sorted`].
+    fn ensure_sorted_touched(&mut self, _touched: &[u32]) {
+        self.ensure_sorted();
+    }
+}
+
+fn unsupported(name: &str, op: &str) -> ! {
+    panic!("{name} does not support {op} (check Capabilities before calling)")
+}
+
+// ---------------------------------------------------------------------------
+// SlabGraph (ours)
+// ---------------------------------------------------------------------------
+
+impl GraphBackend for DynGraph {
+    fn name(&self) -> &'static str {
+        "SlabGraph"
+    }
+
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            insert_edges: true,
+            delete_edges: true,
+            delete_vertices: true,
+            intersection: IntersectionKind::HashProbe,
+        }
+    }
+
+    fn device(&self) -> &Device {
+        DynGraph::device(self)
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.vertex_capacity()
+    }
+
+    fn num_edges(&self) -> u64 {
+        DynGraph::num_edges(self)
+    }
+
+    fn degree(&self, u: u32) -> u32 {
+        DynGraph::degree(self, u)
+    }
+
+    fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_exists(u, v)
+    }
+
+    fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        DynGraph::edges_exist(self, pairs)
+    }
+
+    fn read_neighbors(&self, u: u32) -> Vec<u32> {
+        self.neighbor_ids(u)
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        DynGraph::for_each_neighbor(self, u, f)
+    }
+
+    fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        let edges: Vec<Edge> = edges.iter().map(|&p| Edge::from(p)).collect();
+        DynGraph::insert_edges(self, &edges)
+    }
+
+    fn delete_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        let edges: Vec<Edge> = edges.iter().map(|&p| Edge::from(p)).collect();
+        DynGraph::delete_edges(self, &edges)
+    }
+
+    fn delete_vertices(&mut self, vertices: &[u32]) {
+        DynGraph::delete_vertices(self, vertices)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hornet
+// ---------------------------------------------------------------------------
+
+impl GraphBackend for Hornet {
+    fn name(&self) -> &'static str {
+        "Hornet"
+    }
+
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            insert_edges: true,
+            delete_edges: true,
+            // Hornet's published update API has no vertex deletion; the
+            // paper's Table IV omits it for the same reason.
+            delete_vertices: false,
+            intersection: IntersectionKind::SortedMerge,
+        }
+    }
+
+    fn device(&self) -> &Device {
+        Hornet::device(self)
+    }
+
+    fn num_vertices(&self) -> u32 {
+        Hornet::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        Hornet::num_edges(self)
+    }
+
+    fn degree(&self, u: u32) -> u32 {
+        Hornet::degree(self, u)
+    }
+
+    fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_exists(u, v)
+    }
+
+    fn read_neighbors(&self, u: u32) -> Vec<u32> {
+        self.read_adjacency(u)
+    }
+
+    fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        self.insert_batch(edges)
+    }
+
+    fn delete_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        self.delete_batch(edges)
+    }
+
+    fn delete_vertices(&mut self, _vertices: &[u32]) {
+        unsupported("Hornet", "delete_vertices")
+    }
+
+    fn is_sorted(&self) -> bool {
+        Hornet::is_sorted(self)
+    }
+
+    fn ensure_sorted(&mut self) {
+        self.sort_adjacencies()
+    }
+
+    fn ensure_sorted_touched(&mut self, touched: &[u32]) {
+        self.sort_touched(touched)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// faimGraph
+// ---------------------------------------------------------------------------
+
+impl GraphBackend for FaimGraph {
+    fn name(&self) -> &'static str {
+        "faimGraph"
+    }
+
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            insert_edges: true,
+            delete_edges: true,
+            delete_vertices: true,
+            intersection: IntersectionKind::SortedMerge,
+        }
+    }
+
+    fn device(&self) -> &Device {
+        FaimGraph::device(self)
+    }
+
+    fn num_vertices(&self) -> u32 {
+        FaimGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        FaimGraph::num_edges(self)
+    }
+
+    fn degree(&self, u: u32) -> u32 {
+        FaimGraph::degree(self, u)
+    }
+
+    fn contains_edge(&self, u: u32, v: u32) -> bool {
+        // faimGraph has no dedicated membership kernel; a query is a
+        // charged adjacency read plus a host-side scan.
+        self.read_adjacency(u).contains(&v)
+    }
+
+    fn read_neighbors(&self, u: u32) -> Vec<u32> {
+        self.read_adjacency(u)
+    }
+
+    fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        self.insert_batch(edges)
+    }
+
+    fn delete_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        self.delete_batch(edges)
+    }
+
+    fn delete_vertices(&mut self, vertices: &[u32]) {
+        FaimGraph::delete_vertices(self, vertices)
+    }
+
+    fn ensure_sorted(&mut self) {
+        self.sort_adjacencies()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR (static)
+// ---------------------------------------------------------------------------
+
+impl GraphBackend for Csr {
+    fn name(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn caps(&self) -> Capabilities {
+        Capabilities {
+            insert_edges: false,
+            delete_edges: false,
+            delete_vertices: false,
+            intersection: IntersectionKind::SortedMerge,
+        }
+    }
+
+    fn device(&self) -> &Device {
+        Csr::device(self)
+    }
+
+    fn num_vertices(&self) -> u32 {
+        Csr::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        Csr::num_edges(self)
+    }
+
+    fn degree(&self, u: u32) -> u32 {
+        Csr::degree(self, u)
+    }
+
+    fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_exists(u, v)
+    }
+
+    fn read_neighbors(&self, u: u32) -> Vec<u32> {
+        self.read_adjacency(u)
+    }
+
+    fn insert_edges(&mut self, _edges: &[(u32, u32)]) -> u64 {
+        unsupported("CSR", "insert_edges")
+    }
+
+    fn delete_edges(&mut self, _edges: &[(u32, u32)]) -> u64 {
+        unsupported("CSR", "delete_edges")
+    }
+
+    fn delete_vertices(&mut self, _vertices: &[u32]) {
+        unsupported("CSR", "delete_vertices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slabgraph::GraphConfig;
+
+    fn edges() -> Vec<(u32, u32)> {
+        vec![(0, 1), (0, 2), (1, 2), (2, 3)]
+    }
+
+    fn both_dirs(e: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        e.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+    }
+
+    fn all_backends() -> Vec<Box<dyn GraphBackend>> {
+        let dir = both_dirs(&edges());
+        let mut g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(8), 8, 1);
+        GraphBackend::insert_edges(&mut g, &edges());
+        let mut h = Hornet::bulk_build(8, &dir, 1 << 16);
+        h.sort_adjacencies();
+        let f = FaimGraph::build(8, &dir, 1 << 16);
+        f.sort_adjacencies();
+        let c = Csr::build(8, &dir, 1 << 16);
+        vec![Box::new(g), Box::new(h), Box::new(f), Box::new(c)]
+    }
+
+    #[test]
+    fn all_backends_agree_on_membership_and_degree() {
+        for b in all_backends() {
+            let name = b.name();
+            assert_eq!(b.num_vertices(), 8, "{name}");
+            assert_eq!(b.num_edges(), 8, "{name}: 4 undirected = 8 directed");
+            assert_eq!(b.degree(0), 2, "{name}");
+            assert_eq!(b.degree(2), 3, "{name}");
+            assert!(b.contains_edge(0, 1), "{name}");
+            assert!(b.contains_edge(1, 0), "{name}: mirrored");
+            assert!(!b.contains_edge(0, 3), "{name}");
+            assert_eq!(
+                b.edges_exist(&[(0, 1), (0, 3), (2, 3)]),
+                vec![true, false, true],
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_iteration_matches_read_neighbors() {
+        for b in all_backends() {
+            let mut seen = Vec::new();
+            b.for_each_neighbor(2, &mut |v| seen.push(v));
+            let mut read = b.read_neighbors(2);
+            seen.sort_unstable();
+            read.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 3], "{}", b.name());
+            assert_eq!(seen, read, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn capability_flags_match_structure_semantics() {
+        let caps: Vec<(&str, Capabilities)> = all_backends()
+            .iter()
+            .map(|b| (b.name(), b.caps()))
+            .collect();
+        for (name, c) in &caps {
+            match *name {
+                "CSR" => {
+                    assert!(!c.insert_edges && !c.delete_edges && !c.delete_vertices);
+                }
+                "Hornet" => {
+                    assert!(c.insert_edges && c.delete_edges && !c.delete_vertices);
+                }
+                _ => {
+                    assert!(c.insert_edges && c.delete_edges && c.delete_vertices);
+                }
+            }
+            let expect = if *name == "SlabGraph" {
+                IntersectionKind::HashProbe
+            } else {
+                IntersectionKind::SortedMerge
+            };
+            assert_eq!(c.intersection, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn updates_through_the_trait() {
+        let mut g: Box<dyn GraphBackend> = Box::new(DynGraph::with_uniform_buckets(
+            GraphConfig::undirected_set(8),
+            8,
+            1,
+        ));
+        assert_eq!(g.insert_edges(&edges()), 8, "4 undirected = 8 directed");
+        assert_eq!(g.delete_edges(&[(0, 1)]), 2);
+        assert!(!g.contains_edge(0, 1));
+        g.delete_vertices(&[2]);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.contains_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn csr_insert_panics() {
+        let mut c: Box<dyn GraphBackend> = Box::new(Csr::build(4, &[(0, 1)], 1 << 14));
+        c.insert_edges(&[(1, 2)]);
+    }
+}

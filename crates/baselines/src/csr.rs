@@ -1,5 +1,5 @@
 //! Static CSR (Compressed Sparse Row) — the packed representation used by
-//! static GPU graph frameworks (Gunrock [4]); paper §II-A. Building it
+//! static GPU graph frameworks (Gunrock \[4\]); paper §II-A. Building it
 //! requires a full sort + dedup of the COO input, and it cannot be updated
 //! without rebuilding — which is precisely the motivation for the dynamic
 //! structure.

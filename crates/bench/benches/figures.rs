@@ -70,7 +70,7 @@ fn bench_fig3_tc_vs_load_factor() {
         let gr = DynGraph::with_degree_hints(cfg, &degrees);
         gr.insert_edges(&edges);
         bench("fig3_tc_time", &format!("lf={lf}"), || {
-            algos::tc_slabgraph(&gr);
+            algos::tc(&gr);
         });
     }
 }

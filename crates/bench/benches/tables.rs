@@ -118,19 +118,15 @@ fn bench_triangle_counting() {
         gr.insert_edges(&d.edges.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
         gr
     };
-    let sym: Vec<(u32, u32)> = d
-        .edges
-        .iter()
-        .flat_map(|&(u, v)| [(u, v), (v, u)])
-        .collect();
+    let sym = graph_gen::mirror(&d.edges);
     let mut h = Hornet::bulk_build(d.n_vertices, &sym, 1 << 22);
     h.sort_adjacencies();
 
     bench("table7_static_tc", "ours_hash_probes", || {
-        algos::tc_slabgraph(&gr);
+        algos::tc(&gr);
     });
     bench("table7_static_tc", "hornet_sorted_intersect", || {
-        algos::tc_hornet(&h);
+        algos::tc(&h);
     });
 }
 

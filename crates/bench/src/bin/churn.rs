@@ -1,0 +1,46 @@
+//! Churn workload runner: replay a seeded mixed insert/delete/query
+//! stream against every backend that supports it, with per-kernel
+//! breakdowns.
+//!
+//! ```text
+//! cargo run -p bench --release --bin churn -- \
+//!     --dataset rgg_n_2_20_s0 --rounds 4 --ops 2048 \
+//!     --inserts 50 --deletes 30 --seed 71
+//! ```
+
+use bench::churn::{churn, ChurnConfig};
+
+fn main() {
+    let mut cfg = ChurnConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--dataset" => cfg.dataset = val("--dataset"),
+            "--rounds" => cfg.rounds = val("--rounds").parse().expect("--rounds: integer"),
+            "--ops" => cfg.ops_per_round = val("--ops").parse().expect("--ops: integer"),
+            "--inserts" => cfg.insert_pct = val("--inserts").parse().expect("--inserts: percent"),
+            "--deletes" => cfg.delete_pct = val("--deletes").parse().expect("--deletes: percent"),
+            "--seed" => cfg.seed = val("--seed").parse().expect("--seed: integer"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        cfg.insert_pct + cfg.delete_pct <= 100,
+        "insert and delete percentages must sum to at most 100"
+    );
+    churn(&cfg).emit();
+}

@@ -17,6 +17,7 @@ fn main() {
         ("table9", e::table9_dynamic_tc),
         ("fig2", e::fig2_load_factor),
         ("fig3", e::fig3_tc_load_factor),
+        ("churn", bench::churn::churn_default),
     ] {
         let t = std::time::Instant::now();
         f().emit();

@@ -1,0 +1,269 @@
+//! Churn workload: a seeded, mixed insert/delete/query stream driven
+//! through the [`GraphBackend`] trait against every registered structure.
+//!
+//! The paper's update tables measure inserts and deletes in isolation; a
+//! dynamic-graph deployment interleaves them with queries. This runner
+//! replays one deterministic operation stream — identical for every
+//! backend — and reports per-class throughput plus a per-kernel breakdown
+//! of where each structure spends its modeled time. Backends whose
+//! [`Capabilities`](backend::Capabilities) cannot run the stream (static
+//! CSR) are skipped via their capability flags rather than special-cased.
+
+use crate::harness::{fnum, scale_shift, trace_begin, trace_complete, Measurement, Table};
+use backend::GraphBackend;
+use baselines::{Csr, FaimGraph, Hornet};
+use graph_gen::{catalog, insert_batch};
+use slabgraph::{Direction, DynGraph, TableKind};
+
+/// Parameters of a churn run. Percentages are of `ops_per_round`; the
+/// remainder after inserts and deletes are membership queries.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Table I dataset name providing the initial graph.
+    pub dataset: String,
+    /// Number of mixed rounds to replay.
+    pub rounds: usize,
+    /// Operations per round (scaled by `BENCH_SCALE_SHIFT`).
+    pub ops_per_round: usize,
+    /// Percent of each round that inserts new random edges.
+    pub insert_pct: u32,
+    /// Percent of each round that deletes previously-live edges.
+    pub delete_pct: u32,
+    /// Stream seed: same seed, same stream, every backend.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            dataset: "rgg_n_2_20_s0".into(),
+            rounds: 4,
+            ops_per_round: 2048,
+            insert_pct: 50,
+            delete_pct: 30,
+            seed: 71,
+        }
+    }
+}
+
+/// One precomputed round of the stream.
+struct Round {
+    ins: Vec<(u32, u32)>,
+    del: Vec<(u32, u32)>,
+    qry: Vec<(u32, u32)>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Build the operation stream host-side, independent of any backend:
+/// deletes and half the queries sample edges inserted in earlier rounds,
+/// so every backend sees the identical sequence regardless of its own
+/// state.
+fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
+    let ops = cfg.ops_per_round << scale_shift();
+    let n_ins = ops * cfg.insert_pct as usize / 100;
+    let n_del = ops * cfg.delete_pct as usize / 100;
+    let n_qry = ops - n_ins - n_del;
+    let mut live: Vec<(u32, u32)> = ds.edges.clone();
+    let mut rng = cfg.seed;
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    for r in 0..cfg.rounds as u64 {
+        let ins = insert_batch(ds.n_vertices, n_ins, cfg.seed + 10 * r);
+        let del: Vec<(u32, u32)> = (0..n_del)
+            .map(|_| live[(splitmix64(&mut rng) % live.len() as u64) as usize])
+            .collect();
+        let random_qry = insert_batch(ds.n_vertices, n_qry, cfg.seed + 10 * r + 5);
+        let qry: Vec<(u32, u32)> = random_qry
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    live[(splitmix64(&mut rng) % live.len() as u64) as usize]
+                } else {
+                    p
+                }
+            })
+            .collect();
+        live.extend_from_slice(&ins);
+        rounds.push(Round { ins, del, qry });
+    }
+    rounds
+}
+
+/// Run the churn stream over every registered backend and tabulate
+/// per-class throughput with per-kernel breakdowns.
+pub fn churn(cfg: &ChurnConfig) -> Table {
+    let spec = catalog::dataset(&cfg.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
+    let ds = spec.generate_default(cfg.seed);
+    let stream = make_stream(&ds, cfg);
+    let dw = (ds.edges.len() * 8).max(1 << 20);
+
+    let mut t = Table::new(
+        "churn",
+        "Churn stream: mixed insert/delete/query throughput per structure",
+        &[
+            "structure",
+            "inserts MEdge/s",
+            "deletes MEdge/s",
+            "queries Mq/s",
+            "total modeled ms",
+            "query hits",
+        ],
+    );
+
+    let backends: Vec<Box<dyn GraphBackend>> = vec![
+        Box::new(Hornet::bulk_build(ds.n_vertices, &ds.edges, dw)),
+        Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, dw)),
+        Box::new({
+            let mut c = slabgraph::GraphConfig::directed_map(ds.n_vertices);
+            c.kind = TableKind::Map;
+            c.direction = Direction::Directed;
+            c.device_words = (ds.edges.len() * 12).max(1 << 20);
+            c.pool_slabs = (ds.edges.len() / 64).max(1 << 10);
+            DynGraph::bulk_build(
+                c,
+                &graph_gen::weighted(&ds.edges, 99)
+                    .into_iter()
+                    .map(slabgraph::Edge::from)
+                    .collect::<Vec<_>>(),
+            )
+        }),
+        Box::new(Csr::build(ds.n_vertices, &ds.edges, dw)),
+    ];
+
+    let mut hit_counts: Vec<u64> = vec![];
+    for mut g in backends {
+        let caps = g.caps();
+        if !(caps.insert_edges && caps.delete_edges) {
+            t.note(format!(
+                "{} skipped: capabilities do not cover the churn stream",
+                g.name()
+            ));
+            continue;
+        }
+        let name = g.name();
+        let (trace0, wall0) = trace_begin(g.device());
+        let (mut ins_s, mut del_s, mut qry_s) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut n_ins, mut n_del, mut n_qry, mut hits) = (0u64, 0u64, 0u64, 0u64);
+        for round in &stream {
+            let before = g.device().counters().snapshot();
+            let t0 = std::time::Instant::now();
+            g.insert_edges(&round.ins);
+            ins_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            n_ins += round.ins.len() as u64;
+
+            let before = g.device().counters().snapshot();
+            let t0 = std::time::Instant::now();
+            g.delete_edges(&round.del);
+            del_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            n_del += round.del.len() as u64;
+
+            let before = g.device().counters().snapshot();
+            let t0 = std::time::Instant::now();
+            let found = g.edges_exist(&round.qry);
+            qry_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            n_qry += round.qry.len() as u64;
+            hits += found.iter().filter(|&&b| b).count() as u64;
+        }
+        let (m, report) = trace_complete(g.device(), trace0, wall0);
+        assert_eq!(
+            report.kernel_sum(),
+            m.counters,
+            "{name}: churn per-kernel counters must sum to the stream's delta"
+        );
+        hit_counts.push(hits);
+        let rate = |items: u64, secs: f64| {
+            if secs <= 0.0 {
+                0.0
+            } else {
+                items as f64 / secs / 1e6
+            }
+        };
+        t.row(vec![
+            name.into(),
+            fnum(rate(n_ins, ins_s)),
+            fnum(rate(n_del, del_s)),
+            fnum(rate(n_qry, qry_s)),
+            fnum((ins_s + del_s + qry_s) * 1e3),
+            hits.to_string(),
+        ]);
+        t.breakdown(format!("churn, {name}"), report);
+    }
+    assert!(
+        hit_counts.windows(2).all(|w| w[0] == w[1]),
+        "backends disagree on query results: {hit_counts:?}"
+    );
+    t.note(format!(
+        "dataset {} | {} rounds x {} ops ({}% insert / {}% delete / {}% query), seed {}",
+        cfg.dataset,
+        cfg.rounds,
+        cfg.ops_per_round << scale_shift(),
+        cfg.insert_pct,
+        cfg.delete_pct,
+        100 - cfg.insert_pct - cfg.delete_pct,
+        cfg.seed
+    ));
+    t
+}
+
+/// Default-parameter churn run, for `run_all` and smoke tests.
+pub fn churn_default() -> Table {
+    churn(&ChurnConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let ds = catalog::dataset("luxembourg_osm").unwrap().generate(512, 3);
+        let cfg = ChurnConfig {
+            dataset: "luxembourg_osm".into(),
+            rounds: 3,
+            ops_per_round: 100,
+            insert_pct: 40,
+            delete_pct: 30,
+            seed: 9,
+        };
+        let a = make_stream(&ds, &cfg);
+        let b = make_stream(&ds, &cfg);
+        assert_eq!(a.len(), 3);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.ins, rb.ins);
+            assert_eq!(ra.del, rb.del);
+            assert_eq!(ra.qry, rb.qry);
+            assert_eq!(ra.ins.len(), 40);
+            assert_eq!(ra.del.len(), 30);
+            assert_eq!(ra.qry.len(), 30);
+        }
+    }
+
+    #[test]
+    fn deletes_target_previously_live_edges() {
+        let ds = catalog::dataset("luxembourg_osm").unwrap().generate(512, 3);
+        let cfg = ChurnConfig {
+            dataset: "luxembourg_osm".into(),
+            rounds: 2,
+            ops_per_round: 50,
+            insert_pct: 60,
+            delete_pct: 20,
+            seed: 5,
+        };
+        let stream = make_stream(&ds, &cfg);
+        let mut live: std::collections::HashSet<(u32, u32)> = ds.edges.iter().copied().collect();
+        for r in &stream {
+            for d in &r.del {
+                assert!(live.contains(d), "delete of never-inserted edge {d:?}");
+            }
+            live.extend(r.ins.iter().copied());
+        }
+    }
+}

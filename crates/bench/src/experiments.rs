@@ -1,13 +1,20 @@
 //! The paper's evaluation, experiment by experiment (§VI, Tables I–IX and
 //! Figures 2–3). Every function returns a [`Table`]; binaries print them.
 //!
+//! Since every structure implements [`backend::GraphBackend`], each
+//! experiment is a **generic driver**: it registers a list of
+//! `Contender`s (label + build recipe) and loops one measurement body
+//! over them. Adding a structure to a table means adding one contender
+//! line, not a new measurement arm.
+//!
 //! Throughputs/times are from modeled GPU time (DESIGN.md §2); the raw
 //! wall-clock of the simulation is recorded in the JSON notes where useful.
 
-use crate::harness::{fnum, measure, measure_traced, scale_shift, Table};
-use algos::{tc_faimgraph, tc_hornet, tc_slabgraph};
+use crate::harness::{fnum, measure, scale_shift, trace_begin, trace_complete, Table};
+use algos::tc;
+use backend::GraphBackend;
 use baselines::{sort, Csr, FaimGraph, Hornet};
-use graph_gen::{catalog, insert_batch, rmat_edges, vertex_batch, weighted, RmatParams};
+use graph_gen::{catalog, insert_batch, mirror, rmat_edges, vertex_batch, weighted, RmatParams};
 use slabgraph::{Direction, DynGraph, Edge, GraphConfig, TableKind};
 
 /// Datasets used by the update-rate tables (a representative spread of
@@ -29,10 +36,6 @@ const VDEL_DATASETS: [&str; 4] = [
     "germany_osm",
 ];
 
-fn mirror(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-    edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
-}
-
 fn to_edges(raw: &[(u32, u32)]) -> Vec<Edge> {
     weighted(raw, 99).into_iter().map(Edge::from).collect()
 }
@@ -52,6 +55,30 @@ fn build_ours(ds: &graph_gen::Dataset, kind: TableKind, direction: Direction) ->
 
 fn device_words(ds: &graph_gen::Dataset) -> usize {
     (ds.edges.len() * 8).max(1 << 20)
+}
+
+type BuildFn = Box<dyn Fn(&graph_gen::Dataset) -> Box<dyn GraphBackend>>;
+
+/// One registered structure in a generic benchmark driver: a column
+/// label plus a recipe turning a dataset into a boxed backend. Each
+/// experiment registers the contenders the corresponding paper table
+/// compares (with the experiment's own sizing/symmetrisation knobs baked
+/// into the recipe) and runs a single measurement body over them.
+struct Contender {
+    label: &'static str,
+    build: BuildFn,
+}
+
+impl Contender {
+    fn new(
+        label: &'static str,
+        build: impl Fn(&graph_gen::Dataset) -> Box<dyn GraphBackend> + 'static,
+    ) -> Self {
+        Contender {
+            label,
+            build: Box::new(build),
+        }
+    }
 }
 
 /// Table I — dataset catalog: paper stats vs. generated scaled stats.
@@ -118,7 +145,27 @@ fn update_rate_table(deletion: bool) -> Table {
     } else {
         ("table2", "Mean edge insertion rates (MEdge/s)")
     };
-    let mut t = Table::new(id, title, &["batch", "Hornet", "faimGraph", "Ours"]);
+    // Registered contenders, in column order. Every measurement below is
+    // one generic body: build, run the batched update through the trait,
+    // attribute the counter delta per kernel.
+    let contenders = [
+        Contender::new("Hornet", |ds| {
+            Box::new(Hornet::bulk_build(
+                ds.n_vertices,
+                &ds.edges,
+                device_words(ds),
+            ))
+        }),
+        Contender::new("faimGraph", |ds| {
+            Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, device_words(ds)))
+        }),
+        Contender::new("Ours", |ds| {
+            Box::new(build_ours(ds, TableKind::Map, Direction::Directed))
+        }),
+    ];
+    let mut headers = vec!["batch"];
+    headers.extend(contenders.iter().map(|c| c.label));
+    let mut t = Table::new(id, title, &headers);
     let shift = scale_shift();
     let batch_exps: Vec<u32> = (12..=15).map(|e| e + shift).collect();
     let specs: Vec<_> = UPDATE_DATASETS
@@ -129,62 +176,32 @@ fn update_rate_table(deletion: bool) -> Table {
 
     for (bi, &be) in batch_exps.iter().enumerate() {
         let bsz = 1usize << be;
-        let (mut hr, mut fr, mut or) = (vec![], vec![], vec![]);
+        let mut rates: Vec<Vec<f64>> = vec![vec![]; contenders.len()];
         for (di, ds) in datasets.iter().enumerate() {
             let batch = insert_batch(ds.n_vertices, bsz, 1000 + bi as u64);
-
-            // Ours: build static graph, then measured batch op with a
-            // per-kernel trace.
-            let g = build_ours(ds, TableKind::Map, Direction::Directed);
-            let edges = to_edges(&batch);
-            let (m, report) = measure_traced(g.device(), || {
+            for (ci, c) in contenders.iter().enumerate() {
+                let mut g = (c.build)(ds);
+                let (before, t0) = trace_begin(g.device());
                 if deletion {
-                    g.delete_edges(&edges);
+                    g.delete_edges(&batch);
                 } else {
-                    g.insert_edges(&edges);
+                    g.insert_edges(&batch);
                 }
-            });
-            assert_eq!(
-                report.kernel_sum(),
-                m.counters,
-                "per-kernel counters must sum to the phase's global delta"
-            );
-            if bi == batch_exps.len() - 1 && di == 0 {
-                t.breakdown(format!("ours, {} batch 2^{be}", specs[di].name), report);
+                let (m, report) = trace_complete(g.device(), before, t0);
+                assert_eq!(
+                    report.kernel_sum(),
+                    m.counters,
+                    "per-kernel counters must sum to the phase's global delta"
+                );
+                if c.label == "Ours" && bi == batch_exps.len() - 1 && di == 0 {
+                    t.breakdown(format!("ours, {} batch 2^{be}", specs[di].name), report);
+                }
+                rates[ci].push(m.mrate(bsz as u64));
             }
-            or.push(m.mrate(bsz as u64));
-
-            // Hornet.
-            let mut h = Hornet::bulk_build(ds.n_vertices, &ds.edges, device_words(ds));
-            let before = h.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
-            if deletion {
-                h.delete_batch(&batch);
-            } else {
-                h.insert_batch(&batch);
-            }
-            let m = crate::harness::Measurement::complete(h.device(), before, t0);
-            hr.push(m.mrate(bsz as u64));
-
-            // faimGraph.
-            let f = FaimGraph::build(ds.n_vertices, &ds.edges, device_words(ds));
-            let m = if deletion {
-                measure(f.device(), || {
-                    f.delete_batch(&batch);
-                })
-            } else {
-                measure(f.device(), || {
-                    f.insert_batch(&batch);
-                })
-            };
-            fr.push(m.mrate(bsz as u64));
         }
-        t.row(vec![
-            format!("2^{be}"),
-            fnum(mean(&hr)),
-            fnum(mean(&fr)),
-            fnum(mean(&or)),
-        ]);
+        let mut cells = vec![format!("2^{be}")];
+        cells.extend(rates.iter().map(|r| fnum(mean(r))));
+        t.row(cells);
     }
     t.note(format!(
         "mean over {:?}; batches are random pairs over existing vertices, duplicates allowed",
@@ -196,10 +213,24 @@ fn update_rate_table(deletion: bool) -> Table {
 /// Table IV — vertex-deletion throughput (MVertex/s), faimGraph vs ours,
 /// averaged over the paper's four datasets, undirected graphs.
 pub fn table4_vertex_deletion() -> Table {
+    let contenders = [
+        Contender::new("faimGraph", |ds| {
+            Box::new(FaimGraph::build(
+                ds.n_vertices,
+                &mirror(&ds.edges),
+                device_words(ds) * 2,
+            ))
+        }),
+        Contender::new("Ours", |ds| {
+            Box::new(build_ours(ds, TableKind::Map, Direction::Undirected))
+        }),
+    ];
+    let mut headers = vec!["batch"];
+    headers.extend(contenders.iter().map(|c| c.label));
     let mut t = Table::new(
         "table4",
         "Mean vertex deletion throughput (MVertex/s)",
-        &["batch", "faimGraph", "Ours"],
+        &headers,
     );
     let shift = scale_shift();
     let batch_exps: Vec<u32> = (6..=9).map(|e| e + shift).collect();
@@ -215,27 +246,29 @@ pub fn table4_vertex_deletion() -> Table {
 
     for (bi, &be) in batch_exps.iter().enumerate() {
         let bsz = 1usize << be;
-        let (mut fr, mut or) = (vec![], vec![]);
+        let mut rates: Vec<Vec<f64>> = vec![vec![]; contenders.len()];
         for ds in &datasets {
             let victims = vertex_batch(
                 ds.n_vertices,
                 bsz.min(ds.n_vertices as usize / 2),
                 77 + bi as u64,
             );
-
-            let g = build_ours(ds, TableKind::Map, Direction::Undirected);
-            let m = measure(g.device(), || {
+            for (ci, c) in contenders.iter().enumerate() {
+                let mut g = (c.build)(ds);
+                assert!(
+                    g.caps().delete_vertices,
+                    "{} cannot delete vertices",
+                    g.name()
+                );
+                let (before, t0) = trace_begin(g.device());
                 g.delete_vertices(&victims);
-            });
-            or.push(m.mrate(victims.len() as u64));
-
-            let f = FaimGraph::build(ds.n_vertices, &mirror(&ds.edges), device_words(ds) * 2);
-            let m = measure(f.device(), || {
-                f.delete_vertices(&victims);
-            });
-            fr.push(m.mrate(victims.len() as u64));
+                let (m, _) = trace_complete(g.device(), before, t0);
+                rates[ci].push(m.mrate(victims.len() as u64));
+            }
         }
-        t.row(vec![format!("2^{be}"), fnum(mean(&fr)), fnum(mean(&or))]);
+        let mut cells = vec![format!("2^{be}")];
+        cells.extend(rates.iter().map(|r| fnum(mean(r))));
+        t.row(cells);
     }
     t.note("Hornet omitted: it does not implement vertex deletion (paper §VI-A3)");
     t
@@ -243,31 +276,41 @@ pub fn table4_vertex_deletion() -> Table {
 
 /// Table V — bulk-build elapsed time (modeled ms), Hornet vs ours.
 pub fn table5_bulk_build() -> Table {
-    let mut t = Table::new(
-        "table5",
-        "Bulk build elapsed time (modeled ms)",
-        &["dataset", "Hornet", "Ours"],
-    );
+    let contenders = vec![
+        Contender::new("Hornet", |ds| {
+            Box::new(Hornet::bulk_build(
+                ds.n_vertices,
+                &ds.edges,
+                device_words(ds),
+            ))
+        }),
+        Contender::new("Ours", |ds| {
+            Box::new(build_ours(ds, TableKind::Map, Direction::Directed))
+        }),
+    ];
+    let mut headers = vec!["dataset"];
+    headers.extend(contenders.iter().map(|c| c.label));
+    let mut t = Table::new("table5", "Bulk build elapsed time (modeled ms)", &headers);
+    let model = gpu_sim::CostModel::titan_v();
     for spec in catalog::datasets() {
         let ds = spec.generate_default(29);
-        let dw = device_words(&ds);
 
         // The build *is* the measured operation: construct each structure
         // and read its device counters afterwards.
-        let model = gpu_sim::CostModel::titan_v();
-        let h = Hornet::bulk_build(ds.n_vertices, &ds.edges, dw);
-        let hornet_ms = model.seconds(&h.device().counters().snapshot()) * 1e3;
-
-        let g = build_ours(&ds, TableKind::Map, Direction::Directed);
-        let ours_ms = model.seconds(&g.device().counters().snapshot()) * 1e3;
-
-        assert_eq!(
-            h.num_edges(),
-            g.num_edges(),
-            "{}: structures disagree on unique edges",
+        let mut cells = vec![spec.name.to_string()];
+        let mut edge_counts: Vec<u64> = vec![];
+        for c in &contenders {
+            let g = (c.build)(&ds);
+            let ms = model.seconds(&g.device().counters().snapshot()) * 1e3;
+            edge_counts.push(g.num_edges());
+            cells.push(fnum(ms));
+        }
+        assert!(
+            edge_counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: structures disagree on unique edges: {edge_counts:?}",
             spec.name
         );
-        t.row(vec![spec.name.into(), fnum(hornet_ms), fnum(ours_ms)]);
+        t.row(cells);
     }
     t.note("build = COO batch -> structure, including sort/dedup (Hornet) and table init (ours)");
     t
@@ -276,10 +319,25 @@ pub fn table5_bulk_build() -> Table {
 /// Table VI — incremental build mean insertion rates (MEdge/s): empty
 /// graph, known vertex bound, single-bucket tables; batched inserts.
 pub fn table6_incremental_build() -> Table {
+    let contenders = [
+        Contender::new("Hornet", |ds| {
+            Box::new(Hornet::new(ds.n_vertices, device_words(ds)))
+        }),
+        // Ours: one bucket per vertex (§V-B2's worst case for us).
+        Contender::new("Ours", |ds| {
+            Box::new(DynGraph::with_uniform_buckets(
+                graph_config(ds, TableKind::Map, Direction::Directed),
+                ds.n_vertices,
+                1,
+            ))
+        }),
+    ];
+    let mut headers = vec!["batch"];
+    headers.extend(contenders.iter().map(|c| c.label));
     let mut t = Table::new(
         "table6",
         "Incremental build mean edge insertion rates (MEdge/s)",
-        &["batch", "Hornet", "Ours"],
+        &headers,
     );
     let shift = scale_shift();
     let names = ["ldoor", "delaunay_n23", "road_usa", "soc-LiveJournal1"];
@@ -289,32 +347,21 @@ pub fn table6_incremental_build() -> Table {
         .collect();
     for be in [12 + shift, 13 + shift, 14 + shift] {
         let bsz = 1usize << be;
-        let (mut hr, mut or) = (vec![], vec![]);
+        let mut rates: Vec<Vec<f64>> = vec![vec![]; contenders.len()];
         for ds in &datasets {
-            let all = to_edges(&ds.edges);
-            // Ours: one bucket per vertex (§V-B2's worst case for us).
-            let g = DynGraph::with_uniform_buckets(
-                graph_config(ds, TableKind::Map, Direction::Directed),
-                ds.n_vertices,
-                1,
-            );
-            let m = measure(g.device(), || {
-                for chunk in all.chunks(bsz) {
+            for (ci, c) in contenders.iter().enumerate() {
+                let mut g = (c.build)(ds);
+                let (before, t0) = trace_begin(g.device());
+                for chunk in ds.edges.chunks(bsz) {
                     g.insert_edges(chunk);
                 }
-            });
-            or.push(m.mrate(ds.edges.len() as u64));
-
-            let mut h = Hornet::new(ds.n_vertices, device_words(ds));
-            let before = h.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
-            for chunk in ds.edges.chunks(bsz) {
-                h.insert_batch(chunk);
+                let (m, _) = trace_complete(g.device(), before, t0);
+                rates[ci].push(m.mrate(ds.edges.len() as u64));
             }
-            let m = crate::harness::Measurement::complete(h.device(), before, t0);
-            hr.push(m.mrate(ds.edges.len() as u64));
         }
-        t.row(vec![format!("2^{be}"), fnum(mean(&hr)), fnum(mean(&or))]);
+        let mut cells = vec![format!("2^{be}")];
+        cells.extend(rates.iter().map(|r| fnum(mean(r))));
+        t.row(cells);
     }
     t.note(format!(
         "mean over {names:?}; ours starts with 1 bucket/vertex"
@@ -334,46 +381,57 @@ fn tc_scale(spec: &catalog::DatasetSpec) -> u32 {
 }
 
 /// Table VII — static triangle counting time (modeled ms), Hornet /
-/// faimGraph / ours (set variant).
+/// faimGraph / ours (set variant). One generic `tc` serves all three;
+/// the backend's capabilities choose hash-probe vs sorted-merge.
 pub fn table7_static_tc() -> Table {
+    let contenders = vec![
+        Contender::new("Hornet", |ds| {
+            Box::new(Hornet::bulk_build(
+                ds.n_vertices,
+                &mirror(&ds.edges),
+                device_words(ds) * 2,
+            ))
+        }),
+        Contender::new("faimGraph", |ds| {
+            Box::new(FaimGraph::build(
+                ds.n_vertices,
+                &mirror(&ds.edges),
+                device_words(ds) * 2,
+            ))
+        }),
+        Contender::new("Ours", |ds| {
+            Box::new(build_ours(ds, TableKind::Set, Direction::Undirected))
+        }),
+    ];
+    let mut headers = vec!["dataset"];
+    headers.extend(contenders.iter().map(|c| c.label));
+    headers.push("triangles");
     let mut t = Table::new(
         "table7",
         "Static triangle counting time (modeled ms)",
-        &["dataset", "Hornet", "faimGraph", "Ours", "triangles"],
+        &headers,
     );
     for spec in catalog::datasets() {
         let ds = spec.generate(tc_scale(&spec), 37);
-        let sym = mirror(&ds.edges);
-
-        let g = build_ours(&ds, TableKind::Set, Direction::Undirected);
-        let mut ours_count = 0;
-        let m_o = measure(g.device(), || {
-            ours_count = tc_slabgraph(&g);
-        });
-
-        let mut h = Hornet::bulk_build(ds.n_vertices, &sym, device_words(&ds) * 2);
-        h.sort_adjacencies(); // sort cost reported in Table VIII
-        let mut h_count = 0;
-        let m_h = measure(h.device(), || {
-            h_count = tc_hornet(&h);
-        });
-
-        let f = FaimGraph::build(ds.n_vertices, &sym, device_words(&ds) * 2);
-        f.sort_adjacencies();
-        let mut f_count = 0;
-        let m_f = measure(f.device(), || {
-            f_count = tc_faimgraph(&f);
-        });
-
-        assert_eq!(ours_count, h_count, "{}: TC mismatch", spec.name);
-        assert_eq!(ours_count, f_count, "{}: TC mismatch", spec.name);
-        t.row(vec![
-            spec.name.into(),
-            fnum(m_h.modeled_ms()),
-            fnum(m_f.modeled_ms()),
-            fnum(m_o.modeled_ms()),
-            ours_count.to_string(),
-        ]);
+        let mut cells = vec![spec.name.to_string()];
+        let mut counts: Vec<u64> = vec![];
+        for c in &contenders {
+            let mut g = (c.build)(&ds);
+            g.ensure_sorted(); // sort cost reported in Table VIII
+            let mut count = 0;
+            let m = measure(g.device(), || {
+                count = tc(g.as_ref());
+            });
+            counts.push(count);
+            cells.push(fnum(m.modeled_ms()));
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: TC mismatch across structures: {counts:?}",
+            spec.name
+        );
+        cells.push(counts[0].to_string());
+        t.row(cells);
     }
     t.note("list baselines intersect pre-sorted lists; sort cost excluded here (Table VIII)");
     t
@@ -440,54 +498,75 @@ pub fn table9_dynamic_tc() -> Table {
         let ds = spec.generate(tc_scale(&spec) / 2, 43);
         let batch_size = 1usize << (11 + shift);
 
-        let g = DynGraph::with_uniform_buckets(
-            graph_config(&ds, TableKind::Set, Direction::Undirected),
-            ds.n_vertices,
-            1,
-        );
-        let mut h = Hornet::new(ds.n_vertices, device_words(&ds) * 2);
+        // Persistent structures, updated round by round. Ours stores the
+        // undirected graph internally; Hornet needs explicitly mirrored
+        // batches and incremental re-sort maintenance before counting.
+        struct Dynamic {
+            g: Box<dyn GraphBackend>,
+            mirror_batches: bool,
+            ins_ms: f64,
+            tc_ms: f64,
+        }
+        let mut contenders = [
+            Dynamic {
+                g: Box::new(DynGraph::with_uniform_buckets(
+                    graph_config(&ds, TableKind::Set, Direction::Undirected),
+                    ds.n_vertices,
+                    1,
+                )),
+                mirror_batches: false,
+                ins_ms: 0.0,
+                tc_ms: 0.0,
+            },
+            Dynamic {
+                g: Box::new(Hornet::new(ds.n_vertices, device_words(&ds) * 2)),
+                mirror_batches: true,
+                ins_ms: 0.0,
+                tc_ms: 0.0,
+            },
+        ];
 
-        let (mut o_ins, mut o_tc, mut h_ins, mut h_tc) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         for iter in 1..=5u32 {
             let batch = insert_batch(ds.n_vertices, batch_size, 500 + iter as u64);
-            let edges = to_edges(&batch);
+            let mut tris: Vec<u64> = vec![];
+            for c in &mut contenders {
+                let (edges, touched): (Vec<(u32, u32)>, Vec<u32>) = if c.mirror_batches {
+                    let sym = mirror(&batch);
+                    let touched = sym.iter().map(|&(u, _)| u).collect();
+                    (sym, touched)
+                } else {
+                    (batch.clone(), vec![])
+                };
 
-            let m = measure(g.device(), || {
-                g.insert_edges(&edges);
-            });
-            o_ins += m.modeled_ms();
-            let mut tri_o = 0;
-            let m = measure(g.device(), || {
-                tri_o = tc_slabgraph(&g);
-            });
-            o_tc += m.modeled_ms();
+                let (before, t0) = trace_begin(c.g.device());
+                c.g.insert_edges(&edges);
+                let (m, _) = trace_complete(c.g.device(), before, t0);
+                c.ins_ms += m.modeled_ms();
 
-            let sym = mirror(&batch);
-            let before = h.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
-            h.insert_batch(&sym);
-            let m = crate::harness::Measurement::complete(h.device(), before, t0);
-            h_ins += m.modeled_ms();
-            let before = h.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
-            // Incremental sort maintenance: only batch-touched lists.
-            let touched: Vec<u32> = sym.iter().map(|&(u, _)| u).collect();
-            h.sort_touched(&touched);
-            let tri_h = tc_hornet(&h);
-            let m = crate::harness::Measurement::complete(h.device(), before, t0);
-            h_tc += m.modeled_ms();
-
-            assert_eq!(tri_o, tri_h, "{name}: iter {iter} TC mismatch");
+                let (before, t0) = trace_begin(c.g.device());
+                // Incremental sort maintenance: only batch-touched lists
+                // (a no-op for the hash-based structure).
+                c.g.ensure_sorted_touched(&touched);
+                let tri = tc(c.g.as_ref());
+                let (m, _) = trace_complete(c.g.device(), before, t0);
+                c.tc_ms += m.modeled_ms();
+                tris.push(tri);
+            }
+            assert!(
+                tris.windows(2).all(|w| w[0] == w[1]),
+                "{name}: iter {iter} TC mismatch: {tris:?}"
+            );
+            let (o, h) = (&contenders[0], &contenders[1]);
             t.row(vec![
                 name.into(),
                 iter.to_string(),
-                fnum(o_ins),
-                fnum(o_tc),
-                fnum(o_ins + o_tc),
-                fnum(h_ins),
-                fnum(h_tc),
-                fnum(h_ins + h_tc),
-                fnum((h_ins + h_tc) / (o_ins + o_tc)),
+                fnum(o.ins_ms),
+                fnum(o.tc_ms),
+                fnum(o.ins_ms + o.tc_ms),
+                fnum(h.ins_ms),
+                fnum(h.tc_ms),
+                fnum(h.ins_ms + h.tc_ms),
+                fnum((h.ins_ms + h.tc_ms) / (o.ins_ms + o.tc_ms)),
             ]);
         }
     }
@@ -589,7 +668,7 @@ pub fn fig3_tc_load_factor() -> Table {
             let stats = g.stats();
             let mut tri = 0;
             let m = measure(g.device(), || {
-                tri = tc_slabgraph(&g);
+                tri = tc(&g);
             });
             t.row(vec![
                 avg_deg.to_string(),

@@ -1,6 +1,6 @@
 //! Shared measurement and reporting utilities.
 
-use gpu_sim::{CostModel, CounterSnapshot, Device, Json, TraceReport};
+use gpu_sim::{CostModel, CounterSnapshot, Device, Json, TraceReport, TraceSnapshot};
 use std::time::Instant;
 
 /// One measured phase: host wall-clock plus modeled GPU time derived from
@@ -65,6 +65,34 @@ pub fn measure_traced(dev: &Device, f: impl FnOnce()) -> (Measurement, TraceRepo
     let before = dev.trace();
     let t0 = Instant::now();
     f();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let delta = dev.trace().delta(&before);
+    let report = TraceReport::new(&delta, &model);
+    (
+        Measurement {
+            wall_s,
+            modeled_s: model.seconds(&delta.global),
+            counters: delta.global,
+        },
+        report,
+    )
+}
+
+/// Begin a traced phase for an operation that needs `&mut` access to the
+/// structure owning the device: snapshot the trace and the clock, run the
+/// operation, then finish with [`trace_complete`] on the same device.
+pub fn trace_begin(dev: &Device) -> (TraceSnapshot, Instant) {
+    (dev.trace(), Instant::now())
+}
+
+/// Finish a phase begun with [`trace_begin`]: the counterpart of
+/// [`measure_traced`] for `&mut` operations.
+pub fn trace_complete(
+    dev: &Device,
+    before: TraceSnapshot,
+    t0: Instant,
+) -> (Measurement, TraceReport) {
+    let model = CostModel::titan_v();
     let wall_s = t0.elapsed().as_secs_f64();
     let delta = dev.trace().delta(&before);
     let report = TraceReport::new(&delta, &model);

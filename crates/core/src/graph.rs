@@ -276,12 +276,24 @@ impl DynGraph {
         if let Some(t) = self.dict.desc(warp, v) {
             return Ok(t);
         }
-        let fresh = self.alloc.try_allocate(warp)?;
+        // Speculative: a sequential loser would have found the winner's
+        // descriptor above, so a lost install race must leave no charges.
+        warp.begin_attempt();
+        let fresh = match self.alloc.try_allocate(warp) {
+            Ok(fresh) => fresh,
+            Err(e) => {
+                warp.commit_attempt();
+                return Err(e);
+            }
+        };
         match self.dict.try_install(warp, v, fresh, 1) {
-            Ok(t) => Ok(t),
+            Ok(t) => {
+                warp.commit_attempt();
+                Ok(t)
+            }
             Err(winner) => {
-                self.alloc
-                    .free(warp, fresh)
+                warp.abort_attempt();
+                warp.uncharged(|w| self.alloc.free(w, fresh))
                     .expect("freshly allocated slab must be freeable");
                 Ok(winner)
             }

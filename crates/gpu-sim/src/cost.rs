@@ -2,7 +2,7 @@
 //!
 //! The paper's kernels are bandwidth-bound: performance is governed by how
 //! many 128-byte global-memory transactions each operation issues. The cost
-//! model turns a [`CounterSnapshot`](crate::CounterSnapshot) into *modeled
+//! model turns a [`crate::CounterSnapshot`] into *modeled
 //! time* on a TITAN V-like device, which is what the benchmark harness
 //! reports alongside host wall-clock. Absolute numbers are not expected to
 //! match the paper's testbed; relative ordering (who wins, by what factor)

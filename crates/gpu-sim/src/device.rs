@@ -221,6 +221,7 @@ impl Device {
                 warp_id: warp_id as u32,
                 active_mask,
                 kernel: kcounters.clone(),
+                attempts: std::cell::RefCell::new(Vec::new()),
             };
             kernel(&mut warp);
         };
@@ -406,6 +407,19 @@ pub struct Warp<'d> {
     /// The counters of the kernel this warp belongs to (resolved at
     /// launch, so charging from worker threads never touches the registry).
     kernel: Arc<PerfCounters>,
+    /// Stack of in-flight speculative attempts (see [`Self::begin_attempt`]).
+    /// Charges land in the innermost open attempt instead of the counters;
+    /// a `Warp` never crosses threads, so `RefCell` suffices.
+    attempts: std::cell::RefCell<Vec<AttemptTally>>,
+}
+
+/// Charges buffered for one speculative attempt.
+#[derive(Default, Clone, Copy)]
+struct AttemptTally {
+    transactions: u64,
+    atomics: u64,
+    ballots: u64,
+    shuffles: u64,
 }
 
 impl<'d> Warp<'d> {
@@ -442,14 +456,113 @@ impl<'d> Warp<'d> {
 
     #[inline]
     fn charge_transactions(&self, n: u64) {
+        if let Some(t) = self.attempts.borrow_mut().last_mut() {
+            t.transactions += n;
+            return;
+        }
         self.device.counters.add_transactions(n);
         self.kernel.add_transactions(n);
     }
 
     #[inline]
     fn charge_atomics(&self, n: u64) {
+        if let Some(t) = self.attempts.borrow_mut().last_mut() {
+            t.atomics += n;
+            return;
+        }
         self.device.counters.add_atomics(n);
         self.kernel.add_atomics(n);
+    }
+
+    #[inline]
+    fn charge_ballots(&self, n: u64) {
+        if let Some(t) = self.attempts.borrow_mut().last_mut() {
+            t.ballots += n;
+            return;
+        }
+        self.device.counters.add_ballots(n);
+        self.kernel.add_ballots(n);
+    }
+
+    #[inline]
+    fn charge_shuffles(&self, n: u64) {
+        if let Some(t) = self.attempts.borrow_mut().last_mut() {
+            t.shuffles += n;
+            return;
+        }
+        self.device.counters.add_shuffles(n);
+        self.kernel.add_shuffles(n);
+    }
+
+    // ---- speculative attempt charging ----
+    //
+    // Lock-free retry loops (slab claims, link CAS races, descriptor
+    // installs) re-execute reads/ballots when a CAS loses a race. How
+    // often that happens depends on the executor's interleaving, so
+    // charging per *physical* retry makes per-kernel profiles
+    // executor-dependent. Retry sites instead wrap each attempt in
+    // `begin_attempt`/`commit_attempt` and call `abort_attempt` on the
+    // contention-induced path, charging per *logical* probe step: the
+    // committed charges are exactly what a sequential executor — where
+    // losers simply run after winners — would have charged.
+
+    /// Open a speculative attempt: subsequent charges on this warp are
+    /// buffered until [`Self::commit_attempt`] or [`Self::abort_attempt`].
+    /// Attempts nest; charges commit into the enclosing attempt first.
+    pub fn begin_attempt(&self) {
+        self.attempts.borrow_mut().push(AttemptTally::default());
+    }
+
+    /// Commit the innermost attempt: merge its buffered charges into the
+    /// enclosing attempt, or into the real counters if none is open.
+    pub fn commit_attempt(&self) {
+        let t = {
+            let mut stack = self.attempts.borrow_mut();
+            let t = stack.pop().expect("commit_attempt without begin_attempt");
+            if let Some(parent) = stack.last_mut() {
+                parent.transactions += t.transactions;
+                parent.atomics += t.atomics;
+                parent.ballots += t.ballots;
+                parent.shuffles += t.shuffles;
+                return;
+            }
+            t
+        };
+        if t.transactions > 0 {
+            self.device.counters.add_transactions(t.transactions);
+            self.kernel.add_transactions(t.transactions);
+        }
+        if t.atomics > 0 {
+            self.device.counters.add_atomics(t.atomics);
+            self.kernel.add_atomics(t.atomics);
+        }
+        if t.ballots > 0 {
+            self.device.counters.add_ballots(t.ballots);
+            self.kernel.add_ballots(t.ballots);
+        }
+        if t.shuffles > 0 {
+            self.device.counters.add_shuffles(t.shuffles);
+            self.kernel.add_shuffles(t.shuffles);
+        }
+    }
+
+    /// Discard the innermost attempt's buffered charges (the attempt was
+    /// voided by a lost race and will be re-executed).
+    pub fn abort_attempt(&self) {
+        self.attempts
+            .borrow_mut()
+            .pop()
+            .expect("abort_attempt without begin_attempt");
+    }
+
+    /// Run `f` with all charges discarded — for cleanup work (e.g. freeing
+    /// a speculatively allocated slab) that a sequential executor would
+    /// never perform.
+    pub fn uncharged<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
+        self.begin_attempt();
+        let r = f(self);
+        self.abort_attempt();
+        r
     }
 
     // ---- warp intrinsics (charged) ----
@@ -463,32 +576,28 @@ impl<'d> Warp<'d> {
     /// itself (e.g. via [`Self::is_active`]), not into the ballot mask.
     #[inline]
     pub fn ballot(&self, preds: &Lanes<bool>) -> u32 {
-        self.device.counters.add_ballots(1);
-        self.kernel.add_ballots(1);
+        self.charge_ballots(1);
         lanes::ballot(FULL_MASK, preds)
     }
 
     /// `__ballot_sync` with an explicit mask (for sub-warp groups).
     #[inline]
     pub fn ballot_masked(&self, mask: u32, preds: &Lanes<bool>) -> u32 {
-        self.device.counters.add_ballots(1);
-        self.kernel.add_ballots(1);
+        self.charge_ballots(1);
         lanes::ballot(mask, preds)
     }
 
     /// `__shfl_sync` broadcast: every lane reads `src_lane`'s value.
     #[inline]
     pub fn shuffle<T: Copy>(&self, vals: &Lanes<T>, src_lane: u32) -> T {
-        self.device.counters.add_shuffles(1);
-        self.kernel.add_shuffles(1);
+        self.charge_shuffles(1);
         lanes::shuffle(vals, src_lane)
     }
 
     /// `__shfl_sync` indexed form.
     #[inline]
     pub fn shuffle_idx<T: Copy>(&self, vals: &Lanes<T>, idx: &Lanes<u32>) -> Lanes<T> {
-        self.device.counters.add_shuffles(1);
-        self.kernel.add_shuffles(1);
+        self.charge_shuffles(1);
         lanes::shuffle_idx(vals, idx)
     }
 

@@ -1,0 +1,58 @@
+//! Shared test fixtures and edge-list helpers.
+//!
+//! Several test suites and benchmark drivers need the same two things: a
+//! way to mirror an undirected edge list into both stored directions, and
+//! a small graph with a known triangle count. They live here so every
+//! crate uses one definition instead of redeclaring them.
+
+/// Mirror an undirected edge list into both stored directions,
+/// interleaved: `(u,v)` becomes `[(u,v), (v,u)]`. The interleaving
+/// matches the work-list order SlabGraph's own undirected insert path
+/// produces, so counter profiles are comparable across structures.
+pub fn mirror(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
+}
+
+/// Alias of [`mirror`] under the name the algorithm tests historically
+/// used.
+pub fn both_directions(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    mirror(edges)
+}
+
+/// Number of triangles in [`fixture_edges`].
+pub const FIXTURE_TRIANGLES: u64 = 10;
+
+/// A graph with a known triangle structure: K5 (C(5,3) = 10 triangles)
+/// plus a triangle-free 4-cycle on vertices 10..=13, in a 16-vertex id
+/// space. Returns `(n_vertices, undirected_edges)`.
+pub fn fixture_edges() -> (u32, Vec<(u32, u32)>) {
+    let mut e = vec![];
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            e.push((u, v));
+        }
+    }
+    e.extend_from_slice(&[(10, 11), (11, 12), (12, 13), (13, 10)]);
+    (16, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_interleaves_directions() {
+        assert_eq!(
+            mirror(&[(1, 2), (3, 4)]),
+            vec![(1, 2), (2, 1), (3, 4), (4, 3)]
+        );
+        assert_eq!(both_directions(&[(0, 7)]), vec![(0, 7), (7, 0)]);
+    }
+
+    #[test]
+    fn fixture_shape() {
+        let (n, e) = fixture_edges();
+        assert_eq!(n, 16);
+        assert_eq!(e.len(), 14, "10 K5 edges + 4 cycle edges");
+    }
+}

@@ -14,12 +14,14 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod fixtures;
 pub mod rmat;
 pub mod stats;
 pub mod synthetic;
 
 pub use batch::{delete_batch, insert_batch, vertex_batch, weighted};
 pub use catalog::{dataset, datasets, Dataset, DatasetSpec};
+pub use fixtures::{both_directions, fixture_edges, mirror, FIXTURE_TRIANGLES};
 pub use rmat::{rmat_edges, RmatParams};
 pub use stats::{degree_stats, DegreeStats};
 pub use synthetic::{delaunay_like, grid_road, random_geometric, uniform_random};

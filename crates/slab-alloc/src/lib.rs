@@ -201,8 +201,13 @@ impl SlabAllocator {
                 let mut bitmap = warp.read_word(bitmap_addr);
                 while bitmap != u32::MAX {
                     let slot = (!bitmap).trailing_zeros();
+                    // The claim is speculative: a sequential executor never
+                    // issues a failing atomicOr (it always sees the current
+                    // bitmap), so a lost race must not be charged.
+                    warp.begin_attempt();
                     let prev = warp.atomic_or(bitmap_addr, 1 << slot);
                     if prev & (1 << slot) == 0 {
+                        warp.commit_attempt();
                         // Claimed. Initialise the slab to the EMPTY pattern.
                         self.allocated.fetch_add(1, Ordering::Relaxed);
                         let slab_idx = block_in_super * SLABS_PER_BLOCK + slot as usize;
@@ -212,6 +217,7 @@ impl SlabAllocator {
                         return Ok(addr);
                     }
                     // Raced: another warp took the bit; retry on updated map.
+                    warp.abort_attempt();
                     bitmap = prev | (1 << slot);
                 }
             }

@@ -226,7 +226,11 @@ impl TableDesc {
         assert_eq!(self.kind, TableKind::Map);
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        // Each probe step is speculative: on a lost claim race the step's
+        // charges are discarded and the step re-runs, so the committed
+        // profile is the sequential one (losers simply probe after winners).
         loop {
+            warp.begin_attempt();
             let words = warp.read_slab(slab_addr);
             // Lane-parallel key compare + ballot.
             let found = warp.ballot(&Lanes::from_fn(|i| {
@@ -235,6 +239,7 @@ impl TableDesc {
             if let Some(lane) = gpu_sim::ffs(found) {
                 // Key exists: replace the value (lane+1 is the value word).
                 warp.atomic_exchange(slab_addr + lane + 1, value);
+                warp.commit_attempt();
                 return Ok(false);
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
@@ -245,11 +250,15 @@ impl TableDesc {
                 // slab (the winner may have inserted this very key).
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
                     warp.write_word(slab_addr + lane + 1, value);
+                    warp.commit_attempt();
                     return Ok(true);
                 }
+                warp.abort_attempt();
                 continue;
             }
-            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words)?;
+            let step = self.advance_or_grow(warp, alloc, slab_addr, &words);
+            warp.commit_attempt();
+            slab_addr = step?;
         }
     }
 
@@ -299,11 +308,13 @@ impl TableDesc {
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
         loop {
+            warp.begin_attempt();
             let words = warp.read_slab(slab_addr);
             let found = warp.ballot(&Lanes::from_fn(|i| {
                 SET_KEY_LANES & (1 << i) != 0 && words.get(i) == key
             }));
             if found != 0 {
+                warp.commit_attempt();
                 return Ok(false);
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
@@ -311,11 +322,15 @@ impl TableDesc {
             }));
             if let Some(lane) = gpu_sim::ffs(empties) {
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
+                    warp.commit_attempt();
                     return Ok(true);
                 }
+                warp.abort_attempt();
                 continue;
             }
-            slab_addr = self.advance_or_grow(warp, alloc, slab_addr, &words)?;
+            let step = self.advance_or_grow(warp, alloc, slab_addr, &words);
+            warp.commit_attempt();
+            slab_addr = step?;
         }
     }
 
@@ -365,6 +380,9 @@ impl TableDesc {
         let key_lanes = self.kind.key_lanes();
         let is_map = self.kind == TableKind::Map;
         'retry: loop {
+            // The whole two-stage attempt is speculative: a lost claim race
+            // aborts it and the rescan charges what a sequential loser would.
+            warp.begin_attempt();
             // Stage 1: full-chain scan for the key, remembering the first
             // tombstone and the first empty slot.
             let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
@@ -380,6 +398,7 @@ impl TableDesc {
                     if is_map {
                         warp.atomic_exchange(slab_addr + lane + 1, value);
                     }
+                    warp.commit_attempt();
                     return Ok(false);
                 }
                 let tombs = warp.ballot(&Lanes::from_fn(|i| {
@@ -420,13 +439,17 @@ impl TableDesc {
                     if is_map {
                         warp.write_word(addr + 1, value);
                     }
+                    warp.commit_attempt();
                     return Ok(true);
                 }
+                warp.abort_attempt();
                 continue 'retry;
             }
             // Chain full with no tombstones: link a fresh slab.
             let words = warp.read_slab(tail_addr);
-            self.advance_or_grow(warp, alloc, tail_addr, &words)?;
+            let grown = self.advance_or_grow(warp, alloc, tail_addr, &words);
+            warp.commit_attempt();
+            grown?;
         }
     }
 
@@ -441,19 +464,29 @@ impl TableDesc {
         let key_lanes = self.kind.key_lanes();
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
         loop {
+            warp.begin_attempt();
             let words = warp.read_slab(slab_addr);
             let found = warp.ballot(&Lanes::from_fn(|i| {
                 key_lanes & (1 << i) != 0 && words.get(i) == key
             }));
             if let Some(lane) = gpu_sim::ffs(found) {
-                // CAS so concurrent deletes of the same key count once.
-                return warp
+                // CAS so concurrent deletes of the same key count once; on
+                // a lost race re-probe this slab like a sequential loser
+                // (who would find a tombstone and keep scanning).
+                if warp
                     .atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY)
-                    .is_ok();
+                    .is_ok()
+                {
+                    warp.commit_attempt();
+                    return true;
+                }
+                warp.abort_attempt();
+                continue;
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
                 key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
             }));
+            warp.commit_attempt();
             if empties != 0 {
                 return false;
             }
@@ -586,12 +619,25 @@ impl TableDesc {
         if next != NULL_ADDR {
             return Ok(next);
         }
-        let fresh = alloc.try_allocate(warp)?;
+        // Speculative: a sequential executor only reaches the allocation
+        // when the link is genuinely NULL, so a loser's allocate + link
+        // CAS + rollback free must leave no trace in the counters.
+        warp.begin_attempt();
+        let fresh = match alloc.try_allocate(warp) {
+            Ok(fresh) => fresh,
+            Err(e) => {
+                warp.commit_attempt();
+                return Err(e);
+            }
+        };
         match warp.atomic_cas(slab_addr + NEXT_LANE as u32, NULL_ADDR, fresh) {
-            Ok(_) => Ok(fresh),
+            Ok(_) => {
+                warp.commit_attempt();
+                Ok(fresh)
+            }
             Err(winner) => {
-                alloc
-                    .free(warp, fresh)
+                warp.abort_attempt();
+                warp.uncharged(|w| alloc.free(w, fresh))
                     .expect("freshly allocated slab must be freeable");
                 Ok(winner)
             }

@@ -36,7 +36,7 @@ fn main() {
         let insert_ms = model.seconds(&g.device().counters().snapshot().delta(&before)) * 1e3;
 
         let before = g.device().counters().snapshot();
-        let triangles = tc_slabgraph(&g);
+        let triangles = tc(&g);
         let tc_ms = model.seconds(&g.device().counters().snapshot().delta(&before)) * 1e3;
 
         println!(

@@ -10,8 +10,11 @@
 //!   transaction counters, TITAN V cost model).
 //! - [`slab_alloc`] / [`slab_hash`] — the allocator and hash tables.
 //! - [`baselines`] — Hornet / faimGraph / CSR / sort workalikes.
+//! - [`backend`] — the [`backend::GraphBackend`] trait unifying all four
+//!   structures behind one generic algorithm/benchmark surface.
 //! - [`graph_gen`] — Table I dataset catalog and workload generators.
-//! - [`algos`] — triangle counting (static + dynamic) and BFS.
+//! - [`algos`] — generic triangle counting (static + dynamic) and BFS
+//!   over any [`backend::GraphBackend`].
 //!
 //! See README.md for a tour, DESIGN.md for the system inventory, and
 //! EXPERIMENTS.md for paper-vs-measured results.
@@ -26,6 +29,7 @@
 //! ```
 
 pub use algos;
+pub use backend;
 pub use baselines;
 pub use gpu_sim;
 pub use graph_gen;
@@ -35,7 +39,8 @@ pub use slabgraph;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use algos::{bfs_levels, tc_slabgraph};
+    pub use algos::{bfs_levels, tc};
+    pub use backend::{Capabilities, GraphBackend, IntersectionKind};
     pub use graph_gen::{catalog, insert_batch, vertex_batch};
     pub use slabgraph::{
         AllocError, BatchOp, BatchOutcome, Direction, DynGraph, Edge, FaultPlan, GraphConfig,

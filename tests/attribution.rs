@@ -64,6 +64,21 @@ fn kernel_counters_partition_the_global_counters() {
 
 #[test]
 fn per_kernel_profile_is_executor_independent() {
+    // Contention retries are charged per *logical* probe step (lost CAS
+    // races abort their speculative charges and the re-probe charges what
+    // a sequential loser would), so launches, warps, shuffles, and
+    // allocation are exactly executor-independent. What remains is state
+    // divergence, not retry charging: when racing warps claim slots in a
+    // different order than the sequential executor, a key can settle one
+    // slab earlier/later in its chain, shifting later walks to it by a
+    // slab (±1 transaction, ±2 ballots each), and a cross-warp duplicate
+    // race can move a group's two count-update atomics to a different
+    // group (±2 atomics each). Both are bounded by the handful of
+    // cross-warp duplicate keys per batch; we spec |Δ| ≤ max(16, 0.2 %)
+    // per kernel for those three counters and require exact equality for
+    // everything else.
+    let bound = |seq: u64| 16u64.max(seq / 512);
+    let within = |s: u64, t: u64| s.abs_diff(t) <= bound(s);
     let seq = workload(ExecPolicy::Sequential);
     for threads in [2, 4] {
         let thr = workload(ExecPolicy::Threaded(threads));
@@ -75,9 +90,30 @@ fn per_kernel_profile_is_executor_independent() {
         for (s, t) in seq.iter().zip(&thr) {
             assert_eq!(s.name, t.name, "kernel registration order diverged");
             assert_eq!(
-                s.counters, t.counters,
-                "threaded({threads}) kernel {:?} counters diverged",
+                (
+                    s.counters.launches,
+                    s.counters.warps,
+                    s.counters.shuffles,
+                    s.counters.words_allocated
+                ),
+                (
+                    t.counters.launches,
+                    t.counters.warps,
+                    t.counters.shuffles,
+                    t.counters.words_allocated
+                ),
+                "threaded({threads}) kernel {:?} launch-shape counters diverged",
                 s.name
+            );
+            assert!(
+                within(s.counters.transactions, t.counters.transactions)
+                    && within(s.counters.atomics, t.counters.atomics)
+                    && within(s.counters.ballots, t.counters.ballots),
+                "threaded({threads}) kernel {:?} counters diverged beyond the \
+                 placement-drift bound: seq {:?} vs threaded {:?}",
+                s.name,
+                s.counters,
+                t.counters
             );
         }
     }

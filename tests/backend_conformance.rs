@@ -1,0 +1,158 @@
+//! Conformance suite for the `GraphBackend` trait layer: the single
+//! generic triangle count and BFS must produce reference-correct results
+//! over **all four** backends, on fixtures and generated datasets, and
+//! the shared read surface (degree / membership / adjacency) must agree
+//! across structures for identical logical graphs.
+
+use dynamic_graphs_gpu::algos;
+use dynamic_graphs_gpu::baselines::{Csr, FaimGraph, Hornet};
+use dynamic_graphs_gpu::graph_gen::{self, fixtures, mirror};
+use dynamic_graphs_gpu::prelude::*;
+
+/// Build every backend holding the same logical undirected graph.
+fn all_backends(n: u32, undirected: &[(u32, u32)]) -> Vec<Box<dyn GraphBackend>> {
+    let sym = mirror(undirected);
+    let words = (sym.len() * 16).max(1 << 20);
+    let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+    g.insert_edges(
+        &undirected
+            .iter()
+            .map(|&p| Edge::from(p))
+            .collect::<Vec<_>>(),
+    );
+    vec![
+        Box::new(g),
+        Box::new(Hornet::bulk_build(n, &sym, words)),
+        Box::new(FaimGraph::build(n, &sym, words)),
+        Box::new(Csr::build(n, &sym, words)),
+    ]
+}
+
+/// Host-side reference BFS levels over an undirected edge list.
+fn bfs_reference(n: u32, edges: &[(u32, u32)], src: u32) -> Vec<u32> {
+    let mut adj = vec![vec![]; n as usize];
+    for &(u, v) in edges {
+        if u != v {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+    }
+    let mut levels = vec![u32::MAX; n as usize];
+    levels[src as usize] = 0;
+    let mut q = std::collections::VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u as usize] {
+            if levels[v as usize] == u32::MAX {
+                levels[v as usize] = levels[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+#[test]
+fn generic_tc_matches_reference_on_fixture_for_every_backend() {
+    let (n, e) = fixtures::fixture_edges();
+    for mut b in all_backends(n, &e) {
+        b.ensure_sorted();
+        assert_eq!(
+            algos::tc(b.as_ref()),
+            fixtures::FIXTURE_TRIANGLES,
+            "{}",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn generic_tc_matches_reference_on_generated_datasets() {
+    for name in ["coAuthorsDBLP", "rgg_n_2_20_s0"] {
+        let ds = catalog::dataset(name).unwrap().generate(700, 27);
+        let expect = algos::tc_reference(ds.n_vertices, &ds.edges);
+        for mut b in all_backends(ds.n_vertices, &ds.edges) {
+            b.ensure_sorted();
+            assert_eq!(
+                algos::tc(b.as_ref()),
+                expect,
+                "{name}: backend {}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn generic_bfs_matches_reference_for_every_backend() {
+    let ds = catalog::dataset("delaunay_n20").unwrap().generate(600, 33);
+    let expect = bfs_reference(ds.n_vertices, &ds.edges, 0);
+    for b in all_backends(ds.n_vertices, &ds.edges) {
+        assert_eq!(
+            algos::bfs_levels(b.as_ref(), 0),
+            expect,
+            "backend {}",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn read_surface_agrees_across_backends() {
+    let edges = graph_gen::uniform_random(96, 700, 55);
+    let n = 96u32;
+    let backends = all_backends(n, &edges);
+    let reference = &backends[0];
+    let probes: Vec<(u32, u32)> = (0..n).map(|u| (u, (u * 7 + 3) % n)).collect();
+    let expect_exist = reference.edges_exist(&probes);
+    for b in &backends[1..] {
+        let name = b.name();
+        assert_eq!(b.num_vertices(), reference.num_vertices(), "{name}");
+        assert_eq!(b.num_edges(), reference.num_edges(), "{name}");
+        assert_eq!(b.edges_exist(&probes), expect_exist, "{name}");
+        for u in (0..n).step_by(7) {
+            assert_eq!(b.degree(u), reference.degree(u), "{name}: degree({u})");
+            let mut got = b.read_neighbors(u);
+            let mut want = reference.read_neighbors(u);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "{name}: adjacency of {u}");
+            let mut iterated = Vec::new();
+            b.for_each_neighbor(u, &mut |v| iterated.push(v));
+            iterated.sort_unstable();
+            assert_eq!(iterated, got, "{name}: for_each_neighbor({u})");
+        }
+    }
+}
+
+#[test]
+fn mutable_backends_track_updates_identically() {
+    let n = 128u32;
+    let base = graph_gen::uniform_random(n, 400, 61);
+    let words = 1usize << 21;
+    let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(n), n, 1);
+    g.insert_edges(&base.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+    let mut dynamic: Vec<Box<dyn GraphBackend>> = vec![
+        Box::new(g),
+        Box::new(Hornet::bulk_build(n, &base, words)),
+        Box::new(FaimGraph::build(n, &base, words)),
+    ];
+    for round in 0..3u64 {
+        let ins = insert_batch(n, 150, 900 + round);
+        let del = insert_batch(n, 60, 950 + round);
+        let mut counts = vec![];
+        for b in &mut dynamic {
+            assert!(
+                b.caps().insert_edges && b.caps().delete_edges,
+                "{}",
+                b.name()
+            );
+            b.insert_edges(&ins);
+            b.delete_edges(&del);
+            counts.push(b.num_edges());
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: edge counts diverged: {counts:?}"
+        );
+    }
+}

@@ -3,11 +3,8 @@
 
 use dynamic_graphs_gpu::algos;
 use dynamic_graphs_gpu::baselines::{Csr, FaimGraph, Hornet};
+use dynamic_graphs_gpu::graph_gen::mirror;
 use dynamic_graphs_gpu::prelude::*;
-
-fn mirror(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-    edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
-}
 
 #[test]
 fn bulk_build_agrees_with_baselines_on_every_family() {
@@ -100,18 +97,18 @@ fn triangle_counts_agree_across_structures_and_updates() {
     let c = Csr::build(n, &sym, 1 << 22);
 
     let expect = algos::tc_reference(n, &ds.edges);
-    assert_eq!(algos::tc_slabgraph(&g), expect, "ours");
-    assert_eq!(algos::tc_hornet(&h), expect, "hornet");
-    assert_eq!(algos::tc_faimgraph(&fg), expect, "faimgraph");
-    assert_eq!(algos::tc_csr(&c), expect, "csr");
+    assert_eq!(algos::tc(&g), expect, "ours");
+    assert_eq!(algos::tc(&h), expect, "hornet");
+    assert_eq!(algos::tc(&fg), expect, "faimgraph");
+    assert_eq!(algos::tc(&c), expect, "csr");
 
     // Dynamic round: insert a batch everywhere, counts must stay equal.
     let batch = insert_batch(n, 2000, 77);
     g.insert_edges(&batch.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
     h.insert_batch(&mirror(&batch));
     h.sort_adjacencies();
-    let ours = algos::tc_slabgraph(&g);
-    assert_eq!(ours, algos::tc_hornet(&h), "after dynamic batch");
+    let ours = algos::tc(&g);
+    assert_eq!(ours, algos::tc(&h), "after dynamic batch");
     assert!(ours >= expect, "triangles cannot decrease on insertion");
 }
 
