@@ -16,11 +16,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "== lint-kernels (kernel antipattern scan, lint-allow.txt budgets) =="
+cargo run -q --bin lint-kernels -- .
+
 if [ "$mode" = "quick" ]; then
     echo "== cargo test (debug) =="
     cargo test --workspace -q
     echo "== fault-injection suite (debug) =="
     cargo test -q --test fault_injection
+    echo "== sanitizer fixture suite (debug, shadow-memory checks on) =="
+    cargo test -q --features sanitize --test sanitizer
     echo "== churn workload smoke run (debug) =="
     cargo run -q -p bench --bin churn -- --rounds 2 --ops 512
 else
@@ -34,6 +39,24 @@ else
     cargo run --release -q --example quickstart
     echo "== churn workload smoke run =="
     cargo run --release -q -p bench --bin churn -- --rounds 2 --ops 512
+    echo "== sanitized test suite (racecheck/memcheck/initcheck on every device) =="
+    cargo test --workspace --release -q --features dynamic-graphs-gpu/sanitize
+    echo "== sanitized churn smoke run (small scale: shadow tracking is ~50x) =="
+    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512
+fi
+
+# Best-effort native ThreadSanitizer pass over the simulator's own
+# synchronization (needs a nightly toolchain and network-fetched std
+# sources; skipped — never failed — when either is unavailable).
+echo "== native thread-sanitizer job (best effort) =="
+if command -v rustup >/dev/null 2>&1 && rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    if RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q -p gpu-sim --lib 2>/dev/null; then
+        echo "TSan: ok"
+    else
+        echo "TSan: nightly toolchain cannot run the job here (offline or unsupported target); skipping"
+    fi
+else
+    echo "TSan: no nightly toolchain installed; skipping"
 fi
 
 echo "CI OK"

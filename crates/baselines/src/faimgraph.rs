@@ -18,8 +18,10 @@ pub const PAGE_SLOTS: u32 = 31;
 const NEXT_WORD: u32 = 31;
 const EMPTY: u32 = u32::MAX;
 
-/// Per-vertex metadata layout in device memory: [head_page, degree].
-const META_WORDS: u32 = 2;
+/// Per-vertex metadata layout in device memory: [head_page, degree, lock].
+const META_WORDS: u32 = 3;
+/// Offset of the per-vertex spin-lock word inside the metadata record.
+const LOCK_WORD: u32 = 2;
 
 /// The faimGraph-style dynamic graph store.
 pub struct FaimGraph {
@@ -27,9 +29,13 @@ pub struct FaimGraph {
     n_vertices: u32,
     /// Device address of the per-vertex metadata array.
     meta: Addr,
-    /// Free-page queue (device-side queue in the original; each pop/push
-    /// is charged one atomic).
+    /// Free-page queue. The list itself is host-side bookkeeping, but every
+    /// push/pop performs a real atomic on [`Self::qsync`] — the device
+    /// queue's ticket counter — so page recycling is release/acquire
+    /// ordered on the device, not smuggled through the host mutex.
     page_queue: Mutex<Vec<Addr>>,
+    /// Device word backing the free-page queue's ticket atomic.
+    qsync: Addr,
     /// Reusable vertex ids from deleted vertices.
     free_ids: Mutex<Vec<u32>>,
 }
@@ -40,17 +46,21 @@ impl FaimGraph {
     pub fn new(n_vertices: u32, device_words: usize) -> Self {
         let dev = Device::new(device_words);
         let meta = dev.alloc_words((n_vertices * META_WORDS) as usize, SLAB_WORDS);
+        let qsync = dev.alloc_words(1, 1);
+        dev.arena().store(qsync, 0);
         let g = FaimGraph {
             dev,
             n_vertices,
             meta,
             page_queue: Mutex::new(Vec::new()),
+            qsync,
             free_ids: Mutex::new(Vec::new()),
         };
         for v in 0..n_vertices {
             let page = g.fresh_page_host();
             g.dev.arena().store(g.meta + v * META_WORDS, page);
             g.dev.arena().store(g.meta + v * META_WORDS + 1, 0);
+            g.dev.arena().store(g.meta + v * META_WORDS + LOCK_WORD, 0);
         }
         g
     }
@@ -78,10 +88,36 @@ impl FaimGraph {
         page
     }
 
-    /// Pop a page from the free queue or carve a new one (1 atomic, like
-    /// the device queue's ticket counter).
+    /// Acquire `u`'s per-vertex spin lock — faimGraph's per-update mutual
+    /// exclusion (one worker owns a vertex's list while updating it). The
+    /// CAS is attempt-wrapped: the sequential executor never observes a
+    /// held lock, so exactly one atomic is charged; the threaded executor
+    /// really spins and really excludes.
+    fn lock_vertex(&self, warp: &Warp, u: u32) {
+        let lock = self.meta + u * META_WORDS + LOCK_WORD;
+        loop {
+            warp.begin_attempt();
+            if warp.atomic_cas(lock, 0, 1).is_ok() {
+                warp.commit_attempt();
+                return;
+            }
+            warp.abort_attempt();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Release `u`'s spin lock (one atomic; release-publishes the list
+    /// updates made under the lock).
+    fn unlock_vertex(&self, warp: &Warp, u: u32) {
+        warp.atomic_exchange(self.meta + u * META_WORDS + LOCK_WORD, 0);
+    }
+
+    /// Pop a page from the free queue or carve a new one. The queue ticket
+    /// is a real device atomic on [`Self::qsync`] (1 atomic, like the
+    /// device queue's ticket counter), which also acquire-orders this warp
+    /// after whoever freed the recycled page.
     fn alloc_page(&self, warp: &Warp) -> Addr {
-        self.dev.charge("faim_page").add_atomics(1);
+        warp.atomic_add(self.qsync, 1);
         if let Some(p) = self.page_queue.lock().pop() {
             // Re-initialise the recycled page (charged write).
             warp.write_slab(p, &{
@@ -96,8 +132,8 @@ impl FaimGraph {
         p
     }
 
-    fn free_page(&self, page: Addr) {
-        self.dev.charge("faim_page").add_atomics(1);
+    fn free_page(&self, warp: &Warp, page: Addr) {
+        warp.atomic_add(self.qsync, 1);
         self.page_queue.lock().push(page);
     }
 
@@ -199,7 +235,13 @@ impl FaimGraph {
     /// 4-byte loads each occupy a transaction slot), plus the per-update
     /// lock acquire/release atomics.
     fn insert_one(&self, warp: &Warp, u: u32, v: u32) -> bool {
-        self.dev.charge("faim_edge_insert").add_atomics(2); // vertex lock + unlock
+        self.lock_vertex(warp, u);
+        let r = self.insert_one_locked(warp, u, v);
+        self.unlock_vertex(warp, u);
+        r
+    }
+
+    fn insert_one_locked(&self, warp: &Warp, u: u32, v: u32) -> bool {
         let deg = warp.read_word(self.meta + u * META_WORDS + 1);
         let head = warp.read_word(self.meta + u * META_WORDS);
         // Duplicate check: full chain traversal.
@@ -267,7 +309,13 @@ impl FaimGraph {
     }
 
     fn delete_one(&self, warp: &Warp, u: u32, v: u32) -> bool {
-        self.dev.charge("faim_edge_delete").add_atomics(2); // vertex lock + unlock
+        self.lock_vertex(warp, u);
+        let r = self.delete_one_locked(warp, u, v);
+        self.unlock_vertex(warp, u);
+        r
+    }
+
+    fn delete_one_locked(&self, warp: &Warp, u: u32, v: u32) -> bool {
         let deg = warp.read_word(self.meta + u * META_WORDS + 1);
         if deg == 0 {
             return false;
@@ -317,7 +365,7 @@ impl FaimGraph {
                 }
                 p = next;
             }
-            self.free_page(last_page);
+            self.free_page(warp, last_page);
         }
         warp.write_word(self.meta + u * META_WORDS + 1, deg - 1);
         true
@@ -335,6 +383,10 @@ impl FaimGraph {
                     if i % 128 != warp.warp_id() as usize % 128 && vertices.len().min(128) > 1 {
                         continue;
                     }
+                    // Snapshot the victim's neighbours under its own lock
+                    // — another warp may concurrently be editing this list
+                    // (e.g. removing *its* victim from it).
+                    self.lock_vertex(warp, victim);
                     let neighbors = {
                         let deg = warp.read_word(self.meta + victim * META_WORDS + 1);
                         let mut page = warp.read_word(self.meta + victim * META_WORDS);
@@ -350,17 +402,23 @@ impl FaimGraph {
                         }
                         out
                     };
+                    self.unlock_vertex(warp, victim);
+                    // Each neighbour edit takes that neighbour's lock; no
+                    // lock is ever held across another acquisition, so the
+                    // discipline is deadlock-free.
                     for n in neighbors {
                         if n != victim && n < self.n_vertices {
                             self.delete_one(warp, n, victim);
                         }
                     }
-                    // Free all pages except the head (which stays, emptied).
+                    // Re-acquire the victim to tear down its chain: free
+                    // all pages except the head (which stays, emptied).
+                    self.lock_vertex(warp, victim);
                     let head = warp.read_word(self.meta + victim * META_WORDS);
                     let mut page = warp.read_slab(head).get(NEXT_WORD as usize);
                     while page != NULL_ADDR {
                         let next = warp.read_slab(page).get(NEXT_WORD as usize);
-                        self.free_page(page);
+                        self.free_page(warp, page);
                         page = next;
                     }
                     warp.write_slab(head, &{
@@ -369,6 +427,7 @@ impl FaimGraph {
                         init
                     });
                     warp.write_word(self.meta + victim * META_WORDS + 1, 0);
+                    self.unlock_vertex(warp, victim);
                     self.free_ids.lock().push(victim);
                 }
             });
@@ -395,8 +454,11 @@ impl FaimGraph {
     }
 
     fn upload(&self, data: &[u32]) -> Addr {
-        let padded = data.len().div_ceil(SLAB_WORDS) * SLAB_WORDS;
-        let buf = self.dev.alloc_words(padded.max(SLAB_WORDS), SLAB_WORDS);
+        let padded = (data.len().div_ceil(SLAB_WORDS) * SLAB_WORDS).max(SLAB_WORDS);
+        let buf = self.dev.alloc_words(padded, SLAB_WORDS);
+        // Write the pad words too: kernels fetch whole slabs, and a
+        // partially-written staging buffer would be an uninitialised read.
+        self.dev.arena().fill(buf, padded, 0);
         for (i, &w) in data.iter().enumerate() {
             self.dev.arena().store(buf + i as u32, w);
         }

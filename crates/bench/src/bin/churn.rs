@@ -30,9 +30,10 @@ fn main() {
             "--inserts" => cfg.insert_pct = val("--inserts").parse().expect("--inserts: percent"),
             "--deletes" => cfg.delete_pct = val("--deletes").parse().expect("--deletes: percent"),
             "--seed" => cfg.seed = val("--seed").parse().expect("--seed: integer"),
+            "--scale" => cfg.scale = Some(val("--scale").parse().expect("--scale: vertices")),
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed"
+                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale"
                 );
                 std::process::exit(2);
             }

@@ -31,6 +31,11 @@ pub struct ChurnConfig {
     pub delete_pct: u32,
     /// Stream seed: same seed, same stream, every backend.
     pub seed: u64,
+    /// Override the dataset's default vertex scale. The sanitized CI
+    /// smoke uses this: shadow-memory tracking multiplies the cost of
+    /// every word access, so it runs a small instance of the same
+    /// stream rather than the full benchmark scale.
+    pub scale: Option<u32>,
 }
 
 impl Default for ChurnConfig {
@@ -42,6 +47,7 @@ impl Default for ChurnConfig {
             insert_pct: 50,
             delete_pct: 30,
             seed: 71,
+            scale: None,
         }
     }
 }
@@ -101,7 +107,10 @@ fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
 pub fn churn(cfg: &ChurnConfig) -> Table {
     let spec = catalog::dataset(&cfg.dataset)
         .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
-    let ds = spec.generate_default(cfg.seed);
+    let ds = match cfg.scale {
+        Some(n) => spec.generate(n, cfg.seed),
+        None => spec.generate_default(cfg.seed),
+    };
     let stream = make_stream(&ds, cfg);
     let dw = (ds.edges.len() * 8).max(1 << 20);
 
@@ -178,6 +187,14 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
             m.counters,
             "{name}: churn per-kernel counters must sum to the stream's delta"
         );
+        // Under `--features sanitize` every backend device carries the
+        // shadow-memory checker; a churn stream must finish clean (the
+        // escalation hook would also have aborted mid-launch).
+        let findings = g.device().sanitizer_findings();
+        assert!(
+            findings.is_empty(),
+            "{name}: churn must be sanitizer-clean, got {findings:?}"
+        );
         hit_counts.push(hits);
         let rate = |items: u64, secs: f64| {
             if secs <= 0.0 {
@@ -232,6 +249,7 @@ mod tests {
             insert_pct: 40,
             delete_pct: 30,
             seed: 9,
+            scale: None,
         };
         let a = make_stream(&ds, &cfg);
         let b = make_stream(&ds, &cfg);
@@ -256,6 +274,7 @@ mod tests {
             insert_pct: 60,
             delete_pct: 20,
             seed: 5,
+            scale: None,
         };
         let stream = make_stream(&ds, &cfg);
         let mut live: std::collections::HashSet<(u32, u32)> = ds.edges.iter().copied().collect();

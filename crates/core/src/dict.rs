@@ -147,10 +147,13 @@ impl VertexDict {
         if base == NULL_ADDR {
             return None;
         }
+        // A racing `try_install` winner may not have published the bucket
+        // count yet; lazily built tables always start at one bucket, so a
+        // transient zero (which would poison the bucket modulo) reads as 1.
         Some(TableDesc {
             kind: self.kind,
             base,
-            num_buckets: words.get(1),
+            num_buckets: words.get(1).max(1),
         })
     }
 
@@ -177,7 +180,10 @@ impl VertexDict {
         let e = self.entry_addr(v);
         match warp.atomic_cas(e, NULL_ADDR, fresh_base) {
             Ok(_) => {
-                warp.write_word(e + 1, num_buckets);
+                // Atomic publication: the winning CAS orders the base word
+                // only. A concurrent `desc()` that already saw the new base
+                // would read this word unordered if it were a plain store.
+                warp.atomic_exchange(e + 1, num_buckets);
                 Ok(TableDesc {
                     kind: self.kind,
                     base: fresh_base,

@@ -80,6 +80,7 @@ impl DynGraph {
             initial_words: config.device_words,
             capacity_words: config.device_capacity_words,
             policy: ExecPolicy::Sequential,
+            ..DeviceConfig::default()
         });
         let alloc = SlabAllocator::new(&dev, config.pool_slabs);
         let dict = VertexDict::new(&dev, config.kind, config.vertex_capacity);

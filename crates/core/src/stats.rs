@@ -79,6 +79,9 @@ impl DynGraph {
     /// [`crate::BatchOutcome`] guarantees the graph still passes.
     ///
     /// Checks, in order of detection:
+    /// - sanitizer findings: when the device carries a shadow-memory
+    ///   sanitizer (see `gpu_sim::sanitizer`), any recorded race,
+    ///   lifetime, or initialization violation fails the audit first;
     /// - slot accounting: every key slot classifies as exactly one of
     ///   live / tombstone / empty, and empty slots only appear in a
     ///   chain's tail slab (deletion writes tombstones, never empties);
@@ -89,6 +92,12 @@ impl DynGraph {
     /// - every live pool slab is reachable from some table chain (no
     ///   leaks, including after failed or retried batches).
     pub fn validate(&self) -> Result<(), ValidationError> {
+        if let Some(san) = self.dev.sanitizer() {
+            let count = san.finding_count();
+            if count > 0 {
+                return Err(ValidationError::SanitizerFindings { count });
+            }
+        }
         let cap = self.dict.capacity();
         let first: parking_lot::Mutex<Option<ValidationError>> = parking_lot::Mutex::new(None);
         let reachable = parking_lot::Mutex::new(std::collections::HashSet::new());
@@ -177,6 +186,8 @@ pub enum ValidationError {
     /// Live pool slabs and table-reachable pool slabs disagree (a slab
     /// leaked, or a freed slab is still linked).
     SlabLeak { reachable: u64, live: u64 },
+    /// The device's shadow-memory sanitizer recorded violations.
+    SanitizerFindings { count: u64 },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -204,6 +215,9 @@ impl std::fmt::Display for ValidationError {
                 f,
                 "{live} live pool slabs but {reachable} reachable from tables"
             ),
+            ValidationError::SanitizerFindings { count } => {
+                write!(f, "sanitizer recorded {count} violation(s)")
+            }
         }
     }
 }

@@ -167,13 +167,30 @@ impl DynGraph {
             self.check_id(v)?;
         }
         let count = vertices.len() as u32;
+        let undirected = self.config.direction == Direction::Undirected;
         let staged = (|| -> Result<_, gpu_sim::OomError> {
             let verts_buf = self.try_upload(vertices, u32::MAX)?;
             // Line 1: the shared work-queue counter lives in device memory.
             let queue = self.dev.try_alloc_words(1, 1)?;
-            Ok((verts_buf, queue))
+            // Victim bitmap (undirected only): warps must skip destinations
+            // that are themselves victims — their tables are torn down
+            // wholesale by their owning warp, and deleting from them here
+            // would race with that teardown (and underflow a just-zeroed
+            // edge count).
+            let victim_bits = if undirected {
+                let bm_words = (self.dict.capacity() as usize).div_ceil(32).max(1);
+                let bm = self.dev.try_alloc_words(bm_words, 1)?;
+                self.dev.arena().fill(bm, bm_words, 0);
+                for &v in vertices {
+                    self.dev.arena().fetch_or(bm + v / 32, 1 << (v % 32));
+                }
+                bm
+            } else {
+                gpu_sim::NULL_ADDR
+            };
+            Ok((verts_buf, queue, victim_bits))
         })();
-        let (verts_buf, queue) = match staged {
+        let (verts_buf, queue, victim_bits) = match staged {
             Ok(bufs) => bufs,
             Err(e) => {
                 return Ok(BatchOutcome {
@@ -189,7 +206,6 @@ impl DynGraph {
         };
         self.dev.arena().store(queue, 0);
 
-        let undirected = self.config.direction == Direction::Undirected;
         let n_warps = (count as usize).min(128);
         self.dev.launch_warps("vertex_delete", n_warps, |warp| {
             loop {
@@ -214,6 +230,13 @@ impl DynGraph {
                         for lane in iter_bits(valid) {
                             let dst = view.words.get(lane as usize);
                             if dst == victim {
+                                continue;
+                            }
+                            // Fellow victims are skipped: their owning warp
+                            // frees the whole table (racing with it here
+                            // would touch memory mid-teardown).
+                            let bits = warp.read_word(victim_bits + dst / 32);
+                            if bits & (1 << (dst % 32)) != 0 {
                                 continue;
                             }
                             // Line 16: delete victim from dst's table.

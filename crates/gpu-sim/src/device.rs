@@ -17,7 +17,9 @@ use crate::counters::PerfCounters;
 use crate::fault::{FaultInjector, FaultPlan, OomError};
 use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
 use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
+use crate::sanitizer::{AccessKind, Finding, Sanitizer, SanitizerConfig, WarpRace};
 use crate::trace::{Charge, KernelRegistry, KernelSpec, LaunchShape, TraceSnapshot, HOST_KERNEL};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How kernels are executed on the host.
@@ -42,6 +44,12 @@ pub struct DeviceConfig {
     pub capacity_words: Option<u64>,
     /// How launched kernels are executed.
     pub policy: ExecPolicy,
+    /// Optional shadow-memory sanitizer (see [`crate::sanitizer`]).
+    /// `None` (the default) costs one `Option` check per memory access
+    /// and charges nothing either way. Building with the `sanitize`
+    /// cargo feature flips the default to an escalating sanitizer, so an
+    /// unmodified test suite runs fully sanitized.
+    pub sanitize: Option<SanitizerConfig>,
 }
 
 impl Default for DeviceConfig {
@@ -50,6 +58,11 @@ impl Default for DeviceConfig {
             initial_words: 1 << 20,
             capacity_words: None,
             policy: ExecPolicy::Sequential,
+            sanitize: if cfg!(feature = "sanitize") {
+                Some(SanitizerConfig::default().with_escalation(true))
+            } else {
+                None
+            },
         }
     }
 }
@@ -74,6 +87,12 @@ impl DeviceConfig {
         self.policy = policy;
         self
     }
+
+    /// Attach a shadow-memory sanitizer with the given configuration.
+    pub fn with_sanitizer(mut self, sanitize: SanitizerConfig) -> Self {
+        self.sanitize = Some(sanitize);
+        self
+    }
 }
 
 /// A simulated GPU: global-memory arena, performance counters (global and
@@ -94,6 +113,15 @@ pub struct Device {
     /// Deterministic fault-injection state, consulted by fallible
     /// allocation paths via [`Device::fault_check`].
     faults: FaultInjector,
+    /// Optional shadow-memory sanitizer (also attached to the arena for
+    /// initialization tracking).
+    san: Option<Arc<Sanitizer>>,
+    /// Global launch counter. Every launch fully joins its warps before
+    /// returning, so each launch is a barrier and opens a new *era*: the
+    /// sanitizer's racecheck only considers same-era accesses, and the
+    /// slab allocator's quarantine holds freed slabs until the era
+    /// advances.
+    era: AtomicU64,
 }
 
 impl Device {
@@ -110,17 +138,40 @@ impl Device {
 
     /// Create a device from a full [`DeviceConfig`].
     pub fn with_config(config: DeviceConfig) -> Self {
+        let san = config.sanitize.map(|cfg| Arc::new(Sanitizer::new(cfg)));
+        let mut arena = DeviceArena::with_capacity(
+            config.initial_words,
+            config.capacity_words.unwrap_or(u64::MAX),
+        );
+        if let Some(s) = &san {
+            arena.attach_sanitizer(s.clone());
+        }
         Device {
-            arena: DeviceArena::with_capacity(
-                config.initial_words,
-                config.capacity_words.unwrap_or(u64::MAX),
-            ),
+            arena,
             counters: PerfCounters::new(),
             policy: config.policy,
             registry: KernelRegistry::new(),
             scope: parking_lot::Mutex::new(Vec::new()),
             faults: FaultInjector::default(),
+            san,
+            era: AtomicU64::new(0),
         }
+    }
+
+    /// The attached shadow-memory sanitizer, if this device was built
+    /// with one.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.san.as_ref()
+    }
+
+    /// The sanitizer's findings (empty when no sanitizer is attached).
+    pub fn sanitizer_findings(&self) -> Vec<Finding> {
+        self.san.as_ref().map(|s| s.findings()).unwrap_or_default()
+    }
+
+    /// The global launch counter; each completed launch is a barrier.
+    pub fn launch_era(&self) -> u64 {
+        self.era.load(Ordering::Relaxed)
     }
 
     /// Change the execution policy (between phases).
@@ -197,6 +248,7 @@ impl Device {
         }
         self.counters.add_warps(n_warps as u64);
         kcounters.add_warps(n_warps as u64);
+        let era = self.era.fetch_add(1, Ordering::Relaxed) + 1;
         if n_warps == 0 {
             return;
         }
@@ -220,8 +272,13 @@ impl Device {
                 device: self,
                 warp_id: warp_id as u32,
                 active_mask,
+                name: spec.name,
                 kernel: kcounters.clone(),
                 attempts: std::cell::RefCell::new(Vec::new()),
+                race: self
+                    .san
+                    .as_ref()
+                    .map(|_| std::cell::RefCell::new(WarpRace::new(era, warp_id as u32))),
             };
             kernel(&mut warp);
         };
@@ -246,6 +303,9 @@ impl Device {
                     }
                 });
             }
+        }
+        if let Some(s) = &self.san {
+            s.escalate_after_launch();
         }
     }
 
@@ -404,6 +464,9 @@ pub struct Warp<'d> {
     device: &'d Device,
     warp_id: u32,
     active_mask: u32,
+    /// The launched kernel's own name (innermost, not the fused-scope
+    /// attribution target) — sanitizer findings carry it as provenance.
+    name: &'static str,
     /// The counters of the kernel this warp belongs to (resolved at
     /// launch, so charging from worker threads never touches the registry).
     kernel: Arc<PerfCounters>,
@@ -411,6 +474,8 @@ pub struct Warp<'d> {
     /// Charges land in the innermost open attempt instead of the counters;
     /// a `Warp` never crosses threads, so `RefCell` suffices.
     attempts: std::cell::RefCell<Vec<AttemptTally>>,
+    /// Racecheck vector-clock state, present iff a sanitizer is attached.
+    race: Option<std::cell::RefCell<WarpRace>>,
 }
 
 /// Charges buffered for one speculative attempt.
@@ -452,6 +517,42 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn device(&self) -> &'d Device {
         self.device
+    }
+
+    /// The name of the kernel this warp is executing (the launch's own
+    /// name, even inside a fused scope).
+    #[inline]
+    pub fn kernel_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Hand a contiguous access to the sanitizer, if one is attached.
+    /// Never charges; a single `Option` check when sanitizing is off.
+    #[inline]
+    fn san_access(&self, base: Addr, len: u32, kind: AccessKind) {
+        if let (Some(s), Some(r)) = (&self.device.san, &self.race) {
+            s.on_warp_access(
+                &mut r.borrow_mut(),
+                self.warp_id,
+                self.name,
+                base,
+                len,
+                kind,
+                self.device.arena.allocated_words(),
+            );
+        }
+    }
+
+    /// Sanitize a masked scattered access, word by word.
+    fn san_lanes(&self, addrs: &Lanes<Addr>, mask: u32, kind: AccessKind) {
+        if self.device.san.is_none() {
+            return;
+        }
+        for i in 0..WARP_SIZE {
+            if mask & (1 << i) != 0 {
+                self.san_access(addrs.0[i], 1, kind);
+            }
+        }
     }
 
     #[inline]
@@ -608,6 +709,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn read_slab(&self, base: Addr) -> Lanes<u32> {
         self.charge_transactions(1);
+        self.san_access(base, SLAB_WORDS as u32, AccessKind::PlainRead);
         Lanes(self.device.arena.load_slab(base))
     }
 
@@ -615,6 +717,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn write_slab(&self, base: Addr, words: &Lanes<u32>) {
         self.charge_transactions(1);
+        self.san_access(base, SLAB_WORDS as u32, AccessKind::PlainWrite);
         self.device.arena.store_slab(base, &words.0);
     }
 
@@ -623,6 +726,7 @@ impl<'d> Warp<'d> {
     /// touched, exactly like hardware coalescing.
     pub fn read_lanes(&self, addrs: &Lanes<Addr>, mask: u32) -> Lanes<u32> {
         self.charge_scattered(addrs, mask);
+        self.san_lanes(addrs, mask, AccessKind::PlainRead);
         Lanes::from_fn(|i| {
             if mask & (1 << i) != 0 {
                 self.device.arena.load(addrs.0[i])
@@ -635,6 +739,7 @@ impl<'d> Warp<'d> {
     /// Scattered per-lane writes with coalescing-aware charging.
     pub fn write_lanes(&self, addrs: &Lanes<Addr>, vals: &Lanes<u32>, mask: u32) {
         self.charge_scattered(addrs, mask);
+        self.san_lanes(addrs, mask, AccessKind::PlainWrite);
         for i in 0..WARP_SIZE {
             if mask & (1 << i) != 0 {
                 self.device.arena.store(addrs.0[i], vals.0[i]);
@@ -662,6 +767,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn read_word(&self, addr: Addr) -> u32 {
         self.charge_transactions(1);
+        self.san_access(addr, 1, AccessKind::PlainRead);
         self.device.arena.load(addr)
     }
 
@@ -669,6 +775,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn write_word(&self, addr: Addr, v: u32) {
         self.charge_transactions(1);
+        self.san_access(addr, 1, AccessKind::PlainWrite);
         self.device.arena.store(addr, v);
     }
 
@@ -676,6 +783,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_cas(&self, addr: Addr, expected: u32, new: u32) -> Result<u32, u32> {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.cas(addr, expected, new)
     }
 
@@ -683,6 +791,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_exchange(&self, addr: Addr, v: u32) -> u32 {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.exchange(addr, v)
     }
 
@@ -690,6 +799,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_add(&self, addr: Addr, v: u32) -> u32 {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.fetch_add(addr, v)
     }
 
@@ -697,6 +807,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_sub(&self, addr: Addr, v: u32) -> u32 {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.fetch_sub(addr, v)
     }
 
@@ -704,6 +815,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_or(&self, addr: Addr, v: u32) -> u32 {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.fetch_or(addr, v)
     }
 
@@ -711,6 +823,7 @@ impl<'d> Warp<'d> {
     #[inline]
     pub fn atomic_and(&self, addr: Addr, v: u32) -> u32 {
         self.charge_atomics(1);
+        self.san_access(addr, 1, AccessKind::Atomic);
         self.device.arena.fetch_and(addr, v)
     }
 }
@@ -723,6 +836,7 @@ mod tests {
     fn launch_tasks_covers_all_tasks_once() {
         let dev = Device::new(1024);
         let out = dev.alloc_words(100, 1);
+        dev.arena().fill(out, 100, 0);
         dev.launch_tasks("count", 100, |warp| {
             let ids = warp.global_ids();
             for (lane, id) in ids.iter() {
@@ -766,6 +880,7 @@ mod tests {
     fn slab_read_costs_one_transaction() {
         let dev = Device::new(1024);
         let slab = dev.alloc_words(SLAB_WORDS, SLAB_WORDS);
+        dev.arena().fill(slab, SLAB_WORDS, 0);
         let before = dev.counters().snapshot();
         dev.launch_tasks("slab_read", 32, |warp| {
             let _ = warp.read_slab(slab);
@@ -780,6 +895,7 @@ mod tests {
     fn scattered_access_charges_by_segment() {
         let dev = Device::new(4096);
         let base = dev.alloc_words(32 * SLAB_WORDS, SLAB_WORDS);
+        dev.arena().fill(base, 32 * SLAB_WORDS, 0);
         let before = dev.counters().snapshot();
         dev.launch_tasks("scatter", 32, |warp| {
             // All 32 lanes touch 32 different slabs: 32 transactions.
@@ -815,6 +931,7 @@ mod tests {
         let run = |policy| {
             let dev = Device::with_policy(4096, policy);
             let out = dev.alloc_words(1, 1);
+            dev.arena().fill(out, 1, 0);
             dev.launch_tasks("sum", 10_000, |warp| {
                 let mask = warp.active_mask();
                 for lane in 0..WARP_SIZE {
@@ -866,6 +983,7 @@ mod tests {
     fn launches_attribute_to_their_kernel_name() {
         let dev = Device::new(1024);
         let out = dev.alloc_words(1, 1);
+        dev.arena().fill(out, 1, 0);
         dev.launch_tasks("alpha", 64, |warp| {
             warp.atomic_add(out, 1);
         });
@@ -908,6 +1026,7 @@ mod tests {
     fn fused_scope_owns_inner_launches() {
         let dev = Device::new(1024);
         let p = dev.alloc_words(32, 32);
+        dev.arena().fill(p, 32, 0);
         let before = dev.trace();
         dev.fused_scope("outer", || {
             dev.launch_warps("inner_a", 1, |warp| {
@@ -940,6 +1059,47 @@ mod tests {
         assert_eq!(d.kernels[0].name, "rehash_like");
         assert_eq!(d.kernels[0].counters.transactions, 2);
         assert_eq!(d.kernel_sum(), d.global);
+    }
+
+    #[test]
+    fn sanitizer_detects_torn_counter_even_sequentially() {
+        // Model-based racecheck: the sequential executor reports the same
+        // logical race a threaded run could hit.
+        let dev =
+            Device::with_config(DeviceConfig::new(1024).with_sanitizer(SanitizerConfig::default()));
+        let c = dev.alloc_words(1, 1);
+        dev.arena().fill(c, 1, 0);
+        dev.launch_tasks("torn", 64, |warp| {
+            let v = warp.read_word(c);
+            warp.write_word(c, v + 1);
+        });
+        let f = dev.sanitizer_findings();
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|x| x.kernel == "torn" && x.addr == c), "{f:?}");
+    }
+
+    #[test]
+    fn sanitizer_charges_nothing() {
+        let run = |sanitize: bool| {
+            let mut cfg = DeviceConfig::new(4096);
+            cfg.sanitize = sanitize.then(SanitizerConfig::default);
+            let dev = Device::with_config(cfg);
+            let p = dev.alloc_words(64, 32);
+            dev.memset("init", p, 64, 0);
+            dev.launch_tasks("work", 200, |warp| {
+                let v = warp.read_word(p);
+                warp.atomic_add(p + 1, v + 1);
+                let _ = warp.read_slab(p + 32);
+            });
+            dev.trace()
+        };
+        let (on, off) = (run(true), run(false));
+        assert_eq!(on.global, off.global);
+        assert_eq!(on.kernels.len(), off.kernels.len());
+        for (a, b) in on.kernels.iter().zip(off.kernels.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.counters, b.counters);
+        }
     }
 
     #[test]

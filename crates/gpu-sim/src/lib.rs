@@ -26,6 +26,7 @@
 //!
 //! let dev = Device::new(1 << 10);
 //! let out = dev.alloc_words(1, 1);
+//! dev.arena().store(out, 0); // device memory is not implicitly initialized
 //! // 1000 tasks, one per lane, warp-cooperatively summed.
 //! dev.launch_tasks("warp_sum", 1000, |warp| {
 //!     let preds = Lanes::from_fn(|lane| warp.is_active(lane));
@@ -43,6 +44,7 @@ pub mod fault;
 pub mod json;
 pub mod lanes;
 pub mod memory;
+pub mod sanitizer;
 pub mod trace;
 
 pub use cost::{CostModel, TRANSACTION_BYTES};
@@ -54,6 +56,7 @@ pub use lanes::{
     ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE,
 };
 pub use memory::{Addr, DeviceArena, NULL_ADDR, SLAB_WORDS};
+pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerConfig};
 pub use trace::{
     Charge, KernelSpec, KernelStats, LaunchShape, TraceReport, TraceRow, TraceSnapshot, HOST_KERNEL,
 };

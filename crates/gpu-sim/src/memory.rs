@@ -11,7 +11,9 @@
 //! are a multiple of 32 words, a slab never straddles two segments.
 
 use crate::fault::OomError;
+use crate::sanitizer::Sanitizer;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// log2 of the segment size in words (2^20 words = 4 MiB per segment).
 const SEGMENT_SHIFT: u32 = 20;
@@ -43,6 +45,11 @@ pub struct DeviceArena {
     capacity_words: AtomicU64,
     /// Lock serialising segment publication (growth only, never reads).
     grow_lock: parking_lot::Mutex<()>,
+    /// Optional shadow-memory sanitizer. At the arena layer every store
+    /// path (host or kernel) marks words initialized; access
+    /// classification (race/lifetime checks) happens in [`crate::Warp`]'s
+    /// accessors, which know the kernel and warp provenance.
+    san: Option<Arc<Sanitizer>>,
 }
 
 impl DeviceArena {
@@ -64,9 +71,21 @@ impl DeviceArena {
             committed_words: AtomicU64::new(0),
             capacity_words: AtomicU64::new(capacity_words),
             grow_lock: parking_lot::Mutex::new(()),
+            san: None,
         };
         arena.ensure_committed(initial_words as u64);
         arena
+    }
+
+    /// Attach a shadow-memory sanitizer (construction-time only; see
+    /// [`crate::DeviceConfig`]).
+    pub(crate) fn attach_sanitizer(&mut self, san: Arc<Sanitizer>) {
+        self.san = Some(san);
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.san.as_ref()
     }
 
     /// The allocation budget in words (`u64::MAX` when unbounded).
@@ -185,44 +204,69 @@ impl DeviceArena {
     #[inline]
     pub fn store(&self, addr: Addr, v: u32) {
         self.word(addr).store(v, Ordering::Release);
+        self.mark_init(addr);
+    }
+
+    /// Mark `addr` initialized in the sanitizer's shadow (no-op without
+    /// an attached sanitizer).
+    #[inline]
+    fn mark_init(&self, addr: Addr) {
+        if let Some(s) = &self.san {
+            s.mark_init(addr);
+        }
     }
 
     /// Compare-and-swap one word; returns `Ok(expected)` on success or
     /// `Err(actual)` on failure, like hardware `atomicCAS`.
     #[inline]
     pub fn cas(&self, addr: Addr, expected: u32, new: u32) -> Result<u32, u32> {
-        self.word(addr)
-            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        let r =
+            self.word(addr)
+                .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            self.mark_init(addr);
+        }
+        r
     }
 
     /// Atomic exchange.
     #[inline]
     pub fn exchange(&self, addr: Addr, v: u32) -> u32 {
-        self.word(addr).swap(v, Ordering::AcqRel)
+        let r = self.word(addr).swap(v, Ordering::AcqRel);
+        self.mark_init(addr);
+        r
     }
 
     /// Atomic add; returns the previous value.
     #[inline]
     pub fn fetch_add(&self, addr: Addr, v: u32) -> u32 {
-        self.word(addr).fetch_add(v, Ordering::AcqRel)
+        let r = self.word(addr).fetch_add(v, Ordering::AcqRel);
+        self.mark_init(addr);
+        r
     }
 
     /// Atomic sub; returns the previous value.
     #[inline]
     pub fn fetch_sub(&self, addr: Addr, v: u32) -> u32 {
-        self.word(addr).fetch_sub(v, Ordering::AcqRel)
+        let r = self.word(addr).fetch_sub(v, Ordering::AcqRel);
+        self.mark_init(addr);
+        r
     }
 
     /// Atomic bitwise OR; returns the previous value.
     #[inline]
     pub fn fetch_or(&self, addr: Addr, v: u32) -> u32 {
-        self.word(addr).fetch_or(v, Ordering::AcqRel)
+        let r = self.word(addr).fetch_or(v, Ordering::AcqRel);
+        self.mark_init(addr);
+        r
     }
 
     /// Atomic bitwise AND; returns the previous value.
     #[inline]
     pub fn fetch_and(&self, addr: Addr, v: u32) -> u32 {
-        self.word(addr).fetch_and(v, Ordering::AcqRel)
+        let r = self.word(addr).fetch_and(v, Ordering::AcqRel);
+        self.mark_init(addr);
+        r
     }
 
     /// Read `SLAB_WORDS` consecutive words starting at the slab-aligned
@@ -246,7 +290,10 @@ impl DeviceArena {
     /// freshly allocated regions with a sentinel pattern).
     pub fn fill(&self, base: Addr, n: usize, v: u32) {
         for i in 0..n {
-            self.store(base + i as u32, v);
+            self.word(base + i as u32).store(v, Ordering::Release);
+        }
+        if let Some(s) = &self.san {
+            s.mark_init_range(base, n);
         }
     }
 }

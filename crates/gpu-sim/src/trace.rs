@@ -18,6 +18,7 @@
 use crate::cost::CostModel;
 use crate::counters::{CounterSnapshot, PerfCounters};
 use crate::json::Json;
+use crate::sanitizer::{Finding, FindingKind};
 use std::sync::Arc;
 
 /// Reserved kernel name for host-side charges issued outside any named
@@ -207,6 +208,9 @@ pub struct TraceReport {
     pub rows: Vec<TraceRow>,
     /// The phase's global totals.
     pub total: TraceRow,
+    /// Sanitizer violations recorded during the phase (empty when the
+    /// sanitizer is off or the run was clean). See [`crate::sanitizer`].
+    pub findings: Vec<Finding>,
 }
 
 impl TraceReport {
@@ -229,7 +233,15 @@ impl TraceReport {
                 counters: trace.global,
                 modeled_s: model.seconds(&trace.global),
             },
+            findings: Vec::new(),
         }
+    }
+
+    /// Attach sanitizer findings (e.g. from
+    /// [`crate::Device::sanitizer_findings`]) to the report.
+    pub fn with_findings(mut self, findings: Vec<Finding>) -> Self {
+        self.findings = findings;
+        self
     }
 
     /// Event-wise sum over the per-kernel rows (excluding the total row).
@@ -305,6 +317,15 @@ impl TraceReport {
         }
         out.push_str(&fmt_row(&rule));
         out.push_str(&fmt_row(&body[body.len() - 1]));
+        if !self.findings.is_empty() {
+            out.push_str(&format!(
+                "\nsanitizer findings ({}):\n",
+                self.findings.len()
+            ));
+            for f in &self.findings {
+                out.push_str(&format!("  {f}\n"));
+            }
+        }
         out
     }
 
@@ -326,12 +347,28 @@ impl TraceReport {
                 ("modeled_s".into(), Json::f64(r.modeled_s)),
             ])
         };
+        let finding_json = |f: &Finding| {
+            Json::Obj(vec![
+                ("kind".into(), Json::str(f.kind.as_str())),
+                ("addr".into(), Json::u64(f.addr as u64)),
+                ("kernel".into(), Json::str(&f.kernel)),
+                ("warp".into(), Json::u64(f.warp as u64)),
+                ("era".into(), Json::u64(f.era)),
+                ("other_kernel".into(), Json::str(&f.other_kernel)),
+                ("other_warp".into(), Json::u64(f.other_warp as u64)),
+                ("note".into(), Json::str(&f.note)),
+            ])
+        };
         Json::Obj(vec![
             (
                 "kernels".into(),
                 Json::Arr(self.rows.iter().map(row_json).collect()),
             ),
             ("total".into(), row_json(&self.total)),
+            (
+                "sanitizer_findings".into(),
+                Json::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
         ])
         .render_pretty()
     }
@@ -374,7 +411,41 @@ impl TraceReport {
             .map(parse_row)
             .collect::<Result<Vec<_>, _>>()?;
         let total = parse_row(v.get("total").ok_or("missing 'total'")?)?;
-        Ok(TraceReport { rows, total })
+        let parse_finding = |j: &Json| -> Result<Finding, String> {
+            let s = |key: &str| -> Result<String, String> {
+                j.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("missing finding field '{key}'"))
+            };
+            let n = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing finding field '{key}'"))
+            };
+            let kind_str = s("kind")?;
+            Ok(Finding {
+                kind: FindingKind::parse(&kind_str)
+                    .ok_or_else(|| format!("unknown finding kind '{kind_str}'"))?,
+                addr: n("addr")? as crate::memory::Addr,
+                kernel: s("kernel")?,
+                warp: n("warp")? as u32,
+                era: n("era")?,
+                other_kernel: s("other_kernel")?,
+                other_warp: n("other_warp")? as u32,
+                note: s("note")?,
+            })
+        };
+        // Absent in reports written before the sanitizer existed.
+        let findings = match v.get("sanitizer_findings").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(parse_finding).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(TraceReport {
+            rows,
+            total,
+            findings,
+        })
     }
 }
 
@@ -481,6 +552,49 @@ mod tests {
         let report = TraceReport::new(&trace, &CostModel::titan_v());
         let parsed = TraceReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn findings_roundtrip_and_render() {
+        use crate::sanitizer::NO_WARP;
+        let trace = TraceSnapshot {
+            global: snap(10, 1),
+            kernels: vec![KernelStats {
+                name: "edge_insert",
+                counters: snap(10, 1),
+            }],
+        };
+        let finding = Finding {
+            kind: FindingKind::RaceWriteWrite,
+            addr: 0x40,
+            kernel: "edge_insert".into(),
+            warp: 3,
+            era: 7,
+            other_kernel: "edge_insert".into(),
+            other_warp: 5,
+            note: "plain write races with plain write by `edge_insert` (warp 5)".into(),
+        };
+        let clean = Finding {
+            kind: FindingKind::UseAfterFree,
+            addr: 0x80,
+            kernel: "(host)".into(),
+            warp: NO_WARP,
+            era: 0,
+            other_kernel: String::new(),
+            other_warp: NO_WARP,
+            note: "freed slab".into(),
+        };
+        let report =
+            TraceReport::new(&trace, &CostModel::titan_v()).with_findings(vec![finding, clean]);
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let rendered = report.render();
+        assert!(rendered.contains("sanitizer findings (2):"));
+        assert!(rendered.contains("race-write-write"));
+        // Reports without the findings key (pre-sanitizer) still parse.
+        let bare = TraceReport::new(&trace, &CostModel::titan_v());
+        let parsed = TraceReport::from_json(&bare.to_json()).unwrap();
+        assert!(parsed.findings.is_empty());
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! the slab hash.
 
 use gpu_sim::{Addr, Device, OomError, Warp, SLAB_WORDS};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel filled into newly allocated slabs (matches slab-hash `EMPTY`).
@@ -78,6 +79,26 @@ impl From<OomError> for AllocError {
     }
 }
 
+/// Upper bound on quarantined slabs before the oldest are force-drained.
+const QUARANTINE_SLABS: usize = 1024;
+
+/// Freed slabs whose occupancy bit is deliberately left claimed until it is
+/// safe to recycle them.
+///
+/// Recycling a slab while a concurrent warp still traverses a stale pointer
+/// into it is a classic GPU allocator hazard: the traverser reads another
+/// structure's bytes and misparses them. The quarantine delays reuse until
+/// the freeing *launch* has retired — a later launch is a device-wide
+/// barrier, after which no stale pointer from the freeing launch can still
+/// be in flight — or until the ring outgrows [`QUARANTINE_SLABS`].
+#[derive(Debug, Default)]
+struct Quarantine {
+    /// `(launch era at free time, slab base)` in free order.
+    ring: VecDeque<(u64, Addr)>,
+    /// Same addresses, for O(1) double-free membership checks.
+    members: HashSet<Addr>,
+}
+
 /// Memory blocks per super-block.
 const BLOCKS_PER_SUPER: usize = 32;
 /// Slabs per memory block (one bit each in the block's bitmap word).
@@ -103,6 +124,7 @@ pub struct SlabAllocator {
     supers: RwLock<Vec<SuperBlock>>,
     allocated: AtomicU64,
     freed: AtomicU64,
+    quarantine: Mutex<Quarantine>,
 }
 
 impl SlabAllocator {
@@ -113,6 +135,7 @@ impl SlabAllocator {
             supers: RwLock::new(Vec::new()),
             allocated: AtomicU64::new(0),
             freed: AtomicU64::new(0),
+            quarantine: Mutex::new(Quarantine::default()),
         };
         let supers_needed = initial_slabs.div_ceil(SLABS_PER_SUPER).max(1);
         for _ in 0..supers_needed {
@@ -134,7 +157,11 @@ impl SlabAllocator {
         let bitmaps =
             dev.try_alloc_words(BLOCKS_PER_SUPER + SLABS_PER_SUPER * SLAB_WORDS, SLAB_WORDS)?;
         let slabs = bitmaps + BLOCKS_PER_SUPER as u32;
-        // Bitmaps start all-free (zero); arena memory is zero-initialised.
+        // Bitmaps start all-free. cudaMalloc'd memory is garbage, so write
+        // the zeros explicitly (the equivalent of the cudaMemset SlabAlloc
+        // issues at pool setup) instead of leaning on the arena's Rust-side
+        // zero-init — initcheck treats unwritten words as uninitialised.
+        dev.arena().fill(bitmaps, BLOCKS_PER_SUPER, 0);
         supers.push(SuperBlock { bitmaps, slabs });
         Ok(())
     }
@@ -180,6 +207,7 @@ impl SlabAllocator {
     /// and every table built on it are untouched.
     pub fn try_allocate(&self, warp: &Warp) -> Result<Addr, AllocError> {
         warp.device().fault_check()?;
+        self.drain_quarantine(warp.device());
         loop {
             let n_supers = self.supers.read().len();
             // Probe sequence seeded by warp id and a per-call nonce derived
@@ -212,6 +240,9 @@ impl SlabAllocator {
                         self.allocated.fetch_add(1, Ordering::Relaxed);
                         let slab_idx = block_in_super * SLABS_PER_BLOCK + slot as usize;
                         let addr = sb.slabs + (slab_idx * SLAB_WORDS) as u32;
+                        if let Some(san) = warp.device().sanitizer() {
+                            san.on_slab_alloc(addr, warp.kernel_name());
+                        }
                         let init = gpu_sim::Lanes::splat(SLAB_INIT_WORD);
                         warp.write_slab(addr, &init);
                         return Ok(addr);
@@ -227,23 +258,74 @@ impl SlabAllocator {
     }
 
     /// Warp-cooperative free of a slab previously returned by
-    /// [`Self::allocate`]. Clears the occupancy bit (one atomic).
+    /// [`Self::allocate`] (one atomic on the occupancy word).
+    ///
+    /// The slab enters *quarantine* rather than becoming immediately
+    /// reusable: its occupancy bit stays claimed until the freeing launch
+    /// has retired (see `Quarantine`), so a concurrent warp chasing a
+    /// stale pointer into the slab can never observe it recycled as
+    /// different data mid-launch. The charged atomic is a mask-preserving
+    /// no-op RMW on the bitmap word — same cost as a direct clear, and it
+    /// release-publishes the free for the eventual re-claimer to acquire.
     ///
     /// Returns [`AllocError::NotPoolAddress`] if `addr` does not belong to
     /// the pool (e.g. a statically allocated base slab) and
     /// [`AllocError::DoubleFree`] if the slab is not currently allocated —
     /// both indicate data-structure corruption, matching a debug assertion
-    /// in SlabAlloc. Neither touches the free counter.
+    /// in SlabAlloc. Neither touches the free counter; double-frees are
+    /// also recorded by the device sanitizer when one is attached.
     pub fn free(&self, warp: &Warp, addr: Addr) -> Result<(), AllocError> {
         let Some((bitmap_addr, slot)) = self.locate(addr) else {
             return Err(AllocError::NotPoolAddress { addr });
         };
-        let prev = warp.atomic_and(bitmap_addr, !(1 << slot));
-        if prev & (1 << slot) == 0 {
+        let dev = warp.device();
+        let prev = warp.atomic_and(bitmap_addr, u32::MAX);
+        let mut q = self.quarantine.lock();
+        if prev & (1 << slot) == 0 || q.members.contains(&addr) {
+            drop(q);
+            if let Some(san) = dev.sanitizer() {
+                san.report_double_free(addr, warp.kernel_name(), warp.warp_id(), dev.launch_era());
+            }
             return Err(AllocError::DoubleFree { addr });
+        }
+        q.ring.push_back((dev.launch_era(), addr));
+        q.members.insert(addr);
+        drop(q);
+        if let Some(san) = dev.sanitizer() {
+            san.on_slab_free(addr, warp.kernel_name());
         }
         self.freed.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Number of freed slabs currently held in quarantine.
+    pub fn quarantined_slabs(&self) -> usize {
+        self.quarantine.lock().ring.len()
+    }
+
+    /// Release quarantined slabs whose freeing launch has retired (a later
+    /// launch began — a device-wide barrier), plus the oldest entries
+    /// whenever the ring overflows [`QUARANTINE_SLABS`]. Uncharged: this is
+    /// host-side reclamation bookkeeping off the allocation hot path.
+    fn drain_quarantine(&self, dev: &Device) {
+        let era = dev.launch_era();
+        let mut q = self.quarantine.lock();
+        loop {
+            let force = q.ring.len() > QUARANTINE_SLABS;
+            match q.ring.front() {
+                Some(&(freed_era, addr)) if force || freed_era < era => {
+                    q.ring.pop_front();
+                    q.members.remove(&addr);
+                    if let Some((bitmap_addr, slot)) = self.locate(addr) {
+                        dev.arena().fetch_and(bitmap_addr, !(1 << slot));
+                    }
+                    if let Some(san) = dev.sanitizer() {
+                        san.on_slab_drain(addr);
+                    }
+                }
+                _ => break,
+            }
+        }
     }
 
     /// Whether `addr` lies inside the dynamic pool (vs. a static base slab).
@@ -351,6 +433,39 @@ mod tests {
         });
         assert!(alloc.capacity_slabs() > initial_capacity);
         assert_eq!(alloc.live_slabs() as usize, initial_capacity + 10);
+    }
+
+    #[test]
+    fn freed_slab_is_quarantined_until_next_launch() {
+        let dev = Device::new(1 << 17);
+        let alloc = SlabAllocator::new(&dev, 32);
+        let cap = alloc.capacity_slabs();
+        let freed = parking_lot::Mutex::new(0);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a).unwrap();
+            // Within the freeing launch the slab must NOT be recycled: a
+            // concurrent warp could still hold a stale pointer into it.
+            for _ in 0..8 {
+                assert_ne!(alloc.allocate(warp), a, "slab recycled mid-launch");
+            }
+            *freed.lock() = a;
+        });
+        let a = freed.into_inner();
+        assert_eq!(alloc.quarantined_slabs(), 1);
+        // A later launch is a device-wide barrier; the quarantine drains
+        // and the freed slab becomes claimable again.
+        let reused = parking_lot::Mutex::new(false);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            for _ in 0..cap {
+                if alloc.allocate(warp) == a {
+                    *reused.lock() = true;
+                    break;
+                }
+            }
+        });
+        assert_eq!(alloc.quarantined_slabs(), 0);
+        assert!(reused.into_inner(), "drained slab was never recycled");
     }
 
     #[test]

@@ -249,7 +249,11 @@ impl TableDesc {
                 // Claim the first empty slot; on a lost race re-read the
                 // slab (the winner may have inserted this very key).
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
-                    warp.write_word(slab_addr + lane + 1, value);
+                    // The value must be *atomically* published: a reader
+                    // that saw the claimed key in its own slab fetch may
+                    // load this value word concurrently, and the key CAS
+                    // orders the key word only.
+                    warp.atomic_exchange(slab_addr + lane + 1, value);
                     warp.commit_attempt();
                     return Ok(true);
                 }
@@ -437,7 +441,9 @@ impl TableDesc {
                 };
                 if warp.atomic_cas(addr, expected, key).is_ok() {
                     if is_map {
-                        warp.write_word(addr + 1, value);
+                        // Atomic publication — same reasoning as the
+                        // EMPTY-claim path in `replace`.
+                        warp.atomic_exchange(addr + 1, value);
                     }
                     warp.commit_attempt();
                     return Ok(true);

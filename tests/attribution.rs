@@ -138,3 +138,31 @@ fn every_launch_is_attributed_to_a_named_kernel() {
         dynamic_graphs_gpu::gpu_sim::HOST_KERNEL
     );
 }
+
+#[test]
+fn report_json_round_trips_sanitizer_findings_exactly() {
+    // Findings from a real sanitized run (not hand-built structs) must
+    // survive render → JSON → parse with every provenance field intact.
+    use dynamic_graphs_gpu::gpu_sim::{Device, DeviceConfig, SanitizerConfig};
+    let dev =
+        Device::with_config(DeviceConfig::new(1 << 12).with_sanitizer(SanitizerConfig::default()));
+    let c = dev.alloc_words(1, 1);
+    dev.arena().fill(c, 1, 0);
+    dev.launch_tasks("torn", 64, |warp| {
+        let v = warp.read_word(c);
+        warp.write_word(c, v + 1);
+    });
+    let findings = dev.sanitizer_findings();
+    assert!(!findings.is_empty());
+
+    let report =
+        TraceReport::new(&dev.trace(), &CostModel::titan_v()).with_findings(findings.clone());
+    let json = report.to_json();
+    assert!(json.contains("\"sanitizer_findings\""));
+    let round = TraceReport::from_json(&json).unwrap();
+    assert_eq!(round, report, "exact round-trip including findings");
+    assert_eq!(round.findings, findings);
+    assert!(report
+        .render()
+        .contains(&format!("sanitizer findings ({})", findings.len())));
+}

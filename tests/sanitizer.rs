@@ -1,0 +1,193 @@
+//! Integration fixtures for the shadow-memory sanitizer (DESIGN.md §13):
+//! negative kernels that **must** be flagged with full provenance, clean
+//! runs over all four backends that must not be, and proof that an
+//! attached sanitizer never perturbs performance counters.
+//!
+//! These fixtures attach their own non-escalating sanitizer at runtime,
+//! so they pass with and without the `sanitize` feature. The clean-run
+//! tests get their teeth from the sanitized CI stage, where every device
+//! in the workspace carries an escalating sanitizer.
+
+use dynamic_graphs_gpu::algos;
+use dynamic_graphs_gpu::baselines::{Csr, FaimGraph, Hornet};
+use dynamic_graphs_gpu::gpu_sim::{Addr, Device, DeviceConfig, FindingKind, SanitizerConfig};
+use dynamic_graphs_gpu::graph_gen::{fixtures, mirror};
+use dynamic_graphs_gpu::prelude::*;
+use dynamic_graphs_gpu::slab_alloc::SlabAllocator;
+
+fn sanitized_device(words: usize) -> Device {
+    Device::with_config(DeviceConfig::new(words).with_sanitizer(SanitizerConfig::default()))
+}
+
+/// Negative fixture 1: a torn read-modify-write counter. Every warp does
+/// a plain read followed by a plain write of the same word; the model
+/// must flag the conflict even under the sequential executor, with both
+/// sides' provenance.
+#[test]
+fn torn_counter_fixture_is_flagged_with_provenance() {
+    let dev = sanitized_device(1 << 12);
+    let c = dev.alloc_words(1, 1);
+    dev.arena().fill(c, 1, 0);
+    dev.launch_tasks("torn_counter", 96, |warp| {
+        let v = warp.read_word(c);
+        warp.write_word(c, v + 1);
+    });
+    let f = dev.sanitizer_findings();
+    assert!(!f.is_empty(), "torn counter must be detected");
+    for x in &f {
+        assert_eq!(x.addr, c, "{x}");
+        assert_eq!(x.kernel, "torn_counter", "{x}");
+        assert_eq!(x.other_kernel, "torn_counter", "{x}");
+        assert_ne!(x.warp, x.other_warp, "races are cross-warp: {x}");
+        assert!(
+            matches!(
+                x.kind,
+                FindingKind::RaceReadWrite | FindingKind::RaceWriteWrite
+            ),
+            "{x}"
+        );
+    }
+}
+
+/// Negative fixture 2: reading a dynamic slab after it was freed. The
+/// slab sits in quarantine (bit still claimed), so only the shadow state
+/// can catch the access — with the allocating and freeing kernels named.
+#[test]
+fn freed_slab_read_is_flagged_as_use_after_free() {
+    let dev = sanitized_device(1 << 16);
+    let alloc = SlabAllocator::new(&dev, 64);
+    let slab = std::sync::Mutex::new(0u32);
+    dev.launch_warps("writer_kernel", 1, |warp| {
+        *slab.lock().unwrap() = alloc.allocate(warp);
+    });
+    let a = *slab.lock().unwrap();
+    dev.launch_warps("free_kernel", 1, |warp| {
+        alloc.free(warp, a).unwrap();
+    });
+    dev.launch_warps("reader_kernel", 1, |warp| {
+        let _ = warp.read_slab(a);
+    });
+    let f = dev.sanitizer_findings();
+    let uaf: Vec<_> = f
+        .iter()
+        .filter(|x| x.kind == FindingKind::UseAfterFree)
+        .collect();
+    assert!(!uaf.is_empty(), "freed-slab read must be detected: {f:?}");
+    let x = uaf[0];
+    assert_eq!(x.addr, a);
+    assert_eq!(x.kernel, "reader_kernel");
+    assert_eq!(x.other_kernel, "writer_kernel", "allocation provenance");
+    assert!(
+        x.note.contains("free_kernel"),
+        "free provenance: {}",
+        x.note
+    );
+}
+
+/// A double free is reported through the allocator's typed error *and*
+/// recorded as a finding with both free sites' kernels.
+#[test]
+fn double_free_is_flagged_with_both_kernels() {
+    let dev = sanitized_device(1 << 16);
+    let alloc = SlabAllocator::new(&dev, 64);
+    dev.launch_warps("df_kernel", 1, |warp| {
+        let a = alloc.allocate(warp);
+        alloc.free(warp, a).unwrap();
+        assert!(matches!(
+            alloc.free(warp, a),
+            Err(AllocError::DoubleFree { addr }) if addr == a
+        ));
+    });
+    let f = dev.sanitizer_findings();
+    let df: Vec<_> = f
+        .iter()
+        .filter(|x| x.kind == FindingKind::DoubleFree)
+        .collect();
+    assert_eq!(df.len(), 1, "{f:?}");
+    assert_eq!(df[0].kernel, "df_kernel");
+    assert!(df[0].note.contains("df_kernel"), "{}", df[0].note);
+}
+
+/// Clean runs: the full read/compute surface of all four backends over
+/// the shared fixture graph must produce zero findings. Under the
+/// `sanitize` feature every backend's device escalates, so a violation
+/// would also abort the run outright.
+#[test]
+fn clean_runs_of_all_four_backends_report_zero_findings() {
+    let (n, e) = fixtures::fixture_edges();
+    let sym = mirror(&e);
+    let words = 1 << 20;
+    let g = DynGraph::with_uniform_buckets(GraphConfig::undirected_set(n), n, 1);
+    g.insert_edges(&e.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+    let backends: Vec<Box<dyn GraphBackend>> = vec![
+        Box::new(g),
+        Box::new(Hornet::bulk_build(n, &sym, words)),
+        Box::new(FaimGraph::build(n, &sym, words)),
+        Box::new(Csr::build(n, &sym, words)),
+    ];
+    for mut b in backends {
+        b.ensure_sorted();
+        let _ = algos::tc(b.as_ref());
+        let _ = algos::bfs_levels(b.as_ref(), 0);
+        assert_eq!(
+            b.device().sanitizer_findings(),
+            vec![],
+            "backend {}",
+            b.name()
+        );
+    }
+}
+
+/// Clean run under churn: repeated insert/delete cycles over the dynamic
+/// graph (exercising lazy table install, slab recycling through
+/// quarantine, and rehashing) stay sanitizer-clean.
+#[test]
+fn dyn_graph_update_churn_is_sanitizer_clean() {
+    let g = DynGraph::new(GraphConfig::directed_map(128));
+    let edges: Vec<Edge> = (0..512u32)
+        .map(|i| Edge::weighted(i % 97, (i * 31 + 7) % 97, i % 13))
+        .collect();
+    g.insert_edges(&edges);
+    g.delete_edges(&edges[..256]);
+    g.insert_edges(&edges[..128]);
+    g.delete_vertices(&[3, 17, 41]);
+    g.validate().expect("churned graph validates");
+    assert_eq!(g.device().sanitizer_findings(), vec![]);
+}
+
+/// The sanitizer charges nothing: an identical allocator-heavy workload
+/// run with and without an attached sanitizer produces byte-identical
+/// global and per-kernel counters.
+#[test]
+fn attached_sanitizer_never_perturbs_counters() {
+    let run = |sanitize: bool| {
+        let mut cfg = DeviceConfig::new(1 << 16);
+        if sanitize {
+            cfg = cfg.with_sanitizer(SanitizerConfig::default());
+        }
+        let dev = Device::with_config(cfg);
+        let alloc = SlabAllocator::new(&dev, 256);
+        let slabs = std::sync::Mutex::new(Vec::new());
+        dev.launch_tasks("mix", 64, |warp| {
+            let a = alloc.allocate(warp);
+            let lanes = warp.read_slab(a);
+            warp.write_slab(a, &lanes);
+            warp.atomic_add(a, 1);
+            slabs.lock().unwrap().push(a);
+        });
+        let frees: Vec<Addr> = slabs.into_inner().unwrap();
+        dev.launch_warps("reclaim", 1, |warp| {
+            for &a in &frees {
+                alloc.free(warp, a).unwrap();
+            }
+        });
+        dev.trace()
+    };
+    let (on, off) = (run(true), run(false));
+    assert_eq!(on.global, off.global);
+    assert_eq!(on.kernels.len(), off.kernels.len());
+    for (a, b) in on.kernels.iter().zip(off.kernels.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.counters, b.counters);
+    }
+}

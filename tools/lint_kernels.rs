@@ -1,0 +1,425 @@
+//! # lint-kernels — in-repo kernel antipattern lint
+//!
+//! Scans the workspace's Rust sources for device-code antipatterns that the
+//! type system cannot catch but the sanitizer (and the perf-attribution
+//! invariants) care about:
+//!
+//! - **R1 `raw-arena-access`** — calling `.arena().store/load/fill/fetch_*/
+//!   cas/exchange/store_slab/load_slab` outside `crates/gpu-sim`. Raw arena
+//!   accesses bypass the `Warp` accessors, so they charge no counters and
+//!   are invisible to racecheck. Legitimate host-side staging is budgeted
+//!   in the allowlist.
+//! - **R2 `relaxed-ordering`** — `Ordering::Relaxed` outside
+//!   `crates/gpu-sim`. Relaxed RMWs on published device pointers defeat the
+//!   acquire/release discipline the slab structures rely on; host-side
+//!   statistics counters are budgeted in the allowlist.
+//! - **R3 `unnamed-launch`** — a `launch_tasks(` / `launch_warps(` /
+//!   `memset(` call site whose kernel-name argument is not a string
+//!   literal. Dynamic names break per-kernel attribution stability and the
+//!   sanitizer's kernel provenance.
+//!
+//! ## Allowlist
+//!
+//! `lint-allow.txt` at the repo root budgets known-good hits, one entry per
+//! line:
+//!
+//! ```text
+//! # rule:path:count
+//! R1:crates/slab-alloc/src/lib.rs:2
+//! ```
+//!
+//! A file may contain at most `count` hits of `rule`; any *new* hit fails
+//! the lint (exit 1). Entries whose budget exceeds the actual hit count are
+//! reported so the budget can be tightened. Lines starting with `#` and
+//! blank lines are ignored.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -q --bin lint-kernels            # scan the workspace
+//! cargo run -q --bin lint-kernels -- <root>  # scan another tree
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: identifier, human description, and the matcher.
+struct Rule {
+    id: &'static str,
+    name: &'static str,
+    desc: &'static str,
+    /// Whether the rule applies to sources under `crates/gpu-sim`.
+    applies_to_gpu_sim: bool,
+}
+
+const RULES: [Rule; 3] = [
+    Rule {
+        id: "R1",
+        name: "raw-arena-access",
+        desc: "raw arena access bypasses Warp accessors (uncounted, unsanitized)",
+        applies_to_gpu_sim: false,
+    },
+    Rule {
+        id: "R2",
+        name: "relaxed-ordering",
+        desc: "Ordering::Relaxed outside gpu-sim defeats acquire/release publication",
+        applies_to_gpu_sim: false,
+    },
+    Rule {
+        id: "R3",
+        name: "unnamed-launch",
+        desc: "kernel launch without a literal name breaks attribution/provenance",
+        applies_to_gpu_sim: true,
+    },
+];
+
+/// A single lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Hit {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    excerpt: String,
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let hits = scan_tree(&root);
+    let allow = read_allowlist(&root.join("lint-allow.txt"));
+    report(&hits, &allow)
+}
+
+/// Compare hits against the allowlist budget; render the verdict.
+fn report(hits: &[Hit], allow: &BTreeMap<(String, String), usize>) -> ExitCode {
+    // Tally hits per (rule, file).
+    let mut tally: BTreeMap<(String, String), Vec<&Hit>> = BTreeMap::new();
+    for h in hits {
+        tally
+            .entry((h.rule.to_string(), h.path.clone()))
+            .or_default()
+            .push(h);
+    }
+    let mut failed = false;
+    for (key, file_hits) in &tally {
+        let budget = allow.get(key).copied().unwrap_or(0);
+        if file_hits.len() > budget {
+            failed = true;
+            let rule = RULES.iter().find(|r| r.id == key.0).unwrap();
+            eprintln!(
+                "lint-kernels: {} ({}) in {}: {} hit(s), {} allowed — {}",
+                rule.id,
+                rule.name,
+                key.1,
+                file_hits.len(),
+                budget,
+                rule.desc
+            );
+            for h in file_hits.iter() {
+                eprintln!("  {}:{}: {}", h.path, h.line, h.excerpt);
+            }
+        }
+    }
+    // Surface over-generous budgets so they get tightened, not hoarded.
+    for (key, budget) in allow {
+        let used = tally.get(key).map_or(0, |v| v.len());
+        if used < *budget {
+            eprintln!(
+                "lint-kernels: note: allowlist {}:{}:{} exceeds actual hits ({used}) — tighten it",
+                key.0, key.1, budget
+            );
+        }
+    }
+    if failed {
+        eprintln!("lint-kernels: FAILED — fix the hits or budget them in lint-allow.txt");
+        ExitCode::FAILURE
+    } else {
+        println!("lint-kernels: ok ({} budgeted hit(s))", hits.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively scan every `.rs` file under `root`, skipping build output,
+/// VCS metadata, and this tool's own source.
+fn scan_tree(root: &Path) -> Vec<Hit> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+    let mut hits = Vec::new();
+    for rel in files {
+        if let Ok(text) = fs::read_to_string(root.join(&rel)) {
+            scan_file(&rel.to_string_lossy().replace('\\', "/"), &text, &mut hits);
+        }
+    }
+    hits
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "tools") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Scan one file's text; `path` is repo-relative with forward slashes.
+fn scan_file(path: &str, text: &str, hits: &mut Vec<Hit>) {
+    let in_gpu_sim = path.starts_with("crates/gpu-sim/");
+    // Strip line comments so doc examples and commentary don't match.
+    let strip = |raw: &str| match raw.find("//") {
+        Some(pos) => raw[..pos].to_string(),
+        None => raw.to_string(),
+    };
+    let lines: Vec<String> = text.lines().map(strip).collect();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = &lines[idx];
+        for rule in &RULES {
+            if in_gpu_sim && !rule.applies_to_gpu_sim {
+                continue;
+            }
+            // R3's name argument may sit on the next line when rustfmt
+            // wraps the call — if this line ends at the open paren, give
+            // the matcher one line of lookahead.
+            let joined;
+            let candidate: &str = if rule.id == "R3" && line.trim_end().ends_with('(') {
+                joined = match lines.get(idx + 1) {
+                    Some(next) => format!("{} {}", line.trim_end(), next.trim_start()),
+                    None => line.clone(),
+                };
+                &joined
+            } else {
+                line
+            };
+            if matches_rule(rule.id, candidate) {
+                hits.push(Hit {
+                    rule: rule.id,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    excerpt: raw_line.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Does `line` (comment-stripped) trip `rule`?
+fn matches_rule(rule: &str, line: &str) -> bool {
+    match rule {
+        "R1" => {
+            const METHODS: [&str; 11] = [
+                "store(",
+                "load(",
+                "fill(",
+                "fetch_add(",
+                "fetch_sub(",
+                "fetch_or(",
+                "fetch_and(",
+                "cas(",
+                "exchange(",
+                "store_slab(",
+                "load_slab(",
+            ];
+            match line.find(".arena().") {
+                Some(pos) => {
+                    let rest = &line[pos + ".arena().".len()..];
+                    METHODS.iter().any(|m| rest.starts_with(m))
+                }
+                None => false,
+            }
+        }
+        "R2" => line.contains("Ordering::Relaxed"),
+        "R3" => {
+            const LAUNCHERS: [&str; 3] = ["launch_tasks(", "launch_warps(", "memset("];
+            LAUNCHERS.iter().any(|l| {
+                let mut search = line;
+                while let Some(pos) = search.find(l) {
+                    // Skip declarations (`fn launch_tasks(`) — only call
+                    // sites reached through `.` or a bare call count.
+                    let before = &search[..pos];
+                    let is_decl = before.trim_end().ends_with("fn");
+                    let arg = search[pos + l.len()..].trim_start();
+                    if !is_decl && !arg.starts_with('"') {
+                        return true;
+                    }
+                    search = &search[pos + l.len()..];
+                }
+                false
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Parse `rule:path:count` lines; missing file means an empty allowlist.
+fn read_allowlist(path: &Path) -> BTreeMap<(String, String), usize> {
+    let mut allow = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return allow;
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, ':').collect();
+        let parsed = match parts.as_slice() {
+            [rule, file, count] => count
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .map(|n| ((rule.trim().to_string(), file.trim().to_string()), n)),
+            _ => None,
+        };
+        match parsed {
+            Some((key, n)) => {
+                allow.insert(key, n);
+            }
+            None => eprintln!(
+                "lint-kernels: warning: malformed allowlist line {} ignored: {line}",
+                idx + 1
+            ),
+        }
+    }
+    allow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits_in(path: &str, text: &str) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        scan_file(path, text, &mut hits);
+        hits
+    }
+
+    #[test]
+    fn raw_arena_access_is_flagged_outside_gpu_sim() {
+        let bad = "let v = dev.arena().load(addr);\n";
+        let hits = hits_in("crates/core/src/x.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "R1");
+        assert_eq!(hits[0].line, 1);
+        // Same text inside gpu-sim is the substrate itself: allowed.
+        assert!(hits_in("crates/gpu-sim/src/x.rs", bad).is_empty());
+        // Warp accessors never match.
+        assert!(hits_in("crates/core/src/x.rs", "warp.read_word(a);\n").is_empty());
+        for m in [
+            "store(a, 1)",
+            "fill(a, 4, 0)",
+            "fetch_and(a, m)",
+            "store_slab(a, &ls)",
+            "cas(a, 0, 1)",
+        ] {
+            let text = format!("dev.arena().{m};\n");
+            assert_eq!(hits_in("src/lib.rs", &text).len(), 1, "{m}");
+        }
+    }
+
+    #[test]
+    fn relaxed_ordering_is_flagged_outside_gpu_sim() {
+        let bad = "self.allocated.fetch_add(1, Ordering::Relaxed);\n";
+        let hits = hits_in("crates/slab-alloc/src/lib.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "R2");
+        assert!(hits_in("crates/gpu-sim/src/memory.rs", bad).is_empty());
+        // Comments don't count.
+        assert!(hits_in("src/lib.rs", "// uses Ordering::Relaxed\n").is_empty());
+    }
+
+    #[test]
+    fn unnamed_launch_is_flagged_everywhere() {
+        assert_eq!(
+            hits_in("crates/core/src/x.rs", "dev.launch_tasks(name, n, k);\n")[0].rule,
+            "R3"
+        );
+        assert_eq!(
+            hits_in(
+                "crates/gpu-sim/src/x.rs",
+                "self.launch_warps(spec, n, k);\n"
+            )
+            .len(),
+            1
+        );
+        assert!(hits_in("src/x.rs", "dev.launch_tasks(\"edge_insert\", n, k);\n").is_empty());
+        // Declarations are not call sites.
+        assert!(hits_in(
+            "crates/gpu-sim/src/device.rs",
+            "pub fn launch_tasks(&self, name: &str) {\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allowlist_budgets_hits_and_fails_on_new_ones() {
+        let hit = |n: usize| Hit {
+            rule: "R1",
+            path: "crates/core/src/x.rs".into(),
+            line: n,
+            excerpt: "dev.arena().load(a)".into(),
+        };
+        let mut allow = BTreeMap::new();
+        allow.insert(("R1".to_string(), "crates/core/src/x.rs".to_string()), 1);
+        assert_eq!(report(&[hit(1)], &allow), ExitCode::SUCCESS);
+        assert_eq!(report(&[hit(1), hit(2)], &allow), ExitCode::FAILURE);
+        assert_eq!(report(&[hit(1)], &BTreeMap::new()), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn seeded_violation_in_a_real_tree_fails_the_scan() {
+        // Build a throwaway tree with one seeded violation and prove the
+        // full scan path (walk + parse + report) catches it.
+        let dir =
+            std::env::temp_dir().join(format!("lint-kernels-selftest-{}", std::process::id()));
+        let src = dir.join("crates/seeded/src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(
+            src.join("lib.rs"),
+            "pub fn bad(dev: &Device, a: Addr) -> u32 {\n    dev.arena().load(a)\n}\n",
+        )
+        .unwrap();
+        let hits = scan_tree(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "R1");
+        assert_eq!(hits[0].path, "crates/seeded/src/lib.rs");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(report(&hits, &BTreeMap::new()), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn allowlist_parses_and_ignores_junk() {
+        let dir = std::env::temp_dir().join(format!("lint-allow-selftest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint-allow.txt");
+        fs::write(
+            &path,
+            "# comment\n\nR1:crates/core/src/x.rs:2\nmalformed line\nR2:src/lib.rs:0\n",
+        )
+        .unwrap();
+        let allow = read_allowlist(&path);
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(allow.len(), 2);
+        assert_eq!(
+            allow[&("R1".to_string(), "crates/core/src/x.rs".to_string())],
+            2
+        );
+    }
+}
