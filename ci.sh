@@ -28,6 +28,11 @@ if [ "$mode" = "quick" ]; then
     cargo test -q --features sanitize --test sanitizer
     echo "== churn workload smoke run (debug) =="
     cargo run -q -p bench --bin churn -- --rounds 2 --ops 512
+    test -s BENCH_churn.json
+    echo "== profiled churn replay (debug) =="
+    cargo run -q -p bench --bin profile -- --scale 4096 --rounds 2 --ops 512 | tee /tmp/profile.out
+    grep -q "trace OK:" /tmp/profile.out   # span count == launch count, trace parsed back
+    test -s target/profile/churn.trace.json
 else
     echo "== cargo build --release =="
     cargo build --workspace --release
@@ -39,6 +44,11 @@ else
     cargo run --release -q --example quickstart
     echo "== churn workload smoke run =="
     cargo run --release -q -p bench --bin churn -- --rounds 2 --ops 512
+    test -s BENCH_churn.json
+    echo "== profiled churn replay (trace export + span/launch accounting) =="
+    cargo run --release -q -p bench --bin profile -- --scale 4096 | tee /tmp/profile.out
+    grep -q "trace OK:" /tmp/profile.out   # span count == launch count, trace parsed back
+    test -s target/profile/churn.trace.json
     echo "== sanitized test suite (racecheck/memcheck/initcheck on every device) =="
     cargo test --workspace --release -q --features dynamic-graphs-gpu/sanitize
     echo "== sanitized churn smoke run (small scale: shadow tracking is ~50x) =="

@@ -23,6 +23,7 @@ impl Csr {
     /// Self-loops and duplicates are dropped; adjacency lists end sorted.
     pub fn build(n_vertices: u32, edges: &[(u32, u32)], device_words: usize) -> Self {
         let dev = Device::new(device_words);
+        let _phase = dev.phase("bulk_build");
         let mut batch: Vec<(u32, u32)> = edges
             .iter()
             .copied()
@@ -35,10 +36,13 @@ impl Csr {
         let row_offsets = dev.alloc_words(n_vertices as usize + 1, SLAB_WORDS);
         let col_indices = dev.alloc_words((n_edges as usize).max(1), SLAB_WORDS);
         // Prefix-sum + scatter, charged as coalesced sweeps.
-        let charge = dev.charge("csr_build");
-        charge.add_launches(2);
-        charge
-            .add_transactions((n_vertices as u64 + 1).div_ceil(32) + (n_edges as u64).div_ceil(32));
+        {
+            let charge = dev.charge("csr_build");
+            charge.add_launches(2);
+            charge.add_transactions(
+                (n_vertices as u64 + 1).div_ceil(32) + (n_edges as u64).div_ceil(32),
+            );
+        }
         let mut offsets = vec![0u32; n_vertices as usize + 1];
         for &(u, _) in &batch {
             offsets[u as usize + 1] += 1;

@@ -69,6 +69,7 @@ impl FaimGraph {
     /// initialisation path, not the measured update path.
     pub fn build(n_vertices: u32, edges: &[(u32, u32)], device_words: usize) -> Self {
         let g = Self::new(n_vertices, device_words);
+        let _phase = g.dev.phase("bulk_build");
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_vertices as usize];
         for &(u, v) in edges {
             if u != v && u < n_vertices && v < n_vertices && !adj[u as usize].contains(&v) {

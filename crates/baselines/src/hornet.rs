@@ -58,6 +58,7 @@ impl Hornet {
     /// list into its block (§VI-B1 / Table V).
     pub fn bulk_build(n_vertices: u32, edges: &[(u32, u32)], device_words: usize) -> Self {
         let mut g = Self::new(n_vertices, device_words);
+        let _phase = g.dev.phase("bulk_build");
         let mut batch: Vec<(u32, u32)> = edges
             .iter()
             .copied()

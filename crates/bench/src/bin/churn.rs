@@ -9,6 +9,7 @@
 //! ```
 
 use bench::churn::{churn, ChurnConfig};
+use bench::harness::write_bench_artifact;
 
 fn main() {
     let mut cfg = ChurnConfig::default();
@@ -43,5 +44,7 @@ fn main() {
         cfg.insert_pct + cfg.delete_pct <= 100,
         "insert and delete percentages must sum to at most 100"
     );
-    churn(&cfg).emit();
+    let t = churn(&cfg);
+    t.emit();
+    write_bench_artifact("BENCH_churn.json", "churn", &[&t]);
 }

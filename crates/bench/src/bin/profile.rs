@@ -1,0 +1,136 @@
+//! Profiled churn replay: run the churn operation stream against every
+//! backend with the device timeline profiler attached, then export one
+//! merged Chrome Trace Event Format file (one pid per backend) plus a
+//! rendered per-phase / per-metric summary.
+//!
+//! ```text
+//! cargo run -p bench --release --bin profile -- --scale 4096
+//! ```
+//!
+//! The trace lands in `target/profile/churn.trace.json`; load it at
+//! <https://ui.perfetto.dev> (or chrome://tracing) to inspect per-kernel
+//! spans, host phases, and allocator instants on the modeled clock.
+
+use bench::churn::{build_backends, stream_for, ChurnConfig};
+use gpu_sim::profiler::{chrome_trace_json, parse_chrome_trace, set_default_profiler};
+use gpu_sim::{CostModel, ProfilerConfig, TraceReport};
+
+fn main() {
+    let mut cfg = ChurnConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--dataset" => cfg.dataset = val("--dataset"),
+            "--rounds" => cfg.rounds = val("--rounds").parse().expect("--rounds: integer"),
+            "--ops" => cfg.ops_per_round = val("--ops").parse().expect("--ops: integer"),
+            "--seed" => cfg.seed = val("--seed").parse().expect("--seed: integer"),
+            "--scale" => cfg.scale = Some(val("--scale").parse().expect("--scale: vertices")),
+            other => {
+                eprintln!("unknown flag {other}; known: --dataset --rounds --ops --seed --scale");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Attach a profiler to every device built from here on — including the
+    // ones baselines construct internally — before any backend exists.
+    // Large rings so a full churn replay never drops span events.
+    set_default_profiler(Some(ProfilerConfig::default().with_ring_capacity(1 << 20)));
+
+    let (ds, stream) = stream_for(&cfg);
+    let model = CostModel::titan_v();
+    let mut all_events = Vec::new();
+    let mut total_spans = 0u64;
+    let mut total_launches = 0u64;
+
+    for (pid, mut g) in build_backends(&ds).into_iter().enumerate() {
+        let name = g.name();
+        let caps = g.caps();
+        if caps.insert_edges && caps.delete_edges {
+            for round in &stream {
+                {
+                    let _p = g.device().phase("churn.insert");
+                    g.insert_edges(&round.ins);
+                }
+                {
+                    let _p = g.device().phase("churn.delete");
+                    g.delete_edges(&round.del);
+                }
+                {
+                    let _p = g.device().phase("churn.query");
+                    let _ = g.edges_exist(&round.qry);
+                }
+            }
+        } else {
+            println!(
+                "[{name}] capabilities do not cover the churn stream; profiling the build only"
+            );
+        }
+
+        let prof = g
+            .device()
+            .profiler()
+            .expect("default profiler attached before backend construction")
+            .clone();
+        let timeline = prof.timeline();
+        let stats = timeline.stats;
+        let launches = g.device().counters().snapshot().launches;
+        assert_eq!(
+            stats.spans_recorded, launches,
+            "{name}: one timeline span per kernel launch"
+        );
+        assert_eq!(
+            stats.spans_dropped + stats.host_spans_dropped,
+            0,
+            "{name}: span rings must not drop at this scale"
+        );
+
+        // The modeled clock must agree with the cost model applied to the
+        // device's total counters, to within one launch quantum: kernel
+        // spans plus host spans partition all costed work.
+        let span_total: f64 = timeline
+            .spans
+            .iter()
+            .chain(&timeline.host_spans)
+            .map(|s| s.dur_s)
+            .sum();
+        let modeled = model.seconds(&g.device().counters().snapshot());
+        assert!(
+            (span_total - modeled).abs() <= 5e-6,
+            "{name}: span durations sum to {span_total}s but the cost model says {modeled}s"
+        );
+
+        let report =
+            TraceReport::new(&g.device().trace(), &model).with_metrics(prof.metric_summaries());
+        println!("== {name}: profiled churn (build + stream) ==");
+        println!("{}", report.render());
+
+        all_events.extend(prof.chrome_events(pid as u64));
+        total_spans += stats.spans_recorded;
+        total_launches += launches;
+    }
+
+    let json = chrome_trace_json(&all_events);
+    let parsed = parse_chrome_trace(&json).expect("emitted trace must parse back");
+    assert_eq!(parsed.len(), all_events.len(), "trace round-trip count");
+
+    let dir = std::path::Path::new("target/profile");
+    std::fs::create_dir_all(dir).expect("create target/profile");
+    let path = dir.join("churn.trace.json");
+    std::fs::write(&path, &json).expect("write trace file");
+    println!(
+        "trace OK: {total_spans} spans == {total_launches} launches, {} events -> {}",
+        all_events.len(),
+        path.display()
+    );
+    println!("load it at https://ui.perfetto.dev (Open trace file) or chrome://tracing");
+}

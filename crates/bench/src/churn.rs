@@ -52,11 +52,12 @@ impl Default for ChurnConfig {
     }
 }
 
-/// One precomputed round of the stream.
-struct Round {
-    ins: Vec<(u32, u32)>,
-    del: Vec<(u32, u32)>,
-    qry: Vec<(u32, u32)>,
+/// One precomputed round of the stream. Public so external replays (the
+/// `profile` bin) can drive the identical operation sequence.
+pub struct Round {
+    pub ins: Vec<(u32, u32)>,
+    pub del: Vec<(u32, u32)>,
+    pub qry: Vec<(u32, u32)>,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -102,9 +103,10 @@ fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
     rounds
 }
 
-/// Run the churn stream over every registered backend and tabulate
-/// per-class throughput with per-kernel breakdowns.
-pub fn churn(cfg: &ChurnConfig) -> Table {
+/// Generate the dataset and precomputed operation stream for a config —
+/// the exact sequence [`churn`] replays, for external harnesses (the
+/// `profile` bin) that need to drive backends themselves.
+pub fn stream_for(cfg: &ChurnConfig) -> (graph_gen::Dataset, Vec<Round>) {
     let spec = catalog::dataset(&cfg.dataset)
         .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
     let ds = match cfg.scale {
@@ -112,22 +114,15 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         None => spec.generate_default(cfg.seed),
     };
     let stream = make_stream(&ds, cfg);
+    (ds, stream)
+}
+
+/// Construct the registered backend set for a dataset, identically to
+/// [`churn`] — one instance per structure, sized for the dataset. The
+/// `profile` bin uses this so its timelines cover the same builds.
+pub fn build_backends(ds: &graph_gen::Dataset) -> Vec<Box<dyn GraphBackend>> {
     let dw = (ds.edges.len() * 8).max(1 << 20);
-
-    let mut t = Table::new(
-        "churn",
-        "Churn stream: mixed insert/delete/query throughput per structure",
-        &[
-            "structure",
-            "inserts MEdge/s",
-            "deletes MEdge/s",
-            "queries Mq/s",
-            "total modeled ms",
-            "query hits",
-        ],
-    );
-
-    let backends: Vec<Box<dyn GraphBackend>> = vec![
+    vec![
         Box::new(Hornet::bulk_build(ds.n_vertices, &ds.edges, dw)),
         Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, dw)),
         Box::new({
@@ -145,7 +140,28 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
             )
         }),
         Box::new(Csr::build(ds.n_vertices, &ds.edges, dw)),
-    ];
+    ]
+}
+
+/// Run the churn stream over every registered backend and tabulate
+/// per-class throughput with per-kernel breakdowns.
+pub fn churn(cfg: &ChurnConfig) -> Table {
+    let (ds, stream) = stream_for(cfg);
+
+    let mut t = Table::new(
+        "churn",
+        "Churn stream: mixed insert/delete/query throughput per structure",
+        &[
+            "structure",
+            "inserts MEdge/s",
+            "deletes MEdge/s",
+            "queries Mq/s",
+            "total modeled ms",
+            "query hits",
+        ],
+    );
+
+    let backends = build_backends(&ds);
 
     let mut hit_counts: Vec<u64> = vec![];
     for mut g in backends {

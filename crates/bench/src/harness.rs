@@ -190,7 +190,8 @@ impl Table {
         out
     }
 
-    fn to_json(&self) -> Json {
+    /// The table as a JSON value (the same structure `emit` persists).
+    pub fn to_json(&self) -> Json {
         let strs = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
         Json::Obj(vec![
             ("id".into(), Json::str(&self.id)),
@@ -230,6 +231,31 @@ impl Table {
             let path = dir.join(format!("{}.json", self.id));
             let _ = std::fs::write(path, self.to_json().render_pretty());
         }
+    }
+}
+
+/// Write a benchmark-trajectory artifact: one JSON file collecting the
+/// given tables, intended to be committed to CI artifact storage so runs
+/// can be compared over time. Table rows carry the workload/backend rates
+/// and modeled times; the embedded per-kernel breakdowns (TraceReport
+/// JSON) carry the per-kernel counter sums.
+///
+/// `path` is relative to the invoking directory — `ci.sh` runs the bench
+/// bins from the repository root, which puts `BENCH_*.json` there.
+pub fn write_bench_artifact(path: &str, workload: &str, tables: &[&Table]) {
+    let json = Json::Obj(vec![
+        ("schema".into(), Json::str("bench-trajectory-v1")),
+        ("workload".into(), Json::str(workload)),
+        ("scale_shift".into(), Json::u64(u64::from(scale_shift()))),
+        (
+            "tables".into(),
+            Json::Arr(tables.iter().map(|t| t.to_json()).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(path, json.render_pretty()) {
+        eprintln!("warning: could not write bench artifact {path}: {e}");
+    } else {
+        eprintln!("bench artifact written to {path}");
     }
 }
 

@@ -139,6 +139,12 @@ impl DynGraph {
     /// deletion of an absent key is a no-op, and neither is counted in
     /// `changed` again.
     pub fn retry_suffix(&self, outcome: &BatchOutcome) -> Result<BatchOutcome, GraphError> {
+        if let Some(p) = self.device().profiler() {
+            p.metrics().record(
+                "batch.retry_suffix_ops",
+                (outcome.pending.len() + outcome.pending_vertices.len()) as u64,
+            );
+        }
         match outcome.op {
             BatchOp::InsertEdges => self.try_insert_edges(&outcome.pending),
             BatchOp::DeleteEdges => self.try_delete_edges(&outcome.pending),

@@ -135,6 +135,10 @@ impl DynGraph {
             EdgeOp::Insert => "edge_insert",
             EdgeOp::Delete => "edge_delete",
         };
+        let _phase = self.dev.phase(match op {
+            EdgeOp::Insert => "edge_insert_batch",
+            EdgeOp::Delete => "edge_delete_batch",
+        });
         // First allocation failure observed inside the kernel, if any.
         let first_err: parking_lot::Mutex<Option<AllocError>> = parking_lot::Mutex::new(None);
         let record = |e: AllocError| {

@@ -116,21 +116,34 @@ impl DynGraph {
     /// host, base slabs are bulk-allocated, and all edges are inserted in
     /// one batch through the edge-insertion kernel.
     pub fn bulk_build(config: GraphConfig, edges: &[Edge]) -> Self {
-        let mut degrees = vec![0u32; config.vertex_capacity as usize];
-        for e in edges {
-            if e.src != e.dst {
-                if let Some(d) = degrees.get_mut(e.src as usize) {
-                    *d += 1;
-                }
-                if config.direction == Direction::Undirected {
-                    if let Some(d) = degrees.get_mut(e.dst as usize) {
+        let g = Self::new(config);
+        let _phase = g.dev.phase("bulk_build");
+        let degrees = {
+            let _p = g.dev.phase("bulk_build.degrees");
+            let mut degrees = vec![0u32; g.config.vertex_capacity as usize];
+            for e in edges {
+                if e.src != e.dst {
+                    if let Some(d) = degrees.get_mut(e.src as usize) {
                         *d += 1;
+                    }
+                    if g.config.direction == Direction::Undirected {
+                        if let Some(d) = degrees.get_mut(e.dst as usize) {
+                            *d += 1;
+                        }
                     }
                 }
             }
+            degrees
+        };
+        {
+            let _p = g.dev.phase("bulk_build.tables");
+            g.install_tables(&degrees);
         }
-        let g = Self::with_degree_hints(config, &degrees);
-        g.insert_edges(edges);
+        {
+            let _p = g.dev.phase("bulk_build.insert");
+            g.insert_edges(edges);
+        }
+        drop(_phase);
         g
     }
 

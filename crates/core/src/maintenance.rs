@@ -20,6 +20,7 @@ impl DynGraph {
     ///
     /// Returns the number of tombstones removed.
     pub fn flush_tombstones(&self) -> u64 {
+        let _phase = self.dev.phase("flush_tombstones");
         let cap = self.dict.capacity();
         let removed = std::sync::atomic::AtomicU64::new(0);
         self.dev.launch_warps("flush_tombstones", 1, |warp| {
@@ -49,6 +50,7 @@ impl DynGraph {
     ///
     /// Returns the number of vertices rehashed.
     pub fn rehash_overloaded(&self, max_chain: f64) -> u64 {
+        let _phase = self.dev.phase("rehash_overloaded");
         assert!(max_chain >= 1.0, "chains cannot be shorter than one slab");
         let cap = self.dict.capacity();
         let rehashed = std::sync::atomic::AtomicU64::new(0);

@@ -249,6 +249,23 @@ mod tests {
     }
 
     #[test]
+    fn stats_on_empty_graph() {
+        // Regression guard: utilization() and avg_chain() divide by slot and
+        // bucket totals that are all zero on a freshly created graph — both
+        // must report 0.0, not NaN or a panic.
+        let g = DynGraph::new(GraphConfig::directed_map(8));
+        let s = g.stats();
+        assert_eq!(s.tables.live_keys, 0);
+        assert_eq!(s.touched_vertices, 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.avg_chain(), 0.0);
+        // The zero-denominator guards hold at the per-table level too.
+        let empty = slab_hash::TableStats::default();
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.avg_chain(), 0.0);
+    }
+
+    #[test]
     fn invariants_hold_after_mixed_workload() {
         let g = populated();
         g.delete_edges(&[Edge::new(0, 1), Edge::new(5, 6)]);

@@ -206,6 +206,11 @@ impl DynGraph {
         };
         self.dev.arena().store(queue, 0);
 
+        let _phase = self.dev.phase("vertex_delete_batch");
+        if let Some(p) = self.dev.profiler() {
+            p.metrics()
+                .record("vertex_delete.queue_depth", count as u64);
+        }
         let n_warps = (count as usize).min(128);
         self.dev.launch_warps("vertex_delete", n_warps, |warp| {
             loop {

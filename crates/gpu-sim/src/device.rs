@@ -17,6 +17,7 @@ use crate::counters::PerfCounters;
 use crate::fault::{FaultInjector, FaultPlan, OomError};
 use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
 use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
+use crate::profiler::{PhaseGuard, Profiler, ProfilerConfig};
 use crate::sanitizer::{AccessKind, Finding, Sanitizer, SanitizerConfig, WarpRace};
 use crate::trace::{Charge, KernelRegistry, KernelSpec, LaunchShape, TraceSnapshot, HOST_KERNEL};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,13 @@ pub struct DeviceConfig {
     /// cargo feature flips the default to an escalating sanitizer, so an
     /// unmodified test suite runs fully sanitized.
     pub sanitize: Option<SanitizerConfig>,
+    /// Optional timeline profiler + metrics registry (see
+    /// [`crate::profiler`]). Same discipline as the sanitizer: `None`
+    /// (the default) costs one `Option` check per hook, and counters are
+    /// byte-identical whether it is attached or not. The default picks up
+    /// the process-wide config, if any, installed via
+    /// [`crate::profiler::set_default_profiler`].
+    pub profile: Option<ProfilerConfig>,
 }
 
 impl Default for DeviceConfig {
@@ -63,6 +71,7 @@ impl Default for DeviceConfig {
             } else {
                 None
             },
+            profile: crate::profiler::default_profiler(),
         }
     }
 }
@@ -93,6 +102,12 @@ impl DeviceConfig {
         self.sanitize = Some(sanitize);
         self
     }
+
+    /// Attach a timeline profiler with the given configuration.
+    pub fn with_profiler(mut self, profile: ProfilerConfig) -> Self {
+        self.profile = Some(profile);
+        self
+    }
 }
 
 /// A simulated GPU: global-memory arena, performance counters (global and
@@ -116,6 +131,12 @@ pub struct Device {
     /// Optional shadow-memory sanitizer (also attached to the arena for
     /// initialization tracking).
     san: Option<Arc<Sanitizer>>,
+    /// Optional timeline profiler + metrics registry. Every *top-level*
+    /// attribution unit (launch / fused scope / memset / manual charge)
+    /// deltas the global counters around itself and records one span; the
+    /// scope stack guarantees units never overlap, so span durations
+    /// partition the run's modeled time.
+    prof: Option<Arc<Profiler>>,
     /// Global launch counter. Every launch fully joins its warps before
     /// returning, so each launch is a barrier and opens a new *era*: the
     /// sanitizer's racecheck only considers same-era accesses, and the
@@ -154,6 +175,7 @@ impl Device {
             scope: parking_lot::Mutex::new(Vec::new()),
             faults: FaultInjector::default(),
             san,
+            prof: config.profile.map(|cfg| Arc::new(Profiler::new(cfg))),
             era: AtomicU64::new(0),
         }
     }
@@ -162,6 +184,40 @@ impl Device {
     /// with one.
     pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
         self.san.as_ref()
+    }
+
+    /// The attached timeline profiler, if this device was built with one.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.prof.as_ref()
+    }
+
+    /// Open a named host-phase range on the profiler's modeled clock;
+    /// the returned guard closes it on drop. Inert (one `Option` check)
+    /// when no profiler is attached. Bind the guard — a discarded guard
+    /// closes the phase immediately.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard {
+        PhaseGuard {
+            inner: self.prof.as_ref().map(|p| (p.clone(), name, p.now_s())),
+        }
+    }
+
+    /// Snapshot the global counters iff a span must be recorded when the
+    /// unit completes: only top-level units on a profiled device record.
+    #[inline]
+    fn begin_unit(&self, top_level: bool) -> Option<crate::counters::CounterSnapshot> {
+        if top_level && self.prof.is_some() {
+            Some(self.counters.snapshot())
+        } else {
+            None
+        }
+    }
+
+    /// Close a unit opened by [`Self::begin_unit`].
+    #[inline]
+    fn end_unit(&self, name: &'static str, before: Option<crate::counters::CounterSnapshot>) {
+        if let (Some(before), Some(p)) = (before, &self.prof) {
+            p.record_span(name, self.counters.snapshot().delta(&before));
+        }
     }
 
     /// The sanitizer's findings (empty when no sanitizer is attached).
@@ -214,12 +270,21 @@ impl Device {
     /// A dual-charging handle for manual charge sites (baseline cost
     /// models, resize bookkeeping): every `add_*` call lands in both the
     /// global tally and the named kernel's tally. If a fused scope is
-    /// active its name wins over `name`.
+    /// active its name wins over `name`. A *top-level* handle on a
+    /// profiled device additionally tallies its own charges and records
+    /// them as timeline spans on drop (charges issued inside a scope are
+    /// already covered by the enclosing unit's span).
     pub fn charge(&self, name: &'static str) -> Charge<'_> {
-        let (name, _) = self.resolve(name);
+        let (name, top_level) = self.resolve(name);
         Charge {
             global: &self.counters,
             kernel: self.registry.counters(name),
+            prof: if top_level {
+                self.prof.clone().map(|p| (p, name))
+            } else {
+                None
+            },
+            tally: std::cell::Cell::new(crate::counters::CounterSnapshot::default()),
         }
     }
 
@@ -242,6 +307,7 @@ impl Device {
         };
         let (name, top_level) = self.resolve(spec.name);
         let kcounters = self.registry.counters(name);
+        let unit = self.begin_unit(top_level);
         if top_level {
             self.counters.add_launches(1);
             kcounters.add_launches(1);
@@ -250,6 +316,9 @@ impl Device {
         kcounters.add_warps(n_warps as u64);
         let era = self.era.fetch_add(1, Ordering::Relaxed) + 1;
         if n_warps == 0 {
+            // Still one charged launch — the span must exist for the
+            // span-per-launch accounting to hold.
+            self.end_unit(name, unit);
             return;
         }
         self.scope.lock().push(spec.name);
@@ -307,6 +376,7 @@ impl Device {
         if let Some(s) = &self.san {
             s.escalate_after_launch();
         }
+        self.end_unit(name, unit);
     }
 
     /// Launch a named kernel with one *thread* (lane) per task, grouped
@@ -336,6 +406,7 @@ impl Device {
     /// launches of their own.
     pub fn fused_scope<R>(&self, name: &'static str, body: impl FnOnce() -> R) -> R {
         let (eff, top_level) = self.resolve(name);
+        let unit = self.begin_unit(top_level);
         if top_level {
             let kcounters = self.registry.counters(eff);
             self.counters.add_launches(1);
@@ -343,17 +414,37 @@ impl Device {
         }
         self.scope.lock().push(name);
         let _scope = ScopeGuard { scope: &self.scope };
-        body()
+        let r = body();
+        self.end_unit(eff, unit);
+        r
     }
 
     /// Like [`Self::fused_scope`] but charges **no** launch of its own:
     /// for charged helper walks that are logically part of whatever kernel
     /// or measurement the caller is running. Attribution still goes to
-    /// `name` (or the enclosing scope's name, if any).
+    /// `name` (or the enclosing scope's name, if any). On a profiled
+    /// device a *top-level* unlaunched scope records its counter delta as
+    /// a host span (launch-free cost must still advance the modeled
+    /// clock); nested scopes are covered by the enclosing unit's span.
     pub fn unlaunched_scope<R>(&self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        let (eff, top_level) = self.resolve(name);
+        let before = if top_level && self.prof.is_some() {
+            Some(self.counters.snapshot())
+        } else {
+            None
+        };
         self.scope.lock().push(name);
-        let _scope = ScopeGuard { scope: &self.scope };
-        body()
+        let r = {
+            let _scope = ScopeGuard { scope: &self.scope };
+            body()
+        };
+        if let (Some(before), Some(p)) = (before, &self.prof) {
+            let delta = self.counters.snapshot().delta(&before);
+            if delta != crate::counters::CounterSnapshot::default() {
+                p.record_host_span(eff, delta);
+            }
+        }
+        r
     }
 
     /// Device-side memset: fills `n` words with `v`, charged as a
@@ -363,6 +454,7 @@ impl Device {
     pub fn memset(&self, name: &'static str, base: Addr, n: usize, v: u32) {
         let (name, top_level) = self.resolve(name);
         let kcounters = self.registry.counters(name);
+        let unit = self.begin_unit(top_level);
         if top_level {
             self.counters.add_launches(1);
             kcounters.add_launches(1);
@@ -371,6 +463,7 @@ impl Device {
         self.counters.add_transactions(tx);
         kcounters.add_transactions(tx);
         self.arena.fill(base, n, v);
+        self.end_unit(name, unit);
     }
 
     /// Allocate `n` words (aligned to `align`) from the arena, charging
@@ -391,7 +484,15 @@ impl Device {
     /// plan (injection targets slab acquisition — see
     /// [`Self::fault_check`]).
     pub fn try_alloc_words(&self, n: usize, align: usize) -> Result<Addr, OomError> {
-        let addr = self.arena.try_alloc_words(n, align)?;
+        let addr = match self.arena.try_alloc_words(n, align) {
+            Ok(addr) => addr,
+            Err(e) => {
+                if let Some(p) = &self.prof {
+                    p.instant("oom", format!("arena alloc of {n} words failed: {e}"));
+                }
+                return Err(e);
+            }
+        };
         let (name, _) = self.resolve(HOST_KERNEL);
         self.counters.add_words_allocated(n as u64);
         self.registry.counters(name).add_words_allocated(n as u64);
@@ -439,7 +540,11 @@ impl Device {
             return Ok(());
         }
         let kernel = self.scope.lock().first().copied();
-        self.faults.check(kernel)
+        let r = self.faults.check(kernel);
+        if let (Err(e), Some(p)) = (&r, &self.prof) {
+            p.instant("fault_injected", e.to_string());
+        }
+        r
     }
 }
 

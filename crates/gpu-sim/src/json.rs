@@ -294,11 +294,15 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (b is from a valid &str).
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = s.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of plain characters in one slice.
+                // `"` and `\` are ASCII, so they never land inside a
+                // multi-byte sequence and the cut is a char boundary; one
+                // validation per run keeps parsing linear in input size.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
             }
         }
     }
@@ -347,6 +351,20 @@ mod tests {
         let f = Json::f64(0.1 + 0.2);
         let parsed = Json::parse(&f.render()).unwrap();
         assert_eq!(parsed.as_f64(), Some(0.1 + 0.2));
+    }
+
+    #[test]
+    fn long_and_multibyte_strings_parse_in_one_pass() {
+        // Regression: per-character string parsing revalidated the entire
+        // remaining document per char (quadratic — a multi-MB Chrome trace
+        // took hours). A megabyte-scale string now parses instantly, and
+        // escapes/multi-byte runs still split correctly.
+        let long = "a".repeat(1 << 20);
+        let v = Json::parse(&Json::str(&long).render()).unwrap();
+        assert_eq!(v.as_str(), Some(long.as_str()));
+        let mixed = Json::str("héllo \"wörld\"\n→ λ\\end");
+        let back = Json::parse(&mixed.render()).unwrap();
+        assert_eq!(back, mixed);
     }
 
     #[test]

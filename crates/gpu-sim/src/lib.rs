@@ -44,6 +44,8 @@ pub mod fault;
 pub mod json;
 pub mod lanes;
 pub mod memory;
+pub mod metrics;
+pub mod profiler;
 pub mod sanitizer;
 pub mod trace;
 
@@ -56,6 +58,13 @@ pub use lanes::{
     ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE,
 };
 pub use memory::{Addr, DeviceArena, NULL_ADDR, SLAB_WORDS};
+pub use metrics::{
+    Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSummary, MetricsRegistry,
+};
+pub use profiler::{
+    chrome_trace_json, parse_chrome_trace, ChromeEvent, PhaseGuard, Profiler, ProfilerConfig,
+    Timeline,
+};
 pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerConfig};
 pub use trace::{
     Charge, KernelSpec, KernelStats, LaunchShape, TraceReport, TraceRow, TraceSnapshot, HOST_KERNEL,

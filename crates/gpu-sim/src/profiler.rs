@@ -1,0 +1,713 @@
+//! Device timeline profiler: modeled-clock spans, host phases, allocator
+//! instants, and Chrome Trace Event export.
+//!
+//! Attached opt-in via [`crate::DeviceConfig::with_profiler`] (or a
+//! process-wide default, see [`set_default_profiler`]) with the same
+//! discipline as the sanitizer: when off it costs one `Option` check per
+//! hook and charges nothing; when on it still charges nothing — counters
+//! are byte-identical either way.
+//!
+//! ## The modeled clock
+//!
+//! The profiler keeps a clock in *modeled seconds* (see
+//! [`crate::CostModel`]), not wall time. Every **top-level attribution
+//! unit** — a named launch, a [`crate::Device::fused_scope`], a top-level
+//! `memset`, or a dropped top-level [`crate::trace::Charge`] — deltas the
+//! global counters around itself and appends one span whose duration is
+//! `CostModel::seconds(delta)`; the clock advances by exactly that span.
+//! Launch scopes are host-serial (the scope stack guarantees units never
+//! overlap), and every cost-bearing charge lands inside some unit, so the
+//! sum of span durations equals the modeled time of the whole run up to
+//! float rounding — far below one 5 µs launch-overhead quantum. A `Charge`
+//! carrying `n > 1` launches (e.g. a multi-pass sort charged manually) is
+//! split into `n` equal spans so spans and kernel launches stay 1:1.
+//!
+//! Host [`PhaseEvent`] ranges (`device.phase("bulk_build")` guards) and
+//! allocator [`InstantEvent`]s are stamped from the same clock: an instant
+//! recorded *inside* a launch carries the enclosing span's start time,
+//! because the modeled clock only advances between units.
+//!
+//! Each event class lives in its own bounded ring (oldest events are
+//! overwritten past [`ProfilerConfig::ring_capacity`]; drops are counted),
+//! so a flood of allocator instants can never evict kernel spans.
+//!
+//! ## Export
+//!
+//! [`Profiler::chrome_events`] renders the timeline as Chrome Trace Event
+//! Format objects — `ph:"X"` complete spans with microsecond `ts`/`dur`,
+//! `ph:"i"` instants — loadable in `chrome://tracing` or Perfetto.
+//! [`chrome_trace_json`] / [`parse_chrome_trace`] round-trip exactly
+//! through [`crate::json`]. Distribution metrics live in the attached
+//! [`MetricsRegistry`] (see [`crate::metrics`]); phase durations are also
+//! folded into it as `phase.<name>` histograms in microseconds.
+
+use crate::cost::CostModel;
+use crate::counters::CounterSnapshot;
+use crate::json::Json;
+use crate::metrics::{MetricSummary, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Construction-time profiler parameters. Plain `Copy` data so it can ride
+/// in [`crate::DeviceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilerConfig {
+    /// Maximum retained events *per class* (spans, phases, instants).
+    /// Older events are overwritten once a class's ring is full; the drop
+    /// count is reported per class.
+    pub ring_capacity: usize,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            ring_capacity: 1 << 16,
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// Set the per-class event ring capacity.
+    pub fn with_ring_capacity(mut self, ring_capacity: usize) -> Self {
+        self.ring_capacity = ring_capacity.max(1);
+        self
+    }
+}
+
+/// Process-wide default profiler config, consulted by
+/// [`crate::DeviceConfig::default`]. Code that builds its devices
+/// internally (the graph backends) picks this up without API changes —
+/// the runtime analogue of the `sanitize` cargo feature's compile-time
+/// default.
+static DEFAULT_PROFILER: std::sync::Mutex<Option<ProfilerConfig>> = std::sync::Mutex::new(None);
+
+/// Install (or clear, with `None`) the process-wide default profiler
+/// config picked up by every subsequently constructed default
+/// [`crate::DeviceConfig`]. Intended for profiling binaries; tests should
+/// prefer the explicit [`crate::DeviceConfig::with_profiler`].
+pub fn set_default_profiler(cfg: Option<ProfilerConfig>) {
+    *DEFAULT_PROFILER.lock().unwrap() = cfg;
+}
+
+/// The current process-wide default profiler config, if any.
+pub fn default_profiler() -> Option<ProfilerConfig> {
+    *DEFAULT_PROFILER.lock().unwrap()
+}
+
+/// One kernel-launch span on the modeled clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    /// Modeled seconds since profiler attach.
+    pub start_s: f64,
+    /// `CostModel::seconds` of this unit's counter delta.
+    pub dur_s: f64,
+    /// The unit's counter delta (carried into Chrome trace `args`).
+    pub counters: CounterSnapshot,
+}
+
+/// One host-phase range opened by [`crate::Device::phase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvent {
+    pub name: &'static str,
+    pub start_s: f64,
+    pub dur_s: f64,
+}
+
+/// One point event (allocator activity, OOM, injected fault).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    pub name: &'static str,
+    pub at_s: f64,
+    pub detail: String,
+}
+
+/// A bounded overwrite-oldest event ring.
+#[derive(Debug)]
+struct Ring<T> {
+    events: VecDeque<T>,
+    cap: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(cap: usize) -> Self {
+        Ring {
+            events: VecDeque::new(),
+            cap,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: T) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+        self.recorded += 1;
+    }
+
+    fn to_vec(&self) -> Vec<T> {
+        self.events.iter().cloned().collect()
+    }
+}
+
+#[derive(Debug)]
+struct ProfState {
+    /// The modeled clock, in seconds since attach.
+    now_s: f64,
+    spans: Ring<SpanEvent>,
+    host_spans: Ring<SpanEvent>,
+    phases: Ring<PhaseEvent>,
+    instants: Ring<InstantEvent>,
+}
+
+/// Retained-event counts and drop counts per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineStats {
+    pub spans_recorded: u64,
+    pub spans_dropped: u64,
+    pub host_spans_recorded: u64,
+    pub host_spans_dropped: u64,
+    pub phases_recorded: u64,
+    pub phases_dropped: u64,
+    pub instants_recorded: u64,
+    pub instants_dropped: u64,
+}
+
+/// A copy of the retained timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Kernel-launch spans — exactly one per charged launch.
+    pub spans: Vec<SpanEvent>,
+    /// Host-side costed work that is not a kernel launch: top-level
+    /// charges carrying no launch (baseline per-element traffic models)
+    /// and top-level [`crate::Device::unlaunched_scope`] sections. These
+    /// advance the modeled clock like kernel spans, so kernel spans plus
+    /// host spans together account for all modeled time.
+    pub host_spans: Vec<SpanEvent>,
+    pub phases: Vec<PhaseEvent>,
+    pub instants: Vec<InstantEvent>,
+    pub stats: TimelineStats,
+}
+
+/// The device timeline profiler. One per [`crate::Device`] when attached;
+/// all hooks are reached through `device.profiler()`.
+#[derive(Debug)]
+pub struct Profiler {
+    cfg: ProfilerConfig,
+    model: CostModel,
+    state: Mutex<ProfState>,
+    metrics: MetricsRegistry,
+}
+
+impl Profiler {
+    pub fn new(cfg: ProfilerConfig) -> Self {
+        Profiler {
+            cfg,
+            model: CostModel::titan_v(),
+            state: Mutex::new(ProfState {
+                now_s: 0.0,
+                spans: Ring::new(cfg.ring_capacity),
+                host_spans: Ring::new(cfg.ring_capacity),
+                phases: Ring::new(cfg.ring_capacity),
+                instants: Ring::new(cfg.ring_capacity),
+            }),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// This profiler's configuration.
+    pub fn config(&self) -> ProfilerConfig {
+        self.cfg
+    }
+
+    /// The cost model driving the modeled clock (fixed to
+    /// [`CostModel::titan_v`], matching the bench harness).
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The attached metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The modeled clock, in seconds since attach.
+    pub fn now_s(&self) -> f64 {
+        self.state.lock().now_s
+    }
+
+    /// Append one span for a completed top-level unit and advance the
+    /// clock by its modeled duration.
+    pub fn record_span(&self, name: &'static str, delta: CounterSnapshot) {
+        let dur_s = self.model.seconds(&delta);
+        let mut st = self.state.lock();
+        let start_s = st.now_s;
+        st.spans.push(SpanEvent {
+            name,
+            start_s,
+            dur_s,
+            counters: delta,
+        });
+        st.now_s += dur_s;
+    }
+
+    /// Append one *host* span — costed work outside any kernel launch
+    /// (see [`Timeline::host_spans`]) — and advance the clock by its
+    /// modeled duration.
+    pub fn record_host_span(&self, name: &'static str, delta: CounterSnapshot) {
+        let dur_s = self.model.seconds(&delta);
+        let mut st = self.state.lock();
+        let start_s = st.now_s;
+        st.host_spans.push(SpanEvent {
+            name,
+            start_s,
+            dur_s,
+            counters: delta,
+        });
+        st.now_s += dur_s;
+    }
+
+    /// Record a dropped top-level [`crate::trace::Charge`]'s tally as
+    /// spans. A tally carrying `n > 1` launches models `n` physical
+    /// launches and is split into `n` near-equal spans (remainders fold
+    /// into the earliest spans) so spans stay 1:1 with kernel launches;
+    /// the split is exact event-wise, so total modeled time is preserved.
+    /// A tally carrying *no* launch is host-side traffic and lands in the
+    /// host-span ring instead, keeping the kernel rows 1:1 with launches.
+    pub fn record_charge(&self, name: &'static str, tally: CounterSnapshot) {
+        if tally.launches == 0 {
+            self.record_host_span(name, tally);
+            return;
+        }
+        let n = tally.launches;
+        if n == 1 {
+            self.record_span(name, tally);
+            return;
+        }
+        let split = |total: u64, i: u64| total / n + u64::from(i < total % n);
+        for i in 0..n {
+            self.record_span(
+                name,
+                CounterSnapshot {
+                    transactions: split(tally.transactions, i),
+                    atomics: split(tally.atomics, i),
+                    ballots: split(tally.ballots, i),
+                    shuffles: split(tally.shuffles, i),
+                    launches: split(tally.launches, i),
+                    warps: split(tally.warps, i),
+                    words_allocated: split(tally.words_allocated, i),
+                },
+            );
+        }
+    }
+
+    /// Close a phase opened at modeled time `start_s`: appends the range
+    /// and folds its duration into the `phase.<name>` histogram (µs).
+    /// Called by [`PhaseGuard::drop`].
+    pub fn end_phase(&self, name: &'static str, start_s: f64) {
+        let mut st = self.state.lock();
+        let dur_s = (st.now_s - start_s).max(0.0);
+        st.phases.push(PhaseEvent {
+            name,
+            start_s,
+            dur_s,
+        });
+        drop(st);
+        self.metrics
+            .record(&format!("phase.{name}"), (dur_s * 1e6).round() as u64);
+    }
+
+    /// Record a point event at the current modeled time.
+    pub fn instant(&self, name: &'static str, detail: impl Into<String>) {
+        let mut st = self.state.lock();
+        let at_s = st.now_s;
+        st.instants.push(InstantEvent {
+            name,
+            at_s,
+            detail: detail.into(),
+        });
+    }
+
+    /// Copy out the retained timeline.
+    pub fn timeline(&self) -> Timeline {
+        let st = self.state.lock();
+        Timeline {
+            spans: st.spans.to_vec(),
+            host_spans: st.host_spans.to_vec(),
+            phases: st.phases.to_vec(),
+            instants: st.instants.to_vec(),
+            stats: self.stats_locked(&st),
+        }
+    }
+
+    /// Per-class recorded/dropped counts.
+    pub fn timeline_stats(&self) -> TimelineStats {
+        let st = self.state.lock();
+        self.stats_locked(&st)
+    }
+
+    fn stats_locked(&self, st: &ProfState) -> TimelineStats {
+        TimelineStats {
+            spans_recorded: st.spans.recorded,
+            spans_dropped: st.spans.dropped,
+            host_spans_recorded: st.host_spans.recorded,
+            host_spans_dropped: st.host_spans.dropped,
+            phases_recorded: st.phases.recorded,
+            phases_dropped: st.phases.dropped,
+            instants_recorded: st.instants.recorded,
+            instants_dropped: st.instants.dropped,
+        }
+    }
+
+    /// Summaries of every attached metric (see
+    /// [`crate::trace::TraceReport::with_metrics`]).
+    pub fn metric_summaries(&self) -> Vec<MetricSummary> {
+        self.metrics.summaries()
+    }
+
+    /// Render the retained timeline as Chrome Trace events under process
+    /// id `pid` (one pid per device/backend when merging timelines):
+    /// tid 0 = host phases, tid 1 = kernel spans (counter deltas in
+    /// `args`), tid 2 = allocator/fault instants, tid 3 = host-side
+    /// costed work that is not a kernel launch.
+    pub fn chrome_events(&self, pid: u64) -> Vec<ChromeEvent> {
+        let t = self.timeline();
+        let mut out = Vec::with_capacity(
+            t.spans.len() + t.host_spans.len() + t.phases.len() + t.instants.len(),
+        );
+        for p in &t.phases {
+            out.push(ChromeEvent {
+                name: p.name.to_string(),
+                ph: "X".to_string(),
+                ts_us: p.start_s * 1e6,
+                dur_us: p.dur_s * 1e6,
+                pid,
+                tid: TID_PHASES,
+                args: Vec::new(),
+            });
+        }
+        let span_event = |s: &SpanEvent, tid: u64| {
+            let c = &s.counters;
+            ChromeEvent {
+                name: s.name.to_string(),
+                ph: "X".to_string(),
+                ts_us: s.start_s * 1e6,
+                dur_us: s.dur_s * 1e6,
+                pid,
+                tid,
+                args: vec![
+                    ("transactions".into(), Json::u64(c.transactions)),
+                    ("atomics".into(), Json::u64(c.atomics)),
+                    ("ballots".into(), Json::u64(c.ballots)),
+                    ("shuffles".into(), Json::u64(c.shuffles)),
+                    ("launches".into(), Json::u64(c.launches)),
+                    ("warps".into(), Json::u64(c.warps)),
+                    ("words_allocated".into(), Json::u64(c.words_allocated)),
+                ],
+            }
+        };
+        for s in &t.spans {
+            out.push(span_event(s, TID_SPANS));
+        }
+        for s in &t.host_spans {
+            out.push(span_event(s, TID_HOST));
+        }
+        for i in &t.instants {
+            out.push(ChromeEvent {
+                name: i.name.to_string(),
+                ph: "i".to_string(),
+                ts_us: i.at_s * 1e6,
+                dur_us: 0.0,
+                pid,
+                tid: TID_INSTANTS,
+                args: vec![("detail".into(), Json::str(&i.detail))],
+            });
+        }
+        out
+    }
+}
+
+/// Thread row for host-phase ranges in the Chrome trace.
+pub const TID_PHASES: u64 = 0;
+/// Thread row for kernel spans in the Chrome trace.
+pub const TID_SPANS: u64 = 1;
+/// Thread row for allocator/fault instants in the Chrome trace.
+pub const TID_INSTANTS: u64 = 2;
+/// Thread row for host-side costed work that is not a kernel launch.
+pub const TID_HOST: u64 = 3;
+
+/// Closes a phase range on drop. Returned by [`crate::Device::phase`];
+/// inert (and free) when the device has no profiler. Bind it —
+/// `let _phase = dev.phase("bulk_build");` — a discarded guard closes the
+/// phase immediately (lint-kernels rule R4 flags that).
+#[must_use = "binding the guard keeps the phase open; a discarded guard closes it immediately"]
+pub struct PhaseGuard {
+    pub(crate) inner: Option<(std::sync::Arc<Profiler>, &'static str, f64)>,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((prof, name, start_s)) = self.inner.take() {
+            prof.end_phase(name, start_s);
+        }
+    }
+}
+
+/// One Chrome Trace Event Format entry, as exported and re-parsed here.
+/// `ph` is `"X"` (complete span, `dur` serialized) or `"i"` (instant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub ph: String,
+    pub ts_us: f64,
+    /// 0.0 for instants (not serialized for `ph != "X"`).
+    pub dur_us: f64,
+    pub pid: u64,
+    pub tid: u64,
+    /// Event arguments, rendered under `args` when non-empty.
+    pub args: Vec<(String, Json)>,
+}
+
+impl ChromeEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::str(&self.name)),
+            ("ph".to_string(), Json::str(&self.ph)),
+            ("ts".to_string(), Json::f64(self.ts_us)),
+            ("pid".to_string(), Json::u64(self.pid)),
+            ("tid".to_string(), Json::u64(self.tid)),
+        ];
+        if self.ph == "X" {
+            fields.push(("dur".to_string(), Json::f64(self.dur_us)));
+        }
+        if self.ph == "i" {
+            // Instant scope: thread-scoped tick marks.
+            fields.push(("s".to_string(), Json::str("t")));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_string(), Json::Obj(self.args.clone())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(idx: usize, j: &Json) -> Result<ChromeEvent, String> {
+        let s = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("event {idx}: missing '{key}'"))
+        };
+        let ph = s("ph")?;
+        let dur_us = if ph == "X" {
+            j.get("dur")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {idx}: missing 'dur'"))?
+        } else {
+            0.0
+        };
+        Ok(ChromeEvent {
+            name: s("name")?,
+            ph,
+            ts_us: j
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {idx}: missing 'ts'"))?,
+            dur_us,
+            pid: j
+                .get("pid")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event {idx}: missing 'pid'"))?,
+            tid: j
+                .get("tid")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event {idx}: missing 'tid'"))?,
+            args: match j.get("args") {
+                Some(Json::Obj(fields)) => fields.clone(),
+                Some(_) => return Err(format!("event {idx}: 'args' is not an object")),
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+/// Serialize events as a Chrome Trace Event Format document
+/// (`{"traceEvents": [...]}`); round-trips exactly through
+/// [`parse_chrome_trace`].
+pub fn chrome_trace_json(events: &[ChromeEvent]) -> String {
+    Json::Obj(vec![
+        (
+            "traceEvents".to_string(),
+            Json::Arr(events.iter().map(ChromeEvent::to_json).collect()),
+        ),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+    ])
+    .render_pretty()
+}
+
+/// Parse a document written by [`chrome_trace_json`]. Errors name the
+/// offending event and field; never panics.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let v = Json::parse(text)?;
+    v.get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'traceEvents' array")?
+        .iter()
+        .enumerate()
+        .map(|(idx, j)| ChromeEvent::from_json(idx, j))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(transactions: u64, launches: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            transactions,
+            launches,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn spans_advance_the_modeled_clock() {
+        let p = Profiler::new(ProfilerConfig::default());
+        p.record_span("a", snap(0, 1));
+        p.record_span("b", snap(0, 2));
+        let t = p.timeline();
+        assert_eq!(t.spans.len(), 2);
+        assert!((t.spans[0].dur_s - 5e-6).abs() < 1e-12);
+        assert!((t.spans[1].start_s - 5e-6).abs() < 1e-12);
+        assert!((p.now_s() - 15e-6).abs() < 1e-12);
+        assert_eq!(t.stats.spans_recorded, 2);
+        assert_eq!(t.stats.spans_dropped, 0);
+    }
+
+    #[test]
+    fn charge_with_many_launches_splits_into_equal_spans() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let tally = CounterSnapshot {
+            transactions: 10,
+            launches: 3,
+            atomics: 2,
+            ..Default::default()
+        };
+        p.record_charge("radix", tally);
+        let t = p.timeline();
+        assert_eq!(t.spans.len(), 3);
+        let mut sum = CounterSnapshot::default();
+        let mut dur = 0.0;
+        for s in &t.spans {
+            assert_eq!(s.name, "radix");
+            assert_eq!(s.counters.launches, 1);
+            sum.transactions += s.counters.transactions;
+            sum.atomics += s.counters.atomics;
+            sum.launches += s.counters.launches;
+            dur += s.dur_s;
+        }
+        assert_eq!(sum.transactions, 10);
+        assert_eq!(sum.atomics, 2);
+        assert_eq!(sum.launches, 3);
+        let total = CostModel::titan_v().seconds(&tally);
+        assert!((dur - total).abs() < 1e-15, "split preserves modeled time");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let p = Profiler::new(ProfilerConfig::default().with_ring_capacity(2));
+        p.record_span("a", snap(1, 1));
+        p.record_span("b", snap(1, 1));
+        p.record_span("c", snap(1, 1));
+        let t = p.timeline();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].name, "b");
+        assert_eq!(t.stats.spans_recorded, 3);
+        assert_eq!(t.stats.spans_dropped, 1);
+    }
+
+    #[test]
+    fn phases_record_ranges_and_feed_metrics() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let start = p.now_s();
+        p.record_span("k", snap(0, 2));
+        p.end_phase("bulk_build", start);
+        let t = p.timeline();
+        assert_eq!(t.phases.len(), 1);
+        assert!((t.phases[0].dur_s - 10e-6).abs() < 1e-12);
+        let s = p.metric_summaries();
+        let ph = s.iter().find(|m| m.name == "phase.bulk_build").unwrap();
+        assert_eq!(ph.count, 1);
+        assert_eq!(ph.sum, 10, "10 µs rounded");
+    }
+
+    #[test]
+    fn instants_stamp_current_time() {
+        let p = Profiler::new(ProfilerConfig::default());
+        p.record_span("k", snap(0, 1));
+        p.instant("oom", "slab pool exhausted");
+        let t = p.timeline();
+        assert_eq!(t.instants.len(), 1);
+        assert!((t.instants[0].at_s - 5e-6).abs() < 1e-12);
+        assert_eq!(t.instants[0].detail, "slab pool exhausted");
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_exactly() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let start = p.now_s();
+        p.record_span("edge_insert", snap(1000, 1));
+        p.instant("slab_alloc", "slab 0x40");
+        p.record_span("edge_delete", snap(10, 1));
+        p.end_phase("churn_round", start);
+        let events = p.chrome_events(7);
+        assert_eq!(events.len(), 4);
+        let text = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        // Classes land on their designated thread rows.
+        assert!(parsed
+            .iter()
+            .any(|e| e.tid == TID_PHASES && e.name == "churn_round"));
+        assert_eq!(
+            parsed
+                .iter()
+                .filter(|e| e.tid == TID_SPANS && e.ph == "X")
+                .count(),
+            2
+        );
+        assert!(parsed.iter().any(|e| e.tid == TID_INSTANTS && e.ph == "i"));
+    }
+
+    #[test]
+    fn parse_chrome_trace_rejects_malformed() {
+        assert!(parse_chrome_trace("{").is_err());
+        assert!(parse_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        let no_ts = r#"{"traceEvents": [{"name": "x", "ph": "i", "pid": 0, "tid": 2}]}"#;
+        assert!(parse_chrome_trace(no_ts).unwrap_err().contains("'ts'"));
+        let no_dur = r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 1}]}"#;
+        assert!(parse_chrome_trace(no_dur).unwrap_err().contains("'dur'"));
+        let bad_args = r#"{"traceEvents": [{"name": "x", "ph": "i", "ts": 0, "pid": 0, "tid": 2, "args": 3}]}"#;
+        assert!(parse_chrome_trace(bad_args).unwrap_err().contains("args"));
+    }
+
+    #[test]
+    fn default_profiler_config_roundtrips() {
+        // Serialized with other tests in this binary that may also touch
+        // the global — keep the touch-and-restore window tight.
+        let prev = default_profiler();
+        set_default_profiler(Some(ProfilerConfig::default().with_ring_capacity(4)));
+        assert_eq!(
+            default_profiler().map(|c| c.ring_capacity),
+            Some(4),
+            "global default visible"
+        );
+        set_default_profiler(prev);
+    }
+}

@@ -18,6 +18,8 @@
 use crate::cost::CostModel;
 use crate::counters::{CounterSnapshot, PerfCounters};
 use crate::json::Json;
+use crate::metrics::{MetricKind, MetricSummary};
+use crate::profiler::Profiler;
 use crate::sanitizer::{Finding, FindingKind};
 use std::sync::Arc;
 
@@ -102,31 +104,58 @@ impl KernelRegistry {
 /// A dual-charging handle returned by [`crate::Device::charge`]: every
 /// `add_*` call lands in both the device-wide tally and the named kernel's
 /// tally, preserving the attribution invariant at manual charge sites.
+///
+/// On a profiled device a *top-level* handle (no enclosing launch or
+/// scope) is itself an attribution unit: it tallies its own charges and
+/// records them as timeline spans when dropped (see
+/// [`crate::profiler::Profiler::record_charge`]). Charges issued under an
+/// active scope are covered by the enclosing unit's span instead.
 pub struct Charge<'d> {
     pub(crate) global: &'d PerfCounters,
     pub(crate) kernel: Arc<PerfCounters>,
+    /// Present iff this handle is top-level on a profiled device.
+    pub(crate) prof: Option<(Arc<Profiler>, &'static str)>,
+    /// Self-tally for the drop-time span; only maintained when `prof` is
+    /// set, so an unprofiled handle's cost is unchanged.
+    pub(crate) tally: std::cell::Cell<CounterSnapshot>,
 }
 
 macro_rules! charge_methods {
-    ($($(#[$doc:meta])* $method:ident),* $(,)?) => {$(
+    ($($(#[$doc:meta])* $method:ident => $field:ident),* $(,)?) => {$(
         $(#[$doc])*
         pub fn $method(&self, n: u64) {
             self.global.$method(n);
             self.kernel.$method(n);
+            if self.prof.is_some() {
+                let mut t = self.tally.get();
+                t.$field += n;
+                self.tally.set(t);
+            }
         }
     )*};
 }
 
 impl Charge<'_> {
     charge_methods!(
-        add_transactions,
-        add_atomics,
-        add_ballots,
-        add_shuffles,
-        add_launches,
-        add_warps,
-        add_words_allocated,
+        add_transactions => transactions,
+        add_atomics => atomics,
+        add_ballots => ballots,
+        add_shuffles => shuffles,
+        add_launches => launches,
+        add_warps => warps,
+        add_words_allocated => words_allocated,
     );
+}
+
+impl Drop for Charge<'_> {
+    fn drop(&mut self) {
+        if let Some((prof, name)) = &self.prof {
+            let tally = self.tally.get();
+            if tally != CounterSnapshot::default() {
+                prof.record_charge(name, tally);
+            }
+        }
+    }
 }
 
 /// One kernel's counter totals at a point in time.
@@ -211,6 +240,10 @@ pub struct TraceReport {
     /// Sanitizer violations recorded during the phase (empty when the
     /// sanitizer is off or the run was clean). See [`crate::sanitizer`].
     pub findings: Vec<Finding>,
+    /// Metric summaries (histogram p50/p95/max, gauge high-waters) from
+    /// an attached profiler (empty when no profiler ran). See
+    /// [`crate::metrics`].
+    pub metrics: Vec<MetricSummary>,
 }
 
 impl TraceReport {
@@ -234,6 +267,7 @@ impl TraceReport {
                 modeled_s: model.seconds(&trace.global),
             },
             findings: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -241,6 +275,13 @@ impl TraceReport {
     /// [`crate::Device::sanitizer_findings`]) to the report.
     pub fn with_findings(mut self, findings: Vec<Finding>) -> Self {
         self.findings = findings;
+        self
+    }
+
+    /// Attach metric summaries (e.g. from
+    /// [`crate::profiler::Profiler::metric_summaries`]) to the report.
+    pub fn with_metrics(mut self, metrics: Vec<MetricSummary>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -317,6 +358,48 @@ impl TraceReport {
         }
         out.push_str(&fmt_row(&rule));
         out.push_str(&fmt_row(&body[body.len() - 1]));
+        if !self.metrics.is_empty() {
+            out.push_str(&format!("\nmetrics ({}):\n", self.metrics.len()));
+            const MHEADERS: [&str; 7] = ["metric", "kind", "count", "sum", "max", "p50", "p95"];
+            let mrow = |m: &MetricSummary| -> [String; 7] {
+                [
+                    m.name.clone(),
+                    m.kind.as_str().to_string(),
+                    m.count.to_string(),
+                    m.sum.to_string(),
+                    m.max.to_string(),
+                    m.p50.to_string(),
+                    m.p95.to_string(),
+                ]
+            };
+            let mbody: Vec<[String; 7]> = self.metrics.iter().map(mrow).collect();
+            let mut mwidths: Vec<usize> = MHEADERS.iter().map(|h| h.len()).collect();
+            for row in &mbody {
+                for (w, cell) in mwidths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let fmt_mrow = |cells: &[String]| {
+                let mut line = String::from("  ");
+                for (i, (cell, w)) in cells.iter().zip(&mwidths).enumerate() {
+                    if i > 0 {
+                        line.push_str("  ");
+                    }
+                    if i < 2 {
+                        line.push_str(&format!("{cell:<w$}"));
+                    } else {
+                        line.push_str(&format!("{cell:>w$}"));
+                    }
+                }
+                line.push('\n');
+                line
+            };
+            let mheader: Vec<String> = MHEADERS.iter().map(|h| h.to_string()).collect();
+            out.push_str(&fmt_mrow(&mheader));
+            for row in &mbody {
+                out.push_str(&fmt_mrow(row));
+            }
+        }
         if !self.findings.is_empty() {
             out.push_str(&format!(
                 "\nsanitizer findings ({}):\n",
@@ -359,6 +442,17 @@ impl TraceReport {
                 ("note".into(), Json::str(&f.note)),
             ])
         };
+        let metric_json = |m: &MetricSummary| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(&m.name)),
+                ("kind".into(), Json::str(m.kind.as_str())),
+                ("count".into(), Json::u64(m.count)),
+                ("sum".into(), Json::u64(m.sum)),
+                ("max".into(), Json::u64(m.max)),
+                ("p50".into(), Json::u64(m.p50)),
+                ("p95".into(), Json::u64(m.p95)),
+            ])
+        };
         Json::Obj(vec![
             (
                 "kernels".into(),
@@ -368,6 +462,10 @@ impl TraceReport {
             (
                 "sanitizer_findings".into(),
                 Json::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
+            (
+                "metrics".into(),
+                Json::Arr(self.metrics.iter().map(metric_json).collect()),
             ),
         ])
         .render_pretty()
@@ -441,10 +539,40 @@ impl TraceReport {
             Some(arr) => arr.iter().map(parse_finding).collect::<Result<_, _>>()?,
             None => Vec::new(),
         };
+        let parse_metric = |j: &Json| -> Result<MetricSummary, String> {
+            let s = |key: &str| -> Result<String, String> {
+                j.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("missing metric field '{key}'"))
+            };
+            let n = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing metric field '{key}'"))
+            };
+            let kind_str = s("kind")?;
+            Ok(MetricSummary {
+                name: s("name")?,
+                kind: MetricKind::parse(&kind_str)
+                    .ok_or_else(|| format!("unknown metric kind '{kind_str}'"))?,
+                count: n("count")?,
+                sum: n("sum")?,
+                max: n("max")?,
+                p50: n("p50")?,
+                p95: n("p95")?,
+            })
+        };
+        // Absent in reports written before the profiler existed.
+        let metrics = match v.get("metrics").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(parse_metric).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         Ok(TraceReport {
             rows,
             total,
             findings,
+            metrics,
         })
     }
 }
@@ -598,9 +726,119 @@ mod tests {
     }
 
     #[test]
+    fn metrics_roundtrip_and_render() {
+        use crate::metrics::MetricKind;
+        let trace = TraceSnapshot {
+            global: snap(10, 1),
+            kernels: vec![KernelStats {
+                name: "edge_insert",
+                counters: snap(10, 1),
+            }],
+        };
+        let metrics = vec![
+            MetricSummary {
+                name: "slab_hash.probe_depth".into(),
+                kind: MetricKind::Histogram,
+                count: 1000,
+                sum: 1700,
+                max: 9,
+                p50: 1,
+                p95: 4,
+            },
+            MetricSummary {
+                name: "slab_alloc.live_slabs".into(),
+                kind: MetricKind::Gauge,
+                count: 64,
+                sum: 12,
+                max: 48,
+                p50: 12,
+                p95: 12,
+            },
+        ];
+        let report = TraceReport::new(&trace, &CostModel::titan_v()).with_metrics(metrics);
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let rendered = report.render();
+        assert!(rendered.contains("metrics (2):"));
+        assert!(rendered.contains("slab_hash.probe_depth"));
+        assert!(rendered.contains("histogram"));
+        assert!(rendered.contains("gauge"));
+        assert!(rendered.contains("p95"));
+        // Reports without the metrics key (pre-profiler) still parse.
+        let bare = TraceReport::new(&trace, &CostModel::titan_v());
+        let parsed = TraceReport::from_json(&bare.to_json()).unwrap();
+        assert!(parsed.metrics.is_empty());
+    }
+
+    #[test]
     fn from_json_rejects_malformed() {
         assert!(TraceReport::from_json("{}").is_err());
         assert!(TraceReport::from_json("[1, 2]").is_err());
         assert!(TraceReport::from_json(r#"{"kernels": [{"name": "x"}]}"#).is_err());
+    }
+
+    /// Every malformed-input path returns an `Err` naming the offending
+    /// field — never panics, never silently defaults.
+    #[test]
+    fn from_json_errors_name_the_offending_field() {
+        let good = TraceReport::new(
+            &TraceSnapshot {
+                global: snap(10, 1),
+                kernels: vec![KernelStats {
+                    name: "edge_insert",
+                    counters: snap(10, 1),
+                }],
+            },
+            &CostModel::titan_v(),
+        )
+        .to_json();
+
+        // Truncated document: the JSON parser itself reports it.
+        let truncated = &good[..good.len() / 2];
+        assert!(TraceReport::from_json(truncated).is_err());
+
+        // Wrong-type counter field (string where a u64 belongs).
+        let wrong_type = good.replacen(r#""atomics": 0"#, r#""atomics": "zero""#, 1);
+        assert_ne!(wrong_type, good, "replacement must have applied");
+        let err = TraceReport::from_json(&wrong_type).unwrap_err();
+        assert!(err.contains("'atomics'"), "{err}");
+
+        // Negative counter value: rejected as non-u64, naming the field.
+        let negative = good.replacen(r#""launches": 1"#, r#""launches": -1"#, 1);
+        assert_ne!(negative, good);
+        let err = TraceReport::from_json(&negative).unwrap_err();
+        assert!(err.contains("'launches'"), "{err}");
+
+        // A kernel row that is not an object at all.
+        let err = TraceReport::from_json(r#"{"kernels": [42], "total": {}}"#).unwrap_err();
+        assert!(err.contains("'name'"), "{err}");
+
+        // A kernel row missing its counters entirely.
+        let err = TraceReport::from_json(
+            r#"{"kernels": [{"name": "mystery", "modeled_s": 0.5}], "total": {}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("counter"), "{err}");
+
+        // Missing total row.
+        let err = TraceReport::from_json(r#"{"kernels": []}"#).unwrap_err();
+        assert!(err.contains("'total'"), "{err}");
+
+        // Malformed metric entries: wrong-kind string and missing field.
+        let base = r#"{"kernels": [], "total": {"name": "total", "transactions": 0,
+            "atomics": 0, "ballots": 0, "shuffles": 0, "launches": 0, "warps": 0,
+            "words_allocated": 0, "modeled_s": 0.0}, "metrics": [METRIC]}"#;
+        let bad_kind = base.replace(
+            "METRIC",
+            r#"{"name": "m", "kind": "exotic", "count": 0, "sum": 0, "max": 0, "p50": 0, "p95": 0}"#,
+        );
+        let err = TraceReport::from_json(&bad_kind).unwrap_err();
+        assert!(err.contains("unknown metric kind 'exotic'"), "{err}");
+        let no_p95 = base.replace(
+            "METRIC",
+            r#"{"name": "m", "kind": "gauge", "count": 0, "sum": 0, "max": 0, "p50": 0}"#,
+        );
+        let err = TraceReport::from_json(&no_p95).unwrap_err();
+        assert!(err.contains("missing metric field 'p95'"), "{err}");
     }
 }

@@ -163,6 +163,14 @@ impl SlabAllocator {
         // zero-init — initcheck treats unwritten words as uninitialised.
         dev.arena().fill(bitmaps, BLOCKS_PER_SUPER, 0);
         supers.push(SuperBlock { bitmaps, slabs });
+        if let Some(p) = dev.profiler() {
+            let words = (supers.len() * (SLABS_PER_SUPER * SLAB_WORDS + BLOCKS_PER_SUPER)) as u64;
+            p.metrics().gauge("slab_alloc.pool_words").set(words);
+            p.instant(
+                "slab_pool_grow",
+                format!("super-blocks: {}, pool words: {words}", supers.len()),
+            );
+        }
         Ok(())
     }
 
@@ -243,6 +251,13 @@ impl SlabAllocator {
                         if let Some(san) = warp.device().sanitizer() {
                             san.on_slab_alloc(addr, warp.kernel_name());
                         }
+                        if let Some(p) = warp.device().profiler() {
+                            p.metrics().gauge("slab_alloc.live_slabs").add(1);
+                            p.instant(
+                                "slab_alloc",
+                                format!("slab {addr:#x} by {}", warp.kernel_name()),
+                            );
+                        }
                         let init = gpu_sim::Lanes::splat(SLAB_INIT_WORD);
                         warp.write_slab(addr, &init);
                         return Ok(addr);
@@ -294,6 +309,13 @@ impl SlabAllocator {
         if let Some(san) = dev.sanitizer() {
             san.on_slab_free(addr, warp.kernel_name());
         }
+        if let Some(p) = dev.profiler() {
+            p.metrics().gauge("slab_alloc.live_slabs").sub(1);
+            p.instant(
+                "slab_free",
+                format!("slab {addr:#x} quarantined by {}", warp.kernel_name()),
+            );
+        }
         self.freed.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -310,6 +332,7 @@ impl SlabAllocator {
     fn drain_quarantine(&self, dev: &Device) {
         let era = dev.launch_era();
         let mut q = self.quarantine.lock();
+        let mut drained = 0u64;
         loop {
             let force = q.ring.len() > QUARANTINE_SLABS;
             match q.ring.front() {
@@ -322,8 +345,17 @@ impl SlabAllocator {
                     if let Some(san) = dev.sanitizer() {
                         san.on_slab_drain(addr);
                     }
+                    drained += 1;
                 }
                 _ => break,
+            }
+        }
+        if drained > 0 {
+            if let Some(p) = dev.profiler() {
+                p.instant(
+                    "slab_quarantine_drain",
+                    format!("{drained} slabs released, {} still held", q.ring.len()),
+                );
             }
         }
     }
@@ -570,6 +602,37 @@ mod tests {
             }
         });
         assert_eq!(alloc.live_slabs(), 64 * 16);
+    }
+
+    #[test]
+    fn profiler_observes_allocator_events() {
+        use gpu_sim::{DeviceConfig, ProfilerConfig};
+        let dev = Device::with_config(
+            DeviceConfig::new(1 << 16).with_profiler(ProfilerConfig::default()),
+        );
+        let alloc = SlabAllocator::new(&dev, 32);
+        with_warp(&dev, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a).unwrap();
+        });
+        let p = dev.profiler().unwrap();
+        let instants = p.timeline().instants;
+        let has = |n: &str| instants.iter().any(|i| i.name == n);
+        assert!(has("slab_pool_grow"), "pool growth not recorded");
+        assert!(has("slab_alloc"), "allocation not recorded");
+        assert!(has("slab_free"), "free not recorded");
+        let sums = p.metric_summaries();
+        let live = sums
+            .iter()
+            .find(|s| s.name == "slab_alloc.live_slabs")
+            .expect("live-slab gauge missing");
+        assert_eq!(live.max, 1, "high-water of one live slab");
+        assert_eq!(live.sum, 0, "current value back to zero after free");
+        let pool = sums
+            .iter()
+            .find(|s| s.name == "slab_alloc.pool_words")
+            .expect("pool-words gauge missing");
+        assert!(pool.max >= (SLABS_PER_SUPER * SLAB_WORDS) as u64);
     }
 
     #[test]

@@ -175,6 +175,23 @@ pub fn bucket_of(key: u32, num_buckets: u32) -> u32 {
     h % num_buckets
 }
 
+/// Record the number of slabs a lookup walked before answering. Metrics
+/// never charge counters: with no profiler attached this is a no-op.
+#[inline]
+fn note_probe_depth(warp: &Warp, depth: u64) {
+    if let Some(p) = warp.device().profiler() {
+        p.metrics().record("slab_hash.probe_depth", depth);
+    }
+}
+
+/// Record the chain position (in slabs) where a new key landed.
+#[inline]
+fn note_chain_at_insert(warp: &Warp, depth: u64) {
+    if let Some(p) = warp.device().profiler() {
+        p.metrics().record("slab_hash.chain_at_insert", depth);
+    }
+}
+
 impl TableDesc {
     /// Device words required for the base slabs of `num_buckets` buckets.
     pub fn base_words(num_buckets: u32) -> usize {
@@ -226,6 +243,7 @@ impl TableDesc {
         assert_eq!(self.kind, TableKind::Map);
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut depth = 1u64;
         // Each probe step is speculative: on a lost claim race the step's
         // charges are discarded and the step re-runs, so the committed
         // profile is the sequential one (losers simply probe after winners).
@@ -255,6 +273,7 @@ impl TableDesc {
                     // orders the key word only.
                     warp.atomic_exchange(slab_addr + lane + 1, value);
                     warp.commit_attempt();
+                    note_chain_at_insert(warp, depth);
                     return Ok(true);
                 }
                 warp.abort_attempt();
@@ -263,6 +282,7 @@ impl TableDesc {
             let step = self.advance_or_grow(warp, alloc, slab_addr, &words);
             warp.commit_attempt();
             slab_addr = step?;
+            depth += 1;
         }
     }
 
@@ -270,12 +290,14 @@ impl TableDesc {
     pub fn search(&self, warp: &Warp, key: u32) -> Option<u32> {
         assert_eq!(self.kind, TableKind::Map);
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut depth = 1u64;
         loop {
             let words = warp.read_slab(slab_addr);
             let found = warp.ballot(&Lanes::from_fn(|i| {
                 MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == key
             }));
             if let Some(lane) = gpu_sim::ffs(found) {
+                note_probe_depth(warp, depth);
                 return Some(words.get(lane as usize + 1));
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
@@ -283,13 +305,16 @@ impl TableDesc {
             }));
             if empties != 0 {
                 // Empties only exist at the tail ⇒ key is absent.
+                note_probe_depth(warp, depth);
                 return None;
             }
             let next = words.get(NEXT_LANE);
             if next == NULL_ADDR {
+                note_probe_depth(warp, depth);
                 return None;
             }
             slab_addr = next;
+            depth += 1;
         }
     }
 
@@ -311,6 +336,7 @@ impl TableDesc {
         assert_eq!(self.kind, TableKind::Set);
         debug_assert!(key <= MAX_KEY, "key {key:#x} collides with sentinels");
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut depth = 1u64;
         loop {
             warp.begin_attempt();
             let words = warp.read_slab(slab_addr);
@@ -327,6 +353,7 @@ impl TableDesc {
             if let Some(lane) = gpu_sim::ffs(empties) {
                 if warp.atomic_cas(slab_addr + lane, EMPTY_KEY, key).is_ok() {
                     warp.commit_attempt();
+                    note_chain_at_insert(warp, depth);
                     return Ok(true);
                 }
                 warp.abort_attempt();
@@ -335,6 +362,7 @@ impl TableDesc {
             let step = self.advance_or_grow(warp, alloc, slab_addr, &words);
             warp.commit_attempt();
             slab_addr = step?;
+            depth += 1;
         }
     }
 
@@ -342,25 +370,30 @@ impl TableDesc {
     pub fn contains(&self, warp: &Warp, key: u32) -> bool {
         let key_lanes = self.kind.key_lanes();
         let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut depth = 1u64;
         loop {
             let words = warp.read_slab(slab_addr);
             let found = warp.ballot(&Lanes::from_fn(|i| {
                 key_lanes & (1 << i) != 0 && words.get(i) == key
             }));
             if found != 0 {
+                note_probe_depth(warp, depth);
                 return true;
             }
             let empties = warp.ballot(&Lanes::from_fn(|i| {
                 key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
             }));
             if empties != 0 {
+                note_probe_depth(warp, depth);
                 return false;
             }
             let next = words.get(NEXT_LANE);
             if next == NULL_ADDR {
+                note_probe_depth(warp, depth);
                 return false;
             }
             slab_addr = next;
+            depth += 1;
         }
     }
 
@@ -1069,6 +1102,42 @@ mod tests {
         for (k, c) in counts {
             assert_eq!(c, 1, "key {k} stored {c} times");
         }
+    }
+
+    #[test]
+    fn profiler_histograms_track_probe_and_chain_depth() {
+        use gpu_sim::{DeviceConfig, ProfilerConfig};
+        let dev = Device::with_config(
+            DeviceConfig::new(1 << 18).with_profiler(ProfilerConfig::default()),
+        );
+        let alloc = SlabAllocator::new(&dev, 1024);
+        let t = TableDesc::create(&dev, TableKind::Map, 1);
+        on_warp(&dev, |warp| {
+            // 100 keys in one bucket: chain grows to ⌈100/15⌉ = 7 slabs.
+            for k in 0..100 {
+                t.replace(warp, &alloc, k, k).unwrap();
+            }
+            for k in 0..100 {
+                t.search(warp, k);
+            }
+        });
+        let sums = dev.profiler().unwrap().metric_summaries();
+        let probe = sums
+            .iter()
+            .find(|s| s.name == "slab_hash.probe_depth")
+            .expect("probe-depth histogram missing");
+        assert_eq!(probe.count, 100, "one sample per search");
+        assert!(
+            probe.max >= 4,
+            "deep chain walks observed, max {}",
+            probe.max
+        );
+        let chain = sums
+            .iter()
+            .find(|s| s.name == "slab_hash.chain_at_insert")
+            .expect("chain-at-insert histogram missing");
+        assert_eq!(chain.count, 100, "one sample per new key");
+        assert_eq!(chain.max, 7, "last keys land on the 7th slab");
     }
 
     #[test]

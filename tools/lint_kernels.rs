@@ -17,6 +17,13 @@
 //!   `memset(` call site whose kernel-name argument is not a string
 //!   literal. Dynamic names break per-kernel attribution stability and the
 //!   sanitizer's kernel provenance.
+//! - **R4 `counter-bypass`** — outside `crates/gpu-sim`, either mutating
+//!   `PerfCounters` directly (`.counters().add_*`) instead of going through
+//!   the `Charge` API, or calling `.phase("…")` without binding the
+//!   returned guard. Direct mutation skips the profiler's span tally
+//!   (modeled time silently diverges from the counters); a discarded
+//!   `PhaseGuard` closes its phase immediately, so the launches it was
+//!   meant to cover run outside any phase range.
 //!
 //! ## Allowlist
 //!
@@ -54,7 +61,7 @@ struct Rule {
     applies_to_gpu_sim: bool,
 }
 
-const RULES: [Rule; 3] = [
+const RULES: [Rule; 4] = [
     Rule {
         id: "R1",
         name: "raw-arena-access",
@@ -72,6 +79,12 @@ const RULES: [Rule; 3] = [
         name: "unnamed-launch",
         desc: "kernel launch without a literal name breaks attribution/provenance",
         applies_to_gpu_sim: true,
+    },
+    Rule {
+        id: "R4",
+        name: "counter-bypass",
+        desc: "PerfCounters mutated outside Charge, or PhaseGuard discarded at the call site",
+        applies_to_gpu_sim: false,
     },
 ];
 
@@ -263,6 +276,17 @@ fn matches_rule(rule: &str, line: &str) -> bool {
                 false
             })
         }
+        "R4" => {
+            // Direct counter mutation bypasses the Charge tally the
+            // profiler records spans from.
+            if line.contains(".counters().add_") {
+                return true;
+            }
+            // `.phase("…")` whose guard is never bound: the phase closes
+            // immediately. Bound guards (`let _phase = dev.phase(…)`) and
+            // declarations (`fn phase(`) are fine.
+            line.contains(".phase(\"") && !line.contains("let ")
+        }
         _ => false,
     }
 }
@@ -365,6 +389,30 @@ mod tests {
             "pub fn launch_tasks(&self, name: &str) {\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn counter_bypass_is_flagged_outside_gpu_sim() {
+        // Direct PerfCounters mutation skips the Charge span tally.
+        let bad = "dev.counters().add_transactions(4);\n";
+        let hits = hits_in("crates/core/src/x.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "R4");
+        assert!(hits_in("crates/gpu-sim/src/device.rs", bad).is_empty());
+        // Reading counters is fine.
+        assert!(hits_in("src/x.rs", "let s = dev.counters().snapshot();\n").is_empty());
+
+        // A discarded PhaseGuard closes the phase immediately.
+        let discarded = "self.dev.phase(\"bulk_build\");\n";
+        assert_eq!(hits_in("crates/core/src/x.rs", discarded)[0].rule, "R4");
+        // A bound guard keeps the phase open for its scope.
+        assert!(hits_in(
+            "crates/core/src/x.rs",
+            "let _phase = self.dev.phase(\"bulk_build\");\n"
+        )
+        .is_empty());
+        // Comments don't count.
+        assert!(hits_in("src/x.rs", "// dev.phase(\"x\") closes on drop\n").is_empty());
     }
 
     #[test]
