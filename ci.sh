@@ -53,6 +53,11 @@ else
     cargo test --workspace --release -q --features dynamic-graphs-gpu/sanitize
     echo "== sanitized churn smoke run (small scale: shadow tracking is ~50x) =="
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512
+    echo "== sanitized sharded churn smoke runs (1 and 4 shards; cross-backend hit parity asserted in-run) =="
+    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 1 --sessions 2
+    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 4 --sessions 4
+    echo "== sharding conformance suite (1/2/4-shard parity + OOM recovery) =="
+    cargo test --release -q --test sharding
 fi
 
 # Best-effort native ThreadSanitizer pass over the simulator's own

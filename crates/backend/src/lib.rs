@@ -73,8 +73,19 @@ pub trait GraphBackend {
     fn caps(&self) -> Capabilities;
 
     /// The simulated device, for counter snapshots and per-kernel
-    /// attribution around any trait call.
+    /// attribution around any trait call. Multi-device backends return
+    /// their first shard here; see [`Self::devices`].
     fn device(&self) -> &Device;
+
+    /// Every device this backend runs on, in shard order. Single-device
+    /// backends (the default) return just [`Self::device`]; a sharded
+    /// backend returns one device per shard so drivers can sum counter
+    /// deltas across shards and take the per-shard *maximum* of modeled
+    /// times (shards execute concurrently — the makespan is the slowest
+    /// shard, not the sum).
+    fn devices(&self) -> Vec<&Device> {
+        vec![self.device()]
+    }
 
     /// Number of vertex slots (IDs are `0..num_vertices()`).
     fn num_vertices(&self) -> u32;

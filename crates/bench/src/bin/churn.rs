@@ -1,15 +1,19 @@
 //! Churn workload runner: replay a seeded mixed insert/delete/query
-//! stream against every backend that supports it, with per-kernel
-//! breakdowns.
+//! stream against every backend that supports it (including the
+//! hash-partitioned `ShardedSlabGraph`), then replay multi-tenant traffic
+//! through the batch router at increasing shard counts to measure
+//! modeled-throughput scaling.
 //!
 //! ```text
 //! cargo run -p bench --release --bin churn -- \
 //!     --dataset rgg_n_2_20_s0 --rounds 4 --ops 2048 \
-//!     --inserts 50 --deletes 30 --seed 71
+//!     --inserts 50 --deletes 30 --seed 71 \
+//!     --shards 4 --sessions 8 --skew uniform
 //! ```
 
 use bench::churn::{churn, ChurnConfig};
 use bench::harness::write_bench_artifact;
+use bench::sharded::sharded_scaling;
 
 fn main() {
     let mut cfg = ChurnConfig::default();
@@ -32,9 +36,17 @@ fn main() {
             "--deletes" => cfg.delete_pct = val("--deletes").parse().expect("--deletes: percent"),
             "--seed" => cfg.seed = val("--seed").parse().expect("--seed: integer"),
             "--scale" => cfg.scale = Some(val("--scale").parse().expect("--scale: vertices")),
+            "--shards" => cfg.shards = val("--shards").parse().expect("--shards: integer"),
+            "--sessions" => cfg.sessions = val("--sessions").parse().expect("--sessions: integer"),
+            "--skew" => {
+                cfg.skew = val("--skew").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale"
+                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale --shards --sessions --skew"
                 );
                 std::process::exit(2);
             }
@@ -44,7 +56,20 @@ fn main() {
         cfg.insert_pct + cfg.delete_pct <= 100,
         "insert and delete percentages must sum to at most 100"
     );
+    assert!(cfg.shards >= 1, "--shards must be at least 1");
     let t = churn(&cfg);
     t.emit();
-    write_bench_artifact("BENCH_churn.json", "churn", &[&t]);
+
+    // Scaling study: identical multi-tenant traffic at 1..=max(8, shards)
+    // shards (powers of two), so the artifact always records how modeled
+    // throughput scales with the shard count.
+    let mut counts: Vec<usize> = vec![1, 2, 4, 8];
+    if !counts.contains(&cfg.shards) {
+        counts.push(cfg.shards);
+        counts.sort_unstable();
+    }
+    let (scaling, per_shard) = sharded_scaling(&cfg, &counts);
+    scaling.emit();
+    per_shard.emit();
+    write_bench_artifact("BENCH_churn.json", "churn", &[&t, &scaling, &per_shard]);
 }

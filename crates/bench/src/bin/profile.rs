@@ -11,9 +11,11 @@
 //! <https://ui.perfetto.dev> (or chrome://tracing) to inspect per-kernel
 //! spans, host phases, and allocator instants on the modeled clock.
 
-use bench::churn::{build_backends, stream_for, ChurnConfig};
+use bench::churn::{build_backends, build_sharded, stream_for, ChurnConfig};
+use bench::sharded::traffic_for;
 use gpu_sim::profiler::{chrome_trace_json, parse_chrome_trace, set_default_profiler};
 use gpu_sim::{CostModel, ProfilerConfig, TraceReport};
+use router::BatchRouter;
 
 fn main() {
     let mut cfg = ChurnConfig::default();
@@ -34,8 +36,12 @@ fn main() {
             "--ops" => cfg.ops_per_round = val("--ops").parse().expect("--ops: integer"),
             "--seed" => cfg.seed = val("--seed").parse().expect("--seed: integer"),
             "--scale" => cfg.scale = Some(val("--scale").parse().expect("--scale: vertices")),
+            "--shards" => cfg.shards = val("--shards").parse().expect("--shards: integer"),
+            "--sessions" => cfg.sessions = val("--sessions").parse().expect("--sessions: integer"),
             other => {
-                eprintln!("unknown flag {other}; known: --dataset --rounds --ops --seed --scale");
+                eprintln!(
+                    "unknown flag {other}; known: --dataset --rounds --ops --seed --scale --shards --sessions"
+                );
                 std::process::exit(2);
             }
         }
@@ -51,6 +57,7 @@ fn main() {
     let mut all_events = Vec::new();
     let mut total_spans = 0u64;
     let mut total_launches = 0u64;
+    let mut next_pid = 0u64;
 
     for (pid, mut g) in build_backends(&ds).into_iter().enumerate() {
         let name = g.name();
@@ -117,7 +124,70 @@ fn main() {
         all_events.extend(prof.chrome_events(pid as u64));
         total_spans += stats.spans_recorded;
         total_launches += launches;
+        next_pid = next_pid.max(pid as u64 + 1);
     }
+
+    // Sharded replay through the batch router: multi-tenant traffic is
+    // coalesced per shard and dispatched concurrently, so the per-shard
+    // pids below show the flush kernels overlapping on the modeled clock.
+    let shards = cfg.shards.max(1);
+    let g = build_sharded(&ds, shards);
+    let router = BatchRouter::new(&g);
+    for round in &traffic_for(&cfg, &ds, shards) {
+        for (sid, updates) in round.sessions.iter().enumerate() {
+            for &u in updates {
+                router.submit(sid, u);
+            }
+        }
+        let report = router.flush();
+        assert!(
+            report.is_complete(),
+            "profiled flush hit the memory ceiling"
+        );
+        let _ = g.edges_exist(&round.qry);
+    }
+    g.validate()
+        .expect("cross-shard audit after profiled replay");
+
+    for (s, dev) in g.group().devices().iter().enumerate() {
+        let prof = dev
+            .profiler()
+            .expect("default profiler attached before shard construction");
+        let timeline = prof.timeline();
+        let stats = timeline.stats;
+        let launches = dev.counters().snapshot().launches;
+        assert_eq!(
+            stats.spans_recorded, launches,
+            "shard {s}: one timeline span per kernel launch"
+        );
+        assert_eq!(
+            stats.spans_dropped + stats.host_spans_dropped,
+            0,
+            "shard {s}: span rings must not drop at this scale"
+        );
+        let span_total: f64 = timeline
+            .spans
+            .iter()
+            .chain(&timeline.host_spans)
+            .map(|sp| sp.dur_s)
+            .sum();
+        let modeled = model.seconds(&dev.counters().snapshot());
+        assert!(
+            (span_total - modeled).abs() <= 5e-6,
+            "shard {s}: span durations sum to {span_total}s but the cost model says {modeled}s"
+        );
+        total_spans += stats.spans_recorded;
+        total_launches += launches;
+    }
+    // One pid per shard, after the backend pids, so the overlap between
+    // shards of one flush is visible side by side.
+    let shard_events = g.group().chrome_events(next_pid);
+    all_events.extend(shard_events);
+    println!(
+        "== ShardedSlabGraph ({shards} shard(s), {} session(s)): routed replay ==",
+        cfg.sessions.max(1)
+    );
+    println!("{}", g.group().merged_report(&model).render());
 
     let json = chrome_trace_json(&all_events);
     let parsed = parse_chrome_trace(&json).expect("emitted trace must parse back");

@@ -9,11 +9,54 @@
 //! [`Capabilities`](backend::Capabilities) cannot run the stream (static
 //! CSR) are skipped via their capability flags rather than special-cased.
 
-use crate::harness::{fnum, scale_shift, trace_begin, trace_complete, Measurement, Table};
+use crate::harness::{fnum, scale_shift, Table};
 use backend::GraphBackend;
 use baselines::{Csr, FaimGraph, Hornet};
+use gpu_sim::{CostModel, DeviceGroup, TraceSnapshot};
 use graph_gen::{catalog, insert_batch};
+use router::ShardedGraph;
 use slabgraph::{Direction, DynGraph, TableKind};
+
+/// Key distribution of generated traffic — how update endpoints are drawn
+/// from the vertex space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Skew {
+    /// Endpoints uniform over the vertex range (the paper's rMAT-free
+    /// batches): edges cut shards with probability (N-1)/N but load stays
+    /// balanced.
+    #[default]
+    Uniform,
+    /// Power-law endpoints (a cubed uniform sample): a hot head of the id
+    /// space absorbs most traffic, as in social-network streams.
+    Skewed,
+    /// Worst case for a hash-partitioned graph: every src is owned by
+    /// shard 0, so routing cannot spread the primary-copy work at all.
+    Adversarial,
+}
+
+impl std::str::FromStr for Skew {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uniform" => Ok(Skew::Uniform),
+            "skewed" => Ok(Skew::Skewed),
+            "adversarial" => Ok(Skew::Adversarial),
+            other => Err(format!(
+                "unknown skew {other:?}; known: uniform skewed adversarial"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Skew {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Skew::Uniform => "uniform",
+            Skew::Skewed => "skewed",
+            Skew::Adversarial => "adversarial",
+        })
+    }
+}
 
 /// Parameters of a churn run. Percentages are of `ops_per_round`; the
 /// remainder after inserts and deletes are membership queries.
@@ -36,6 +79,13 @@ pub struct ChurnConfig {
     /// every word access, so it runs a small instance of the same
     /// stream rather than the full benchmark scale.
     pub scale: Option<u32>,
+    /// Shard count for the `ShardedSlabGraph` contender and the sharded
+    /// scaling section (`--shards`).
+    pub shards: usize,
+    /// Concurrent client sessions feeding the batch router (`--sessions`).
+    pub sessions: usize,
+    /// Key distribution of the multi-tenant traffic generator (`--skew`).
+    pub skew: Skew,
 }
 
 impl Default for ChurnConfig {
@@ -48,6 +98,9 @@ impl Default for ChurnConfig {
             delete_pct: 30,
             seed: 71,
             scale: None,
+            shards: 1,
+            sessions: 1,
+            skew: Skew::Uniform,
         }
     }
 }
@@ -117,30 +170,79 @@ pub fn stream_for(cfg: &ChurnConfig) -> (graph_gen::Dataset, Vec<Round>) {
     (ds, stream)
 }
 
+/// The `GraphConfig` the slab-graph contender (sharded or not) uses for a
+/// dataset, so every replay of the stream sizes the structure identically.
+pub fn slab_config(ds: &graph_gen::Dataset) -> slabgraph::GraphConfig {
+    let mut c = slabgraph::GraphConfig::directed_map(ds.n_vertices);
+    c.kind = TableKind::Map;
+    c.direction = Direction::Directed;
+    c.device_words = (ds.edges.len() * 12).max(1 << 20);
+    c.pool_slabs = (ds.edges.len() / 64).max(1 << 10);
+    c
+}
+
+/// Build the hash-partitioned contender: `n_shards` slab graphs over a
+/// device group, bulk-loaded with the dataset (cut edges replicated).
+pub fn build_sharded(ds: &graph_gen::Dataset, n_shards: usize) -> ShardedGraph {
+    ShardedGraph::bulk_build(
+        n_shards,
+        slab_config(ds),
+        &graph_gen::weighted(&ds.edges, 99)
+            .into_iter()
+            .map(slabgraph::Edge::from)
+            .collect::<Vec<_>>(),
+    )
+}
+
 /// Construct the registered backend set for a dataset, identically to
 /// [`churn`] — one instance per structure, sized for the dataset. The
 /// `profile` bin uses this so its timelines cover the same builds.
-pub fn build_backends(ds: &graph_gen::Dataset) -> Vec<Box<dyn GraphBackend>> {
+/// `shards >= 1` appends the `ShardedSlabGraph` contender at that shard
+/// count (0 omits it, preserving the pre-sharding set).
+pub fn build_backends_sharded(
+    ds: &graph_gen::Dataset,
+    shards: usize,
+) -> Vec<Box<dyn GraphBackend>> {
     let dw = (ds.edges.len() * 8).max(1 << 20);
-    vec![
+    let mut backends: Vec<Box<dyn GraphBackend>> = vec![
         Box::new(Hornet::bulk_build(ds.n_vertices, &ds.edges, dw)),
         Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, dw)),
-        Box::new({
-            let mut c = slabgraph::GraphConfig::directed_map(ds.n_vertices);
-            c.kind = TableKind::Map;
-            c.direction = Direction::Directed;
-            c.device_words = (ds.edges.len() * 12).max(1 << 20);
-            c.pool_slabs = (ds.edges.len() / 64).max(1 << 10);
-            DynGraph::bulk_build(
-                c,
-                &graph_gen::weighted(&ds.edges, 99)
-                    .into_iter()
-                    .map(slabgraph::Edge::from)
-                    .collect::<Vec<_>>(),
-            )
-        }),
+        Box::new(DynGraph::bulk_build(
+            slab_config(ds),
+            &graph_gen::weighted(&ds.edges, 99)
+                .into_iter()
+                .map(slabgraph::Edge::from)
+                .collect::<Vec<_>>(),
+        )),
         Box::new(Csr::build(ds.n_vertices, &ds.edges, dw)),
-    ]
+    ];
+    if shards >= 1 {
+        backends.push(Box::new(build_sharded(ds, shards)));
+    }
+    backends
+}
+
+/// The pre-sharding backend set (no `ShardedSlabGraph`), kept for callers
+/// that want exactly one device per backend.
+pub fn build_backends(ds: &graph_gen::Dataset) -> Vec<Box<dyn GraphBackend>> {
+    build_backends_sharded(ds, 0)
+}
+
+/// Modeled makespan of work done since `before` across all of a backend's
+/// devices: shards execute concurrently, so the modeled cost of a step is
+/// the *maximum* per-device delta, not the sum. For single-device backends
+/// this is exactly the old single-counter measurement.
+fn trace_all(g: &dyn GraphBackend) -> Vec<TraceSnapshot> {
+    g.devices().iter().map(|d| d.trace()).collect()
+}
+
+fn makespan_since(g: &dyn GraphBackend, before: &[TraceSnapshot]) -> f64 {
+    let model = CostModel::titan_v();
+    g.devices()
+        .iter()
+        .zip(before)
+        .map(|(d, b)| model.seconds(&d.trace().delta(b).global))
+        .fold(0.0, f64::max)
 }
 
 /// Run the churn stream over every registered backend and tabulate
@@ -161,7 +263,7 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         ],
     );
 
-    let backends = build_backends(&ds);
+    let backends = build_backends_sharded(&ds, cfg.shards.max(1));
 
     let mut hit_counts: Vec<u64> = vec![];
     for mut g in backends {
@@ -174,43 +276,53 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
             continue;
         }
         let name = g.name();
-        let (trace0, wall0) = trace_begin(g.device());
+        let trace0 = trace_all(&*g);
         let (mut ins_s, mut del_s, mut qry_s) = (0.0f64, 0.0f64, 0.0f64);
         let (mut n_ins, mut n_del, mut n_qry, mut hits) = (0u64, 0u64, 0u64, 0u64);
         for round in &stream {
-            let before = g.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
+            let before = trace_all(&*g);
             g.insert_edges(&round.ins);
-            ins_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            ins_s += makespan_since(&*g, &before);
             n_ins += round.ins.len() as u64;
 
-            let before = g.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
+            let before = trace_all(&*g);
             g.delete_edges(&round.del);
-            del_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            del_s += makespan_since(&*g, &before);
             n_del += round.del.len() as u64;
 
-            let before = g.device().counters().snapshot();
-            let t0 = std::time::Instant::now();
+            let before = trace_all(&*g);
             let found = g.edges_exist(&round.qry);
-            qry_s += Measurement::complete(g.device(), before, t0).modeled_s;
+            qry_s += makespan_since(&*g, &before);
             n_qry += round.qry.len() as u64;
             hits += found.iter().filter(|&&b| b).count() as u64;
         }
-        let (m, report) = trace_complete(g.device(), trace0, wall0);
+        // One deterministic per-kernel report for the stream, merged over
+        // every device the backend spans (one for the classic structures,
+        // one per shard for `ShardedSlabGraph`). The attribution invariant
+        // must survive the merge: named kernels sum to the global delta.
+        let deltas: Vec<TraceSnapshot> = g
+            .devices()
+            .iter()
+            .zip(&trace0)
+            .map(|(d, b)| d.trace().delta(b))
+            .collect();
+        let merged = DeviceGroup::merge_traces(&deltas);
+        let report = gpu_sim::TraceReport::new(&merged, &CostModel::titan_v());
         assert_eq!(
             report.kernel_sum(),
-            m.counters,
+            merged.global,
             "{name}: churn per-kernel counters must sum to the stream's delta"
         );
         // Under `--features sanitize` every backend device carries the
-        // shadow-memory checker; a churn stream must finish clean (the
-        // escalation hook would also have aborted mid-launch).
-        let findings = g.device().sanitizer_findings();
-        assert!(
-            findings.is_empty(),
-            "{name}: churn must be sanitizer-clean, got {findings:?}"
-        );
+        // shadow-memory checker; a churn stream must finish clean on every
+        // shard (the escalation hook would also have aborted mid-launch).
+        for dev in g.devices() {
+            let findings = dev.sanitizer_findings();
+            assert!(
+                findings.is_empty(),
+                "{name}: churn must be sanitizer-clean, got {findings:?}"
+            );
+        }
         hit_counts.push(hits);
         let rate = |items: u64, secs: f64| {
             if secs <= 0.0 {
@@ -243,6 +355,10 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         100 - cfg.insert_pct - cfg.delete_pct,
         cfg.seed
     ));
+    t.note(format!(
+        "ShardedSlabGraph runs {} shard(s); modeled time per step is the max over shard devices (concurrent dispatch)",
+        cfg.shards.max(1)
+    ));
     t
 }
 
@@ -266,6 +382,7 @@ mod tests {
             delete_pct: 30,
             seed: 9,
             scale: None,
+            ..ChurnConfig::default()
         };
         let a = make_stream(&ds, &cfg);
         let b = make_stream(&ds, &cfg);
@@ -291,6 +408,7 @@ mod tests {
             delete_pct: 20,
             seed: 5,
             scale: None,
+            ..ChurnConfig::default()
         };
         let stream = make_stream(&ds, &cfg);
         let mut live: std::collections::HashSet<(u32, u32)> = ds.edges.iter().copied().collect();

@@ -16,5 +16,6 @@
 pub mod churn;
 pub mod experiments;
 pub mod harness;
+pub mod sharded;
 
 pub use harness::{measure, scale_shift, Measurement, Table};

@@ -61,7 +61,7 @@ impl From<(u32, u32, u32)> for Edge {
 /// strategy. See [`crate`] docs for an overview and the `edge_ops` /
 /// `vertex_ops` / `query` modules for the algorithms.
 pub struct DynGraph {
-    pub(crate) dev: Device,
+    pub(crate) dev: std::sync::Arc<Device>,
     pub(crate) alloc: SlabAllocator,
     pub(crate) dict: VertexDict,
     pub(crate) config: GraphConfig,
@@ -82,6 +82,15 @@ impl DynGraph {
             policy: ExecPolicy::Sequential,
             ..DeviceConfig::default()
         });
+        Self::on_device(std::sync::Arc::new(dev), config)
+    }
+
+    /// Create an empty graph on an existing device — the multi-shard path,
+    /// where a `gpu_sim::DeviceGroup` owns the devices and each shard's
+    /// graph co-owns its own. `config.device_words` /
+    /// `device_capacity_words` are ignored here: the device was already
+    /// sized by whoever built it.
+    pub fn on_device(dev: std::sync::Arc<Device>, config: GraphConfig) -> Self {
         let alloc = SlabAllocator::new(&dev, config.pool_slabs);
         let dict = VertexDict::new(&dev, config.kind, config.vertex_capacity);
         DynGraph {
@@ -192,8 +201,15 @@ impl DynGraph {
     }
 
     /// Mutable device access (to switch execution policy between phases).
+    ///
+    /// # Panics
+    /// Panics if the device is co-owned (a graph built via
+    /// [`Self::on_device`] whose `Arc` has other holders, e.g. a
+    /// `DeviceGroup`): policy changes on a shared shard device must go
+    /// through whoever owns the group.
     pub fn device_mut(&mut self) -> &mut Device {
-        &mut self.dev
+        std::sync::Arc::get_mut(&mut self.dev)
+            .expect("device_mut on a co-owned (sharded) device; change policy via the group")
     }
 
     /// The dynamic slab allocator backing collision slabs.

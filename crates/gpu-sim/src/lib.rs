@@ -41,6 +41,7 @@ pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod fault;
+pub mod group;
 pub mod json;
 pub mod lanes;
 pub mod memory;
@@ -53,6 +54,7 @@ pub use cost::{CostModel, TRANSACTION_BYTES};
 pub use counters::{CounterSnapshot, PerfCounters};
 pub use device::{Device, DeviceConfig, ExecPolicy, Warp};
 pub use fault::{FaultPlan, OomError};
+pub use group::DeviceGroup;
 pub use json::Json;
 pub use lanes::{
     ballot, ffs, lanemask_lt, popc, shuffle, shuffle_idx, Lanes, FULL_MASK, WARP_SIZE,

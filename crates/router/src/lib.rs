@@ -1,0 +1,910 @@
+//! # router — a sharded dynamic graph behind an async batch router
+//!
+//! The paper's structure is a single-GPU graph; the roadmap's north star is
+//! a service. This crate bridges the two: a [`ShardedGraph`] hash-partitions
+//! the vertex dictionary across N `DynGraph` shards, each on its own device
+//! of a [`gpu_sim::DeviceGroup`], and a [`BatchRouter`] coalesces updates
+//! from concurrent client sessions into per-shard batches dispatched
+//! concurrently — CUDA-streams style, with the overlap visible in a merged
+//! Chrome trace.
+//!
+//! ## Partitioning and the cut-edge protocol
+//!
+//! Vertex `v` is *owned* by shard [`shard_of`]`(v, n)` (a splitmix64
+//! finalizer, so ownership is balanced regardless of id structure and
+//! deterministic across runs). A directed edge ⟨u,v⟩ has its **primary**
+//! copy on `owner(u)` — the shard that answers every query about `u` — and,
+//! when `owner(v) != owner(u)` (a *cut edge*), a **replica** copy on
+//! `owner(v)`, stored under the same ⟨u → v⟩ key. Replicas keep each shard
+//! self-contained for dst-side work: vertex deletion can tombstone incoming
+//! edges without a cross-shard scatter, and [`ShardedGraph::validate`] can
+//! audit consistency pairwise. Because every query routes to the owner and
+//! `changed` counts come from primary sub-batches only, results are
+//! *identical* to an unsharded `DynGraph` replaying the same stream —
+//! `tests/sharding.rs` asserts this at 1/2/4 shards.
+//!
+//! ## The router
+//!
+//! Client sessions [`BatchRouter::submit`] updates concurrently (each
+//! session's order is preserved; sessions are drained in id order, so a
+//! flush is deterministic regardless of arrival interleaving).
+//! [`BatchRouter::flush`] coalesces the queue into one insert and one
+//! delete batch per shard, dispatches all shards concurrently through the
+//! device group's executor, and returns per-shard [`BatchOutcome`]s plus
+//! per-shard modeled times. A shard that runs out of memory (capacity
+//! budget or injected fault) reports a *partial* outcome with its pending
+//! suffix while the other shards complete unaffected; after the caller
+//! raises the budget (or clears the fault plan), [`BatchRouter::recover`]
+//! resumes exactly the pending suffixes via `retry_suffix`.
+
+use gpu_sim::{CostModel, Device, DeviceConfig, DeviceGroup, ExecPolicy};
+use parking_lot::Mutex;
+use slabgraph::{BatchOutcome, Direction, DynGraph, Edge, GraphConfig, ValidationError};
+
+/// The owner shard of vertex `v` among `n_shards`: a splitmix64 finalizer
+/// over the id, reduced mod `n_shards`. Deterministic, balanced, and
+/// independent of insertion order.
+pub fn shard_of(v: u32, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let mut z = (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) % n_shards as u64) as usize
+}
+
+/// Per-shard edge batches produced by partitioning one logical batch:
+/// `primary[s]` holds edges whose src shard `s` owns, `replica[s]` the cut
+/// edges mirrored to `s` because it owns the dst.
+struct ShardBatches {
+    primary: Vec<Vec<Edge>>,
+    replica: Vec<Vec<Edge>>,
+}
+
+/// A dynamic graph hash-partitioned across N [`DynGraph`] shards, one per
+/// device of a [`DeviceGroup`]. See the crate docs for the cut-edge
+/// protocol and determinism guarantees.
+pub struct ShardedGraph {
+    group: DeviceGroup,
+    shards: Vec<DynGraph>,
+    direction: Direction,
+    n_vertices: u32,
+}
+
+// The shard dispatch path shares `&DynGraph` across scoped threads.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<DynGraph>();
+    assert_sync::<Device>();
+};
+
+impl ShardedGraph {
+    /// Build an empty sharded graph. `config` describes the *aggregate*
+    /// structure: the device budget and slab pool are split evenly across
+    /// shards (so scaling the shard count compares like-for-like), every
+    /// shard keeps the full vertex-id range (any id can own primaries or
+    /// host replicas), and undirected semantics are applied here — shards
+    /// are always directed, because the two half-edges of an undirected
+    /// pair can have different owners.
+    pub fn new(n_shards: usize, config: GraphConfig) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        let per_shard_words = (config.device_words / n_shards).max(1 << 14);
+        let group = DeviceGroup::new(
+            n_shards,
+            DeviceConfig {
+                initial_words: per_shard_words,
+                capacity_words: config.device_capacity_words,
+                policy: ExecPolicy::Sequential,
+                ..DeviceConfig::default()
+            },
+        );
+        let shard_cfg = GraphConfig {
+            direction: Direction::Directed,
+            device_words: per_shard_words,
+            pool_slabs: (config.pool_slabs / n_shards).max(1 << 6),
+            ..config
+        };
+        let shards = (0..n_shards)
+            .map(|s| DynGraph::on_device(group.device(s).clone(), shard_cfg))
+            .collect();
+        ShardedGraph {
+            group,
+            shards,
+            direction: config.direction,
+            n_vertices: config.vertex_capacity,
+        }
+    }
+
+    /// Build and populate from an edge list in one step.
+    pub fn bulk_build(n_shards: usize, config: GraphConfig, edges: &[Edge]) -> Self {
+        let g = Self::new(n_shards, config);
+        g.insert_edges(edges);
+        g
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The device group the shards run on (per-shard devices, merged
+    /// traces, Chrome export).
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// Shard `s`'s graph (owner-side tables plus replicas it hosts).
+    pub fn shard(&self, s: usize) -> &DynGraph {
+        &self.shards[s]
+    }
+
+    /// The owner shard of vertex `v`.
+    pub fn owner_of(&self, v: u32) -> usize {
+        shard_of(v, self.shards.len())
+    }
+
+    /// Vertex capacity (ids are `0..vertex_capacity`).
+    pub fn vertex_capacity(&self) -> u32 {
+        self.n_vertices
+    }
+
+    /// Mirror for undirected semantics, then split into per-shard primary
+    /// and replica batches, preserving batch order within each shard.
+    fn partition(&self, edges: &[Edge]) -> ShardBatches {
+        let n = self.shards.len();
+        let mut primary: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut replica: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut route = |e: Edge| {
+            let su = shard_of(e.src, n);
+            let sv = shard_of(e.dst, n);
+            primary[su].push(e);
+            if sv != su {
+                replica[sv].push(e);
+            }
+        };
+        for &e in edges {
+            route(e);
+            if self.direction == Direction::Undirected {
+                route(e.reversed());
+            }
+        }
+        ShardBatches { primary, replica }
+    }
+
+    /// Insert a batch of edges; returns how many were new (summed over
+    /// undirected mirror copies, exactly like `DynGraph::insert_edges`).
+    /// Shards run concurrently; the count comes from primary copies only,
+    /// so it matches an unsharded replay.
+    pub fn insert_edges(&self, edges: &[Edge]) -> u64 {
+        let parts = self.partition(edges);
+        self.group
+            .dispatch(|s, _| {
+                let g = &self.shards[s];
+                let changed = g.insert_edges(&parts.primary[s]);
+                g.insert_edges(&parts.replica[s]);
+                changed
+            })
+            .iter()
+            .sum()
+    }
+
+    /// Delete a batch of edges; returns how many were present (primary
+    /// copies only — see [`Self::insert_edges`]).
+    pub fn delete_edges(&self, edges: &[Edge]) -> u64 {
+        let parts = self.partition(edges);
+        self.group
+            .dispatch(|s, _| {
+                let g = &self.shards[s];
+                let changed = g.delete_edges(&parts.primary[s]);
+                g.delete_edges(&parts.replica[s]);
+                changed
+            })
+            .iter()
+            .sum()
+    }
+
+    /// Delete vertices and every incident edge. Every shard runs the
+    /// deletion: the owner drops the vertex's primary tables, shards
+    /// hosting replicas of its out-edges drop those tables too, and the
+    /// dst-side sweep on each shard tombstones incoming copies — so no
+    /// cross-shard scatter is needed.
+    pub fn delete_vertices(&self, vertices: &[u32]) {
+        self.group.dispatch(|s, _| {
+            self.shards[s].delete_vertices(vertices);
+        });
+    }
+
+    /// Membership query for one edge, answered by `src`'s owner.
+    pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
+        self.shards[self.owner_of(src)].edge_exists(src, dst)
+    }
+
+    /// Batched membership queries: pairs route to their src's owner, the
+    /// per-shard query kernels run concurrently, and results return in the
+    /// caller's order — bit-identical to an unsharded replay.
+    pub fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        let n = self.shards.len();
+        let mut index: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut per: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (i, &p) in pairs.iter().enumerate() {
+            let s = shard_of(p.0, n);
+            index[s].push(i);
+            per[s].push(p);
+        }
+        let results = self
+            .group
+            .dispatch(|s, _| self.shards[s].edges_exist(&per[s]));
+        let mut out = vec![false; pairs.len()];
+        for (s, found) in results.into_iter().enumerate() {
+            for (k, b) in found.into_iter().enumerate() {
+                out[index[s][k]] = b;
+            }
+        }
+        out
+    }
+
+    /// Out-degree of `u`, from its owner shard.
+    pub fn degree(&self, u: u32) -> u32 {
+        self.shards[self.owner_of(u)].degree(u)
+    }
+
+    /// `u`'s neighbours, from its owner shard (the primary copy holds the
+    /// complete adjacency).
+    pub fn neighbor_ids(&self, u: u32) -> Vec<u32> {
+        self.shards[self.owner_of(u)].neighbor_ids(u)
+    }
+
+    /// Allocation-free adjacency iteration on the owner shard.
+    pub fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        self.shards[self.owner_of(u)].for_each_neighbor(u, f)
+    }
+
+    /// Exact live-edge count: the sum of owned-vertex degrees across
+    /// shards (replicas are bookkeeping, not extra edges).
+    pub fn num_edges(&self) -> u64 {
+        self.group
+            .dispatch(|s, _| {
+                (0..self.n_vertices)
+                    .filter(|&v| shard_of(v, self.shards.len()) == s)
+                    .map(|v| self.shards[s].degree(v) as u64)
+                    .sum::<u64>()
+            })
+            .iter()
+            .sum()
+    }
+
+    /// Full validation: every shard's structural invariants
+    /// (`DynGraph::validate`), then the cross-shard audit — every cut edge
+    /// present on both owners, no orphan or misrouted replicas, and the
+    /// global counts reconcile (`Σ per-shard edges = owned + cut`).
+    pub fn validate(&self) -> Result<(), ShardedValidationError> {
+        let n = self.shards.len();
+        for (s, r) in self
+            .group
+            .dispatch(|s, _| self.shards[s].validate())
+            .into_iter()
+            .enumerate()
+        {
+            r.map_err(|source| ShardedValidationError::Shard { shard: s, source })?;
+        }
+        let mut cut = 0u64;
+        let mut replicas = 0u64;
+        let mut owned = 0u64;
+        let mut stored = 0u64;
+        for u in 0..self.n_vertices {
+            let su = shard_of(u, n);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let neighbors = shard.neighbor_ids(u);
+                stored += neighbors.len() as u64;
+                if s == su {
+                    owned += neighbors.len() as u64;
+                    // Primary side: every cut edge must have its replica.
+                    for v in neighbors {
+                        let sv = shard_of(v, n);
+                        if sv != su {
+                            cut += 1;
+                            if !self.shards[sv].edge_exists(u, v) {
+                                return Err(ShardedValidationError::MissingReplica {
+                                    src: u,
+                                    dst: v,
+                                    src_shard: su,
+                                    dst_shard: sv,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    // Replica side: must be dst-owned here and backed by a
+                    // live primary on the src's owner.
+                    for v in neighbors {
+                        replicas += 1;
+                        if shard_of(v, n) != s || !self.shards[su].edge_exists(u, v) {
+                            return Err(ShardedValidationError::OrphanReplica {
+                                src: u,
+                                dst: v,
+                                shard: s,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if replicas != cut || stored != owned + cut {
+            return Err(ShardedValidationError::CountMismatch {
+                owned,
+                cut,
+                replicas,
+                stored,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What [`ShardedGraph::validate`] can find beyond a single shard's own
+/// invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedValidationError {
+    /// A shard failed its own `DynGraph::validate`.
+    Shard {
+        shard: usize,
+        source: ValidationError,
+    },
+    /// A cut edge's primary exists but its replica is missing on the dst
+    /// owner.
+    MissingReplica {
+        src: u32,
+        dst: u32,
+        src_shard: usize,
+        dst_shard: usize,
+    },
+    /// A replica with no backing primary, or stored on a shard that owns
+    /// neither endpoint.
+    OrphanReplica { src: u32, dst: u32, shard: usize },
+    /// Global reconciliation failed: stored entries must equal owned
+    /// primaries plus cut-edge replicas, and replicas must equal cut edges.
+    CountMismatch {
+        owned: u64,
+        cut: u64,
+        replicas: u64,
+        stored: u64,
+    },
+}
+
+impl std::fmt::Display for ShardedValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedValidationError::Shard { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+            ShardedValidationError::MissingReplica {
+                src,
+                dst,
+                src_shard,
+                dst_shard,
+            } => write!(
+                f,
+                "cut edge {src}\u{2192}{dst}: primary on shard {src_shard} but no replica on shard {dst_shard}"
+            ),
+            ShardedValidationError::OrphanReplica { src, dst, shard } => write!(
+                f,
+                "shard {shard}: replica {src}\u{2192}{dst} has no backing primary (or wrong owner)"
+            ),
+            ShardedValidationError::CountMismatch {
+                owned,
+                cut,
+                replicas,
+                stored,
+            } => write!(
+                f,
+                "counts do not reconcile: stored {stored} != owned {owned} + cut {cut} (replicas {replicas})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardedValidationError {}
+
+// ---------------------------------------------------------------------------
+// GraphBackend: the sharded graph drops into every existing driver.
+// ---------------------------------------------------------------------------
+
+impl backend::GraphBackend for ShardedGraph {
+    fn name(&self) -> &'static str {
+        "ShardedSlabGraph"
+    }
+
+    fn caps(&self) -> backend::Capabilities {
+        backend::Capabilities {
+            insert_edges: true,
+            delete_edges: true,
+            delete_vertices: true,
+            intersection: backend::IntersectionKind::HashProbe,
+        }
+    }
+
+    fn device(&self) -> &Device {
+        self.group.device(0).as_ref()
+    }
+
+    fn devices(&self) -> Vec<&Device> {
+        self.group.devices().iter().map(|d| d.as_ref()).collect()
+    }
+
+    fn num_vertices(&self) -> u32 {
+        self.n_vertices
+    }
+
+    fn num_edges(&self) -> u64 {
+        ShardedGraph::num_edges(self)
+    }
+
+    fn degree(&self, u: u32) -> u32 {
+        ShardedGraph::degree(self, u)
+    }
+
+    fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_exists(u, v)
+    }
+
+    fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        ShardedGraph::edges_exist(self, pairs)
+    }
+
+    fn read_neighbors(&self, u: u32) -> Vec<u32> {
+        self.neighbor_ids(u)
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        ShardedGraph::for_each_neighbor(self, u, f)
+    }
+
+    fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        let edges: Vec<Edge> = edges.iter().map(|&p| Edge::from(p)).collect();
+        ShardedGraph::insert_edges(self, &edges)
+    }
+
+    fn delete_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
+        let edges: Vec<Edge> = edges.iter().map(|&p| Edge::from(p)).collect();
+        ShardedGraph::delete_edges(self, &edges)
+    }
+
+    fn delete_vertices(&mut self, vertices: &[u32]) {
+        ShardedGraph::delete_vertices(self, vertices)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The async batch router.
+// ---------------------------------------------------------------------------
+
+/// One client update. Sessions submit these; the router coalesces them
+/// into per-shard batches at flush time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Insert one edge (weight carried through on map-kind shards).
+    Insert(Edge),
+    /// Delete one edge.
+    Delete(Edge),
+}
+
+/// One shard's view of a flush: its batch outcomes and modeled time.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    pub shard: usize,
+    /// Outcome of the shard's coalesced insert batch (primaries then
+    /// replicas, session order preserved). `None` when the flush carried
+    /// no inserts for this shard.
+    pub insert: Option<BatchOutcome>,
+    /// Outcome of the shard's coalesced delete batch.
+    pub delete: Option<BatchOutcome>,
+    /// Modeled GPU seconds this shard spent on the flush.
+    pub modeled_s: f64,
+}
+
+impl ShardOutcome {
+    /// Whether every batch routed to this shard was fully applied.
+    pub fn is_complete(&self) -> bool {
+        self.insert.as_ref().is_none_or(BatchOutcome::is_complete)
+            && self.delete.as_ref().is_none_or(BatchOutcome::is_complete)
+    }
+}
+
+/// What one [`BatchRouter::flush`] (or [`BatchRouter::recover`]) did.
+#[derive(Debug, Clone)]
+pub struct FlushReport {
+    /// Updates drained from the session queues (0 for a recovery pass).
+    pub updates: usize,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl FlushReport {
+    /// Whether every shard applied its batches fully.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(ShardOutcome::is_complete)
+    }
+
+    /// Shards with unapplied work (candidates for [`BatchRouter::recover`]).
+    pub fn incomplete_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| !s.is_complete())
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// The flush's modeled makespan: shards run concurrently, so this is
+    /// the *maximum* per-shard modeled time, not the sum.
+    pub fn modeled_s(&self) -> f64 {
+        self.shards.iter().map(|s| s.modeled_s).fold(0.0, f64::max)
+    }
+}
+
+/// Host-side async batch router over a [`ShardedGraph`]. Concurrent
+/// sessions [`Self::submit`] updates; [`Self::flush`] coalesces and
+/// dispatches them. See the crate docs for ordering semantics.
+pub struct BatchRouter<'g> {
+    graph: &'g ShardedGraph,
+    /// Per-session FIFO queues, indexed by session id. A `Mutex` (not a
+    /// channel) so that draining is session-major — deterministic no
+    /// matter how submission threads interleaved.
+    sessions: Mutex<Vec<Vec<Update>>>,
+}
+
+impl<'g> BatchRouter<'g> {
+    pub fn new(graph: &'g ShardedGraph) -> Self {
+        BatchRouter {
+            graph,
+            sessions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Enqueue one update for `session`. Safe to call from any thread;
+    /// order *within* a session is the caller's submission order.
+    pub fn submit(&self, session: usize, update: Update) {
+        let mut q = self.sessions.lock();
+        if q.len() <= session {
+            q.resize_with(session + 1, Vec::new);
+        }
+        q[session].push(update);
+    }
+
+    /// Updates currently queued across all sessions.
+    pub fn queued(&self) -> usize {
+        self.sessions.lock().iter().map(Vec::len).sum()
+    }
+
+    /// Drain every session queue (session-major, submission order within a
+    /// session), coalesce into one insert batch and one delete batch per
+    /// shard — primaries and cut-edge replicas included — and dispatch all
+    /// shards concurrently. Within a flush, inserts apply before deletes.
+    ///
+    /// Each shard uses the fallible batch path: a shard that exhausts its
+    /// device budget reports a partial [`BatchOutcome`] carrying the
+    /// unapplied suffix, while the other shards proceed to completion.
+    pub fn flush(&self) -> FlushReport {
+        let drained: Vec<Vec<Update>> = std::mem::take(&mut *self.sessions.lock());
+        let updates: usize = drained.iter().map(Vec::len).sum();
+        let n = self.graph.num_shards();
+        let mut inserts: Vec<Edge> = Vec::new();
+        let mut deletes: Vec<Edge> = Vec::new();
+        for session in &drained {
+            for &u in session {
+                match u {
+                    Update::Insert(e) => inserts.push(e),
+                    Update::Delete(e) => deletes.push(e),
+                }
+            }
+        }
+        let ins_parts = self.graph.partition(&inserts);
+        let del_parts = self.graph.partition(&deletes);
+        // Per shard: one coalesced insert batch (primaries first, then
+        // replicas — retry order must match apply order), one delete batch.
+        let ins_batches: Vec<Vec<Edge>> = (0..n)
+            .map(|s| {
+                let mut b = ins_parts.primary[s].clone();
+                b.extend_from_slice(&ins_parts.replica[s]);
+                b
+            })
+            .collect();
+        let del_batches: Vec<Vec<Edge>> = (0..n)
+            .map(|s| {
+                let mut b = del_parts.primary[s].clone();
+                b.extend_from_slice(&del_parts.replica[s]);
+                b
+            })
+            .collect();
+        let model = CostModel::titan_v();
+        let shards = self.graph.group().dispatch(|s, dev| {
+            let g = self.graph.shard(s);
+            let before = dev.counters().snapshot();
+            let _phase = dev.phase("router.flush");
+            let insert = (!ins_batches[s].is_empty())
+                .then(|| g.try_insert_edges(&ins_batches[s]).expect("valid edge ids"));
+            let delete = if del_batches[s].is_empty() {
+                None
+            } else if insert.as_ref().is_none_or(|o| o.is_complete()) {
+                Some(g.try_delete_edges(&del_batches[s]).expect("valid edge ids"))
+            } else {
+                // The shard is out of memory mid-insert: hold the deletes
+                // as fully-pending so recovery preserves apply order.
+                Some(BatchOutcome {
+                    op: slabgraph::BatchOp::DeleteEdges,
+                    attempted: del_batches[s].len(),
+                    completed: 0,
+                    changed: 0,
+                    pending: del_batches[s].clone(),
+                    pending_vertices: Vec::new(),
+                    error: None,
+                })
+            };
+            drop(_phase);
+            let delta = dev.counters().snapshot().delta(&before);
+            ShardOutcome {
+                shard: s,
+                insert,
+                delete,
+                modeled_s: model.seconds(&delta),
+            }
+        });
+        FlushReport { updates, shards }
+    }
+
+    /// Resume the pending suffixes of an incomplete flush — call after
+    /// raising the failing shard's budget
+    /// ([`gpu_sim::Device::set_capacity_words`]) or clearing its fault
+    /// plan. Only incomplete shards re-run (concurrently); complete shards
+    /// are carried over untouched. The returned report may itself be
+    /// partial, in which case recovery can be repeated.
+    pub fn recover(&self, report: &FlushReport) -> FlushReport {
+        let model = CostModel::titan_v();
+        let shards = self.graph.group().dispatch(|s, dev| {
+            let prior = &report.shards[s];
+            if prior.is_complete() {
+                return prior.clone();
+            }
+            let g = self.graph.shard(s);
+            let before = dev.counters().snapshot();
+            let _phase = dev.phase("router.recover");
+            let retry = |o: &Option<BatchOutcome>| -> Option<BatchOutcome> {
+                o.as_ref().map(|o| {
+                    if o.is_complete() {
+                        o.clone()
+                    } else {
+                        let mut next = g.retry_suffix(o).expect("valid edge ids");
+                        // Fold the already-applied prefix into the resumed
+                        // outcome so counts stay cumulative for the flush.
+                        next.attempted = o.attempted;
+                        next.completed += o.completed;
+                        next.changed += o.changed;
+                        next
+                    }
+                })
+            };
+            let insert = retry(&prior.insert);
+            let delete = if insert.as_ref().is_none_or(|o| o.is_complete()) {
+                retry(&prior.delete)
+            } else {
+                prior.delete.clone()
+            };
+            drop(_phase);
+            let delta = dev.counters().snapshot().delta(&before);
+            ShardOutcome {
+                shard: s,
+                insert,
+                delete,
+                modeled_s: model.seconds(&delta),
+            }
+        });
+        FlushReport { updates: 0, shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backend::GraphBackend;
+    use gpu_sim::FaultPlan;
+
+    fn cfg(n_vertices: u32) -> GraphConfig {
+        GraphConfig::directed_map(n_vertices)
+            .with_device_words(1 << 18)
+            .with_pool_slabs(1 << 8)
+    }
+
+    fn pairs(n: usize, seed: u64, n_vertices: u32) -> Vec<(u32, u32)> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|_| {
+                let u = (next() % n_vertices as u64) as u32;
+                let mut v = (next() % n_vertices as u64) as u32;
+                if v == u {
+                    v = (v + 1) % n_vertices;
+                }
+                (u, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_of_is_balanced_and_stable() {
+        let mut counts = [0usize; 4];
+        for v in 0..4000u32 {
+            counts[shard_of(v, 4)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "unbalanced: {counts:?}");
+        }
+        assert_eq!(shard_of(42, 1), 0);
+        assert_eq!(shard_of(42, 4), shard_of(42, 4));
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_queries() {
+        let n_vertices = 256;
+        let edges: Vec<Edge> = pairs(400, 7, n_vertices)
+            .into_iter()
+            .map(Edge::from)
+            .collect();
+        let reference = DynGraph::new(cfg(n_vertices));
+        reference.insert_edges(&edges);
+        for shards in [1, 2, 4] {
+            let g = ShardedGraph::bulk_build(shards, cfg(n_vertices), &edges);
+            assert_eq!(g.num_edges(), reference.num_edges(), "{shards} shards");
+            let qry = pairs(300, 99, n_vertices);
+            assert_eq!(g.edges_exist(&qry), reference.edges_exist(&qry));
+            for v in 0..n_vertices {
+                assert_eq!(g.degree(v), reference.degree(v), "degree({v})");
+                let mut a = g.neighbor_ids(v);
+                let mut b = reference.neighbor_ids(v);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "neighbors({v})");
+            }
+            g.validate().expect("cross-shard audit");
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_counts_match_unsharded() {
+        let n_vertices = 128;
+        let batch: Vec<Edge> = pairs(200, 3, n_vertices)
+            .into_iter()
+            .map(Edge::from)
+            .collect();
+        let reference = DynGraph::new(cfg(n_vertices));
+        let g = ShardedGraph::new(2, cfg(n_vertices));
+        assert_eq!(g.insert_edges(&batch), reference.insert_edges(&batch));
+        // Re-insert: zero new either way.
+        assert_eq!(g.insert_edges(&batch), reference.insert_edges(&batch));
+        let del: Vec<Edge> = batch[..50].to_vec();
+        assert_eq!(g.delete_edges(&del), reference.delete_edges(&del));
+        g.validate().expect("audit after churn");
+    }
+
+    #[test]
+    fn undirected_mirroring_routes_both_halves() {
+        let config = GraphConfig {
+            direction: Direction::Undirected,
+            ..cfg(64)
+        };
+        let g = ShardedGraph::new(4, config);
+        let changed = g.insert_edges(&[Edge::new(1, 2)]);
+        assert_eq!(changed, 2, "both half-edges counted");
+        assert!(g.edge_exists(1, 2));
+        assert!(g.edge_exists(2, 1));
+        g.validate().expect("mirrored cut edges audited");
+    }
+
+    #[test]
+    fn vertex_deletion_sweeps_all_shards() {
+        let n_vertices = 64;
+        let edges: Vec<Edge> = pairs(150, 11, n_vertices)
+            .into_iter()
+            .map(Edge::from)
+            .collect();
+        let reference = DynGraph::new(cfg(n_vertices));
+        reference.insert_edges(&edges);
+        let g = ShardedGraph::bulk_build(4, cfg(n_vertices), &edges);
+        let victims = [3u32, 17, 40];
+        reference.delete_vertices(&victims);
+        g.delete_vertices(&victims);
+        assert_eq!(g.num_edges(), reference.num_edges());
+        for v in 0..n_vertices {
+            assert_eq!(g.degree(v), reference.degree(v), "degree({v})");
+        }
+        g.validate().expect("audit after vertex deletion");
+    }
+
+    #[test]
+    fn backend_trait_is_object_safe_over_shards() {
+        let mut g: Box<dyn GraphBackend> = Box::new(ShardedGraph::new(3, cfg(32)));
+        assert_eq!(g.name(), "ShardedSlabGraph");
+        assert_eq!(g.devices().len(), 3);
+        assert_eq!(g.insert_edges(&[(1, 2), (2, 3)]), 2);
+        assert!(g.contains_edge(1, 2));
+        assert_eq!(g.delete_edges(&[(1, 2)]), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn router_flush_is_deterministic_and_complete() {
+        let g = ShardedGraph::new(2, cfg(128));
+        let router = BatchRouter::new(&g);
+        // Two sessions submitting from threads: arrival order is racy,
+        // flush order is not.
+        let updates = pairs(60, 21, 128);
+        std::thread::scope(|sc| {
+            for session in 0..2usize {
+                let router = &router;
+                let updates = &updates;
+                sc.spawn(move || {
+                    for &(u, v) in &updates[session * 30..(session + 1) * 30] {
+                        router.submit(session, Update::Insert(Edge::new(u, v)));
+                    }
+                });
+            }
+        });
+        assert_eq!(router.queued(), 60);
+        let report = router.flush();
+        assert_eq!(report.updates, 60);
+        assert!(report.is_complete());
+        assert!(report.modeled_s() > 0.0);
+        assert_eq!(router.queued(), 0, "flush drains the queues");
+        // The graph now matches a direct insert of the same updates.
+        let reference = DynGraph::new(cfg(128));
+        reference.insert_edges(&updates.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        assert_eq!(g.num_edges(), reference.num_edges());
+        g.validate().expect("audit after routed flush");
+    }
+
+    #[test]
+    fn partial_oom_on_one_shard_recovers_while_others_proceed() {
+        let g = ShardedGraph::new(2, cfg(256));
+        let faulty = 1usize;
+        g.group()
+            .device(faulty)
+            .set_fault_plan(FaultPlan::fail_nth(1));
+        let router = BatchRouter::new(&g);
+        let updates = pairs(120, 5, 256);
+        for (i, &(u, v)) in updates.iter().enumerate() {
+            router.submit(i % 3, Update::Insert(Edge::new(u, v)));
+        }
+        let report = router.flush();
+        assert!(!report.is_complete());
+        assert_eq!(report.incomplete_shards(), vec![faulty]);
+        let healthy = &report.shards[1 - faulty];
+        assert!(healthy.is_complete(), "other shard proceeds unaffected");
+        let broken = report.shards[faulty].insert.as_ref().unwrap();
+        assert!(broken.error.is_some());
+        assert!(!broken.pending.is_empty());
+        // Clear the fault and resume exactly the pending suffix.
+        g.group().device(faulty).clear_fault_plan();
+        let recovered = router.recover(&report);
+        assert!(recovered.is_complete(), "{recovered:?}");
+        let reference = DynGraph::new(cfg(256));
+        reference.insert_edges(&updates.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        assert_eq!(g.num_edges(), reference.num_edges());
+        g.validate().expect("audit after recovery");
+    }
+
+    #[test]
+    fn flush_applies_inserts_before_deletes() {
+        let g = ShardedGraph::new(2, cfg(64));
+        let router = BatchRouter::new(&g);
+        router.submit(0, Update::Insert(Edge::new(1, 2)));
+        router.submit(0, Update::Delete(Edge::new(1, 2)));
+        let report = router.flush();
+        assert!(report.is_complete());
+        assert!(!g.edge_exists(1, 2), "insert-then-delete nets to absent");
+    }
+}

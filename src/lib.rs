@@ -12,6 +12,10 @@
 //! - [`baselines`] — Hornet / faimGraph / CSR / sort workalikes.
 //! - [`backend`] — the [`backend::GraphBackend`] trait unifying all four
 //!   structures behind one generic algorithm/benchmark surface.
+//! - [`router`] — [`router::ShardedGraph`] hash-partitioning one logical
+//!   graph across N shards on a [`gpu_sim::DeviceGroup`], plus the
+//!   [`router::BatchRouter`] coalescing concurrent client sessions into
+//!   per-shard batches.
 //! - [`graph_gen`] — Table I dataset catalog and workload generators.
 //! - [`algos`] — generic triangle counting (static + dynamic) and BFS
 //!   over any [`backend::GraphBackend`].
@@ -33,6 +37,7 @@ pub use backend;
 pub use baselines;
 pub use gpu_sim;
 pub use graph_gen;
+pub use router;
 pub use slab_alloc;
 pub use slab_hash;
 pub use slabgraph;
@@ -42,6 +47,7 @@ pub mod prelude {
     pub use algos::{bfs_levels, tc};
     pub use backend::{Capabilities, GraphBackend, IntersectionKind};
     pub use graph_gen::{catalog, insert_batch, vertex_batch};
+    pub use router::{shard_of, BatchRouter, FlushReport, ShardedGraph, Update};
     pub use slabgraph::{
         AllocError, BatchOp, BatchOutcome, Direction, DynGraph, Edge, FaultPlan, GraphConfig,
         GraphError, GraphStats, OomError, TableKind, ValidationError, DEFAULT_LOAD_FACTOR,

@@ -9,7 +9,9 @@ use dynamic_graphs_gpu::baselines::{Csr, FaimGraph, Hornet};
 use dynamic_graphs_gpu::graph_gen::{self, fixtures, mirror};
 use dynamic_graphs_gpu::prelude::*;
 
-/// Build every backend holding the same logical undirected graph.
+/// Build every backend holding the same logical undirected graph —
+/// including the hash-partitioned `ShardedGraph`, which must be
+/// indistinguishable from the single-device structures through the trait.
 fn all_backends(n: u32, undirected: &[(u32, u32)]) -> Vec<Box<dyn GraphBackend>> {
     let sym = mirror(undirected);
     let words = (sym.len() * 16).max(1 << 20);
@@ -20,11 +22,15 @@ fn all_backends(n: u32, undirected: &[(u32, u32)]) -> Vec<Box<dyn GraphBackend>>
             .map(|&p| Edge::from(p))
             .collect::<Vec<_>>(),
     );
+    let edges: Vec<Edge> = undirected.iter().map(|&p| Edge::from(p)).collect();
+    let mut cfg = GraphConfig::undirected_set(n);
+    cfg.device_words = words;
     vec![
         Box::new(g),
         Box::new(Hornet::bulk_build(n, &sym, words)),
         Box::new(FaimGraph::build(n, &sym, words)),
         Box::new(Csr::build(n, &sym, words)),
+        Box::new(ShardedGraph::bulk_build(3, cfg, &edges)),
     ]
 }
 
@@ -131,10 +137,17 @@ fn mutable_backends_track_updates_identically() {
     let words = 1usize << 21;
     let g = DynGraph::with_uniform_buckets(GraphConfig::directed_map(n), n, 1);
     g.insert_edges(&base.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+    let mut sharded_cfg = GraphConfig::directed_map(n);
+    sharded_cfg.device_words = words;
     let mut dynamic: Vec<Box<dyn GraphBackend>> = vec![
         Box::new(g),
         Box::new(Hornet::bulk_build(n, &base, words)),
         Box::new(FaimGraph::build(n, &base, words)),
+        Box::new(ShardedGraph::bulk_build(
+            2,
+            sharded_cfg,
+            &base.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>(),
+        )),
     ];
     for round in 0..3u64 {
         let ins = insert_batch(n, 150, 900 + round);

@@ -1,0 +1,212 @@
+//! Cross-layer sharding conformance: a seeded churn stream replayed at
+//! 1/2/4 shards must be indistinguishable — byte-identical query results —
+//! from the same stream on an unsharded `DynGraph`, the batch router must
+//! commute with direct application, and a single shard hitting its memory
+//! ceiling must recover via `retry_suffix` while the other shards proceed.
+
+use router::{shard_of, BatchRouter, ShardedGraph, ShardedValidationError, Update};
+use slabgraph::{DynGraph, Edge, FaultPlan, GraphConfig};
+
+const N_VERTICES: u32 = 512;
+
+fn config() -> GraphConfig {
+    GraphConfig::directed_map(N_VERTICES)
+        .with_device_words(1 << 20)
+        .with_pool_slabs(1 << 10)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn random_pair(rng: &mut u64) -> (u32, u32) {
+    let u = (splitmix64(rng) % N_VERTICES as u64) as u32;
+    let mut v = (splitmix64(rng) % N_VERTICES as u64) as u32;
+    if v == u {
+        v = (v + 1) % N_VERTICES;
+    }
+    (u, v)
+}
+
+struct Round {
+    ins: Vec<Edge>,
+    del: Vec<Edge>,
+    qry: Vec<(u32, u32)>,
+}
+
+/// A deterministic mixed stream: inserts are random, deletes and half the
+/// queries sample previously-inserted edges.
+fn stream(seed: u64, rounds: usize, ops: usize) -> Vec<Round> {
+    let mut rng = seed;
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        let ins: Vec<Edge> = (0..ops / 2)
+            .map(|_| Edge::from(random_pair(&mut rng)))
+            .collect();
+        live.extend(ins.iter().map(|e| (e.src, e.dst)));
+        let del: Vec<Edge> = (0..ops / 4)
+            .map(|_| Edge::from(live[(splitmix64(&mut rng) % live.len() as u64) as usize]))
+            .collect();
+        let qry: Vec<(u32, u32)> = (0..ops / 4)
+            .map(|i| {
+                if i % 2 == 0 {
+                    live[(splitmix64(&mut rng) % live.len() as u64) as usize]
+                } else {
+                    random_pair(&mut rng)
+                }
+            })
+            .collect();
+        out.push(Round { ins, del, qry });
+    }
+    out
+}
+
+#[test]
+fn churn_replay_is_byte_identical_across_shard_counts() {
+    let rounds = stream(0xB10C, 3, 400);
+    // Reference: the same stream on one unsharded graph, collecting every
+    // query result round by round.
+    let reference = DynGraph::new(config());
+    let mut expected: Vec<Vec<bool>> = Vec::new();
+    for r in &rounds {
+        reference.insert_edges(&r.ins);
+        reference.delete_edges(&r.del);
+        expected.push(reference.edges_exist(&r.qry));
+    }
+
+    for shards in [1usize, 2, 4] {
+        let g = ShardedGraph::new(shards, config());
+        for (r, want) in rounds.iter().zip(&expected) {
+            g.insert_edges(&r.ins);
+            g.delete_edges(&r.del);
+            assert_eq!(
+                &g.edges_exist(&r.qry),
+                want,
+                "{shards}-shard query results diverged from unsharded replay"
+            );
+        }
+        assert_eq!(g.num_edges(), reference.num_edges(), "{shards} shards");
+        for v in 0..N_VERTICES {
+            assert_eq!(
+                g.degree(v),
+                reference.degree(v),
+                "degree({v}), {shards} shards"
+            );
+            let mut a = g.neighbor_ids(v);
+            let mut b = reference.neighbor_ids(v);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighbors({v}), {shards} shards");
+        }
+        g.validate()
+            .expect("cross-shard audit must pass after the replay");
+    }
+}
+
+#[test]
+fn routed_stream_matches_direct_application() {
+    let rounds = stream(0x5EED, 2, 300);
+    let reference = DynGraph::new(config());
+    let g = ShardedGraph::new(3, config());
+    let router = BatchRouter::new(&g);
+    for r in &rounds {
+        reference.insert_edges(&r.ins);
+        reference.delete_edges(&r.del);
+        // Spread the same updates over 4 sessions; within a flush all
+        // inserts apply before all deletes, matching the direct order.
+        for (i, &e) in r.ins.iter().enumerate() {
+            router.submit(i % 4, Update::Insert(e));
+        }
+        for (i, &e) in r.del.iter().enumerate() {
+            router.submit(i % 4, Update::Delete(e));
+        }
+        let report = router.flush();
+        assert!(report.is_complete(), "no memory pressure in this test");
+        assert_eq!(report.updates, r.ins.len() + r.del.len());
+        assert_eq!(g.edges_exist(&r.qry), reference.edges_exist(&r.qry));
+    }
+    assert_eq!(g.num_edges(), reference.num_edges());
+    g.validate().expect("audit after routed stream");
+}
+
+#[test]
+fn single_shard_oom_recovers_while_others_proceed() {
+    let rounds = stream(0xFA17, 1, 600);
+    let round = &rounds[0];
+    let reference = DynGraph::new(config());
+    reference.insert_edges(&round.ins);
+
+    let g = ShardedGraph::new(4, config());
+    // Inject an allocation fault on shard 2 only: its first refill attempt
+    // fails, leaving a pending suffix; shards 0/1/3 are untouched.
+    let faulty = 2usize;
+    g.group()
+        .device(faulty)
+        .set_fault_plan(FaultPlan::fail_nth(1));
+    let router = BatchRouter::new(&g);
+    for (i, &e) in round.ins.iter().enumerate() {
+        router.submit(i % 3, Update::Insert(e));
+    }
+    let report = router.flush();
+    assert!(!report.is_complete());
+    assert_eq!(report.incomplete_shards(), vec![faulty]);
+    for outcome in &report.shards {
+        if outcome.shard != faulty {
+            assert!(
+                outcome.is_complete(),
+                "shard {} must proceed despite shard {faulty}'s fault",
+                outcome.shard
+            );
+        } else {
+            let insert = outcome.insert.as_ref().expect("insert batch routed");
+            assert!(insert.error.is_some(), "fault surfaces as an alloc error");
+            assert!(!insert.pending.is_empty(), "unapplied suffix reported");
+            assert_eq!(
+                insert.completed + insert.pending.len(),
+                insert.attempted,
+                "outcome partitions the batch"
+            );
+        }
+    }
+
+    // Clear the fault and resume exactly the pending suffix.
+    g.group().device(faulty).clear_fault_plan();
+    let recovered = router.recover(&report);
+    assert!(recovered.is_complete(), "{recovered:?}");
+
+    assert_eq!(g.num_edges(), reference.num_edges());
+    let qry: Vec<(u32, u32)> = round.ins.iter().map(|e| (e.src, e.dst)).collect();
+    assert_eq!(g.edges_exist(&qry), reference.edges_exist(&qry));
+    g.validate().expect("audit after recovery");
+}
+
+#[test]
+fn audit_detects_orphan_replicas() {
+    let g = ShardedGraph::new(4, config());
+    g.insert_edges(&[Edge::new(1, 2), Edge::new(3, 4)]);
+    g.validate().expect("clean after normal inserts");
+
+    // Bypass the router and write a stray edge directly into a shard that
+    // owns neither endpoint — the audit must catch it.
+    let src = 5u32;
+    let dst = 6u32;
+    let stranger = (0..4)
+        .find(|&s| s != shard_of(src, 4) && s != shard_of(dst, 4))
+        .expect("some shard owns neither endpoint");
+    g.shard(stranger).insert_edges(&[Edge::new(src, dst)]);
+    match g.validate() {
+        Err(ShardedValidationError::OrphanReplica {
+            src: s,
+            dst: d,
+            shard,
+        }) => {
+            assert_eq!((s, d, shard), (src, dst, stranger));
+        }
+        other => panic!("audit should flag the stray replica, got {other:?}"),
+    }
+}

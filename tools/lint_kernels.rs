@@ -24,6 +24,12 @@
 //!   (modeled time silently diverges from the counters); a discarded
 //!   `PhaseGuard` closes its phase immediately, so the launches it was
 //!   meant to cover run outside any phase range.
+//! - **R5 `rogue-device`** — direct `Device` construction
+//!   (`Device::new` / `Device::with_policy` / `Device::with_config`) in
+//!   sharded code paths (`crates/router/`, `*/sharded.rs`). Shard devices
+//!   must come from a `DeviceGroup`: a free-standing device has its own
+//!   clock and profiler outside the group's merged trace, so its work
+//!   silently vanishes from makespans and Chrome exports.
 //!
 //! ## Allowlist
 //!
@@ -61,7 +67,7 @@ struct Rule {
     applies_to_gpu_sim: bool,
 }
 
-const RULES: [Rule; 4] = [
+const RULES: [Rule; 5] = [
     Rule {
         id: "R1",
         name: "raw-arena-access",
@@ -86,7 +92,21 @@ const RULES: [Rule; 4] = [
         desc: "PerfCounters mutated outside Charge, or PhaseGuard discarded at the call site",
         applies_to_gpu_sim: false,
     },
+    Rule {
+        id: "R5",
+        name: "rogue-device",
+        desc:
+            "direct Device construction in sharded code; shard devices must come from a DeviceGroup",
+        applies_to_gpu_sim: false,
+    },
 ];
+
+/// Is this file part of a sharded code path (where R5 applies)? The router
+/// crate and any `sharded.rs` module orchestrate device groups; everything
+/// else may build standalone devices freely.
+fn in_sharded_scope(path: &str) -> bool {
+    path.starts_with("crates/router/") || path.ends_with("/sharded.rs")
+}
 
 /// A single lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,6 +227,9 @@ fn scan_file(path: &str, text: &str, hits: &mut Vec<Hit>) {
             if in_gpu_sim && !rule.applies_to_gpu_sim {
                 continue;
             }
+            if rule.id == "R5" && !in_sharded_scope(path) {
+                continue;
+            }
             // R3's name argument may sit on the next line when rustfmt
             // wraps the call — if this line ends at the open paren, give
             // the matcher one line of lookahead.
@@ -287,6 +310,13 @@ fn matches_rule(rule: &str, line: &str) -> bool {
             // declarations (`fn phase(`) are fine.
             line.contains(".phase(\"") && !line.contains("let ")
         }
+        "R5" => [
+            "Device::new(",
+            "Device::with_policy(",
+            "Device::with_config(",
+        ]
+        .iter()
+        .any(|c| line.contains(c)),
         _ => false,
     }
 }
@@ -413,6 +443,33 @@ mod tests {
         .is_empty());
         // Comments don't count.
         assert!(hits_in("src/x.rs", "// dev.phase(\"x\") closes on drop\n").is_empty());
+    }
+
+    #[test]
+    fn rogue_device_is_flagged_in_sharded_scope_only() {
+        for bad in [
+            "let dev = Device::new(1 << 20);\n",
+            "let dev = Device::with_policy(n, ExecPolicy::Sequential);\n",
+            "let dev = gpu_sim::Device::with_config(cfg);\n",
+        ] {
+            let hits = hits_in("crates/router/src/lib.rs", bad);
+            assert_eq!(hits.len(), 1, "{bad}");
+            assert_eq!(hits[0].rule, "R5");
+            assert_eq!(hits_in("crates/bench/src/sharded.rs", bad).len(), 1);
+            // Outside sharded code paths, standalone devices are fine.
+            assert!(hits_in("crates/core/src/graph.rs", bad).is_empty());
+        }
+        // Group-mediated construction and config types never match.
+        for good in [
+            "let group = DeviceGroup::new(4, config);\n",
+            "let cfg = DeviceConfig::new(1 << 20);\n",
+            "// Device::new is forbidden here\n",
+        ] {
+            assert!(
+                hits_in("crates/router/src/lib.rs", good).is_empty(),
+                "{good}"
+            );
+        }
     }
 
     #[test]
