@@ -29,6 +29,9 @@ if [ "$mode" = "quick" ]; then
     echo "== churn workload smoke run (debug) =="
     cargo run -q -p bench --bin churn -- --rounds 2 --ops 512
     test -s BENCH_churn.json
+    echo "== chaos churn smoke run (debug, seeded kill/revive) =="
+    cargo run -q -p bench --bin churn -- --scale 4096 --rounds 5 --ops 256 --shards 4 --sessions 4 --seed 41 --chaos
+    test -s BENCH_chaos.json
     echo "== profiled churn replay (debug) =="
     cargo run -q -p bench --bin profile -- --scale 4096 --rounds 2 --ops 512 | tee /tmp/profile.out
     grep -q "trace OK:" /tmp/profile.out   # span count == launch count, trace parsed back
@@ -56,8 +59,13 @@ else
     echo "== sanitized sharded churn smoke runs (1 and 4 shards; cross-backend hit parity asserted in-run) =="
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 1 --sessions 2
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 4 --sessions 4
+    echo "== sanitized chaos churn smoke run (4 shards, seeded kill/revive; zero findings + clean post-rebuild validate asserted in-run) =="
+    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 5 --ops 256 --shards 4 --sessions 4 --seed 41 --chaos
+    test -s BENCH_chaos.json
     echo "== sharding conformance suite (1/2/4-shard parity + OOM recovery) =="
     cargo test --release -q --test sharding
+    echo "== shard fault-tolerance suite (health machine, breaker, journal rebuild, degraded reads) =="
+    cargo test --release -q --test fault_tolerance
 fi
 
 # Best-effort native ThreadSanitizer pass over the simulator's own

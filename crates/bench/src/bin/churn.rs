@@ -11,12 +11,14 @@
 //!     --shards 4 --sessions 8 --skew uniform
 //! ```
 
+use bench::chaos::chaos_churn;
 use bench::churn::{churn, ChurnConfig};
 use bench::harness::write_bench_artifact;
 use bench::sharded::sharded_scaling;
 
 fn main() {
     let mut cfg = ChurnConfig::default();
+    let mut chaos = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -44,9 +46,10 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--chaos" => chaos = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale --shards --sessions --skew"
+                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale --shards --sessions --skew --chaos"
                 );
                 std::process::exit(2);
             }
@@ -57,6 +60,15 @@ fn main() {
         "insert and delete percentages must sum to at most 100"
     );
     assert!(cfg.shards >= 1, "--shards must be at least 1");
+    if chaos {
+        // Fault-tolerance mode: seeded kill/revive schedule over the
+        // sharded router replay, with the byte-identical-vs-unsharded
+        // assertion and sanitizer check built in.
+        let t = chaos_churn(&cfg);
+        t.emit();
+        write_bench_artifact("BENCH_chaos.json", "chaos_churn", &[&t]);
+        return;
+    }
     let t = churn(&cfg);
     t.emit();
 

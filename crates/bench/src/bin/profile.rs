@@ -187,7 +187,14 @@ fn main() {
         "== ShardedSlabGraph ({shards} shard(s), {} session(s)): routed replay ==",
         cfg.sessions.max(1)
     );
-    println!("{}", g.group().merged_report(&model).render());
+    // Fold the router's per-shard health rows into the merged report so the
+    // rendered trace (and its JSON round-trip) carries the health machine's
+    // final state alongside the kernel-span accounting.
+    let merged = g
+        .group()
+        .merged_report(&model)
+        .with_shard_health(router.report().rows);
+    println!("{}", merged.render());
 
     let json = chrome_trace_json(&all_events);
     let parsed = parse_chrome_trace(&json).expect("emitted trace must parse back");

@@ -13,6 +13,7 @@
 //! at scaled size (DESIGN.md §8); scale with `BENCH_SCALE_SHIFT=n` (each
 //! step doubles dataset/batch sizes).
 
+pub mod chaos;
 pub mod churn;
 pub mod experiments;
 pub mod harness;

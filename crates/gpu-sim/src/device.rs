@@ -546,6 +546,49 @@ impl Device {
         }
         r
     }
+
+    /// Admit a batch of launches against the device-level fault plan.
+    /// Dispatchers call this *before* touching the device; a lost device
+    /// fails every admission until [`Self::reset`], a transient plan fails
+    /// a bounded run of admissions and then heals. Uncharged, like
+    /// [`Self::fault_check`] — admission is bookkeeping, not device work.
+    pub fn launch_check(&self) -> Result<(), crate::fault::DeviceFault> {
+        let r = self.faults.check_launch();
+        if let (Err(e), Some(p)) = (&r, &self.prof) {
+            p.instant("device_fault", e.to_string());
+        }
+        r
+    }
+
+    /// Whether the device is currently lost (a terminal
+    /// [`crate::fault::DeviceFault::Lost`] tripped and no reset has
+    /// happened since).
+    pub fn is_lost(&self) -> bool {
+        self.faults.is_lost()
+    }
+
+    /// Total device faults surfaced at launch admission on this device.
+    pub fn device_faults(&self) -> u64 {
+        self.faults.device_faults()
+    }
+
+    /// Recover a lost device: wipe the arena back to an empty, zeroed
+    /// state (freeing the whole capacity budget), reset the sanitizer's
+    /// shadow state (accumulated findings survive — a reset must not erase
+    /// evidence), and clear the lost latch plus any fault plans. Counters
+    /// and the kernel registry are *cumulative* and keep their tallies, so
+    /// rebuild work after a reset stays visible in traces. The caller is
+    /// responsible for rebuilding whatever structures lived in the arena.
+    pub fn reset(&self) {
+        self.arena.reset();
+        if let Some(s) = &self.san {
+            s.reset_shadow();
+        }
+        self.faults.reset_device();
+        if let Some(p) = &self.prof {
+            p.instant("device_reset", String::new());
+        }
+    }
 }
 
 /// Pops the scope stack on exit, including panic unwinds (kernels panic in

@@ -1,5 +1,5 @@
-//! Allocation failure: typed out-of-memory errors and deterministic
-//! fault injection.
+//! Allocation and device failure: typed errors and deterministic fault
+//! injection.
 //!
 //! Real deployments of the paper's system run against a *fixed* device
 //! memory budget — SlabAlloc carves collision slabs out of a statically
@@ -9,12 +9,22 @@
 //! Nth allocation, a seeded coin flip per allocation, or every allocation
 //! inside a named kernel.
 //!
-//! The plan is consulted by *fallible* allocation sites only (the slab
-//! pool's acquisition path); infallible host-setup allocations never
-//! consume a fault index, so a plan's schedule is stable regardless of how
-//! much staging bookkeeping surrounds the structure under test.
+//! Beyond allocation, a fleet also loses whole devices. The *device-level*
+//! plan kinds model that: [`FaultPlan::DeviceLost`] marks the device lost
+//! — terminal until [`crate::Device::reset`] — and
+//! [`FaultPlan::TransientKernel`] fails a bounded run of launches and then
+//! heals. Both surface as a typed [`DeviceFault`], deliberately distinct
+//! from [`OomError`]: an OOM means "this batch needs more memory", a
+//! device fault means "this shard needs retry/backoff or a rebuild".
+//!
+//! Allocation-level plans are consulted by *fallible* allocation sites only
+//! (the slab pool's acquisition path); device-level plans are consulted at
+//! launch-admission sites ([`crate::Device::launch_check`]) only. The two
+//! families keep **independent indices**, so layering a device-level plan
+//! on top of an allocation plan never perturbs the allocation schedule —
+//! retry schedules stay deterministic under composition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A device allocation failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,12 +84,59 @@ impl std::fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
-/// A deterministic schedule of injected allocation failures.
+/// A device-level failure — the device itself, not one allocation, is
+/// unhealthy. Distinct from [`OomError`] on purpose: callers recover from
+/// OOM by growing the budget and retrying the suffix, but from a device
+/// fault by backing off (transient) or resetting and rebuilding (lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The device is lost. Terminal: every launch admission fails until
+    /// [`crate::Device::reset`]. `launch_index` is the 1-based launch
+    /// admission that tripped the loss (0 when reported after the trip).
+    Lost { launch_index: u64 },
+    /// A transient kernel fault failed this launch admission; the device
+    /// heals once the scheduled failure run is exhausted. `remaining` is
+    /// how many further admissions the plan will still fail.
+    TransientKernel { launch_index: u64, remaining: u64 },
+}
+
+impl DeviceFault {
+    /// Whether this fault is terminal (no retry can help; the device needs
+    /// a reset and its state a rebuild).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, DeviceFault::Lost { .. })
+    }
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeviceFault::Lost { launch_index: 0 } => write!(f, "device lost (awaiting reset)"),
+            DeviceFault::Lost { launch_index } => {
+                write!(f, "device lost at launch admission #{launch_index}")
+            }
+            DeviceFault::TransientKernel {
+                launch_index,
+                remaining,
+            } => write!(
+                f,
+                "transient kernel fault at launch admission #{launch_index} ({remaining} more scheduled)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// A deterministic schedule of injected failures.
 ///
-/// Installed on a device with `Device::set_fault_plan`; every fallible
-/// allocation consumes one 1-based index and fails iff the plan says so.
-/// Installing a plan resets the index, so schedules are reproducible
-/// relative to the moment of installation.
+/// Installed on a device with `Device::set_fault_plan`. Allocation-level
+/// kinds ([`Self::Nth`], [`Self::EveryNth`], [`Self::Probability`],
+/// [`Self::InKernel`]) are consulted by every fallible allocation;
+/// device-level kinds ([`Self::DeviceLost`], [`Self::TransientKernel`])
+/// are consulted at launch admission. The injector keeps one slot and one
+/// independent 1-based index per family, so installing a plan resets only
+/// *its* family's index and the two schedules compose deterministically.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultPlan {
     /// Fail exactly the `n`th fallible allocation (1-based).
@@ -92,6 +149,13 @@ pub enum FaultPlan {
     /// Fail every fallible allocation issued while the named kernel is the
     /// outermost active scope.
     InKernel(&'static str),
+    /// Lose the device at the `at_launch`th launch admission (1-based).
+    /// Terminal: once tripped, every admission fails with
+    /// [`DeviceFault::Lost`] until [`crate::Device::reset`].
+    DeviceLost { at_launch: u64 },
+    /// Fail launch admissions `first..first + failures` with
+    /// [`DeviceFault::TransientKernel`], then heal.
+    TransientKernel { first: u64, failures: u64 },
 }
 
 impl FaultPlan {
@@ -117,7 +181,32 @@ impl FaultPlan {
         FaultPlan::InKernel(name)
     }
 
+    /// Lose the device at the `n`th launch admission (1-based).
+    pub fn device_lost_at(n: u64) -> Self {
+        assert!(n > 0, "launch index is 1-based");
+        FaultPlan::DeviceLost { at_launch: n }
+    }
+
+    /// Fail `failures` launch admissions starting at the `first`th
+    /// (1-based), then heal.
+    pub fn transient_kernel(first: u64, failures: u64) -> Self {
+        assert!(first > 0, "launch index is 1-based");
+        assert!(failures > 0, "a transient fault must fail at least once");
+        FaultPlan::TransientKernel { first, failures }
+    }
+
+    /// Whether this is a device-level (launch-admission) kind rather than
+    /// an allocation-level kind.
+    pub fn is_device_level(&self) -> bool {
+        matches!(
+            self,
+            FaultPlan::DeviceLost { .. } | FaultPlan::TransientKernel { .. }
+        )
+    }
+
     /// Whether the allocation with 1-based `index` under `kernel` fails.
+    /// Device-level kinds never match here — they are consulted via
+    /// [`Self::device_failure`] against the launch index instead.
     pub fn should_fail(&self, index: u64, kernel: Option<&'static str>) -> bool {
         match *self {
             FaultPlan::Nth(n) => index == n,
@@ -129,6 +218,26 @@ impl FaultPlan {
                 ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
             }
             FaultPlan::InKernel(name) => kernel == Some(name),
+            FaultPlan::DeviceLost { .. } | FaultPlan::TransientKernel { .. } => false,
+        }
+    }
+
+    /// The device failure (if any) this plan schedules for the launch
+    /// admission with 1-based `index`. Allocation-level kinds never match.
+    pub fn device_failure(&self, index: u64) -> Option<DeviceFault> {
+        match *self {
+            FaultPlan::DeviceLost { at_launch } if index >= at_launch => Some(DeviceFault::Lost {
+                launch_index: index,
+            }),
+            FaultPlan::TransientKernel { first, failures }
+                if index >= first && index < first + failures =>
+            {
+                Some(DeviceFault::TransientKernel {
+                    launch_index: index,
+                    remaining: first + failures - index - 1,
+                })
+            }
+            _ => None,
         }
     }
 }
@@ -141,35 +250,66 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Per-device fault-injection state: the installed plan plus the fallible
-/// allocation counter it is evaluated against.
+/// Per-device fault-injection state: one plan slot and one independent
+/// 1-based counter per fault family (fallible allocations vs launch
+/// admissions), plus the sticky "lost" latch a [`DeviceFault::Lost`] trip
+/// sets until the device is reset.
 #[derive(Default)]
 pub(crate) struct FaultInjector {
-    plan: parking_lot::Mutex<Option<FaultPlan>>,
+    alloc_plan: parking_lot::Mutex<Option<FaultPlan>>,
+    launch_plan: parking_lot::Mutex<Option<FaultPlan>>,
     next_index: AtomicU64,
+    next_launch: AtomicU64,
+    lost: AtomicBool,
     injected: AtomicU64,
+    device_faults: AtomicU64,
 }
 
 impl FaultInjector {
-    /// Install `plan` and reset the allocation index.
+    /// Install `plan` into its family's slot and reset only that family's
+    /// index — the other family's schedule is untouched, so composed plans
+    /// stay deterministic.
     pub(crate) fn set_plan(&self, plan: FaultPlan) {
-        *self.plan.lock() = Some(plan);
-        self.next_index.store(0, Ordering::Relaxed);
+        if plan.is_device_level() {
+            *self.launch_plan.lock() = Some(plan);
+            self.next_launch.store(0, Ordering::Relaxed);
+        } else {
+            *self.alloc_plan.lock() = Some(plan);
+            self.next_index.store(0, Ordering::Relaxed);
+        }
     }
 
-    /// Remove any installed plan (the index is left untouched).
+    /// Remove any installed plans (indices are left untouched). Does *not*
+    /// clear the lost latch — only a device reset revives a lost device.
     pub(crate) fn clear_plan(&self) {
-        *self.plan.lock() = None;
+        *self.alloc_plan.lock() = None;
+        *self.launch_plan.lock() = None;
     }
 
-    /// The currently installed plan, if any.
+    /// The currently installed allocation-level plan, if any.
     pub(crate) fn plan(&self) -> Option<FaultPlan> {
-        *self.plan.lock()
+        *self.alloc_plan.lock()
     }
 
-    /// Total failures injected since construction.
+    /// The currently installed device-level plan, if any.
+    pub(crate) fn launch_plan(&self) -> Option<FaultPlan> {
+        *self.launch_plan.lock()
+    }
+
+    /// Total allocation failures injected since construction.
     pub(crate) fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total device faults surfaced since construction (each admission
+    /// failed while lost counts, so retries against a lost device show up).
+    pub(crate) fn device_faults(&self) -> u64 {
+        self.device_faults.load(Ordering::Relaxed)
+    }
+
+    /// Whether the device is currently lost (awaiting reset).
+    pub(crate) fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::Relaxed)
     }
 
     /// Consume one fallible-allocation index and report whether the plan
@@ -188,6 +328,40 @@ impl FaultInjector {
         } else {
             Ok(())
         }
+    }
+
+    /// Admit one launch. A lost device fails every admission (without
+    /// consuming a launch index); otherwise consume one launch index and
+    /// consult the device-level plan, latching `lost` on a terminal trip.
+    pub(crate) fn check_launch(&self) -> Result<(), DeviceFault> {
+        if self.lost.load(Ordering::Relaxed) {
+            self.device_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(DeviceFault::Lost { launch_index: 0 });
+        }
+        let Some(plan) = self.launch_plan() else {
+            return Ok(());
+        };
+        let index = self.next_launch.fetch_add(1, Ordering::Relaxed) + 1;
+        match plan.device_failure(index) {
+            Some(fault) => {
+                if fault.is_terminal() {
+                    self.lost.store(true, Ordering::Relaxed);
+                }
+                self.device_faults.fetch_add(1, Ordering::Relaxed);
+                Err(fault)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Revive the device: clear the lost latch, both plan slots, and both
+    /// family indices. Called from [`crate::Device::reset`].
+    pub(crate) fn reset_device(&self) {
+        self.lost.store(false, Ordering::Relaxed);
+        *self.alloc_plan.lock() = None;
+        *self.launch_plan.lock() = None;
+        self.next_index.store(0, Ordering::Relaxed);
+        self.next_launch.store(0, Ordering::Relaxed);
     }
 }
 
@@ -251,5 +425,62 @@ mod tests {
         assert!(inj.check(None).is_err());
         inj.clear_plan();
         assert!(inj.check(None).is_ok());
+    }
+
+    #[test]
+    fn device_lost_is_terminal_until_reset() {
+        let inj = FaultInjector::default();
+        assert!(inj.check_launch().is_ok(), "no plan, no device faults");
+        inj.set_plan(FaultPlan::device_lost_at(2));
+        assert!(inj.check_launch().is_ok());
+        assert_eq!(
+            inj.check_launch(),
+            Err(DeviceFault::Lost { launch_index: 2 })
+        );
+        assert!(inj.is_lost());
+        // Terminal: clearing the plan does not revive the device.
+        inj.clear_plan();
+        assert_eq!(
+            inj.check_launch(),
+            Err(DeviceFault::Lost { launch_index: 0 })
+        );
+        inj.reset_device();
+        assert!(!inj.is_lost());
+        assert!(inj.check_launch().is_ok());
+        assert!(inj.device_faults() >= 2);
+    }
+
+    #[test]
+    fn transient_kernel_fails_a_bounded_run_then_heals() {
+        let inj = FaultInjector::default();
+        inj.set_plan(FaultPlan::transient_kernel(2, 3));
+        let results: Vec<bool> = (0..6).map(|_| inj.check_launch().is_ok()).collect();
+        assert_eq!(results, vec![true, false, false, false, true, true]);
+        assert!(!inj.is_lost(), "transient faults never latch lost");
+        assert_eq!(
+            FaultPlan::transient_kernel(2, 3).device_failure(2),
+            Some(DeviceFault::TransientKernel {
+                launch_index: 2,
+                remaining: 2
+            })
+        );
+    }
+
+    #[test]
+    fn fault_families_keep_independent_indices() {
+        let inj = FaultInjector::default();
+        inj.set_plan(FaultPlan::fail_every_nth(2));
+        inj.set_plan(FaultPlan::transient_kernel(1, 1));
+        // Launch admissions do not consume allocation indices and vice
+        // versa: the alloc schedule stays 1-ok 2-fail 3-ok 4-fail …
+        assert!(inj.check_launch().is_err());
+        assert!(inj.check(None).is_ok());
+        assert!(inj.check_launch().is_ok());
+        assert!(inj.check(None).is_err());
+        assert!(inj.check(None).is_ok());
+        // Re-installing a device plan resets only the launch index.
+        inj.set_plan(FaultPlan::transient_kernel(1, 1));
+        assert!(inj.check_launch().is_err());
+        assert!(inj.check(None).is_err(), "alloc index 4 still fails");
     }
 }

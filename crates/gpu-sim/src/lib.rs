@@ -53,7 +53,7 @@ pub mod trace;
 pub use cost::{CostModel, TRANSACTION_BYTES};
 pub use counters::{CounterSnapshot, PerfCounters};
 pub use device::{Device, DeviceConfig, ExecPolicy, Warp};
-pub use fault::{FaultPlan, OomError};
+pub use fault::{DeviceFault, FaultPlan, OomError};
 pub use group::DeviceGroup;
 pub use json::Json;
 pub use lanes::{
@@ -69,5 +69,6 @@ pub use profiler::{
 };
 pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerConfig};
 pub use trace::{
-    Charge, KernelSpec, KernelStats, LaunchShape, TraceReport, TraceRow, TraceSnapshot, HOST_KERNEL,
+    Charge, KernelSpec, KernelStats, LaunchShape, ShardHealthRow, TraceReport, TraceRow,
+    TraceSnapshot, HOST_KERNEL,
 };

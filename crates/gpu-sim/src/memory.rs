@@ -296,6 +296,22 @@ impl DeviceArena {
             s.mark_init_range(base, n);
         }
     }
+
+    /// Wipe the arena back to an empty state: rewind the bump cursor to 0
+    /// (freeing the entire capacity budget) and zero every previously
+    /// handed-out word. Models a device reset after a fatal fault.
+    /// Deliberately bypasses the sanitizer's `mark_init` — a reset device
+    /// has *uninitialized* memory, and the caller is expected to also reset
+    /// the sanitizer's shadow (see `Sanitizer::reset_shadow`) so initcheck
+    /// semantics start fresh. Committed segments stay committed; only the
+    /// allocation state is discarded.
+    pub fn reset(&self) {
+        let _g = self.grow_lock.lock();
+        let cur = self.cursor.swap(0, Ordering::SeqCst);
+        for addr in 0..cur {
+            self.word(addr as Addr).store(0, Ordering::Release);
+        }
+    }
 }
 
 impl Drop for DeviceArena {
@@ -450,6 +466,19 @@ mod tests {
     fn infallible_alloc_panics_on_budget() {
         let a = DeviceArena::with_capacity(64, 16);
         a.alloc_words(64, 1);
+    }
+
+    #[test]
+    fn reset_rewinds_cursor_and_zeroes_words() {
+        let a = DeviceArena::with_capacity(256, 128);
+        let p = a.try_alloc_words(100, 1).unwrap();
+        a.fill(p, 100, 0xAB);
+        assert!(a.try_alloc_words(100, 1).is_err(), "budget spent");
+        a.reset();
+        assert_eq!(a.allocated_words(), 0);
+        // The full budget is available again and old contents are gone.
+        let q = a.try_alloc_words(100, 1).unwrap();
+        assert_eq!(a.load(q + 50), 0);
     }
 
     #[test]

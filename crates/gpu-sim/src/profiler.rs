@@ -272,6 +272,22 @@ impl Profiler {
         st.now_s += dur_s;
     }
 
+    /// Charge `dur_s` seconds of pure *wait* onto the modeled clock: a
+    /// host span with zero counters and an explicit duration. Retry
+    /// backoff uses this so waiting for a flaky shard is as visible in the
+    /// timeline — and as costly to the makespan — as the work itself.
+    pub fn charge_wait(&self, name: &'static str, dur_s: f64) {
+        let mut st = self.state.lock();
+        let start_s = st.now_s;
+        st.host_spans.push(SpanEvent {
+            name,
+            start_s,
+            dur_s,
+            counters: CounterSnapshot::default(),
+        });
+        st.now_s += dur_s;
+    }
+
     /// Record a dropped top-level [`crate::trace::Charge`]'s tally as
     /// spans. A tally carrying `n > 1` launches models `n` physical
     /// launches and is split into `n` near-equal spans (remainders fold

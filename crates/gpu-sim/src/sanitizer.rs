@@ -345,6 +345,19 @@ impl Sanitizer {
         self.escalated.store(0, Ordering::Relaxed);
     }
 
+    /// Discard all shadow state — word clocks, slab lifetimes, the
+    /// initialization bitmap — without touching recorded findings. Called
+    /// on a device reset: the rebuilt shard starts from genuinely fresh
+    /// (uninitialized, unallocated) memory, but evidence gathered before
+    /// the reset must survive for end-of-run assertions.
+    pub fn reset_shadow(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+        self.slabs.lock().clear();
+        self.init.write().clear();
+    }
+
     fn report(&self, finding: Finding) {
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut f = self.findings.lock();

@@ -230,6 +230,27 @@ pub struct TraceRow {
     pub modeled_s: f64,
 }
 
+/// One shard's health status at report time: the router's state-machine
+/// state plus cumulative fault-tolerance tallies. Lives here (not in the
+/// router crate) so [`TraceReport`] can carry it without a dependency
+/// inversion; the router constructs these from its own health machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealthRow {
+    /// Shard index.
+    pub shard: u64,
+    /// Health-machine state name (`healthy` / `suspect` / `down` /
+    /// `rebuilding`).
+    pub state: String,
+    /// Cumulative dispatch retries against this shard.
+    pub retries: u64,
+    /// Cumulative modeled backoff seconds charged waiting on this shard.
+    pub backoff_s: f64,
+    /// Unacknowledged write-ahead-journal entries for this shard.
+    pub journal_depth: u64,
+    /// Completed rebuild cycles (reset → replay → re-admit).
+    pub rebuilds: u64,
+}
+
 /// A renderable, serializable per-kernel breakdown of a measured phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
@@ -244,6 +265,9 @@ pub struct TraceReport {
     /// an attached profiler (empty when no profiler ran). See
     /// [`crate::metrics`].
     pub metrics: Vec<MetricSummary>,
+    /// Per-shard health rows from a sharded router's fault-tolerance
+    /// layer (empty for unsharded runs or pre-robustness reports).
+    pub shard_health: Vec<ShardHealthRow>,
 }
 
 impl TraceReport {
@@ -268,6 +292,7 @@ impl TraceReport {
             },
             findings: Vec::new(),
             metrics: Vec::new(),
+            shard_health: Vec::new(),
         }
     }
 
@@ -282,6 +307,13 @@ impl TraceReport {
     /// [`crate::profiler::Profiler::metric_summaries`]) to the report.
     pub fn with_metrics(mut self, metrics: Vec<MetricSummary>) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach per-shard health rows from a sharded router's
+    /// fault-tolerance layer.
+    pub fn with_shard_health(mut self, shard_health: Vec<ShardHealthRow>) -> Self {
+        self.shard_health = shard_health;
         self
     }
 
@@ -400,6 +432,20 @@ impl TraceReport {
                 out.push_str(&fmt_mrow(row));
             }
         }
+        if !self.shard_health.is_empty() {
+            out.push_str(&format!("\nshard health ({}):\n", self.shard_health.len()));
+            for h in &self.shard_health {
+                out.push_str(&format!(
+                    "  shard {}: {} (retries {}, backoff {:.4} ms, journal depth {}, rebuilds {})\n",
+                    h.shard,
+                    h.state,
+                    h.retries,
+                    h.backoff_s * 1e3,
+                    h.journal_depth,
+                    h.rebuilds
+                ));
+            }
+        }
         if !self.findings.is_empty() {
             out.push_str(&format!(
                 "\nsanitizer findings ({}):\n",
@@ -466,6 +512,24 @@ impl TraceReport {
             (
                 "metrics".into(),
                 Json::Arr(self.metrics.iter().map(metric_json).collect()),
+            ),
+            (
+                "shard_health".into(),
+                Json::Arr(
+                    self.shard_health
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("shard".into(), Json::u64(h.shard)),
+                                ("state".into(), Json::str(&h.state)),
+                                ("retries".into(), Json::u64(h.retries)),
+                                ("backoff_s".into(), Json::f64(h.backoff_s)),
+                                ("journal_depth".into(), Json::u64(h.journal_depth)),
+                                ("rebuilds".into(), Json::u64(h.rebuilds)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
         .render_pretty()
@@ -568,11 +632,39 @@ impl TraceReport {
             Some(arr) => arr.iter().map(parse_metric).collect::<Result<_, _>>()?,
             None => Vec::new(),
         };
+        let parse_health = |j: &Json| -> Result<ShardHealthRow, String> {
+            let n = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing shard-health field '{key}'"))
+            };
+            Ok(ShardHealthRow {
+                shard: n("shard")?,
+                state: j
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .ok_or("missing shard-health field 'state'")?
+                    .to_string(),
+                retries: n("retries")?,
+                backoff_s: j
+                    .get("backoff_s")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing shard-health field 'backoff_s'")?,
+                journal_depth: n("journal_depth")?,
+                rebuilds: n("rebuilds")?,
+            })
+        };
+        // Absent in reports written before the fault-tolerance layer.
+        let shard_health = match v.get("shard_health").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(parse_health).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         Ok(TraceReport {
             rows,
             total,
             findings,
             metrics,
+            shard_health,
         })
     }
 }
@@ -768,6 +860,52 @@ mod tests {
         let bare = TraceReport::new(&trace, &CostModel::titan_v());
         let parsed = TraceReport::from_json(&bare.to_json()).unwrap();
         assert!(parsed.metrics.is_empty());
+    }
+
+    #[test]
+    fn shard_health_roundtrips_and_renders() {
+        let trace = TraceSnapshot {
+            global: snap(10, 1),
+            kernels: vec![KernelStats {
+                name: "router.flush",
+                counters: snap(10, 1),
+            }],
+        };
+        let health = vec![
+            ShardHealthRow {
+                shard: 0,
+                state: "healthy".into(),
+                retries: 0,
+                backoff_s: 0.0,
+                journal_depth: 0,
+                rebuilds: 0,
+            },
+            ShardHealthRow {
+                shard: 2,
+                state: "down".into(),
+                retries: 3,
+                backoff_s: 0.015625,
+                journal_depth: 42,
+                rebuilds: 1,
+            },
+        ];
+        let report = TraceReport::new(&trace, &CostModel::titan_v()).with_shard_health(health);
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report, "shard-health round-trip must be exact");
+        let rendered = report.render();
+        assert!(rendered.contains("shard health (2):"));
+        assert!(rendered.contains("shard 2: down"));
+        assert!(rendered.contains("rebuilds 1"));
+        // Reports without the key (pre-fault-tolerance) still parse.
+        let bare = TraceReport::new(&trace, &CostModel::titan_v());
+        let parsed = TraceReport::from_json(&bare.to_json()).unwrap();
+        assert!(parsed.shard_health.is_empty());
+        // Malformed health entries name the offending field.
+        let good = report.to_json();
+        let wrong = good.replacen(r#""journal_depth": 42"#, r#""journal_depth": "deep""#, 1);
+        assert_ne!(wrong, good);
+        let err = TraceReport::from_json(&wrong).unwrap_err();
+        assert!(err.contains("'journal_depth'"), "{err}");
     }
 
     #[test]

@@ -37,9 +37,14 @@
 //! raises the budget (or clears the fault plan), [`BatchRouter::recover`]
 //! resumes exactly the pending suffixes via `retry_suffix`.
 
-use gpu_sim::{CostModel, Device, DeviceConfig, DeviceGroup, ExecPolicy};
-use parking_lot::Mutex;
-use slabgraph::{BatchOutcome, Direction, DynGraph, Edge, GraphConfig, ValidationError};
+use gpu_sim::{
+    CostModel, Device, DeviceConfig, DeviceFault, DeviceGroup, ExecPolicy, ShardHealthRow,
+};
+use parking_lot::{Mutex, RwLock};
+use slabgraph::{
+    BatchOutcome, Direction, DynGraph, Edge, GraphConfig, GraphError, ValidationError,
+};
+use std::collections::HashMap;
 
 /// The owner shard of vertex `v` among `n_shards`: a splitmix64 finalizer
 /// over the id, reduced mod `n_shards`. Deterministic, balanced, and
@@ -67,7 +72,13 @@ struct ShardBatches {
 /// protocol and determinism guarantees.
 pub struct ShardedGraph {
     group: DeviceGroup,
-    shards: Vec<DynGraph>,
+    /// Per-shard graphs behind rwlocks: ordinary operation takes read
+    /// guards (all `DynGraph` methods are `&self`), a rebuild takes the
+    /// write guard to swap in a fresh graph after a device reset.
+    shards: Vec<RwLock<DynGraph>>,
+    /// The per-shard config, kept so [`Self::reset_shard`] can rebuild a
+    /// structurally identical graph on the reset device.
+    shard_cfg: GraphConfig,
     direction: Direction,
     n_vertices: u32,
 }
@@ -106,11 +117,12 @@ impl ShardedGraph {
             ..config
         };
         let shards = (0..n_shards)
-            .map(|s| DynGraph::on_device(group.device(s).clone(), shard_cfg))
+            .map(|s| RwLock::new(DynGraph::on_device(group.device(s).clone(), shard_cfg)))
             .collect();
         ShardedGraph {
             group,
             shards,
+            shard_cfg,
             direction: config.direction,
             n_vertices: config.vertex_capacity,
         }
@@ -134,9 +146,25 @@ impl ShardedGraph {
         &self.group
     }
 
-    /// Shard `s`'s graph (owner-side tables plus replicas it hosts).
-    pub fn shard(&self, s: usize) -> &DynGraph {
-        &self.shards[s]
+    /// Shard `s`'s graph (owner-side tables plus replicas it hosts). The
+    /// returned read guard derefs to [`DynGraph`]; it blocks only against
+    /// an in-flight [`Self::reset_shard`] on the same shard.
+    pub fn shard(&self, s: usize) -> impl std::ops::Deref<Target = DynGraph> + '_ {
+        self.shards[s].read()
+    }
+
+    /// Tear shard `s` down to an empty graph on a freshly reset device:
+    /// the device arena is wiped (freeing its whole budget), the
+    /// sanitizer's shadow state is discarded (findings survive), and a
+    /// structurally identical empty [`DynGraph`] replaces the old one.
+    /// Blocks until every outstanding [`Self::shard`] guard is released.
+    /// The caller owns repopulation — see `BatchRouter::rebuild_downed`
+    /// for the journal-replay path.
+    pub fn reset_shard(&self, s: usize) {
+        let mut guard = self.shards[s].write();
+        let dev = self.group.device(s).clone();
+        dev.reset();
+        *guard = DynGraph::on_device(dev, self.shard_cfg);
     }
 
     /// The owner shard of vertex `v`.
@@ -180,7 +208,7 @@ impl ShardedGraph {
         let parts = self.partition(edges);
         self.group
             .dispatch(|s, _| {
-                let g = &self.shards[s];
+                let g = self.shards[s].read();
                 let changed = g.insert_edges(&parts.primary[s]);
                 g.insert_edges(&parts.replica[s]);
                 changed
@@ -195,7 +223,7 @@ impl ShardedGraph {
         let parts = self.partition(edges);
         self.group
             .dispatch(|s, _| {
-                let g = &self.shards[s];
+                let g = self.shards[s].read();
                 let changed = g.delete_edges(&parts.primary[s]);
                 g.delete_edges(&parts.replica[s]);
                 changed
@@ -211,13 +239,13 @@ impl ShardedGraph {
     /// cross-shard scatter is needed.
     pub fn delete_vertices(&self, vertices: &[u32]) {
         self.group.dispatch(|s, _| {
-            self.shards[s].delete_vertices(vertices);
+            self.shards[s].read().delete_vertices(vertices);
         });
     }
 
     /// Membership query for one edge, answered by `src`'s owner.
     pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
-        self.shards[self.owner_of(src)].edge_exists(src, dst)
+        self.shards[self.owner_of(src)].read().edge_exists(src, dst)
     }
 
     /// Batched membership queries: pairs route to their src's owner, the
@@ -234,7 +262,7 @@ impl ShardedGraph {
         }
         let results = self
             .group
-            .dispatch(|s, _| self.shards[s].edges_exist(&per[s]));
+            .dispatch(|s, _| self.shards[s].read().edges_exist(&per[s]));
         let mut out = vec![false; pairs.len()];
         for (s, found) in results.into_iter().enumerate() {
             for (k, b) in found.into_iter().enumerate() {
@@ -246,18 +274,18 @@ impl ShardedGraph {
 
     /// Out-degree of `u`, from its owner shard.
     pub fn degree(&self, u: u32) -> u32 {
-        self.shards[self.owner_of(u)].degree(u)
+        self.shards[self.owner_of(u)].read().degree(u)
     }
 
     /// `u`'s neighbours, from its owner shard (the primary copy holds the
     /// complete adjacency).
     pub fn neighbor_ids(&self, u: u32) -> Vec<u32> {
-        self.shards[self.owner_of(u)].neighbor_ids(u)
+        self.shards[self.owner_of(u)].read().neighbor_ids(u)
     }
 
     /// Allocation-free adjacency iteration on the owner shard.
     pub fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
-        self.shards[self.owner_of(u)].for_each_neighbor(u, f)
+        self.shards[self.owner_of(u)].read().for_each_neighbor(u, f)
     }
 
     /// Exact live-edge count: the sum of owned-vertex degrees across
@@ -265,9 +293,10 @@ impl ShardedGraph {
     pub fn num_edges(&self) -> u64 {
         self.group
             .dispatch(|s, _| {
+                let g = self.shards[s].read();
                 (0..self.n_vertices)
                     .filter(|&v| shard_of(v, self.shards.len()) == s)
-                    .map(|v| self.shards[s].degree(v) as u64)
+                    .map(|v| g.degree(v) as u64)
                     .sum::<u64>()
             })
             .iter()
@@ -282,19 +311,23 @@ impl ShardedGraph {
         let n = self.shards.len();
         for (s, r) in self
             .group
-            .dispatch(|s, _| self.shards[s].validate())
+            .dispatch(|s, _| self.shards[s].read().validate())
             .into_iter()
             .enumerate()
         {
             r.map_err(|source| ShardedValidationError::Shard { shard: s, source })?;
         }
+        // One read guard per shard for the whole audit (read-read never
+        // blocks; only a concurrent reset would, and the audit must not
+        // race one anyway).
+        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
         let mut cut = 0u64;
         let mut replicas = 0u64;
         let mut owned = 0u64;
         let mut stored = 0u64;
         for u in 0..self.n_vertices {
             let su = shard_of(u, n);
-            for (s, shard) in self.shards.iter().enumerate() {
+            for (s, shard) in guards.iter().enumerate() {
                 let neighbors = shard.neighbor_ids(u);
                 stored += neighbors.len() as u64;
                 if s == su {
@@ -304,7 +337,7 @@ impl ShardedGraph {
                         let sv = shard_of(v, n);
                         if sv != su {
                             cut += 1;
-                            if !self.shards[sv].edge_exists(u, v) {
+                            if !guards[sv].edge_exists(u, v) {
                                 return Err(ShardedValidationError::MissingReplica {
                                     src: u,
                                     dst: v,
@@ -319,7 +352,7 @@ impl ShardedGraph {
                     // live primary on the src's owner.
                     for v in neighbors {
                         replicas += 1;
-                        if shard_of(v, n) != s || !self.shards[su].edge_exists(u, v) {
+                        if shard_of(v, n) != s || !guards[su].edge_exists(u, v) {
                             return Err(ShardedValidationError::OrphanReplica {
                                 src: u,
                                 dst: v,
@@ -479,6 +512,232 @@ impl backend::GraphBackend for ShardedGraph {
 // The async batch router.
 // ---------------------------------------------------------------------------
 
+/// One shard's position in the router's health state machine.
+///
+/// `Healthy → Suspect` on the first failed launch admission; `Suspect →
+/// Healthy` on the next successful dispatch; `Suspect → Down` when the
+/// [`RetryPolicy`] is exhausted or the fault is terminal
+/// ([`DeviceFault::Lost`]). A Down shard's circuit breaker is *open*: the
+/// router stops dispatching to it (batches are journaled and held, reads
+/// degrade) until [`BatchRouter::rebuild_downed`] moves it through
+/// `Rebuilding` back to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Dispatching normally.
+    Healthy,
+    /// At least one launch admission failed recently; still dispatching.
+    Suspect,
+    /// Circuit breaker open: no dispatch, reads degrade, writes are held
+    /// in the journal.
+    Down,
+    /// Device reset and journal replay in progress; treated like Down for
+    /// dispatch and reads.
+    Rebuilding,
+}
+
+impl ShardHealth {
+    /// Stable lowercase name (used in traces, JSON, and renders).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Down => "down",
+            ShardHealth::Rebuilding => "rebuilding",
+        }
+    }
+
+    /// Whether the router may dispatch batches to this shard.
+    pub fn is_dispatchable(self) -> bool {
+        matches!(self, ShardHealth::Healthy | ShardHealth::Suspect)
+    }
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Bounded-retry policy for failed launch admissions. Backoff is charged
+/// on the *modeled* clock ([`gpu_sim::Profiler::charge_wait`]) and added
+/// to the shard's [`ShardOutcome::modeled_s`], so waiting on a flaky
+/// shard costs makespan exactly like work does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Admission retries per dispatch before the shard is marked Down.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in modeled seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_s: 50e-6,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged before retry number `attempt` (0-based).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.base_backoff_s * self.multiplier.powi(attempt as i32)
+    }
+}
+
+/// A typed per-shard dispatch failure. Distinct from the recoverable OOM
+/// carried inside a partial [`BatchOutcome`]: a `RouterError` means the
+/// batch (or its suffix) was *not* applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouterError {
+    /// The batch itself is bad (e.g. an out-of-range vertex id). Not
+    /// retried — retrying a poisoned batch can never succeed — and not a
+    /// health event: the device is fine, the input is not.
+    Poisoned { shard: usize, source: GraphError },
+    /// The shard's device refused launch admission and the retry policy
+    /// was exhausted (or the fault was terminal). The shard is now Down.
+    Fault { shard: usize, source: DeviceFault },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Poisoned { shard, source } => {
+                write!(f, "shard {shard}: poisoned batch: {source}")
+            }
+            RouterError::Fault { shard, source } => {
+                write!(f, "shard {shard}: device fault: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Whether a read was answered by the authoritative owner shard or
+/// best-effort from surviving replicas while the owner is Down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadQuality {
+    /// Answered by the owner shard: identical to an unsharded replay.
+    Exact,
+    /// Owner unavailable; answered from cut-edge replicas on surviving
+    /// shards. Correct for edges whose replica survives, silent about
+    /// shard-internal edges.
+    Degraded,
+}
+
+/// One journaled router operation (per-shard apply order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JournalOp {
+    Insert(Edge),
+    Delete(Edge),
+}
+
+/// Per-shard write-ahead journal: the acked prefix folded into a compact
+/// checkpoint (edge → weight, primaries and replicas alike) plus the
+/// ordered unacknowledged log. Truncation on acknowledged apply keeps the
+/// journal depth proportional to in-flight work, not history; a rebuild
+/// replays checkpoint-then-log into a fresh shard.
+#[derive(Debug, Default)]
+struct ShardJournal {
+    checkpoint: HashMap<(u32, u32), u32>,
+    log: Vec<JournalOp>,
+    appended: u64,
+    acked: u64,
+}
+
+impl ShardJournal {
+    fn append(&mut self, op: JournalOp) {
+        self.log.push(op);
+        self.appended += 1;
+    }
+
+    /// Unacknowledged entries.
+    fn depth(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Truncate: fold every logged op into the checkpoint. Called when
+    /// the shard acknowledges that all outstanding work is applied.
+    fn ack_all(&mut self) {
+        self.acked += self.log.len() as u64;
+        for op in self.log.drain(..) {
+            match op {
+                JournalOp::Insert(e) => {
+                    self.checkpoint.insert((e.src, e.dst), e.weight);
+                }
+                JournalOp::Delete(e) => {
+                    self.checkpoint.remove(&(e.src, e.dst));
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard router state: health machine position, cumulative
+/// fault-tolerance tallies, and the write-ahead journal.
+#[derive(Debug, Default)]
+struct ShardState {
+    health: ShardHealthState,
+    retries: u64,
+    backoff_s: f64,
+    rebuilds: u64,
+    journal: ShardJournal,
+}
+
+/// Newtype default so `ShardState::default()` starts Healthy.
+#[derive(Debug)]
+struct ShardHealthState(ShardHealth);
+
+impl Default for ShardHealthState {
+    fn default() -> Self {
+        ShardHealthState(ShardHealth::Healthy)
+    }
+}
+
+/// One-line health summary of a router's shards, renderable and
+/// convertible into [`ShardHealthRow`]s for [`gpu_sim::TraceReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterReport {
+    /// Per-shard health rows, in shard order.
+    pub rows: Vec<ShardHealthRow>,
+}
+
+impl RouterReport {
+    /// Shards not currently Healthy (the health-state analogue of
+    /// [`FlushReport::incomplete_shards`]).
+    pub fn unhealthy_shards(&self) -> Vec<usize> {
+        self.rows
+            .iter()
+            .filter(|r| r.state != "healthy")
+            .map(|r| r.shard as usize)
+            .collect()
+    }
+
+    /// One-line summary, e.g.
+    /// `router health: 3/4 healthy | shard 2: down (retries 3, backoff 0.350 ms, journal 42, rebuilds 0)`.
+    pub fn render(&self) -> String {
+        let healthy = self.rows.iter().filter(|r| r.state == "healthy").count();
+        let mut line = format!("router health: {healthy}/{} healthy", self.rows.len());
+        for r in self.rows.iter().filter(|r| r.state != "healthy") {
+            line.push_str(&format!(
+                " | shard {}: {} (retries {}, backoff {:.3} ms, journal {}, rebuilds {})",
+                r.shard,
+                r.state,
+                r.retries,
+                r.backoff_s * 1e3,
+                r.journal_depth,
+                r.rebuilds
+            ));
+        }
+        line
+    }
+}
+
 /// One client update. Sessions submit these; the router coalesces them
 /// into per-shard batches at flush time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -489,7 +748,8 @@ pub enum Update {
     Delete(Edge),
 }
 
-/// One shard's view of a flush: its batch outcomes and modeled time.
+/// One shard's view of a flush: its batch outcomes, health, and modeled
+/// time.
 #[derive(Debug, Clone)]
 pub struct ShardOutcome {
     pub shard: usize,
@@ -499,14 +759,22 @@ pub struct ShardOutcome {
     pub insert: Option<BatchOutcome>,
     /// Outcome of the shard's coalesced delete batch.
     pub delete: Option<BatchOutcome>,
-    /// Modeled GPU seconds this shard spent on the flush.
+    /// Modeled GPU seconds this shard spent on the flush, *including*
+    /// retry backoff charged on the modeled clock.
     pub modeled_s: f64,
+    /// The shard's health after this dispatch.
+    pub health: ShardHealth,
+    /// Typed dispatch failure, if the batch (suffix) was not applied at
+    /// all. Orthogonal to the recoverable OOM inside a partial
+    /// [`BatchOutcome`].
+    pub error: Option<RouterError>,
 }
 
 impl ShardOutcome {
     /// Whether every batch routed to this shard was fully applied.
     pub fn is_complete(&self) -> bool {
-        self.insert.as_ref().is_none_or(BatchOutcome::is_complete)
+        self.error.is_none()
+            && self.insert.as_ref().is_none_or(BatchOutcome::is_complete)
             && self.delete.as_ref().is_none_or(BatchOutcome::is_complete)
     }
 }
@@ -545,19 +813,57 @@ impl FlushReport {
 /// Host-side async batch router over a [`ShardedGraph`]. Concurrent
 /// sessions [`Self::submit`] updates; [`Self::flush`] coalesces and
 /// dispatches them. See the crate docs for ordering semantics.
+///
+/// The router is also the graph's fault-tolerance layer: it write-ahead
+/// journals every routed op, runs a per-shard health state machine
+/// ([`ShardHealth`]) driven by launch-admission faults and a
+/// [`RetryPolicy`], opens a circuit breaker on Down shards (no device
+/// access at all while open), serves degraded reads from surviving
+/// replicas, and rebuilds a Down shard from its journal
+/// ([`Self::rebuild_downed`]).
 pub struct BatchRouter<'g> {
     graph: &'g ShardedGraph,
     /// Per-session FIFO queues, indexed by session id. A `Mutex` (not a
     /// channel) so that draining is session-major — deterministic no
     /// matter how submission threads interleaved.
     sessions: Mutex<Vec<Vec<Update>>>,
+    policy: RetryPolicy,
+    /// Per-shard health + journal. Each dispatch closure locks only its
+    /// own shard's state, so the per-shard mutexes never contend across
+    /// shards.
+    states: Vec<Mutex<ShardState>>,
 }
 
 impl<'g> BatchRouter<'g> {
     pub fn new(graph: &'g ShardedGraph) -> Self {
+        Self::with_policy(graph, RetryPolicy::default())
+    }
+
+    /// Build a router with an explicit [`RetryPolicy`]. Seeds each
+    /// shard's journal checkpoint from the shard's *current* contents
+    /// (primaries and replicas alike), so graphs assembled via
+    /// [`ShardedGraph::bulk_build`] — which bypasses the router — are
+    /// still rebuildable.
+    pub fn with_policy(graph: &'g ShardedGraph, policy: RetryPolicy) -> Self {
+        let n = graph.num_shards();
+        let states = (0..n)
+            .map(|s| {
+                let mut st = ShardState::default();
+                let g = graph.shard(s);
+                for u in 0..graph.vertex_capacity() {
+                    for v in g.neighbor_ids(u) {
+                        let w = g.edge_weight(u, v).unwrap_or(1);
+                        st.journal.checkpoint.insert((u, v), w);
+                    }
+                }
+                Mutex::new(st)
+            })
+            .collect();
         BatchRouter {
             graph,
             sessions: Mutex::new(Vec::new()),
+            policy,
+            states,
         }
     }
 
@@ -576,14 +882,116 @@ impl<'g> BatchRouter<'g> {
         self.sessions.lock().iter().map(Vec::len).sum()
     }
 
+    /// Current health of shard `s`.
+    pub fn health(&self, s: usize) -> ShardHealth {
+        self.states[s].lock().health.0
+    }
+
+    /// Shards whose health is anything other than Healthy (the
+    /// health-state analogue of [`FlushReport::incomplete_shards`]).
+    pub fn unhealthy_shards(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&s| self.health(s) != ShardHealth::Healthy)
+            .collect()
+    }
+
+    /// Snapshot the per-shard health machine into a [`RouterReport`]
+    /// whose rows slot directly into [`gpu_sim::TraceReport`].
+    pub fn report(&self) -> RouterReport {
+        let rows = (0..self.states.len())
+            .map(|s| {
+                let st = self.states[s].lock();
+                ShardHealthRow {
+                    shard: s as u64,
+                    state: st.health.0.as_str().to_string(),
+                    retries: st.retries,
+                    backoff_s: st.backoff_s,
+                    journal_depth: st.journal.depth() as u64,
+                    rebuilds: st.rebuilds,
+                }
+            })
+            .collect();
+        RouterReport { rows }
+    }
+
+    /// Unacknowledged journal entries for shard `s` (held writes that a
+    /// rebuild would replay).
+    pub fn journal_depth(&self, s: usize) -> usize {
+        self.states[s].lock().journal.depth()
+    }
+
+    /// Transition a shard's health, emitting a trace instant and a
+    /// transition count so the path is visible in the profiler timeline.
+    fn set_health(&self, st: &mut ShardState, s: usize, to: ShardHealth) {
+        let from = st.health.0;
+        if from == to {
+            return;
+        }
+        st.health.0 = to;
+        if let Some(p) = self.graph.group().device(s).profiler() {
+            p.instant("shard_health", format!("shard {s}: {from} -> {to}"));
+            p.metrics().record("router.health_transitions", 1);
+        }
+    }
+
+    /// Launch-admission gate with bounded retry. Charges exponential
+    /// backoff on the modeled clock between attempts and drives the
+    /// health machine; returns the accumulated backoff seconds, or the
+    /// final fault (with the backoff spent getting there) after marking
+    /// the shard Down.
+    fn admit(
+        &self,
+        st: &mut ShardState,
+        s: usize,
+        dev: &Device,
+    ) -> Result<f64, (f64, DeviceFault)> {
+        let mut backoff = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            match dev.launch_check() {
+                Ok(()) => {
+                    if attempt > 0 {
+                        // Recovered within the retry budget.
+                        self.set_health(st, s, ShardHealth::Healthy);
+                    }
+                    return Ok(backoff);
+                }
+                Err(fault) => {
+                    self.set_health(st, s, ShardHealth::Suspect);
+                    if fault.is_terminal() || attempt >= self.policy.max_retries {
+                        self.set_health(st, s, ShardHealth::Down);
+                        return Err((backoff, fault));
+                    }
+                    let wait = self.policy.backoff_s(attempt);
+                    st.retries += 1;
+                    st.backoff_s += wait;
+                    backoff += wait;
+                    if let Some(p) = dev.profiler() {
+                        p.charge_wait("router.backoff", wait);
+                        p.metrics()
+                            .record("router.retry_backoff_us", (wait * 1e6) as u64);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Drain every session queue (session-major, submission order within a
     /// session), coalesce into one insert batch and one delete batch per
-    /// shard — primaries and cut-edge replicas included — and dispatch all
-    /// shards concurrently. Within a flush, inserts apply before deletes.
+    /// shard — primaries and cut-edge replicas included — journal every
+    /// routed op, and dispatch all shards concurrently. Within a flush,
+    /// inserts apply before deletes.
     ///
     /// Each shard uses the fallible batch path: a shard that exhausts its
     /// device budget reports a partial [`BatchOutcome`] carrying the
     /// unapplied suffix, while the other shards proceed to completion.
+    /// A shard whose device refuses launch admission is retried per the
+    /// [`RetryPolicy`] (backoff charged on the modeled clock) and, once
+    /// exhausted, marked Down: its batches stay journaled and pending,
+    /// its [`ShardOutcome::error`] carries the fault, and subsequent
+    /// flushes skip it entirely (open circuit breaker — zero device
+    /// access) until [`Self::rebuild_downed`] re-admits it.
     pub fn flush(&self) -> FlushReport {
         let drained: Vec<Vec<Update>> = std::mem::take(&mut *self.sessions.lock());
         let updates: usize = drained.iter().map(Vec::len).sum();
@@ -616,39 +1024,135 @@ impl<'g> BatchRouter<'g> {
                 b
             })
             .collect();
+        // Write-ahead: journal every routed op before any dispatch, so a
+        // shard that dies mid-flush can be rebuilt without losing writes.
+        for s in 0..n {
+            let mut st = self.states[s].lock();
+            for &e in &ins_batches[s] {
+                st.journal.append(JournalOp::Insert(e));
+            }
+            for &e in &del_batches[s] {
+                st.journal.append(JournalOp::Delete(e));
+            }
+            let depth = st.journal.depth() as u64;
+            if let Some(p) = self.graph.group().device(s).profiler() {
+                p.metrics().gauge("router.journal_depth").set(depth);
+            }
+        }
         let model = CostModel::titan_v();
         let shards = self.graph.group().dispatch(|s, dev| {
+            let ins = &ins_batches[s];
+            let del = &del_batches[s];
+            if ins.is_empty() && del.is_empty() {
+                // No work: no launch admission consumed, so fault plans
+                // keyed on launch index stay deterministic w.r.t. work.
+                return ShardOutcome {
+                    shard: s,
+                    insert: None,
+                    delete: None,
+                    modeled_s: 0.0,
+                    health: self.health(s),
+                    error: None,
+                };
+            }
+            let mut st = self.states[s].lock();
+            if !st.health.0.is_dispatchable() {
+                // Circuit breaker open: hold the batches (already
+                // journaled) without touching the device at all.
+                return ShardOutcome {
+                    shard: s,
+                    insert: (!ins.is_empty())
+                        .then(|| held_outcome(slabgraph::BatchOp::InsertEdges, ins)),
+                    delete: (!del.is_empty())
+                        .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
+                    modeled_s: 0.0,
+                    health: st.health.0,
+                    error: None,
+                };
+            }
+            let backoff = match self.admit(&mut st, s, dev) {
+                Ok(b) => b,
+                Err((b, fault)) => {
+                    return ShardOutcome {
+                        shard: s,
+                        insert: (!ins.is_empty())
+                            .then(|| held_outcome(slabgraph::BatchOp::InsertEdges, ins)),
+                        delete: (!del.is_empty())
+                            .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
+                        modeled_s: b,
+                        health: st.health.0,
+                        error: Some(RouterError::Fault {
+                            shard: s,
+                            source: fault,
+                        }),
+                    };
+                }
+            };
             let g = self.graph.shard(s);
             let before = dev.counters().snapshot();
             let _phase = dev.phase("router.flush");
-            let insert = (!ins_batches[s].is_empty())
-                .then(|| g.try_insert_edges(&ins_batches[s]).expect("valid edge ids"));
-            let delete = if del_batches[s].is_empty() {
+            let insert = match (!ins.is_empty())
+                .then(|| g.try_insert_edges(ins))
+                .transpose()
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    drop(_phase);
+                    let delta = dev.counters().snapshot().delta(&before);
+                    return ShardOutcome {
+                        shard: s,
+                        insert: Some(held_outcome(slabgraph::BatchOp::InsertEdges, ins)),
+                        delete: (!del.is_empty())
+                            .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
+                        modeled_s: model.seconds(&delta) + backoff,
+                        health: st.health.0,
+                        error: Some(RouterError::Poisoned {
+                            shard: s,
+                            source: e,
+                        }),
+                    };
+                }
+            };
+            let delete = if del.is_empty() {
                 None
             } else if insert.as_ref().is_none_or(|o| o.is_complete()) {
-                Some(g.try_delete_edges(&del_batches[s]).expect("valid edge ids"))
+                match g.try_delete_edges(del) {
+                    Ok(o) => Some(o),
+                    Err(e) => {
+                        drop(_phase);
+                        let delta = dev.counters().snapshot().delta(&before);
+                        return ShardOutcome {
+                            shard: s,
+                            insert,
+                            delete: Some(held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
+                            modeled_s: model.seconds(&delta) + backoff,
+                            health: st.health.0,
+                            error: Some(RouterError::Poisoned {
+                                shard: s,
+                                source: e,
+                            }),
+                        };
+                    }
+                }
             } else {
                 // The shard is out of memory mid-insert: hold the deletes
                 // as fully-pending so recovery preserves apply order.
-                Some(BatchOutcome {
-                    op: slabgraph::BatchOp::DeleteEdges,
-                    attempted: del_batches[s].len(),
-                    completed: 0,
-                    changed: 0,
-                    pending: del_batches[s].clone(),
-                    pending_vertices: Vec::new(),
-                    error: None,
-                })
+                Some(held_outcome(slabgraph::BatchOp::DeleteEdges, del))
             };
             drop(_phase);
             let delta = dev.counters().snapshot().delta(&before);
+            // A clean dispatch heals a Suspect shard.
+            self.set_health(&mut st, s, ShardHealth::Healthy);
             ShardOutcome {
                 shard: s,
                 insert,
                 delete,
-                modeled_s: model.seconds(&delta),
+                modeled_s: model.seconds(&delta) + backoff,
+                health: st.health.0,
+                error: None,
             }
         });
+        self.ack_completed(&shards);
         FlushReport { updates, shards }
     }
 
@@ -658,6 +1162,11 @@ impl<'g> BatchRouter<'g> {
     /// plan. Only incomplete shards re-run (concurrently); complete shards
     /// are carried over untouched. The returned report may itself be
     /// partial, in which case recovery can be repeated.
+    ///
+    /// A Down shard is *not* retried here (its breaker is open); its held
+    /// outcome is carried forward. Use [`Self::rebuild_downed`] instead —
+    /// and note that a rebuild replays the journaled ops itself, which
+    /// makes reports holding that shard's pending work stale.
     pub fn recover(&self, report: &FlushReport) -> FlushReport {
         let model = CostModel::titan_v();
         let shards = self.graph.group().dispatch(|s, dev| {
@@ -665,40 +1174,268 @@ impl<'g> BatchRouter<'g> {
             if prior.is_complete() {
                 return prior.clone();
             }
+            let mut st = self.states[s].lock();
+            if !st.health.0.is_dispatchable() {
+                // Circuit breaker open: carry the held outcome forward
+                // without touching the device.
+                let mut held = prior.clone();
+                held.health = st.health.0;
+                held.modeled_s = 0.0;
+                return held;
+            }
+            let backoff = match self.admit(&mut st, s, dev) {
+                Ok(b) => b,
+                Err((b, fault)) => {
+                    let mut held = prior.clone();
+                    held.health = st.health.0;
+                    held.modeled_s = b;
+                    held.error = Some(RouterError::Fault {
+                        shard: s,
+                        source: fault,
+                    });
+                    return held;
+                }
+            };
             let g = self.graph.shard(s);
             let before = dev.counters().snapshot();
             let _phase = dev.phase("router.recover");
-            let retry = |o: &Option<BatchOutcome>| -> Option<BatchOutcome> {
-                o.as_ref().map(|o| {
-                    if o.is_complete() {
-                        o.clone()
-                    } else {
-                        let mut next = g.retry_suffix(o).expect("valid edge ids");
-                        // Fold the already-applied prefix into the resumed
-                        // outcome so counts stay cumulative for the flush.
-                        next.attempted = o.attempted;
-                        next.completed += o.completed;
-                        next.changed += o.changed;
-                        next
-                    }
-                })
+            let retry = |o: &Option<BatchOutcome>| -> Result<Option<BatchOutcome>, GraphError> {
+                o.as_ref()
+                    .map(|o| {
+                        if o.is_complete() {
+                            Ok(o.clone())
+                        } else {
+                            let mut next = g.retry_suffix(o)?;
+                            // Fold the already-applied prefix into the resumed
+                            // outcome so counts stay cumulative for the flush.
+                            next.attempted = o.attempted;
+                            next.completed += o.completed;
+                            next.changed += o.changed;
+                            Ok(next)
+                        }
+                    })
+                    .transpose()
             };
-            let insert = retry(&prior.insert);
+            let poisoned = |e: GraphError, dev: &Device, before| {
+                let delta = dev.counters().snapshot().delta(&before);
+                let mut held = prior.clone();
+                held.modeled_s = model.seconds(&delta) + backoff;
+                held.error = Some(RouterError::Poisoned {
+                    shard: s,
+                    source: e,
+                });
+                held
+            };
+            let insert = match retry(&prior.insert) {
+                Ok(o) => o,
+                Err(e) => {
+                    drop(_phase);
+                    let mut held = poisoned(e, dev, before);
+                    held.health = st.health.0;
+                    return held;
+                }
+            };
             let delete = if insert.as_ref().is_none_or(|o| o.is_complete()) {
-                retry(&prior.delete)
+                match retry(&prior.delete) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        drop(_phase);
+                        let mut held = poisoned(e, dev, before);
+                        held.insert = insert;
+                        held.health = st.health.0;
+                        return held;
+                    }
+                }
             } else {
                 prior.delete.clone()
             };
             drop(_phase);
             let delta = dev.counters().snapshot().delta(&before);
+            self.set_health(&mut st, s, ShardHealth::Healthy);
             ShardOutcome {
                 shard: s,
                 insert,
                 delete,
-                modeled_s: model.seconds(&delta),
+                modeled_s: model.seconds(&delta) + backoff,
+                health: st.health.0,
+                error: None,
             }
         });
+        self.ack_completed(&shards);
         FlushReport { updates: 0, shards }
+    }
+
+    /// Truncate the journal of every shard whose dispatch fully applied:
+    /// the acked log folds into the checkpoint, so journal depth tracks
+    /// in-flight work rather than history.
+    fn ack_completed(&self, shards: &[ShardOutcome]) {
+        for o in shards {
+            if o.is_complete() && (o.insert.is_some() || o.delete.is_some()) {
+                let mut st = self.states[o.shard].lock();
+                st.journal.ack_all();
+                if let Some(p) = self.graph.group().device(o.shard).profiler() {
+                    p.metrics()
+                        .gauge("router.journal_depth")
+                        .set(st.journal.depth() as u64);
+                }
+            }
+        }
+    }
+
+    /// Rebuild every Down shard from its journal: reset the device
+    /// ([`gpu_sim::Device::reset`] clears the lost latch and fault
+    /// plans), replay the checkpoint plus the unacknowledged log into a
+    /// fresh shard, audit the whole sharded graph with
+    /// [`ShardedGraph::validate`], and only then re-admit the shard as
+    /// Healthy. Returns the rebuilt shard ids.
+    ///
+    /// If the audit fails, no rebuilt shard is re-admitted (they stay in
+    /// `Rebuilding`) and the audit error is returned.
+    ///
+    /// After a rebuild, `FlushReport`s holding pending work for that
+    /// shard are stale — the rebuild already replayed those journaled
+    /// ops; do not [`Self::recover`] them.
+    pub fn rebuild_downed(&self) -> Result<Vec<usize>, ShardedValidationError> {
+        let n = self.graph.num_shards();
+        let mut replayed: Vec<(usize, Option<f64>)> = Vec::new();
+        for s in 0..n {
+            {
+                let mut st = self.states[s].lock();
+                if st.health.0 != ShardHealth::Down {
+                    continue;
+                }
+                self.set_health(&mut st, s, ShardHealth::Rebuilding);
+            }
+            let dev = self.graph.group().device(s).clone();
+            let t0 = dev.profiler().map(|p| p.now_s());
+            // Snapshot the replay image, then release the state lock for
+            // the device-side replay (degraded reads stay responsive).
+            let (mut base, log) = {
+                let st = self.states[s].lock();
+                let base: Vec<Edge> = st
+                    .journal
+                    .checkpoint
+                    .iter()
+                    .map(|(&(u, v), &w)| Edge::weighted(u, v, w))
+                    .collect();
+                (base, st.journal.log.clone())
+            };
+            // The checkpoint is a map; sort for a deterministic replay.
+            base.sort_unstable_by_key(|e| (e.src, e.dst));
+            self.graph.reset_shard(s);
+            {
+                let g = self.graph.shard(s);
+                let _phase = dev.phase("router.rebuild");
+                if !base.is_empty() {
+                    g.insert_edges(&base);
+                }
+                // Replay the unacked log in order, batching runs of the
+                // same op kind. Replay is idempotent: re-inserting an
+                // edge replaces its weight, re-deleting is a no-op.
+                let mut i = 0;
+                while i < log.len() {
+                    let is_insert = matches!(log[i], JournalOp::Insert(_));
+                    let mut run: Vec<Edge> = Vec::new();
+                    while i < log.len() && matches!(log[i], JournalOp::Insert(_)) == is_insert {
+                        run.push(match log[i] {
+                            JournalOp::Insert(e) | JournalOp::Delete(e) => e,
+                        });
+                        i += 1;
+                    }
+                    if is_insert {
+                        g.insert_edges(&run);
+                    } else {
+                        g.delete_edges(&run);
+                    }
+                }
+            }
+            let dur = t0.and_then(|t0| dev.profiler().map(|p| p.now_s() - t0));
+            replayed.push((s, dur));
+        }
+        if replayed.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Cross-shard audit before re-admitting anything: a rebuild that
+        // fails the audit leaves its shard un-admitted in Rebuilding.
+        self.graph.validate()?;
+        let mut rebuilt = Vec::new();
+        for (s, dur) in replayed {
+            let mut st = self.states[s].lock();
+            st.journal.ack_all();
+            st.rebuilds += 1;
+            self.set_health(&mut st, s, ShardHealth::Healthy);
+            if let Some(p) = self.graph.group().device(s).profiler() {
+                p.metrics().gauge("router.journal_depth").set(0);
+                if let Some(d) = dur {
+                    p.metrics().record("router.rebuild_us", (d * 1e6) as u64);
+                }
+                p.instant("shard_rebuilt", format!("shard {s}"));
+            }
+            rebuilt.push(s);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Point membership lookup that stays available while shards are
+    /// Down. The owner answers exactly; with the owner Down, a cut
+    /// edge's replica on the destination's owner answers (the replica is
+    /// kept under the same `u→v` key, so it is authoritative for that
+    /// edge), tagged [`ReadQuality::Degraded`]. A shard-internal edge of
+    /// a Down owner is unanswerable and reports best-effort absence.
+    pub fn edge_exists_degraded(&self, src: u32, dst: u32) -> (bool, ReadQuality) {
+        let owner = self.graph.owner_of(src);
+        if self.is_serving(owner) {
+            return (
+                self.graph.shard(owner).edge_exists(src, dst),
+                ReadQuality::Exact,
+            );
+        }
+        let replica = self.graph.owner_of(dst);
+        if replica != owner && self.is_serving(replica) {
+            return (
+                self.graph.shard(replica).edge_exists(src, dst),
+                ReadQuality::Degraded,
+            );
+        }
+        (false, ReadQuality::Degraded)
+    }
+
+    /// Out-degree that stays available while shards are Down. With the
+    /// owner Down, surviving shards hold exactly `u`'s cut out-edges as
+    /// replicas; their sum undercounts by `u`'s shard-internal edges and
+    /// is tagged [`ReadQuality::Degraded`].
+    pub fn degree_degraded(&self, u: u32) -> (u32, ReadQuality) {
+        let owner = self.graph.owner_of(u);
+        if self.is_serving(owner) {
+            return (self.graph.degree(u), ReadQuality::Exact);
+        }
+        let mut d = 0;
+        for t in 0..self.graph.num_shards() {
+            if t != owner && self.is_serving(t) {
+                d += self.graph.shard(t).degree(u);
+            }
+        }
+        (d, ReadQuality::Degraded)
+    }
+
+    /// Whether shard `s` currently serves dispatches and exact reads.
+    fn is_serving(&self, s: usize) -> bool {
+        self.states[s].lock().health.0.is_dispatchable()
+    }
+}
+
+/// A fully-pending [`BatchOutcome`] for a batch the router held back
+/// (circuit breaker open or apply-order barrier) without touching the
+/// device.
+fn held_outcome(op: slabgraph::BatchOp, batch: &[Edge]) -> BatchOutcome {
+    BatchOutcome {
+        op,
+        attempted: batch.len(),
+        completed: 0,
+        changed: 0,
+        pending: batch.to_vec(),
+        pending_vertices: Vec::new(),
+        error: None,
     }
 }
 
@@ -906,5 +1643,172 @@ mod tests {
         let report = router.flush();
         assert!(report.is_complete());
         assert!(!g.edge_exists(1, 2), "insert-then-delete nets to absent");
+    }
+
+    #[test]
+    fn transient_fault_retries_within_policy_and_heals() {
+        let g = ShardedGraph::new(2, cfg(256));
+        let flaky = 0usize;
+        // First 2 launch admissions fail, then the device heals; the
+        // default policy allows 3 retries, so the flush should succeed.
+        g.group()
+            .device(flaky)
+            .set_fault_plan(FaultPlan::transient_kernel(1, 2));
+        let router = BatchRouter::new(&g);
+        for (i, &(u, v)) in pairs(60, 9, 256).iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        let report = router.flush();
+        assert!(report.is_complete(), "{report:?}");
+        assert_eq!(router.health(flaky), ShardHealth::Healthy);
+        let rows = router.report().rows;
+        assert_eq!(rows[flaky].retries, 2);
+        assert!(rows[flaky].backoff_s > 0.0, "backoff charged");
+        assert!(
+            report.shards[flaky].modeled_s >= rows[flaky].backoff_s,
+            "backoff counts toward the shard's modeled time"
+        );
+        // Acknowledged apply truncates the journal.
+        assert_eq!(router.journal_depth(flaky), 0);
+    }
+
+    #[test]
+    fn lost_device_opens_breaker_and_journal_holds_writes() {
+        let g = ShardedGraph::new(2, cfg(256));
+        let victim = 1usize;
+        g.group()
+            .device(victim)
+            .set_fault_plan(FaultPlan::device_lost_at(1));
+        let router = BatchRouter::new(&g);
+        for (i, &(u, v)) in pairs(80, 11, 256).iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        let report = router.flush();
+        assert!(!report.is_complete());
+        assert_eq!(router.health(victim), ShardHealth::Down);
+        assert_eq!(router.unhealthy_shards(), vec![victim]);
+        assert!(matches!(
+            report.shards[victim].error,
+            Some(RouterError::Fault { .. })
+        ));
+        let held = router.journal_depth(victim);
+        assert!(held > 0, "down shard's writes stay journaled");
+        // Second flush: the breaker is open, so the victim's device sees
+        // zero launches while the other shard keeps serving.
+        let before = g.group().device(victim).counters().snapshot();
+        for (i, &(u, v)) in pairs(40, 12, 256).iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        let second = router.flush();
+        let delta = g
+            .group()
+            .device(victim)
+            .counters()
+            .snapshot()
+            .delta(&before);
+        assert_eq!(delta.launches, 0, "open breaker never touches the device");
+        assert_eq!(delta.transactions, 0);
+        assert!(second.shards[1 - victim].is_complete());
+        assert!(
+            second.shards[victim].error.is_none(),
+            "held, not re-faulted"
+        );
+        assert!(
+            router.journal_depth(victim) > held,
+            "holds keep accumulating"
+        );
+        // Rebuild: reset + journal replay + audit + re-admit.
+        let rebuilt = router.rebuild_downed().expect("audit after rebuild");
+        assert_eq!(rebuilt, vec![victim]);
+        assert_eq!(router.health(victim), ShardHealth::Healthy);
+        assert_eq!(router.journal_depth(victim), 0);
+        // Final state matches an unsharded replay of every update.
+        let reference = DynGraph::new(cfg(256));
+        let mut all = pairs(80, 11, 256);
+        all.extend(pairs(40, 12, 256));
+        reference.insert_edges(&all.iter().map(|&p| Edge::from(p)).collect::<Vec<_>>());
+        assert_eq!(g.num_edges(), reference.num_edges());
+        g.validate().expect("audit after re-admission");
+    }
+
+    #[test]
+    fn degraded_reads_survive_a_down_shard() {
+        let g = ShardedGraph::new(2, cfg(128));
+        let router = BatchRouter::new(&g);
+        // Find a cut edge (owners differ) and an internal edge of the
+        // soon-to-be-down shard.
+        let updates = pairs(100, 21, 128);
+        for (i, &(u, v)) in updates.iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        assert!(router.flush().is_complete());
+        let down = 0usize;
+        let cut = updates
+            .iter()
+            .find(|&&(u, v)| g.owner_of(u) == down && g.owner_of(v) != down)
+            .copied()
+            .expect("some cut edge from the down shard");
+        let internal = updates
+            .iter()
+            .find(|&&(u, v)| g.owner_of(u) == down && g.owner_of(v) == down)
+            .copied()
+            .expect("some internal edge on the down shard");
+        g.group()
+            .device(down)
+            .set_fault_plan(FaultPlan::device_lost_at(1));
+        // Re-submit an edge the down shard owns so the flush definitely
+        // dispatches (and faults) there.
+        router.submit(0, Update::Insert(Edge::new(internal.0, internal.1)));
+        router.flush();
+        assert_eq!(router.health(down), ShardHealth::Down);
+        // Exact reads on the healthy shard's vertices.
+        let survivor_v = updates
+            .iter()
+            .find(|&&(u, _)| g.owner_of(u) != down)
+            .map(|&(u, _)| u)
+            .unwrap();
+        assert_eq!(router.degree_degraded(survivor_v).1, ReadQuality::Exact);
+        // The cut edge's replica on the survivor answers, degraded.
+        assert_eq!(
+            router.edge_exists_degraded(cut.0, cut.1),
+            (true, ReadQuality::Degraded)
+        );
+        // The internal edge is unanswerable: best-effort absence.
+        assert_eq!(
+            router.edge_exists_degraded(internal.0, internal.1),
+            (false, ReadQuality::Degraded)
+        );
+        // Degraded degree counts exactly the cut out-edges that survive.
+        let u = cut.0;
+        let expected: u32 = updates
+            .iter()
+            .filter(|&&(a, b)| a == u && g.owner_of(b) != down)
+            .map(|&(a, b)| (a, b))
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u32;
+        assert_eq!(router.degree_degraded(u), (expected, ReadQuality::Degraded));
+    }
+
+    #[test]
+    fn router_report_renders_one_line_summary() {
+        let g = ShardedGraph::new(3, cfg(64));
+        let router = BatchRouter::new(&g);
+        let report = router.report();
+        assert_eq!(report.unhealthy_shards(), Vec::<usize>::new());
+        assert_eq!(report.render(), "router health: 3/3 healthy");
+        g.group()
+            .device(2)
+            .set_fault_plan(FaultPlan::device_lost_at(1));
+        router.submit(0, Update::Insert(Edge::new(5, 60)));
+        router.submit(0, Update::Insert(Edge::new(60, 5)));
+        router.flush();
+        let report = router.report();
+        assert_eq!(report.unhealthy_shards(), vec![2]);
+        let line = report.render();
+        assert!(
+            line.starts_with("router health: 2/3 healthy | shard 2: down"),
+            "{line}"
+        );
+        assert!(line.contains("journal"), "{line}");
     }
 }

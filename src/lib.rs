@@ -47,7 +47,10 @@ pub mod prelude {
     pub use algos::{bfs_levels, tc};
     pub use backend::{Capabilities, GraphBackend, IntersectionKind};
     pub use graph_gen::{catalog, insert_batch, vertex_batch};
-    pub use router::{shard_of, BatchRouter, FlushReport, ShardedGraph, Update};
+    pub use router::{
+        shard_of, BatchRouter, FlushReport, ReadQuality, RetryPolicy, RouterError, RouterReport,
+        ShardHealth, ShardedGraph, Update,
+    };
     pub use slabgraph::{
         AllocError, BatchOp, BatchOutcome, Direction, DynGraph, Edge, FaultPlan, GraphConfig,
         GraphError, GraphStats, OomError, TableKind, ValidationError, DEFAULT_LOAD_FACTOR,

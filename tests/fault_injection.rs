@@ -325,6 +325,77 @@ fn vertex_batch_recovers_after_budget_raise() {
     }
 }
 
+/// The two fault families compose without perturbing each other: an
+/// every-Nth OOM plan (allocation-level) layered with a transient kernel
+/// fault (device-level, launch-admission) on the same device keeps both
+/// retry schedules deterministic. Each family holds its own 1-based
+/// index, so the OOM schedule — which allocations fail, how many retry
+/// rounds, what lands where — is bit-identical with and without the
+/// device-level plan in place.
+#[test]
+fn alloc_and_device_fault_plans_compose_deterministically() {
+    use dynamic_graphs_gpu::gpu_sim::DeviceFault;
+
+    // One run of the every-3rd-allocation OOM workload; optionally with a
+    // transient kernel fault layered on the same device, drained through
+    // launch-admission retries exactly like the router's retry loop.
+    let run = |with_device_fault: bool| {
+        let g = DynGraph::new(GraphConfig::directed_map(N));
+        g.device().set_fault_plan(FaultPlan::fail_every_nth(3));
+        if with_device_fault {
+            // Routed to the launch-plan slot: must NOT reset or replace
+            // the allocation plan already installed.
+            g.device().set_fault_plan(FaultPlan::transient_kernel(1, 2));
+            assert!(matches!(
+                g.device().launch_check(),
+                Err(DeviceFault::TransientKernel { remaining: 1, .. })
+            ));
+            assert!(matches!(
+                g.device().launch_check(),
+                Err(DeviceFault::TransientKernel { remaining: 0, .. })
+            ));
+            assert!(g.device().launch_check().is_ok(), "healed after its run");
+        }
+        // Deterministic biased batches (chains long enough to allocate).
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut schedule: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..6 {
+            let batch: Vec<Edge> = (0..16)
+                .map(|_| {
+                    let u = rng.random_range(0..3u32);
+                    let v = rng.random_range(0..N);
+                    Edge::weighted(u, v, rng.random_range(1..50u32))
+                })
+                .collect();
+            let mut outcome = g.try_insert_edges(&batch).unwrap();
+            let mut retries = 0usize;
+            while !outcome.is_complete() {
+                retries += 1;
+                assert!(retries < 100, "did not converge");
+                outcome = g.retry_suffix(&outcome).unwrap();
+            }
+            schedule.push((retries, outcome.pending.len()));
+        }
+        g.validate().expect("audit");
+        let mut state: Vec<Vec<(u32, u32)>> = (0..N).map(|v| sorted_neighbors(&g, v)).collect();
+        state.sort();
+        (schedule, g.device().injected_faults(), state)
+    };
+
+    let baseline = run(false);
+    let layered = run(true);
+    assert_eq!(
+        baseline.0, layered.0,
+        "OOM retry schedule must ignore the device-level plan"
+    );
+    assert_eq!(
+        baseline.1, layered.1,
+        "same allocations injected in both runs"
+    );
+    assert_eq!(baseline.2, layered.2, "final states identical");
+    assert!(baseline.1 > 0, "the allocation plan never fired");
+}
+
 /// Budget exhaustion during *staging* (before the kernel runs) applies
 /// nothing: the whole batch is the suffix and deletes report all vertices
 /// pending.

@@ -30,6 +30,15 @@
 //!   must come from a `DeviceGroup`: a free-standing device has its own
 //!   clock and profiler outside the group's merged trace, so its work
 //!   silently vanishes from makespans and Chrome exports.
+//! - **R6 `unretried-dispatch`** — in the same sharded code paths, a
+//!   dispatch call (`try_insert_edges` / `try_delete_edges` /
+//!   `try_insert_vertices` / `retry_suffix` / `launch_check`) whose
+//!   `BatchOutcome`/`DeviceFault` is consumed by `.unwrap()` / `.expect(`
+//!   or discarded with `let _ =` instead of routing through the retry
+//!   policy or the write-ahead journal. Panicking on a dispatch outcome
+//!   turns a recoverable per-shard fault into a fleet-wide abort, and a
+//!   discarded outcome silently drops the pending suffix the journal
+//!   would have preserved.
 //!
 //! ## Allowlist
 //!
@@ -67,7 +76,7 @@ struct Rule {
     applies_to_gpu_sim: bool,
 }
 
-const RULES: [Rule; 5] = [
+const RULES: [Rule; 6] = [
     Rule {
         id: "R1",
         name: "raw-arena-access",
@@ -99,11 +108,19 @@ const RULES: [Rule; 5] = [
             "direct Device construction in sharded code; shard devices must come from a DeviceGroup",
         applies_to_gpu_sim: false,
     },
+    Rule {
+        id: "R6",
+        name: "unretried-dispatch",
+        desc:
+            "dispatch outcome unwrapped or discarded in sharded code; route it through the retry policy or journal",
+        applies_to_gpu_sim: false,
+    },
 ];
 
-/// Is this file part of a sharded code path (where R5 applies)? The router
-/// crate and any `sharded.rs` module orchestrate device groups; everything
-/// else may build standalone devices freely.
+/// Is this file part of a sharded code path (where R5 and R6 apply)? The
+/// router crate and any `sharded.rs` module orchestrate device groups;
+/// everything else may build standalone devices freely and consume its
+/// own dispatch outcomes directly.
 fn in_sharded_scope(path: &str) -> bool {
     path.starts_with("crates/router/") || path.ends_with("/sharded.rs")
 }
@@ -227,7 +244,7 @@ fn scan_file(path: &str, text: &str, hits: &mut Vec<Hit>) {
             if in_gpu_sim && !rule.applies_to_gpu_sim {
                 continue;
             }
-            if rule.id == "R5" && !in_sharded_scope(path) {
+            if matches!(rule.id, "R5" | "R6") && !in_sharded_scope(path) {
                 continue;
             }
             // R3's name argument may sit on the next line when rustfmt
@@ -317,6 +334,24 @@ fn matches_rule(rule: &str, line: &str) -> bool {
         ]
         .iter()
         .any(|c| line.contains(c)),
+        "R6" => {
+            const DISPATCH: [&str; 5] = [
+                "try_insert_edges(",
+                "try_delete_edges(",
+                "try_insert_vertices(",
+                "retry_suffix(",
+                "launch_check(",
+            ];
+            // Declarations (`fn try_insert_edges(`) are not dispatch sites.
+            let dispatches = DISPATCH.iter().any(|d| match line.find(d) {
+                Some(pos) => !line[..pos].trim_end().ends_with("fn"),
+                None => false,
+            });
+            dispatches
+                && (line.contains(".unwrap()")
+                    || line.contains(".expect(")
+                    || line.trim_start().starts_with("let _ ="))
+        }
         _ => false,
     }
 }
@@ -464,6 +499,36 @@ mod tests {
             "let group = DeviceGroup::new(4, config);\n",
             "let cfg = DeviceConfig::new(1 << 20);\n",
             "// Device::new is forbidden here\n",
+        ] {
+            assert!(
+                hits_in("crates/router/src/lib.rs", good).is_empty(),
+                "{good}"
+            );
+        }
+    }
+
+    #[test]
+    fn unretried_dispatch_is_flagged_in_sharded_scope_only() {
+        for bad in [
+            "let o = g.try_insert_edges(&batch).expect(\"valid edge ids\");\n",
+            "let o = g.try_delete_edges(&batch).unwrap();\n",
+            "let next = g.retry_suffix(&o).expect(\"valid edge ids\");\n",
+            "let _ = dev.launch_check();\n",
+        ] {
+            let hits = hits_in("crates/router/src/lib.rs", bad);
+            assert_eq!(hits.len(), 1, "{bad}");
+            assert_eq!(hits[0].rule, "R6");
+            assert_eq!(hits_in("crates/bench/src/sharded.rs", bad).len(), 1);
+            // Outside sharded scope a caller may consume its own outcome.
+            assert!(hits_in("crates/core/src/batch.rs", bad).is_empty(), "{bad}");
+        }
+        // Routed outcomes — matched, propagated, or retried — are fine.
+        for good in [
+            "let insert = match g.try_insert_edges(ins).transpose() {\n",
+            "let mut next = g.retry_suffix(o)?;\n",
+            "match dev.launch_check() {\n",
+            "pub fn try_insert_edges(&self, edges: &[Edge]) {\n",
+            "// g.try_insert_edges(&batch).unwrap() would abort the fleet\n",
         ] {
             assert!(
                 hits_in("crates/router/src/lib.rs", good).is_empty(),
