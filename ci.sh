@@ -26,8 +26,8 @@ if [ "$mode" = "quick" ]; then
     cargo test -q --test fault_injection
     echo "== sanitizer fixture suite (debug, shadow-memory checks on) =="
     cargo test -q --features sanitize --test sanitizer
-    echo "== churn workload smoke run (debug) =="
-    cargo run -q -p bench --bin churn -- --rounds 2 --ops 512
+    echo "== churn workload smoke run (debug, incl. mixed readers-vs-writers) =="
+    cargo run -q -p bench --bin churn -- --rounds 2 --ops 512 --readers 2
     test -s BENCH_churn.json
     echo "== chaos churn smoke run (debug, seeded kill/revive) =="
     cargo run -q -p bench --bin churn -- --scale 4096 --rounds 5 --ops 256 --shards 4 --sessions 4 --seed 41 --chaos
@@ -54,8 +54,8 @@ else
     test -s target/profile/churn.trace.json
     echo "== sanitized test suite (racecheck/memcheck/initcheck on every device) =="
     cargo test --workspace --release -q --features dynamic-graphs-gpu/sanitize
-    echo "== sanitized churn smoke run (small scale: shadow tracking is ~50x) =="
-    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512
+    echo "== sanitized churn smoke run (small scale: shadow tracking is ~50x; mixed readers-vs-writers with oracle byte-equality asserted in-run) =="
+    cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --readers 4
     echo "== sanitized sharded churn smoke runs (1 and 4 shards; cross-backend hit parity asserted in-run) =="
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 1 --sessions 2
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 2 --ops 512 --shards 4 --sessions 4

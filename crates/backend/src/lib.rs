@@ -28,7 +28,43 @@
 
 use baselines::{Csr, FaimGraph, Hornet};
 use gpu_sim::Device;
-use slabgraph::{DynGraph, Edge};
+use slabgraph::{DynGraph, Edge, ReadGuard};
+
+/// An epoch pin over every allocator a backend reads from — the trait-level
+/// form of [`slabgraph::ReadGuard`]. Backends with true epoch-based
+/// reclamation (SlabGraph, sharded SlabGraph) return one guard per shard;
+/// phase-separated backends (CSR, Hornet, faimGraph) return an *empty* pin
+/// and rely on the caller keeping reads and writes in separate phases, as
+/// before. Holding a `ReadPin` across a mutation is only snapshot-safe when
+/// [`Capabilities::concurrent_reads`] is set.
+#[must_use = "queries are only snapshot-safe while the pin is held"]
+#[derive(Default)]
+pub struct ReadPin {
+    guards: Vec<ReadGuard>,
+}
+
+impl ReadPin {
+    /// The empty pin of a phase-separated backend: reads are only safe
+    /// between mutation batches, exactly as without the epoch protocol.
+    pub fn phase_fallback() -> Self {
+        ReadPin { guards: Vec::new() }
+    }
+
+    /// Wrap per-shard guards (shard order) into one trait-level pin.
+    pub fn from_guards(guards: Vec<ReadGuard>) -> Self {
+        ReadPin { guards }
+    }
+
+    /// Whether any era is actually pinned (false for phase fallback).
+    pub fn is_pinned(&self) -> bool {
+        !self.guards.is_empty()
+    }
+
+    /// The per-shard guards, in shard order (empty for phase fallback).
+    pub fn guards(&self) -> &[ReadGuard] {
+        &self.guards
+    }
+}
 
 /// Which adjacency-intersection strategy suits this backend's layout
 /// (paper §VI-C): hash tables probe (`edgeExist`), sorted arrays merge.
@@ -51,6 +87,11 @@ pub struct Capabilities {
     pub delete_edges: bool,
     /// Batched vertex deletion (with incident edges).
     pub delete_vertices: bool,
+    /// Queries may run concurrently with mutation batches when issued
+    /// under a live [`ReadPin`] (epoch-based reclamation + validated chain
+    /// walks). When `false`, [`GraphBackend::pin_read`] returns the empty
+    /// phase-fallback pin and reads must stay phase-separated.
+    pub concurrent_reads: bool,
     /// Preferred triangle-counting intersection strategy.
     pub intersection: IntersectionKind,
 }
@@ -96,6 +137,15 @@ pub trait GraphBackend {
     /// Out-degree of `u`.
     fn degree(&self, u: u32) -> u32;
 
+    /// Pin the current era for snapshot reads. Backends with
+    /// [`Capabilities::concurrent_reads`] return a live pin (one guard per
+    /// shard) under which the `*_pinned` queries tolerate concurrent
+    /// mutation; the default returns the empty phase-fallback pin, keeping
+    /// phase-separated backends conformant with zero changes.
+    fn pin_read(&self) -> ReadPin {
+        ReadPin::phase_fallback()
+    }
+
     /// Single `edgeExist` membership query.
     fn contains_edge(&self, u: u32, v: u32) -> bool;
 
@@ -107,6 +157,28 @@ pub trait GraphBackend {
             .iter()
             .map(|&(u, v)| self.contains_edge(u, v))
             .collect()
+    }
+
+    /// [`Self::contains_edge`] under an explicit [`ReadPin`]. The default
+    /// ignores the pin (phase fallback); epoch-aware backends route the
+    /// guard into their pinned query kernels.
+    fn contains_edge_pinned(&self, _pin: &ReadPin, u: u32, v: u32) -> bool {
+        self.contains_edge(u, v)
+    }
+
+    /// [`Self::edges_exist`] under an explicit [`ReadPin`].
+    fn edges_exist_pinned(&self, _pin: &ReadPin, pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.edges_exist(pairs)
+    }
+
+    /// [`Self::read_neighbors`] under an explicit [`ReadPin`].
+    fn read_neighbors_pinned(&self, _pin: &ReadPin, u: u32) -> Vec<u32> {
+        self.read_neighbors(u)
+    }
+
+    /// [`Self::for_each_neighbor`] under an explicit [`ReadPin`].
+    fn for_each_neighbor_pinned(&self, _pin: &ReadPin, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        self.for_each_neighbor(u, f)
     }
 
     /// Read `u`'s adjacency list into a fresh `Vec` (order is the
@@ -167,12 +239,17 @@ impl GraphBackend for DynGraph {
             insert_edges: true,
             delete_edges: true,
             delete_vertices: true,
+            concurrent_reads: true,
             intersection: IntersectionKind::HashProbe,
         }
     }
 
     fn device(&self) -> &Device {
         DynGraph::device(self)
+    }
+
+    fn pin_read(&self) -> ReadPin {
+        ReadPin::from_guards(vec![DynGraph::pin_read(self)])
     }
 
     fn num_vertices(&self) -> u32 {
@@ -187,20 +264,39 @@ impl GraphBackend for DynGraph {
         DynGraph::degree(self, u)
     }
 
+    // The unpinned entry points pin internally per call: each query is
+    // snapshot-consistent on its own, matching the old phase-separated
+    // contract for drivers that never hold a pin across calls.
     fn contains_edge(&self, u: u32, v: u32) -> bool {
-        self.edge_exists(u, v)
+        self.edge_exists(&DynGraph::pin_read(self), u, v)
     }
 
     fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
-        DynGraph::edges_exist(self, pairs)
+        DynGraph::edges_exist(self, &DynGraph::pin_read(self), pairs)
     }
 
     fn read_neighbors(&self, u: u32) -> Vec<u32> {
-        self.neighbor_ids(u)
+        self.neighbor_ids(&DynGraph::pin_read(self), u)
     }
 
     fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
-        DynGraph::for_each_neighbor(self, u, f)
+        DynGraph::for_each_neighbor(self, &DynGraph::pin_read(self), u, f)
+    }
+
+    fn contains_edge_pinned(&self, pin: &ReadPin, u: u32, v: u32) -> bool {
+        self.edge_exists(&pin.guards()[0], u, v)
+    }
+
+    fn edges_exist_pinned(&self, pin: &ReadPin, pairs: &[(u32, u32)]) -> Vec<bool> {
+        DynGraph::edges_exist(self, &pin.guards()[0], pairs)
+    }
+
+    fn read_neighbors_pinned(&self, pin: &ReadPin, u: u32) -> Vec<u32> {
+        self.neighbor_ids(&pin.guards()[0], u)
+    }
+
+    fn for_each_neighbor_pinned(&self, pin: &ReadPin, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        DynGraph::for_each_neighbor(self, &pin.guards()[0], u, f)
     }
 
     fn insert_edges(&mut self, edges: &[(u32, u32)]) -> u64 {
@@ -234,6 +330,7 @@ impl GraphBackend for Hornet {
             // Hornet's published update API has no vertex deletion; the
             // paper's Table IV omits it for the same reason.
             delete_vertices: false,
+            concurrent_reads: false,
             intersection: IntersectionKind::SortedMerge,
         }
     }
@@ -301,6 +398,7 @@ impl GraphBackend for FaimGraph {
             insert_edges: true,
             delete_edges: true,
             delete_vertices: true,
+            concurrent_reads: false,
             intersection: IntersectionKind::SortedMerge,
         }
     }
@@ -362,6 +460,7 @@ impl GraphBackend for Csr {
             insert_edges: false,
             delete_edges: false,
             delete_vertices: false,
+            concurrent_reads: false,
             intersection: IntersectionKind::SortedMerge,
         }
     }
@@ -484,6 +583,43 @@ mod tests {
                 IntersectionKind::SortedMerge
             };
             assert_eq!(c.intersection, expect, "{name}");
+            assert_eq!(
+                c.concurrent_reads,
+                *name == "SlabGraph",
+                "{name}: only the epoch-pinned structure serves concurrent reads"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_queries_agree_with_unpinned_on_every_backend() {
+        for b in all_backends() {
+            let name = b.name();
+            let pin = b.pin_read();
+            assert_eq!(
+                pin.is_pinned(),
+                b.caps().concurrent_reads,
+                "{name}: pin liveness must track the capability flag"
+            );
+            assert_eq!(
+                b.contains_edge_pinned(&pin, 0, 1),
+                b.contains_edge(0, 1),
+                "{name}"
+            );
+            assert_eq!(
+                b.edges_exist_pinned(&pin, &[(0, 1), (0, 3), (2, 3)]),
+                b.edges_exist(&[(0, 1), (0, 3), (2, 3)]),
+                "{name}"
+            );
+            let mut via_pin = b.read_neighbors_pinned(&pin, 2);
+            let mut direct = b.read_neighbors(2);
+            via_pin.sort_unstable();
+            direct.sort_unstable();
+            assert_eq!(via_pin, direct, "{name}");
+            let mut seen = Vec::new();
+            b.for_each_neighbor_pinned(&pin, 2, &mut |v| seen.push(v));
+            seen.sort_unstable();
+            assert_eq!(seen, direct, "{name}");
         }
     }
 

@@ -52,7 +52,7 @@ fn main() {
             }
         }
         g.check_invariants();
-        let stats = g.stats();
+        let stats = g.stats(&g.pin_read());
         (
             rate_items as f64 / rate_seconds / 1e6,
             stats.tables.slabs,

@@ -12,7 +12,7 @@
 //! ```
 
 use bench::chaos::chaos_churn;
-use bench::churn::{churn, ChurnConfig};
+use bench::churn::{churn, readers_vs_writers, ChurnConfig};
 use bench::harness::write_bench_artifact;
 use bench::sharded::sharded_scaling;
 
@@ -46,10 +46,11 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--readers" => cfg.readers = val("--readers").parse().expect("--readers: integer"),
             "--chaos" => chaos = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale --shards --sessions --skew --chaos"
+                    "unknown flag {other}; known: --dataset --rounds --ops --inserts --deletes --seed --scale --shards --sessions --skew --readers --chaos"
                 );
                 std::process::exit(2);
             }
@@ -72,6 +73,12 @@ fn main() {
     let t = churn(&cfg);
     t.emit();
 
+    // Mixed readers-vs-writers: pinned queries racing the mutation stream
+    // on one slab graph, with tail latency from the metrics registry. The
+    // oracle and sanitizer assertions run inside.
+    let rw = readers_vs_writers(&cfg);
+    rw.emit();
+
     // Scaling study: identical multi-tenant traffic at 1..=max(8, shards)
     // shards (powers of two), so the artifact always records how modeled
     // throughput scales with the shard count.
@@ -83,5 +90,9 @@ fn main() {
     let (scaling, per_shard) = sharded_scaling(&cfg, &counts);
     scaling.emit();
     per_shard.emit();
-    write_bench_artifact("BENCH_churn.json", "churn", &[&t, &scaling, &per_shard]);
+    write_bench_artifact(
+        "BENCH_churn.json",
+        "churn",
+        &[&t, &rw, &scaling, &per_shard],
+    );
 }

@@ -11,7 +11,8 @@
 //! <https://ui.perfetto.dev> (or chrome://tracing) to inspect per-kernel
 //! spans, host phases, and allocator instants on the modeled clock.
 
-use bench::churn::{build_backends, build_sharded, stream_for, ChurnConfig};
+use bench::churn::ChurnConfig;
+use bench::harness::{build_backends, build_sharded, stream_for};
 use bench::sharded::traffic_for;
 use gpu_sim::profiler::{chrome_trace_json, parse_chrome_trace, set_default_profiler};
 use gpu_sim::{CostModel, ProfilerConfig, TraceReport};

@@ -11,11 +11,10 @@
 //! is byte-identical to an unsharded replay of the same stream, that the
 //! audit passes, and that every device is sanitizer-clean.
 
-use crate::churn::{build_sharded, slab_config, ChurnConfig};
-use crate::harness::{fnum, Table};
+use crate::churn::ChurnConfig;
+use crate::harness::{build_sharded, dataset_for, fnum, slab_config, Table};
 use crate::sharded::traffic_for;
 use gpu_sim::FaultPlan;
-use graph_gen::catalog;
 use router::{BatchRouter, ReadQuality, Update};
 use slabgraph::{DynGraph, Edge};
 
@@ -68,12 +67,7 @@ enum Action {
 /// audit fails, or any device reports sanitizer findings.
 pub fn chaos_churn(cfg: &ChurnConfig) -> Table {
     let shards = cfg.shards.max(2);
-    let spec = catalog::dataset(&cfg.dataset)
-        .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
-    let ds = match cfg.scale {
-        Some(n) => spec.generate(n, cfg.seed),
-        None => spec.generate_default(cfg.seed),
-    };
+    let ds = dataset_for(cfg);
     let traffic = traffic_for(cfg, &ds, shards);
     let g = build_sharded(&ds, shards);
     let router = BatchRouter::new(&g);
@@ -210,12 +204,19 @@ pub fn chaos_churn(cfg: &ChurnConfig) -> Table {
     let sharded_digest = state_digest(
         ds.n_vertices,
         |u| g.neighbor_ids(u),
-        |u, v| g.shard(g.owner_of(u)).edge_weight(u, v).unwrap_or(0),
+        |u, v| {
+            let shard = g.shard(g.owner_of(u));
+            shard.edge_weight(&shard.pin_read(), u, v).unwrap_or(0)
+        },
     );
     let reference_digest = state_digest(
         ds.n_vertices,
-        |u| reference.neighbor_ids(u),
-        |u, v| reference.edge_weight(u, v).unwrap_or(0),
+        |u| reference.neighbor_ids(&reference.pin_read(), u),
+        |u, v| {
+            reference
+                .edge_weight(&reference.pin_read(), u, v)
+                .unwrap_or(0)
+        },
     );
     assert_eq!(
         g.num_edges(),
@@ -266,6 +267,7 @@ mod tests {
             shards: 3,
             sessions: 3,
             skew: Skew::Uniform,
+            readers: 0,
         };
         // All the correctness assertions live inside chaos_churn; the
         // table must cover every round and record at least one kill.

@@ -11,11 +11,16 @@
 
 use crate::harness::{fnum, scale_shift, Table};
 use backend::GraphBackend;
-use baselines::{Csr, FaimGraph, Hornet};
 use gpu_sim::{CostModel, DeviceGroup, TraceSnapshot};
-use graph_gen::{catalog, insert_batch};
-use router::ShardedGraph;
-use slabgraph::{Direction, DynGraph, TableKind};
+use graph_gen::insert_batch;
+
+// The workload builders moved to [`crate::harness`] (shared with the
+// profile/chaos bins); re-exported here so `bench::churn::*` callers keep
+// one canonical path.
+pub use crate::harness::{
+    build_backends, build_backends_sharded, build_sharded, build_slab, dataset_for, slab_config,
+    stream_for,
+};
 
 /// Key distribution of generated traffic — how update endpoints are drawn
 /// from the vertex space.
@@ -86,6 +91,9 @@ pub struct ChurnConfig {
     pub sessions: usize,
     /// Key distribution of the multi-tenant traffic generator (`--skew`).
     pub skew: Skew,
+    /// Concurrent pinned-reader threads racing the writer in the mixed
+    /// readers-vs-writers scenario (`--readers`).
+    pub readers: usize,
 }
 
 impl Default for ChurnConfig {
@@ -101,6 +109,7 @@ impl Default for ChurnConfig {
             shards: 1,
             sessions: 1,
             skew: Skew::Uniform,
+            readers: 2,
         }
     }
 }
@@ -125,7 +134,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// deletes and half the queries sample edges inserted in earlier rounds,
 /// so every backend sees the identical sequence regardless of its own
 /// state.
-fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
+pub(crate) fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
     let ops = cfg.ops_per_round << scale_shift();
     let n_ins = ops * cfg.insert_pct as usize / 100;
     let n_del = ops * cfg.delete_pct as usize / 100;
@@ -156,78 +165,6 @@ fn make_stream(ds: &graph_gen::Dataset, cfg: &ChurnConfig) -> Vec<Round> {
     rounds
 }
 
-/// Generate the dataset and precomputed operation stream for a config —
-/// the exact sequence [`churn`] replays, for external harnesses (the
-/// `profile` bin) that need to drive backends themselves.
-pub fn stream_for(cfg: &ChurnConfig) -> (graph_gen::Dataset, Vec<Round>) {
-    let spec = catalog::dataset(&cfg.dataset)
-        .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
-    let ds = match cfg.scale {
-        Some(n) => spec.generate(n, cfg.seed),
-        None => spec.generate_default(cfg.seed),
-    };
-    let stream = make_stream(&ds, cfg);
-    (ds, stream)
-}
-
-/// The `GraphConfig` the slab-graph contender (sharded or not) uses for a
-/// dataset, so every replay of the stream sizes the structure identically.
-pub fn slab_config(ds: &graph_gen::Dataset) -> slabgraph::GraphConfig {
-    let mut c = slabgraph::GraphConfig::directed_map(ds.n_vertices);
-    c.kind = TableKind::Map;
-    c.direction = Direction::Directed;
-    c.device_words = (ds.edges.len() * 12).max(1 << 20);
-    c.pool_slabs = (ds.edges.len() / 64).max(1 << 10);
-    c
-}
-
-/// Build the hash-partitioned contender: `n_shards` slab graphs over a
-/// device group, bulk-loaded with the dataset (cut edges replicated).
-pub fn build_sharded(ds: &graph_gen::Dataset, n_shards: usize) -> ShardedGraph {
-    ShardedGraph::bulk_build(
-        n_shards,
-        slab_config(ds),
-        &graph_gen::weighted(&ds.edges, 99)
-            .into_iter()
-            .map(slabgraph::Edge::from)
-            .collect::<Vec<_>>(),
-    )
-}
-
-/// Construct the registered backend set for a dataset, identically to
-/// [`churn`] — one instance per structure, sized for the dataset. The
-/// `profile` bin uses this so its timelines cover the same builds.
-/// `shards >= 1` appends the `ShardedSlabGraph` contender at that shard
-/// count (0 omits it, preserving the pre-sharding set).
-pub fn build_backends_sharded(
-    ds: &graph_gen::Dataset,
-    shards: usize,
-) -> Vec<Box<dyn GraphBackend>> {
-    let dw = (ds.edges.len() * 8).max(1 << 20);
-    let mut backends: Vec<Box<dyn GraphBackend>> = vec![
-        Box::new(Hornet::bulk_build(ds.n_vertices, &ds.edges, dw)),
-        Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, dw)),
-        Box::new(DynGraph::bulk_build(
-            slab_config(ds),
-            &graph_gen::weighted(&ds.edges, 99)
-                .into_iter()
-                .map(slabgraph::Edge::from)
-                .collect::<Vec<_>>(),
-        )),
-        Box::new(Csr::build(ds.n_vertices, &ds.edges, dw)),
-    ];
-    if shards >= 1 {
-        backends.push(Box::new(build_sharded(ds, shards)));
-    }
-    backends
-}
-
-/// The pre-sharding backend set (no `ShardedSlabGraph`), kept for callers
-/// that want exactly one device per backend.
-pub fn build_backends(ds: &graph_gen::Dataset) -> Vec<Box<dyn GraphBackend>> {
-    build_backends_sharded(ds, 0)
-}
-
 /// Modeled makespan of work done since `before` across all of a backend's
 /// devices: shards execute concurrently, so the modeled cost of a step is
 /// the *maximum* per-device delta, not the sum. For single-device backends
@@ -255,6 +192,7 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         "Churn stream: mixed insert/delete/query throughput per structure",
         &[
             "structure",
+            "shards",
             "inserts MEdge/s",
             "deletes MEdge/s",
             "queries Mq/s",
@@ -276,6 +214,9 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
             continue;
         }
         let name = g.name();
+        // Each row carries its own device/shard count: one for the classic
+        // single-device structures, N for `ShardedSlabGraph`.
+        let n_shards = g.devices().len();
         let trace0 = trace_all(&*g);
         let (mut ins_s, mut del_s, mut qry_s) = (0.0f64, 0.0f64, 0.0f64);
         let (mut n_ins, mut n_del, mut n_qry, mut hits) = (0u64, 0u64, 0u64, 0u64);
@@ -333,6 +274,7 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         };
         t.row(vec![
             name.into(),
+            n_shards.to_string(),
             fnum(rate(n_ins, ins_s)),
             fnum(rate(n_del, del_s)),
             fnum(rate(n_qry, qry_s)),
@@ -355,10 +297,9 @@ pub fn churn(cfg: &ChurnConfig) -> Table {
         100 - cfg.insert_pct - cfg.delete_pct,
         cfg.seed
     ));
-    t.note(format!(
-        "ShardedSlabGraph runs {} shard(s); modeled time per step is the max over shard devices (concurrent dispatch)",
-        cfg.shards.max(1)
-    ));
+    t.note(
+        "modeled time per step is the max over each row's devices (shards dispatch concurrently)",
+    );
     t
 }
 
@@ -367,9 +308,204 @@ pub fn churn_default() -> Table {
     churn(&ChurnConfig::default())
 }
 
+/// Mixed readers-vs-writers scenario: `cfg.readers` threads issue pinned
+/// membership probes against one `DynGraph` while the main thread lands
+/// the churn stream's insert/delete batches concurrently. Per-probe host
+/// wall-clock latency flows through the device metrics registry
+/// (`query.latency_us`), and the table reports the bucketed p50/p95/p99
+/// tail alongside the pin high-water mark.
+///
+/// Probes draw from a *stable* universe — edges present from the initial
+/// build that no round deletes, and pairs no round ever inserts — so every
+/// result is independent of where the writer happens to be. That makes the
+/// correctness bar exact: the collected result vectors must be
+/// byte-identical to a phase-separated oracle that first lands the whole
+/// stream, then replays the identical probe sequences quiescently. The run
+/// must also finish sanitizer-clean on both devices (under
+/// `--features sanitize` the shadow checker watches every slab word the
+/// pinned walks touch while the writer publishes and retires slabs).
+pub fn readers_vs_writers(cfg: &ChurnConfig) -> Table {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    let readers = cfg.readers.max(1);
+    let (ds, stream) = stream_for(cfg);
+
+    // Stable probe universe: membership the stream never disturbs.
+    let deleted: HashSet<(u32, u32)> = stream.iter().flat_map(|r| r.del.iter().copied()).collect();
+    let ever_inserted: HashSet<(u32, u32)> = ds
+        .edges
+        .iter()
+        .copied()
+        .chain(stream.iter().flat_map(|r| r.ins.iter().copied()))
+        .collect();
+    let present: Vec<(u32, u32)> = ds
+        .edges
+        .iter()
+        .copied()
+        .filter(|e| !deleted.contains(e))
+        .take(1024)
+        .collect();
+    let absent: Vec<(u32, u32)> = insert_batch(ds.n_vertices, 4096, cfg.seed ^ 0x5eed)
+        .into_iter()
+        .filter(|p| !ever_inserted.contains(p) && p.0 != p.1)
+        .take(1024)
+        .collect();
+    assert!(
+        !present.is_empty() && !absent.is_empty(),
+        "stable probe pools must be non-empty (dataset too small or stream deletes everything)"
+    );
+
+    // The scenario needs the metrics registry, which rides on the device
+    // profiler; attach one for the graphs built here without disturbing
+    // the process default the other runners see.
+    let prev = gpu_sim::profiler::default_profiler();
+    gpu_sim::profiler::set_default_profiler(Some(gpu_sim::ProfilerConfig::default()));
+    let g = build_slab(&ds);
+    gpu_sim::profiler::set_default_profiler(prev);
+    let prof = g
+        .device()
+        .profiler()
+        .expect("profiler attached at build")
+        .clone();
+
+    // Each reader's probe sequence is a pure function of (seed, reader
+    // index), so the oracle can replay it exactly. Readers re-pin every
+    // PIN_BATCH probes: eras advance under them, which is what forces the
+    // allocator's coverage rule (no recycle while a reader era is pinned)
+    // to actually carry the run.
+    const PIN_BATCH: usize = 64;
+    // Mutations go through the same pair→Edge conversion the backend
+    // trait applies, so graph and oracle land byte-identical batches.
+    let to_edges = |pairs: &[(u32, u32)]| -> Vec<slabgraph::Edge> {
+        pairs.iter().map(|&p| slabgraph::Edge::from(p)).collect()
+    };
+    let probe_at = |rng: &mut u64| -> (u32, u32) {
+        let x = splitmix64(rng);
+        if x & 1 == 0 {
+            present[(x >> 1) as usize % present.len()]
+        } else {
+            absent[(x >> 1) as usize % absent.len()]
+        }
+    };
+    let quota = cfg.ops_per_round << scale_shift();
+    let stop = AtomicBool::new(false);
+    let observed: Vec<Vec<bool>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers as u64)
+            .map(|r| {
+                let (g, stop, prof) = (&g, &stop, &prof);
+                let probe_at = &probe_at;
+                s.spawn(move || {
+                    let hist = prof.metrics().histogram("query.latency_us");
+                    let mut rng = cfg.seed ^ (0x9e3779b9 + r);
+                    let mut out = Vec::with_capacity(quota);
+                    // Run at least the quota, and keep the pressure on
+                    // until the writer has landed its final batch.
+                    while out.len() < quota || !stop.load(Ordering::Acquire) {
+                        let pin = g.pin_read();
+                        for _ in 0..PIN_BATCH {
+                            let (u, v) = probe_at(&mut rng);
+                            let t0 = Instant::now();
+                            let hit = g.edge_exists(&pin, u, v);
+                            hist.record(t0.elapsed().as_micros() as u64);
+                            out.push(hit);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        // The writer: the stream's mutation batches, back to back, racing
+        // the pinned readers the whole way.
+        for round in &stream {
+            g.insert_edges(&to_edges(&round.ins));
+            g.delete_edges(&to_edges(&round.del));
+        }
+        stop.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Phase-separated oracle: identical build, whole stream landed with no
+    // reader in flight, then the identical probe sequences replayed
+    // against the quiescent graph.
+    let prev = gpu_sim::profiler::default_profiler();
+    gpu_sim::profiler::set_default_profiler(None);
+    let oracle = build_slab(&ds);
+    gpu_sim::profiler::set_default_profiler(prev);
+    for round in &stream {
+        oracle.insert_edges(&to_edges(&round.ins));
+        oracle.delete_edges(&to_edges(&round.del));
+    }
+    let pin = oracle.pin_read();
+    for (r, obs) in observed.iter().enumerate() {
+        let mut rng = cfg.seed ^ (0x9e3779b9 + r as u64);
+        let expect: Vec<bool> = (0..obs.len())
+            .map(|_| {
+                let (u, v) = probe_at(&mut rng);
+                oracle.edge_exists(&pin, u, v)
+            })
+            .collect();
+        assert_eq!(
+            obs, &expect,
+            "reader {r}: concurrent results must be byte-identical to the phase-separated oracle"
+        );
+    }
+    for dev in [g.device(), oracle.device()] {
+        let findings = dev.sanitizer_findings();
+        assert!(
+            findings.is_empty(),
+            "readers-vs-writers must be sanitizer-clean, got {findings:?}"
+        );
+    }
+
+    let snap = prof.metrics().histogram("query.latency_us").snapshot();
+    let n_queries: usize = observed.iter().map(Vec::len).sum();
+    assert_eq!(
+        snap.count as usize, n_queries,
+        "every probe must land one latency observation"
+    );
+    let mut t = Table::new(
+        "readers_vs_writers",
+        "Mixed readers vs writers: pinned query latency under concurrent mutation",
+        &[
+            "readers",
+            "queries",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "max us",
+            "mean us",
+            "writer batches",
+        ],
+    );
+    t.row(vec![
+        readers.to_string(),
+        snap.count.to_string(),
+        snap.quantile(0.50).to_string(),
+        snap.quantile(0.95).to_string(),
+        snap.quantile(0.99).to_string(),
+        snap.max.to_string(),
+        fnum(snap.sum as f64 / snap.count.max(1) as f64),
+        (stream.len() * 2).to_string(),
+    ]);
+    t.note(format!(
+        "{} reader thread(s) re-pin every {PIN_BATCH} probes while the writer lands {} insert/delete batches; \
+         latency is host wall-clock per pinned membership probe (log2-bucketed, quantiles are bucket floors)",
+        readers,
+        stream.len() * 2
+    ));
+    t.note(
+        "probes target stream-invariant membership; results asserted byte-identical to a \
+         phase-separated oracle replay, both devices asserted sanitizer-clean",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graph_gen::catalog;
 
     #[test]
     fn stream_is_deterministic_and_sized() {
@@ -395,6 +531,31 @@ mod tests {
             assert_eq!(ra.del.len(), 30);
             assert_eq!(ra.qry.len(), 30);
         }
+    }
+
+    #[test]
+    fn readers_vs_writers_smoke() {
+        let cfg = ChurnConfig {
+            dataset: "luxembourg_osm".into(),
+            rounds: 3,
+            ops_per_round: 256,
+            insert_pct: 50,
+            delete_pct: 25,
+            seed: 17,
+            scale: Some(512),
+            readers: 3,
+            ..ChurnConfig::default()
+        };
+        // The oracle byte-equality and sanitizer assertions live inside;
+        // the table must report one row with every probe counted.
+        let t = readers_vs_writers(&cfg);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "3");
+        let queries: usize = t.rows[0][1].parse().unwrap();
+        assert!(
+            queries >= 3 * 256,
+            "each reader must at least exhaust its probe quota, got {queries}"
+        );
     }
 
     #[test]

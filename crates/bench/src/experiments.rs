@@ -610,7 +610,7 @@ pub fn fig2_load_factor() -> Table {
             let m = measure(g.device(), || {
                 g.insert_edges(&edges);
             });
-            let stats = g.stats();
+            let stats = g.stats(&g.pin_read());
             t.row(vec![
                 avg_deg.to_string(),
                 fnum(lf),
@@ -665,7 +665,7 @@ pub fn fig3_tc_load_factor() -> Table {
             cfg.kind = TableKind::Set;
             let g = DynGraph::with_degree_hints(cfg, &degrees);
             g.insert_edges(&edges);
-            let stats = g.stats();
+            let stats = g.stats(&g.pin_read());
             let mut tri = 0;
             let m = measure(g.device(), || {
                 tri = tc(&g);

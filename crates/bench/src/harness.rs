@@ -1,6 +1,18 @@
-//! Shared measurement and reporting utilities.
+//! Shared measurement, reporting, and workload-construction utilities.
+//!
+//! The workload builders ([`dataset_for`], [`stream_for`], [`slab_config`],
+//! [`build_sharded`], [`build_backends_sharded`]) live here — one
+//! definition shared by the churn runner and the `profile`, `chaos`, and
+//! scaling harnesses, so every replay of a stream builds byte-identical
+//! structures.
 
+use crate::churn::{ChurnConfig, Round};
+use backend::GraphBackend;
+use baselines::{Csr, FaimGraph, Hornet};
 use gpu_sim::{CostModel, CounterSnapshot, Device, Json, TraceReport, TraceSnapshot};
+use graph_gen::catalog;
+use router::ShardedGraph;
+use slabgraph::{Direction, DynGraph, TableKind};
 use std::time::Instant;
 
 /// One measured phase: host wall-clock plus modeled GPU time derived from
@@ -257,6 +269,98 @@ pub fn write_bench_artifact(path: &str, workload: &str, tables: &[&Table]) {
     } else {
         eprintln!("bench artifact written to {path}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders: one definition for every harness that replays a
+// churn-family stream (the churn runner, the profile/chaos bins, the
+// sharded scaling study).
+// ---------------------------------------------------------------------------
+
+/// Generate the dataset a churn-family config names, honouring the
+/// `--scale` override.
+pub fn dataset_for(cfg: &ChurnConfig) -> graph_gen::Dataset {
+    let spec = catalog::dataset(&cfg.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
+    match cfg.scale {
+        Some(n) => spec.generate(n, cfg.seed),
+        None => spec.generate_default(cfg.seed),
+    }
+}
+
+/// Generate the dataset and precomputed operation stream for a config —
+/// the exact sequence [`crate::churn::churn`] replays, for external
+/// harnesses (the `profile` bin) that need to drive backends themselves.
+pub fn stream_for(cfg: &ChurnConfig) -> (graph_gen::Dataset, Vec<Round>) {
+    let ds = dataset_for(cfg);
+    let stream = crate::churn::make_stream(&ds, cfg);
+    (ds, stream)
+}
+
+/// The `GraphConfig` the slab-graph contender (sharded or not) uses for a
+/// dataset, so every replay of the stream sizes the structure identically.
+pub fn slab_config(ds: &graph_gen::Dataset) -> slabgraph::GraphConfig {
+    let mut c = slabgraph::GraphConfig::directed_map(ds.n_vertices);
+    c.kind = TableKind::Map;
+    c.direction = Direction::Directed;
+    c.device_words = (ds.edges.len() * 12).max(1 << 20);
+    c.pool_slabs = (ds.edges.len() / 64).max(1 << 10);
+    c
+}
+
+/// Build the single-device slab-graph contender, bulk-loaded identically
+/// to how [`build_backends_sharded`] registers it. The readers-vs-writers
+/// scenario builds its graph (and its phase-separated oracle) through this
+/// so both see byte-identical initial state.
+pub fn build_slab(ds: &graph_gen::Dataset) -> DynGraph {
+    DynGraph::bulk_build(
+        slab_config(ds),
+        &graph_gen::weighted(&ds.edges, 99)
+            .into_iter()
+            .map(slabgraph::Edge::from)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Build the hash-partitioned contender: `n_shards` slab graphs over a
+/// device group, bulk-loaded with the dataset (cut edges replicated).
+pub fn build_sharded(ds: &graph_gen::Dataset, n_shards: usize) -> ShardedGraph {
+    ShardedGraph::bulk_build(
+        n_shards,
+        slab_config(ds),
+        &graph_gen::weighted(&ds.edges, 99)
+            .into_iter()
+            .map(slabgraph::Edge::from)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Construct the registered backend set for a dataset, identically to
+/// [`crate::churn::churn`] — one instance per structure, sized for the
+/// dataset. The `profile` bin uses this so its timelines cover the same
+/// builds. `shards >= 1` appends the `ShardedSlabGraph` contender at that
+/// shard count (0 omits it, preserving the pre-sharding set).
+pub fn build_backends_sharded(
+    ds: &graph_gen::Dataset,
+    shards: usize,
+) -> Vec<Box<dyn GraphBackend>> {
+    let dw = (ds.edges.len() * 8).max(1 << 20);
+    let mut backends: Vec<Box<dyn GraphBackend>> = vec![
+        Box::new(Hornet::bulk_build(ds.n_vertices, &ds.edges, dw)),
+        Box::new(FaimGraph::build(ds.n_vertices, &ds.edges, dw)),
+        Box::new(build_slab(ds)),
+        Box::new(Csr::build(ds.n_vertices, &ds.edges, dw)),
+    ];
+    if shards >= 1 {
+        backends.push(Box::new(build_sharded(ds, shards)));
+    }
+    backends
+}
+
+/// The pre-sharding backend set (no `ShardedSlabGraph`), kept for callers
+/// that want exactly one device per backend.
+pub fn build_backends(ds: &graph_gen::Dataset) -> Vec<Box<dyn GraphBackend>> {
+    build_backends_sharded(ds, 0)
 }
 
 /// Format a float with sensible precision for table cells.

@@ -10,10 +10,9 @@
 //! uniform traffic spreads, [`Skew::Adversarial`] traffic funnels every
 //! primary copy through shard 0 and the makespan degrades accordingly.
 
-use crate::churn::{build_sharded, ChurnConfig, Skew};
-use crate::harness::{fnum, scale_shift, Table};
+use crate::churn::{ChurnConfig, Skew};
+use crate::harness::{build_sharded, dataset_for, fnum, scale_shift, Table};
 use gpu_sim::{CostModel, CounterSnapshot};
-use graph_gen::catalog;
 use router::{shard_of, BatchRouter, Update};
 use slabgraph::Edge;
 
@@ -184,12 +183,7 @@ fn replay_at(cfg: &ChurnConfig, ds: &graph_gen::Dataset, shards: usize) -> Scale
 /// the modeled-throughput scaling, plus a per-shard load table. Returns
 /// `(scaling, per_shard)`.
 pub fn sharded_scaling(cfg: &ChurnConfig, shard_counts: &[usize]) -> (Table, Table) {
-    let spec = catalog::dataset(&cfg.dataset)
-        .unwrap_or_else(|| panic!("unknown dataset {:?}", cfg.dataset));
-    let ds = match cfg.scale {
-        Some(n) => spec.generate(n, cfg.seed),
-        None => spec.generate_default(cfg.seed),
-    };
+    let ds = dataset_for(cfg);
 
     let mut scaling = Table::new(
         "churn_sharded",
@@ -281,6 +275,7 @@ pub fn sharded_scaling(cfg: &ChurnConfig, shard_counts: &[usize]) -> (Table, Tab
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graph_gen::catalog;
 
     fn small_cfg() -> ChurnConfig {
         ChurnConfig {
@@ -294,6 +289,7 @@ mod tests {
             shards: 2,
             sessions: 3,
             skew: Skew::Uniform,
+            readers: 0,
         }
     }
 

@@ -249,6 +249,11 @@ impl DynGraph {
                 pending = pending.zip_with(&same_src, |p, s| p && !s);
             }
         });
+        // Batch boundary: publish this batch's frees (the release edge of
+        // the epoch protocol). Readers pinning after this point do not
+        // cover slabs the batch quarantined, so those slabs become
+        // reclaimable as soon as all older pins drop.
+        self.dev.advance_era();
 
         // An edge is complete only when every direction-mirrored copy was
         // applied; half-applied undirected edges go back in the suffix
@@ -293,7 +298,7 @@ mod tests {
         assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 5)]), 1);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.num_edges(), 1);
-        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(&g.pin_read(), 0, 1), Some(5));
     }
 
     #[test]
@@ -317,7 +322,7 @@ mod tests {
         // The surviving weight is one of the batch's weights (the batch is
         // unordered on a GPU; with the sequential executor it is the last
         // group member processed).
-        let w = g.edge_weight(0, 1).unwrap();
+        let w = g.edge_weight(&g.pin_read(), 0, 1).unwrap();
         assert!((1..=3).contains(&w));
     }
 
@@ -328,7 +333,11 @@ mod tests {
         let added = g.insert_edges(&[Edge::weighted(1, 2, 99)]);
         assert_eq!(added, 0, "replacement is not a new edge");
         assert_eq!(g.degree(1), 1);
-        assert_eq!(g.edge_weight(1, 2), Some(99), "most recent weight kept");
+        assert_eq!(
+            g.edge_weight(&g.pin_read(), 1, 2),
+            Some(99),
+            "most recent weight kept"
+        );
     }
 
     #[test]
@@ -370,8 +379,8 @@ mod tests {
         let removed = g.delete_edges(&[Edge::new(0, 2)]);
         assert_eq!(removed, 1);
         assert_eq!(g.degree(0), 2);
-        assert!(!g.edge_exists(0, 2));
-        assert!(g.edge_exists(0, 1));
+        assert!(!g.edge_exists(&g.pin_read(), 0, 2));
+        assert!(g.edge_exists(&g.pin_read(), 0, 1));
     }
 
     #[test]
@@ -399,8 +408,8 @@ mod tests {
         assert_eq!(added, 2, "both half-edges new");
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(1), 1);
-        assert!(g.edge_exists(0, 1));
-        assert!(g.edge_exists(1, 0));
+        assert!(g.edge_exists(&g.pin_read(), 0, 1));
+        assert!(g.edge_exists(&g.pin_read(), 1, 0));
         let removed = g.delete_edges(&[Edge::new(1, 0)]);
         assert_eq!(removed, 2, "undirected delete removes both half-edges");
         assert_eq!(g.num_edges(), 0);
@@ -411,7 +420,7 @@ mod tests {
         let g = DynGraph::with_uniform_buckets(GraphConfig::directed_set(4), 4, 1);
         assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 42)]), 1);
         assert_eq!(g.insert_edges(&[Edge::weighted(0, 1, 43)]), 0);
-        assert!(g.edge_exists(0, 1));
+        assert!(g.edge_exists(&g.pin_read(), 0, 1));
         assert_eq!(g.degree(0), 1);
     }
 
@@ -423,7 +432,7 @@ mod tests {
         let added = g.insert_edges(&[Edge::weighted(0, 1, 2)]);
         assert_eq!(added, 1, "tombstoned key reinserted as new");
         assert_eq!(g.degree(0), 1);
-        assert_eq!(g.edge_weight(0, 1), Some(2));
+        assert_eq!(g.edge_weight(&g.pin_read(), 0, 1), Some(2));
     }
 
     #[test]
@@ -435,7 +444,7 @@ mod tests {
         g.insert_edges(&[Edge::new(0, 1)]);
         let t = g.dict().desc_host(g.device(), 0).unwrap();
         assert_eq!(t.num_buckets, 1);
-        assert!(g.edge_exists(0, 1));
+        assert!(g.edge_exists(&g.pin_read(), 0, 1));
     }
 
     #[test]
@@ -451,8 +460,9 @@ mod tests {
         let batch: Vec<Edge> = (1..1000).map(|v| Edge::weighted(0, v, v)).collect();
         g.insert_edges(&batch);
         assert_eq!(g.degree(0), 999);
+        let pin = g.pin_read();
         for v in (1..1000).step_by(97) {
-            assert_eq!(g.edge_weight(0, v), Some(v), "dst {v}");
+            assert_eq!(g.edge_weight(&pin, 0, v), Some(v), "dst {v}");
         }
         assert!(g.allocator().live_slabs() >= 60, "chained many slabs");
     }

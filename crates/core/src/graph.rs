@@ -4,7 +4,7 @@ use crate::batch::GraphError;
 use crate::config::{Direction, GraphConfig};
 use crate::dict::VertexDict;
 use gpu_sim::{Addr, Device, DeviceConfig, ExecPolicy, OomError, Warp, SLAB_WORDS};
-use slab_alloc::{AllocError, SlabAllocator};
+use slab_alloc::{AllocError, ReadGuard, SlabAllocator};
 use slab_hash::{buckets_for, TableDesc, EMPTY_KEY, MAX_KEY};
 
 /// A weighted directed edge ⟨src, dst, weight⟩. For set-kind graphs the
@@ -215,6 +215,17 @@ impl DynGraph {
     /// The dynamic slab allocator backing collision slabs.
     pub fn allocator(&self) -> &SlabAllocator {
         &self.alloc
+    }
+
+    /// Pin the current era for snapshot reads. Every query method takes
+    /// the returned [`ReadGuard`]; while it lives, no slab freed at or
+    /// after the pinned era is recycled, so queries observe a consistent
+    /// snapshot even while insert/delete batches land concurrently
+    /// (paper-adjacent: the epoch discipline of Peri et al.'s concurrent
+    /// graph, layered over the quarantine ring). Drop the guard promptly —
+    /// a long-lived pin delays slab reclamation.
+    pub fn pin_read(&self) -> ReadGuard {
+        self.alloc.pin(&self.dev)
     }
 
     /// The vertex dictionary.

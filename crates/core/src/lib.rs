@@ -35,6 +35,11 @@
 //!
 //! ## Quickstart
 //!
+//! Queries run under an epoch-pinned [`ReadGuard`] (from
+//! [`DynGraph::pin_read`]): while a guard is held, the slab allocator
+//! recycles no slab freed at or after the pinned era, so reads stay
+//! snapshot-consistent even while update batches land concurrently.
+//!
 //! ```
 //! use slabgraph::{DynGraph, Edge, GraphConfig};
 //!
@@ -45,12 +50,14 @@
 //!     Edge::weighted(0, 2, 20),
 //!     Edge::weighted(1, 2, 30),
 //! ]);
-//! assert!(g.edge_exists(0, 1));
-//! assert_eq!(g.edge_weight(1, 2), Some(30));
+//! let pin = g.pin_read();
+//! assert!(g.edge_exists(&pin, 0, 1));
+//! assert_eq!(g.edge_weight(&pin, 1, 2), Some(30));
 //! assert_eq!(g.num_edges(), 3);
 //!
 //! g.delete_edges(&[Edge::new(0, 1)]);
-//! assert!(!g.edge_exists(0, 1));
+//! // The guard pins *reclamation*, not the data: reads see current state.
+//! assert!(!g.edge_exists(&pin, 0, 1));
 //! ```
 
 mod batch;
@@ -74,5 +81,5 @@ pub use stats::{GraphStats, ValidationError};
 pub use gpu_sim::{
     CostModel, CounterSnapshot, Device, DeviceConfig, ExecPolicy, FaultPlan, OomError,
 };
-pub use slab_alloc::AllocError;
+pub use slab_alloc::{AllocError, PinRegistry, ReadGuard};
 pub use slab_hash::{TableKind, TableStats};

@@ -39,6 +39,8 @@ impl DynGraph {
                 self.reinsert(warp, &desc, &entries);
             }
         });
+        // Batch boundary (epoch release edge) for the flushed chains.
+        self.dev.advance_era();
         removed.into_inner()
     }
 
@@ -87,6 +89,8 @@ impl DynGraph {
                     .store(self.dict.count_addr(v), entries.len() as u32);
             }
         });
+        // Batch boundary (epoch release edge) for the abandoned chains.
+        self.dev.advance_era();
         rehashed.into_inner()
     }
 
@@ -140,11 +144,11 @@ mod tests {
     #[test]
     fn flush_removes_all_tombstones_and_preserves_graph() {
         let g = churned_graph();
-        let before_stats = g.stats();
+        let before_stats = g.stats(&g.pin_read());
         assert!(before_stats.tables.tombstones > 0, "fixture has tombstones");
         let snapshot: Vec<Vec<(u32, u32)>> = (0..64)
             .map(|v| {
-                let mut n = g.neighbors(v);
+                let mut n = g.neighbors(&g.pin_read(), v);
                 n.sort_unstable();
                 n
             })
@@ -152,7 +156,7 @@ mod tests {
 
         let removed = g.flush_tombstones();
         assert_eq!(removed, before_stats.tables.tombstones);
-        let after = g.stats();
+        let after = g.stats(&g.pin_read());
         assert_eq!(after.tables.tombstones, 0);
         assert_eq!(after.tables.live_keys, before_stats.tables.live_keys);
         assert!(
@@ -161,7 +165,7 @@ mod tests {
         );
 
         for v in 0..64 {
-            let mut n = g.neighbors(v);
+            let mut n = g.neighbors(&g.pin_read(), v);
             n.sort_unstable();
             assert_eq!(n, snapshot[v as usize], "vertex {v} changed");
         }
@@ -177,11 +181,11 @@ mod tests {
             .map(|i| Edge::weighted(0, 1 + i % 15, i))
             .collect();
         g.insert_edges(&ins);
-        let before = g.stats();
+        let before = g.stats(&g.pin_read());
         let chain_before = before.tables.max_chain;
         assert!(chain_before >= 1);
         let snapshot = {
-            let mut n = g.neighbors(0);
+            let mut n = g.neighbors(&g.pin_read(), 0);
             n.sort_unstable();
             n
         };
@@ -192,16 +196,16 @@ mod tests {
             .map(|i| Edge::weighted(0, 100 + i % 200, i))
             .collect();
         g.insert_edges(&more);
-        let loaded = g.stats();
+        let loaded = g.stats(&g.pin_read());
         assert!(loaded.tables.max_chain > 2, "chain built up");
 
         let rehashed = g.rehash_overloaded(2.0);
         assert!(rehashed >= 1, "vertex 0 rehashed");
-        let after = g.stats();
+        let after = g.stats(&g.pin_read());
         assert!(after.tables.max_chain <= loaded.tables.max_chain);
         assert!(after.avg_chain() < loaded.avg_chain());
 
-        let mut n0 = g.neighbors(0);
+        let mut n0 = g.neighbors(&g.pin_read(), 0);
         n0.sort_unstable();
         let mut expect: Vec<(u32, u32)> = snapshot;
         for e in &more {
@@ -238,7 +242,7 @@ mod tests {
                 g.delete_edges(&del);
             }
             g.check_invariants();
-            g.stats().tables.slabs
+            g.stats(&g.pin_read()).tables.slabs
         };
         let standard = run(false);
         let recycling = run(true);

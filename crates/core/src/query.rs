@@ -1,23 +1,41 @@
 //! Query operations (paper §IV-B): `edgeExist`, weight lookup, and the
 //! adjacency-list iterator.
 //!
-//! Queries are phase-concurrent with respect to updates: they run in their
-//! own kernels. Batched queries use the same WCWS grouping as Algorithm 1
-//! so that lookups hitting the same source vertex are coalesced.
+//! Every query takes a [`ReadGuard`] pinned via [`DynGraph::pin_read`]:
+//! queries no longer require phase separation from updates. The guard pins
+//! the launch era so the slab allocator cannot recycle any slab freed at
+//! or after the pin, and the slab-hash walks validate next-pointers as
+//! they hop, so a query running concurrently with an insert/delete batch
+//! observes a consistent snapshot. Batched queries use the same WCWS
+//! grouping as Algorithm 1 so lookups hitting the same source vertex are
+//! coalesced.
 
 use crate::graph::{iter_bits, DynGraph};
 use gpu_sim::{Lanes, WARP_SIZE};
+use slab_alloc::ReadGuard;
 use slab_hash::TableKind;
 
 impl DynGraph {
+    /// Assert the guard pins *this* graph's allocator — a guard from a
+    /// different graph would not block reclamation here, silently turning
+    /// "snapshot read" into "use-after-free roulette".
+    #[inline]
+    pub(crate) fn check_pin(&self, pin: &ReadGuard) {
+        debug_assert!(
+            self.alloc.owns_guard(pin),
+            "ReadGuard pinned against a different graph's allocator"
+        );
+    }
+
     /// Single edge-existence query (`edgeExist`, §IV-B). Runs a one-warp
     /// kernel; prefer [`Self::edges_exist`] for batches.
-    pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
-        self.edges_exist(&[(src, dst)])[0]
+    pub fn edge_exists(&self, pin: &ReadGuard, src: u32, dst: u32) -> bool {
+        self.edges_exist(pin, &[(src, dst)])[0]
     }
 
     /// Single edge-weight lookup (map graphs).
-    pub fn edge_weight(&self, src: u32, dst: u32) -> Option<u32> {
+    pub fn edge_weight(&self, pin: &ReadGuard, src: u32, dst: u32) -> Option<u32> {
+        self.check_pin(pin);
         assert_eq!(
             self.config.kind,
             TableKind::Map,
@@ -33,7 +51,8 @@ impl DynGraph {
 
     /// Batched edge-existence queries: one lane per ⟨src,dst⟩ pair, grouped
     /// by source exactly like Algorithm 1's insertion work queue.
-    pub fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+    pub fn edges_exist(&self, pin: &ReadGuard, pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.check_pin(pin);
         if pairs.is_empty() {
             return vec![];
         }
@@ -80,7 +99,8 @@ impl DynGraph {
     /// Retrieve vertex `u`'s adjacency list as ⟨dst, weight⟩ pairs (weight
     /// is 0 for set graphs). Uses the slab iterator (§IV-B); order is the
     /// table's internal order, not sorted.
-    pub fn neighbors(&self, u: u32) -> Vec<(u32, u32)> {
+    pub fn neighbors(&self, pin: &ReadGuard, u: u32) -> Vec<(u32, u32)> {
+        self.check_pin(pin);
         let Some(desc) = self.dict.desc_host(&self.dev, u) else {
             return vec![];
         };
@@ -97,15 +117,16 @@ impl DynGraph {
     }
 
     /// Destination-only adjacency list.
-    pub fn neighbor_ids(&self, u: u32) -> Vec<u32> {
-        self.neighbors(u).into_iter().map(|(d, _)| d).collect()
+    pub fn neighbor_ids(&self, pin: &ReadGuard, u: u32) -> Vec<u32> {
+        self.neighbors(pin, u).into_iter().map(|(d, _)| d).collect()
     }
 
     /// Allocation-free adjacency iteration: invoke `f` with every neighbour
     /// id of `u`, walking the slab list in table order. Charges exactly the
     /// same `neighbors` kernel work as [`Self::neighbors`] without building
     /// the intermediate `Vec` — the hot path for traversal algorithms.
-    pub fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+    pub fn for_each_neighbor(&self, pin: &ReadGuard, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
+        self.check_pin(pin);
         let Some(desc) = self.dict.desc_host(&self.dev, u) else {
             return;
         };
@@ -136,15 +157,17 @@ mod tests {
     fn edges_exist_batch_mixed() {
         let g = graph_with_star();
         g.insert_edges(&[Edge::new(5, 6)]);
-        let res = g.edges_exist(&[(0, 1), (0, 39), (0, 40), (5, 6), (6, 5), (63, 0)]);
+        let pin = g.pin_read();
+        let res = g.edges_exist(&pin, &[(0, 1), (0, 39), (0, 40), (5, 6), (6, 5), (63, 0)]);
         assert_eq!(res, vec![true, true, false, true, false, false]);
     }
 
     #[test]
     fn edges_exist_large_batch() {
         let g = graph_with_star();
+        let pin = g.pin_read();
         let pairs: Vec<(u32, u32)> = (0..200).map(|i| (0, i % 64)).collect();
-        let res = g.edges_exist(&pairs);
+        let res = g.edges_exist(&pin, &pairs);
         for (i, &(_, d)) in pairs.iter().enumerate() {
             assert_eq!(res[i], (1..40).contains(&d), "pair {i} dst {d}");
         }
@@ -153,7 +176,8 @@ mod tests {
     #[test]
     fn neighbors_returns_all_pairs() {
         let g = graph_with_star();
-        let mut n = g.neighbors(0);
+        let pin = g.pin_read();
+        let mut n = g.neighbors(&pin, 0);
         n.sort_unstable();
         let expect: Vec<(u32, u32)> = (1..40).map(|v| (v, 100 + v)).collect();
         assert_eq!(n, expect);
@@ -162,15 +186,17 @@ mod tests {
     #[test]
     fn neighbors_of_untouched_vertex_is_empty() {
         let g = graph_with_star();
-        assert!(g.neighbors(63).is_empty());
-        assert!(g.neighbor_ids(62).is_empty());
+        let pin = g.pin_read();
+        assert!(g.neighbors(&pin, 63).is_empty());
+        assert!(g.neighbor_ids(&pin, 62).is_empty());
     }
 
     #[test]
     fn neighbors_reflect_deletions() {
         let g = graph_with_star();
         g.delete_edges(&[Edge::new(0, 1), Edge::new(0, 2)]);
-        let ids = g.neighbor_ids(0);
+        let pin = g.pin_read();
+        let ids = g.neighbor_ids(&pin, 0);
         assert!(!ids.contains(&1));
         assert!(!ids.contains(&2));
         assert_eq!(ids.len(), 37);
@@ -179,15 +205,44 @@ mod tests {
     #[test]
     fn empty_query_batch() {
         let g = graph_with_star();
-        assert!(g.edges_exist(&[]).is_empty());
+        let pin = g.pin_read();
+        assert!(g.edges_exist(&pin, &[]).is_empty());
     }
 
     #[test]
     fn set_graph_neighbors_have_zero_weights() {
         let g = DynGraph::with_uniform_buckets(GraphConfig::directed_set(8), 8, 1);
         g.insert_edges(&[Edge::new(1, 2), Edge::new(1, 3)]);
-        let mut n = g.neighbors(1);
+        let pin = g.pin_read();
+        let mut n = g.neighbors(&pin, 1);
         n.sort_unstable();
         assert_eq!(n, vec![(2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn pin_spanning_mutation_still_reads_current_state() {
+        // A guard taken before a batch doesn't freeze the *data* — it only
+        // protects reclamation. Reads through an old guard see the newest
+        // published state (snapshot-at-walk, not snapshot-at-pin).
+        let g = graph_with_star();
+        let pin = g.pin_read();
+        assert!(g.edge_exists(&pin, 0, 1));
+        g.delete_edges(&[Edge::new(0, 1)]);
+        assert!(!g.edge_exists(&pin, 0, 1));
+        assert!(g.allocator().pinned_readers() >= 1);
+        drop(pin);
+        assert_eq!(g.allocator().pinned_readers(), 0);
+    }
+
+    #[test]
+    fn guard_era_is_monotonic_across_batches() {
+        let g = graph_with_star();
+        let before = g.pin_read().era();
+        g.insert_edges(&[Edge::new(40, 41)]);
+        let after = g.pin_read().era();
+        assert!(
+            after > before,
+            "mutation batches must advance the era ({before} → {after})"
+        );
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::graph::DynGraph;
 use gpu_sim::{Addr, NULL_ADDR, SLAB_WORDS, WARP_SIZE};
+use slab_alloc::ReadGuard;
 use slab_hash::{TableStats, EMPTY_KEY};
 
 /// Aggregated statistics over every vertex's hash table plus the memory
@@ -40,11 +41,13 @@ impl GraphStats {
 }
 
 impl DynGraph {
-    /// Collect [`GraphStats`] by walking every constructed table.
+    /// Collect [`GraphStats`] by walking every constructed table under a
+    /// pinned [`ReadGuard`] — safe to run while update batches land.
     ///
     /// Host-side instrumentation: runs as a kernel (so slab walks are
     /// charged) but is intended for use *between* measured phases.
-    pub fn stats(&self) -> GraphStats {
+    pub fn stats(&self, pin: &ReadGuard) -> GraphStats {
+        self.check_pin(pin);
         let cap = self.dict.capacity();
         let out = parking_lot::Mutex::new(GraphStats::default());
         self.dev.launch_warps("graph_stats", 1, |warp| {
@@ -82,6 +85,10 @@ impl DynGraph {
     /// - sanitizer findings: when the device carries a shadow-memory
     ///   sanitizer (see `gpu_sim::sanitizer`), any recorded race,
     ///   lifetime, or initialization violation fails the audit first;
+    /// - epoch reclamation: the allocator's quarantine audit — the ring is
+    ///   era-monotonic, quarantined slabs still hold their occupancy bit,
+    ///   and no slab was recycled while a reader era ≤ its free era was
+    ///   pinned;
     /// - slot accounting: every key slot classifies as exactly one of
     ///   live / tombstone / empty, and empty slots only appear in a
     ///   chain's tail slab (deletion writes tombstones, never empties);
@@ -98,6 +105,13 @@ impl DynGraph {
                 return Err(ValidationError::SanitizerFindings { count });
             }
         }
+        if let Err(detail) = self.alloc.audit_quarantine(&self.dev) {
+            return Err(ValidationError::EpochReclamation { detail });
+        }
+        // The structural walk itself runs under a pin: validation may run
+        // while readers and writers are live, and its own chain walks must
+        // not race reclamation.
+        let _pin = self.pin_read();
         let cap = self.dict.capacity();
         let first: parking_lot::Mutex<Option<ValidationError>> = parking_lot::Mutex::new(None);
         let reachable = parking_lot::Mutex::new(std::collections::HashSet::new());
@@ -171,7 +185,7 @@ impl DynGraph {
 }
 
 /// A violated structural invariant reported by [`DynGraph::validate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// A vertex's exact edge count disagrees with its table's live keys.
     CountMismatch { vertex: u32, count: u32, live: u32 },
@@ -188,6 +202,10 @@ pub enum ValidationError {
     SlabLeak { reachable: u64, live: u64 },
     /// The device's shadow-memory sanitizer recorded violations.
     SanitizerFindings { count: u64 },
+    /// The allocator's epoch-reclamation audit failed: a quarantined slab
+    /// was recycled out from under a pinned reader, or the quarantine
+    /// ring's bookkeeping is inconsistent.
+    EpochReclamation { detail: String },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -218,6 +236,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::SanitizerFindings { count } => {
                 write!(f, "sanitizer recorded {count} violation(s)")
             }
+            ValidationError::EpochReclamation { ref detail } => {
+                write!(f, "epoch reclamation invariant violated: {detail}")
+            }
         }
     }
 }
@@ -241,7 +262,7 @@ mod tests {
     #[test]
     fn stats_count_live_keys() {
         let g = populated();
-        let s = g.stats();
+        let s = g.stats(&g.pin_read());
         assert_eq!(s.tables.live_keys, g.num_edges());
         assert_eq!(s.touched_vertices, 32);
         assert!(s.memory_bytes() > 0);
@@ -254,7 +275,7 @@ mod tests {
         // bucket totals that are all zero on a freshly created graph — both
         // must report 0.0, not NaN or a panic.
         let g = DynGraph::new(GraphConfig::directed_map(8));
-        let s = g.stats();
+        let s = g.stats(&g.pin_read());
         assert_eq!(s.tables.live_keys, 0);
         assert_eq!(s.touched_vertices, 0);
         assert_eq!(s.utilization(), 0.0);
@@ -287,7 +308,7 @@ mod tests {
                 .flat_map(|u| (0..50u32).map(move |i| Edge::new(u, (u + i + 1) % 64)))
                 .collect();
             g.insert_edges(&batch);
-            g.stats()
+            g.stats(&g.pin_read())
         };
         let low = build(0.3);
         let high = build(2.0);

@@ -263,6 +263,9 @@ impl DynGraph {
                 self.free_ids.lock().push(victim);
             }
         });
+        // Batch boundary: publish the victims' freed slabs (epoch release
+        // edge) so post-batch pins don't cover them.
+        self.dev.advance_era();
         Ok(BatchOutcome::complete(
             BatchOp::DeleteVertices,
             vertices.len(),
@@ -353,6 +356,8 @@ impl DynGraph {
         // The scratch set's dynamic slabs go back to the pool so the
         // validate() slab audit never mistakes them for a leak.
         release_dead_set();
+        // Batch boundary (epoch release edge) for the freed scratch slabs.
+        self.dev.advance_era();
         Ok(())
     }
 }
@@ -381,10 +386,11 @@ mod tests {
         assert_eq!(g.degree(0), 5);
         g.delete_vertices(&[3]);
         assert_eq!(g.degree(3), 0, "victim emptied");
+        let pin = g.pin_read();
         for v in [0u32, 1, 2, 4, 5] {
             assert_eq!(g.degree(v), 4, "neighbor {v} lost one edge");
-            assert!(!g.edge_exists(v, 3), "edge {v}→3 gone");
-            assert!(!g.edge_exists(3, v), "edge 3→{v} gone");
+            assert!(!g.edge_exists(&pin, v, 3), "edge {v}→3 gone");
+            assert!(!g.edge_exists(&pin, 3, v), "edge 3→{v} gone");
         }
     }
 
@@ -392,9 +398,10 @@ mod tests {
     fn delete_multiple_vertices() {
         let g = clique(8);
         g.delete_vertices(&[1, 2, 5]);
+        let pin = g.pin_read();
         for v in [1u32, 2, 5] {
             assert_eq!(g.degree(v), 0);
-            assert!(g.neighbors(v).is_empty());
+            assert!(g.neighbors(&pin, v).is_empty());
         }
         for v in [0u32, 3, 4, 6, 7] {
             assert_eq!(g.degree(v), 4, "survivor {v} keeps edges to survivors");
@@ -426,10 +433,11 @@ mod tests {
     fn deleted_vertex_queries_return_nothing() {
         let g = clique(5);
         g.delete_vertices(&[2]);
-        assert!(g.neighbors(2).is_empty());
+        let pin = g.pin_read();
+        assert!(g.neighbors(&pin, 2).is_empty());
         let pairs: Vec<(u32, u32)> = (0..5).map(|v| (2, v)).collect();
         assert!(
-            g.edges_exist(&pairs).iter().all(|&b| !b),
+            g.edges_exist(&pin, &pairs).iter().all(|&b| !b),
             "no false positives"
         );
     }
@@ -456,7 +464,7 @@ mod tests {
         // Sized table: 8 unique dsts but hinted with 50 ⇒ ≥ 1 buckets.
         assert!(g.dict().desc_host(g.device(), 10).unwrap().num_buckets >= 4);
         // Old entries survived the shallow copy.
-        assert!(g.edge_exists(0, 1));
+        assert!(g.edge_exists(&g.pin_read(), 0, 1));
     }
 
     #[test]
@@ -503,13 +511,19 @@ mod tests {
         g.delete_vertices(&[3]);
         assert_eq!(g.degree(3), 0, "outgoing edges freed");
         // Incoming edges still physically present until purge...
-        assert!(g.edge_exists(0, 3));
+        assert!(g.edge_exists(&g.pin_read(), 0, 3));
         g.purge_deleted(&[3]);
-        assert!(!g.edge_exists(0, 3), "purge removed incoming edge");
-        assert!(!g.edge_exists(1, 3));
+        assert!(
+            !g.edge_exists(&g.pin_read(), 0, 3),
+            "purge removed incoming edge"
+        );
+        assert!(!g.edge_exists(&g.pin_read(), 1, 3));
         assert_eq!(g.degree(0), 0);
         assert_eq!(g.degree(1), 0);
-        assert!(g.edge_exists(2, 1), "unrelated edge survives purge");
+        assert!(
+            g.edge_exists(&g.pin_read(), 2, 1),
+            "unrelated edge survives purge"
+        );
     }
 
     #[test]
@@ -520,7 +534,10 @@ mod tests {
         g.delete_vertices(&[1]);
         g.insert_edges(&[Edge::weighted(1, 0, 5)]);
         assert_eq!(g.degree(1), 1);
-        assert!(g.edge_exists(1, 0));
-        assert!(g.edge_exists(0, 1), "undirected mirror restored");
+        assert!(g.edge_exists(&g.pin_read(), 1, 0));
+        assert!(
+            g.edge_exists(&g.pin_read(), 0, 1),
+            "undirected mirror restored"
+        );
     }
 }

@@ -230,6 +230,16 @@ impl Device {
         self.era.load(Ordering::Relaxed)
     }
 
+    /// Explicitly advance the era without launching — the *release* edge
+    /// of era publication. Batched mutation paths call this at batch
+    /// boundaries so slabs freed during the batch become reclaimable as
+    /// soon as every reader pinned before the bump drops its guard,
+    /// without waiting for an unrelated launch to move the clock.
+    /// Uncharged: era bookkeeping is not simulated device work.
+    pub fn advance_era(&self) -> u64 {
+        self.era.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Change the execution policy (between phases).
     pub fn set_policy(&mut self, policy: ExecPolicy) {
         self.policy = policy;

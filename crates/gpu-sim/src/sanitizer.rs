@@ -29,7 +29,15 @@
 //!   `Free`) driven by the slab allocator's alloc/free hooks,
 //!   flagging use-after-free of recycled slabs with both the allocating
 //!   and freeing kernels' names, double-frees, and any warp access past
-//!   the arena's bump cursor.
+//!   the arena's bump cursor. The checker also models the release/acquire
+//!   edges of *era publication* (epoch-based reclamation): a `ReadGuard`
+//!   pin registers its era via [`Sanitizer::on_pin`], and an access to a
+//!   **quarantined** slab is certified safe iff some live pin's era is ≤
+//!   the slab's free era (the pin happened-before the free, so the
+//!   reclamation protocol guarantees the slab's memory survives). A
+//!   quarantined access with no covering pin is an *unpinned read* and is
+//!   flagged as use-after-free; accesses to fully `Free` (drained) slabs
+//!   are always flagged.
 //! - **initcheck** — an initialization bitmap over the word space; warp
 //!   reads (and atomic RMWs) of never-written words are flagged. Host
 //!   stores, `fill`/`memset`, and kernel writes all mark words
@@ -44,7 +52,7 @@
 
 use crate::memory::{Addr, SLAB_WORDS};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of word-shadow shards; accesses hash by slab so one coalesced
@@ -286,6 +294,10 @@ struct SlabShadow {
     status: SlabStatus,
     alloc_kernel: &'static str,
     free_kernel: &'static str,
+    /// Launch era in which the slab was freed (entered quarantine). A
+    /// reader pin taken at era ≤ `free_era` happened-before the free and
+    /// may legally read the quarantined slab.
+    free_era: u64,
 }
 
 /// The shadow-memory sanitizer attached to a device (see module docs).
@@ -297,6 +309,10 @@ pub struct Sanitizer {
     /// Slab lifetime shadows keyed by slab base (slab bases are 32-word
     /// aligned by construction).
     slabs: Mutex<HashMap<Addr, SlabShadow>>,
+    /// Live reader pins as an era multiset (era → live guard count).
+    /// Mirrors the allocator's pin registry so memcheck can certify
+    /// quarantined-slab reads made under a covering `ReadGuard`.
+    pins: Mutex<BTreeMap<u64, usize>>,
     /// Initialization bitmap: bit per word, grown lazily.
     init: RwLock<Vec<AtomicU64>>,
     findings: Mutex<Vec<Finding>>,
@@ -314,6 +330,7 @@ impl Sanitizer {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             slabs: Mutex::new(HashMap::new()),
+            pins: Mutex::new(BTreeMap::new()),
             init: RwLock::new(Vec::new()),
             findings: Mutex::new(Vec::new()),
             total: AtomicU64::new(0),
@@ -427,20 +444,24 @@ impl Sanitizer {
                 status: SlabStatus::Allocated,
                 alloc_kernel: kernel,
                 free_kernel: "",
+                free_era: 0,
             },
         );
     }
 
-    /// A pool slab at `base` was freed by `kernel` (enters quarantine).
-    pub fn on_slab_free(&self, base: Addr, kernel: &'static str) {
+    /// A pool slab at `base` was freed by `kernel` during launch `era`
+    /// (enters quarantine).
+    pub fn on_slab_free(&self, base: Addr, kernel: &'static str, era: u64) {
         let mut slabs = self.slabs.lock();
         let entry = slabs.entry(base).or_insert(SlabShadow {
             status: SlabStatus::Allocated,
             alloc_kernel: "(unknown)",
             free_kernel: "",
+            free_era: 0,
         });
         entry.status = SlabStatus::Quarantined;
         entry.free_kernel = kernel;
+        entry.free_era = era;
     }
 
     /// A quarantined slab at `base` left quarantine (reusable again).
@@ -450,6 +471,29 @@ impl Sanitizer {
                 s.status = SlabStatus::Free;
             }
         }
+    }
+
+    /// A `ReadGuard` pinned era `era` (the acquire edge of era
+    /// publication). While the pin lives, quarantined slabs freed at or
+    /// after `era` stay legal to read.
+    pub fn on_pin(&self, era: u64) {
+        *self.pins.lock().entry(era).or_insert(0) += 1;
+    }
+
+    /// The `ReadGuard` pinning `era` was dropped.
+    pub fn on_unpin(&self, era: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(n) = pins.get_mut(&era) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&era);
+            }
+        }
+    }
+
+    /// Smallest currently-pinned era, if any reader guard is live.
+    fn min_pinned(&self) -> Option<u64> {
+        self.pins.lock().keys().next().copied()
     }
 
     /// Record a double-free detected by the allocator, with the original
@@ -516,11 +560,24 @@ impl Sanitizer {
             // Use-after-free: check each distinct slab the range touches.
             let first_slab = base & !(SLAB_WORDS as u32 - 1);
             let last_slab = (base + len - 1) & !(SLAB_WORDS as u32 - 1);
+            let min_pin = self.min_pinned();
             let slabs = self.slabs.lock();
             let mut s = first_slab;
             while s <= last_slab {
                 if let Some(sh) = slabs.get(&s) {
-                    if sh.status != SlabStatus::Allocated {
+                    // Quarantined slabs are readable under epoch-based
+                    // reclamation iff some live pin predates the free
+                    // (min pinned era ≤ free era): the reclamation rule
+                    // then guarantees the slab cannot recycle. Drained
+                    // (`Free`) slabs are past every pin and always flag.
+                    let covered = sh.status == SlabStatus::Quarantined
+                        && min_pin.is_some_and(|p| p <= sh.free_era);
+                    if sh.status != SlabStatus::Allocated && !covered {
+                        let why = if sh.status == SlabStatus::Quarantined {
+                            "quarantined, read outside a live ReadGuard (unpinned read)"
+                        } else {
+                            "recycled"
+                        };
                         self.report(Finding {
                             kind: FindingKind::UseAfterFree,
                             addr: base.max(s),
@@ -530,11 +587,12 @@ impl Sanitizer {
                             other_kernel: sh.alloc_kernel.to_string(),
                             other_warp: NO_WARP,
                             note: format!(
-                                "{} of slab {:#x} after free (allocated by `{}`, freed by `{}`)",
+                                "{} of slab {:#x} after free (allocated by `{}`, freed by `{}`; {})",
                                 kind.as_str(),
                                 s,
                                 sh.alloc_kernel,
-                                sh.free_kernel
+                                sh.free_kernel,
+                                why
                             ),
                         });
                     }
@@ -858,7 +916,7 @@ mod tests {
         let mut w0 = WarpRace::new(1, 0);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0);
-        s.on_slab_free(64, "free_k");
+        s.on_slab_free(64, "free_k", 1);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         let f = s.findings();
         assert_eq!(f[0].kind, FindingKind::UseAfterFree);
@@ -872,5 +930,77 @@ mod tests {
         s.clear_findings();
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0);
+    }
+
+    #[test]
+    fn pinned_reader_may_touch_quarantined_slab() {
+        let s = san();
+        s.mark_init_range(0, 256);
+        s.on_slab_alloc(64, "alloc_k");
+        // Reader pins era 3, then the slab is freed at era 5: the pin
+        // happened-before the free, so the quarantined read is certified.
+        s.on_pin(3);
+        s.on_slab_free(64, "free_k", 5);
+        let mut w0 = WarpRace::new(6, 0);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 0, "{:?}", s.findings());
+        // Dropping the guard withdraws the certificate.
+        s.on_unpin(3);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 1);
+        let f = s.findings();
+        assert_eq!(f[0].kind, FindingKind::UseAfterFree);
+        assert!(f[0].note.contains("unpinned read"), "{}", f[0].note);
+    }
+
+    #[test]
+    fn pin_taken_after_free_does_not_cover_the_slab() {
+        let s = san();
+        s.mark_init_range(0, 256);
+        s.on_slab_alloc(64, "alloc_k");
+        s.on_slab_free(64, "free_k", 2);
+        // A pin at era 7 postdates the free: it cannot resurrect the slab.
+        s.on_pin(7);
+        let mut w0 = WarpRace::new(8, 0);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 1);
+        assert_eq!(s.findings()[0].kind, FindingKind::UseAfterFree);
+        s.on_unpin(7);
+    }
+
+    #[test]
+    fn pin_never_covers_drained_slabs() {
+        let s = san();
+        s.mark_init_range(0, 256);
+        s.on_slab_alloc(64, "alloc_k");
+        s.on_pin(1);
+        s.on_slab_free(64, "free_k", 4);
+        s.on_slab_drain(64);
+        // Even a covering pin cannot excuse a read of fully drained
+        // memory — the allocator only drains past every pin, so reaching
+        // here means the protocol itself was violated.
+        let mut w0 = WarpRace::new(5, 0);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 1);
+        assert!(s.findings()[0].note.contains("recycled"));
+        s.on_unpin(1);
+    }
+
+    #[test]
+    fn pin_multiset_tracks_duplicate_eras() {
+        let s = san();
+        s.mark_init_range(0, 256);
+        s.on_slab_alloc(64, "alloc_k");
+        s.on_pin(2);
+        s.on_pin(2);
+        s.on_slab_free(64, "free_k", 3);
+        s.on_unpin(2);
+        // One guard at era 2 is still live: the slab stays covered.
+        let mut w0 = WarpRace::new(4, 0);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 0, "{:?}", s.findings());
+        s.on_unpin(2);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 1);
     }
 }

@@ -42,9 +42,10 @@ use gpu_sim::{
 };
 use parking_lot::{Mutex, RwLock};
 use slabgraph::{
-    BatchOutcome, Direction, DynGraph, Edge, GraphConfig, GraphError, ValidationError,
+    BatchOutcome, Direction, DynGraph, Edge, GraphConfig, GraphError, ReadGuard, ValidationError,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The owner shard of vertex `v` among `n_shards`: a splitmix64 finalizer
 /// over the id, reduced mod `n_shards`. Deterministic, balanced, and
@@ -243,15 +244,39 @@ impl ShardedGraph {
         });
     }
 
-    /// Membership query for one edge, answered by `src`'s owner.
-    pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
-        self.shards[self.owner_of(src)].read().edge_exists(src, dst)
+    /// Pin every shard's current era for a snapshot read session: one
+    /// [`ReadGuard`] per shard, in shard order. While the guards live, no
+    /// shard recycles a slab freed at or after its pinned era, so the
+    /// `*_pinned` queries run safely concurrent with in-flight update
+    /// batches on other threads. Guards pin *reclamation*, not data:
+    /// reads under them observe the newest published state.
+    pub fn pin_read(&self) -> Vec<ReadGuard> {
+        self.shards.iter().map(|s| s.read().pin_read()).collect()
     }
 
-    /// Batched membership queries: pairs route to their src's owner, the
-    /// per-shard query kernels run concurrently, and results return in the
-    /// caller's order — bit-identical to an unsharded replay.
-    pub fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+    /// Membership query for one edge, answered by `src`'s owner under a
+    /// per-call era pin.
+    pub fn edge_exists(&self, src: u32, dst: u32) -> bool {
+        let g = self.shards[self.owner_of(src)].read();
+        g.edge_exists(&g.pin_read(), src, dst)
+    }
+
+    /// [`Self::edge_exists`] under an explicit per-shard pin from
+    /// [`Self::pin_read`] (one guard per shard, shard order).
+    pub fn edge_exists_pinned(&self, pins: &[ReadGuard], src: u32, dst: u32) -> bool {
+        let owner = self.owner_of(src);
+        self.shards[owner]
+            .read()
+            .edge_exists(&pins[owner], src, dst)
+    }
+
+    /// Route `pairs` to their src's owner, run `query` per shard
+    /// concurrently, and return results in the caller's order.
+    fn edges_exist_routed(
+        &self,
+        pairs: &[(u32, u32)],
+        query: impl Fn(usize, &DynGraph, &[(u32, u32)]) -> Vec<bool> + Sync,
+    ) -> Vec<bool> {
         let n = self.shards.len();
         let mut index: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut per: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
@@ -262,7 +287,7 @@ impl ShardedGraph {
         }
         let results = self
             .group
-            .dispatch(|s, _| self.shards[s].read().edges_exist(&per[s]));
+            .dispatch(|s, _| query(s, &self.shards[s].read(), &per[s]));
         let mut out = vec![false; pairs.len()];
         for (s, found) in results.into_iter().enumerate() {
             for (k, b) in found.into_iter().enumerate() {
@@ -272,20 +297,58 @@ impl ShardedGraph {
         out
     }
 
+    /// Batched membership queries: pairs route to their src's owner, the
+    /// per-shard query kernels run concurrently (each under its own era
+    /// pin), and results return in the caller's order — bit-identical to
+    /// an unsharded replay.
+    pub fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.edges_exist_routed(pairs, |_, g, per| g.edges_exist(&g.pin_read(), per))
+    }
+
+    /// [`Self::edges_exist`] under an explicit per-shard pin from
+    /// [`Self::pin_read`].
+    pub fn edges_exist_pinned(&self, pins: &[ReadGuard], pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.edges_exist_routed(pairs, |s, g, per| g.edges_exist(&pins[s], per))
+    }
+
     /// Out-degree of `u`, from its owner shard.
     pub fn degree(&self, u: u32) -> u32 {
         self.shards[self.owner_of(u)].read().degree(u)
     }
 
     /// `u`'s neighbours, from its owner shard (the primary copy holds the
-    /// complete adjacency).
+    /// complete adjacency), under a per-call era pin.
     pub fn neighbor_ids(&self, u: u32) -> Vec<u32> {
-        self.shards[self.owner_of(u)].read().neighbor_ids(u)
+        let g = self.shards[self.owner_of(u)].read();
+        g.neighbor_ids(&g.pin_read(), u)
     }
 
-    /// Allocation-free adjacency iteration on the owner shard.
+    /// [`Self::neighbor_ids`] under an explicit per-shard pin from
+    /// [`Self::pin_read`].
+    pub fn neighbor_ids_pinned(&self, pins: &[ReadGuard], u: u32) -> Vec<u32> {
+        let owner = self.owner_of(u);
+        self.shards[owner].read().neighbor_ids(&pins[owner], u)
+    }
+
+    /// Allocation-free adjacency iteration on the owner shard, under a
+    /// per-call era pin.
     pub fn for_each_neighbor(&self, u: u32, f: &mut (dyn FnMut(u32) + Send)) {
-        self.shards[self.owner_of(u)].read().for_each_neighbor(u, f)
+        let g = self.shards[self.owner_of(u)].read();
+        g.for_each_neighbor(&g.pin_read(), u, f)
+    }
+
+    /// [`Self::for_each_neighbor`] under an explicit per-shard pin from
+    /// [`Self::pin_read`].
+    pub fn for_each_neighbor_pinned(
+        &self,
+        pins: &[ReadGuard],
+        u: u32,
+        f: &mut (dyn FnMut(u32) + Send),
+    ) {
+        let owner = self.owner_of(u);
+        self.shards[owner]
+            .read()
+            .for_each_neighbor(&pins[owner], u, f)
     }
 
     /// Exact live-edge count: the sum of owned-vertex degrees across
@@ -321,6 +384,8 @@ impl ShardedGraph {
         // blocks; only a concurrent reset would, and the audit must not
         // race one anyway).
         let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        // One era pin per shard for the whole audit walk.
+        let pins: Vec<ReadGuard> = guards.iter().map(|g| g.pin_read()).collect();
         let mut cut = 0u64;
         let mut replicas = 0u64;
         let mut owned = 0u64;
@@ -328,7 +393,7 @@ impl ShardedGraph {
         for u in 0..self.n_vertices {
             let su = shard_of(u, n);
             for (s, shard) in guards.iter().enumerate() {
-                let neighbors = shard.neighbor_ids(u);
+                let neighbors = shard.neighbor_ids(&pins[s], u);
                 stored += neighbors.len() as u64;
                 if s == su {
                     owned += neighbors.len() as u64;
@@ -337,7 +402,7 @@ impl ShardedGraph {
                         let sv = shard_of(v, n);
                         if sv != su {
                             cut += 1;
-                            if !guards[sv].edge_exists(u, v) {
+                            if !guards[sv].edge_exists(&pins[sv], u, v) {
                                 return Err(ShardedValidationError::MissingReplica {
                                     src: u,
                                     dst: v,
@@ -352,7 +417,7 @@ impl ShardedGraph {
                     // live primary on the src's owner.
                     for v in neighbors {
                         replicas += 1;
-                        if shard_of(v, n) != s || !guards[su].edge_exists(u, v) {
+                        if shard_of(v, n) != s || !guards[su].edge_exists(&pins[su], u, v) {
                             return Err(ShardedValidationError::OrphanReplica {
                                 src: u,
                                 dst: v,
@@ -453,6 +518,7 @@ impl backend::GraphBackend for ShardedGraph {
             insert_edges: true,
             delete_edges: true,
             delete_vertices: true,
+            concurrent_reads: true,
             intersection: backend::IntersectionKind::HashProbe,
         }
     }
@@ -477,12 +543,53 @@ impl backend::GraphBackend for ShardedGraph {
         ShardedGraph::degree(self, u)
     }
 
+    fn pin_read(&self) -> backend::ReadPin {
+        backend::ReadPin::from_guards(ShardedGraph::pin_read(self))
+    }
+
     fn contains_edge(&self, u: u32, v: u32) -> bool {
         self.edge_exists(u, v)
     }
 
     fn edges_exist(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
         ShardedGraph::edges_exist(self, pairs)
+    }
+
+    fn contains_edge_pinned(&self, pin: &backend::ReadPin, u: u32, v: u32) -> bool {
+        if pin.is_pinned() {
+            self.edge_exists_pinned(pin.guards(), u, v)
+        } else {
+            self.edge_exists(u, v)
+        }
+    }
+
+    fn edges_exist_pinned(&self, pin: &backend::ReadPin, pairs: &[(u32, u32)]) -> Vec<bool> {
+        if pin.is_pinned() {
+            ShardedGraph::edges_exist_pinned(self, pin.guards(), pairs)
+        } else {
+            ShardedGraph::edges_exist(self, pairs)
+        }
+    }
+
+    fn read_neighbors_pinned(&self, pin: &backend::ReadPin, u: u32) -> Vec<u32> {
+        if pin.is_pinned() {
+            self.neighbor_ids_pinned(pin.guards(), u)
+        } else {
+            self.neighbor_ids(u)
+        }
+    }
+
+    fn for_each_neighbor_pinned(
+        &self,
+        pin: &backend::ReadPin,
+        u: u32,
+        f: &mut (dyn FnMut(u32) + Send),
+    ) {
+        if pin.is_pinned() {
+            ShardedGraph::for_each_neighbor_pinned(self, pin.guards(), u, f)
+        } else {
+            ShardedGraph::for_each_neighbor(self, u, f)
+        }
     }
 
     fn read_neighbors(&self, u: u32) -> Vec<u32> {
@@ -832,6 +939,11 @@ pub struct BatchRouter<'g> {
     /// own shard's state, so the per-shard mutexes never contend across
     /// shards.
     states: Vec<Mutex<ShardState>>,
+    /// Lock-free mirror of each shard's dispatchability. A flush dispatch
+    /// holds its shard's state mutex for the whole batch, so the read
+    /// path consults this mirror instead — reads are *served during*
+    /// in-flight flushes rather than fenced behind them.
+    serving: Vec<AtomicBool>,
 }
 
 impl<'g> BatchRouter<'g> {
@@ -850,9 +962,10 @@ impl<'g> BatchRouter<'g> {
             .map(|s| {
                 let mut st = ShardState::default();
                 let g = graph.shard(s);
+                let pin = g.pin_read();
                 for u in 0..graph.vertex_capacity() {
-                    for v in g.neighbor_ids(u) {
-                        let w = g.edge_weight(u, v).unwrap_or(1);
+                    for v in g.neighbor_ids(&pin, u) {
+                        let w = g.edge_weight(&pin, u, v).unwrap_or(1);
                         st.journal.checkpoint.insert((u, v), w);
                     }
                 }
@@ -864,6 +977,7 @@ impl<'g> BatchRouter<'g> {
             sessions: Mutex::new(Vec::new()),
             policy,
             states,
+            serving: (0..n).map(|_| AtomicBool::new(true)).collect(),
         }
     }
 
@@ -928,6 +1042,7 @@ impl<'g> BatchRouter<'g> {
             return;
         }
         st.health.0 = to;
+        self.serving[s].store(to.is_dispatchable(), Ordering::Release);
         if let Some(p) = self.graph.group().device(s).profiler() {
             p.instant("shard_health", format!("shard {s}: {from} -> {to}"));
             p.metrics().record("router.health_transitions", 1);
@@ -1385,15 +1500,14 @@ impl<'g> BatchRouter<'g> {
     pub fn edge_exists_degraded(&self, src: u32, dst: u32) -> (bool, ReadQuality) {
         let owner = self.graph.owner_of(src);
         if self.is_serving(owner) {
-            return (
-                self.graph.shard(owner).edge_exists(src, dst),
-                ReadQuality::Exact,
-            );
+            let g = self.graph.shard(owner);
+            return (g.edge_exists(&g.pin_read(), src, dst), ReadQuality::Exact);
         }
         let replica = self.graph.owner_of(dst);
         if replica != owner && self.is_serving(replica) {
+            let g = self.graph.shard(replica);
             return (
-                self.graph.shard(replica).edge_exists(src, dst),
+                g.edge_exists(&g.pin_read(), src, dst),
                 ReadQuality::Degraded,
             );
         }
@@ -1419,8 +1533,123 @@ impl<'g> BatchRouter<'g> {
     }
 
     /// Whether shard `s` currently serves dispatches and exact reads.
+    /// Reads the lock-free health mirror, never the state mutex: a flush
+    /// dispatch holds the mutex for its whole batch, and reads must not
+    /// fence behind it.
     fn is_serving(&self, s: usize) -> bool {
-        self.states[s].lock().health.0.is_dispatchable()
+        self.serving[s].load(Ordering::Acquire)
+    }
+
+    /// Pin every serving shard for a read session that runs concurrently
+    /// with in-flight [`Self::flush`]es. Shards that are Down or
+    /// Rebuilding at pin time get no guard; reads routed to them degrade
+    /// exactly like [`Self::edge_exists_degraded`]. Nothing on this path
+    /// touches the per-shard state mutex, so a flush mid-dispatch never
+    /// blocks a pinned read (and vice versa).
+    pub fn pin_read(&self) -> LiveReadPin {
+        let guards = (0..self.graph.num_shards())
+            .map(|s| self.is_serving(s).then(|| self.graph.shard(s).pin_read()))
+            .collect();
+        LiveReadPin { guards }
+    }
+
+    /// Run `query` on shard `s` under its pinned guard. `None` when the
+    /// shard holds no guard (it was not serving at pin time), has since
+    /// stopped serving, or was reset since the pin — a rebuilt shard's
+    /// fresh allocator no longer owns the guard, so the guard cannot
+    /// block its reclamation and the read would be unprotected.
+    fn pinned_query<T>(
+        &self,
+        pin: &LiveReadPin,
+        s: usize,
+        query: impl FnOnce(&DynGraph, &ReadGuard) -> T,
+    ) -> Option<T> {
+        let guard = pin.guards.get(s)?.as_ref()?;
+        if !self.is_serving(s) {
+            return None;
+        }
+        let g = self.graph.shard(s);
+        if !g.allocator().owns_guard(guard) {
+            return None;
+        }
+        Some(query(&g, guard))
+    }
+
+    /// Point membership that runs concurrently with in-flight flushes
+    /// *and* stays available while shards are Down: the owner answers
+    /// exactly under its pinned era; with the owner unavailable (or its
+    /// pin staled by a rebuild) a cut edge's replica answers, tagged
+    /// [`ReadQuality::Degraded`] — the epoch pins compose with the
+    /// degraded-read protocol rather than replacing it.
+    pub fn edge_exists_live(&self, pin: &LiveReadPin, src: u32, dst: u32) -> (bool, ReadQuality) {
+        let owner = self.graph.owner_of(src);
+        if let Some(hit) = self.pinned_query(pin, owner, |g, p| g.edge_exists(p, src, dst)) {
+            return (hit, ReadQuality::Exact);
+        }
+        let replica = self.graph.owner_of(dst);
+        if replica != owner {
+            if let Some(hit) = self.pinned_query(pin, replica, |g, p| g.edge_exists(p, src, dst)) {
+                return (hit, ReadQuality::Degraded);
+            }
+        }
+        (false, ReadQuality::Degraded)
+    }
+
+    /// `u`'s neighbours under the pinned session. Owner serving → exact;
+    /// otherwise the union of surviving cut-edge replicas, degraded
+    /// (undercounts by `u`'s shard-internal edges, like
+    /// [`Self::degree_degraded`]).
+    pub fn neighbor_ids_live(&self, pin: &LiveReadPin, u: u32) -> (Vec<u32>, ReadQuality) {
+        let owner = self.graph.owner_of(u);
+        if let Some(n) = self.pinned_query(pin, owner, |g, p| g.neighbor_ids(p, u)) {
+            return (n, ReadQuality::Exact);
+        }
+        let mut out = Vec::new();
+        for s in 0..self.graph.num_shards() {
+            if s != owner {
+                if let Some(mut n) = self.pinned_query(pin, s, |g, p| g.neighbor_ids(p, u)) {
+                    out.append(&mut n);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, ReadQuality::Degraded)
+    }
+
+    /// Out-degree under the pinned session: exact from the owner, else
+    /// the sum of surviving replica degrees, degraded.
+    pub fn degree_live(&self, pin: &LiveReadPin, u: u32) -> (u32, ReadQuality) {
+        let owner = self.graph.owner_of(u);
+        if let Some(d) = self.pinned_query(pin, owner, |g, _| g.degree(u)) {
+            return (d, ReadQuality::Exact);
+        }
+        let mut d = 0;
+        for s in 0..self.graph.num_shards() {
+            if s != owner {
+                if let Some(x) = self.pinned_query(pin, s, |g, _| g.degree(u)) {
+                    d += x;
+                }
+            }
+        }
+        (d, ReadQuality::Degraded)
+    }
+}
+
+/// An era-pinned read session over a [`BatchRouter`]'s serving shards,
+/// from [`BatchRouter::pin_read`]. One guard per shard (`None` for shards
+/// not serving at pin time). A shard rebuilt while the pin is held stales
+/// its guard — subsequent `*_live` reads routed there degrade until a
+/// fresh pin is taken.
+#[must_use = "reads are only pinned while the session is held"]
+pub struct LiveReadPin {
+    guards: Vec<Option<ReadGuard>>,
+}
+
+impl LiveReadPin {
+    /// How many shards this session actually pinned.
+    pub fn pinned_shards(&self) -> usize {
+        self.guards.iter().flatten().count()
     }
 }
 
@@ -1498,14 +1727,25 @@ mod tests {
             let g = ShardedGraph::bulk_build(shards, cfg(n_vertices), &edges);
             assert_eq!(g.num_edges(), reference.num_edges(), "{shards} shards");
             let qry = pairs(300, 99, n_vertices);
-            assert_eq!(g.edges_exist(&qry), reference.edges_exist(&qry));
+            let ref_pin = reference.pin_read();
+            assert_eq!(g.edges_exist(&qry), reference.edges_exist(&ref_pin, &qry));
+            // Explicit per-shard pins answer identically to per-call pins.
+            let pins = g.pin_read();
+            assert_eq!(pins.len(), shards);
+            assert_eq!(
+                g.edges_exist_pinned(&pins, &qry),
+                reference.edges_exist(&ref_pin, &qry)
+            );
             for v in 0..n_vertices {
                 assert_eq!(g.degree(v), reference.degree(v), "degree({v})");
                 let mut a = g.neighbor_ids(v);
-                let mut b = reference.neighbor_ids(v);
+                let mut b = reference.neighbor_ids(&ref_pin, v);
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "neighbors({v})");
+                let mut c = g.neighbor_ids_pinned(&pins, v);
+                c.sort_unstable();
+                assert_eq!(c, b, "pinned neighbors({v})");
             }
             g.validate().expect("cross-shard audit");
         }
@@ -1810,5 +2050,147 @@ mod tests {
             "{line}"
         );
         assert!(line.contains("journal"), "{line}");
+    }
+
+    #[test]
+    fn live_reads_serve_during_inflight_flushes() {
+        let g = ShardedGraph::new(2, cfg(256));
+        let router = BatchRouter::new(&g);
+        // A stable baseline the concurrent flushes never touch.
+        let stable = pairs(40, 31, 128); // ids < 128; churn uses 128..256
+        for &(u, v) in &stable {
+            router.submit(0, Update::Insert(Edge::new(u, v)));
+        }
+        assert!(router.flush().is_complete());
+        // One thread keeps flushing fresh edges while this thread holds a
+        // pinned session and reads the baseline: every read must answer
+        // exactly, without fencing behind the in-flight dispatches.
+        std::thread::scope(|sc| {
+            let router = &router;
+            sc.spawn(move || {
+                for round in 0..8u64 {
+                    for (i, &(u, v)) in pairs(30, 100 + round, 128).iter().enumerate() {
+                        router.submit(
+                            i % 2,
+                            Update::Insert(Edge::new(128 + u % 128, 128 + v % 128)),
+                        );
+                    }
+                    assert!(router.flush().is_complete());
+                }
+            });
+            for _ in 0..8 {
+                let pin = router.pin_read();
+                assert_eq!(pin.pinned_shards(), 2);
+                for &(u, v) in &stable {
+                    assert_eq!(
+                        router.edge_exists_live(&pin, u, v),
+                        (true, ReadQuality::Exact)
+                    );
+                }
+            }
+        });
+        g.validate()
+            .expect("audit after concurrent read/flush churn");
+    }
+
+    #[test]
+    fn live_reads_compose_with_degraded_protocol() {
+        let g = ShardedGraph::new(2, cfg(128));
+        let router = BatchRouter::new(&g);
+        let updates = pairs(100, 21, 128);
+        for (i, &(u, v)) in updates.iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        assert!(router.flush().is_complete());
+        let down = 0usize;
+        let cut = updates
+            .iter()
+            .find(|&&(u, v)| g.owner_of(u) == down && g.owner_of(v) != down)
+            .copied()
+            .expect("some cut edge from the down shard");
+        let internal = updates
+            .iter()
+            .find(|&&(u, v)| g.owner_of(u) == down && g.owner_of(v) == down)
+            .copied()
+            .expect("some internal edge on the down shard");
+        g.group()
+            .device(down)
+            .set_fault_plan(FaultPlan::device_lost_at(1));
+        router.submit(0, Update::Insert(Edge::new(internal.0, internal.1)));
+        router.flush();
+        assert_eq!(router.health(down), ShardHealth::Down);
+        // A session pinned now only covers the survivor.
+        let pin = router.pin_read();
+        assert_eq!(pin.pinned_shards(), 1);
+        // Cut edge answers from the survivor's replica, degraded.
+        assert_eq!(
+            router.edge_exists_live(&pin, cut.0, cut.1),
+            (true, ReadQuality::Degraded)
+        );
+        // Internal edge of the down shard: best-effort absence.
+        assert_eq!(
+            router.edge_exists_live(&pin, internal.0, internal.1),
+            (false, ReadQuality::Degraded)
+        );
+        // Survivor-owned vertices stay exact.
+        let survivor_v = updates
+            .iter()
+            .find(|&&(u, _)| g.owner_of(u) != down)
+            .map(|&(u, _)| u)
+            .unwrap();
+        assert_eq!(router.degree_live(&pin, survivor_v).1, ReadQuality::Exact);
+        // Degraded neighbours are exactly the surviving cut out-edges.
+        let (nbrs, q) = router.neighbor_ids_live(&pin, cut.0);
+        assert_eq!(q, ReadQuality::Degraded);
+        let mut expected: Vec<u32> = updates
+            .iter()
+            .filter(|&&(a, b)| a == cut.0 && g.owner_of(b) != down)
+            .map(|&(_, b)| b)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(nbrs, expected);
+    }
+
+    #[test]
+    fn stale_pin_after_rebuild_degrades_until_repinned() {
+        let g = ShardedGraph::new(2, cfg(128));
+        let router = BatchRouter::new(&g);
+        let updates = pairs(60, 17, 128);
+        for (i, &(u, v)) in updates.iter().enumerate() {
+            router.submit(i % 2, Update::Insert(Edge::new(u, v)));
+        }
+        assert!(router.flush().is_complete());
+        let down = 1usize;
+        let internal = updates
+            .iter()
+            .find(|&&(u, v)| g.owner_of(u) == down && g.owner_of(v) == down)
+            .copied()
+            .expect("an internal edge on the victim shard");
+        // Pin while healthy, then lose and rebuild the shard: the rebuild
+        // swaps in a fresh graph whose allocator does not own our guard.
+        let pin = router.pin_read();
+        assert_eq!(pin.pinned_shards(), 2);
+        g.group()
+            .device(down)
+            .set_fault_plan(FaultPlan::device_lost_at(1));
+        router.submit(0, Update::Insert(Edge::new(internal.0, internal.1)));
+        router.flush();
+        assert_eq!(router.health(down), ShardHealth::Down);
+        assert_eq!(router.rebuild_downed().expect("rebuild"), vec![down]);
+        assert_eq!(router.health(down), ShardHealth::Healthy);
+        // The stale guard cannot protect the rebuilt shard: reads routed
+        // there degrade instead of touching it unprotected.
+        assert_eq!(
+            router.edge_exists_live(&pin, internal.0, internal.1).1,
+            ReadQuality::Degraded
+        );
+        // A fresh session pins the rebuilt shard and answers exactly.
+        let fresh = router.pin_read();
+        assert_eq!(fresh.pinned_shards(), 2);
+        assert_eq!(
+            router.edge_exists_live(&fresh, internal.0, internal.1),
+            (true, ReadQuality::Exact)
+        );
     }
 }

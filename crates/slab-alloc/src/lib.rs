@@ -17,11 +17,24 @@
 //! slab pointer fits in a single `u32` lane register exactly as in CUDA.
 //! Fresh slabs are initialised to the `EMPTY` sentinel pattern expected by
 //! the slab hash.
+//!
+//! ## Epoch-based reclamation
+//!
+//! The quarantine ring doubles as a full epoch-based-reclamation scheme so
+//! queries can run *concurrently* with mutation. A reader pins the current
+//! launch era with [`SlabAllocator::pin`] and holds the returned
+//! [`ReadGuard`] for the duration of its traversal; a quarantined slab is
+//! recycled only once it is older than the current era **and** older than
+//! every pinned era (see [`SlabAllocator::min_pinned_era`]). A reader that
+//! pinned era *P* can therefore chase any pointer it observed into a slab
+//! freed at era *F ≥ P* — the slab's bytes are guaranteed intact until the
+//! guard drops.
 
-use gpu_sim::{Addr, Device, OomError, Warp, SLAB_WORDS};
+use gpu_sim::{Addr, Device, OomError, Profiler, Sanitizer, Warp, SLAB_WORDS};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Sentinel filled into newly allocated slabs (matches slab-hash `EMPTY`).
 pub const SLAB_INIT_WORD: u32 = u32::MAX;
@@ -90,13 +103,95 @@ const QUARANTINE_SLABS: usize = 1024;
 /// structure's bytes and misparses them. The quarantine delays reuse until
 /// the freeing *launch* has retired — a later launch is a device-wide
 /// barrier, after which no stale pointer from the freeing launch can still
-/// be in flight — or until the ring outgrows [`QUARANTINE_SLABS`].
+/// be in flight — or until the ring outgrows [`QUARANTINE_SLABS`]. In both
+/// cases reuse additionally waits for every [`ReadGuard`] pinning an era ≤
+/// the slab's free era to drop (epoch-based reclamation): pinned readers
+/// may still be traversing pointers into the slab.
 #[derive(Debug, Default)]
 struct Quarantine {
     /// `(launch era at free time, slab base)` in free order.
     ring: VecDeque<(u64, Addr)>,
     /// Same addresses, for O(1) double-free membership checks.
     members: HashSet<Addr>,
+    /// Count of drains that violated the pin protocol (a slab left
+    /// quarantine while a reader era ≤ its free era was pinned). Always
+    /// zero unless the drain logic regresses; audited by
+    /// [`SlabAllocator::audit_quarantine`].
+    pinned_drains: u64,
+}
+
+/// Multiset of reader-pinned launch eras, shared between the allocator and
+/// the [`ReadGuard`]s it hands out (guards are fully owned — no lifetime —
+/// so callers can stash one across lock scopes and thread boundaries).
+#[derive(Debug, Default)]
+pub struct PinRegistry {
+    /// era → live guard count.
+    pins: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl PinRegistry {
+    fn register(&self, era: u64) {
+        *self.pins.lock().entry(era).or_insert(0) += 1;
+    }
+
+    fn unregister(&self, era: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(n) = pins.get_mut(&era) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&era);
+            }
+        }
+    }
+
+    /// Smallest pinned era, if any guard is live.
+    pub fn min_pinned(&self) -> Option<u64> {
+        self.pins.lock().keys().next().copied()
+    }
+
+    /// Number of live guards across all eras.
+    pub fn depth(&self) -> usize {
+        self.pins.lock().values().sum()
+    }
+}
+
+/// An era pin: while this guard lives, no slab freed at or after the pinned
+/// era can be recycled, so chain walks started under the guard stay valid
+/// even while concurrent batches insert and delete.
+///
+/// Obtained from [`SlabAllocator::pin`]; dropping it releases the era (and
+/// unregisters from the sanitizer's pin model when one is attached).
+#[must_use = "queries are only snapshot-safe while the guard is held"]
+pub struct ReadGuard {
+    reg: Arc<PinRegistry>,
+    era: u64,
+    prof: Option<Arc<Profiler>>,
+    san: Option<Arc<Sanitizer>>,
+}
+
+impl ReadGuard {
+    /// The launch era this guard pins.
+    pub fn era(&self) -> u64 {
+        self.era
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        self.reg.unregister(self.era);
+        if let Some(san) = &self.san {
+            san.on_unpin(self.era);
+        }
+        if let Some(p) = &self.prof {
+            p.metrics().gauge("read.pin_depth").sub(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadGuard").field("era", &self.era).finish()
+    }
 }
 
 /// Memory blocks per super-block.
@@ -125,6 +220,7 @@ pub struct SlabAllocator {
     allocated: AtomicU64,
     freed: AtomicU64,
     quarantine: Mutex<Quarantine>,
+    pins: Arc<PinRegistry>,
 }
 
 impl SlabAllocator {
@@ -136,6 +232,7 @@ impl SlabAllocator {
             allocated: AtomicU64::new(0),
             freed: AtomicU64::new(0),
             quarantine: Mutex::new(Quarantine::default()),
+            pins: Arc::new(PinRegistry::default()),
         };
         let supers_needed = initial_slabs.div_ceil(SLABS_PER_SUPER).max(1);
         for _ in 0..supers_needed {
@@ -307,7 +404,7 @@ impl SlabAllocator {
         q.members.insert(addr);
         drop(q);
         if let Some(san) = dev.sanitizer() {
-            san.on_slab_free(addr, warp.kernel_name());
+            san.on_slab_free(addr, warp.kernel_name(), dev.launch_era());
         }
         if let Some(p) = dev.profiler() {
             p.metrics().gauge("slab_alloc.live_slabs").sub(1);
@@ -325,18 +422,123 @@ impl SlabAllocator {
         self.quarantine.lock().ring.len()
     }
 
+    /// Pin the current launch era for reading. While the returned
+    /// [`ReadGuard`] lives, no slab freed at or after the pinned era is
+    /// recycled, so concurrent chain walks stay snapshot-valid. Uncharged:
+    /// pinning is host-side epoch bookkeeping, not simulated device work.
+    pub fn pin(&self, dev: &Device) -> ReadGuard {
+        // Register-then-validate, the classic EBR entry dance: if the era
+        // advanced between the read and the registration, a concurrent
+        // drain may have missed this pin — re-pin at the newer era (the
+        // reader has observed nothing yet, so the newer snapshot is fine).
+        // Once the re-read matches, any later drain that justifies itself
+        // by an era advance must also observe this registration.
+        let mut era = dev.launch_era();
+        loop {
+            self.pins.register(era);
+            let now = dev.launch_era();
+            if now == era {
+                break;
+            }
+            self.pins.unregister(era);
+            era = now;
+        }
+        if let Some(san) = dev.sanitizer() {
+            san.on_pin(era);
+        }
+        if let Some(p) = dev.profiler() {
+            p.metrics().gauge("read.pin_depth").add(1);
+        }
+        ReadGuard {
+            reg: self.pins.clone(),
+            era,
+            prof: dev.profiler().cloned(),
+            san: dev.sanitizer().cloned(),
+        }
+    }
+
+    /// Number of live [`ReadGuard`]s.
+    pub fn pinned_readers(&self) -> usize {
+        self.pins.depth()
+    }
+
+    /// True when `guard` was issued by this allocator's pin registry —
+    /// a cheap identity check letting query layers reject guards pinned
+    /// against a *different* graph (whose reclamation they don't block).
+    pub fn owns_guard(&self, guard: &ReadGuard) -> bool {
+        Arc::ptr_eq(&self.pins, &guard.reg)
+    }
+
+    /// Smallest era currently pinned by a live [`ReadGuard`], if any.
+    pub fn min_pinned_era(&self) -> Option<u64> {
+        self.pins.min_pinned()
+    }
+
+    /// Audit the epoch-reclamation invariants; returns a description of
+    /// the first violation found. Checked: the quarantine ring is
+    /// era-monotonic (free order), every quarantined slab's occupancy bit
+    /// is still claimed (it cannot have been handed out again), and no
+    /// entry covered by a live pin (pinned era ≤ free era) has been
+    /// drained out from under its readers — covered entries must still be
+    /// present as an era-contiguous suffix of the ring.
+    pub fn audit_quarantine(&self, dev: &Device) -> Result<(), String> {
+        let q = self.quarantine.lock();
+        let mut prev_era = 0u64;
+        for &(freed_era, addr) in &q.ring {
+            if freed_era < prev_era {
+                return Err(format!(
+                    "quarantine ring out of era order: {freed_era} after {prev_era}"
+                ));
+            }
+            prev_era = freed_era;
+            if !q.members.contains(&addr) {
+                return Err(format!("ring entry {addr:#x} missing from member set"));
+            }
+            let Some((bitmap_addr, slot)) = self.locate(addr) else {
+                return Err(format!("quarantined slab {addr:#x} is not a pool address"));
+            };
+            if dev.arena().load(bitmap_addr) & (1 << slot) == 0 {
+                return Err(format!(
+                    "quarantined slab {addr:#x} occupancy bit released while still ringed"
+                ));
+            }
+        }
+        if q.pinned_drains > 0 {
+            return Err(format!(
+                "{} slab(s) were drained while a reader era ≤ their free era was pinned",
+                q.pinned_drains
+            ));
+        }
+        Ok(())
+    }
+
     /// Release quarantined slabs whose freeing launch has retired (a later
-    /// launch began — a device-wide barrier), plus the oldest entries
-    /// whenever the ring overflows [`QUARANTINE_SLABS`]. Uncharged: this is
-    /// host-side reclamation bookkeeping off the allocation hot path.
+    /// launch began — a device-wide barrier, or the era was advanced
+    /// explicitly at a batch boundary), plus the oldest entries whenever
+    /// the ring overflows [`QUARANTINE_SLABS`]. In every case a slab is
+    /// held while any live [`ReadGuard`] pins an era ≤ its free era — the
+    /// epoch-reclamation guarantee — so even a force-drain cannot pull a
+    /// slab out from under a reader; the ring simply grows past its soft
+    /// cap until the guard drops. Uncharged: this is host-side reclamation
+    /// bookkeeping off the allocation hot path.
     fn drain_quarantine(&self, dev: &Device) {
         let era = dev.launch_era();
+        let min_pinned = self.pins.min_pinned().unwrap_or(u64::MAX);
         let mut q = self.quarantine.lock();
         let mut drained = 0u64;
         loop {
             let force = q.ring.len() > QUARANTINE_SLABS;
             match q.ring.front() {
-                Some(&(freed_era, addr)) if force || freed_era < era => {
+                Some(&(freed_era, addr))
+                    if (force || freed_era < era) && freed_era < min_pinned =>
+                {
+                    // Recompute coverage at the moment of recycling: a
+                    // guard registered since the stale `min_pinned` load
+                    // would make this drain a protocol violation, which
+                    // the audit surfaces instead of silently corrupting.
+                    if self.pins.min_pinned().is_some_and(|p| p <= freed_era) {
+                        q.pinned_drains += 1;
+                    }
                     q.ring.pop_front();
                     q.members.remove(&addr);
                     if let Some((bitmap_addr, slot)) = self.locate(addr) {
@@ -498,6 +700,106 @@ mod tests {
         });
         assert_eq!(alloc.quarantined_slabs(), 0);
         assert!(reused.into_inner(), "drained slab was never recycled");
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation_until_guard_drops() {
+        let dev = Device::new(1 << 17);
+        let alloc = SlabAllocator::new(&dev, 32);
+        let cap = alloc.capacity_slabs();
+        // Pin the era *before* the free: the guard covers the slab.
+        let guard = alloc.pin(&dev);
+        assert_eq!(alloc.pinned_readers(), 1);
+        let freed = parking_lot::Mutex::new(0);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a).unwrap();
+            *freed.lock() = a;
+        });
+        let a = freed.into_inner();
+        assert!(guard.era() <= dev.launch_era());
+        // Later launches retire the freeing launch, but the pinned era
+        // must still hold the slab in quarantine.
+        dev.launch_warps("alloc_test", 1, |warp| {
+            for _ in 0..8 {
+                assert_ne!(alloc.allocate(warp), a, "slab recycled under a pin");
+            }
+        });
+        assert_eq!(alloc.quarantined_slabs(), 1);
+        alloc.audit_quarantine(&dev).unwrap();
+        drop(guard);
+        assert_eq!(alloc.pinned_readers(), 0);
+        // With the guard gone the slab drains and is claimable again.
+        let reused = parking_lot::Mutex::new(false);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            for _ in 0..2 * cap {
+                if alloc.allocate(warp) == a {
+                    *reused.lock() = true;
+                    break;
+                }
+            }
+        });
+        assert!(reused.into_inner(), "slab never recycled after unpin");
+        alloc.audit_quarantine(&dev).unwrap();
+    }
+
+    #[test]
+    fn force_drain_respects_pins() {
+        let dev = Device::new(1 << 22);
+        let alloc = SlabAllocator::new(&dev, 4 * QUARANTINE_SLABS);
+        let guard = alloc.pin(&dev);
+        // Overflow the quarantine soft cap while the guard is live: the
+        // force path must hold every covered slab rather than recycle it.
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let slabs: Vec<Addr> = (0..QUARANTINE_SLABS + 100)
+                .map(|_| alloc.allocate(warp))
+                .collect();
+            for &a in &slabs {
+                alloc.free(warp, a).unwrap();
+            }
+        });
+        dev.launch_warps("alloc_test", 1, |warp| {
+            // Allocation triggers drain attempts; nothing may leave.
+            alloc.allocate(warp);
+        });
+        assert_eq!(alloc.quarantined_slabs(), QUARANTINE_SLABS + 100);
+        alloc.audit_quarantine(&dev).unwrap();
+        drop(guard);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            alloc.allocate(warp);
+        });
+        assert_eq!(alloc.quarantined_slabs(), 0, "unpinned ring drains");
+        alloc.audit_quarantine(&dev).unwrap();
+    }
+
+    #[test]
+    fn pin_after_free_does_not_block_reclamation() {
+        let dev = Device::new(1 << 17);
+        let alloc = SlabAllocator::new(&dev, 32);
+        let cap = alloc.capacity_slabs();
+        let freed = parking_lot::Mutex::new(0);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            let a = alloc.allocate(warp);
+            alloc.free(warp, a).unwrap();
+            *freed.lock() = a;
+        });
+        let a = freed.into_inner();
+        // The batch boundary bumps the era, *then* the reader pins: its
+        // era strictly postdates the free, so it cannot hold a stale
+        // pointer into the slab and must not delay its reuse. (A pin in
+        // the *same* era as the free would conservatively cover it.)
+        dev.advance_era();
+        let _guard = alloc.pin(&dev);
+        let reused = parking_lot::Mutex::new(false);
+        dev.launch_warps("alloc_test", 1, |warp| {
+            for _ in 0..cap {
+                if alloc.allocate(warp) == a {
+                    *reused.lock() = true;
+                    break;
+                }
+            }
+        });
+        assert!(reused.into_inner(), "late pin wrongly blocked reclamation");
     }
 
     #[test]

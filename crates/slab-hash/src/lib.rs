@@ -192,6 +192,21 @@ fn note_chain_at_insert(warp: &Warp, depth: u64) {
     }
 }
 
+/// Record one chain-walk restart caused by next-pointer skew.
+#[inline]
+fn note_walk_restart(warp: &Warp) {
+    if let Some(p) = warp.device().profiler() {
+        p.metrics().record("slab_hash.walk_restarts", 1);
+    }
+}
+
+/// Bound on validation-triggered walk restarts before a walk proceeds
+/// unvalidated. A reader holding a `ReadGuard` is always safe to finish on
+/// the chain it is on (the pinned era keeps every observed slab's bytes
+/// intact); re-probing merely trades that stale-but-consistent snapshot
+/// for a fresher one, so giving up after a few rounds of skew is sound.
+const MAX_WALK_RESTARTS: u32 = 8;
+
 impl TableDesc {
     /// Device words required for the base slabs of `num_buckets` buckets.
     pub fn base_words(num_buckets: u32) -> usize {
@@ -287,34 +302,55 @@ impl TableDesc {
     }
 
     /// Look up `key`, returning its value if present.
+    ///
+    /// The chain walk is *snapshot-consistent* under concurrent mutation:
+    /// every hop past a slab re-validates that slab's next pointer (one
+    /// extra word read per hop, none for the single-slab common case) and
+    /// re-probes from the bucket on version skew — e.g. a concurrent
+    /// `free_dynamic_slabs` cutting the chain back to its base slab.
     pub fn search(&self, warp: &Warp, key: u32) -> Option<u32> {
         assert_eq!(self.kind, TableKind::Map);
-        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
-        let mut depth = 1u64;
-        loop {
-            let words = warp.read_slab(slab_addr);
-            let found = warp.ballot(&Lanes::from_fn(|i| {
-                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == key
-            }));
-            if let Some(lane) = gpu_sim::ffs(found) {
-                note_probe_depth(warp, depth);
-                return Some(words.get(lane as usize + 1));
+        let bucket = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut restarts = 0u32;
+        'walk: loop {
+            let mut slab_addr = bucket;
+            let mut parent: Option<Addr> = None;
+            let mut depth = 1u64;
+            loop {
+                let words = warp.read_slab(slab_addr);
+                if let Some(p) = parent {
+                    if warp.read_word(p + NEXT_LANE as u32) != slab_addr
+                        && restarts < MAX_WALK_RESTARTS
+                    {
+                        restarts += 1;
+                        note_walk_restart(warp);
+                        continue 'walk;
+                    }
+                }
+                let found = warp.ballot(&Lanes::from_fn(|i| {
+                    MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == key
+                }));
+                if let Some(lane) = gpu_sim::ffs(found) {
+                    note_probe_depth(warp, depth);
+                    return Some(words.get(lane as usize + 1));
+                }
+                let empties = warp.ballot(&Lanes::from_fn(|i| {
+                    MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+                }));
+                if empties != 0 {
+                    // Empties only exist at the tail ⇒ key is absent.
+                    note_probe_depth(warp, depth);
+                    return None;
+                }
+                let next = words.get(NEXT_LANE);
+                if next == NULL_ADDR {
+                    note_probe_depth(warp, depth);
+                    return None;
+                }
+                parent = Some(slab_addr);
+                slab_addr = next;
+                depth += 1;
             }
-            let empties = warp.ballot(&Lanes::from_fn(|i| {
-                MAP_KEY_LANES & (1 << i) != 0 && words.get(i) == EMPTY_KEY
-            }));
-            if empties != 0 {
-                // Empties only exist at the tail ⇒ key is absent.
-                note_probe_depth(warp, depth);
-                return None;
-            }
-            let next = words.get(NEXT_LANE);
-            if next == NULL_ADDR {
-                note_probe_depth(warp, depth);
-                return None;
-            }
-            slab_addr = next;
-            depth += 1;
         }
     }
 
@@ -366,34 +402,51 @@ impl TableDesc {
         }
     }
 
-    /// Membership query (`edgeExist`'s primitive).
+    /// Membership query (`edgeExist`'s primitive). Snapshot-consistent
+    /// under concurrent mutation — same validated-hop protocol as
+    /// [`Self::search`].
     pub fn contains(&self, warp: &Warp, key: u32) -> bool {
         let key_lanes = self.kind.key_lanes();
-        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
-        let mut depth = 1u64;
-        loop {
-            let words = warp.read_slab(slab_addr);
-            let found = warp.ballot(&Lanes::from_fn(|i| {
-                key_lanes & (1 << i) != 0 && words.get(i) == key
-            }));
-            if found != 0 {
-                note_probe_depth(warp, depth);
-                return true;
+        let bucket = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut restarts = 0u32;
+        'walk: loop {
+            let mut slab_addr = bucket;
+            let mut parent: Option<Addr> = None;
+            let mut depth = 1u64;
+            loop {
+                let words = warp.read_slab(slab_addr);
+                if let Some(p) = parent {
+                    if warp.read_word(p + NEXT_LANE as u32) != slab_addr
+                        && restarts < MAX_WALK_RESTARTS
+                    {
+                        restarts += 1;
+                        note_walk_restart(warp);
+                        continue 'walk;
+                    }
+                }
+                let found = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == key
+                }));
+                if found != 0 {
+                    note_probe_depth(warp, depth);
+                    return true;
+                }
+                let empties = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+                }));
+                if empties != 0 {
+                    note_probe_depth(warp, depth);
+                    return false;
+                }
+                let next = words.get(NEXT_LANE);
+                if next == NULL_ADDR {
+                    note_probe_depth(warp, depth);
+                    return false;
+                }
+                parent = Some(slab_addr);
+                slab_addr = next;
+                depth += 1;
             }
-            let empties = warp.ballot(&Lanes::from_fn(|i| {
-                key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
-            }));
-            if empties != 0 {
-                note_probe_depth(warp, depth);
-                return false;
-            }
-            let next = words.get(NEXT_LANE);
-            if next == NULL_ADDR {
-                note_probe_depth(warp, depth);
-                return false;
-            }
-            slab_addr = next;
-            depth += 1;
         }
     }
 
@@ -501,61 +554,107 @@ impl TableDesc {
     /// are not removed and not overwritten by later insertions.
     pub fn delete(&self, warp: &Warp, key: u32) -> bool {
         let key_lanes = self.kind.key_lanes();
-        let mut slab_addr = self.bucket_addr(bucket_of(key, self.num_buckets));
-        loop {
-            warp.begin_attempt();
-            let words = warp.read_slab(slab_addr);
-            let found = warp.ballot(&Lanes::from_fn(|i| {
-                key_lanes & (1 << i) != 0 && words.get(i) == key
-            }));
-            if let Some(lane) = gpu_sim::ffs(found) {
-                // CAS so concurrent deletes of the same key count once; on
-                // a lost race re-probe this slab like a sequential loser
-                // (who would find a tombstone and keep scanning).
-                if warp
-                    .atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY)
-                    .is_ok()
-                {
-                    warp.commit_attempt();
-                    return true;
+        let bucket = self.bucket_addr(bucket_of(key, self.num_buckets));
+        let mut restarts = 0u32;
+        'walk: loop {
+            let mut slab_addr = bucket;
+            let mut parent: Option<Addr> = None;
+            loop {
+                warp.begin_attempt();
+                let words = warp.read_slab(slab_addr);
+                if let Some(p) = parent {
+                    // Validated hop (see `search`): a skewed link means a
+                    // concurrent chain cut; re-probe from the bucket so
+                    // the tombstone lands in the live chain, not a
+                    // detached one. Skew never occurs sequentially, so
+                    // the aborted iteration's charges are discarded.
+                    if warp.read_word(p + NEXT_LANE as u32) != slab_addr
+                        && restarts < MAX_WALK_RESTARTS
+                    {
+                        restarts += 1;
+                        note_walk_restart(warp);
+                        warp.abort_attempt();
+                        continue 'walk;
+                    }
                 }
-                warp.abort_attempt();
-                continue;
+                let found = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == key
+                }));
+                if let Some(lane) = gpu_sim::ffs(found) {
+                    // CAS so concurrent deletes of the same key count once; on
+                    // a lost race re-probe this slab like a sequential loser
+                    // (who would find a tombstone and keep scanning).
+                    if warp
+                        .atomic_cas(slab_addr + lane, key, TOMBSTONE_KEY)
+                        .is_ok()
+                    {
+                        warp.commit_attempt();
+                        return true;
+                    }
+                    warp.abort_attempt();
+                    continue;
+                }
+                let empties = warp.ballot(&Lanes::from_fn(|i| {
+                    key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
+                }));
+                warp.commit_attempt();
+                if empties != 0 {
+                    return false;
+                }
+                let next = words.get(NEXT_LANE);
+                if next == NULL_ADDR {
+                    return false;
+                }
+                parent = Some(slab_addr);
+                slab_addr = next;
             }
-            let empties = warp.ballot(&Lanes::from_fn(|i| {
-                key_lanes & (1 << i) != 0 && words.get(i) == EMPTY_KEY
-            }));
-            warp.commit_attempt();
-            if empties != 0 {
-                return false;
-            }
-            let next = words.get(NEXT_LANE);
-            if next == NULL_ADDR {
-                return false;
-            }
-            slab_addr = next;
         }
     }
 
     /// Walk every slab of every bucket chain, calling `f` per slab — the
     /// paper's adjacency-list iterator (§IV-B). Each step is one coalesced
     /// slab read.
+    ///
+    /// Snapshot-consistent per bucket: a chain's views are buffered and
+    /// only emitted once the whole chain walked without next-pointer skew
+    /// (validated hops, as in [`Self::search`]), so `f` never observes a
+    /// half-old half-new chain and never sees a slab twice.
     pub fn for_each_slab(&self, warp: &Warp, mut f: impl FnMut(SlabView)) {
+        let mut views: Vec<SlabView> = Vec::new();
         for b in 0..self.num_buckets {
-            let mut addr = self.bucket_addr(b);
-            loop {
-                let words = warp.read_slab(addr);
-                let view = SlabView {
-                    addr,
-                    words,
-                    kind: self.kind,
-                };
-                let next = view.next();
-                f(view);
-                if next == NULL_ADDR {
-                    break;
+            let mut restarts = 0u32;
+            'walk: loop {
+                views.clear();
+                let mut addr = self.bucket_addr(b);
+                let mut parent: Option<Addr> = None;
+                loop {
+                    let words = warp.read_slab(addr);
+                    if let Some(p) = parent {
+                        if warp.read_word(p + NEXT_LANE as u32) != addr
+                            && restarts < MAX_WALK_RESTARTS
+                        {
+                            restarts += 1;
+                            note_walk_restart(warp);
+                            continue 'walk;
+                        }
+                    }
+                    let view = SlabView {
+                        addr,
+                        words,
+                        kind: self.kind,
+                    };
+                    let next = view.next();
+                    views.push(view);
+                    if next == NULL_ADDR {
+                        break;
+                    }
+                    parent = Some(addr);
+                    addr = next;
                 }
-                addr = next;
+                break;
+            }
+            for view in views.drain(..) {
+                f(view);
             }
         }
     }
@@ -602,40 +701,64 @@ impl TableDesc {
     }
 
     /// Statistics over the chains (used by the Fig. 2 experiments).
+    ///
+    /// Per-bucket accumulation is buffered and merged only after the chain
+    /// walked without next-pointer skew (validated hops, as in
+    /// [`Self::search`]), so concurrent chain cuts cannot double-count.
     pub fn stats(&self, warp: &Warp) -> TableStats {
         let mut s = TableStats {
             buckets: self.num_buckets as u64,
             ..TableStats::default()
         };
         for b in 0..self.num_buckets {
-            let mut addr = self.bucket_addr(b);
-            let mut chain = 0u64;
-            loop {
-                let words = warp.read_slab(addr);
-                chain += 1;
-                s.slabs += 1;
-                let view = SlabView {
-                    addr,
-                    words,
-                    kind: self.kind,
-                };
-                s.live_keys += view.keys().count() as u64;
-                for i in 0..WARP_SIZE {
-                    if self.kind.key_lanes() & (1 << i) != 0 {
-                        match words.get(i) {
-                            EMPTY_KEY => s.empty_slots += 1,
-                            TOMBSTONE_KEY => s.tombstones += 1,
-                            _ => {}
+            let mut restarts = 0u32;
+            let bucket = 'walk: loop {
+                let mut part = TableStats::default();
+                let mut chain = 0u64;
+                let mut addr = self.bucket_addr(b);
+                let mut parent: Option<Addr> = None;
+                loop {
+                    let words = warp.read_slab(addr);
+                    if let Some(p) = parent {
+                        if warp.read_word(p + NEXT_LANE as u32) != addr
+                            && restarts < MAX_WALK_RESTARTS
+                        {
+                            restarts += 1;
+                            note_walk_restart(warp);
+                            continue 'walk;
                         }
                     }
+                    chain += 1;
+                    part.slabs += 1;
+                    let view = SlabView {
+                        addr,
+                        words,
+                        kind: self.kind,
+                    };
+                    part.live_keys += view.keys().count() as u64;
+                    for i in 0..WARP_SIZE {
+                        if self.kind.key_lanes() & (1 << i) != 0 {
+                            match words.get(i) {
+                                EMPTY_KEY => part.empty_slots += 1,
+                                TOMBSTONE_KEY => part.tombstones += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                    let next = words.get(NEXT_LANE);
+                    if next == NULL_ADDR {
+                        part.max_chain = chain;
+                        break 'walk part;
+                    }
+                    parent = Some(addr);
+                    addr = next;
                 }
-                let next = words.get(NEXT_LANE);
-                if next == NULL_ADDR {
-                    break;
-                }
-                addr = next;
-            }
-            s.max_chain = s.max_chain.max(chain);
+            };
+            s.slabs += bucket.slabs;
+            s.live_keys += bucket.live_keys;
+            s.tombstones += bucket.tombstones;
+            s.empty_slots += bucket.empty_slots;
+            s.max_chain = s.max_chain.max(bucket.max_chain);
         }
         s
     }

@@ -23,18 +23,19 @@ fn main() {
     assert_eq!(added, 4);
 
     // O(1) queries into the per-vertex hash tables.
-    println!("edge 0->2 exists: {}", g.edge_exists(0, 2));
-    println!("weight of 0->2:   {:?}", g.edge_weight(0, 2));
-    assert_eq!(g.edge_weight(0, 2), Some(25));
+    let pin = g.pin_read();
+    println!("edge 0->2 exists: {}", g.edge_exists(&pin, 0, 2));
+    println!("weight of 0->2:   {:?}", g.edge_weight(&pin, 0, 2));
+    assert_eq!(g.edge_weight(&pin, 0, 2), Some(25));
 
     // Adjacency iteration.
-    let mut n = g.neighbors(0);
+    let mut n = g.neighbors(&pin, 0);
     n.sort_unstable();
     println!("neighbors of 0:   {n:?}");
 
     // Batched deletion (tombstones; exact counts maintained).
     g.delete_edges(&[Edge::new(0, 1)]);
-    assert!(!g.edge_exists(0, 1));
+    assert!(!g.edge_exists(&pin, 0, 1));
     println!("after delete, degree(0) = {}", g.degree(0));
 
     // Vertex insertion: new vertex 100 arrives with its edges. Duplicate

@@ -49,7 +49,7 @@ fn main() {
         );
     }
 
-    let stats = g.stats();
+    let stats = g.stats(&g.pin_read());
     println!(
         "\nfinal structure: {} slabs, avg chain {:.2}, utilization {:.2}, {:.1} MB device memory",
         stats.tables.slabs,

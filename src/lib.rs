@@ -29,7 +29,7 @@
 //! let g = DynGraph::new(GraphConfig::undirected_map(128));
 //! g.insert_edges(&[Edge::weighted(0, 1, 7), Edge::weighted(1, 2, 9)]);
 //! assert_eq!(g.num_edges(), 4); // undirected: both half-edges counted
-//! assert!(g.edge_exists(2, 1));
+//! assert!(g.edge_exists(&g.pin_read(), 2, 1));
 //! ```
 
 pub use algos;
@@ -53,7 +53,8 @@ pub mod prelude {
     };
     pub use slabgraph::{
         AllocError, BatchOp, BatchOutcome, Direction, DynGraph, Edge, FaultPlan, GraphConfig,
-        GraphError, GraphStats, OomError, TableKind, ValidationError, DEFAULT_LOAD_FACTOR,
+        GraphError, GraphStats, OomError, ReadGuard, TableKind, ValidationError,
+        DEFAULT_LOAD_FACTOR,
     };
 }
 
@@ -65,6 +66,6 @@ mod tests {
     fn prelude_roundtrip() {
         let g = DynGraph::new(GraphConfig::directed_map(8));
         g.insert_edges(&[Edge::weighted(1, 2, 3)]);
-        assert_eq!(g.edge_weight(1, 2), Some(3));
+        assert_eq!(g.edge_weight(&g.pin_read(), 1, 2), Some(3));
     }
 }

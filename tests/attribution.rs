@@ -26,8 +26,8 @@ fn workload(policy: ExecPolicy) -> Vec<KernelStats> {
         g.delete_edges(&del);
     }
     g.delete_vertices(&[1, 5, 9]);
-    let _ = g.neighbors(3);
-    let _ = g.edge_exists(2, 7);
+    let _ = g.neighbors(&g.pin_read(), 3);
+    let _ = g.edge_exists(&g.pin_read(), 2, 7);
     g.device().trace().kernels
 }
 

@@ -1,0 +1,278 @@
+//! Concurrent readers vs writers over the epoch-pinned read path
+//! (DESIGN.md §17): property tests that every snapshot a pinned reader
+//! observes while mutation batches land is *prefix-consistent* — equal to
+//! the graph state after some prefix of the writer's operation sequence —
+//! plus negative fixtures proving the sanitizer catches a quarantined-slab
+//! read that is not covered by a live [`ReadGuard`].
+//!
+//! The prefix argument rides on probe ordering: each writer batch is a
+//! single operation, so operation visibility times are strictly ordered,
+//! and a reader that probes the operation sequence in *reverse* order can
+//! only observe downward-closed result sets. Any observed snapshot that is
+//! not a prefix state is therefore a genuine snapshot violation, not an
+//! artifact of non-atomic multi-probe reads.
+
+use dynamic_graphs_gpu::gpu_sim::{Device, DeviceConfig, FindingKind, SanitizerConfig};
+use dynamic_graphs_gpu::prelude::*;
+use dynamic_graphs_gpu::slab_alloc::SlabAllocator;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+const READERS: usize = 3;
+const EDGES: usize = 96;
+
+fn graph(n: u32) -> DynGraph {
+    let mut c = GraphConfig::directed_map(n);
+    c.device_words = 1 << 20;
+    c.pool_slabs = 1 << 12;
+    DynGraph::new(c)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded sequence of `EDGES` distinct directed edges.
+fn edge_sequence(seed: u64) -> Vec<Edge> {
+    let mut rng = seed;
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(EDGES);
+    while edges.len() < EDGES {
+        let x = splitmix64(&mut rng);
+        let (src, dst) = ((x % 251) as u32, ((x >> 32) % 251) as u32);
+        if src != dst && seen.insert((src, dst)) {
+            edges.push(Edge::weighted(src, dst, 1 + (x % 100) as u32));
+        }
+    }
+    edges
+}
+
+/// Probe the operation sequence in reverse order under one pin and return
+/// the results in sequence order. See the module doc for why reverse
+/// probing makes prefix violations observable.
+fn snapshot(g: &DynGraph, pin: &ReadGuard, edges: &[Edge]) -> Vec<bool> {
+    let mut obs: Vec<bool> = edges
+        .iter()
+        .rev()
+        .map(|e| g.edge_exists(pin, e.src, e.dst))
+        .collect();
+    obs.reverse();
+    obs
+}
+
+/// Writer inserts one edge per batch, in sequence order; concurrent
+/// pinned readers may only ever observe `{e_0 .. e_m}` for some `m` —
+/// a `true` at index `j` forces `true` at every `i < j`.
+#[test]
+fn concurrent_inserts_observe_only_prefix_states() {
+    for seed in [3u64, 17, 91] {
+        let edges = edge_sequence(seed);
+        let g = graph(256);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (g, stop, edges) = (&g, &stop, &edges);
+            let handles: Vec<_> = (0..READERS)
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut snaps = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            let pin = g.pin_read();
+                            let obs = snapshot(g, &pin, edges);
+                            let head = obs.iter().position(|&b| !b).unwrap_or(obs.len());
+                            assert!(
+                                obs[head..].iter().all(|&b| !b),
+                                "seed {seed} reader {r}: snapshot is not a prefix of the \
+                                 insertion order: {obs:?}"
+                            );
+                            snaps += 1;
+                        }
+                        snaps
+                    })
+                })
+                .collect();
+            for e in edges {
+                g.insert_edges(std::slice::from_ref(e));
+            }
+            stop.store(true, Ordering::Release);
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert!(total > 0, "readers must observe at least one snapshot");
+        });
+        // Quiescent end state: the full sequence, a valid structure, and a
+        // clean sanitizer (escalating under `--features sanitize`).
+        let pin = g.pin_read();
+        assert!(edges.iter().all(|e| g.edge_exists(&pin, e.src, e.dst)));
+        drop(pin);
+        g.validate().unwrap();
+        assert_eq!(g.device().sanitizer_findings(), vec![]);
+    }
+}
+
+/// The mirror property for deletion: the writer deletes one edge per
+/// batch in sequence order, so a reader may only observe `false` on a
+/// prefix of the deletion order — reclamation (the part a stale snapshot
+/// could trip over) is held back by the reader's pinned era.
+#[test]
+fn concurrent_deletes_observe_only_prefix_states() {
+    for seed in [5u64, 23, 77] {
+        let edges = edge_sequence(seed);
+        let g = graph(256);
+        g.insert_edges(&edges);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (g, stop, edges) = (&g, &stop, &edges);
+            let handles: Vec<_> = (0..READERS)
+                .map(|r| {
+                    s.spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            let pin = g.pin_read();
+                            let obs = snapshot(g, &pin, edges);
+                            let head = obs.iter().position(|&b| b).unwrap_or(obs.len());
+                            assert!(
+                                obs[head..].iter().all(|&b| b),
+                                "seed {seed} reader {r}: snapshot is not a prefix of the \
+                                 deletion order: {obs:?}"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for e in edges {
+                g.delete_edges(std::slice::from_ref(e));
+            }
+            stop.store(true, Ordering::Release);
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let pin = g.pin_read();
+        assert!(edges.iter().all(|e| !g.edge_exists(&pin, e.src, e.dst)));
+        drop(pin);
+        g.validate().unwrap();
+        assert_eq!(g.device().sanitizer_findings(), vec![]);
+    }
+}
+
+/// Full mixed churn under concurrent pinned readers running the whole
+/// read surface (membership, neighbor walks, stats): must stay
+/// sanitizer-clean and structurally valid. Deleting and reinserting the
+/// same edges drives slabs through quarantine while reader pins are live,
+/// which is exactly the window epoch-based reclamation protects.
+#[test]
+fn mixed_churn_with_pinned_readers_is_clean_and_valid() {
+    let edges = edge_sequence(41);
+    let g = graph(256);
+    g.insert_edges(&edges);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (g, stop, edges) = (&g, &stop, &edges);
+        let handles: Vec<_> = (0..READERS)
+            .map(|r| {
+                s.spawn(move || {
+                    let mut rng = 1000 + r as u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let pin = g.pin_read();
+                        let e = &edges[(splitmix64(&mut rng) as usize) % edges.len()];
+                        let _ = g.edge_exists(&pin, e.src, e.dst);
+                        let _ = g.neighbor_ids(&pin, e.src);
+                        let _ = g.stats(&pin);
+                    }
+                })
+            })
+            .collect();
+        for round in 0..6 {
+            let (a, b) = edges.split_at(edges.len() / 2);
+            let (del, ins) = if round % 2 == 0 { (a, b) } else { (b, a) };
+            g.delete_edges(del);
+            g.insert_edges(del);
+            g.delete_edges(ins);
+            g.insert_edges(ins);
+        }
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    g.validate().unwrap();
+    assert_eq!(g.device().sanitizer_findings(), vec![]);
+}
+
+fn sanitized_device(words: usize) -> Device {
+    Device::with_config(DeviceConfig::new(words).with_sanitizer(SanitizerConfig::default()))
+}
+
+/// Negative fixture: a quarantined slab read with *no* live `ReadGuard`
+/// must be flagged as an unpinned read, with the reader's kernel and the
+/// allocation/free provenance attached. This is the runtime counterpart
+/// of the lint-kernels R7 rule.
+#[test]
+fn unpinned_quarantined_read_is_flagged() {
+    let dev = sanitized_device(1 << 16);
+    let alloc = SlabAllocator::new(&dev, 64);
+    let slab = Mutex::new(0u32);
+    dev.launch_warps("alloc_kernel", 1, |warp| {
+        *slab.lock().unwrap() = alloc.allocate(warp);
+    });
+    let a = *slab.lock().unwrap();
+    dev.launch_warps("free_kernel", 1, |warp| {
+        alloc.free(warp, a).unwrap();
+    });
+    assert_eq!(alloc.quarantined_slabs(), 1, "slab must sit in quarantine");
+    // No pin is live: the quarantined slab has no covering era.
+    dev.launch_warps("unpinned_reader", 1, |warp| {
+        let _ = warp.read_slab(a);
+    });
+    let f = dev.sanitizer_findings();
+    let uaf: Vec<_> = f
+        .iter()
+        .filter(|x| x.kind == FindingKind::UseAfterFree)
+        .collect();
+    assert!(!uaf.is_empty(), "unpinned read must be flagged: {f:?}");
+    assert_eq!(uaf[0].kernel, "unpinned_reader");
+    assert!(
+        uaf[0].note.contains("unpinned read"),
+        "finding must name the protocol violation: {}",
+        uaf[0].note
+    );
+    assert!(uaf[0].note.contains("free_kernel"), "{}", uaf[0].note);
+}
+
+/// Positive contrast for the fixture above: the same quarantined read is
+/// *certified* while a `ReadGuard` pinned before the free is live, and
+/// flagged again the moment the guard drops (the epoch certificate is
+/// withdrawn, and with it the reclamation guarantee).
+#[test]
+fn pinned_quarantined_read_is_certified_until_unpin() {
+    let dev = sanitized_device(1 << 16);
+    let alloc = SlabAllocator::new(&dev, 64);
+    let slab = Mutex::new(0u32);
+    dev.launch_warps("alloc_kernel", 1, |warp| {
+        *slab.lock().unwrap() = alloc.allocate(warp);
+    });
+    let a = *slab.lock().unwrap();
+    let pin = alloc.pin(&dev);
+    dev.launch_warps("free_kernel", 1, |warp| {
+        alloc.free(warp, a).unwrap();
+    });
+    dev.launch_warps("pinned_reader", 1, |warp| {
+        let _ = warp.read_slab(a);
+    });
+    assert_eq!(
+        dev.sanitizer_findings(),
+        vec![],
+        "a pin predating the free certifies the quarantined read"
+    );
+    drop(pin);
+    dev.launch_warps("late_reader", 1, |warp| {
+        let _ = warp.read_slab(a);
+    });
+    let f = dev.sanitizer_findings();
+    assert!(
+        f.iter()
+            .any(|x| x.kind == FindingKind::UseAfterFree && x.note.contains("unpinned read")),
+        "dropping the guard must withdraw the certificate: {f:?}"
+    );
+}

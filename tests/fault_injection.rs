@@ -60,7 +60,7 @@ fn retry_to_completion(g: &DynGraph, mut outcome: BatchOutcome) -> u64 {
 }
 
 fn sorted_neighbors(g: &DynGraph, v: u32) -> Vec<(u32, u32)> {
-    let mut n = g.neighbors(v);
+    let mut n = g.neighbors(&g.pin_read(), v);
     n.sort_unstable();
     n
 }
@@ -211,7 +211,7 @@ fn fail_in_kernel_scopes_injection_to_named_kernel() {
     g.device().clear_fault_plan();
     let second = g.retry_suffix(&outcome).unwrap();
     assert!(second.is_complete());
-    assert!(g.edge_exists(12, 1));
+    assert!(g.edge_exists(&g.pin_read(), 12, 1));
     g.validate().expect("final audit");
 }
 
@@ -417,5 +417,5 @@ fn staging_failure_applies_nothing() {
     g.validate().expect("untouched graph still validates");
     // Queries stage scratch buffers too, so give them room again.
     g.device().set_capacity_words(1 << 20);
-    assert!(g.edge_exists(0, 1), "previous state intact");
+    assert!(g.edge_exists(&g.pin_read(), 0, 1), "previous state intact");
 }

@@ -84,13 +84,16 @@ fn assert_state_identical(g: &ShardedGraph, reference: &DynGraph) {
     for u in 0..N {
         let mut got = g.neighbor_ids(u);
         got.sort_unstable();
-        let mut want = reference.neighbor_ids(u);
+        let mut want = reference.neighbor_ids(&reference.pin_read(), u);
         want.sort_unstable();
         assert_eq!(got, want, "vertex {u}: adjacency diverged");
         for &v in &got {
             assert_eq!(
-                g.shard(g.owner_of(u)).edge_weight(u, v),
-                reference.edge_weight(u, v),
+                {
+                    let shard = g.shard(g.owner_of(u));
+                    shard.edge_weight(&shard.pin_read(), u, v)
+                },
+                reference.edge_weight(&reference.pin_read(), u, v),
                 "edge {u}->{v}: weight diverged"
             );
         }

@@ -107,7 +107,7 @@ fn directed_graph_matches_reference() {
 
         // Full-state comparison.
         for u in 0..N {
-            let mut ours = g.neighbors(u);
+            let mut ours = g.neighbors(&g.pin_read(), u);
             ours.sort_unstable();
             let mut want: Vec<(u32, u32)> = reference
                 .adj
@@ -161,9 +161,9 @@ fn undirected_graph_stays_symmetric() {
 
         // Symmetry: u lists v  <=>  v lists u (with equal weight).
         for u in 0..N {
-            for (v, w) in g.neighbors(u) {
+            for (v, w) in g.neighbors(&g.pin_read(), u) {
                 assert_eq!(
-                    g.edge_weight(v, u),
+                    g.edge_weight(&g.pin_read(), v, u),
                     Some(w),
                     "seed {seed}: asymmetry at ({u}, {v})"
                 );
@@ -173,7 +173,10 @@ fn undirected_graph_stays_symmetric() {
         for &v in &dedup {
             assert_eq!(g.degree(v), 0, "seed {seed}");
             for u in 0..N {
-                assert!(!g.edge_exists(u, v), "seed {seed}: edge ({u}, {v})");
+                assert!(
+                    !g.edge_exists(&g.pin_read(), u, v),
+                    "seed {seed}: edge ({u}, {v})"
+                );
             }
         }
         g.check_invariants();

@@ -76,7 +76,7 @@ fn churn_replay_is_byte_identical_across_shard_counts() {
     for r in &rounds {
         reference.insert_edges(&r.ins);
         reference.delete_edges(&r.del);
-        expected.push(reference.edges_exist(&r.qry));
+        expected.push(reference.edges_exist(&reference.pin_read(), &r.qry));
     }
 
     for shards in [1usize, 2, 4] {
@@ -98,7 +98,7 @@ fn churn_replay_is_byte_identical_across_shard_counts() {
                 "degree({v}), {shards} shards"
             );
             let mut a = g.neighbor_ids(v);
-            let mut b = reference.neighbor_ids(v);
+            let mut b = reference.neighbor_ids(&reference.pin_read(), v);
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "neighbors({v}), {shards} shards");
@@ -128,7 +128,10 @@ fn routed_stream_matches_direct_application() {
         let report = router.flush();
         assert!(report.is_complete(), "no memory pressure in this test");
         assert_eq!(report.updates, r.ins.len() + r.del.len());
-        assert_eq!(g.edges_exist(&r.qry), reference.edges_exist(&r.qry));
+        assert_eq!(
+            g.edges_exist(&r.qry),
+            reference.edges_exist(&reference.pin_read(), &r.qry)
+        );
     }
     assert_eq!(g.num_edges(), reference.num_edges());
     g.validate().expect("audit after routed stream");
@@ -181,7 +184,10 @@ fn single_shard_oom_recovers_while_others_proceed() {
 
     assert_eq!(g.num_edges(), reference.num_edges());
     let qry: Vec<(u32, u32)> = round.ins.iter().map(|e| (e.src, e.dst)).collect();
-    assert_eq!(g.edges_exist(&qry), reference.edges_exist(&qry));
+    assert_eq!(
+        g.edges_exist(&qry),
+        reference.edges_exist(&reference.pin_read(), &qry)
+    );
     g.validate().expect("audit after recovery");
 }
 

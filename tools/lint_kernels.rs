@@ -39,6 +39,14 @@
 //!   turns a recoverable per-shard fault into a fleet-wide abort, and a
 //!   discarded outcome silently drops the pending suffix the journal
 //!   would have preserved.
+//! - **R7 `unpinned-read`** — in the pinned query path
+//!   (`crates/core/src/query.rs`, `crates/core/src/stats.rs`), a kernel
+//!   launch with no `pin`/`ReadGuard` mention in the preceding ten code
+//!   lines. Query kernels walk slab chains that the allocator may recycle;
+//!   only a live `ReadGuard` (the epoch pin) holds its era's quarantined
+//!   slabs back, so an unpinned walk is a use-after-free the sanitizer
+//!   would flag as `unpinned read` at runtime. The lint catches it at
+//!   review time.
 //!
 //! ## Allowlist
 //!
@@ -76,7 +84,7 @@ struct Rule {
     applies_to_gpu_sim: bool,
 }
 
-const RULES: [Rule; 6] = [
+const RULES: [Rule; 7] = [
     Rule {
         id: "R1",
         name: "raw-arena-access",
@@ -115,6 +123,13 @@ const RULES: [Rule; 6] = [
             "dispatch outcome unwrapped or discarded in sharded code; route it through the retry policy or journal",
         applies_to_gpu_sim: false,
     },
+    Rule {
+        id: "R7",
+        name: "unpinned-read",
+        desc:
+            "query-path kernel launched with no live ReadGuard in scope; pin an era before walking slabs",
+        applies_to_gpu_sim: false,
+    },
 ];
 
 /// Is this file part of a sharded code path (where R5 and R6 apply)? The
@@ -123,6 +138,29 @@ const RULES: [Rule; 6] = [
 /// own dispatch outcomes directly.
 fn in_sharded_scope(path: &str) -> bool {
     path.starts_with("crates/router/") || path.ends_with("/sharded.rs")
+}
+
+/// Is this file part of the pinned query path (where R7 applies)? The core
+/// read kernels walk slab chains whose reclamation is held back only by a
+/// live `ReadGuard`; update and maintenance kernels *publish* eras rather
+/// than pinning them, so they launch freely.
+fn in_query_scope(path: &str) -> bool {
+    path == "crates/core/src/query.rs" || path == "crates/core/src/stats.rs"
+}
+
+/// How many comment-stripped lines above a query-path launch may hold the
+/// pin evidence (`check_pin(…)`, a bound guard, a `ReadGuard` parameter)
+/// before R7 considers the launch unpinned.
+const R7_WINDOW: usize = 10;
+
+/// A `launch_tasks(` / `launch_warps(` call site (declarations excluded).
+fn is_launch_site(line: &str) -> bool {
+    ["launch_tasks(", "launch_warps("]
+        .iter()
+        .any(|l| match line.find(l) {
+            Some(pos) => !line[..pos].trim_end().ends_with("fn"),
+            None => false,
+        })
 }
 
 /// A single lint hit.
@@ -245,6 +283,26 @@ fn scan_file(path: &str, text: &str, hits: &mut Vec<Hit>) {
                 continue;
             }
             if matches!(rule.id, "R5" | "R6") && !in_sharded_scope(path) {
+                continue;
+            }
+            // R7 needs lookbehind, not a line matcher: a query-path launch
+            // is unpinned when none of the preceding R7_WINDOW code lines
+            // (nor the launch line itself) carries the pin evidence.
+            if rule.id == "R7" {
+                if in_query_scope(path) && is_launch_site(line) {
+                    let start = idx.saturating_sub(R7_WINDOW);
+                    let pinned = lines[start..=idx]
+                        .iter()
+                        .any(|l| l.contains("pin") || l.contains("ReadGuard"));
+                    if !pinned {
+                        hits.push(Hit {
+                            rule: rule.id,
+                            path: path.to_string(),
+                            line: idx + 1,
+                            excerpt: raw_line.trim().to_string(),
+                        });
+                    }
+                }
                 continue;
             }
             // R3's name argument may sit on the next line when rustfmt
@@ -535,6 +593,44 @@ mod tests {
                 "{good}"
             );
         }
+    }
+
+    #[test]
+    fn unpinned_read_is_flagged_in_query_scope_only() {
+        let bad = "self.dev.launch_warps(\"edge_weight\", 1, |warp| {\n";
+        let hits = hits_in("crates/core/src/query.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "R7");
+        assert_eq!(hits_in("crates/core/src/stats.rs", bad).len(), 1);
+        // Update/maintenance kernels publish eras instead of pinning them:
+        // the same launch is fine outside the query path.
+        assert!(hits_in("crates/core/src/edge_ops.rs", bad).is_empty());
+
+        // Pin evidence within the lookbehind window satisfies the rule,
+        // whether it is a check_pin call or a bound guard.
+        for evidence in [
+            "self.check_pin(pin);\n",
+            "let _pin = self.pin_read();\n",
+            "pub fn stats(&self, pin: &ReadGuard) -> GraphStats {\n",
+        ] {
+            let good = format!("{evidence}let n = pairs.len();\n{bad}");
+            assert!(
+                hits_in("crates/core/src/query.rs", &good).is_empty(),
+                "{evidence}"
+            );
+        }
+        // Evidence only in comments does not count.
+        let commented = format!("// pinned by the caller\n{bad}");
+        assert_eq!(hits_in("crates/core/src/query.rs", &commented).len(), 1);
+        // Evidence outside the window does not count.
+        let distant = format!("self.check_pin(pin);\n{}{bad}", "let x = 0;\n".repeat(11));
+        assert_eq!(hits_in("crates/core/src/query.rs", &distant).len(), 1);
+        // Declarations are not launch sites.
+        assert!(hits_in(
+            "crates/core/src/query.rs",
+            "pub fn launch_warps(&self, name: &str) {\n"
+        )
+        .is_empty());
     }
 
     #[test]
