@@ -18,10 +18,14 @@ use slab_hash::TableKind;
 impl DynGraph {
     /// Assert the guard pins *this* graph's allocator — a guard from a
     /// different graph would not block reclamation here, silently turning
-    /// "snapshot read" into "use-after-free roulette".
+    /// "snapshot read" into "use-after-free roulette". A hard assert even
+    /// in release builds: the `Arc::ptr_eq` is negligible next to the
+    /// kernel launch every query performs, and callers that legitimately
+    /// hold possibly-stale guards (the router's degraded path) check
+    /// `owns_guard` themselves and degrade instead of calling in.
     #[inline]
     pub(crate) fn check_pin(&self, pin: &ReadGuard) {
-        debug_assert!(
+        assert!(
             self.alloc.owns_guard(pin),
             "ReadGuard pinned against a different graph's allocator"
         );

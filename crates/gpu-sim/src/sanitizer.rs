@@ -32,9 +32,11 @@
 //!   the arena's bump cursor. The checker also models the release/acquire
 //!   edges of *era publication* (epoch-based reclamation): a `ReadGuard`
 //!   pin registers its era via [`Sanitizer::on_pin`], and an access to a
-//!   **quarantined** slab is certified safe iff some live pin's era is ≤
-//!   the slab's free era (the pin happened-before the free, so the
-//!   reclamation protocol guarantees the slab's memory survives). A
+//!   **quarantined** slab is certified safe iff some live pin **on the
+//!   allocator that owns the slab** has an era ≤ the slab's free era
+//!   (the pin happened-before the free, so the reclamation protocol
+//!   guarantees the slab's memory survives; a pin on a different
+//!   allocator blocks nothing here and certifies nothing). A
 //!   quarantined access with no covering pin is an *unpinned read* and is
 //!   flagged as use-after-free; accesses to fully `Free` (drained) slabs
 //!   are always flagged.
@@ -298,6 +300,10 @@ struct SlabShadow {
     /// reader pin taken at era ≤ `free_era` happened-before the free and
     /// may legally read the quarantined slab.
     free_era: u64,
+    /// Identity of the allocator that owns the slab: only pins registered
+    /// against this allocator block its reclamation, so only they can
+    /// certify a quarantined read.
+    owner: u64,
 }
 
 /// The shadow-memory sanitizer attached to a device (see module docs).
@@ -309,10 +315,13 @@ pub struct Sanitizer {
     /// Slab lifetime shadows keyed by slab base (slab bases are 32-word
     /// aligned by construction).
     slabs: Mutex<HashMap<Addr, SlabShadow>>,
-    /// Live reader pins as an era multiset (era → live guard count).
-    /// Mirrors the allocator's pin registry so memcheck can certify
-    /// quarantined-slab reads made under a covering `ReadGuard`.
-    pins: Mutex<BTreeMap<u64, usize>>,
+    /// Live reader pins, keyed by allocator id, each an era multiset
+    /// (era → live guard count). Mirrors every allocator's pin registry
+    /// so memcheck can certify quarantined-slab reads made under a
+    /// covering `ReadGuard`. Keying per allocator matters: a guard on one
+    /// graph does not block reclamation in another graph sharing the
+    /// device, so it must not certify that graph's quarantined slabs.
+    pins: Mutex<HashMap<u64, BTreeMap<u64, usize>>>,
     /// Initialization bitmap: bit per word, grown lazily.
     init: RwLock<Vec<AtomicU64>>,
     findings: Mutex<Vec<Finding>>,
@@ -330,7 +339,7 @@ impl Sanitizer {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             slabs: Mutex::new(HashMap::new()),
-            pins: Mutex::new(BTreeMap::new()),
+            pins: Mutex::new(HashMap::new()),
             init: RwLock::new(Vec::new()),
             findings: Mutex::new(Vec::new()),
             total: AtomicU64::new(0),
@@ -436,8 +445,9 @@ impl Sanitizer {
 
     // ---- slab lifetime hooks (called by the slab allocator) ----
 
-    /// A pool slab at `base` was claimed by `kernel`.
-    pub fn on_slab_alloc(&self, base: Addr, kernel: &'static str) {
+    /// A pool slab at `base` was claimed by `kernel` on behalf of the
+    /// allocator identified by `owner`.
+    pub fn on_slab_alloc(&self, base: Addr, kernel: &'static str, owner: u64) {
         self.slabs.lock().insert(
             base,
             SlabShadow {
@@ -445,23 +455,26 @@ impl Sanitizer {
                 alloc_kernel: kernel,
                 free_kernel: "",
                 free_era: 0,
+                owner,
             },
         );
     }
 
-    /// A pool slab at `base` was freed by `kernel` during launch `era`
-    /// (enters quarantine).
-    pub fn on_slab_free(&self, base: Addr, kernel: &'static str, era: u64) {
+    /// A pool slab at `base`, owned by allocator `owner`, was freed by
+    /// `kernel` during launch `era` (enters quarantine).
+    pub fn on_slab_free(&self, base: Addr, kernel: &'static str, era: u64, owner: u64) {
         let mut slabs = self.slabs.lock();
         let entry = slabs.entry(base).or_insert(SlabShadow {
             status: SlabStatus::Allocated,
             alloc_kernel: "(unknown)",
             free_kernel: "",
             free_era: 0,
+            owner,
         });
         entry.status = SlabStatus::Quarantined;
         entry.free_kernel = kernel;
         entry.free_era = era;
+        entry.owner = owner;
     }
 
     /// A quarantined slab at `base` left quarantine (reusable again).
@@ -473,27 +486,42 @@ impl Sanitizer {
         }
     }
 
-    /// A `ReadGuard` pinned era `era` (the acquire edge of era
-    /// publication). While the pin lives, quarantined slabs freed at or
-    /// after `era` stay legal to read.
-    pub fn on_pin(&self, era: u64) {
-        *self.pins.lock().entry(era).or_insert(0) += 1;
+    /// A `ReadGuard` on allocator `owner` pinned era `era` (the acquire
+    /// edge of era publication). While the pin lives, that allocator's
+    /// quarantined slabs freed at or after `era` stay legal to read.
+    pub fn on_pin(&self, owner: u64, era: u64) {
+        *self
+            .pins
+            .lock()
+            .entry(owner)
+            .or_default()
+            .entry(era)
+            .or_insert(0) += 1;
     }
 
-    /// The `ReadGuard` pinning `era` was dropped.
-    pub fn on_unpin(&self, era: u64) {
+    /// The `ReadGuard` on allocator `owner` pinning `era` was dropped.
+    pub fn on_unpin(&self, owner: u64, era: u64) {
         let mut pins = self.pins.lock();
-        if let Some(n) = pins.get_mut(&era) {
-            *n -= 1;
-            if *n == 0 {
-                pins.remove(&era);
+        if let Some(eras) = pins.get_mut(&owner) {
+            if let Some(n) = eras.get_mut(&era) {
+                *n -= 1;
+                if *n == 0 {
+                    eras.remove(&era);
+                }
+            }
+            if eras.is_empty() {
+                pins.remove(&owner);
             }
         }
     }
 
-    /// Smallest currently-pinned era, if any reader guard is live.
-    fn min_pinned(&self) -> Option<u64> {
-        self.pins.lock().keys().next().copied()
+    /// Smallest era currently pinned against allocator `owner`, if any
+    /// of its reader guards is live.
+    fn min_pinned(&self, owner: u64) -> Option<u64> {
+        self.pins
+            .lock()
+            .get(&owner)
+            .and_then(|eras| eras.keys().next().copied())
     }
 
     /// Record a double-free detected by the allocator, with the original
@@ -560,18 +588,20 @@ impl Sanitizer {
             // Use-after-free: check each distinct slab the range touches.
             let first_slab = base & !(SLAB_WORDS as u32 - 1);
             let last_slab = (base + len - 1) & !(SLAB_WORDS as u32 - 1);
-            let min_pin = self.min_pinned();
             let slabs = self.slabs.lock();
             let mut s = first_slab;
             while s <= last_slab {
                 if let Some(sh) = slabs.get(&s) {
                     // Quarantined slabs are readable under epoch-based
-                    // reclamation iff some live pin predates the free
-                    // (min pinned era ≤ free era): the reclamation rule
-                    // then guarantees the slab cannot recycle. Drained
-                    // (`Free`) slabs are past every pin and always flag.
+                    // reclamation iff some live pin **on the owning
+                    // allocator** predates the free (min pinned era ≤
+                    // free era): only that allocator's pins block the
+                    // slab's reclamation, so a guard on another graph
+                    // certifies nothing. Sampled per slab — one range can
+                    // span slabs with different owners. Drained (`Free`)
+                    // slabs are past every pin and always flag.
                     let covered = sh.status == SlabStatus::Quarantined
-                        && min_pin.is_some_and(|p| p <= sh.free_era);
+                        && self.min_pinned(sh.owner).is_some_and(|p| p <= sh.free_era);
                     if sh.status != SlabStatus::Allocated && !covered {
                         let why = if sh.status == SlabStatus::Quarantined {
                             "quarantined, read outside a live ReadGuard (unpinned read)"
@@ -908,15 +938,18 @@ mod tests {
         assert_eq!(s.findings()[0].kind, FindingKind::OutOfBounds);
     }
 
+    /// Allocator id used by single-allocator fixtures.
+    const A1: u64 = 1;
+
     #[test]
     fn slab_lifecycle_flags_uaf_until_reallocated() {
         let s = san();
         s.mark_init_range(0, 256);
-        s.on_slab_alloc(64, "alloc_k");
+        s.on_slab_alloc(64, "alloc_k", A1);
         let mut w0 = WarpRace::new(1, 0);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0);
-        s.on_slab_free(64, "free_k", 1);
+        s.on_slab_free(64, "free_k", 1, A1);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         let f = s.findings();
         assert_eq!(f[0].kind, FindingKind::UseAfterFree);
@@ -926,7 +959,7 @@ mod tests {
         s.clear_findings();
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.findings()[0].kind, FindingKind::UseAfterFree);
-        s.on_slab_alloc(64, "alloc2");
+        s.on_slab_alloc(64, "alloc2", A1);
         s.clear_findings();
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0);
@@ -936,16 +969,16 @@ mod tests {
     fn pinned_reader_may_touch_quarantined_slab() {
         let s = san();
         s.mark_init_range(0, 256);
-        s.on_slab_alloc(64, "alloc_k");
+        s.on_slab_alloc(64, "alloc_k", A1);
         // Reader pins era 3, then the slab is freed at era 5: the pin
         // happened-before the free, so the quarantined read is certified.
-        s.on_pin(3);
-        s.on_slab_free(64, "free_k", 5);
+        s.on_pin(A1, 3);
+        s.on_slab_free(64, "free_k", 5, A1);
         let mut w0 = WarpRace::new(6, 0);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0, "{:?}", s.findings());
         // Dropping the guard withdraws the certificate.
-        s.on_unpin(3);
+        s.on_unpin(A1, 3);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 1);
         let f = s.findings();
@@ -957,24 +990,24 @@ mod tests {
     fn pin_taken_after_free_does_not_cover_the_slab() {
         let s = san();
         s.mark_init_range(0, 256);
-        s.on_slab_alloc(64, "alloc_k");
-        s.on_slab_free(64, "free_k", 2);
+        s.on_slab_alloc(64, "alloc_k", A1);
+        s.on_slab_free(64, "free_k", 2, A1);
         // A pin at era 7 postdates the free: it cannot resurrect the slab.
-        s.on_pin(7);
+        s.on_pin(A1, 7);
         let mut w0 = WarpRace::new(8, 0);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 1);
         assert_eq!(s.findings()[0].kind, FindingKind::UseAfterFree);
-        s.on_unpin(7);
+        s.on_unpin(A1, 7);
     }
 
     #[test]
     fn pin_never_covers_drained_slabs() {
         let s = san();
         s.mark_init_range(0, 256);
-        s.on_slab_alloc(64, "alloc_k");
-        s.on_pin(1);
-        s.on_slab_free(64, "free_k", 4);
+        s.on_slab_alloc(64, "alloc_k", A1);
+        s.on_pin(A1, 1);
+        s.on_slab_free(64, "free_k", 4, A1);
         s.on_slab_drain(64);
         // Even a covering pin cannot excuse a read of fully drained
         // memory — the allocator only drains past every pin, so reaching
@@ -983,24 +1016,48 @@ mod tests {
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 1);
         assert!(s.findings()[0].note.contains("recycled"));
-        s.on_unpin(1);
+        s.on_unpin(A1, 1);
     }
 
     #[test]
     fn pin_multiset_tracks_duplicate_eras() {
         let s = san();
         s.mark_init_range(0, 256);
-        s.on_slab_alloc(64, "alloc_k");
-        s.on_pin(2);
-        s.on_pin(2);
-        s.on_slab_free(64, "free_k", 3);
-        s.on_unpin(2);
+        s.on_slab_alloc(64, "alloc_k", A1);
+        s.on_pin(A1, 2);
+        s.on_pin(A1, 2);
+        s.on_slab_free(64, "free_k", 3, A1);
+        s.on_unpin(A1, 2);
         // One guard at era 2 is still live: the slab stays covered.
         let mut w0 = WarpRace::new(4, 0);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 0, "{:?}", s.findings());
-        s.on_unpin(2);
+        s.on_unpin(A1, 2);
         s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
         assert_eq!(s.finding_count(), 1);
+    }
+
+    #[test]
+    fn pin_on_another_allocator_certifies_nothing() {
+        let s = san();
+        s.mark_init_range(0, 256);
+        s.on_slab_alloc(64, "alloc_k", A1);
+        // A guard on allocator 2 is live across allocator 1's free. It
+        // does not block allocator 1's reclamation, so it must not
+        // certify the quarantined read — this is the cross-graph hazard
+        // `check_pin` guards against on the query side.
+        s.on_pin(2, 3);
+        s.on_slab_free(64, "free_k", 5, A1);
+        let mut w0 = WarpRace::new(6, 0);
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 1, "{:?}", s.findings());
+        assert!(s.findings()[0].note.contains("unpinned read"));
+        // An equally-old pin on the owning allocator does certify.
+        s.on_pin(A1, 3);
+        s.clear_findings();
+        s.on_warp_access(&mut w0, 0, "reader", 70, 1, AccessKind::PlainRead, 1024);
+        assert_eq!(s.finding_count(), 0, "{:?}", s.findings());
+        s.on_unpin(2, 3);
+        s.on_unpin(A1, 3);
     }
 }

@@ -95,6 +95,12 @@ impl From<OomError> for AllocError {
 /// Upper bound on quarantined slabs before the oldest are force-drained.
 const QUARANTINE_SLABS: usize = 1024;
 
+/// Source of unique allocator identities. The sanitizer keys its pin
+/// model per allocator (see [`Sanitizer::on_pin`]) so a guard on one
+/// graph cannot certify quarantined-slab reads of another graph sharing
+/// the device.
+static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Freed slabs whose occupancy bit is deliberately left claimed until it is
 /// safe to recycle them.
 ///
@@ -113,11 +119,6 @@ struct Quarantine {
     ring: VecDeque<(u64, Addr)>,
     /// Same addresses, for O(1) double-free membership checks.
     members: HashSet<Addr>,
-    /// Count of drains that violated the pin protocol (a slab left
-    /// quarantine while a reader era ≤ its free era was pinned). Always
-    /// zero unless the drain logic regresses; audited by
-    /// [`SlabAllocator::audit_quarantine`].
-    pinned_drains: u64,
 }
 
 /// Multiset of reader-pinned launch eras, shared between the allocator and
@@ -153,6 +154,16 @@ impl PinRegistry {
     pub fn depth(&self) -> usize {
         self.pins.lock().values().sum()
     }
+
+    /// Run `f` under the pin-table lock with the current minimum pinned
+    /// era. The registry cannot change while `f` runs — `register` and
+    /// `unregister` take the same lock — so a decision `f` makes (e.g.
+    /// recycling a quarantined slab) cannot be invalidated by a
+    /// concurrently registering pin.
+    fn locked_min_pinned<R>(&self, f: impl FnOnce(Option<u64>) -> R) -> R {
+        let pins = self.pins.lock();
+        f(pins.keys().next().copied())
+    }
 }
 
 /// An era pin: while this guard lives, no slab freed at or after the pinned
@@ -165,6 +176,9 @@ impl PinRegistry {
 pub struct ReadGuard {
     reg: Arc<PinRegistry>,
     era: u64,
+    /// Id of the issuing allocator, for the sanitizer's per-allocator
+    /// pin model.
+    owner: u64,
     prof: Option<Arc<Profiler>>,
     san: Option<Arc<Sanitizer>>,
 }
@@ -180,7 +194,7 @@ impl Drop for ReadGuard {
     fn drop(&mut self) {
         self.reg.unregister(self.era);
         if let Some(san) = &self.san {
-            san.on_unpin(self.era);
+            san.on_unpin(self.owner, self.era);
         }
         if let Some(p) = &self.prof {
             p.metrics().gauge("read.pin_depth").sub(1);
@@ -221,6 +235,8 @@ pub struct SlabAllocator {
     freed: AtomicU64,
     quarantine: Mutex<Quarantine>,
     pins: Arc<PinRegistry>,
+    /// Process-unique identity keying the sanitizer's pin model.
+    id: u64,
 }
 
 impl SlabAllocator {
@@ -233,6 +249,7 @@ impl SlabAllocator {
             freed: AtomicU64::new(0),
             quarantine: Mutex::new(Quarantine::default()),
             pins: Arc::new(PinRegistry::default()),
+            id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
         };
         let supers_needed = initial_slabs.div_ceil(SLABS_PER_SUPER).max(1);
         for _ in 0..supers_needed {
@@ -346,7 +363,7 @@ impl SlabAllocator {
                         let slab_idx = block_in_super * SLABS_PER_BLOCK + slot as usize;
                         let addr = sb.slabs + (slab_idx * SLAB_WORDS) as u32;
                         if let Some(san) = warp.device().sanitizer() {
-                            san.on_slab_alloc(addr, warp.kernel_name());
+                            san.on_slab_alloc(addr, warp.kernel_name(), self.id);
                         }
                         if let Some(p) = warp.device().profiler() {
                             p.metrics().gauge("slab_alloc.live_slabs").add(1);
@@ -404,7 +421,7 @@ impl SlabAllocator {
         q.members.insert(addr);
         drop(q);
         if let Some(san) = dev.sanitizer() {
-            san.on_slab_free(addr, warp.kernel_name(), dev.launch_era());
+            san.on_slab_free(addr, warp.kernel_name(), dev.launch_era(), self.id);
         }
         if let Some(p) = dev.profiler() {
             p.metrics().gauge("slab_alloc.live_slabs").sub(1);
@@ -444,7 +461,7 @@ impl SlabAllocator {
             era = now;
         }
         if let Some(san) = dev.sanitizer() {
-            san.on_pin(era);
+            san.on_pin(self.id, era);
         }
         if let Some(p) = dev.profiler() {
             p.metrics().gauge("read.pin_depth").add(1);
@@ -452,6 +469,7 @@ impl SlabAllocator {
         ReadGuard {
             reg: self.pins.clone(),
             era,
+            owner: self.id,
             prof: dev.profiler().cloned(),
             san: dev.sanitizer().cloned(),
         }
@@ -476,11 +494,14 @@ impl SlabAllocator {
 
     /// Audit the epoch-reclamation invariants; returns a description of
     /// the first violation found. Checked: the quarantine ring is
-    /// era-monotonic (free order), every quarantined slab's occupancy bit
-    /// is still claimed (it cannot have been handed out again), and no
-    /// entry covered by a live pin (pinned era ≤ free era) has been
-    /// drained out from under its readers — covered entries must still be
-    /// present as an era-contiguous suffix of the ring.
+    /// era-monotonic (free order), every ring entry is present in the
+    /// member set, and every quarantined slab's occupancy bit is still
+    /// claimed (it cannot have been handed out again). The pin-coverage
+    /// guarantee — no entry leaves quarantine while a reader era ≤ its
+    /// free era is pinned — is enforced structurally rather than audited
+    /// post-hoc: the drain decides coverage and pops under the pin-table
+    /// lock (see `drain_quarantine`), so there is no window in which a
+    /// registering pin can be missed.
     pub fn audit_quarantine(&self, dev: &Device) -> Result<(), String> {
         let q = self.quarantine.lock();
         let mut prev_era = 0u64;
@@ -503,12 +524,6 @@ impl SlabAllocator {
                 ));
             }
         }
-        if q.pinned_drains > 0 {
-            return Err(format!(
-                "{} slab(s) were drained while a reader era ≤ their free era was pinned",
-                q.pinned_drains
-            ));
-        }
         Ok(())
     }
 
@@ -523,34 +538,42 @@ impl SlabAllocator {
     /// bookkeeping off the allocation hot path.
     fn drain_quarantine(&self, dev: &Device) {
         let era = dev.launch_era();
-        let min_pinned = self.pins.min_pinned().unwrap_or(u64::MAX);
         let mut q = self.quarantine.lock();
         let mut drained = 0u64;
         loop {
             let force = q.ring.len() > QUARANTINE_SLABS;
-            match q.ring.front() {
-                Some(&(freed_era, addr))
-                    if (force || freed_era < era) && freed_era < min_pinned =>
-                {
-                    // Recompute coverage at the moment of recycling: a
-                    // guard registered since the stale `min_pinned` load
-                    // would make this drain a protocol violation, which
-                    // the audit surfaces instead of silently corrupting.
-                    if self.pins.min_pinned().is_some_and(|p| p <= freed_era) {
-                        q.pinned_drains += 1;
-                    }
-                    q.ring.pop_front();
-                    q.members.remove(&addr);
-                    if let Some((bitmap_addr, slot)) = self.locate(addr) {
-                        dev.arena().fetch_and(bitmap_addr, !(1 << slot));
-                    }
-                    if let Some(san) = dev.sanitizer() {
-                        san.on_slab_drain(addr);
-                    }
-                    drained += 1;
-                }
-                _ => break,
+            let Some(&(freed_era, addr)) = q.ring.front() else {
+                break;
+            };
+            if !force && freed_era >= era {
+                break;
             }
+            // Coverage is decided and the entry popped under the pin-table
+            // lock, so a pin racing this drain cannot register between the
+            // check and the pop: it either lands before the check (the
+            // entry is held and the ring simply grows past its soft cap
+            // until the guard drops) or after the pop, at an era from
+            // which the already-unlinked slab is unreachable. Re-checked
+            // per entry so a pin taken mid-drain stops the drain at its
+            // first covered slab.
+            let popped = self.pins.locked_min_pinned(|min| {
+                if min.is_some_and(|p| p <= freed_era) {
+                    return false;
+                }
+                q.ring.pop_front();
+                true
+            });
+            if !popped {
+                break;
+            }
+            q.members.remove(&addr);
+            if let Some((bitmap_addr, slot)) = self.locate(addr) {
+                dev.arena().fetch_and(bitmap_addr, !(1 << slot));
+            }
+            if let Some(san) = dev.sanitizer() {
+                san.on_slab_drain(addr);
+            }
+            drained += 1;
         }
         if drained > 0 {
             if let Some(p) = dev.profiler() {

@@ -15,7 +15,7 @@
 use dynamic_graphs_gpu::gpu_sim::{Device, DeviceConfig, FindingKind, SanitizerConfig};
 use dynamic_graphs_gpu::prelude::*;
 use dynamic_graphs_gpu::slab_alloc::SlabAllocator;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 const READERS: usize = 3;
@@ -73,13 +73,14 @@ fn concurrent_inserts_observe_only_prefix_states() {
         let edges = edge_sequence(seed);
         let g = graph(256);
         let stop = AtomicBool::new(false);
+        let ready = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            let (g, stop, edges) = (&g, &stop, &edges);
+            let (g, stop, ready, edges) = (&g, &stop, &ready, &edges);
             let handles: Vec<_> = (0..READERS)
                 .map(|r| {
                     s.spawn(move || {
                         let mut snaps = 0u64;
-                        while !stop.load(Ordering::Acquire) {
+                        loop {
                             let pin = g.pin_read();
                             let obs = snapshot(g, &pin, edges);
                             let head = obs.iter().position(|&b| !b).unwrap_or(obs.len());
@@ -89,17 +90,35 @@ fn concurrent_inserts_observe_only_prefix_states() {
                                  insertion order: {obs:?}"
                             );
                             snaps += 1;
+                            if snaps == 1 {
+                                ready.fetch_add(1, Ordering::Release);
+                            }
+                            // Checked *after* the probe so every reader
+                            // completes at least one snapshot however the
+                            // threads are scheduled.
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
                         }
                         snaps
                     })
                 })
                 .collect();
+            // Gate the writer on every reader's first completed snapshot:
+            // inserts then genuinely interleave with live readers instead
+            // of racing them, and the snapshot count below cannot be zero.
+            while ready.load(Ordering::Acquire) < READERS {
+                std::thread::yield_now();
+            }
             for e in edges {
                 g.insert_edges(std::slice::from_ref(e));
             }
             stop.store(true, Ordering::Release);
             let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-            assert!(total > 0, "readers must observe at least one snapshot");
+            assert!(
+                total >= READERS as u64,
+                "every reader must observe at least one snapshot"
+            );
         });
         // Quiescent end state: the full sequence, a valid structure, and a
         // clean sanitizer (escalating under `--features sanitize`).
@@ -122,12 +141,14 @@ fn concurrent_deletes_observe_only_prefix_states() {
         let g = graph(256);
         g.insert_edges(&edges);
         let stop = AtomicBool::new(false);
+        let ready = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            let (g, stop, edges) = (&g, &stop, &edges);
+            let (g, stop, ready, edges) = (&g, &stop, &ready, &edges);
             let handles: Vec<_> = (0..READERS)
                 .map(|r| {
                     s.spawn(move || {
-                        while !stop.load(Ordering::Acquire) {
+                        let mut snaps = 0u64;
+                        loop {
                             let pin = g.pin_read();
                             let obs = snapshot(g, &pin, edges);
                             let head = obs.iter().position(|&b| b).unwrap_or(obs.len());
@@ -136,10 +157,22 @@ fn concurrent_deletes_observe_only_prefix_states() {
                                 "seed {seed} reader {r}: snapshot is not a prefix of the \
                                  deletion order: {obs:?}"
                             );
+                            snaps += 1;
+                            if snaps == 1 {
+                                ready.fetch_add(1, Ordering::Release);
+                            }
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
                         }
                     })
                 })
                 .collect();
+            // As in the insert test: wait for live readers before deleting
+            // so reclamation runs under real concurrent pins.
+            while ready.load(Ordering::Acquire) < READERS {
+                std::thread::yield_now();
+            }
             for e in edges {
                 g.delete_edges(std::slice::from_ref(e));
             }
@@ -167,22 +200,36 @@ fn mixed_churn_with_pinned_readers_is_clean_and_valid() {
     let g = graph(256);
     g.insert_edges(&edges);
     let stop = AtomicBool::new(false);
+    let ready = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        let (g, stop, edges) = (&g, &stop, &edges);
+        let (g, stop, ready, edges) = (&g, &stop, &ready, &edges);
         let handles: Vec<_> = (0..READERS)
             .map(|r| {
                 s.spawn(move || {
                     let mut rng = 1000 + r as u64;
-                    while !stop.load(Ordering::Acquire) {
+                    let mut probes = 0u64;
+                    loop {
                         let pin = g.pin_read();
                         let e = &edges[(splitmix64(&mut rng) as usize) % edges.len()];
                         let _ = g.edge_exists(&pin, e.src, e.dst);
                         let _ = g.neighbor_ids(&pin, e.src);
                         let _ = g.stats(&pin);
+                        probes += 1;
+                        if probes == 1 {
+                            ready.fetch_add(1, Ordering::Release);
+                        }
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
                     }
                 })
             })
             .collect();
+        // Churn only once every reader is live, so slabs pass through
+        // quarantine under genuinely concurrent pins.
+        while ready.load(Ordering::Acquire) < READERS {
+            std::thread::yield_now();
+        }
         for round in 0..6 {
             let (a, b) = edges.split_at(edges.len() / 2);
             let (del, ins) = if round % 2 == 0 { (a, b) } else { (b, a) };
