@@ -16,8 +16,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "== lint-kernels (kernel antipattern scan, lint-allow.txt budgets) =="
+echo "== lint-kernels (static effect/protocol checks, lint-allow.txt ratchet) =="
 cargo run -q --bin lint-kernels -- .
+test -s target/lint/report.json
+# The allowlist may only shrink relative to the committed baseline.
+if git cat-file -e HEAD:lint-allow.txt 2>/dev/null; then
+    baseline=$(git show HEAD:lint-allow.txt | grep -cv -E '^[[:space:]]*(#|$)' || true)
+    current=$(grep -cv -E '^[[:space:]]*(#|$)' lint-allow.txt || true)
+    if [ "$current" -gt "$baseline" ]; then
+        echo "lint-allow.txt grew: $current entries vs $baseline at HEAD" >&2
+        exit 1
+    fi
+fi
 
 if [ "$mode" = "quick" ]; then
     echo "== cargo test (debug) =="

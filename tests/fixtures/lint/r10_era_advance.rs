@@ -1,0 +1,21 @@
+//@ path: crates/core/src/fixture_r10.rs
+//@ expect: R10@5
+//@ expect: R10@17
+
+pub fn insert_edges(dev: &Device, edges: &[Edge]) -> u32 {
+    dev.launch_tasks("edge_insert", edges.len(), |warp| {
+        let _ = warp.read_word(0);
+    });
+    edges.len() as u32
+}
+
+pub fn delete_edges(dev: &Device, n: u32) -> Option<u32> {
+    dev.launch_tasks("edge_delete", 4, |warp| {
+        let _ = warp.read_word(0);
+    });
+    if n == 0 {
+        return Some(0);
+    }
+    dev.advance_era();
+    Some(n)
+}

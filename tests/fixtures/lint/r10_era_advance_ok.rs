@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture_r10.rs
+//@ expect-clean
+
+pub fn insert_edges(dev: &Device, edges: &[Edge]) -> u32 {
+    dev.launch_tasks("edge_insert", edges.len(), |warp| {
+        let _ = warp.read_word(0);
+    });
+    dev.advance_era();
+    edges.len() as u32
+}

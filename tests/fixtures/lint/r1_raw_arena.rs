@@ -1,0 +1,6 @@
+//@ path: crates/core/src/fixture_r1.rs
+//@ expect: R1@5
+
+fn stage(dev: &Device, base: u32) {
+    dev.arena().store(base, 7);
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/fixture_r2.rs
+//@ expect: R2@5
+
+fn bump(counter: &AtomicU32) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

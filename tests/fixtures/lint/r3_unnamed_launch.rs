@@ -1,0 +1,8 @@
+//@ path: crates/core/src/fixture_r3.rs
+//@ expect: R3@5
+
+fn go(dev: &Device, name: &str) {
+    dev.launch_tasks(name, 4, |warp| {
+        let _ = warp.read_word(0);
+    });
+}

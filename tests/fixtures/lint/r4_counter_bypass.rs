@@ -1,0 +1,8 @@
+//@ path: crates/core/src/fixture_r4.rs
+//@ expect: R4@6
+//@ expect: R4@7
+
+fn run(dev: &Device) {
+    dev.phase("bulk_build");
+    dev.counters().add_atomics(3);
+}

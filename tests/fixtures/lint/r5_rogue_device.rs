@@ -1,0 +1,6 @@
+//@ path: crates/router/src/fixture_r5.rs
+//@ expect: R5@5
+
+fn build_shard() -> Device {
+    Device::new(1 << 20)
+}

@@ -1,0 +1,6 @@
+//@ path: crates/router/src/fixture_r6.rs
+//@ expect: R6@5
+
+fn apply(shard: &DynGraph, edges: &[Edge]) {
+    shard.try_insert_edges(edges).unwrap();
+}

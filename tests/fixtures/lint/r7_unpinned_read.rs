@@ -1,0 +1,10 @@
+//@ path: crates/core/src/query.rs
+//@ expect: R7@6
+//@ expect: R8@6
+
+fn degree_scan(dev: &Device) -> u32 {
+    dev.launch_warps("degree_scan", 1, |warp| {
+        let _ = warp.read_word(4);
+    });
+    0
+}

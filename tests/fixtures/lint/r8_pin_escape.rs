@@ -1,0 +1,10 @@
+//@ path: crates/core/src/stats.rs
+//@ expect: R8@7
+
+fn audit(g: &DynGraph) {
+    let pin = g.pin_read();
+    drop(pin);
+    g.dev.launch_warps("audit", 1, |warp| {
+        let _ = warp.read_word(8);
+    });
+}

@@ -1,0 +1,11 @@
+//@ path: crates/core/src/stats.rs
+//@ expect-clean
+
+fn audit(g: &DynGraph) {
+    let pin = g.pin_read();
+    g.check_pin(&pin);
+    g.dev.launch_warps("audit", 1, |warp| {
+        let _ = warp.read_word(8);
+    });
+    drop(pin);
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/fixture_r9.rs
+//@ expect: R9@5
+
+fn publish(dev: &Device, slab: u32) {
+    dev.launch_warps("chain_link", 1, |warp| {
+        warp.write_word(slab + NEXT_LANE, fresh_slab(warp));
+    });
+}
+
+fn walk(g: &DynGraph, pin: &ReadGuard, head: u32) {
+    g.dev.launch_warps("chain_walk", 1, |warp| {
+        let _ = warp.read_word(head + NEXT_LANE);
+    });
+}

@@ -1,0 +1,432 @@
+//! Per-kernel effect summaries.
+//!
+//! For every extracted kernel (and every host function, so effects can be
+//! folded through helper calls) this pass computes what the code *does* to
+//! the device: arena words read and written through the `Warp` accessors,
+//! atomic RMWs, raw `.arena().…` accesses, allocator calls, pin/guard
+//! uses, and `std::sync::atomic` orderings.
+//!
+//! ## Address keys
+//!
+//! Static analysis cannot resolve device addresses, so accesses are keyed
+//! by the *shape* of their address expression:
+//!
+//! - **Const class** — the set of SCREAMING_CASE constants appearing in
+//!   the expression (`slab_addr + NEXT_LANE as u32` → `{NEXT_LANE}`).
+//!   These name protocol words (next pointers, sentinels) and are
+//!   comparable across kernels — the publication-order rule (R9) pairs
+//!   writers and readers on them.
+//! - **Base class** — otherwise, the first identifier (`src_buf + base` →
+//!   `src_buf`), comparable only within one function.
+//!
+//! The abstraction is deliberately coarse: it cannot alias two differently
+//! named buffers, and it treats every occurrence of a protocol constant as
+//! the same word class. Both coarsenings are *conservative for R9* (more
+//! pairings checked, not fewer).
+
+use super::parser::{split_on, FileModel, Func, Tree};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an access touches its word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// `read_word` / `read_slab` / `read_lanes`.
+    Read,
+    /// `write_word` / `write_slab` / `write_lanes` (plus `memset`).
+    Write,
+    /// `atomic_add` / `atomic_sub` / `atomic_or` / `atomic_and`.
+    AtomicRmw,
+    /// `atomic_cas` — a release publication when it installs a pointer.
+    Cas,
+    /// `atomic_exchange` — an unconditional release store.
+    Exchange,
+}
+
+impl AccessKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::AtomicRmw => "rmw",
+            AccessKind::Cas => "cas",
+            AccessKind::Exchange => "exchange",
+        }
+    }
+
+    pub fn from_str(s: &str) -> Option<AccessKind> {
+        Some(match s {
+            "read" => AccessKind::Read,
+            "write" => AccessKind::Write,
+            "rmw" => AccessKind::AtomicRmw,
+            "cas" => AccessKind::Cas,
+            "exchange" => AccessKind::Exchange,
+            _ => return None,
+        })
+    }
+
+    /// Atomic accesses synchronize (the simulator models them as
+    /// release+acquire); plain reads/writes do not.
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, AccessKind::Read | AccessKind::Write)
+    }
+}
+
+/// One memory access in a kernel body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemAccess {
+    pub kind: AccessKind,
+    /// `const:NEXT_LANE` or `base:src_buf` (see module docs).
+    pub key: String,
+    pub line: u32,
+    /// The accessor method (`read_word`, `atomic_cas`, …).
+    pub method: String,
+}
+
+/// The effect summary of one kernel or host function.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    pub accesses: Vec<MemAccess>,
+    /// Raw `.arena().method(…)` calls (method, line) — R1's domain.
+    pub arena_raw: Vec<(String, u32)>,
+    /// Slab-allocator calls (`allocate` / `try_allocate` / `free`), with
+    /// lines.
+    pub alloc_calls: Vec<(String, u32)>,
+    /// Pin-protocol calls (`pin` / `pin_read` / `check_pin`), with lines.
+    pub pin_calls: Vec<(String, u32)>,
+    /// `advance_era` call lines.
+    pub era_advances: Vec<u32>,
+    /// `Ordering::X` mentions (ordering name, line) — R2's domain.
+    pub orderings: Vec<(String, u32)>,
+    /// Names called with `(…)` — the call-graph edges used to fold helper
+    /// effects into kernels and to resolve R10 reachability.
+    pub calls: BTreeSet<String>,
+}
+
+const READERS: [&str; 3] = ["read_word", "read_slab", "read_lanes"];
+const WRITERS: [&str; 3] = ["write_word", "write_slab", "write_lanes"];
+const RMWS: [&str; 4] = ["atomic_add", "atomic_sub", "atomic_or", "atomic_and"];
+const ARENA_METHODS: [&str; 11] = [
+    "store",
+    "load",
+    "fill",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "cas",
+    "exchange",
+    "store_slab",
+    "load_slab",
+];
+const ALLOC_CALLS: [&str; 3] = ["allocate", "try_allocate", "free"];
+const PIN_CALLS: [&str; 3] = ["pin", "pin_read", "check_pin"];
+
+/// Compute the effect summary of a tree slice (a kernel body or a function
+/// body).
+pub fn effects_of(trees: &[Tree]) -> Effects {
+    let mut fx = Effects::default();
+    collect(trees, &mut fx);
+    fx
+}
+
+fn collect(trees: &[Tree], fx: &mut Effects) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group { trees: inner, .. } = t {
+            collect(inner, fx);
+            continue;
+        }
+        let Some(tok) = t.as_leaf() else { continue };
+        let name = tok.text.as_str();
+        let dotted = i > 0 && trees[i - 1].as_leaf().is_some_and(|p| p.is_punct("."));
+        let pathed = i > 0 && trees[i - 1].as_leaf().is_some_and(|p| p.is_punct("::"));
+        let called = trees.get(i + 1).is_some_and(|n| n.is_group('('));
+        let declared = i > 0 && trees[i - 1].as_leaf().is_some_and(|p| p.is_ident("fn"));
+
+        // `Ordering::X` — R2's token pattern, wherever it appears.
+        if name == "Ordering" {
+            if let (Some(sep), Some(which)) = (trees.get(i + 1), trees.get(i + 2)) {
+                if sep.as_leaf().is_some_and(|s| s.is_punct("::")) {
+                    if let Some(ord) = which.as_leaf() {
+                        fx.orderings.push((ord.text.clone(), ord.line));
+                    }
+                }
+            }
+        }
+
+        if !called || declared {
+            continue;
+        }
+        let args = trees[i + 1].group_trees().unwrap_or(&[]);
+
+        // `.arena().method(…)` — look back for `arena ( )` then `.`.
+        if dotted && ARENA_METHODS.contains(&name) && is_arena_chain(trees, i) {
+            fx.arena_raw.push((name.to_string(), tok.line));
+            continue;
+        }
+
+        if dotted && READERS.contains(&name) {
+            fx.accesses.push(access(AccessKind::Read, name, tok, args));
+        } else if dotted && WRITERS.contains(&name) {
+            fx.accesses.push(access(AccessKind::Write, name, tok, args));
+        } else if dotted && RMWS.contains(&name) {
+            fx.accesses
+                .push(access(AccessKind::AtomicRmw, name, tok, args));
+        } else if dotted && name == "atomic_cas" {
+            fx.accesses.push(access(AccessKind::Cas, name, tok, args));
+        } else if dotted && name == "atomic_exchange" {
+            fx.accesses
+                .push(access(AccessKind::Exchange, name, tok, args));
+        } else if ALLOC_CALLS.contains(&name) && (dotted || pathed) {
+            fx.alloc_calls.push((name.to_string(), tok.line));
+        } else if PIN_CALLS.contains(&name) {
+            fx.pin_calls.push((name.to_string(), tok.line));
+        } else if name == "advance_era" {
+            fx.era_advances.push(tok.line);
+        }
+
+        // Record the call edge for helper-effect folding / R10, skipping
+        // obvious non-functions (macro bangs are lexed as `!` before `(`,
+        // so `vec!(…)` never lands here; `name!(…)` has `!` between).
+        fx.calls.insert(name.to_string());
+    }
+}
+
+fn is_arena_chain(trees: &[Tree], i: usize) -> bool {
+    // … `.` `arena` `(` `)` `.` method — method is at i, so check i-2/-3/-4.
+    i >= 4
+        && trees[i - 2].is_group('(')
+        && trees[i - 2].group_trees().is_some_and(|g| g.is_empty())
+        && trees[i - 3].as_leaf().is_some_and(|t| t.is_ident("arena"))
+        && trees[i - 4].as_leaf().is_some_and(|t| t.is_punct("."))
+}
+
+fn access(kind: AccessKind, method: &str, tok: &super::lexer::Tok, args: &[Tree]) -> MemAccess {
+    let addr = split_on(args, ",").first().copied().unwrap_or(&[]).to_vec();
+    MemAccess {
+        kind,
+        key: addr_key(&addr),
+        line: tok.line,
+        method: method.to_string(),
+    }
+}
+
+/// Derive the address key of an address expression (see module docs).
+pub fn addr_key(trees: &[Tree]) -> String {
+    let mut consts = BTreeSet::new();
+    let mut base = String::new();
+    collect_idents(trees, &mut consts, &mut base);
+    if !consts.is_empty() {
+        format!("const:{}", consts.into_iter().collect::<Vec<_>>().join("+"))
+    } else if base.is_empty() {
+        "opaque".to_string()
+    } else {
+        format!("base:{base}")
+    }
+}
+
+fn collect_idents(trees: &[Tree], consts: &mut BTreeSet<String>, base: &mut String) {
+    for t in trees {
+        match t {
+            Tree::Group { trees: inner, .. } => collect_idents(inner, consts, base),
+            Tree::Leaf(tok) if tok.kind == super::lexer::TokKind::Ident => {
+                let text = &tok.text;
+                let screaming = text.len() > 1
+                    && text
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                    && text.chars().any(|c| c.is_ascii_uppercase());
+                if screaming {
+                    consts.insert(text.clone());
+                } else if base.is_empty() && text != "as" && text != "usize" && text != "u32" {
+                    *base = text.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fold helper-call effects into each kernel: the kernel's transitive
+/// summary is its direct effects plus the effects of every function it
+/// (transitively) calls, resolved by simple name. Name collisions merge
+/// conservatively — a union over same-named functions.
+pub struct EffectIndex {
+    /// Direct effects per function simple name (merged across collisions).
+    pub by_func: BTreeMap<String, Effects>,
+}
+
+impl EffectIndex {
+    pub fn build(models: &[(String, FileModel)]) -> EffectIndex {
+        let mut by_func: BTreeMap<String, Effects> = BTreeMap::new();
+        for (_, model) in models {
+            for f in &model.funcs {
+                if f.cfg_test {
+                    continue;
+                }
+                let fx = effects_of(&f.body);
+                merge(by_func.entry(f.name.clone()).or_default(), &fx);
+            }
+        }
+        EffectIndex { by_func }
+    }
+
+    /// Transitive effects of `direct`, following call edges up to `depth`
+    /// hops (cycle-safe: the visited set is threaded through).
+    pub fn transitive(&self, direct: &Effects, depth: usize) -> Effects {
+        let mut out = direct.clone();
+        let mut visited = BTreeSet::new();
+        self.fold(&mut out, &direct.calls.clone(), depth, &mut visited);
+        out
+    }
+
+    fn fold(
+        &self,
+        out: &mut Effects,
+        calls: &BTreeSet<String>,
+        depth: usize,
+        visited: &mut BTreeSet<String>,
+    ) {
+        if depth == 0 {
+            return;
+        }
+        for callee in calls {
+            if !visited.insert(callee.clone()) {
+                continue;
+            }
+            if let Some(fx) = self.by_func.get(callee) {
+                merge(out, fx);
+                self.fold(out, &fx.calls.clone(), depth - 1, visited);
+            }
+        }
+    }
+
+    /// Does `func` transitively reach a call to `target`?
+    pub fn reaches(&self, func: &Func, target: &str, depth: usize) -> bool {
+        let direct = effects_of(&func.body);
+        if direct.era_advances.is_empty() && target == "advance_era" {
+            // fall through to the call graph
+        } else if target == "advance_era" {
+            return true;
+        }
+        let mut visited = BTreeSet::new();
+        self.reaches_from(&direct.calls, target, depth, &mut visited)
+    }
+
+    fn reaches_from(
+        &self,
+        calls: &BTreeSet<String>,
+        target: &str,
+        depth: usize,
+        visited: &mut BTreeSet<String>,
+    ) -> bool {
+        if calls.contains(target) {
+            return true;
+        }
+        if depth == 0 {
+            return false;
+        }
+        for callee in calls {
+            if !visited.insert(callee.clone()) {
+                continue;
+            }
+            if let Some(fx) = self.by_func.get(callee) {
+                if !fx.era_advances.is_empty() && target == "advance_era" {
+                    return true;
+                }
+                if self.reaches_from(&fx.calls, target, depth - 1, visited) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn merge(into: &mut Effects, from: &Effects) {
+    into.accesses.extend(from.accesses.iter().cloned());
+    into.arena_raw.extend(from.arena_raw.iter().cloned());
+    into.alloc_calls.extend(from.alloc_calls.iter().cloned());
+    into.pin_calls.extend(from.pin_calls.iter().cloned());
+    into.era_advances.extend(from.era_advances.iter().copied());
+    into.orderings.extend(from.orderings.iter().cloned());
+    into.calls.extend(from.calls.iter().cloned());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::parser::parse_file;
+
+    #[test]
+    fn kernel_accesses_are_classified_and_keyed() {
+        let m = parse_file(
+            "fn go(dev: &Device) {\n  dev.launch_warps(\"k\", 1, |warp| {\n    let w = warp.read_word(p + NEXT_LANE as u32);\n    warp.write_word(out_buf + base, 1);\n    warp.atomic_cas(slab_addr + NEXT_LANE as u32, NULL_ADDR, fresh);\n    warp.atomic_add(count_addr, n);\n  });\n}\n",
+        );
+        let fx = effects_of(&m.kernels[0].body);
+        assert_eq!(fx.accesses.len(), 4);
+        assert_eq!(fx.accesses[0].kind, AccessKind::Read);
+        assert_eq!(fx.accesses[0].key, "const:NEXT_LANE");
+        assert_eq!(fx.accesses[1].kind, AccessKind::Write);
+        assert_eq!(fx.accesses[1].key, "base:out_buf");
+        assert_eq!(fx.accesses[2].kind, AccessKind::Cas);
+        // The key derives from the *address* argument only (the CAS
+        // expected/new values don't name the word being published).
+        assert_eq!(fx.accesses[2].key, "const:NEXT_LANE");
+        assert_eq!(fx.accesses[3].kind, AccessKind::AtomicRmw);
+        assert_eq!(fx.accesses[3].line, 6);
+    }
+
+    #[test]
+    fn arena_raw_and_orderings_and_calls() {
+        let m = parse_file(
+            "fn stage(&self) {\n  self.dev.arena().store(a, 0);\n  self.allocated.fetch_add(1, Ordering::Relaxed);\n  self.dict.desc(warp, v);\n}\n",
+        );
+        let fx = effects_of(&m.funcs[0].body);
+        assert_eq!(fx.arena_raw, vec![("store".to_string(), 2)]);
+        assert_eq!(fx.orderings, vec![("Relaxed".to_string(), 3)]);
+        assert!(fx.calls.contains("desc"));
+        // `fetch_add` on a std atomic is NOT an arena access.
+        assert!(fx.accesses.is_empty());
+    }
+
+    #[test]
+    fn transitive_effects_fold_helper_calls() {
+        let models = vec![(
+            "f.rs".to_string(),
+            parse_file(
+                "fn helper(warp: &Warp) { warp.read_word(p + NEXT_LANE as u32); }\nfn outer(dev: &Device) { dev.launch_warps(\"k\", 1, |warp| { helper(warp); }); }\n",
+            ),
+        )];
+        let idx = EffectIndex::build(&models);
+        let direct = effects_of(&models[0].1.kernels[0].body);
+        assert!(direct.accesses.is_empty());
+        let trans = idx.transitive(&direct, 8);
+        assert_eq!(trans.accesses.len(), 1);
+        assert_eq!(trans.accesses[0].key, "const:NEXT_LANE");
+    }
+
+    #[test]
+    fn reachability_follows_the_call_graph() {
+        let models = vec![(
+            "f.rs".to_string(),
+            parse_file(
+                "fn inner(dev: &Device) { dev.advance_era(); }\nfn mid(dev: &Device) { inner(dev); }\nfn entry(dev: &Device) { mid(dev); }\nfn stray(dev: &Device) { noop(); }\n",
+            ),
+        )];
+        let idx = EffectIndex::build(&models);
+        let entry = models[0]
+            .1
+            .funcs
+            .iter()
+            .find(|f| f.name == "entry")
+            .unwrap();
+        let stray = models[0]
+            .1
+            .funcs
+            .iter()
+            .find(|f| f.name == "stray")
+            .unwrap();
+        assert!(idx.reaches(entry, "advance_era", 8));
+        assert!(!idx.reaches(stray, "advance_era", 8));
+    }
+}

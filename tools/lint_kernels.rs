@@ -1,691 +1,165 @@
-//! # lint-kernels — in-repo kernel antipattern lint
+//! # lint-kernels — parse-based dataflow lint for the kernel protocols
 //!
-//! Scans the workspace's Rust sources for device-code antipatterns that the
-//! type system cannot catch but the sanitizer (and the perf-attribution
-//! invariants) care about:
+//! A small static-analysis engine (self-contained lexer + parser, no
+//! external deps — the workspace builds offline) that extracts every
+//! kernel closure passed to `launch_tasks` / `launch_warps` / `memset`,
+//! computes a per-kernel **effect summary** (arena words read/written,
+//! atomic ops, allocator calls, pin/guard uses), and checks ten rules over
+//! the summaries and the enclosing host code:
 //!
-//! - **R1 `raw-arena-access`** — calling `.arena().store/load/fill/fetch_*/
-//!   cas/exchange/store_slab/load_slab` outside `crates/gpu-sim`. Raw arena
-//!   accesses bypass the `Warp` accessors, so they charge no counters and
-//!   are invisible to racecheck. Legitimate host-side staging is budgeted
-//!   in the allowlist.
-//! - **R2 `relaxed-ordering`** — `Ordering::Relaxed` outside
-//!   `crates/gpu-sim`. Relaxed RMWs on published device pointers defeat the
-//!   acquire/release discipline the slab structures rely on; host-side
-//!   statistics counters are budgeted in the allowlist.
-//! - **R3 `unnamed-launch`** — a `launch_tasks(` / `launch_warps(` /
-//!   `memset(` call site whose kernel-name argument is not a string
-//!   literal. Dynamic names break per-kernel attribution stability and the
-//!   sanitizer's kernel provenance.
-//! - **R4 `counter-bypass`** — outside `crates/gpu-sim`, either mutating
-//!   `PerfCounters` directly (`.counters().add_*`) instead of going through
-//!   the `Charge` API, or calling `.phase("…")` without binding the
-//!   returned guard. Direct mutation skips the profiler's span tally
-//!   (modeled time silently diverges from the counters); a discarded
-//!   `PhaseGuard` closes its phase immediately, so the launches it was
-//!   meant to cover run outside any phase range.
-//! - **R5 `rogue-device`** — direct `Device` construction
-//!   (`Device::new` / `Device::with_policy` / `Device::with_config`) in
-//!   sharded code paths (`crates/router/`, `*/sharded.rs`). Shard devices
-//!   must come from a `DeviceGroup`: a free-standing device has its own
-//!   clock and profiler outside the group's merged trace, so its work
-//!   silently vanishes from makespans and Chrome exports.
-//! - **R6 `unretried-dispatch`** — in the same sharded code paths, a
-//!   dispatch call (`try_insert_edges` / `try_delete_edges` /
-//!   `try_insert_vertices` / `retry_suffix` / `launch_check`) whose
-//!   `BatchOutcome`/`DeviceFault` is consumed by `.unwrap()` / `.expect(`
-//!   or discarded with `let _ =` instead of routing through the retry
-//!   policy or the write-ahead journal. Panicking on a dispatch outcome
-//!   turns a recoverable per-shard fault into a fleet-wide abort, and a
-//!   discarded outcome silently drops the pending suffix the journal
-//!   would have preserved.
-//! - **R7 `unpinned-read`** — in the pinned query path
-//!   (`crates/core/src/query.rs`, `crates/core/src/stats.rs`), a kernel
-//!   launch with no `pin`/`ReadGuard` mention in the preceding ten code
-//!   lines. Query kernels walk slab chains that the allocator may recycle;
-//!   only a live `ReadGuard` (the epoch pin) holds its era's quarantined
-//!   slabs back, so an unpinned walk is a use-after-free the sanitizer
-//!   would flag as `unpinned read` at runtime. The lint catches it at
-//!   review time.
-//!
-//! ## Allowlist
-//!
-//! `lint-allow.txt` at the repo root budgets known-good hits, one entry per
-//! line:
-//!
-//! ```text
-//! # rule:path:count
-//! R1:crates/slab-alloc/src/lib.rs:2
-//! ```
-//!
-//! A file may contain at most `count` hits of `rule`; any *new* hit fails
-//! the lint (exit 1). Entries whose budget exceeds the actual hit count are
-//! reported so the budget can be tightened. Lines starting with `#` and
-//! blank lines are ignored.
+//! - **R1 `raw-arena-access`** — `.arena().store/load/…` outside
+//!   `crates/gpu-sim` bypasses the `Warp` accessors: no counters, no
+//!   sanitizer shadow. Host-side staging is budgeted in the allowlist.
+//! - **R2 `relaxed-ordering`** — `Ordering::Relaxed` outside gpu-sim
+//!   defeats the acquire/release discipline published device pointers rely
+//!   on. Monotonic statistics counters are budgeted.
+//! - **R3 `unnamed-launch`** — a launch whose kernel-name argument is not
+//!   a string literal breaks per-kernel attribution and sanitizer
+//!   provenance.
+//! - **R4 `counter-bypass`** — mutating `PerfCounters` directly
+//!   (`.counters().add_*`) instead of going through `Charge`, or
+//!   discarding the `PhaseGuard` returned by `.phase("…")`.
+//! - **R5 `rogue-device`** — direct `Device` construction in sharded code
+//!   (`crates/router/`, `*/sharded.rs`); shard devices must come from a
+//!   `DeviceGroup` or their work vanishes from merged traces.
+//! - **R6 `unretried-dispatch`** — a dispatch outcome consumed by
+//!   `.unwrap()` / `.expect(…)` or discarded with `let _ =` in sharded
+//!   code, instead of routing through the retry policy or the journal.
+//! - **R7 `unpinned-read`** — a query-path kernel launch inside a function
+//!   with *no* pin evidence at all (no `ReadGuard` parameter, no
+//!   `pin`/`pin_read`/`check_pin` call). Subsumed by R8's flow analysis
+//!   but kept as the cheap screaming-level rule.
+//! - **R8 `pin-escape`** — flow-sensitive guard liveness: every
+//!   chain-walking launch in the query path must be dominated by a live
+//!   `ReadGuard`; a guard must not be discarded at birth, cross an
+//!   `advance_era()`, or escape a function whose return type doesn't
+//!   carry it. This retires R7's old ten-line text window.
+//! - **R9 `publication-order`** — an arena word class (keyed by the named
+//!   constants in its address expression, e.g. `NEXT_LANE`) written with a
+//!   plain store in one kernel but read by a concurrently-running pinned
+//!   reader kernel must be published atomically (`atomic_cas` /
+//!   `atomic_exchange` / RMW) — statically catching the class of race PR
+//!   4's sanitizer found dynamically.
+//! - **R10 `era-advance`** — every mutation batch entry point in
+//!   `crates/core` and `crates/router` must reach `advance_era()` on its
+//!   success paths before acknowledging the batch, and no batch-boundary
+//!   function may early-return success between its launch and its
+//!   advance.
 //!
 //! ## Usage
 //!
 //! ```text
-//! cargo run -q --bin lint-kernels            # scan the workspace
-//! cargo run -q --bin lint-kernels -- <root>  # scan another tree
+//! cargo run --bin lint-kernels              # scan ., human report
+//! cargo run --bin lint-kernels -- --json    # machine report on stdout
+//! cargo run --bin lint-kernels -- --write-allow   # regenerate lint-allow.txt
 //! ```
+//!
+//! Every run also writes `target/lint/report.json` (pretty-printed,
+//! exact-round-trip JSON — the same discipline as `TraceReport`). Exit
+//! status: 0 clean/budgeted, 1 findings outside the budget (new findings,
+//! stale allowlist entries, or a budget above the ratchet), 2 usage/IO
+//! error.
+//!
+//! ## Allowlist ratchet
+//!
+//! `lint-allow.txt` budgets known findings with exact `RULE:path:line`
+//! spans and a `# ratchet: N` ceiling; see `tools/lint/report.rs`. CI
+//! fails when the budget grows — debt can only be paid down.
 
-use std::collections::BTreeMap;
-use std::fs;
+#[path = "lint/mod.rs"]
+mod lint;
+
+use lint::report::{Allowlist, LintReport};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One lint rule: identifier, human description, and the matcher.
-struct Rule {
-    id: &'static str,
-    name: &'static str,
-    desc: &'static str,
-    /// Whether the rule applies to sources under `crates/gpu-sim`.
-    applies_to_gpu_sim: bool,
-}
-
-const RULES: [Rule; 7] = [
-    Rule {
-        id: "R1",
-        name: "raw-arena-access",
-        desc: "raw arena access bypasses Warp accessors (uncounted, unsanitized)",
-        applies_to_gpu_sim: false,
-    },
-    Rule {
-        id: "R2",
-        name: "relaxed-ordering",
-        desc: "Ordering::Relaxed outside gpu-sim defeats acquire/release publication",
-        applies_to_gpu_sim: false,
-    },
-    Rule {
-        id: "R3",
-        name: "unnamed-launch",
-        desc: "kernel launch without a literal name breaks attribution/provenance",
-        applies_to_gpu_sim: true,
-    },
-    Rule {
-        id: "R4",
-        name: "counter-bypass",
-        desc: "PerfCounters mutated outside Charge, or PhaseGuard discarded at the call site",
-        applies_to_gpu_sim: false,
-    },
-    Rule {
-        id: "R5",
-        name: "rogue-device",
-        desc:
-            "direct Device construction in sharded code; shard devices must come from a DeviceGroup",
-        applies_to_gpu_sim: false,
-    },
-    Rule {
-        id: "R6",
-        name: "unretried-dispatch",
-        desc:
-            "dispatch outcome unwrapped or discarded in sharded code; route it through the retry policy or journal",
-        applies_to_gpu_sim: false,
-    },
-    Rule {
-        id: "R7",
-        name: "unpinned-read",
-        desc:
-            "query-path kernel launched with no live ReadGuard in scope; pin an era before walking slabs",
-        applies_to_gpu_sim: false,
-    },
-];
-
-/// Is this file part of a sharded code path (where R5 and R6 apply)? The
-/// router crate and any `sharded.rs` module orchestrate device groups;
-/// everything else may build standalone devices freely and consume its
-/// own dispatch outcomes directly.
-fn in_sharded_scope(path: &str) -> bool {
-    path.starts_with("crates/router/") || path.ends_with("/sharded.rs")
-}
-
-/// Is this file part of the pinned query path (where R7 applies)? The core
-/// read kernels walk slab chains whose reclamation is held back only by a
-/// live `ReadGuard`; update and maintenance kernels *publish* eras rather
-/// than pinning them, so they launch freely.
-fn in_query_scope(path: &str) -> bool {
-    path == "crates/core/src/query.rs" || path == "crates/core/src/stats.rs"
-}
-
-/// How many comment-stripped lines above a query-path launch may hold the
-/// pin evidence (`check_pin(…)`, a bound guard, a `ReadGuard` parameter)
-/// before R7 considers the launch unpinned.
-const R7_WINDOW: usize = 10;
-
-/// A `launch_tasks(` / `launch_warps(` call site (declarations excluded).
-fn is_launch_site(line: &str) -> bool {
-    ["launch_tasks(", "launch_warps("]
-        .iter()
-        .any(|l| match line.find(l) {
-            Some(pos) => !line[..pos].trim_end().ends_with("fn"),
-            None => false,
-        })
-}
-
-/// A single lint hit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Hit {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    excerpt: String,
-}
-
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    let hits = scan_tree(&root);
-    let allow = read_allowlist(&root.join("lint-allow.txt"));
-    report(&hits, &allow)
-}
-
-/// Compare hits against the allowlist budget; render the verdict.
-fn report(hits: &[Hit], allow: &BTreeMap<(String, String), usize>) -> ExitCode {
-    // Tally hits per (rule, file).
-    let mut tally: BTreeMap<(String, String), Vec<&Hit>> = BTreeMap::new();
-    for h in hits {
-        tally
-            .entry((h.rule.to_string(), h.path.clone()))
-            .or_default()
-            .push(h);
-    }
-    let mut failed = false;
-    for (key, file_hits) in &tally {
-        let budget = allow.get(key).copied().unwrap_or(0);
-        if file_hits.len() > budget {
-            failed = true;
-            let rule = RULES.iter().find(|r| r.id == key.0).unwrap();
-            eprintln!(
-                "lint-kernels: {} ({}) in {}: {} hit(s), {} allowed — {}",
-                rule.id,
-                rule.name,
-                key.1,
-                file_hits.len(),
-                budget,
-                rule.desc
-            );
-            for h in file_hits.iter() {
-                eprintln!("  {}:{}: {}", h.path, h.line, h.excerpt);
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut write_allow = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-allow" => write_allow = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lint-kernels [ROOT] [--json] [--write-allow]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("lint-kernels: unknown flag `{other}`");
+                return ExitCode::from(2);
             }
         }
     }
-    // Surface over-generous budgets so they get tightened, not hoarded.
-    for (key, budget) in allow {
-        let used = tally.get(key).map_or(0, |v| v.len());
-        if used < *budget {
-            eprintln!(
-                "lint-kernels: note: allowlist {}:{}:{} exceeds actual hits ({used}) — tighten it",
-                key.0, key.1, budget
-            );
+
+    let files = match lint::scan_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("lint-kernels: scan failed: {e}");
+            return ExitCode::from(2);
         }
+    };
+    let mut report = lint::analyze(&files);
+
+    if write_allow {
+        let text = Allowlist::write(&report.findings);
+        let path = root.join("lint-allow.txt");
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("lint-kernels: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint-kernels: wrote {} ({} entries)",
+            path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
     }
-    if failed {
-        eprintln!("lint-kernels: FAILED — fix the hits or budget them in lint-allow.txt");
-        ExitCode::FAILURE
+
+    let allow = match std::fs::read_to_string(root.join("lint-allow.txt")) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(allow) => allow,
+            Err(e) => {
+                eprintln!("lint-kernels: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+    report.apply_allowlist(&allow);
+
+    if let Err(e) = export_json(&report, &root) {
+        eprintln!("lint-kernels: {e}");
+        return ExitCode::from(2);
+    }
+
+    if json {
+        println!("{}", report.to_json().render_pretty());
     } else {
-        println!("lint-kernels: ok ({} budgeted hit(s))", hits.len());
+        print!("{}", report.render());
+    }
+    if report.ok() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
-/// Recursively scan every `.rs` file under `root`, skipping build output,
-/// VCS metadata, and this tool's own source.
-fn scan_tree(root: &Path) -> Vec<Hit> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files);
-    files.sort();
-    let mut hits = Vec::new();
-    for rel in files {
-        if let Ok(text) = fs::read_to_string(root.join(&rel)) {
-            scan_file(&rel.to_string_lossy().replace('\\', "/"), &text, &mut hits);
-        }
+/// Write `target/lint/report.json` and prove the export round-trips
+/// exactly (parse → rebuild → re-render must be byte-identical).
+fn export_json(report: &LintReport, root: &Path) -> Result<(), String> {
+    let rendered = report.to_json().render_pretty();
+    let parsed = gpu_sim::Json::parse(&rendered)
+        .map_err(|e| format!("report JSON does not parse back: {e}"))?;
+    let rebuilt =
+        LintReport::from_json(&parsed).map_err(|e| format!("report JSON does not rebuild: {e}"))?;
+    let re_rendered = rebuilt.to_json().render_pretty();
+    if re_rendered != rendered {
+        return Err("report JSON round-trip is not byte-identical".to_string());
     }
-    hits
-}
-
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "tools") {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_path_buf());
-            }
-        }
-    }
-}
-
-/// Scan one file's text; `path` is repo-relative with forward slashes.
-fn scan_file(path: &str, text: &str, hits: &mut Vec<Hit>) {
-    let in_gpu_sim = path.starts_with("crates/gpu-sim/");
-    // Strip line comments so doc examples and commentary don't match.
-    let strip = |raw: &str| match raw.find("//") {
-        Some(pos) => raw[..pos].to_string(),
-        None => raw.to_string(),
-    };
-    let lines: Vec<String> = text.lines().map(strip).collect();
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line = &lines[idx];
-        for rule in &RULES {
-            if in_gpu_sim && !rule.applies_to_gpu_sim {
-                continue;
-            }
-            if matches!(rule.id, "R5" | "R6") && !in_sharded_scope(path) {
-                continue;
-            }
-            // R7 needs lookbehind, not a line matcher: a query-path launch
-            // is unpinned when none of the preceding R7_WINDOW code lines
-            // (nor the launch line itself) carries the pin evidence.
-            if rule.id == "R7" {
-                if in_query_scope(path) && is_launch_site(line) {
-                    let start = idx.saturating_sub(R7_WINDOW);
-                    let pinned = lines[start..=idx]
-                        .iter()
-                        .any(|l| l.contains("pin") || l.contains("ReadGuard"));
-                    if !pinned {
-                        hits.push(Hit {
-                            rule: rule.id,
-                            path: path.to_string(),
-                            line: idx + 1,
-                            excerpt: raw_line.trim().to_string(),
-                        });
-                    }
-                }
-                continue;
-            }
-            // R3's name argument may sit on the next line when rustfmt
-            // wraps the call — if this line ends at the open paren, give
-            // the matcher one line of lookahead.
-            let joined;
-            let candidate: &str = if rule.id == "R3" && line.trim_end().ends_with('(') {
-                joined = match lines.get(idx + 1) {
-                    Some(next) => format!("{} {}", line.trim_end(), next.trim_start()),
-                    None => line.clone(),
-                };
-                &joined
-            } else {
-                line
-            };
-            if matches_rule(rule.id, candidate) {
-                hits.push(Hit {
-                    rule: rule.id,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    excerpt: raw_line.trim().to_string(),
-                });
-            }
-        }
-    }
-}
-
-/// Does `line` (comment-stripped) trip `rule`?
-fn matches_rule(rule: &str, line: &str) -> bool {
-    match rule {
-        "R1" => {
-            const METHODS: [&str; 11] = [
-                "store(",
-                "load(",
-                "fill(",
-                "fetch_add(",
-                "fetch_sub(",
-                "fetch_or(",
-                "fetch_and(",
-                "cas(",
-                "exchange(",
-                "store_slab(",
-                "load_slab(",
-            ];
-            match line.find(".arena().") {
-                Some(pos) => {
-                    let rest = &line[pos + ".arena().".len()..];
-                    METHODS.iter().any(|m| rest.starts_with(m))
-                }
-                None => false,
-            }
-        }
-        "R2" => line.contains("Ordering::Relaxed"),
-        "R3" => {
-            const LAUNCHERS: [&str; 3] = ["launch_tasks(", "launch_warps(", "memset("];
-            LAUNCHERS.iter().any(|l| {
-                let mut search = line;
-                while let Some(pos) = search.find(l) {
-                    // Skip declarations (`fn launch_tasks(`) — only call
-                    // sites reached through `.` or a bare call count.
-                    let before = &search[..pos];
-                    let is_decl = before.trim_end().ends_with("fn");
-                    let arg = search[pos + l.len()..].trim_start();
-                    if !is_decl && !arg.starts_with('"') {
-                        return true;
-                    }
-                    search = &search[pos + l.len()..];
-                }
-                false
-            })
-        }
-        "R4" => {
-            // Direct counter mutation bypasses the Charge tally the
-            // profiler records spans from.
-            if line.contains(".counters().add_") {
-                return true;
-            }
-            // `.phase("…")` whose guard is never bound: the phase closes
-            // immediately. Bound guards (`let _phase = dev.phase(…)`) and
-            // declarations (`fn phase(`) are fine.
-            line.contains(".phase(\"") && !line.contains("let ")
-        }
-        "R5" => [
-            "Device::new(",
-            "Device::with_policy(",
-            "Device::with_config(",
-        ]
-        .iter()
-        .any(|c| line.contains(c)),
-        "R6" => {
-            const DISPATCH: [&str; 5] = [
-                "try_insert_edges(",
-                "try_delete_edges(",
-                "try_insert_vertices(",
-                "retry_suffix(",
-                "launch_check(",
-            ];
-            // Declarations (`fn try_insert_edges(`) are not dispatch sites.
-            let dispatches = DISPATCH.iter().any(|d| match line.find(d) {
-                Some(pos) => !line[..pos].trim_end().ends_with("fn"),
-                None => false,
-            });
-            dispatches
-                && (line.contains(".unwrap()")
-                    || line.contains(".expect(")
-                    || line.trim_start().starts_with("let _ ="))
-        }
-        _ => false,
-    }
-}
-
-/// Parse `rule:path:count` lines; missing file means an empty allowlist.
-fn read_allowlist(path: &Path) -> BTreeMap<(String, String), usize> {
-    let mut allow = BTreeMap::new();
-    let Ok(text) = fs::read_to_string(path) else {
-        return allow;
-    };
-    for (idx, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let parts: Vec<&str> = line.splitn(3, ':').collect();
-        let parsed = match parts.as_slice() {
-            [rule, file, count] => count
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .map(|n| ((rule.trim().to_string(), file.trim().to_string()), n)),
-            _ => None,
-        };
-        match parsed {
-            Some((key, n)) => {
-                allow.insert(key, n);
-            }
-            None => eprintln!(
-                "lint-kernels: warning: malformed allowlist line {} ignored: {line}",
-                idx + 1
-            ),
-        }
-    }
-    allow
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn hits_in(path: &str, text: &str) -> Vec<Hit> {
-        let mut hits = Vec::new();
-        scan_file(path, text, &mut hits);
-        hits
-    }
-
-    #[test]
-    fn raw_arena_access_is_flagged_outside_gpu_sim() {
-        let bad = "let v = dev.arena().load(addr);\n";
-        let hits = hits_in("crates/core/src/x.rs", bad);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "R1");
-        assert_eq!(hits[0].line, 1);
-        // Same text inside gpu-sim is the substrate itself: allowed.
-        assert!(hits_in("crates/gpu-sim/src/x.rs", bad).is_empty());
-        // Warp accessors never match.
-        assert!(hits_in("crates/core/src/x.rs", "warp.read_word(a);\n").is_empty());
-        for m in [
-            "store(a, 1)",
-            "fill(a, 4, 0)",
-            "fetch_and(a, m)",
-            "store_slab(a, &ls)",
-            "cas(a, 0, 1)",
-        ] {
-            let text = format!("dev.arena().{m};\n");
-            assert_eq!(hits_in("src/lib.rs", &text).len(), 1, "{m}");
-        }
-    }
-
-    #[test]
-    fn relaxed_ordering_is_flagged_outside_gpu_sim() {
-        let bad = "self.allocated.fetch_add(1, Ordering::Relaxed);\n";
-        let hits = hits_in("crates/slab-alloc/src/lib.rs", bad);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "R2");
-        assert!(hits_in("crates/gpu-sim/src/memory.rs", bad).is_empty());
-        // Comments don't count.
-        assert!(hits_in("src/lib.rs", "// uses Ordering::Relaxed\n").is_empty());
-    }
-
-    #[test]
-    fn unnamed_launch_is_flagged_everywhere() {
-        assert_eq!(
-            hits_in("crates/core/src/x.rs", "dev.launch_tasks(name, n, k);\n")[0].rule,
-            "R3"
-        );
-        assert_eq!(
-            hits_in(
-                "crates/gpu-sim/src/x.rs",
-                "self.launch_warps(spec, n, k);\n"
-            )
-            .len(),
-            1
-        );
-        assert!(hits_in("src/x.rs", "dev.launch_tasks(\"edge_insert\", n, k);\n").is_empty());
-        // Declarations are not call sites.
-        assert!(hits_in(
-            "crates/gpu-sim/src/device.rs",
-            "pub fn launch_tasks(&self, name: &str) {\n"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn counter_bypass_is_flagged_outside_gpu_sim() {
-        // Direct PerfCounters mutation skips the Charge span tally.
-        let bad = "dev.counters().add_transactions(4);\n";
-        let hits = hits_in("crates/core/src/x.rs", bad);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "R4");
-        assert!(hits_in("crates/gpu-sim/src/device.rs", bad).is_empty());
-        // Reading counters is fine.
-        assert!(hits_in("src/x.rs", "let s = dev.counters().snapshot();\n").is_empty());
-
-        // A discarded PhaseGuard closes the phase immediately.
-        let discarded = "self.dev.phase(\"bulk_build\");\n";
-        assert_eq!(hits_in("crates/core/src/x.rs", discarded)[0].rule, "R4");
-        // A bound guard keeps the phase open for its scope.
-        assert!(hits_in(
-            "crates/core/src/x.rs",
-            "let _phase = self.dev.phase(\"bulk_build\");\n"
-        )
-        .is_empty());
-        // Comments don't count.
-        assert!(hits_in("src/x.rs", "// dev.phase(\"x\") closes on drop\n").is_empty());
-    }
-
-    #[test]
-    fn rogue_device_is_flagged_in_sharded_scope_only() {
-        for bad in [
-            "let dev = Device::new(1 << 20);\n",
-            "let dev = Device::with_policy(n, ExecPolicy::Sequential);\n",
-            "let dev = gpu_sim::Device::with_config(cfg);\n",
-        ] {
-            let hits = hits_in("crates/router/src/lib.rs", bad);
-            assert_eq!(hits.len(), 1, "{bad}");
-            assert_eq!(hits[0].rule, "R5");
-            assert_eq!(hits_in("crates/bench/src/sharded.rs", bad).len(), 1);
-            // Outside sharded code paths, standalone devices are fine.
-            assert!(hits_in("crates/core/src/graph.rs", bad).is_empty());
-        }
-        // Group-mediated construction and config types never match.
-        for good in [
-            "let group = DeviceGroup::new(4, config);\n",
-            "let cfg = DeviceConfig::new(1 << 20);\n",
-            "// Device::new is forbidden here\n",
-        ] {
-            assert!(
-                hits_in("crates/router/src/lib.rs", good).is_empty(),
-                "{good}"
-            );
-        }
-    }
-
-    #[test]
-    fn unretried_dispatch_is_flagged_in_sharded_scope_only() {
-        for bad in [
-            "let o = g.try_insert_edges(&batch).expect(\"valid edge ids\");\n",
-            "let o = g.try_delete_edges(&batch).unwrap();\n",
-            "let next = g.retry_suffix(&o).expect(\"valid edge ids\");\n",
-            "let _ = dev.launch_check();\n",
-        ] {
-            let hits = hits_in("crates/router/src/lib.rs", bad);
-            assert_eq!(hits.len(), 1, "{bad}");
-            assert_eq!(hits[0].rule, "R6");
-            assert_eq!(hits_in("crates/bench/src/sharded.rs", bad).len(), 1);
-            // Outside sharded scope a caller may consume its own outcome.
-            assert!(hits_in("crates/core/src/batch.rs", bad).is_empty(), "{bad}");
-        }
-        // Routed outcomes — matched, propagated, or retried — are fine.
-        for good in [
-            "let insert = match g.try_insert_edges(ins).transpose() {\n",
-            "let mut next = g.retry_suffix(o)?;\n",
-            "match dev.launch_check() {\n",
-            "pub fn try_insert_edges(&self, edges: &[Edge]) {\n",
-            "// g.try_insert_edges(&batch).unwrap() would abort the fleet\n",
-        ] {
-            assert!(
-                hits_in("crates/router/src/lib.rs", good).is_empty(),
-                "{good}"
-            );
-        }
-    }
-
-    #[test]
-    fn unpinned_read_is_flagged_in_query_scope_only() {
-        let bad = "self.dev.launch_warps(\"edge_weight\", 1, |warp| {\n";
-        let hits = hits_in("crates/core/src/query.rs", bad);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].rule, "R7");
-        assert_eq!(hits_in("crates/core/src/stats.rs", bad).len(), 1);
-        // Update/maintenance kernels publish eras instead of pinning them:
-        // the same launch is fine outside the query path.
-        assert!(hits_in("crates/core/src/edge_ops.rs", bad).is_empty());
-
-        // Pin evidence within the lookbehind window satisfies the rule,
-        // whether it is a check_pin call or a bound guard.
-        for evidence in [
-            "self.check_pin(pin);\n",
-            "let _pin = self.pin_read();\n",
-            "pub fn stats(&self, pin: &ReadGuard) -> GraphStats {\n",
-        ] {
-            let good = format!("{evidence}let n = pairs.len();\n{bad}");
-            assert!(
-                hits_in("crates/core/src/query.rs", &good).is_empty(),
-                "{evidence}"
-            );
-        }
-        // Evidence only in comments does not count.
-        let commented = format!("// pinned by the caller\n{bad}");
-        assert_eq!(hits_in("crates/core/src/query.rs", &commented).len(), 1);
-        // Evidence outside the window does not count.
-        let distant = format!("self.check_pin(pin);\n{}{bad}", "let x = 0;\n".repeat(11));
-        assert_eq!(hits_in("crates/core/src/query.rs", &distant).len(), 1);
-        // Declarations are not launch sites.
-        assert!(hits_in(
-            "crates/core/src/query.rs",
-            "pub fn launch_warps(&self, name: &str) {\n"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn allowlist_budgets_hits_and_fails_on_new_ones() {
-        let hit = |n: usize| Hit {
-            rule: "R1",
-            path: "crates/core/src/x.rs".into(),
-            line: n,
-            excerpt: "dev.arena().load(a)".into(),
-        };
-        let mut allow = BTreeMap::new();
-        allow.insert(("R1".to_string(), "crates/core/src/x.rs".to_string()), 1);
-        assert_eq!(report(&[hit(1)], &allow), ExitCode::SUCCESS);
-        assert_eq!(report(&[hit(1), hit(2)], &allow), ExitCode::FAILURE);
-        assert_eq!(report(&[hit(1)], &BTreeMap::new()), ExitCode::FAILURE);
-    }
-
-    #[test]
-    fn seeded_violation_in_a_real_tree_fails_the_scan() {
-        // Build a throwaway tree with one seeded violation and prove the
-        // full scan path (walk + parse + report) catches it.
-        let dir =
-            std::env::temp_dir().join(format!("lint-kernels-selftest-{}", std::process::id()));
-        let src = dir.join("crates/seeded/src");
-        fs::create_dir_all(&src).unwrap();
-        fs::write(
-            src.join("lib.rs"),
-            "pub fn bad(dev: &Device, a: Addr) -> u32 {\n    dev.arena().load(a)\n}\n",
-        )
-        .unwrap();
-        let hits = scan_tree(&dir);
-        fs::remove_dir_all(&dir).unwrap();
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].rule, "R1");
-        assert_eq!(hits[0].path, "crates/seeded/src/lib.rs");
-        assert_eq!(hits[0].line, 2);
-        assert_eq!(report(&hits, &BTreeMap::new()), ExitCode::FAILURE);
-    }
-
-    #[test]
-    fn allowlist_parses_and_ignores_junk() {
-        let dir = std::env::temp_dir().join(format!("lint-allow-selftest-{}", std::process::id()));
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("lint-allow.txt");
-        fs::write(
-            &path,
-            "# comment\n\nR1:crates/core/src/x.rs:2\nmalformed line\nR2:src/lib.rs:0\n",
-        )
-        .unwrap();
-        let allow = read_allowlist(&path);
-        fs::remove_dir_all(&dir).unwrap();
-        assert_eq!(allow.len(), 2);
-        assert_eq!(
-            allow[&("R1".to_string(), "crates/core/src/x.rs".to_string())],
-            2
-        );
-    }
+    let dir = root.join("target/lint");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("report.json");
+    std::fs::write(&path, rendered).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
