@@ -223,7 +223,7 @@ impl FaimGraph {
                         continue;
                     }
                     if self.insert_one(warp, s.get(lane), d.get(lane)) {
-                        added.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        added.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                     }
                 }
             });
@@ -302,7 +302,7 @@ impl FaimGraph {
                     }
                     let (u, v) = work[base + lane];
                     if self.delete_one(warp, u, v) {
-                        removed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        removed.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                     }
                 }
             });

@@ -44,7 +44,7 @@ fn bench_slab_hash_ops() {
         dev.launch_warps("bench_search", 1, |warp| {
             out.store(
                 table.search(warp, k % n).unwrap_or(0),
-                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Release,
             );
         });
         k = k.wrapping_add(1);
@@ -54,7 +54,7 @@ fn bench_slab_hash_ops() {
         dev.launch_warps("bench_search", 1, |warp| {
             out.store(
                 table.search(warp, n + 17).is_some() as u32,
-                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Release,
             );
         });
     });
@@ -86,7 +86,7 @@ fn bench_warp_primitives() {
         dev.launch_warps("bench_ballot", 1, |warp| {
             let words = warp.read_slab(slab);
             let preds = Lanes::from_fn(|i| words.get(i) == 0);
-            out.store(warp.ballot(&preds), std::sync::atomic::Ordering::Relaxed);
+            out.store(warp.ballot(&preds), std::sync::atomic::Ordering::Release);
         });
     });
 }

@@ -32,7 +32,7 @@ impl DynGraph {
                 if stats.tombstones == 0 {
                     continue;
                 }
-                removed.fetch_add(stats.tombstones, std::sync::atomic::Ordering::Relaxed);
+                removed.fetch_add(stats.tombstones, std::sync::atomic::Ordering::AcqRel);
                 let entries = self.collect_entries(warp, &desc);
                 desc.free_dynamic_slabs(warp, &self.alloc)
                     .expect("flushed chains must be freeable");
@@ -65,7 +65,7 @@ impl DynGraph {
                 if stats.avg_chain() <= max_chain {
                     continue;
                 }
-                rehashed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                rehashed.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 let entries = self.collect_entries(warp, &desc);
                 let buckets = buckets_for(entries.len(), self.config.load_factor, self.config.kind);
                 let base = self

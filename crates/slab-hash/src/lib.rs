@@ -1196,7 +1196,7 @@ mod tests {
             t.for_each_key(warp, |k| {
                 assert!(seen.insert(k), "duplicate {k}");
             });
-            count.store(seen.len() as u32, std::sync::atomic::Ordering::Relaxed);
+            count.store(seen.len() as u32, std::sync::atomic::Ordering::Release);
         });
         assert_eq!(count.into_inner(), 8);
     }
@@ -1278,12 +1278,12 @@ mod tests {
         dev.launch_warps("hash_test", 16, |warp| {
             for k in 0..64 {
                 if t.delete(warp, k) {
-                    deleted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    deleted.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 }
             }
         });
         assert_eq!(
-            deleted.load(std::sync::atomic::Ordering::Relaxed),
+            deleted.load(std::sync::atomic::Ordering::Acquire),
             64,
             "each key deleted exactly once across 16 racing warps"
         );
