@@ -42,6 +42,8 @@ if [ "$mode" = "quick" ]; then
     echo "== chaos churn smoke run (debug, seeded kill/revive) =="
     cargo run -q -p bench --bin churn -- --scale 4096 --rounds 5 --ops 256 --shards 4 --sessions 4 --seed 41 --chaos
     test -s BENCH_chaos.json
+    echo "== bench regression gate (fresh artifacts vs benchmarks/baselines, incl. perturbation self-test) =="
+    cargo run -q --bin bench-gate -- --selftest BENCH_churn.json BENCH_chaos.json
     echo "== profiled churn replay (debug) =="
     cargo run -q -p bench --bin profile -- --scale 4096 --rounds 2 --ops 512 | tee /tmp/profile.out
     grep -q "trace OK:" /tmp/profile.out   # span count == launch count, trace parsed back
@@ -72,6 +74,8 @@ else
     echo "== sanitized chaos churn smoke run (4 shards, seeded kill/revive; zero findings + clean post-rebuild validate asserted in-run) =="
     cargo run --release -q -p bench --features sanitize --bin churn -- --scale 4096 --rounds 5 --ops 256 --shards 4 --sessions 4 --seed 41 --chaos
     test -s BENCH_chaos.json
+    echo "== bench regression gate (fresh artifacts vs benchmarks/baselines, incl. perturbation self-test) =="
+    cargo run --release -q --bin bench-gate -- --selftest BENCH_churn.json BENCH_chaos.json
     echo "== sharding conformance suite (1/2/4-shard parity + OOM recovery) =="
     cargo test --release -q --test sharding
     echo "== shard fault-tolerance suite (health machine, breaker, journal rebuild, degraded reads) =="

@@ -17,7 +17,7 @@ use crate::counters::PerfCounters;
 use crate::fault::{FaultInjector, FaultPlan, OomError};
 use crate::lanes::{self, Lanes, FULL_MASK, WARP_SIZE};
 use crate::memory::{Addr, DeviceArena, SLAB_WORDS};
-use crate::profiler::{PhaseGuard, Profiler, ProfilerConfig};
+use crate::profiler::{PhaseGuard, Profiler, ProfilerConfig, TraceCtx, TraceScope};
 use crate::sanitizer::{AccessKind, Finding, Sanitizer, SanitizerConfig, WarpRace};
 use crate::trace::{Charge, KernelRegistry, KernelSpec, LaunchShape, TraceSnapshot, HOST_KERNEL};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -199,6 +199,16 @@ impl Device {
         PhaseGuard {
             inner: self.prof.as_ref().map(|p| (p.clone(), name, p.now_s())),
         }
+    }
+
+    /// Install a causal [`TraceCtx`] for the returned scope's lifetime:
+    /// every span and instant the profiler records while it is live is
+    /// stamped with the context, so coalesced dispatch work can be walked
+    /// back to the client op that caused it. Inert (one `Option` check)
+    /// when no profiler is attached. Bind the scope — a discarded scope
+    /// uninstalls immediately.
+    pub fn trace_scope(&self, ctx: TraceCtx) -> TraceScope {
+        TraceScope::new(self.prof.clone(), ctx)
     }
 
     /// Snapshot the global counters iff a span must be recorded when the

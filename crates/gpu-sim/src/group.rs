@@ -202,6 +202,7 @@ impl DeviceGroup {
                         g.max = g.max.max(m.max);
                         g.p50 = g.sum;
                         g.p95 = g.sum;
+                        g.p99 = g.sum;
                     }
                     None => gauges.push(m),
                 }

@@ -64,11 +64,11 @@ pub use metrics::{
     Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSummary, MetricsRegistry,
 };
 pub use profiler::{
-    chrome_trace_json, parse_chrome_trace, ChromeEvent, PhaseGuard, Profiler, ProfilerConfig,
-    Timeline,
+    assemble_lifecycles, chrome_trace_json, op_flow_events, parse_chrome_trace, ChromeEvent,
+    OpLifecycle, PhaseGuard, Profiler, ProfilerConfig, Timeline, TraceCtx, TraceScope,
 };
 pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerConfig};
 pub use trace::{
-    Charge, KernelSpec, KernelStats, LaunchShape, ShardHealthRow, TraceReport, TraceRow,
-    TraceSnapshot, HOST_KERNEL,
+    Charge, KernelSpec, KernelStats, LaunchShape, OpAttributionRow, ShardHealthRow,
+    TailExemplarRow, TraceReport, TraceRow, TraceSnapshot, HOST_KERNEL,
 };

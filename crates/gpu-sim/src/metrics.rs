@@ -11,7 +11,7 @@
 //! Histograms bucket values by `⌊log2⌋` (65 buckets cover the full `u64`
 //! range; bucket 0 holds the value 0) and additionally track exact count,
 //! sum, and max, so summaries report exact means/maxima alongside bucketed
-//! p50/p95. Gauges track a current value, its high-water mark, and an
+//! p50/p95/p99. Gauges track a current value, its high-water mark, and an
 //! update count. Summaries ([`MetricSummary`]) are all-`u64` and round-trip
 //! exactly through [`crate::trace::TraceReport`] JSON.
 
@@ -137,6 +137,7 @@ impl HistogramSnapshot {
             max: self.max,
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -197,6 +198,7 @@ impl Gauge {
             max: self.high_water(),
             p50: v,
             p95: v,
+            p99: v,
         }
     }
 }
@@ -243,6 +245,8 @@ pub struct MetricSummary {
     pub p50: u64,
     /// Bucketed 95th percentile (histogram) or current value (gauge).
     pub p95: u64,
+    /// Bucketed 99th percentile (histogram) or current value (gauge).
+    pub p99: u64,
 }
 
 impl MetricSummary {

@@ -94,6 +94,45 @@ pub fn default_profiler() -> Option<ProfilerConfig> {
     *DEFAULT_PROFILER.lock().unwrap()
 }
 
+/// Causal trace context: identifies the client operation (and its parent
+/// span, if any) on whose behalf subsequently recorded spans and instants
+/// run. Minted per client op by the batch router and installed around each
+/// per-shard dispatch via [`crate::Device::trace_scope`], so every span a
+/// coalesced batch charges can be walked back to client traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Submitting session (client identity). [`TraceCtx::NO_SESSION`] for
+    /// traffic not tied to a session (bulk builds, maintenance).
+    pub session: u64,
+    /// Client op id (or batch node id for coalesced dispatch), unique for
+    /// the minting router's lifetime.
+    pub op: u64,
+    /// Span id of the causal parent span (0 = the virtual client-op root).
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// Session id used for traffic that no client session submitted.
+    pub const NO_SESSION: u64 = u64::MAX;
+
+    /// A root context for `op` submitted by `session`.
+    pub fn root(session: u64, op: u64) -> Self {
+        TraceCtx {
+            session,
+            op,
+            parent_span: 0,
+        }
+    }
+
+    /// The same context reparented under span `parent_span`.
+    pub fn under(self, parent_span: u64) -> Self {
+        TraceCtx {
+            parent_span,
+            ..self
+        }
+    }
+}
+
 /// One kernel-launch span on the modeled clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanEvent {
@@ -104,6 +143,12 @@ pub struct SpanEvent {
     pub dur_s: f64,
     /// The unit's counter delta (carried into Chrome trace `args`).
     pub counters: CounterSnapshot,
+    /// Monotonic span id, unique within this profiler (first span = 1).
+    pub id: u64,
+    /// Causal parent span id (`ctx.parent_span` at record time; 0 = root).
+    pub parent: u64,
+    /// The trace context active when the span was recorded, if any.
+    pub ctx: Option<TraceCtx>,
 }
 
 /// One host-phase range opened by [`crate::Device::phase`].
@@ -120,6 +165,9 @@ pub struct InstantEvent {
     pub name: &'static str,
     pub at_s: f64,
     pub detail: String,
+    /// The trace context active when the instant was stamped, if any —
+    /// fault instants inherit the op whose dispatch tripped them.
+    pub ctx: Option<TraceCtx>,
 }
 
 /// A bounded overwrite-oldest event ring.
@@ -163,6 +211,10 @@ struct ProfState {
     host_spans: Ring<SpanEvent>,
     phases: Ring<PhaseEvent>,
     instants: Ring<InstantEvent>,
+    /// Next span id (kernel and host spans share the namespace).
+    next_span_id: u64,
+    /// Active trace-context stack; the top stamps recorded events.
+    ctx_stack: Vec<TraceCtx>,
 }
 
 /// Retained-event counts and drop counts per class.
@@ -215,6 +267,8 @@ impl Profiler {
                 host_spans: Ring::new(cfg.ring_capacity),
                 phases: Ring::new(cfg.ring_capacity),
                 instants: Ring::new(cfg.ring_capacity),
+                next_span_id: 1,
+                ctx_stack: Vec::new(),
             }),
             metrics: MetricsRegistry::new(),
         }
@@ -241,51 +295,80 @@ impl Profiler {
         self.state.lock().now_s
     }
 
-    /// Append one span for a completed top-level unit and advance the
-    /// clock by its modeled duration.
-    pub fn record_span(&self, name: &'static str, delta: CounterSnapshot) {
+    /// Append one span for a completed top-level unit, stamped with the
+    /// active trace context, and advance the clock by its modeled
+    /// duration. Returns the span's id.
+    pub fn record_span(&self, name: &'static str, delta: CounterSnapshot) -> u64 {
         let dur_s = self.model.seconds(&delta);
         let mut st = self.state.lock();
         let start_s = st.now_s;
+        let ctx = st.ctx_stack.last().copied();
+        let id = st.next_span_id;
+        st.next_span_id += 1;
         st.spans.push(SpanEvent {
             name,
             start_s,
             dur_s,
             counters: delta,
+            id,
+            parent: ctx.map_or(0, |c| c.parent_span),
+            ctx,
         });
         st.now_s += dur_s;
+        id
     }
 
     /// Append one *host* span — costed work outside any kernel launch
     /// (see [`Timeline::host_spans`]) — and advance the clock by its
-    /// modeled duration.
-    pub fn record_host_span(&self, name: &'static str, delta: CounterSnapshot) {
+    /// modeled duration. Returns the span's id.
+    pub fn record_host_span(&self, name: &'static str, delta: CounterSnapshot) -> u64 {
         let dur_s = self.model.seconds(&delta);
-        let mut st = self.state.lock();
-        let start_s = st.now_s;
-        st.host_spans.push(SpanEvent {
-            name,
-            start_s,
-            dur_s,
-            counters: delta,
-        });
-        st.now_s += dur_s;
+        self.push_host_span(name, dur_s, delta)
     }
 
     /// Charge `dur_s` seconds of pure *wait* onto the modeled clock: a
     /// host span with zero counters and an explicit duration. Retry
     /// backoff uses this so waiting for a flaky shard is as visible in the
     /// timeline — and as costly to the makespan — as the work itself.
-    pub fn charge_wait(&self, name: &'static str, dur_s: f64) {
+    /// Returns the span's id.
+    pub fn charge_wait(&self, name: &'static str, dur_s: f64) -> u64 {
+        self.push_host_span(name, dur_s, CounterSnapshot::default())
+    }
+
+    fn push_host_span(&self, name: &'static str, dur_s: f64, counters: CounterSnapshot) -> u64 {
         let mut st = self.state.lock();
         let start_s = st.now_s;
+        let ctx = st.ctx_stack.last().copied();
+        let id = st.next_span_id;
+        st.next_span_id += 1;
         st.host_spans.push(SpanEvent {
             name,
             start_s,
             dur_s,
-            counters: CounterSnapshot::default(),
+            counters,
+            id,
+            parent: ctx.map_or(0, |c| c.parent_span),
+            ctx,
         });
         st.now_s += dur_s;
+        id
+    }
+
+    /// The trace context that would stamp an event recorded now, if any.
+    pub fn current_ctx(&self) -> Option<TraceCtx> {
+        self.state.lock().ctx_stack.last().copied()
+    }
+
+    /// Push `ctx` onto the context stack. Prefer the RAII
+    /// [`crate::Device::trace_scope`]; this low-level pair exists for
+    /// guards that outlive a borrow.
+    pub fn push_ctx(&self, ctx: TraceCtx) {
+        self.state.lock().ctx_stack.push(ctx);
+    }
+
+    /// Pop the top of the context stack (no-op when empty).
+    pub fn pop_ctx(&self) {
+        self.state.lock().ctx_stack.pop();
     }
 
     /// Record a dropped top-level [`crate::trace::Charge`]'s tally as
@@ -338,14 +421,17 @@ impl Profiler {
             .record(&format!("phase.{name}"), (dur_s * 1e6).round() as u64);
     }
 
-    /// Record a point event at the current modeled time.
+    /// Record a point event at the current modeled time, stamped with the
+    /// active trace context (fault instants inherit the dispatching op).
     pub fn instant(&self, name: &'static str, detail: impl Into<String>) {
         let mut st = self.state.lock();
         let at_s = st.now_s;
+        let ctx = st.ctx_stack.last().copied();
         st.instants.push(InstantEvent {
             name,
             at_s,
             detail: detail.into(),
+            ctx,
         });
     }
 
@@ -405,10 +491,26 @@ impl Profiler {
                 pid,
                 tid: TID_PHASES,
                 args: Vec::new(),
+                flow_id: None,
             });
         }
         let span_event = |s: &SpanEvent, tid: u64| {
             let c = &s.counters;
+            let mut args = vec![
+                ("transactions".into(), Json::u64(c.transactions)),
+                ("atomics".into(), Json::u64(c.atomics)),
+                ("ballots".into(), Json::u64(c.ballots)),
+                ("shuffles".into(), Json::u64(c.shuffles)),
+                ("launches".into(), Json::u64(c.launches)),
+                ("warps".into(), Json::u64(c.warps)),
+                ("words_allocated".into(), Json::u64(c.words_allocated)),
+            ];
+            if let Some(ctx) = s.ctx {
+                args.push(("trace_span".into(), Json::u64(s.id)));
+                args.push(("trace_parent".into(), Json::u64(s.parent)));
+                args.push(("trace_session".into(), Json::u64(ctx.session)));
+                args.push(("trace_op".into(), Json::u64(ctx.op)));
+            }
             ChromeEvent {
                 name: s.name.to_string(),
                 ph: "X".to_string(),
@@ -416,15 +518,8 @@ impl Profiler {
                 dur_us: s.dur_s * 1e6,
                 pid,
                 tid,
-                args: vec![
-                    ("transactions".into(), Json::u64(c.transactions)),
-                    ("atomics".into(), Json::u64(c.atomics)),
-                    ("ballots".into(), Json::u64(c.ballots)),
-                    ("shuffles".into(), Json::u64(c.shuffles)),
-                    ("launches".into(), Json::u64(c.launches)),
-                    ("warps".into(), Json::u64(c.warps)),
-                    ("words_allocated".into(), Json::u64(c.words_allocated)),
-                ],
+                args,
+                flow_id: None,
             }
         };
         for s in &t.spans {
@@ -434,6 +529,12 @@ impl Profiler {
             out.push(span_event(s, TID_HOST));
         }
         for i in &t.instants {
+            let mut args = vec![("detail".into(), Json::str(&i.detail))];
+            if let Some(ctx) = i.ctx {
+                args.push(("trace_session".into(), Json::u64(ctx.session)));
+                args.push(("trace_op".into(), Json::u64(ctx.op)));
+                args.push(("trace_parent".into(), Json::u64(ctx.parent_span)));
+            }
             out.push(ChromeEvent {
                 name: i.name.to_string(),
                 ph: "i".to_string(),
@@ -441,7 +542,8 @@ impl Profiler {
                 dur_us: 0.0,
                 pid,
                 tid: TID_INSTANTS,
-                args: vec![("detail".into(), Json::str(&i.detail))],
+                args,
+                flow_id: None,
             });
         }
         out
@@ -474,8 +576,38 @@ impl Drop for PhaseGuard {
     }
 }
 
+/// Installs a [`TraceCtx`] on a profiler's context stack for its lifetime:
+/// every span and instant recorded while the scope is live is stamped with
+/// the context. Returned by [`crate::Device::trace_scope`]; inert (and
+/// free) when the device has no profiler. Bind it — a discarded scope
+/// closes immediately and nothing gets stamped.
+#[must_use = "binding the scope keeps the trace context installed; a discarded scope removes it immediately"]
+pub struct TraceScope {
+    inner: Option<std::sync::Arc<Profiler>>,
+}
+
+impl TraceScope {
+    /// Install `ctx` on `prof` (when present) until the scope drops.
+    pub fn new(prof: Option<std::sync::Arc<Profiler>>, ctx: TraceCtx) -> Self {
+        if let Some(p) = &prof {
+            p.push_ctx(ctx);
+        }
+        TraceScope { inner: prof }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(p) = self.inner.take() {
+            p.pop_ctx();
+        }
+    }
+}
+
 /// One Chrome Trace Event Format entry, as exported and re-parsed here.
-/// `ph` is `"X"` (complete span, `dur` serialized) or `"i"` (instant).
+/// `ph` is `"X"` (complete span, `dur` serialized), `"i"` (instant), or a
+/// flow event `"s"`/`"t"`/`"f"` (start/step/finish, `id` serialized) —
+/// the arrows Perfetto draws between an op's spans across shard pids.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChromeEvent {
     pub name: String,
@@ -487,6 +619,9 @@ pub struct ChromeEvent {
     pub tid: u64,
     /// Event arguments, rendered under `args` when non-empty.
     pub args: Vec<(String, Json)>,
+    /// Flow binding id (serialized as `id`); `Some` exactly for flow
+    /// events (`ph` in `"s"`/`"t"`/`"f"`).
+    pub flow_id: Option<u64>,
 }
 
 impl ChromeEvent {
@@ -504,6 +639,13 @@ impl ChromeEvent {
         if self.ph == "i" {
             // Instant scope: thread-scoped tick marks.
             fields.push(("s".to_string(), Json::str("t")));
+        }
+        if let Some(id) = self.flow_id {
+            fields.push(("id".to_string(), Json::u64(id)));
+        }
+        if self.ph == "f" {
+            // Bind the flow finish to the enclosing slice, not the next.
+            fields.push(("bp".to_string(), Json::str("e")));
         }
         if !self.args.is_empty() {
             fields.push(("args".to_string(), Json::Obj(self.args.clone())));
@@ -526,6 +668,15 @@ impl ChromeEvent {
         } else {
             0.0
         };
+        let flow_id = if matches!(ph.as_str(), "s" | "t" | "f") {
+            Some(
+                j.get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {idx}: flow event missing 'id'"))?,
+            )
+        } else {
+            None
+        };
         Ok(ChromeEvent {
             name: s("name")?,
             ph,
@@ -547,7 +698,16 @@ impl ChromeEvent {
                 Some(_) => return Err(format!("event {idx}: 'args' is not an object")),
                 None => Vec::new(),
             },
+            flow_id,
         })
+    }
+
+    /// The value of a `trace_*` arg stamped by [`Profiler::chrome_events`].
+    pub fn trace_arg(&self, key: &str) -> Option<u64> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
     }
 }
 
@@ -576,6 +736,129 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
         .enumerate()
         .map(|(idx, j)| ChromeEvent::from_json(idx, j))
         .collect()
+}
+
+/// Synthesize Chrome flow events (`ph` `"s"`/`"t"`/`"f"`, flow id = op id)
+/// from ctx-stamped spans, so Perfetto draws an arrow chain across every
+/// span — on any shard pid — that ran on a given client op's behalf. Ops
+/// that touched fewer than two spans get no flow (nothing to connect).
+/// Append the result to the span events before [`chrome_trace_json`].
+pub fn op_flow_events(events: &[ChromeEvent]) -> Vec<ChromeEvent> {
+    use std::collections::BTreeMap;
+    let mut by_op: BTreeMap<u64, Vec<&ChromeEvent>> = BTreeMap::new();
+    for e in events {
+        if e.ph == "X" {
+            if let Some(op) = e.trace_arg("trace_op") {
+                by_op.entry(op).or_default().push(e);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (op, mut spans) in by_op {
+        if spans.len() < 2 {
+            continue;
+        }
+        spans.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us).then(a.pid.cmp(&b.pid)));
+        let last = spans.len() - 1;
+        for (i, s) in spans.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            out.push(ChromeEvent {
+                name: format!("op#{op}"),
+                ph: ph.to_string(),
+                ts_us: s.ts_us,
+                dur_us: 0.0,
+                pid: s.pid,
+                tid: s.tid,
+                args: Vec::new(),
+                flow_id: Some(op),
+            });
+        }
+    }
+    out
+}
+
+/// One client op's reconstructed lifecycle: every ctx-stamped span and
+/// instant that ran on its behalf, time-ordered across shard pids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpLifecycle {
+    pub op: u64,
+    pub session: u64,
+    /// The op's spans (`ph == "X"`), sorted by `(ts, pid)`.
+    pub spans: Vec<ChromeEvent>,
+    /// Instants (faults, health transitions) stamped with the op's ctx.
+    pub instants: Vec<ChromeEvent>,
+}
+
+impl OpLifecycle {
+    /// Total modeled microseconds across the op's spans.
+    pub fn span_total_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.dur_us).sum()
+    }
+}
+
+/// Reconstruct per-op lifecycles from a (possibly multi-shard, merged)
+/// Chrome event stream, validating span parenting as it ingests: within
+/// each pid, every span's `trace_parent` chain must terminate at the
+/// virtual root (0) without revisiting a span. A cycle — which would make
+/// "walk to the causal root" diverge — is rejected with an error naming
+/// the offending span. Events without trace args are skipped (untraced
+/// setup work).
+pub fn assemble_lifecycles(events: &[ChromeEvent]) -> Result<Vec<OpLifecycle>, String> {
+    use std::collections::BTreeMap;
+    // (pid, span id) → parent span id, for cycle checking.
+    let mut parents: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for e in events {
+        if e.ph != "X" {
+            continue;
+        }
+        if let (Some(id), Some(parent)) = (e.trace_arg("trace_span"), e.trace_arg("trace_parent")) {
+            parents.insert((e.pid, id), parent);
+        }
+    }
+    for &(pid, id) in parents.keys() {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut cur = id;
+        while cur != 0 {
+            if !seen.insert(cur) {
+                return Err(format!(
+                    "span parent cycle at pid {pid} span {cur}: the causal chain never reaches a client op"
+                ));
+            }
+            cur = parents.get(&(pid, cur)).copied().unwrap_or(0);
+        }
+    }
+    let mut by_op: BTreeMap<u64, OpLifecycle> = BTreeMap::new();
+    for e in events {
+        let Some(op) = e.trace_arg("trace_op") else {
+            continue;
+        };
+        let session = e.trace_arg("trace_session").unwrap_or(TraceCtx::NO_SESSION);
+        let life = by_op.entry(op).or_insert_with(|| OpLifecycle {
+            op,
+            session,
+            spans: Vec::new(),
+            instants: Vec::new(),
+        });
+        match e.ph.as_str() {
+            "X" => life.spans.push(e.clone()),
+            "i" => life.instants.push(e.clone()),
+            _ => {}
+        }
+    }
+    let mut out: Vec<OpLifecycle> = by_op.into_values().collect();
+    for life in &mut out {
+        life.spans
+            .sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us).then(a.pid.cmp(&b.pid)));
+        life.instants
+            .sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us).then(a.pid.cmp(&b.pid)));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -697,6 +980,129 @@ mod tests {
             2
         );
         assert!(parsed.iter().any(|e| e.tid == TID_INSTANTS && e.ph == "i"));
+    }
+
+    #[test]
+    fn ctx_scopes_stamp_spans_and_instants() {
+        let p = Profiler::new(ProfilerConfig::default());
+        p.record_span("untraced", snap(1, 1));
+        let ctx = TraceCtx::root(3, 42);
+        p.push_ctx(ctx);
+        let id = p.record_span("traced", snap(1, 1));
+        p.instant("fault_injected", "kernel fault");
+        p.pop_ctx();
+        p.record_span("after", snap(1, 1));
+        let t = p.timeline();
+        assert_eq!(t.spans[0].ctx, None);
+        assert_eq!(t.spans[1].ctx, Some(ctx));
+        assert_eq!(t.spans[1].id, id);
+        assert_eq!(t.spans[1].parent, 0);
+        assert_eq!(t.spans[2].ctx, None, "scope popped");
+        assert_eq!(t.instants[0].ctx, Some(ctx), "instants inherit the op");
+        // Ids are monotonic and unique across kernel and host spans.
+        assert_eq!(t.spans.iter().map(|s| s.id).collect::<Vec<_>>(), [1, 2, 3]);
+        // Chrome export carries the trace args only for stamped spans.
+        let events = p.chrome_events(0);
+        let traced = events.iter().find(|e| e.name == "traced").unwrap();
+        assert_eq!(traced.trace_arg("trace_op"), Some(42));
+        assert_eq!(traced.trace_arg("trace_session"), Some(3));
+        assert_eq!(traced.trace_arg("trace_span"), Some(id));
+        let untraced = events.iter().find(|e| e.name == "untraced").unwrap();
+        assert_eq!(untraced.trace_arg("trace_op"), None);
+    }
+
+    #[test]
+    fn nested_ctx_reparenting_builds_chains() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let root = TraceCtx::root(0, 7);
+        p.push_ctx(root);
+        let dispatch = p.record_span("router.dispatch", snap(0, 1));
+        p.push_ctx(root.under(dispatch));
+        p.record_span("edge_insert", snap(10, 1));
+        p.pop_ctx();
+        p.pop_ctx();
+        let t = p.timeline();
+        assert_eq!(t.spans[0].parent, 0);
+        assert_eq!(t.spans[1].parent, dispatch, "child chains to the dispatch");
+        assert_eq!(t.spans[1].ctx.unwrap().op, 7, "op identity propagates");
+    }
+
+    #[test]
+    fn flow_events_roundtrip_across_shard_pids() {
+        // Two profilers = two shards; the same op dispatches on both.
+        let ctx = TraceCtx::root(1, 99);
+        let mut events = Vec::new();
+        for pid in [10u64, 11] {
+            let p = Profiler::new(ProfilerConfig::default());
+            p.push_ctx(ctx);
+            p.record_span("edge_insert", snap(100 * (pid - 9), 1));
+            p.pop_ctx();
+            events.extend(p.chrome_events(pid));
+        }
+        let flows = op_flow_events(&events);
+        assert_eq!(flows.len(), 2, "start + finish for a two-span op");
+        assert_eq!(flows[0].ph, "s");
+        assert_eq!(flows[1].ph, "f");
+        assert_eq!(flows[0].flow_id, Some(99));
+        assert_eq!(flows[0].pid, 10);
+        assert_eq!(flows[1].pid, 11, "flow crosses shard pids");
+        // The merged document (spans + flows) round-trips exactly.
+        events.extend(flows);
+        let text = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        let pids: std::collections::BTreeSet<u64> = parsed.iter().map(|e| e.pid).collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![10, 11]);
+        // A flow event serialized without its id is rejected.
+        let no_id = text.replacen(r#""id": 99"#, r#""note": 99"#, 1);
+        assert_ne!(no_id, text);
+        assert!(parse_chrome_trace(&no_id).unwrap_err().contains("'id'"));
+    }
+
+    #[test]
+    fn single_span_ops_get_no_flow() {
+        let p = Profiler::new(ProfilerConfig::default());
+        p.push_ctx(TraceCtx::root(0, 5));
+        p.record_span("edge_insert", snap(1, 1));
+        p.pop_ctx();
+        assert!(op_flow_events(&p.chrome_events(0)).is_empty());
+    }
+
+    #[test]
+    fn lifecycles_assemble_per_op_and_reject_parent_cycles() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let a = TraceCtx::root(0, 1);
+        let b = TraceCtx::root(1, 2);
+        p.push_ctx(a);
+        let root_span = p.record_span("router.dispatch", snap(0, 1));
+        p.push_ctx(a.under(root_span));
+        p.record_span("edge_insert", snap(5, 1));
+        p.instant("fault_injected", "boom");
+        p.pop_ctx();
+        p.pop_ctx();
+        p.push_ctx(b);
+        p.record_span("edge_delete", snap(5, 1));
+        p.pop_ctx();
+        let events = p.chrome_events(0);
+        let lives = assemble_lifecycles(&events).unwrap();
+        assert_eq!(lives.len(), 2);
+        assert_eq!(lives[0].op, 1);
+        assert_eq!(lives[0].session, 0);
+        assert_eq!(lives[0].spans.len(), 2);
+        assert_eq!(lives[0].instants.len(), 1);
+        assert_eq!(lives[1].op, 2);
+        assert!(lives[0].span_total_us() > 0.0);
+        // A forged parent cycle (span 1 → span 2 → span 1) is rejected.
+        let mut forged = events.clone();
+        for e in &mut forged {
+            for (k, v) in &mut e.args {
+                if k == "trace_parent" {
+                    *v = Json::u64(if matches!(v.as_u64(), Some(0)) { 2 } else { 1 });
+                }
+            }
+        }
+        let err = assemble_lifecycles(&forged).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
     }
 
     #[test]

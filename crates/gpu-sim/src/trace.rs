@@ -251,6 +251,51 @@ pub struct ShardHealthRow {
     pub rebuilds: u64,
 }
 
+/// One latency-attribution component summarized across every completed
+/// client op: where end-to-end modeled time went (`queue`, `coalesce`,
+/// `backoff`, `kernel`, `degraded`) plus the `total` row. All figures are
+/// modeled nanoseconds. Lives here (like [`ShardHealthRow`]) so
+/// [`TraceReport`] can carry it without depending on the router crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpAttributionRow {
+    /// Component name: `queue`, `coalesce`, `backoff`, `kernel`,
+    /// `degraded`, or `total`.
+    pub component: String,
+    /// Ops that spent any time in this component.
+    pub count: u64,
+    /// Sum of the component across all ops, modeled ns.
+    pub sum_ns: u64,
+    /// Largest single-op share, modeled ns.
+    pub max_ns: u64,
+    /// Bucketed quantiles over per-op shares, modeled ns.
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// One of the K slowest client ops in the report window, with its full
+/// causal span chain — the concrete story behind a tail percentile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailExemplarRow {
+    /// Client op id (unique within the router's lifetime).
+    pub op: u64,
+    /// Submitting session.
+    pub session: u64,
+    /// Op kind: `insert`, `delete`, or `query`.
+    pub kind: String,
+    /// End-to-end modeled latency, ns.
+    pub total_ns: u64,
+    /// Per-component breakdown, modeled ns. Components sum to `total_ns`.
+    pub queue_ns: u64,
+    pub coalesce_ns: u64,
+    pub backoff_ns: u64,
+    pub kernel_ns: u64,
+    pub degraded_ns: u64,
+    /// The op's causal span chain, root first — e.g.
+    /// `op#17 → flush#2 → shard1/router.flush → shard1/edge_insert`.
+    pub spans: Vec<String>,
+}
+
 /// A renderable, serializable per-kernel breakdown of a measured phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
@@ -261,13 +306,19 @@ pub struct TraceReport {
     /// Sanitizer violations recorded during the phase (empty when the
     /// sanitizer is off or the run was clean). See [`crate::sanitizer`].
     pub findings: Vec<Finding>,
-    /// Metric summaries (histogram p50/p95/max, gauge high-waters) from
+    /// Metric summaries (histogram p50/p95/p99/max, gauge high-waters) from
     /// an attached profiler (empty when no profiler ran). See
     /// [`crate::metrics`].
     pub metrics: Vec<MetricSummary>,
     /// Per-shard health rows from a sharded router's fault-tolerance
     /// layer (empty for unsharded runs or pre-robustness reports).
     pub shard_health: Vec<ShardHealthRow>,
+    /// Per-component latency attribution across completed client ops
+    /// (empty for untraced runs or pre-tracing reports).
+    pub op_attribution: Vec<OpAttributionRow>,
+    /// The K slowest client ops with their causal span chains (empty for
+    /// untraced runs or pre-tracing reports).
+    pub tail_exemplars: Vec<TailExemplarRow>,
 }
 
 impl TraceReport {
@@ -293,6 +344,8 @@ impl TraceReport {
             findings: Vec::new(),
             metrics: Vec::new(),
             shard_health: Vec::new(),
+            op_attribution: Vec::new(),
+            tail_exemplars: Vec::new(),
         }
     }
 
@@ -314,6 +367,19 @@ impl TraceReport {
     /// fault-tolerance layer.
     pub fn with_shard_health(mut self, shard_health: Vec<ShardHealthRow>) -> Self {
         self.shard_health = shard_health;
+        self
+    }
+
+    /// Attach per-component latency-attribution rows from a traced
+    /// router's op accounting.
+    pub fn with_op_attribution(mut self, op_attribution: Vec<OpAttributionRow>) -> Self {
+        self.op_attribution = op_attribution;
+        self
+    }
+
+    /// Attach tail exemplars — the K slowest ops with their span chains.
+    pub fn with_tail_exemplars(mut self, tail_exemplars: Vec<TailExemplarRow>) -> Self {
+        self.tail_exemplars = tail_exemplars;
         self
     }
 
@@ -392,8 +458,9 @@ impl TraceReport {
         out.push_str(&fmt_row(&body[body.len() - 1]));
         if !self.metrics.is_empty() {
             out.push_str(&format!("\nmetrics ({}):\n", self.metrics.len()));
-            const MHEADERS: [&str; 7] = ["metric", "kind", "count", "sum", "max", "p50", "p95"];
-            let mrow = |m: &MetricSummary| -> [String; 7] {
+            const MHEADERS: [&str; 8] =
+                ["metric", "kind", "count", "sum", "max", "p50", "p95", "p99"];
+            let mrow = |m: &MetricSummary| -> [String; 8] {
                 [
                     m.name.clone(),
                     m.kind.as_str().to_string(),
@@ -402,9 +469,10 @@ impl TraceReport {
                     m.max.to_string(),
                     m.p50.to_string(),
                     m.p95.to_string(),
+                    m.p99.to_string(),
                 ]
             };
-            let mbody: Vec<[String; 7]> = self.metrics.iter().map(mrow).collect();
+            let mbody: Vec<[String; 8]> = self.metrics.iter().map(mrow).collect();
             let mut mwidths: Vec<usize> = MHEADERS.iter().map(|h| h.len()).collect();
             for row in &mbody {
                 for (w, cell) in mwidths.iter_mut().zip(row.iter()) {
@@ -430,6 +498,82 @@ impl TraceReport {
             out.push_str(&fmt_mrow(&mheader));
             for row in &mbody {
                 out.push_str(&fmt_mrow(row));
+            }
+        }
+        if !self.op_attribution.is_empty() {
+            out.push_str(&format!(
+                "\nop attribution ({}):\n",
+                self.op_attribution.len()
+            ));
+            const AHEADERS: [&str; 7] = [
+                "component",
+                "count",
+                "sum ns",
+                "max ns",
+                "p50 ns",
+                "p95 ns",
+                "p99 ns",
+            ];
+            let arow = |a: &OpAttributionRow| -> [String; 7] {
+                [
+                    a.component.clone(),
+                    a.count.to_string(),
+                    a.sum_ns.to_string(),
+                    a.max_ns.to_string(),
+                    a.p50_ns.to_string(),
+                    a.p95_ns.to_string(),
+                    a.p99_ns.to_string(),
+                ]
+            };
+            let abody: Vec<[String; 7]> = self.op_attribution.iter().map(arow).collect();
+            let mut awidths: Vec<usize> = AHEADERS.iter().map(|h| h.len()).collect();
+            for row in &abody {
+                for (w, cell) in awidths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let fmt_arow = |cells: &[String]| {
+                let mut line = String::from("  ");
+                for (i, (cell, w)) in cells.iter().zip(&awidths).enumerate() {
+                    if i > 0 {
+                        line.push_str("  ");
+                    }
+                    if i == 0 {
+                        line.push_str(&format!("{cell:<w$}"));
+                    } else {
+                        line.push_str(&format!("{cell:>w$}"));
+                    }
+                }
+                line.push('\n');
+                line
+            };
+            let aheader: Vec<String> = AHEADERS.iter().map(|h| h.to_string()).collect();
+            out.push_str(&fmt_arow(&aheader));
+            for row in &abody {
+                out.push_str(&fmt_arow(row));
+            }
+        }
+        if !self.tail_exemplars.is_empty() {
+            out.push_str(&format!(
+                "\ntail exemplars ({}):\n",
+                self.tail_exemplars.len()
+            ));
+            for e in &self.tail_exemplars {
+                out.push_str(&format!(
+                    "  op {} ({}, session {}): {} ns = queue {} + coalesce {} + backoff {} + kernel {} + degraded {}\n",
+                    e.op,
+                    e.kind,
+                    e.session,
+                    e.total_ns,
+                    e.queue_ns,
+                    e.coalesce_ns,
+                    e.backoff_ns,
+                    e.kernel_ns,
+                    e.degraded_ns,
+                ));
+                for s in &e.spans {
+                    out.push_str(&format!("    {s}\n"));
+                }
             }
         }
         if !self.shard_health.is_empty() {
@@ -497,6 +641,7 @@ impl TraceReport {
                 ("max".into(), Json::u64(m.max)),
                 ("p50".into(), Json::u64(m.p50)),
                 ("p95".into(), Json::u64(m.p95)),
+                ("p99".into(), Json::u64(m.p99)),
             ])
         };
         Json::Obj(vec![
@@ -526,6 +671,50 @@ impl TraceReport {
                                 ("backoff_s".into(), Json::f64(h.backoff_s)),
                                 ("journal_depth".into(), Json::u64(h.journal_depth)),
                                 ("rebuilds".into(), Json::u64(h.rebuilds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "op_attribution".into(),
+                Json::Arr(
+                    self.op_attribution
+                        .iter()
+                        .map(|a| {
+                            Json::Obj(vec![
+                                ("component".into(), Json::str(&a.component)),
+                                ("count".into(), Json::u64(a.count)),
+                                ("sum_ns".into(), Json::u64(a.sum_ns)),
+                                ("max_ns".into(), Json::u64(a.max_ns)),
+                                ("p50_ns".into(), Json::u64(a.p50_ns)),
+                                ("p95_ns".into(), Json::u64(a.p95_ns)),
+                                ("p99_ns".into(), Json::u64(a.p99_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tail_exemplars".into(),
+                Json::Arr(
+                    self.tail_exemplars
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("op".into(), Json::u64(e.op)),
+                                ("session".into(), Json::u64(e.session)),
+                                ("kind".into(), Json::str(&e.kind)),
+                                ("total_ns".into(), Json::u64(e.total_ns)),
+                                ("queue_ns".into(), Json::u64(e.queue_ns)),
+                                ("coalesce_ns".into(), Json::u64(e.coalesce_ns)),
+                                ("backoff_ns".into(), Json::u64(e.backoff_ns)),
+                                ("kernel_ns".into(), Json::u64(e.kernel_ns)),
+                                ("degraded_ns".into(), Json::u64(e.degraded_ns)),
+                                (
+                                    "spans".into(),
+                                    Json::Arr(e.spans.iter().map(Json::str).collect()),
+                                ),
                             ])
                         })
                         .collect(),
@@ -616,6 +805,7 @@ impl TraceReport {
                     .ok_or_else(|| format!("missing metric field '{key}'"))
             };
             let kind_str = s("kind")?;
+            let p95 = n("p95")?;
             Ok(MetricSummary {
                 name: s("name")?,
                 kind: MetricKind::parse(&kind_str)
@@ -624,7 +814,10 @@ impl TraceReport {
                 sum: n("sum")?,
                 max: n("max")?,
                 p50: n("p50")?,
-                p95: n("p95")?,
+                p95,
+                // Absent in reports written before p99 existed: fall back
+                // to p95 (the best lower bound the old schema carries).
+                p99: j.get("p99").and_then(Json::as_u64).unwrap_or(p95),
             })
         };
         // Absent in reports written before the profiler existed.
@@ -659,12 +852,76 @@ impl TraceReport {
             Some(arr) => arr.iter().map(parse_health).collect::<Result<_, _>>()?,
             None => Vec::new(),
         };
+        let parse_attr = |j: &Json| -> Result<OpAttributionRow, String> {
+            let n = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing attribution field '{key}'"))
+            };
+            Ok(OpAttributionRow {
+                component: j
+                    .get("component")
+                    .and_then(Json::as_str)
+                    .ok_or("missing attribution field 'component'")?
+                    .to_string(),
+                count: n("count")?,
+                sum_ns: n("sum_ns")?,
+                max_ns: n("max_ns")?,
+                p50_ns: n("p50_ns")?,
+                p95_ns: n("p95_ns")?,
+                p99_ns: n("p99_ns")?,
+            })
+        };
+        let parse_exemplar = |j: &Json| -> Result<TailExemplarRow, String> {
+            let n = |key: &str| -> Result<u64, String> {
+                j.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing exemplar field '{key}'"))
+            };
+            Ok(TailExemplarRow {
+                op: n("op")?,
+                session: n("session")?,
+                kind: j
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("missing exemplar field 'kind'")?
+                    .to_string(),
+                total_ns: n("total_ns")?,
+                queue_ns: n("queue_ns")?,
+                coalesce_ns: n("coalesce_ns")?,
+                backoff_ns: n("backoff_ns")?,
+                kernel_ns: n("kernel_ns")?,
+                degraded_ns: n("degraded_ns")?,
+                spans: j
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing exemplar field 'spans'")?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "non-string exemplar span".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        };
+        // Absent in reports written before the tracing layer.
+        let op_attribution = match v.get("op_attribution").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(parse_attr).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
+        let tail_exemplars = match v.get("tail_exemplars").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(parse_exemplar).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         Ok(TraceReport {
             rows,
             total,
             findings,
             metrics,
             shard_health,
+            op_attribution,
+            tail_exemplars,
         })
     }
 }
@@ -836,6 +1093,7 @@ mod tests {
                 max: 9,
                 p50: 1,
                 p95: 4,
+                p99: 8,
             },
             MetricSummary {
                 name: "slab_alloc.live_slabs".into(),
@@ -845,6 +1103,7 @@ mod tests {
                 max: 48,
                 p50: 12,
                 p95: 12,
+                p99: 12,
             },
         ];
         let report = TraceReport::new(&trace, &CostModel::titan_v()).with_metrics(metrics);
@@ -906,6 +1165,91 @@ mod tests {
         assert_ne!(wrong, good);
         let err = TraceReport::from_json(&wrong).unwrap_err();
         assert!(err.contains("'journal_depth'"), "{err}");
+    }
+
+    #[test]
+    fn pre_p99_metric_json_still_parses() {
+        // A metrics entry serialized before p99 existed: p99 defaults to
+        // p95 instead of failing the parse.
+        let old = r#"{"kernels": [], "total": {"name": "total", "transactions": 0,
+            "atomics": 0, "ballots": 0, "shuffles": 0, "launches": 0, "warps": 0,
+            "words_allocated": 0, "modeled_s": 0.0}, "metrics": [
+            {"name": "m", "kind": "histogram", "count": 10, "sum": 40,
+             "max": 9, "p50": 2, "p95": 8}]}"#;
+        let parsed = TraceReport::from_json(old).expect("pre-p99 report parses");
+        assert_eq!(parsed.metrics.len(), 1);
+        assert_eq!(parsed.metrics[0].p95, 8);
+        assert_eq!(parsed.metrics[0].p99, 8, "p99 defaults to p95");
+    }
+
+    #[test]
+    fn op_attribution_and_exemplars_roundtrip_and_render() {
+        let trace = TraceSnapshot {
+            global: snap(10, 1),
+            kernels: vec![KernelStats {
+                name: "router.flush",
+                counters: snap(10, 1),
+            }],
+        };
+        let attribution = vec![
+            OpAttributionRow {
+                component: "kernel".into(),
+                count: 100,
+                sum_ns: 5000,
+                max_ns: 400,
+                p50_ns: 32,
+                p95_ns: 128,
+                p99_ns: 256,
+            },
+            OpAttributionRow {
+                component: "backoff".into(),
+                count: 3,
+                sum_ns: 150,
+                max_ns: 100,
+                p50_ns: 32,
+                p95_ns: 64,
+                p99_ns: 64,
+            },
+        ];
+        let exemplars = vec![TailExemplarRow {
+            op: 17,
+            session: 3,
+            kind: "insert".into(),
+            total_ns: 612,
+            queue_ns: 100,
+            coalesce_ns: 12,
+            backoff_ns: 100,
+            kernel_ns: 400,
+            degraded_ns: 0,
+            spans: vec![
+                "op#17 session 3 insert".into(),
+                "flush#2".into(),
+                "shard1/router.flush".into(),
+                "shard1/edge_insert".into(),
+            ],
+        }];
+        let report = TraceReport::new(&trace, &CostModel::titan_v())
+            .with_op_attribution(attribution)
+            .with_tail_exemplars(exemplars);
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report, "attribution round-trip must be exact");
+        let rendered = report.render();
+        assert!(rendered.contains("op attribution (2):"), "{rendered}");
+        assert!(rendered.contains("p99 ns"));
+        assert!(rendered.contains("tail exemplars (1):"));
+        assert!(rendered.contains("op 17 (insert, session 3): 612 ns"));
+        assert!(rendered.contains("shard1/edge_insert"));
+        // Reports without the keys (pre-tracing) still parse.
+        let bare = TraceReport::new(&trace, &CostModel::titan_v());
+        let parsed = TraceReport::from_json(&bare.to_json()).unwrap();
+        assert!(parsed.op_attribution.is_empty());
+        assert!(parsed.tail_exemplars.is_empty());
+        // Malformed entries name the offending field.
+        let good = report.to_json();
+        let wrong = good.replacen(r#""total_ns": 612"#, r#""total_ns": "slow""#, 1);
+        assert_ne!(wrong, good);
+        let err = TraceReport::from_json(&wrong).unwrap_err();
+        assert!(err.contains("'total_ns'"), "{err}");
     }
 
     #[test]

@@ -38,14 +38,15 @@
 //! resumes exactly the pending suffixes via `retry_suffix`.
 
 use gpu_sim::{
-    CostModel, Device, DeviceConfig, DeviceFault, DeviceGroup, ExecPolicy, ShardHealthRow,
+    CostModel, Device, DeviceConfig, DeviceFault, DeviceGroup, ExecPolicy, MetricSummary,
+    MetricsRegistry, OpAttributionRow, ShardHealthRow, TailExemplarRow, TraceCtx, TraceReport,
 };
 use parking_lot::{Mutex, RwLock};
 use slabgraph::{
     BatchOutcome, Direction, DynGraph, Edge, GraphConfig, GraphError, ReadGuard, ValidationError,
 };
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The owner shard of vertex `v` among `n_shards`: a splitmix64 finalizer
 /// over the id, reduced mod `n_shards`. Deterministic, balanced, and
@@ -82,6 +83,9 @@ pub struct ShardedGraph {
     shard_cfg: GraphConfig,
     direction: Direction,
     n_vertices: u32,
+    /// Op-id source for direct (router-less) dispatches, so every shard
+    /// dispatch carries a [`TraceCtx`] even outside a [`BatchRouter`].
+    ops: AtomicU64,
 }
 
 // The shard dispatch path shares `&DynGraph` across scoped threads.
@@ -126,7 +130,19 @@ impl ShardedGraph {
             shard_cfg,
             direction: config.direction,
             n_vertices: config.vertex_capacity,
+            ops: AtomicU64::new(0),
         }
+    }
+
+    /// Mint a root [`TraceCtx`] for one direct dispatch: no client
+    /// session, op ids from the graph's own counter. Sharing one ctx
+    /// across every shard of a dispatch ties the per-shard spans into a
+    /// single op in the merged trace (Perfetto draws the flow arrows).
+    fn dispatch_ctx(&self) -> TraceCtx {
+        TraceCtx::root(
+            TraceCtx::NO_SESSION,
+            self.ops.fetch_add(1, Ordering::AcqRel),
+        )
     }
 
     /// Build and populate from an edge list in one step.
@@ -207,8 +223,10 @@ impl ShardedGraph {
     /// so it matches an unsharded replay.
     pub fn insert_edges(&self, edges: &[Edge]) -> u64 {
         let parts = self.partition(edges);
+        let ctx = self.dispatch_ctx();
         self.group
-            .dispatch(|s, _| {
+            .dispatch(|s, dev| {
+                let _trace = dev.trace_scope(ctx);
                 let g = self.shards[s].read();
                 let changed = g.insert_edges(&parts.primary[s]);
                 g.insert_edges(&parts.replica[s]);
@@ -222,8 +240,10 @@ impl ShardedGraph {
     /// copies only — see [`Self::insert_edges`]).
     pub fn delete_edges(&self, edges: &[Edge]) -> u64 {
         let parts = self.partition(edges);
+        let ctx = self.dispatch_ctx();
         self.group
-            .dispatch(|s, _| {
+            .dispatch(|s, dev| {
+                let _trace = dev.trace_scope(ctx);
                 let g = self.shards[s].read();
                 let changed = g.delete_edges(&parts.primary[s]);
                 g.delete_edges(&parts.replica[s]);
@@ -239,7 +259,9 @@ impl ShardedGraph {
     /// dst-side sweep on each shard tombstones incoming copies — so no
     /// cross-shard scatter is needed.
     pub fn delete_vertices(&self, vertices: &[u32]) {
-        self.group.dispatch(|s, _| {
+        let ctx = self.dispatch_ctx();
+        self.group.dispatch(|s, dev| {
+            let _trace = dev.trace_scope(ctx);
             self.shards[s].read().delete_vertices(vertices);
         });
     }
@@ -285,9 +307,11 @@ impl ShardedGraph {
             index[s].push(i);
             per[s].push(p);
         }
-        let results = self
-            .group
-            .dispatch(|s, _| query(s, &self.shards[s].read(), &per[s]));
+        let ctx = self.dispatch_ctx();
+        let results = self.group.dispatch(|s, dev| {
+            let _trace = dev.trace_scope(ctx);
+            query(s, &self.shards[s].read(), &per[s])
+        });
         let mut out = vec![false; pairs.len()];
         for (s, found) in results.into_iter().enumerate() {
             for (k, b) in found.into_iter().enumerate() {
@@ -354,8 +378,10 @@ impl ShardedGraph {
     /// Exact live-edge count: the sum of owned-vertex degrees across
     /// shards (replicas are bookkeeping, not extra edges).
     pub fn num_edges(&self) -> u64 {
+        let ctx = self.dispatch_ctx();
         self.group
-            .dispatch(|s, _| {
+            .dispatch(|s, dev| {
+                let _trace = dev.trace_scope(ctx);
                 let g = self.shards[s].read();
                 (0..self.n_vertices)
                     .filter(|&v| shard_of(v, self.shards.len()) == s)
@@ -372,9 +398,13 @@ impl ShardedGraph {
     /// global counts reconcile (`Σ per-shard edges = owned + cut`).
     pub fn validate(&self) -> Result<(), ShardedValidationError> {
         let n = self.shards.len();
+        let ctx = self.dispatch_ctx();
         for (s, r) in self
             .group
-            .dispatch(|s, _| self.shards[s].read().validate())
+            .dispatch(|s, dev| {
+                let _trace = dev.trace_scope(ctx);
+                self.shards[s].read().validate()
+            })
             .into_iter()
             .enumerate()
         {
@@ -855,6 +885,117 @@ pub enum Update {
     Delete(Edge),
 }
 
+/// One queued client update, carrying the [`TraceCtx`] minted at
+/// [`BatchRouter::submit`] and the modeled clock at submission (queue
+/// latency is measured from here to the flush that drains it).
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    ctx: TraceCtx,
+    update: Update,
+    submitted_s: f64,
+}
+
+/// The reconstructed lifecycle of one client operation: its identity,
+/// the flush that carried it, a latency breakdown on the modeled clock,
+/// and the span chain (human-readable, in causal order). `total_ns` is
+/// *defined* as the sum of the five components, and `tests/tracing.rs`
+/// asserts the kernel component is conserved against the flush's actual
+/// kernel time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTraceRecord {
+    /// Router-wide op id (monotonic, minted at submit).
+    pub op: u64,
+    /// Submitting session, or [`TraceCtx::NO_SESSION`] for internal ops.
+    pub session: u64,
+    /// `"insert"`, `"delete"`, or `"query"`.
+    pub kind: String,
+    /// The flush sequence number that drained this op (0 for queries).
+    pub flush: u64,
+    /// Modeled ns spent queued between submit and flush drain.
+    pub queue_ns: u64,
+    /// Modeled ns spent in host-side coalescing. Always 0 today: the
+    /// cost model charges device work only, and coalescing is host work.
+    /// Kept in the schema so the breakdown is stable if that changes.
+    pub coalesce_ns: u64,
+    /// This op's share of retry backoff charged on its shards.
+    pub backoff_ns: u64,
+    /// This op's share of kernel time on its shards (rebuild replay
+    /// folds in here, flagged by a `router.rebuild` span).
+    pub kernel_ns: u64,
+    /// Modeled ns answering this op from replicas while the owner was
+    /// down (queries only).
+    pub degraded_ns: u64,
+    /// Causal span chain, e.g. `flush#3 queue 12 ns` then
+    /// `shard1/dispatch kernel 40 ns backoff 0 ns`.
+    pub spans: Vec<String>,
+    /// Whether every shard this op routed to has completed it.
+    pub done: bool,
+}
+
+impl OpTraceRecord {
+    /// End-to-end modeled latency: the sum of the five components.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.coalesce_ns + self.backoff_ns + self.kernel_ns + self.degraded_ns
+    }
+}
+
+/// One in-flight op: its record plus how many shard dispatches it still
+/// waits on.
+struct OpenOp {
+    rec: OpTraceRecord,
+    pending_shards: usize,
+}
+
+/// Completed-op ring capacity (matches the profiler's event rings).
+const OPLOG_CAP: usize = 1 << 16;
+/// Slowest-op exemplars kept with full span chains.
+const TAIL_EXEMPLARS: usize = 8;
+
+/// Router-side op bookkeeping: in-flight ops, which op ids each shard's
+/// next successful dispatch will complete, the bounded completed-op
+/// ring, and the K-slowest exemplar ring.
+#[derive(Default)]
+struct OpTracker {
+    open: HashMap<u64, OpenOp>,
+    /// Per shard: op ids charged by that shard's next completed
+    /// dispatch (cleared on completion, kept across failed attempts).
+    shard_waiting: Vec<Vec<u64>>,
+    completed: VecDeque<OpTraceRecord>,
+    exemplars: Vec<OpTraceRecord>,
+    flushes: u64,
+}
+
+impl OpTracker {
+    /// Move a finished record into the completed ring and the exemplar
+    /// ring, folding its components into the router metrics.
+    fn finalize(&mut self, mut rec: OpTraceRecord, metrics: &MetricsRegistry) {
+        rec.done = true;
+        metrics.record("op.total_ns", rec.total_ns());
+        metrics.record("op.queue_ns", rec.queue_ns);
+        metrics.record("op.coalesce_ns", rec.coalesce_ns);
+        metrics.record("op.backoff_ns", rec.backoff_ns);
+        metrics.record("op.kernel_ns", rec.kernel_ns);
+        metrics.record("op.degraded_ns", rec.degraded_ns);
+        self.exemplars.push(rec.clone());
+        self.exemplars
+            .sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.op.cmp(&b.op)));
+        self.exemplars.truncate(TAIL_EXEMPLARS);
+        self.completed.push_back(rec);
+        if self.completed.len() > OPLOG_CAP {
+            self.completed.pop_front();
+        }
+    }
+}
+
+/// Round modeled seconds to whole nanoseconds for attribution. The
+/// modeled clock resolves sub-microsecond shares (one op's slice of a
+/// coalesced dispatch is typically tens to hundreds of ns), so
+/// nanoseconds keep the breakdown informative where whole µs would
+/// round nearly every component to zero.
+fn as_ns(s: f64) -> u64 {
+    (s * 1e9).round() as u64
+}
+
 /// One shard's view of a flush: its batch outcomes, health, and modeled
 /// time.
 #[derive(Debug, Clone)]
@@ -869,6 +1010,10 @@ pub struct ShardOutcome {
     /// Modeled GPU seconds this shard spent on the flush, *including*
     /// retry backoff charged on the modeled clock.
     pub modeled_s: f64,
+    /// The retry-backoff portion of [`Self::modeled_s`] — kernel time is
+    /// `modeled_s - backoff_s`. Latency attribution splits per-op shares
+    /// along exactly this seam.
+    pub backoff_s: f64,
     /// The shard's health after this dispatch.
     pub health: ShardHealth,
     /// Typed dispatch failure, if the batch (suffix) was not applied at
@@ -933,8 +1078,17 @@ pub struct BatchRouter<'g> {
     /// Per-session FIFO queues, indexed by session id. A `Mutex` (not a
     /// channel) so that draining is session-major — deterministic no
     /// matter how submission threads interleaved.
-    sessions: Mutex<Vec<Vec<Update>>>,
+    sessions: Mutex<Vec<Vec<PendingOp>>>,
     policy: RetryPolicy,
+    /// Op-id source for [`TraceCtx`] minting (monotonic from 1).
+    next_op: AtomicU64,
+    /// Per-op lifecycle bookkeeping (open ops, completed ring, tail
+    /// exemplars).
+    tracker: Mutex<OpTracker>,
+    /// Router-level metrics (`op.*_ns` component histograms). Kept
+    /// separate from the per-device registries so per-op attribution
+    /// does not perturb the device-side metric sets.
+    op_metrics: MetricsRegistry,
     /// Per-shard health + journal. Each dispatch closure locks only its
     /// own shard's state, so the per-shard mutexes never contend across
     /// shards.
@@ -976,19 +1130,39 @@ impl<'g> BatchRouter<'g> {
             graph,
             sessions: Mutex::new(Vec::new()),
             policy,
+            next_op: AtomicU64::new(1),
+            tracker: Mutex::new(OpTracker {
+                shard_waiting: (0..n).map(|_| Vec::new()).collect(),
+                ..OpTracker::default()
+            }),
+            op_metrics: MetricsRegistry::new(),
             states,
             serving: (0..n).map(|_| AtomicBool::new(true)).collect(),
         }
     }
 
-    /// Enqueue one update for `session`. Safe to call from any thread;
-    /// order *within* a session is the caller's submission order.
-    pub fn submit(&self, session: usize, update: Update) {
+    /// The router's modeled clock: the group makespan (max of the
+    /// per-shard profiler clocks). Queue latency is measured on it.
+    fn clock_s(&self) -> f64 {
+        self.graph.group().clock_s()
+    }
+
+    /// Enqueue one update for `session` and return the op id of the
+    /// [`TraceCtx`] minted for it. Safe to call from any thread; order
+    /// *within* a session is the caller's submission order.
+    pub fn submit(&self, session: usize, update: Update) -> u64 {
+        let op = self.next_op.fetch_add(1, Ordering::AcqRel);
+        let pending = PendingOp {
+            ctx: TraceCtx::root(session as u64, op),
+            update,
+            submitted_s: self.clock_s(),
+        };
         let mut q = self.sessions.lock();
         if q.len() <= session {
             q.resize_with(session + 1, Vec::new);
         }
-        q[session].push(update);
+        q[session].push(pending);
+        op
     }
 
     /// Updates currently queued across all sessions.
@@ -1108,14 +1282,68 @@ impl<'g> BatchRouter<'g> {
     /// flushes skip it entirely (open circuit breaker — zero device
     /// access) until [`Self::rebuild_downed`] re-admits it.
     pub fn flush(&self) -> FlushReport {
-        let drained: Vec<Vec<Update>> = std::mem::take(&mut *self.sessions.lock());
+        let drained: Vec<Vec<PendingOp>> = std::mem::take(&mut *self.sessions.lock());
         let updates: usize = drained.iter().map(Vec::len).sum();
         let n = self.graph.num_shards();
+        let drain_s = self.clock_s();
         let mut inserts: Vec<Edge> = Vec::new();
         let mut deletes: Vec<Edge> = Vec::new();
+        // Causal bookkeeping for the drain: open one lifecycle record
+        // per op, register it with every shard its edge routes to, and
+        // remember the first op routed to each shard — that op's ctx
+        // stamps the shard's dispatch spans, so every charged span
+        // chains back to a client op.
+        let mut rep_ctx: Vec<Option<TraceCtx>> = vec![None; n];
+        {
+            let mut t = self.tracker.lock();
+            t.flushes += 1;
+            let flush_id = t.flushes;
+            for session in &drained {
+                for p in session {
+                    let (kind, e) = match p.update {
+                        Update::Insert(e) => ("insert", e),
+                        Update::Delete(e) => ("delete", e),
+                    };
+                    let su = self.graph.owner_of(e.src);
+                    let sv = self.graph.owner_of(e.dst);
+                    let queue_ns = as_ns((drain_s - p.submitted_s).max(0.0));
+                    let mut shards_touched = 1;
+                    t.shard_waiting[su].push(p.ctx.op);
+                    if rep_ctx[su].is_none() {
+                        rep_ctx[su] = Some(p.ctx);
+                    }
+                    if sv != su {
+                        shards_touched = 2;
+                        t.shard_waiting[sv].push(p.ctx.op);
+                        if rep_ctx[sv].is_none() {
+                            rep_ctx[sv] = Some(p.ctx);
+                        }
+                    }
+                    t.open.insert(
+                        p.ctx.op,
+                        OpenOp {
+                            rec: OpTraceRecord {
+                                op: p.ctx.op,
+                                session: p.ctx.session,
+                                kind: kind.to_string(),
+                                flush: flush_id,
+                                queue_ns,
+                                coalesce_ns: 0,
+                                backoff_ns: 0,
+                                kernel_ns: 0,
+                                degraded_ns: 0,
+                                spans: vec![format!("flush#{flush_id} queue {queue_ns} ns")],
+                                done: false,
+                            },
+                            pending_shards: shards_touched,
+                        },
+                    );
+                }
+            }
+        }
         for session in &drained {
-            for &u in session {
-                match u {
+            for p in session {
+                match p.update {
                     Update::Insert(e) => inserts.push(e),
                     Update::Delete(e) => deletes.push(e),
                 }
@@ -1166,10 +1394,17 @@ impl<'g> BatchRouter<'g> {
                     insert: None,
                     delete: None,
                     modeled_s: 0.0,
+                    backoff_s: 0.0,
                     health: self.health(s),
                     error: None,
                 };
             }
+            // Stamp everything this dispatch records — kernel spans,
+            // backoff waits, health instants — with the first client
+            // op routed here, so the merged trace chains back to
+            // client traffic.
+            let ctx = rep_ctx[s].unwrap_or_else(|| self.graph.dispatch_ctx());
+            let _trace = dev.trace_scope(ctx);
             let mut st = self.states[s].lock();
             if !st.health.0.is_dispatchable() {
                 // Circuit breaker open: hold the batches (already
@@ -1181,6 +1416,7 @@ impl<'g> BatchRouter<'g> {
                     delete: (!del.is_empty())
                         .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
                     modeled_s: 0.0,
+                    backoff_s: 0.0,
                     health: st.health.0,
                     error: None,
                 };
@@ -1195,6 +1431,7 @@ impl<'g> BatchRouter<'g> {
                         delete: (!del.is_empty())
                             .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
                         modeled_s: b,
+                        backoff_s: b,
                         health: st.health.0,
                         error: Some(RouterError::Fault {
                             shard: s,
@@ -1220,6 +1457,7 @@ impl<'g> BatchRouter<'g> {
                         delete: (!del.is_empty())
                             .then(|| held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
                         modeled_s: model.seconds(&delta) + backoff,
+                        backoff_s: backoff,
                         health: st.health.0,
                         error: Some(RouterError::Poisoned {
                             shard: s,
@@ -1241,6 +1479,7 @@ impl<'g> BatchRouter<'g> {
                             insert,
                             delete: Some(held_outcome(slabgraph::BatchOp::DeleteEdges, del)),
                             modeled_s: model.seconds(&delta) + backoff,
+                            backoff_s: backoff,
                             health: st.health.0,
                             error: Some(RouterError::Poisoned {
                                 shard: s,
@@ -1263,12 +1502,64 @@ impl<'g> BatchRouter<'g> {
                 insert,
                 delete,
                 modeled_s: model.seconds(&delta) + backoff,
+                backoff_s: backoff,
                 health: st.health.0,
                 error: None,
             }
         });
         self.ack_completed(&shards);
+        self.attribute_outcomes(&shards);
         FlushReport { updates, shards }
+    }
+
+    /// Fold one dispatch round's per-shard outcomes into the open op
+    /// records: each shard's kernel and backoff time is split evenly
+    /// across the ops waiting on it. A *completed* shard dispatch
+    /// settles its waiters (mirroring [`Self::ack_completed`]'s journal
+    /// truncation); a failed or held attempt charges the backoff it
+    /// actually spent and keeps the ops open for recovery or rebuild.
+    fn attribute_outcomes(&self, shards: &[ShardOutcome]) {
+        let mut t = self.tracker.lock();
+        for o in shards {
+            let waiting = t.shard_waiting[o.shard].len();
+            if waiting == 0 {
+                continue;
+            }
+            let kernel_share = as_ns((o.modeled_s - o.backoff_s).max(0.0) / waiting as f64);
+            let backoff_share = as_ns(o.backoff_s / waiting as f64);
+            let settled = o.is_complete() && (o.insert.is_some() || o.delete.is_some());
+            if !settled && kernel_share == 0 && backoff_share == 0 {
+                continue;
+            }
+            let ids: Vec<u64> = if settled {
+                std::mem::take(&mut t.shard_waiting[o.shard])
+            } else {
+                t.shard_waiting[o.shard].clone()
+            };
+            for id in ids {
+                let Some(open) = t.open.get_mut(&id) else {
+                    continue;
+                };
+                open.rec.kernel_ns += kernel_share;
+                open.rec.backoff_ns += backoff_share;
+                if settled {
+                    open.rec.spans.push(format!(
+                        "shard{}/dispatch kernel {kernel_share} ns backoff {backoff_share} ns",
+                        o.shard
+                    ));
+                    open.pending_shards = open.pending_shards.saturating_sub(1);
+                    if open.pending_shards == 0 {
+                        let open = t.open.remove(&id).expect("open op present");
+                        t.finalize(open.rec, &self.op_metrics);
+                    }
+                } else {
+                    open.rec.spans.push(format!(
+                        "shard{}/retry kernel {kernel_share} ns backoff {backoff_share} ns",
+                        o.shard
+                    ));
+                }
+            }
+        }
     }
 
     /// Resume the pending suffixes of an incomplete flush — call after
@@ -1284,11 +1575,26 @@ impl<'g> BatchRouter<'g> {
     /// makes reports holding that shard's pending work stale.
     pub fn recover(&self, report: &FlushReport) -> FlushReport {
         let model = CostModel::titan_v();
+        // Re-dispatched suffixes stay causally attributed to the ops
+        // still waiting on each shard.
+        let rep_ctx: Vec<Option<TraceCtx>> = {
+            let t = self.tracker.lock();
+            (0..self.graph.num_shards())
+                .map(|s| {
+                    t.shard_waiting[s]
+                        .first()
+                        .and_then(|id| t.open.get(id))
+                        .map(|o| TraceCtx::root(o.rec.session, o.rec.op))
+                })
+                .collect()
+        };
         let shards = self.graph.group().dispatch(|s, dev| {
             let prior = &report.shards[s];
             if prior.is_complete() {
                 return prior.clone();
             }
+            let ctx = rep_ctx[s].unwrap_or_else(|| self.graph.dispatch_ctx());
+            let _trace = dev.trace_scope(ctx);
             let mut st = self.states[s].lock();
             if !st.health.0.is_dispatchable() {
                 // Circuit breaker open: carry the held outcome forward
@@ -1296,6 +1602,7 @@ impl<'g> BatchRouter<'g> {
                 let mut held = prior.clone();
                 held.health = st.health.0;
                 held.modeled_s = 0.0;
+                held.backoff_s = 0.0;
                 return held;
             }
             let backoff = match self.admit(&mut st, s, dev) {
@@ -1304,6 +1611,7 @@ impl<'g> BatchRouter<'g> {
                     let mut held = prior.clone();
                     held.health = st.health.0;
                     held.modeled_s = b;
+                    held.backoff_s = b;
                     held.error = Some(RouterError::Fault {
                         shard: s,
                         source: fault,
@@ -1335,6 +1643,7 @@ impl<'g> BatchRouter<'g> {
                 let delta = dev.counters().snapshot().delta(&before);
                 let mut held = prior.clone();
                 held.modeled_s = model.seconds(&delta) + backoff;
+                held.backoff_s = backoff;
                 held.error = Some(RouterError::Poisoned {
                     shard: s,
                     source: e,
@@ -1372,11 +1681,13 @@ impl<'g> BatchRouter<'g> {
                 insert,
                 delete,
                 modeled_s: model.seconds(&delta) + backoff,
+                backoff_s: backoff,
                 health: st.health.0,
                 error: None,
             }
         });
         self.ack_completed(&shards);
+        self.attribute_outcomes(&shards);
         FlushReport { updates: 0, shards }
     }
 
@@ -1422,6 +1733,17 @@ impl<'g> BatchRouter<'g> {
                 self.set_health(&mut st, s, ShardHealth::Rebuilding);
             }
             let dev = self.graph.group().device(s).clone();
+            // Replay spans chain to the first op still waiting on this
+            // shard — the op whose write the rebuild is recovering.
+            let ctx = {
+                let t = self.tracker.lock();
+                t.shard_waiting[s]
+                    .first()
+                    .and_then(|id| t.open.get(id))
+                    .map(|o| TraceCtx::root(o.rec.session, o.rec.op))
+                    .unwrap_or_else(|| self.graph.dispatch_ctx())
+            };
+            let _trace = dev.trace_scope(ctx);
             let t0 = dev.profiler().map(|p| p.now_s());
             // Snapshot the replay image, then release the state lock for
             // the device-side replay (degraded reads stay responsive).
@@ -1485,6 +1807,30 @@ impl<'g> BatchRouter<'g> {
                     p.metrics().record("router.rebuild_us", (d * 1e6) as u64);
                 }
                 p.instant("shard_rebuilt", format!("shard {s}"));
+            }
+            // The replay applied every journaled op this shard was
+            // holding: settle the waiting lifecycles, charging each an
+            // even share of the rebuild as kernel time.
+            {
+                let mut t = self.tracker.lock();
+                let ids = std::mem::take(&mut t.shard_waiting[s]);
+                if !ids.is_empty() {
+                    let share = as_ns(dur.unwrap_or(0.0) / ids.len() as f64);
+                    for id in ids {
+                        let Some(open) = t.open.get_mut(&id) else {
+                            continue;
+                        };
+                        open.rec.kernel_ns += share;
+                        open.rec
+                            .spans
+                            .push(format!("shard{s}/router.rebuild {share} ns"));
+                        open.pending_shards = open.pending_shards.saturating_sub(1);
+                        if open.pending_shards == 0 {
+                            let open = t.open.remove(&id).expect("open op present");
+                            t.finalize(open.rec, &self.op_metrics);
+                        }
+                    }
+                }
             }
             rebuilt.push(s);
         }
@@ -1633,6 +1979,146 @@ impl<'g> BatchRouter<'g> {
             }
         }
         (d, ReadQuality::Degraded)
+    }
+
+    /// Point membership with full lifecycle tracing: mints a client op,
+    /// stamps the answering shard's query spans with its [`TraceCtx`],
+    /// measures the modeled cost of the read, and folds a completed
+    /// `"query"` lifecycle into the op log — charged to the `kernel`
+    /// component when the owner answered exactly, to `degraded` when a
+    /// replica (or nobody) answered while the owner was down.
+    pub fn edge_exists_traced(&self, session: usize, src: u32, dst: u32) -> (bool, ReadQuality) {
+        let op = self.next_op.fetch_add(1, Ordering::AcqRel);
+        let ctx = TraceCtx::root(session as u64, op);
+        let model = CostModel::titan_v();
+        let read_on = |s: usize| -> (bool, f64) {
+            let dev = self.graph.group().device(s);
+            let _trace = dev.trace_scope(ctx);
+            let before = dev.counters().snapshot();
+            let g = self.graph.shard(s);
+            let hit = g.edge_exists(&g.pin_read(), src, dst);
+            (
+                hit,
+                model.seconds(&dev.counters().snapshot().delta(&before)),
+            )
+        };
+        let owner = self.graph.owner_of(src);
+        let (hit, quality, cost_s, answered) = if self.is_serving(owner) {
+            let (hit, c) = read_on(owner);
+            (hit, ReadQuality::Exact, c, Some(owner))
+        } else {
+            let replica = self.graph.owner_of(dst);
+            if replica != owner && self.is_serving(replica) {
+                let (hit, c) = read_on(replica);
+                (hit, ReadQuality::Degraded, c, Some(replica))
+            } else {
+                (false, ReadQuality::Degraded, 0.0, None)
+            }
+        };
+        let cost_ns = as_ns(cost_s);
+        let (kernel_ns, degraded_ns) = match quality {
+            ReadQuality::Exact => (cost_ns, 0),
+            ReadQuality::Degraded => (0, cost_ns),
+        };
+        let span = match answered {
+            Some(s) => {
+                let q = if quality == ReadQuality::Exact {
+                    "exact"
+                } else {
+                    "degraded"
+                };
+                format!("shard{s}/edge_exists {cost_ns} ns ({q})")
+            }
+            None => "unanswerable (owner down, no replica)".to_string(),
+        };
+        let rec = OpTraceRecord {
+            op,
+            session: session as u64,
+            kind: "query".to_string(),
+            flush: 0,
+            queue_ns: 0,
+            coalesce_ns: 0,
+            backoff_ns: 0,
+            kernel_ns,
+            degraded_ns,
+            spans: vec![span],
+            done: false,
+        };
+        self.tracker.lock().finalize(rec, &self.op_metrics);
+        (hit, quality)
+    }
+
+    /// Completed op lifecycles, oldest first (bounded ring).
+    pub fn op_records(&self) -> Vec<OpTraceRecord> {
+        self.tracker.lock().completed.iter().cloned().collect()
+    }
+
+    /// The slowest completed ops by total modeled latency, slowest
+    /// first, full span chains retained (a bounded ring of eight —
+    /// the "tail exemplars" report section).
+    pub fn tail_exemplars(&self) -> Vec<OpTraceRecord> {
+        self.tracker.lock().exemplars.clone()
+    }
+
+    /// Router-level metric summaries: the per-component `op.*_ns`
+    /// latency histograms.
+    pub fn op_metric_summaries(&self) -> Vec<MetricSummary> {
+        self.op_metrics.summaries()
+    }
+
+    /// One merged [`TraceReport`] for the whole router: the group's
+    /// kernels, findings, and metrics, plus shard health, per-component
+    /// op-latency attribution (p50/p95/p99), and the tail-exemplar
+    /// ring. Round-trips through JSON exactly like any other report.
+    pub fn trace_report(&self, model: &CostModel) -> TraceReport {
+        let attribution: Vec<OpAttributionRow> = [
+            "queue", "coalesce", "backoff", "kernel", "degraded", "total",
+        ]
+        .iter()
+        .map(|c| {
+            let name = format!("op.{c}_ns");
+            let m = self.op_metrics.histogram(&name).snapshot().summary(name);
+            OpAttributionRow {
+                component: (*c).to_string(),
+                count: m.count,
+                sum_ns: m.sum,
+                max_ns: m.max,
+                p50_ns: m.p50,
+                p95_ns: m.p95,
+                p99_ns: m.p99,
+            }
+        })
+        .collect();
+        let exemplars: Vec<TailExemplarRow> = self
+            .tracker
+            .lock()
+            .exemplars
+            .iter()
+            .map(|r| TailExemplarRow {
+                op: r.op,
+                session: r.session,
+                kind: r.kind.clone(),
+                total_ns: r.total_ns(),
+                queue_ns: r.queue_ns,
+                coalesce_ns: r.coalesce_ns,
+                backoff_ns: r.backoff_ns,
+                kernel_ns: r.kernel_ns,
+                degraded_ns: r.degraded_ns,
+                spans: r.spans.clone(),
+            })
+            .collect();
+        let mut report = self
+            .graph
+            .group()
+            .merged_report(model)
+            .with_shard_health(self.report().rows);
+        let mut metrics = std::mem::take(&mut report.metrics);
+        metrics.extend(self.op_metrics.summaries());
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        report
+            .with_metrics(metrics)
+            .with_op_attribution(attribution)
+            .with_tail_exemplars(exemplars)
     }
 }
 

@@ -1,0 +1,11 @@
+//@ path: crates/router/src/fanout.rs
+//@ expect: R11@5
+
+fn fanout(group: &DeviceGroup, updates: &[Update]) -> Vec<ShardOutcome> {
+    let outcomes = group.dispatch(|_s, dev| {
+        dev.launch_tasks("edge_insert", updates.len(), |warp| {
+            let _ = warp.read_word(0);
+        });
+    });
+    outcomes
+}

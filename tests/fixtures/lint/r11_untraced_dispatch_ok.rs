@@ -1,0 +1,12 @@
+//@ path: crates/router/src/fanout.rs
+//@ expect-clean
+
+fn fanout(group: &DeviceGroup, updates: &[Update], ctx: TraceCtx) -> Vec<ShardOutcome> {
+    let outcomes = group.dispatch(|_s, dev| {
+        let _trace = dev.trace_scope(ctx);
+        dev.launch_tasks("edge_insert", updates.len(), |warp| {
+            let _ = warp.read_word(0);
+        });
+    });
+    outcomes
+}

@@ -1,9 +1,10 @@
-//! The lint rules, R1–R10, evaluated over the parsed file models and
+//! The lint rules, R1–R11, evaluated over the parsed file models and
 //! effect summaries.
 //!
 //! R1–R7 are the historical rules re-expressed over the token stream
 //! (they used to be per-line regexes); R8–R10 are the flow-sensitive
-//! checks that guard the pin/epoch and publication protocols:
+//! checks that guard the pin/epoch and publication protocols; R11 guards
+//! the causal-tracing contract:
 //!
 //! - **R8 `pin-escape`** — guard liveness. `ReadGuard`/`ReadPin` values
 //!   are tracked from `pin()`/`pin_read()` through bindings, moves and
@@ -26,6 +27,11 @@
 //!   point must transitively reach an advance through the call graph, and
 //!   no batch-boundary function may early-return success between its
 //!   kernel launch and its era advance.
+//! - **R11 `untraced-dispatch`** — every `.dispatch(…)` fan-out in the
+//!   router crate must stamp its device work with a `TraceCtx` (a
+//!   `trace_scope` inside the dispatch closure): an untraced dispatch
+//!   produces charged kernel spans with no causal parent, so the op
+//!   lifecycles `trace-query` reconstructs silently lose that work.
 
 use super::effects::{effects_of, AccessKind, EffectIndex, Effects};
 use super::parser::{Func, Kernel, Tree, LAUNCHERS};
@@ -38,7 +44,7 @@ pub struct RuleMeta {
     pub desc: &'static str,
 }
 
-pub const RULES: [RuleMeta; 10] = [
+pub const RULES: [RuleMeta; 11] = [
     RuleMeta {
         id: "R1",
         name: "raw-arena-access",
@@ -88,6 +94,11 @@ pub const RULES: [RuleMeta; 10] = [
         id: "R10",
         name: "era-advance",
         desc: "mutation batch entry point does not reach advance_era() on its success paths",
+    },
+    RuleMeta {
+        id: "R11",
+        name: "untraced-dispatch",
+        desc: "router dispatch without a TraceCtx; wrap the closure's device work in trace_scope so spans carry a causal parent",
     },
 ];
 
@@ -147,6 +158,12 @@ fn in_gpu_sim(path: &str) -> bool {
 /// `sharded.rs` module orchestrate device groups.
 fn in_sharded_scope(path: &str) -> bool {
     path.starts_with("crates/router/") || path.ends_with("/sharded.rs")
+}
+
+/// Causal-tracing scope, where R11 applies: the router crate mints
+/// `TraceCtx`s and every shard fan-out it issues must carry one.
+fn in_router_scope(path: &str) -> bool {
+    path.starts_with("crates/router/")
 }
 
 /// The pinned query path, where R7/R8 guard-domination applies: these
@@ -469,10 +486,11 @@ fn token_walk(trees: &[Tree], f: &mut impl FnMut(&[Tree], usize)) {
     }
 }
 
-/// R4 / R6: statement-level rules over function bodies.
+/// R4 / R6 / R11: statement-level rules over function bodies.
 fn statement_rules(file: &ScannedFile, findings: &mut Vec<Finding>) {
     let gpu_sim = in_gpu_sim(&file.path);
     let sharded = in_sharded_scope(&file.path);
+    let router = in_router_scope(&file.path);
     for func in &file.model.funcs {
         // R4: evaluated per *block level* — a `.phase("…")` call is fine
         // when its own statement binds the guard, wherever the block sits.
@@ -542,6 +560,24 @@ fn statement_rules(file: &ScannedFile, findings: &mut Vec<Finding>) {
                             "",
                             &func.name,
                             "dispatch outcome unwrapped/discarded; route through retry policy or journal".to_string(),
+                        );
+                    }
+                }
+            }
+            // R11: a shard fan-out must stamp its device work with a
+            // TraceCtx. The `trace_scope` call lives inside the dispatch
+            // closure, so it is always within the dispatch statement.
+            if router && !func.cfg_test {
+                if let Some(line) = contains_dotted_call(stmt, &["dispatch"]) {
+                    if !mentions_ident(stmt, "trace_scope") {
+                        push(
+                            findings,
+                            file,
+                            "R11",
+                            line,
+                            "",
+                            &func.name,
+                            "dispatch without a TraceCtx: wrap the closure's device work in `dev.trace_scope(ctx)` so its spans carry a causal parent".to_string(),
                         );
                     }
                 }

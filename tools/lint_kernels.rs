@@ -4,7 +4,7 @@
 //! external deps — the workspace builds offline) that extracts every
 //! kernel closure passed to `launch_tasks` / `launch_warps` / `memset`,
 //! computes a per-kernel **effect summary** (arena words read/written,
-//! atomic ops, allocator calls, pin/guard uses), and checks ten rules over
+//! atomic ops, allocator calls, pin/guard uses), and checks eleven rules over
 //! the summaries and the enclosing host code:
 //!
 //! - **R1 `raw-arena-access`** — `.arena().store/load/…` outside
@@ -45,6 +45,10 @@
 //!   success paths before acknowledging the batch, and no batch-boundary
 //!   function may early-return success between its launch and its
 //!   advance.
+//! - **R11 `untraced-dispatch`** — every `.dispatch(…)` fan-out in
+//!   `crates/router` must stamp its device work with a `TraceCtx` via
+//!   `trace_scope`; untraced dispatches produce charged spans with no
+//!   causal parent, invisible to `trace-query` lifecycles.
 //!
 //! ## Usage
 //!
